@@ -1,0 +1,77 @@
+//! Ablation (DESIGN.md §5): the owner-PE hash must mix well, because DNA
+//! k-mers are far from uniform integers. Compares the SplitMix64 owner
+//! assignment against naive `kmer mod P` on uniform and heavy-hitter
+//! genomes, reporting the owner-side load imbalance each induces.
+
+use dakc_bench::{BenchArgs, Table};
+use dakc_kmer::{kmers_of_read, owner_pe, CanonicalMode};
+
+fn imbalance(loads: &[u64]) -> (f64, f64) {
+    let total: u64 = loads.iter().sum();
+    let mean = total as f64 / loads.len() as f64;
+    let max = *loads.iter().max().expect("nonempty") as f64;
+    let cv = {
+        let var = loads
+            .iter()
+            .map(|&l| (l as f64 - mean).powi(2))
+            .sum::<f64>()
+            / loads.len() as f64;
+        var.sqrt() / mean
+    };
+    (max / mean, cv)
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    args.banner(
+        "Ablation — owner-PE hash quality vs load balance",
+        "DESIGN.md §5 (supports the paper's load-balance assumption 1)",
+    );
+
+    let k = 31;
+    let p = 192; // 8 nodes x 24 cores
+    let mut t = Table::new(&[
+        "Dataset",
+        "Owner assignment",
+        "max/mean",
+        "coeff-of-variation",
+    ]);
+    for name in ["Synthetic 26", "SRR28206931"] {
+        let (spec, reads) = dakc_bench::load_dataset(name, &args);
+        let mut mixed = vec![0u64; p];
+        let mut low = vec![0u64; p];
+        let mut top = vec![0u64; p];
+        for r in reads.iter() {
+            for w in kmers_of_read::<u64>(r, k, CanonicalMode::Forward) {
+                mixed[owner_pe(w, p)] += 1;
+                low[(w % p as u64) as usize] += 1;
+                // The padding pitfall: a k = 31 k-mer occupies 62 bits of
+                // its u64 word, so the top byte is nearly constant.
+                top[((w >> 56) % p as u64) as usize] += 1;
+            }
+        }
+        for (hash, loads) in [
+            ("splitmix64", &mixed),
+            ("low bits (mod P)", &low),
+            ("top word byte", &top),
+        ] {
+            let (mm, cv) = imbalance(loads);
+            t.row(vec![
+                spec.name.to_string(),
+                hash.to_string(),
+                format!("{mm:.3}"),
+                format!("{cv:.3}"),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "reading the table: on uniform-random genomes the low bits of a k-mer are\n\
+         themselves uniform, so `mod P` happens to work — but the equally\n\
+         plausible-looking top-byte reduction collapses onto a handful of PEs\n\
+         because k = 31 words are zero-padded above bit 62. The full-avalanche\n\
+         mix is the only choice that is robust to how the key was packed; the\n\
+         residual Human imbalance under splitmix64 is genuine heavy-hitter mass,\n\
+         which only the L3 layer can relieve."
+    );
+}

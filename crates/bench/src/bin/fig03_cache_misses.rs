@@ -1,0 +1,86 @@
+//! Fig 3: last-level-cache misses — analytical model prediction vs
+//! measurement, for both phases, on 8 nodes (192 cores).
+//!
+//! The paper measures with PAPI hardware counters; our stand-in is the
+//! set-associative LRU cache simulator replaying the instrumented access
+//! streams of one node's work (DESIGN.md substitution ledger). The
+//! expected relationship, which the paper reports and we verify:
+//!
+//! * phase 1 measured slightly **above** predicted (LRU vs the model's
+//!   optimal replacement);
+//! * phase 2 measured **below** predicted (the hybrid sort stops
+//!   re-streaming once partitions are cache-resident; the model assumes
+//!   the full one-pass-per-byte worst case).
+
+use dakc_bench::{cachetrace, BenchArgs, Table};
+use dakc_model::{Model, Workload};
+use dakc_sim::{CacheSim, MachineConfig};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    args.banner(
+        "Fig 3 — predicted vs measured LLC misses (8 nodes / 192 cores)",
+        "paper Fig 3",
+    );
+
+    let nodes = 8usize;
+    let machine = MachineConfig::phoenix_intel(nodes);
+    let scales: Vec<u32> = if args.quick {
+        vec![22, 24]
+    } else {
+        vec![20, 21, 22, 23, 24, 25, 26]
+    };
+
+    let mut t = Table::new(&[
+        "Dataset",
+        "kmers(scaled)",
+        "P1 predicted",
+        "P1 measured",
+        "P1 meas/pred",
+        "P2 predicted",
+        "P2 measured",
+        "P2 meas/pred",
+    ]);
+
+    for scale in scales {
+        let spec = dakc_io::datasets::synthetic(scale);
+        let ds = spec.scaled(args.scale_shift);
+        let w = Workload {
+            n_reads: ds.num_reads as u64,
+            read_len: spec.read_len as u64,
+            k: 31,
+        };
+        let model = Model::new(machine.clone(), w);
+
+        // Per-node workload slice, replayed through one node's LLC.
+        let input_bytes = (w.input_bytes() / nodes as f64) as u64;
+        let kmers = (w.kmers() / nodes as f64) as u64;
+        let wb = w.word_bytes() as u64;
+
+        let mut cache = CacheSim::phoenix_llc();
+        let p1_meas = cachetrace::phase1_misses(&mut cache, input_bytes, kmers, wb);
+        let mut cache = CacheSim::phoenix_llc();
+        let p2_meas = cachetrace::phase2_misses(&mut cache, kmers, wb, 128);
+
+        let p1_pred = model.misses_phase1();
+        let p2_pred = model.misses_phase2();
+
+        t.row(vec![
+            spec.name.to_string(),
+            (kmers * nodes as u64).to_string(),
+            format!("{p1_pred:.0}"),
+            p1_meas.to_string(),
+            format!("{:.2}", p1_meas as f64 / p1_pred),
+            format!("{p2_pred:.0}"),
+            p2_meas.to_string(),
+            format!("{:.2}", p2_meas as f64 / p2_pred),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "paper shape: phase-1 measured lands slightly above the prediction (model\n\
+         assumes a perfect replacement policy); phase-2 measured lands below the\n\
+         worst-case radix prediction (the sorter skips work on small partitions)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Fig 5: where the time goes — % compute vs intranode vs internode for
+//! *Synthetic 30* on 32 nodes (768 cores), from the analytical model and
+//! cross-checked against the simulator's measured busy-time split.
+
+use dakc::{count_kmers_sim, DakcConfig};
+use dakc_bench::{BenchArgs, Table};
+use dakc_model::{Model, Workload};
+use dakc_sim::MachineConfig;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    args.banner(
+        "Fig 5 — time breakdown for Synthetic 30 on 32 nodes",
+        "paper Fig 5",
+    );
+
+    let nodes = 32usize;
+    let machine = MachineConfig::phoenix_intel(nodes);
+    let spec = dakc_io::datasets::synthetic(30);
+    let ds = spec.scaled(args.scale_shift);
+
+    // Model decomposition (no overlap assumed, as in the paper's figure).
+    let w = Workload {
+        n_reads: ds.num_reads as u64,
+        read_len: spec.read_len as u64,
+        k: 31,
+    };
+    let model = Model::new(machine.clone(), w);
+    let [mc, mi, me] = model.breakdown_percent();
+
+    // Simulator measurement of the same split.
+    let reads = ds.generate(args.seed);
+    let cfg = DakcConfig::scaled_defaults(31);
+    let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).expect("sim ok");
+    let [sc, si, se] = run.report.busy_percentages();
+
+    let mut t = Table::new(&["Component", "Model %", "Simulator %"]);
+    t.row(vec!["Computation".into(), format!("{mc:.1}"), format!("{sc:.1}")]);
+    t.row(vec![
+        "Intranode communication".into(),
+        format!("{mi:.1}"),
+        format!("{si:.1}"),
+    ]);
+    t.row(vec![
+        "Internode communication".into(),
+        format!("{me:.1}"),
+        format!("{se:.1}"),
+    ]);
+    t.print();
+
+    println!(
+        "paper shape: computation is a small slice; the workload is bounded by\n\
+         how fast data moves, within the node and between nodes."
+    );
+    assert!(
+        mc < mi + me,
+        "model must show communication dominating compute"
+    );
+}

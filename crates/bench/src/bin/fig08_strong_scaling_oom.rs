@@ -1,0 +1,75 @@
+//! Fig 8: strong scaling on the largest dataset (*Synthetic 32*, 451 GB at
+//! paper scale) with per-node memory budgets enforced.
+//!
+//! The paper's outcome: PakMan\* hits OOM at 16 and 32 nodes; HySortK
+//! fails in *every* configuration; DAKC runs everywhere. The budget here
+//! is the scaled equivalent of the usable fraction of a 192 GB Phoenix
+//! node (the OS, input reads and MPI runtime hold the rest).
+
+use dakc::{count_kmers_sim, DakcConfig};
+use dakc_baselines::{count_kmers_bsp_sim, BspConfig};
+use dakc_bench::{fmt_bytes, fmt_secs, BenchArgs, Table};
+use dakc_sim::{MachineConfig, SimError};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    args.banner(
+        "Fig 8 — strong scaling on Synthetic 32 with memory budgets",
+        "paper Fig 8",
+    );
+
+    let (spec, reads) = dakc_bench::load_dataset("Synthetic 32", &args);
+    // Usable memory per node: 112 GB of the 192 GB (OS, file buffers for
+    // the 451 GB input, and the MPI runtime hold the rest), scaled down
+    // with the workload so footprint-vs-budget ratios match paper scale.
+    let budget: u64 = (112u64 << 30) >> args.scale_shift;
+    println!(
+        "dataset: {} — scaled to {} reads / {} bases; node budget {} (scaled 112 GiB usable)\n",
+        spec.name,
+        reads.len(),
+        reads.total_bases(),
+        fmt_bytes(budget)
+    );
+
+    let node_counts: Vec<usize> = if args.quick {
+        vec![16, 64]
+    } else {
+        vec![16, 32, 64, 128]
+    };
+    let k = 31;
+
+    let mut t = Table::new(&["Nodes", "DAKC", "PakMan*", "HySortK"]);
+    for &nodes in &node_counts {
+        let mut machine = MachineConfig::phoenix_intel(nodes);
+        machine.pes_per_node = args.pes_per_node;
+        machine.node_memory = budget;
+
+        let cell = |r: Result<f64, SimError>| match r {
+            Ok(secs) => fmt_secs(secs),
+            Err(SimError::Oom(_)) => "OOM".to_string(),
+            Err(e) => format!("error: {e}"),
+        };
+
+        let dakc_res = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(k), &machine)
+            .map(|r| r.report.total_time);
+        let pakman_res =
+            count_kmers_bsp_sim::<u64>(&reads, &BspConfig::pakman_star(k), &machine)
+                .map(|r| r.report.total_time);
+        let hysortk_res = count_kmers_bsp_sim::<u64>(&reads, &BspConfig::hysortk(k), &machine)
+            .map(|r| r.report.total_time);
+
+        t.row(vec![
+            nodes.to_string(),
+            cell(dakc_res),
+            cell(pakman_res),
+            cell(hysortk_res),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "paper shape: PakMan* OOMs at 16 and 32 nodes; HySortK fails in every\n\
+         configuration; DAKC completes everywhere (its in-place phase 2 keeps the\n\
+         footprint at ~1x the received data)."
+    );
+}

@@ -1,0 +1,57 @@
+//! Fig 11: speedup of 2D and 3D Conveyors over 1D — the paper finds 1D is
+//! 10–20% faster (so the plotted ratios sit below 1), at the memory cost
+//! Fig 2 quantifies.
+
+use dakc::{count_kmers_sim, DakcConfig};
+use dakc_bench::{fmt_secs, BenchArgs, Table};
+use dakc_conveyors::Protocol;
+use dakc_sim::MachineConfig;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    args.banner("Fig 11 — 2D/3D Conveyors speedup over 1D", "paper Fig 11");
+
+    let dataset_names: Vec<&str> = if args.quick {
+        vec!["Synthetic 27"]
+    } else {
+        vec!["Synthetic 27", "Synthetic 29", "SRR29163078", "SRR26113965"]
+    };
+    let nodes = 32usize;
+    let k = 31;
+
+    let mut t = Table::new(&["Dataset", "1D", "2D", "3D", "2D/1D speedup", "3D/1D speedup"]);
+    for name in &dataset_names {
+        let (spec, reads) = dakc_bench::load_dataset(name, &args);
+        let mut machine = MachineConfig::phoenix_intel(nodes);
+        machine.pes_per_node = args.pes_per_node;
+
+        let run = |proto: Protocol| {
+            let mut cfg = DakcConfig::scaled_defaults(k);
+            cfg.protocol = proto;
+            if spec.needs_l3() {
+                cfg = cfg.with_l3();
+            }
+            count_kmers_sim::<u64>(&reads, &cfg, &machine)
+                .expect("run")
+                .report
+                .total_time
+        };
+        let t1 = run(Protocol::OneD);
+        let t2 = run(Protocol::TwoD);
+        let t3 = run(Protocol::ThreeD);
+        t.row(vec![
+            spec.name.to_string(),
+            fmt_secs(t1),
+            fmt_secs(t2),
+            fmt_secs(t3),
+            format!("{:.2}", t1 / t2),
+            format!("{:.2}", t1 / t3),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "paper shape: speedups below 1.0 — 1D is 10–20% faster than 2D/3D (no\n\
+         relaying, no per-packet routing header), bought with O(P) buffer memory."
+    );
+}

@@ -1,0 +1,96 @@
+//! Fig 12: what each application-specific aggregation layer buys — DAKC
+//! run with only the runtime layers (L0–L1), with packing added (L0–L2),
+//! and with heavy-hitter pre-accumulation added (L0–L3), on a uniform
+//! genome (*Synthetic 32*) and a skewed one (Human surrogate).
+
+use dakc::{count_kmers_sim, DakcConfig};
+use dakc_bench::{fmt_secs, BenchArgs, Table};
+use dakc_sim::MachineConfig;
+
+fn main() {
+    let mut args = BenchArgs::from_env();
+    // This figure's effect (per-item software overhead amortized by L2)
+    // depends on the node shape; default to the paper's 24 cores/node
+    // unless the user overrode --ppn.
+    if args.pes_per_node == BenchArgs::default().pes_per_node {
+        args.pes_per_node = 24;
+    }
+    args.banner(
+        "Fig 12 — aggregation-layer ablation (L0-L1 vs +L2 vs +L3)",
+        "paper Fig 12",
+    );
+
+    let dataset_names: Vec<&str> = vec!["Synthetic 32", "SRR28206931"];
+    let node_counts: Vec<usize> = if args.quick {
+        vec![8, 32]
+    } else {
+        vec![4, 8, 16, 32, 64]
+    };
+    let k = 31;
+
+    let mut t = Table::new(&[
+        "Dataset",
+        "Nodes",
+        "L0-L1",
+        "L0-L2",
+        "L0-L3",
+        "L2 speedup",
+        "L3 speedup",
+        "heavy pairs",
+        "occ compressed",
+    ]);
+
+    for name in &dataset_names {
+        let (spec, reads) = dakc_bench::load_dataset(name, &args);
+        eprintln!("# {name}: {} reads", reads.len());
+        for &nodes in &node_counts {
+            let mut machine = MachineConfig::phoenix_intel(nodes);
+            machine.pes_per_node = args.pes_per_node;
+
+            let l01 = count_kmers_sim::<u64>(
+                &reads,
+                &DakcConfig::scaled_defaults(k).l0_l1_only(),
+                &machine,
+            )
+            .expect("L0-L1");
+            let l02 =
+                count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(k), &machine)
+                    .expect("L0-L2");
+            let l03 = count_kmers_sim::<u64>(
+                &reads,
+                &DakcConfig::scaled_defaults(k).with_l3(),
+                &machine,
+            )
+            .expect("L0-L3");
+            assert_eq!(l01.counts, l03.counts, "{name}@{nodes}");
+
+            let (a, b, c) = (
+                l01.report.total_time,
+                l02.report.total_time,
+                l03.report.total_time,
+            );
+            let agg = l03.total_agg();
+            t.row(vec![
+                spec.name.to_string(),
+                nodes.to_string(),
+                fmt_secs(a),
+                fmt_secs(b),
+                fmt_secs(c),
+                format!("{:.2}x", a / b),
+                format!("{:.2}x", a / c),
+                agg.heavy_pairs.to_string(),
+                agg.occurrences_compressed.to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    println!(
+        "paper shape: on the uniform Synthetic 32, L2's packet packing speeds the\n\
+         run up (paper: ≈2x; here ≈1.5x end-to-end, ≈1.8x on phase 1 — the\n\
+         shared phase-2 sort caps the total) and L3 adds nothing (no heavy\n\
+         hitters to compress). On the Human genome L3 is essential — its\n\
+         pre-accumulation collapses the high-frequency k-mers, cutting both\n\
+         volume and owner-PE load imbalance (paper: up to 66x at 256 nodes)."
+    );
+}

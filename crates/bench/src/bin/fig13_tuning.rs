@@ -1,0 +1,84 @@
+//! Fig 13: tuning the application-layer parameters — C2 (packing factor)
+//! and C3 (heavy-hitter buffer length) — as slowdown relative to the
+//! defaults (C2 = 32, C3 = 10⁴ at paper scale).
+
+use dakc::{count_kmers_sim, DakcConfig};
+use dakc_bench::{fmt_secs, BenchArgs, Table};
+use dakc_sim::MachineConfig;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    args.banner("Fig 13 — C2 and C3 tuning", "paper Fig 13a/13b");
+
+    let nodes = 16usize;
+    let k = 31;
+    let mut machine = MachineConfig::phoenix_intel(nodes);
+    machine.pes_per_node = args.pes_per_node;
+
+    // --- Fig 13a: C2 sweep on a uniform genome ---
+    let (_, reads) = dakc_bench::load_dataset(if args.quick { "Synthetic 27" } else { "Synthetic 29" }, &args);
+    let default_cfg = DakcConfig::scaled_defaults(k);
+    let t_default = count_kmers_sim::<u64>(&reads, &default_cfg, &machine)
+        .expect("default")
+        .report
+        .total_time;
+
+    println!("-- Fig 13a: C2 sweep (default C2 = 32) --");
+    let mut t = Table::new(&["C2", "Time", "Slowdown vs C2=32"]);
+    let c2s: Vec<usize> = if args.quick { vec![2, 8, 32] } else { vec![2, 4, 8, 16, 32, 64, 128] };
+    for c2 in c2s {
+        let mut cfg = default_cfg.clone();
+        cfg.c2 = c2;
+        let time = count_kmers_sim::<u64>(&reads, &cfg, &machine)
+            .expect("c2 run")
+            .report
+            .total_time;
+        t.row(vec![
+            c2.to_string(),
+            fmt_secs(time),
+            format!("{:.2}x", time / t_default),
+        ]);
+    }
+    t.print();
+    println!("paper shape: flat for C2 >= 8, degrades for C2 <= 4.\n");
+
+    // --- Fig 13b: C3 sweep on the skewed Human surrogate ---
+    let (_, reads) = dakc_bench::load_dataset("SRR28206931", &args);
+    let base_cfg = DakcConfig::scaled_defaults(k).with_l3();
+    let t_default = count_kmers_sim::<u64>(&reads, &base_cfg, &machine)
+        .expect("default c3")
+        .report
+        .total_time;
+
+    println!(
+        "-- Fig 13b: C3 sweep on the Human surrogate (default C3 = {}) --",
+        base_cfg.c3
+    );
+    let mut t = Table::new(&["C3", "Time", "Slowdown vs default"]);
+    let c3s: Vec<usize> = if args.quick {
+        vec![128, 2048, 262_144]
+    } else {
+        vec![32, 128, 512, 2_048, 16_384, 131_072, 1_048_576]
+    };
+    for c3 in c3s {
+        let mut cfg = base_cfg.clone();
+        cfg.c3 = c3;
+        let time = count_kmers_sim::<u64>(&reads, &cfg, &machine)
+            .expect("c3 run")
+            .report
+            .total_time;
+        t.row(vec![
+            c3.to_string(),
+            fmt_secs(time),
+            format!("{:.2}x", time / t_default),
+        ]);
+    }
+    t.print();
+    println!(
+        "paper shape: flat over the middle decades (10^3-10^6 at paper scale);\n\
+         very low C3 fails to compress the heavy hitters. The paper's high-end\n\
+         penalty (the L3 sort spilling out of cache) is not reachable at 2^-12\n\
+         input scale: per-PE data runs out before the buffer can outgrow the\n\
+         cache share (see EXPERIMENTS.md)."
+    );
+}

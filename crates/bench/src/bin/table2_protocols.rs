@@ -1,0 +1,62 @@
+//! Table II: the three Conveyors protocols — topology, memory scaling,
+//! hop counts — verified by measurement over the routing implementation.
+
+use dakc_bench::{BenchArgs, Table};
+use dakc_conveyors::{Protocol, Topology};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    args.banner("Table II — Conveyors protocols", "paper Table II");
+
+    let mut t = Table::new(&[
+        "Protocol",
+        "Topology",
+        "P",
+        "Buffers/PE",
+        "P^x (expected)",
+        "MaxHops(measured)",
+        "MeanHops(measured)",
+    ]);
+
+    for proto in [Protocol::OneD, Protocol::TwoD, Protocol::ThreeD] {
+        for p in [64usize, 1024, 4096] {
+            let topo = Topology::new(proto, p);
+            // Measure hops over all (src, dst) pairs (sampled for big P).
+            // The stride is forced odd so samples don't align with the
+            // power-of-two grid sides (which would only visit one column).
+            let stride = ((p / 64).max(1)) | 1;
+            let mut max_hops = 0usize;
+            let mut total = 0usize;
+            let mut pairs = 0usize;
+            for s in (0..p).step_by(stride) {
+                for d in (0..p).step_by(stride) {
+                    if s == d {
+                        continue;
+                    }
+                    let h = topo.hops(s, d);
+                    max_hops = max_hops.max(h);
+                    total += h;
+                    pairs += 1;
+                }
+            }
+            let name = match proto {
+                Protocol::OneD => "All-Connected",
+                Protocol::TwoD => "2D HyperX",
+                Protocol::ThreeD => "3D HyperX",
+            };
+            t.row(vec![
+                format!("{proto:?}"),
+                name.into(),
+                p.to_string(),
+                topo.out_degree(0).to_string(),
+                format!("{:.0}", (p as f64).powf(proto.exponent())),
+                max_hops.to_string(),
+                format!("{:.2}", total as f64 / pairs as f64),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "paper: 1D = O(P^2) total memory / 1 hop; 2D = O(P^1.5) / 2 hops; 3D = O(P^4/3) / 3 hops."
+    );
+}

@@ -1,0 +1,61 @@
+//! Table III: the aggregation parameters and their memory per PE.
+
+use dakc::DakcConfig;
+use dakc_bench::{fmt_bytes, BenchArgs, Table};
+use dakc_conveyors::{Protocol, Topology};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    args.banner("Table III — Aggregation Parameters", "paper Table III");
+
+    let cfg = DakcConfig::paper_defaults(31);
+    // The paper quotes per-PE numbers on the full machine: 256 nodes × 24.
+    let p = 256 * 24;
+
+    let mut t = Table::new(&[
+        "Scope",
+        "Layer",
+        "Buffers/PE",
+        "Elements/Buffer",
+        "Memory/PE",
+    ]);
+    for proto in [Protocol::OneD, Protocol::TwoD, Protocol::ThreeD] {
+        let topo = Topology::new(proto, p);
+        let bufs = topo.out_degree(0);
+        t.row(vec![
+            "Runtime".into(),
+            format!("L0 ({proto:?})"),
+            format!("{bufs} (P^{:.2})", proto.exponent()),
+            "40 KiB each".into(),
+            fmt_bytes(bufs as u64 * cfg.c0_bytes as u64),
+        ]);
+    }
+    t.row(vec![
+        "Runtime".into(),
+        "L1".into(),
+        "1".into(),
+        format!("C1 = {}", cfg.c1_packets),
+        fmt_bytes(cfg.c1_packets as u64 * (cfg.normal_payload::<u64>() as u64 + 24)),
+    ]);
+    let l2_bytes = p as u64 * (cfg.c2 as u64 * 8 + (cfg.c2 as u64 / 2) * 12);
+    t.row(vec![
+        "Application".into(),
+        "L2".into(),
+        format!("{p} (P)"),
+        format!("C2 = {}", cfg.c2),
+        fmt_bytes(l2_bytes),
+    ]);
+    t.row(vec![
+        "Application".into(),
+        "L3".into(),
+        "1".into(),
+        format!("C3 = {}", cfg.c3),
+        fmt_bytes(cfg.c3 as u64 * 8),
+    ]);
+    t.print();
+
+    println!(
+        "paper reference values: L0 = 40K x P^x B, L1 = 264 KB (C1 = 1024),\n\
+         L2 = 264 x P B (C2 = 32), L3 = 80 KB (C3 = 10^4)."
+    );
+}

@@ -1,0 +1,74 @@
+//! Table IV (machine model parameters) plus the §VII operational-intensity
+//! analysis (op-to-byte ratio vs hardware balance).
+
+use dakc_bench::{BenchArgs, Table};
+use dakc_model::{balance, Workload};
+use dakc_sim::MachineConfig;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    args.banner(
+        "Table IV — Model parameters for Phoenix + §VII op-to-byte analysis",
+        "paper Table IV, §VII",
+    );
+
+    let m = MachineConfig::phoenix_intel(1);
+    let mut t = Table::new(&["Parameter", "Symbol", "Intel Node"]);
+    t.row(vec![
+        "Peak INT64".into(),
+        "C_node".into(),
+        format!("{:.1} GOp/s", m.node_ops_per_sec / 1e9),
+    ]);
+    t.row(vec![
+        "Memory Bandwidth".into(),
+        "beta_mem".into(),
+        format!("{:.1} GB/s", m.mem_bandwidth / 1e9),
+    ]);
+    t.row(vec![
+        "Fast Memory".into(),
+        "Z".into(),
+        format!("{} MB", m.cache_bytes >> 20),
+    ]);
+    t.row(vec![
+        "Cacheline size".into(),
+        "L".into(),
+        format!("{} B", m.line_bytes),
+    ]);
+    t.row(vec![
+        "Link Bandwidth".into(),
+        "beta_link".into(),
+        format!("{:.1} GB/s", m.link_bandwidth / 1e9),
+    ]);
+    t.print();
+
+    println!("== §VII operational intensity ==");
+    let w = Workload {
+        n_reads: 357_913_900,
+        read_len: 150,
+        k: 31,
+    };
+    let intensity = balance::op_to_byte_ratio(&w);
+    let mut t = Table::new(&["Quantity", "Value", "Paper"]);
+    t.row(vec![
+        "DAKC op-to-byte (iadd64/B)".into(),
+        format!("{intensity:.3}"),
+        "~0.12".into(),
+    ]);
+    t.row(vec![
+        "Phoenix CPU balance".into(),
+        format!("{:.2}", balance::hardware_balance(121.9e9, 46.9e9)),
+        "~2.6".into(),
+    ]);
+    t.row(vec![
+        "NVIDIA H100 balance".into(),
+        format!("{:.2}", balance::hardware_balance(27.8e12, 3.35e12)),
+        "~8.3".into(),
+    ]);
+    t.print();
+    println!(
+        "conclusion: intensity {:.3} << balance {:.1} — k-mer counting is bandwidth-bound\n\
+         on CPUs and would be even more compute-underutilized on GPUs (paper §VII).",
+        intensity,
+        balance::hardware_balance(121.9e9, 46.9e9)
+    );
+}

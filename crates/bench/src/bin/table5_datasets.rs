@@ -1,0 +1,36 @@
+//! Table V: the dataset registry, with paper-scale and active-scale sizes.
+
+use dakc_bench::{BenchArgs, Table};
+use dakc_io::datasets::table_v;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    args.banner("Table V — Datasets Used in Experiments", "paper Table V");
+
+    let mut t = Table::new(&[
+        "Data",
+        "Reads(paper)",
+        "ReadLen",
+        "FastqSize(paper)",
+        "Name",
+        "Coverage",
+        "L3?",
+        "Reads(scaled)",
+        "Genome(scaled)",
+    ]);
+    for d in table_v() {
+        let s = d.scaled(args.scale_shift);
+        t.row(vec![
+            d.name.to_string(),
+            d.paper_reads.to_string(),
+            d.read_len.to_string(),
+            d.fastq_size.to_string(),
+            d.organism.unwrap_or("-").to_string(),
+            format!("{:.0}x", d.coverage()),
+            if d.needs_l3() { "yes" } else { "no" }.to_string(),
+            s.num_reads.to_string(),
+            s.genome_bases.to_string(),
+        ]);
+    }
+    t.print();
+}

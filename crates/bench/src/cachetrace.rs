@@ -1,0 +1,174 @@
+//! Cache-trace drivers for the Fig 3 model-validation experiment.
+//!
+//! The paper validates its cache-miss model against PAPI last-level-cache
+//! counters. Our stand-in is [`dakc_sim::CacheSim`]: we replay the memory
+//! access pattern of one PE's phase-1 and phase-2 work through a
+//! set-associative LRU cache and count misses.
+//!
+//! * **Phase 1** streams the read bytes (region A) and appends packed
+//!   k-mers to the output array (region B). The model (Eq 10) predicts the
+//!   same two streams under an *optimal* replacement policy, so measured
+//!   LRU misses land slightly above prediction — the relationship Fig 3
+//!   reports.
+//! * **Phase 2** replays the byte-wise MSD radix recursion the hybrid
+//!   sorter performs: at each level a histogram read pass and a scatter
+//!   pass over the level's partition, recursing into 256 sub-buckets until
+//!   a bucket falls under the comparison-sort cutoff. Once partitions fit
+//!   in cache the recursion stops missing, so measured misses land *below*
+//!   the model's worst case of one full stream per key byte (Eq 13) — the
+//!   paper's exact observation.
+
+use dakc_sim::CacheSim;
+
+/// Misses for one PE's phase-1 work: parse `input_bytes` of reads and
+/// write `kmers × word_bytes` of output.
+pub fn phase1_misses(cache: &mut CacheSim, input_bytes: u64, kmers: u64, word_bytes: u64) -> u64 {
+    cache.reset_counters();
+    let read_base = 0u64;
+    let write_base = 1 << 40; // disjoint region
+    // Interleaved in reality; the streams are long, so interleaving order
+    // barely changes LRU miss counts. Replay them interleaved in chunks to
+    // be faithful.
+    let out_bytes = kmers * word_bytes;
+    let chunk = 4096u64;
+    let mut rd = 0u64;
+    let mut wr = 0u64;
+    while rd < input_bytes || wr < out_bytes {
+        let r = chunk.min(input_bytes - rd);
+        if r > 0 {
+            cache.access_range(read_base + rd, r);
+            rd += r;
+        }
+        // Writes advance proportionally to reads.
+        let target = if input_bytes == 0 {
+            out_bytes
+        } else {
+            (rd as f64 / input_bytes as f64 * out_bytes as f64) as u64
+        };
+        if target > wr {
+            cache.access_range(write_base + wr, target - wr);
+            wr = target;
+        }
+    }
+    cache.misses()
+}
+
+/// Misses for one PE's phase-2 work: byte-wise MSD radix sort of `kmers`
+/// keys of `word_bytes` bytes, with a `cutoff`-element comparison
+/// fallback (the hybrid sorter's behaviour).
+pub fn phase2_misses(cache: &mut CacheSim, kmers: u64, word_bytes: u64, cutoff: u64) -> u64 {
+    cache.reset_counters();
+    let base_a = 2 << 40;
+    let base_b = 3 << 40;
+    msd_trace(cache, base_a, base_b, kmers, word_bytes, word_bytes as usize, cutoff);
+    cache.misses()
+}
+
+/// Recursively replays one MSD level over a partition of `n` keys living
+/// at `src`, scattering into `dst`, then recursing into 256 equal
+/// sub-buckets (miss counts depend on partition sizes, not key values).
+fn msd_trace(
+    cache: &mut CacheSim,
+    src: u64,
+    dst: u64,
+    n: u64,
+    word_bytes: u64,
+    levels_left: usize,
+    cutoff: u64,
+) {
+    if n == 0 || levels_left == 0 {
+        return;
+    }
+    let bytes = n * word_bytes;
+    if n <= cutoff {
+        // Comparison sort: ~two passes over a tiny (cache-resident) range.
+        cache.access_range(src, bytes);
+        cache.access_range(src, bytes);
+        return;
+    }
+    // Histogram pass: read the partition.
+    cache.access_range(src, bytes);
+    // Scatter pass: read again, write to 256 sequential bucket cursors.
+    let bucket = n / 256;
+    let rem = n % 256;
+    let mut read_at = src;
+    let mut write_at = dst;
+    for b in 0..256u64 {
+        let bn = bucket + u64::from(b < rem);
+        let bb = bn * word_bytes;
+        cache.access_range(read_at, bb);
+        cache.access_range(write_at, bb);
+        read_at += bb;
+        write_at += bb;
+    }
+    // Recurse (buckets are contiguous in dst; roles of src/dst swap).
+    let mut at = 0u64;
+    for b in 0..256u64 {
+        let bn = bucket + u64::from(b < rem);
+        if bn > 1 {
+            msd_trace(
+                cache,
+                dst + at,
+                src + at,
+                bn,
+                word_bytes,
+                levels_left - 1,
+                cutoff,
+            );
+        }
+        at += bn * word_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> CacheSim {
+        CacheSim::new(1 << 20, 64, 16) // 1 MiB, 16-way
+    }
+
+    #[test]
+    fn phase1_measured_at_least_model_prediction() {
+        let mut c = cache();
+        let (input, kmers, wb) = (1_000_000u64, 800_000u64, 8u64);
+        let measured = phase1_misses(&mut c, input, kmers, wb);
+        let predicted = (1 + input / 64) + (1 + kmers * wb / 64);
+        // Allow the model's two "+1" stream constants as slack.
+        assert!(
+            measured + 4 >= predicted,
+            "LRU can't beat OPT: measured {measured} < predicted {predicted}"
+        );
+        // …but should be in the same ballpark (within 2×).
+        assert!(measured < 2 * predicted, "measured {measured} vs {predicted}");
+    }
+
+    #[test]
+    fn phase2_measured_below_worst_case_model() {
+        let mut c = cache();
+        let (kmers, wb) = (400_000u64, 8u64);
+        let measured = phase2_misses(&mut c, kmers, wb, 128);
+        let worst_case = (1 + kmers * wb / 64) * wb; // Eq 13 bracket
+        assert!(
+            measured < worst_case,
+            "hybrid recursion should beat the 8-pass worst case: {measured} vs {worst_case}"
+        );
+        assert!(measured > 0);
+    }
+
+    #[test]
+    fn phase2_misses_grow_with_n() {
+        let mut c = cache();
+        let small = phase2_misses(&mut c, 50_000, 8, 128);
+        let mut c = cache();
+        let large = phase2_misses(&mut c, 500_000, 8, 128);
+        assert!(large > 5 * small);
+    }
+
+    #[test]
+    fn empty_workloads() {
+        let mut c = cache();
+        assert_eq!(phase1_misses(&mut c, 0, 0, 8), 0);
+        assert_eq!(phase2_misses(&mut c, 0, 8, 128), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! # dakc-bench — harnesses that regenerate every table and figure
+//!
+//! One binary per experiment (see DESIGN.md §2 for the full index):
+//!
+//! ```text
+//! cargo run --release -p dakc-bench --bin fig07_strong_scaling
+//! cargo run --release -p dakc-bench --bin fig12_aggregation_ablation -- --scale-shift 13
+//! ```
+//!
+//! Every binary prints an aligned table (the paper's rows/series) followed
+//! by a machine-readable CSV block, and always states the active scale
+//! shift so paper-vs-measured comparisons are explicit.
+//!
+//! This library holds what the binaries share: argument parsing
+//! ([`BenchArgs`]), table/CSV rendering ([`Table`]), dataset construction
+//! at the active scale ([`load_dataset`]), and the cache-trace driver for
+//! the Fig 3 model-validation experiment ([`cachetrace`]).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cachetrace;
+
+use dakc_io::datasets::{table_v, DatasetSpec};
+use dakc_io::{ReadSet, DEFAULT_SCALE_SHIFT};
+
+/// Common command-line arguments shared by every harness binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Workload shrink exponent (DESIGN.md §4). Default 12.
+    pub scale_shift: u32,
+    /// Simulated cores per node. The paper's Phoenix Intel nodes have 24;
+    /// scaling harnesses default to 6 so per-PE work stays meaningful at
+    /// ~4000× smaller inputs (stated in every output header).
+    pub pes_per_node: usize,
+    /// `--quick`: trim sweeps for a fast sanity pass.
+    pub quick: bool,
+    /// RNG seed for dataset generation.
+    pub seed: u64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            scale_shift: DEFAULT_SCALE_SHIFT,
+            pes_per_node: 6,
+            quick: false,
+            seed: 42,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `--scale-shift N`, `--ppn N`, `--seed N` and `--quick` from
+    /// `std::env::args`, ignoring anything it does not recognize.
+    pub fn from_env() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale-shift" => {
+                    out.scale_shift = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale-shift needs an integer");
+                }
+                "--ppn" => {
+                    out.pes_per_node = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--ppn needs an integer");
+                }
+                "--seed" => {
+                    out.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--quick" => out.quick = true,
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Prints the standard experiment header.
+    pub fn banner(&self, experiment: &str, paper_ref: &str) {
+        println!("== {experiment} ==");
+        println!("reproduces : {paper_ref}");
+        println!(
+            "scale      : inputs shrunk 2^{} (≈{}×); node counts as in the paper; {} simulated cores/node",
+            self.scale_shift,
+            1u64 << self.scale_shift,
+            self.pes_per_node
+        );
+        println!();
+    }
+}
+
+/// Finds a Table V dataset by name and generates it at the active scale.
+pub fn load_dataset(name: &str, args: &BenchArgs) -> (DatasetSpec, ReadSet) {
+    let spec = table_v()
+        .into_iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown dataset {name:?}"));
+    let reads = spec.scaled(args.scale_shift).generate(args.seed);
+    (spec, reads)
+}
+
+/// A simple aligned-text table that also emits CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the aligned table followed by a CSV block.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{c:>w$}", w = w));
+            }
+            s
+        };
+        println!("{}", line(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        println!();
+        println!("-- CSV --");
+        println!("{}", self.headers.join(","));
+        for row in &self.rows {
+            println!("{}", row.join(","));
+        }
+        println!();
+    }
+}
+
+/// Formats seconds with engineering-friendly precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.3}us", s * 1e6)
+    }
+}
+
+/// Formats byte counts.
+pub fn fmt_bytes(b: u64) -> String {
+    const K: f64 = 1024.0;
+    let b = b as f64;
+    if b >= K * K * K {
+        format!("{:.2}GiB", b / (K * K * K))
+    } else if b >= K * K {
+        format!("{:.2}MiB", b / (K * K))
+    } else if b >= K {
+        format!("{:.2}KiB", b / K)
+    } else {
+        format!("{b:.0}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_mismatched_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(vec!["1".into()]);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(2.5e-3), "2.500ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.500us");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.00KiB");
+    }
+
+    #[test]
+    fn load_dataset_by_name() {
+        let args = BenchArgs { scale_shift: 16, ..Default::default() };
+        let (spec, reads) = load_dataset("Synthetic 20", &args);
+        assert_eq!(spec.name, "Synthetic 20");
+        assert!(!reads.is_empty());
+    }
+
+    #[test]
+    fn default_args() {
+        let a = BenchArgs::default();
+        assert_eq!(a.scale_shift, 12);
+        assert!(!a.quick);
+    }
+}

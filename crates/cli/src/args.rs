@@ -1,0 +1,378 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use dakc_conveyors::Protocol;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `dakc count <input> [-k N] [--threads N] [--canonical] [--l3 C3] [-o out]`
+    Count(CountArgs),
+    /// `dakc generate --dataset NAME [--scale-shift N] [--seed N] [-o out]`
+    Generate(GenerateArgs),
+    /// `dakc spectrum <counts.tsv> [--max N]`
+    Spectrum(SpectrumArgs),
+    /// `dakc simulate <input> [-k N] [--nodes N] [--ppn N] [--protocol 1d|2d|3d] [--l3]`
+    Simulate(SimulateArgs),
+    /// `dakc model --dataset NAME [--nodes N]`
+    Model(ModelArgs),
+    /// `dakc compare <input> [-k N] [--nodes N] [--ppn N]`
+    Compare(CompareArgs),
+    /// `dakc help`
+    Help,
+}
+
+/// Arguments of `dakc compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareArgs {
+    /// Input FASTA/FASTQ path.
+    pub input: String,
+    /// k-mer length.
+    pub k: usize,
+    /// Simulated node count.
+    pub nodes: usize,
+    /// Simulated cores per node.
+    pub ppn: usize,
+}
+
+/// Arguments of `dakc count`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountArgs {
+    /// Input FASTA/FASTQ path.
+    pub input: String,
+    /// k-mer length.
+    pub k: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Canonical (strand-neutral) counting.
+    pub canonical: bool,
+    /// Heavy-hitter L3 buffer size, if enabled.
+    pub l3: Option<usize>,
+    /// Output TSV path (stdout if absent).
+    pub output: Option<String>,
+    /// Minimum count to report.
+    pub min_count: u32,
+}
+
+/// Arguments of `dakc generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Table V dataset name.
+    pub dataset: String,
+    /// Scale shift (DESIGN.md §4).
+    pub scale_shift: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output FASTQ path (stdout if absent).
+    pub output: Option<String>,
+}
+
+/// Arguments of `dakc spectrum`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectrumArgs {
+    /// Counts TSV produced by `dakc count`.
+    pub input: String,
+    /// Largest multiplicity bucket to print.
+    pub max: usize,
+}
+
+/// Arguments of `dakc simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// Input FASTA/FASTQ path.
+    pub input: String,
+    /// k-mer length.
+    pub k: usize,
+    /// Simulated node count.
+    pub nodes: usize,
+    /// Simulated cores per node.
+    pub ppn: usize,
+    /// Conveyors protocol.
+    pub protocol: Protocol,
+    /// Enable the L3 heavy-hitter layer.
+    pub l3: bool,
+}
+
+/// Arguments of `dakc model`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArgs {
+    /// Table V dataset name.
+    pub dataset: String,
+    /// Node count `P`.
+    pub nodes: usize,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+dakc — distributed asynchronous k-mer counting
+
+USAGE:
+  dakc count <reads.fasta|fastq> [-k 31] [--threads 8] [--canonical]
+             [--l3 C3] [--min-count 1] [-o counts.tsv]
+  dakc generate --dataset NAME [--scale-shift 12] [--seed 42] [-o out.fastq]
+  dakc spectrum <counts.tsv> [--max 100]
+  dakc simulate <reads> [-k 31] [--nodes 8] [--ppn 24] [--protocol 1d|2d|3d] [--l3]
+  dakc model --dataset NAME [--nodes 32]
+  dakc compare <reads> [-k 31] [--nodes 8] [--ppn 24]
+  dakc help
+
+Dataset names are Table V labels, e.g. \"Synthetic 24\" or \"SRR28206931\".";
+
+fn take_value(args: &mut std::vec::IntoIter<String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(v: String, flag: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("{flag}: invalid value {v:?}"))
+}
+
+/// Parses `argv` (including the program name at index 0).
+pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
+    let mut it = argv.into_iter();
+    let _prog = it.next();
+    let sub = it.next().ok_or_else(|| USAGE.to_string())?;
+    match sub.as_str() {
+        "count" => {
+            let mut input = None;
+            let mut a = CountArgs {
+                input: String::new(),
+                k: 31,
+                threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+                canonical: false,
+                l3: None,
+                output: None,
+                min_count: 1,
+            };
+            let mut rest: Vec<String> = it.collect();
+            let mut args = std::mem::take(&mut rest).into_iter();
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "-k" => a.k = parse_num(take_value(&mut args, "-k")?, "-k")?,
+                    "--threads" => {
+                        a.threads = parse_num(take_value(&mut args, "--threads")?, "--threads")?
+                    }
+                    "--canonical" => a.canonical = true,
+                    "--l3" => a.l3 = Some(parse_num(take_value(&mut args, "--l3")?, "--l3")?),
+                    "-o" | "--output" => a.output = Some(take_value(&mut args, "-o")?),
+                    "--min-count" => {
+                        a.min_count =
+                            parse_num(take_value(&mut args, "--min-count")?, "--min-count")?
+                    }
+                    other if !other.starts_with('-') && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(format!("count: unknown argument {other:?}")),
+                }
+            }
+            a.input = input.ok_or("count: missing input file")?;
+            if a.k == 0 || a.k > 64 {
+                return Err("count: k must be in 1..=64".into());
+            }
+            Ok(Command::Count(a))
+        }
+        "generate" => {
+            let mut a = GenerateArgs {
+                dataset: String::new(),
+                scale_shift: dakc_io::DEFAULT_SCALE_SHIFT,
+                seed: 42,
+                output: None,
+            };
+            let mut args = it;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--dataset" => a.dataset = take_value(&mut args, "--dataset")?,
+                    "--scale-shift" => {
+                        a.scale_shift =
+                            parse_num(take_value(&mut args, "--scale-shift")?, "--scale-shift")?
+                    }
+                    "--seed" => a.seed = parse_num(take_value(&mut args, "--seed")?, "--seed")?,
+                    "-o" | "--output" => a.output = Some(take_value(&mut args, "-o")?),
+                    other => return Err(format!("generate: unknown argument {other:?}")),
+                }
+            }
+            if a.dataset.is_empty() {
+                return Err("generate: --dataset is required".into());
+            }
+            Ok(Command::Generate(a))
+        }
+        "spectrum" => {
+            let mut input = None;
+            let mut max = 100usize;
+            let mut args = it;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--max" => max = parse_num(take_value(&mut args, "--max")?, "--max")?,
+                    other if !other.starts_with('-') && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(format!("spectrum: unknown argument {other:?}")),
+                }
+            }
+            Ok(Command::Spectrum(SpectrumArgs {
+                input: input.ok_or("spectrum: missing input file")?,
+                max,
+            }))
+        }
+        "simulate" => {
+            let mut input = None;
+            let mut a = SimulateArgs {
+                input: String::new(),
+                k: 31,
+                nodes: 8,
+                ppn: 24,
+                protocol: Protocol::OneD,
+                l3: false,
+            };
+            let mut args = it;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "-k" => a.k = parse_num(take_value(&mut args, "-k")?, "-k")?,
+                    "--nodes" => a.nodes = parse_num(take_value(&mut args, "--nodes")?, "--nodes")?,
+                    "--ppn" => a.ppn = parse_num(take_value(&mut args, "--ppn")?, "--ppn")?,
+                    "--l3" => a.l3 = true,
+                    "--protocol" => {
+                        a.protocol = match take_value(&mut args, "--protocol")?.as_str() {
+                            "1d" | "1D" => Protocol::OneD,
+                            "2d" | "2D" => Protocol::TwoD,
+                            "3d" | "3D" => Protocol::ThreeD,
+                            other => return Err(format!("unknown protocol {other:?}")),
+                        }
+                    }
+                    other if !other.starts_with('-') && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(format!("simulate: unknown argument {other:?}")),
+                }
+            }
+            a.input = input.ok_or("simulate: missing input file")?;
+            Ok(Command::Simulate(a))
+        }
+        "model" => {
+            let mut a = ModelArgs { dataset: String::new(), nodes: 32 };
+            let mut args = it;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--dataset" => a.dataset = take_value(&mut args, "--dataset")?,
+                    "--nodes" => a.nodes = parse_num(take_value(&mut args, "--nodes")?, "--nodes")?,
+                    other => return Err(format!("model: unknown argument {other:?}")),
+                }
+            }
+            if a.dataset.is_empty() {
+                return Err("model: --dataset is required".into());
+            }
+            Ok(Command::Model(a))
+        }
+        "compare" => {
+            let mut input = None;
+            let mut a = CompareArgs { input: String::new(), k: 31, nodes: 8, ppn: 24 };
+            let mut args = it;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "-k" => a.k = parse_num(take_value(&mut args, "-k")?, "-k")?,
+                    "--nodes" => a.nodes = parse_num(take_value(&mut args, "--nodes")?, "--nodes")?,
+                    "--ppn" => a.ppn = parse_num(take_value(&mut args, "--ppn")?, "--ppn")?,
+                    other if !other.starts_with('-') && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(format!("compare: unknown argument {other:?}")),
+                }
+            }
+            a.input = input.ok_or("compare: missing input file")?;
+            Ok(Command::Compare(a))
+        }
+        "help" | "-h" | "--help" => Ok(Command::Help),
+        other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        std::iter::once("dakc".to_string())
+            .chain(s.split_whitespace().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn parse_count_full() {
+        let cmd = parse_args(argv("count in.fq -k 21 --threads 4 --canonical --l3 1024 -o out.tsv --min-count 2")).unwrap();
+        let Command::Count(a) = cmd else { panic!("not count") };
+        assert_eq!(a.input, "in.fq");
+        assert_eq!(a.k, 21);
+        assert_eq!(a.threads, 4);
+        assert!(a.canonical);
+        assert_eq!(a.l3, Some(1024));
+        assert_eq!(a.output.as_deref(), Some("out.tsv"));
+        assert_eq!(a.min_count, 2);
+    }
+
+    #[test]
+    fn parse_count_defaults() {
+        let cmd = parse_args(argv("count reads.fa")).unwrap();
+        let Command::Count(a) = cmd else { panic!() };
+        assert_eq!(a.k, 31);
+        assert!(!a.canonical);
+        assert_eq!(a.min_count, 1);
+    }
+
+    #[test]
+    fn count_requires_input() {
+        assert!(parse_args(argv("count -k 31")).is_err());
+    }
+
+    #[test]
+    fn count_rejects_bad_k() {
+        assert!(parse_args(argv("count in.fq -k 0")).is_err());
+        assert!(parse_args(argv("count in.fq -k 65")).is_err());
+        assert!(parse_args(argv("count in.fq -k banana")).is_err());
+    }
+
+    #[test]
+    fn parse_generate() {
+        let cmd =
+            parse_args(argv("generate --dataset SRR28206931 --scale-shift 14 --seed 7")).unwrap();
+        let Command::Generate(a) = cmd else { panic!() };
+        assert_eq!(a.dataset, "SRR28206931");
+        assert_eq!(a.scale_shift, 14);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn parse_simulate_protocols() {
+        for (txt, proto) in [("1d", Protocol::OneD), ("2D", Protocol::TwoD), ("3d", Protocol::ThreeD)] {
+            let cmd =
+                parse_args(argv(&format!("simulate r.fq --protocol {txt} --nodes 4"))).unwrap();
+            let Command::Simulate(a) = cmd else { panic!() };
+            assert_eq!(a.protocol, proto);
+            assert_eq!(a.nodes, 4);
+        }
+    }
+
+    #[test]
+    fn parse_model_and_help() {
+        assert!(matches!(parse_args(argv("help")).unwrap(), Command::Help));
+        let Command::Model(a) = parse_args(argv("model --dataset \"Synthetic\" --nodes 4")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.nodes, 4);
+    }
+
+    #[test]
+    fn parse_compare() {
+        let Command::Compare(a) = parse_args(argv("compare r.fq --nodes 4 --ppn 6 -k 21")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.nodes, 4);
+        assert_eq!(a.ppn, 6);
+        assert_eq!(a.k, 21);
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(parse_args(argv("frobnicate")).is_err());
+        assert!(parse_args(vec!["dakc".into()]).is_err());
+    }
+}

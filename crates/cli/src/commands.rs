@@ -1,0 +1,393 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+
+use dakc::{count_kmers_sim, count_kmers_threaded, DakcConfig};
+use dakc_io::{fastx, ReadSet};
+use dakc_kmer::{CanonicalMode, KmerWord};
+use dakc_model::{CommModel, Model, Workload};
+use dakc_sim::MachineConfig;
+
+use crate::args::{
+    Command, CompareArgs, CountArgs, GenerateArgs, ModelArgs, SimulateArgs, SpectrumArgs, USAGE,
+};
+
+/// Runs a parsed command.
+pub fn dispatch(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Count(a) => count(a),
+        Command::Generate(a) => generate(a),
+        Command::Spectrum(a) => spectrum(a),
+        Command::Simulate(a) => simulate(a),
+        Command::Model(a) => model(a),
+        Command::Compare(a) => compare(a),
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+    }
+}
+
+/// Loads reads from a FASTA or FASTQ file (sniffed from the first byte).
+pub fn load_reads(path: &str) -> Result<ReadSet, String> {
+    let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut reader = BufReader::new(f);
+    let first = {
+        let buf = reader.fill_buf().map_err(|e| e.to_string())?;
+        buf.first().copied()
+    };
+    let records = match first {
+        Some(b'>') => fastx::parse_fasta(reader).map_err(|e| e.to_string())?,
+        Some(b'@') => fastx::parse_fastq(reader).map_err(|e| e.to_string())?,
+        _ => return Err(format!("{path}: not FASTA or FASTQ")),
+    };
+    let mut rs = ReadSet::with_capacity(records.len(), records.iter().map(|r| r.seq.len()).sum());
+    for r in &records {
+        rs.push(&r.seq);
+    }
+    Ok(rs)
+}
+
+fn out_writer(path: &Option<String>) -> Result<Box<dyn Write>, String> {
+    Ok(match path {
+        Some(p) => Box::new(BufWriter::new(
+            File::create(p).map_err(|e| format!("{p}: {e}"))?,
+        )),
+        None => Box::new(BufWriter::new(std::io::stdout())),
+    })
+}
+
+/// Writes counts as TSV lines `KMER<TAB>COUNT`, filtered by `min_count`.
+pub fn write_counts<W: KmerWord>(
+    out: &mut dyn Write,
+    counts: &[dakc_kmer::KmerCount<W>],
+    k: usize,
+    min_count: u32,
+) -> Result<u64, String> {
+    let mut written = 0u64;
+    for c in counts {
+        if c.count >= min_count {
+            writeln!(out, "{}\t{}", c.kmer.to_dna_string(k), c.count)
+                .map_err(|e| e.to_string())?;
+            written += 1;
+        }
+    }
+    Ok(written)
+}
+
+fn count(a: CountArgs) -> Result<(), String> {
+    let reads = load_reads(&a.input)?;
+    let mode = if a.canonical {
+        CanonicalMode::Canonical
+    } else {
+        CanonicalMode::Forward
+    };
+    let mut out = out_writer(&a.output)?;
+    let (written, elapsed, distinct) = if a.k <= 32 {
+        let run = count_kmers_threaded::<u64>(&reads, a.k, mode, a.threads, a.l3);
+        (
+            write_counts(&mut *out, &run.counts, a.k, a.min_count)?,
+            run.elapsed,
+            run.counts.len(),
+        )
+    } else {
+        let run = count_kmers_threaded::<u128>(&reads, a.k, mode, a.threads, a.l3);
+        (
+            write_counts(&mut *out, &run.counts, a.k, a.min_count)?,
+            run.elapsed,
+            run.counts.len(),
+        )
+    };
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "counted {} reads: {distinct} distinct k-mers ({written} ≥ count {}) in {elapsed:?} on {} threads",
+        reads.len(),
+        a.min_count,
+        a.threads
+    );
+    Ok(())
+}
+
+fn generate(a: GenerateArgs) -> Result<(), String> {
+    let spec = dakc_io::table_v()
+        .into_iter()
+        .find(|d| d.name == a.dataset)
+        .ok_or_else(|| format!("unknown dataset {:?}; see `dakc help`", a.dataset))?;
+    let scaled = spec.scaled(a.scale_shift);
+    let reads = scaled.generate(a.seed);
+    let records: Vec<fastx::FastxRecord> = reads
+        .iter()
+        .enumerate()
+        .map(|(i, seq)| fastx::FastxRecord {
+            id: format!("{}.{i}", spec.name.replace(' ', "_")),
+            seq: seq.to_vec(),
+            qual: Some(vec![b'I'; seq.len()]),
+        })
+        .collect();
+    let mut out = out_writer(&a.output)?;
+    fastx::write_fastq(&mut *out, &records).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "generated {} reads x {} bp of {} (scale 2^-{}), seed {}",
+        reads.len(),
+        spec.read_len,
+        spec.name,
+        a.scale_shift,
+        a.seed
+    );
+    Ok(())
+}
+
+fn spectrum(a: SpectrumArgs) -> Result<(), String> {
+    let f = File::open(&a.input).map_err(|e| format!("{}: {e}", a.input))?;
+    let mut spectrum = vec![0u64; a.max + 2];
+    let mut total = 0u64;
+    for (ln, line) in BufReader::new(f).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.is_empty() {
+            continue;
+        }
+        let count: u64 = line
+            .rsplit('\t')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("{}:{}: malformed TSV line", a.input, ln + 1))?;
+        let idx = (count as usize).min(a.max + 1);
+        spectrum[idx] += 1;
+        total += 1;
+    }
+    println!("count\tdistinct_kmers");
+    for (c, &n) in spectrum.iter().enumerate().skip(1) {
+        if n > 0 {
+            let label = if c == a.max + 1 {
+                format!(">{}", a.max)
+            } else {
+                c.to_string()
+            };
+            println!("{label}\t{n}");
+        }
+    }
+    eprintln!("{total} distinct k-mers total");
+    Ok(())
+}
+
+fn simulate(a: SimulateArgs) -> Result<(), String> {
+    let reads = load_reads(&a.input)?;
+    let mut machine = MachineConfig::phoenix_intel(a.nodes);
+    machine.pes_per_node = a.ppn;
+    let mut cfg = DakcConfig::scaled_defaults(a.k);
+    cfg.protocol = a.protocol;
+    if a.l3 {
+        cfg = cfg.with_l3();
+    }
+    let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).map_err(|e| e.to_string())?;
+    let r = &run.report;
+    println!("machine          : {} nodes x {} PEs ({:?} conveyors)", a.nodes, a.ppn, a.protocol);
+    println!("virtual time     : {:.6} s", r.total_time);
+    println!(
+        "phase times      : parse+reshuffle {:.6} s, sort+accumulate {:.6} s",
+        r.phase_time.first().copied().unwrap_or(0.0),
+        r.phase_time.get(1).copied().unwrap_or(0.0)
+    );
+    println!("global barriers  : {}", r.barriers_completed);
+    println!(
+        "traffic          : {} remote B, {} local B, {} messages",
+        r.remote_bytes(),
+        r.local_bytes(),
+        r.total_msgs()
+    );
+    println!("peak node memory : {} B", r.peak_node_memory());
+    println!("load imbalance   : {:.3}", run.load_imbalance());
+    println!("distinct k-mers  : {}", run.counts.len());
+    let [c, i, e] = r.busy_percentages();
+    println!("busy-time split  : {c:.1}% compute, {i:.1}% intranode, {e:.1}% internode");
+    Ok(())
+}
+
+fn model(a: ModelArgs) -> Result<(), String> {
+    let spec = dakc_io::table_v()
+        .into_iter()
+        .find(|d| d.name == a.dataset)
+        .ok_or_else(|| format!("unknown dataset {:?}", a.dataset))?;
+    let w = Workload {
+        n_reads: spec.paper_reads,
+        read_len: spec.read_len as u64,
+        k: 31,
+    };
+    let m = Model::new(MachineConfig::phoenix_intel(a.nodes), w);
+    println!("analytical model for {} on {} Phoenix nodes (paper scale):", spec.name, a.nodes);
+    println!("  phase 1 compute    : {:.3} s", m.t_comp1());
+    println!("  phase 1 intranode  : {:.3} s", m.t_intra1());
+    println!("  phase 1 internode  : {:.3} s", m.t_inter1());
+    println!("  phase 2 compute    : {:.3} s", m.t_comp2());
+    println!("  phase 2 intranode  : {:.3} s", m.t_intra2());
+    println!("  total (Sum model)  : {:.3} s", m.t_total(CommModel::Sum));
+    println!("  total (Max model)  : {:.3} s", m.t_total(CommModel::Max));
+    let [c, i, e] = m.breakdown_percent();
+    println!("  breakdown          : {c:.1}% compute, {i:.1}% intranode, {e:.1}% internode");
+    Ok(())
+}
+
+fn compare(a: CompareArgs) -> Result<(), String> {
+    use dakc_baselines::{count_kmers_bsp_sim, count_kmers_hash_sim, BspConfig, HashKcConfig};
+    let reads = load_reads(&a.input)?;
+    let mut machine = MachineConfig::phoenix_intel(a.nodes);
+    machine.pes_per_node = a.ppn;
+    println!(
+        "comparing counters on {} reads, k = {}, {} nodes x {} PEs (virtual time):\n",
+        reads.len(),
+        a.k,
+        a.nodes,
+        a.ppn
+    );
+    let dakc_run = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(a.k), &machine)
+        .map_err(|e| e.to_string())?;
+    let base = dakc_run.report.total_time;
+    let mut rows: Vec<(&str, f64, u64)> = vec![(
+        "DAKC (FA-BSP)",
+        base,
+        dakc_run.report.barriers_completed,
+    )];
+    let pakman = count_kmers_bsp_sim::<u64>(&reads, &BspConfig::pakman_star(a.k), &machine)
+        .map_err(|e| e.to_string())?;
+    assert_eq!(pakman.counts, dakc_run.counts, "engines disagree");
+    rows.push(("PakMan* (BSP blocking)", pakman.report.total_time, pakman.report.barriers_completed));
+    let hysortk = count_kmers_bsp_sim::<u64>(&reads, &BspConfig::hysortk(a.k), &machine)
+        .map_err(|e| e.to_string())?;
+    rows.push(("HySortK-like (BSP non-blocking)", hysortk.report.total_time, hysortk.report.barriers_completed));
+    let hash = count_kmers_hash_sim::<u64>(&reads, &HashKcConfig::defaults(a.k), &machine)
+        .map_err(|e| e.to_string())?;
+    assert_eq!(hash.counts, dakc_run.counts, "engines disagree");
+    rows.push(("kmerind-like (hash table)", hash.report.total_time, hash.report.barriers_completed));
+    println!("{:<32} {:>12} {:>10} {:>9}", "counter", "time", "vs DAKC", "barriers");
+    for (name, t, b) in rows {
+        println!("{name:<32} {:>10.3}ms {:>9.2}x {b:>9}", t * 1e3, t / base);
+    }
+    println!("\ndistinct k-mers: {}", dakc_run.counts.len());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("dakc-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_count_round_trip() {
+        let fq = tmp("g.fastq");
+        let tsv = tmp("g.tsv");
+        dispatch(
+            parse_args(
+                ["dakc", "generate", "--dataset", "Synthetic 20", "--scale-shift", "16", "-o", &fq]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        dispatch(
+            parse_args(
+                ["dakc", "count", &fq, "-k", "21", "--threads", "2", "-o", &tsv]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&tsv).unwrap();
+        assert!(!body.is_empty());
+        let (kmer, count) = body.lines().next().unwrap().split_once('\t').unwrap();
+        assert_eq!(kmer.len(), 21);
+        assert!(count.parse::<u32>().unwrap() >= 1);
+        // Lines sorted by k-mer.
+        let keys: Vec<&str> = body.lines().map(|l| l.split('\t').next().unwrap()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn count_large_k_uses_u128() {
+        let fq = tmp("big.fastq");
+        std::fs::write(&fq, "@r\nACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIII\n").unwrap();
+        let tsv = tmp("big.tsv");
+        dispatch(
+            parse_args(
+                ["dakc", "count", &fq, "-k", "40", "-o", &tsv]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&tsv).unwrap();
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.starts_with("ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT\t1"));
+    }
+
+    #[test]
+    fn spectrum_of_counts() {
+        let tsv = tmp("s.tsv");
+        std::fs::write(&tsv, "AAA\t1\nAAC\t1\nAAG\t5\n").unwrap();
+        dispatch(Command::Spectrum(crate::args::SpectrumArgs { input: tsv, max: 10 })).unwrap();
+    }
+
+    #[test]
+    fn load_reads_sniffs_fasta_and_fastq() {
+        let fa = tmp("x.fasta");
+        std::fs::write(&fa, ">a\nACGT\n").unwrap();
+        assert_eq!(load_reads(&fa).unwrap().len(), 1);
+        let fq = tmp("x.fastq");
+        std::fs::write(&fq, "@a\nACGT\n+\nIIII\n").unwrap();
+        assert_eq!(load_reads(&fq).unwrap().len(), 1);
+        let bad = tmp("x.bin");
+        std::fs::write(&bad, "garbage").unwrap();
+        assert!(load_reads(&bad).is_err());
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let counts = vec![
+            dakc_kmer::KmerCount::new(0u64, 1),
+            dakc_kmer::KmerCount::new(1u64, 3),
+        ];
+        let mut buf = Vec::new();
+        let written = write_counts(&mut buf, &counts, 3, 2).unwrap();
+        assert_eq!(written, 1);
+        assert_eq!(String::from_utf8(buf).unwrap(), "AAC\t3\n");
+    }
+
+    #[test]
+    fn compare_command_runs() {
+        let fq = tmp("cmp.fastq");
+        std::fs::write(
+            &fq,
+            "@r\nACGTACGTACGGTTACAGGACCATGGACCAGT\n+\nIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIII\n",
+        )
+        .unwrap();
+        dispatch(Command::Compare(crate::args::CompareArgs {
+            input: fq,
+            k: 11,
+            nodes: 2,
+            ppn: 2,
+        }))
+        .unwrap();
+    }
+
+    #[test]
+    fn model_command_runs() {
+        dispatch(Command::Model(crate::args::ModelArgs {
+            dataset: "Synthetic 30".into(),
+            nodes: 32,
+        }))
+        .unwrap();
+    }
+}

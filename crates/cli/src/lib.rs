@@ -1,0 +1,29 @@
+//! # dakc-cli — the `dakc` command-line tool
+//!
+//! A small front end over the workspace's public APIs, shaped like the
+//! tools the paper compares against (KMC3's `kmc`, etc.):
+//!
+//! ```text
+//! dakc count    reads.fastq -k 31 --threads 8 -o counts.tsv
+//! dakc generate --dataset "Synthetic 24" --scale-shift 12 -o reads.fastq
+//! dakc spectrum counts.tsv --max 100
+//! dakc simulate reads.fastq -k 31 --nodes 16 --protocol 1d
+//! dakc model    --dataset "Synthetic 30" --nodes 32
+//! ```
+//!
+//! The library half holds the argument parsing and subcommand
+//! implementations so they are unit-testable; `main.rs` is a thin shim.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command};
+
+/// Entry point used by the binary: parse and dispatch.
+pub fn run(argv: Vec<String>) -> Result<(), String> {
+    let cmd = parse_args(argv)?;
+    commands::dispatch(cmd)
+}

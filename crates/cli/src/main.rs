@@ -1,0 +1,8 @@
+//! The `dakc` binary: a thin shim over [`dakc_cli::run`].
+
+fn main() {
+    if let Err(e) = dakc_cli::run(std::env::args().collect()) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

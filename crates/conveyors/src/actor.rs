@@ -1,0 +1,142 @@
+//! The L1 layer: HClib-Actor-style staging (paper §IV-B).
+//!
+//! The actor runtime buffers `C1` packets per PE before handing them to the
+//! conveyor, "ensuring a seamless execution when the Conveyors buffers are
+//! full and/or busy" — and hiding all conveyor API calls from the
+//! application. [`Actor`] is that façade: applications only ever call
+//! [`Actor::send`], [`Actor::progress`] and [`Actor::begin_drain`].
+
+use dakc_sim::{Ctx, PeId};
+
+use crate::conveyor::{ConvStats, Conveyor, ConveyorConfig};
+
+/// Software cost of staging one packet in the L1 buffer, in integer ops.
+pub const STAGE_ITEM_OPS: u64 = 16;
+
+/// L1 configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActorConfig {
+    /// Packets staged before draining into the conveyor (Table III:
+    /// `C1 = 1024`).
+    pub c1_packets: usize,
+    /// The underlying conveyor configuration.
+    pub conveyor: ConveyorConfig,
+}
+
+impl ActorConfig {
+    /// Table III defaults over the given conveyor config.
+    pub fn paper_defaults(conveyor: ConveyorConfig) -> Self {
+        Self {
+            c1_packets: 1024,
+            conveyor,
+        }
+    }
+}
+
+/// One staged packet: destination, channel, payload bytes (flat storage).
+#[derive(Debug)]
+struct Staged {
+    dst: PeId,
+    channel: u8,
+    /// Offset range into the flat payload arena.
+    start: usize,
+    len: usize,
+}
+
+/// The per-PE actor endpoint wrapping a [`Conveyor`].
+#[derive(Debug)]
+pub struct Actor {
+    cfg: ActorConfig,
+    conveyor: Conveyor,
+    staged: Vec<Staged>,
+    arena: Vec<u8>,
+}
+
+impl Actor {
+    /// Creates the endpoint and registers L1 buffer memory.
+    pub fn new(cfg: ActorConfig, ctx: &mut Ctx<'_>) -> Self {
+        let conveyor = Conveyor::new(cfg.conveyor.clone(), ctx);
+        // L1 memory: C1 packets of the largest channel budget plus
+        // bookkeeping (Table III charges 264 B per element).
+        let max_payload = cfg
+            .conveyor
+            .channels
+            .iter()
+            .map(|k| k.budget_bytes())
+            .max()
+            .unwrap_or(0);
+        ctx.mem_alloc((cfg.c1_packets * (max_payload + std::mem::size_of::<Staged>())) as u64);
+        Self {
+            cfg,
+            conveyor,
+            staged: Vec::new(),
+            arena: Vec::new(),
+        }
+    }
+
+    /// Queues one packet for `dst`; drains to the conveyor when `C1`
+    /// packets are staged.
+    pub fn send(&mut self, ctx: &mut Ctx<'_>, dst: PeId, channel: u8, payload: &[u8]) {
+        let start = self.arena.len();
+        self.arena.extend_from_slice(payload);
+        self.staged.push(Staged {
+            dst,
+            channel,
+            start,
+            len: payload.len(),
+        });
+        // Staging cost: copy into the L1 arena plus bookkeeping.
+        ctx.charge_ops(payload.len() as u64 / 8 + STAGE_ITEM_OPS);
+        if self.staged.len() >= self.cfg.c1_packets {
+            self.drain_l1(ctx);
+        }
+    }
+
+    /// Moves all staged packets into the conveyor's L0 buffers.
+    fn drain_l1(&mut self, ctx: &mut Ctx<'_>) {
+        let staged = std::mem::take(&mut self.staged);
+        let arena = std::mem::take(&mut self.arena);
+        for s in &staged {
+            self.conveyor
+                .push(ctx, s.dst, s.channel, &arena[s.start..s.start + s.len]);
+        }
+    }
+
+    /// Polls and processes arrivals (delivery + relaying), exactly like
+    /// the actor runtime's background progress loop.
+    pub fn progress(&mut self, ctx: &mut Ctx<'_>, deliver: &mut dyn FnMut(u8, &[u8])) {
+        self.conveyor.progress(ctx, deliver);
+    }
+
+    /// Flushes L1 and L0 and enters draining mode (call once the
+    /// application has produced all its packets, before the global
+    /// barrier).
+    pub fn begin_drain(&mut self, ctx: &mut Ctx<'_>) {
+        self.drain_l1(ctx);
+        self.conveyor.begin_drain(ctx);
+    }
+
+    /// Conveyor counters.
+    pub fn conveyor_stats(&self) -> ConvStats {
+        self.conveyor.stats()
+    }
+
+    /// The wrapped conveyor (for topology/memory queries).
+    pub fn conveyor(&self) -> &Conveyor {
+        &self.conveyor
+    }
+
+    /// Releases registered buffer memory.
+    pub fn release(&mut self, ctx: &mut Ctx<'_>) {
+        let max_payload = self
+            .cfg
+            .conveyor
+            .channels
+            .iter()
+            .map(|k| k.budget_bytes())
+            .max()
+            .unwrap_or(0);
+        ctx.mem_free((self.cfg.c1_packets * (max_payload + std::mem::size_of::<Staged>())) as u64);
+        self.conveyor.release(ctx);
+    }
+}

@@ -1,0 +1,302 @@
+//! The L0 layer: per-neighbor buffered `PUT`s with routed delivery.
+//!
+//! Mirrors the Conveyors library (§IV-A): every `push` appends a record to
+//! the send buffer of the packet's *next hop*; a full buffer is shipped as
+//! one `PUT` through the simulator transport. Receivers parse arrived
+//! buffers, delivering records addressed to them and re-buffering the rest
+//! toward their next hop (2D/3D relaying).
+//!
+//! ## Wire format
+//!
+//! One `PUT` payload is a concatenation of records:
+//!
+//! ```text
+//! 2D/3D:  [final_dst: u32 LE] [channel: u8] [payload: channel size]
+//! 1D:                         [channel: u8] [payload: channel size]
+//! ```
+//!
+//! The 32-bit final-destination header exists only under routed protocols
+//! — it is exactly the per-packet overhead (§IV-C) that the application's
+//! L2 layer amortizes by packing many k-mers into one record.
+
+use dakc_sim::{Ctx, PeId};
+
+use crate::topo::{Protocol, Topology};
+
+/// Message tag conveyors traffic uses on the simulator transport.
+pub const CONVEYOR_TAG: u32 = 0xC0;
+
+/// Software cost of pushing one record into an L0 buffer, in integer ops
+/// (destination lookup, buffer check, flow control — the per-item work
+/// whose *reduction* is why the paper's L2 packing pays off on uniform
+/// data, §VI-G).
+pub const PUSH_ITEM_OPS: u64 = 40;
+
+/// Software cost of processing one received record.
+pub const PROCESS_ITEM_OPS: u64 = 32;
+
+/// How a channel frames its records on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// Every record carries exactly this many payload bytes (no length
+    /// framing needed).
+    Fixed(usize),
+    /// Records carry a 2-byte length prefix; payloads up to 64 KiB. Used
+    /// by the L2 packed channels, whose final flush ships partial packets
+    /// without padding.
+    Variable,
+}
+
+impl ChannelKind {
+    /// Planning size for buffer-memory accounting.
+    pub fn budget_bytes(self) -> usize {
+        match self {
+            ChannelKind::Fixed(s) => s,
+            ChannelKind::Variable => 256,
+        }
+    }
+}
+
+/// Static conveyor configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConveyorConfig {
+    /// Routing protocol.
+    pub protocol: Protocol,
+    /// Capacity of one L0 send buffer in bytes; a buffer reaching it is
+    /// `PUT` immediately. Table III's production value is 40 KiB; scaled
+    /// experiments use smaller values so multiple flushes occur.
+    pub c0_bytes: usize,
+    /// Framing per channel id. Channel ids index this table.
+    pub channels: Vec<ChannelKind>,
+}
+
+impl ConveyorConfig {
+    /// Table III production defaults (40 KiB L0 buffers).
+    pub fn paper_defaults(protocol: Protocol, channels: Vec<ChannelKind>) -> Self {
+        Self {
+            protocol,
+            c0_bytes: 40 * 1024,
+            channels,
+        }
+    }
+}
+
+/// Conveyor-level counters (hop and item accounting for Table II/Fig 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvStats {
+    /// Records pushed by the local application.
+    pub items_pushed: u64,
+    /// Records delivered to the local application.
+    pub items_delivered: u64,
+    /// Records relayed toward their final destination (2D/3D only).
+    pub items_forwarded: u64,
+    /// `PUT`s issued (buffer flushes).
+    pub puts: u64,
+    /// Application payload bytes pushed (headers excluded).
+    pub payload_bytes_pushed: u64,
+}
+
+/// One PE's conveyor endpoint.
+#[derive(Debug)]
+pub struct Conveyor {
+    me: PeId,
+    topo: Topology,
+    cfg: ConveyorConfig,
+    /// L0 send buffer per direct neighbor, lazily materialized.
+    out: std::collections::HashMap<PeId, Vec<u8>>,
+    draining: bool,
+    stats: ConvStats,
+}
+
+impl Conveyor {
+    /// Header bytes per record under this protocol.
+    fn header_bytes(&self) -> usize {
+        match self.cfg.protocol {
+            Protocol::OneD => 0,
+            Protocol::TwoD | Protocol::ThreeD => 4,
+        }
+    }
+
+    /// Creates the endpoint for PE `me` of `p`, and registers the
+    /// configured buffer memory with the simulator (Fig 2's protocol
+    /// memory overhead).
+    pub fn new(cfg: ConveyorConfig, ctx: &mut Ctx<'_>) -> Self {
+        let me = ctx.pe();
+        let topo = Topology::new(cfg.protocol, ctx.num_pes());
+        let conv = Self {
+            me,
+            topo,
+            cfg,
+            out: std::collections::HashMap::new(),
+            draining: false,
+            stats: ConvStats::default(),
+        };
+        ctx.mem_alloc(conv.configured_buffer_bytes());
+        conv
+    }
+
+    /// Bytes of send-buffer capacity this PE is configured with:
+    /// `out_degree × C0` (Table III's `40K × P^x`).
+    pub fn configured_buffer_bytes(&self) -> u64 {
+        self.topo.out_degree(self.me) as u64 * self.cfg.c0_bytes as u64
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ConvStats {
+        self.stats
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Queues one record for `final_dst` on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload violates the channel's framing (wrong size on
+    /// a fixed channel, > 64 KiB on a variable one) or the channel id is
+    /// unknown.
+    pub fn push(&mut self, ctx: &mut Ctx<'_>, final_dst: PeId, channel: u8, payload: &[u8]) {
+        match self.cfg.channels[channel as usize] {
+            ChannelKind::Fixed(sz) => assert_eq!(
+                payload.len(),
+                sz,
+                "channel {channel} payload size mismatch"
+            ),
+            ChannelKind::Variable => assert!(
+                payload.len() <= u16::MAX as usize,
+                "channel {channel} payload too large"
+            ),
+        }
+        self.stats.items_pushed += 1;
+        self.stats.payload_bytes_pushed += payload.len() as u64;
+        self.enqueue(ctx, final_dst, channel, payload);
+    }
+
+    /// Appends a record to the next hop's buffer, flushing if full.
+    fn enqueue(&mut self, ctx: &mut Ctx<'_>, final_dst: PeId, channel: u8, payload: &[u8]) {
+        let hop = if final_dst == self.me {
+            self.me
+        } else {
+            self.topo.next_hop(self.me, final_dst)
+        };
+        let hdr = self.header_bytes();
+        let variable = matches!(self.cfg.channels[channel as usize], ChannelKind::Variable);
+        let rec_len = hdr + 1 + if variable { 2 } else { 0 } + payload.len();
+        // Buffer append cost: copy plus per-item bookkeeping.
+        ctx.charge_ops(rec_len as u64 / 8 + PUSH_ITEM_OPS);
+
+        let buf = self.out.entry(hop).or_default();
+        if hdr > 0 {
+            buf.extend_from_slice(&(final_dst as u32).to_le_bytes());
+        }
+        buf.push(channel);
+        if variable {
+            buf.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        }
+        buf.extend_from_slice(payload);
+        if buf.len() >= self.cfg.c0_bytes {
+            let full = self.out.remove(&hop).expect("just filled");
+            self.stats.puts += 1;
+            ctx.send(hop, CONVEYOR_TAG, full);
+        }
+    }
+
+    /// Polls the transport and processes every arrived buffer: records for
+    /// this PE are handed to `deliver(channel, payload)`; others are
+    /// relayed. In draining mode all partially filled buffers are flushed
+    /// afterwards so quiescence can be reached.
+    pub fn progress(&mut self, ctx: &mut Ctx<'_>, deliver: &mut dyn FnMut(u8, &[u8])) {
+        let msgs = ctx.poll();
+        for msg in msgs {
+            debug_assert_eq!(msg.tag, CONVEYOR_TAG);
+            self.process_buffer(ctx, &msg.payload, deliver);
+        }
+        if self.draining {
+            self.flush_all(ctx);
+        }
+    }
+
+    fn process_buffer(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        bytes: &[u8],
+        deliver: &mut dyn FnMut(u8, &[u8]),
+    ) {
+        let hdr = self.header_bytes();
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let final_dst = if hdr > 0 {
+                let d = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("header"));
+                at += 4;
+                d as PeId
+            } else {
+                self.me
+            };
+            let channel = bytes[at];
+            at += 1;
+            let size = match self.cfg.channels[channel as usize] {
+                ChannelKind::Fixed(sz) => sz,
+                ChannelKind::Variable => {
+                    let len =
+                        u16::from_le_bytes(bytes[at..at + 2].try_into().expect("len prefix"));
+                    at += 2;
+                    len as usize
+                }
+            };
+            let payload = &bytes[at..at + size];
+            at += size;
+            // Per-record processing cost.
+            ctx.charge_ops(size as u64 / 8 + PROCESS_ITEM_OPS);
+            if final_dst == self.me {
+                self.stats.items_delivered += 1;
+                deliver(channel, payload);
+            } else {
+                self.stats.items_forwarded += 1;
+                let payload = payload.to_vec();
+                self.enqueue(ctx, final_dst, channel, &payload);
+            }
+        }
+    }
+
+    /// Ships every nonempty buffer immediately, regardless of fill.
+    pub fn flush_all(&mut self, ctx: &mut Ctx<'_>) {
+        // Deterministic flush order.
+        let mut hops: Vec<PeId> = self
+            .out
+            .iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(&h, _)| h)
+            .collect();
+        hops.sort_unstable();
+        for hop in hops {
+            // Remove (not just clear) so idle buffers return their memory:
+            // at 6K PEs the all-connected protocol would otherwise pin
+            // O(P) empty vectors per PE on the host.
+            let buf = self.out.remove(&hop).expect("listed");
+            self.stats.puts += 1;
+            ctx.send(hop, CONVEYOR_TAG, buf);
+        }
+    }
+
+    /// Enters draining mode (the application has produced everything) and
+    /// flushes. While draining, every `progress` call auto-flushes relayed
+    /// records so the global quiescent barrier can complete.
+    pub fn begin_drain(&mut self, ctx: &mut Ctx<'_>) {
+        self.draining = true;
+        self.flush_all(ctx);
+    }
+
+    /// `true` once `begin_drain` was called.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Releases the configured buffer memory (call when the communication
+    /// epoch ends and the buffers are handed back).
+    pub fn release(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.mem_free(self.configured_buffer_bytes());
+    }
+}

@@ -1,0 +1,36 @@
+//! # dakc-conveyors — buffered, routed, asynchronous many-to-many communication
+//!
+//! A reimplementation of the two runtime-owned aggregation layers the paper
+//! builds on (§IV-A/B):
+//!
+//! * **L0 — Conveyors** ([`conveyor`]): per-neighbor send buffers flushed
+//!   with one-sided `PUT`s, with three routing protocols (Table II):
+//!
+//!   | protocol | virtual topology | buffers/PE | hops |
+//!   |----------|------------------|------------|------|
+//!   | 1D       | all-connected    | `O(P)`     | 1    |
+//!   | 2D       | √P × √P HyperX   | `O(√P)`    | ≤ 2  |
+//!   | 3D       | ∛P³ HyperX       | `O(∛P)`    | ≤ 3  |
+//!
+//!   2D/3D packets carry a 32-bit final-destination header — the overhead
+//!   that motivates the paper's application-level L2 packing.
+//!
+//! * **L1 — HClib Actor** ([`actor`]): a per-PE staging buffer of `C1`
+//!   packets drained into the conveyor, decoupling the application from L0
+//!   buffer management exactly as the HClib Actor runtime does.
+//!
+//! Both layers run *inside* [`dakc_sim`] programs: all buffer traffic is
+//! real bytes through the simulator's transport, so protocol memory
+//! (Fig 2), hop counts (Table II) and header overhead (Fig 12) are
+//! measured, not assumed.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod actor;
+pub mod conveyor;
+pub mod topo;
+
+pub use actor::{Actor, ActorConfig};
+pub use conveyor::{ChannelKind, ConvStats, Conveyor, ConveyorConfig};
+pub use topo::{Protocol, Topology};

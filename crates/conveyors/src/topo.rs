@@ -1,0 +1,271 @@
+//! Virtual routing topologies (paper Table II).
+//!
+//! The *virtual* topology dictates which PEs exchange buffers directly —
+//! not the physical interconnect. 1D connects everyone to everyone (one
+//! hop, `O(P)` buffers per PE); 2D arranges PEs in a `rows × cols` grid
+//! where a message first travels along the sender's row to the
+//! destination's column, then down that column (two hops, `O(√P)`
+//! buffers); 3D adds a third axis (three hops, `O(∛P)`).
+//!
+//! Routing fixes coordinates one axis at a time, which makes routes
+//! cycle-free; when `P` is not a perfect square/cube the grid is ragged
+//! and a missing intermediate falls back to a direct hop.
+
+use dakc_sim::PeId;
+
+/// Conveyor routing protocol (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// All-connected, 1 hop, `O(P)` buffers/PE.
+    OneD,
+    /// 2D HyperX, ≤ 2 hops, `O(P^1/2)` buffers/PE.
+    TwoD,
+    /// 3D HyperX, ≤ 3 hops, `O(P^1/3)` buffers/PE.
+    ThreeD,
+}
+
+impl Protocol {
+    /// The `x` exponent of Table III's `P^x` buffer count.
+    pub fn exponent(self) -> f64 {
+        match self {
+            Protocol::OneD => 1.0,
+            Protocol::TwoD => 0.5,
+            Protocol::ThreeD => 1.0 / 3.0,
+        }
+    }
+
+    /// Maximum hops a packet takes (Table II).
+    pub fn max_hops(self) -> usize {
+        match self {
+            Protocol::OneD => 1,
+            Protocol::TwoD => 2,
+            Protocol::ThreeD => 3,
+        }
+    }
+}
+
+/// A concrete routing topology over `p` PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    protocol: Protocol,
+    p: usize,
+    /// 2D: columns per row. 3D: side length.
+    side: usize,
+}
+
+impl Topology {
+    /// Builds the topology for `p` PEs.
+    pub fn new(protocol: Protocol, p: usize) -> Self {
+        assert!(p > 0);
+        let side = match protocol {
+            Protocol::OneD => p,
+            Protocol::TwoD => (p as f64).sqrt().ceil() as usize,
+            Protocol::ThreeD => {
+                let mut s = (p as f64).cbrt().round() as usize;
+                while s * s * s < p {
+                    s += 1;
+                }
+                s
+            }
+        }
+        .max(1);
+        Self { protocol, p, side }
+    }
+
+    /// The protocol this topology implements.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.p
+    }
+
+    /// The next PE a packet at `cur` headed for `dst` must visit.
+    ///
+    /// Returns `dst` itself when they are directly connected (always, for
+    /// 1D). Never returns `cur` for `cur != dst`.
+    pub fn next_hop(&self, cur: PeId, dst: PeId) -> PeId {
+        debug_assert!(cur < self.p && dst < self.p);
+        if cur == dst {
+            return dst;
+        }
+        match self.protocol {
+            Protocol::OneD => dst,
+            Protocol::TwoD => {
+                let s = self.side;
+                let (rc, cc) = (cur / s, cur % s);
+                let cd = dst % s;
+                if cc == cd {
+                    dst // same column: direct column link
+                } else {
+                    let mid = rc * s + cd; // sender's row, destination's column
+                    if mid >= self.p || mid == cur {
+                        dst // ragged grid: fall back to direct
+                    } else {
+                        mid
+                    }
+                }
+            }
+            Protocol::ThreeD => {
+                let s = self.side;
+                let (xc, yc, zc) = (cur % s, (cur / s) % s, cur / (s * s));
+                let (xd, yd, _zd) = (dst % s, (dst / s) % s, dst / (s * s));
+                let cand = if xc != xd {
+                    zc * s * s + yc * s + xd
+                } else if yc != yd {
+                    zc * s * s + yd * s + xc
+                } else {
+                    dst // x and y match: direct z link
+                };
+                if cand >= self.p || cand == cur {
+                    dst
+                } else {
+                    cand
+                }
+            }
+        }
+    }
+
+    /// Number of distinct direct neighbors `pe` can send to — the number
+    /// of L0 buffers it must hold (Table III's `P^x`).
+    pub fn out_degree(&self, pe: PeId) -> usize {
+        debug_assert!(pe < self.p);
+        match self.protocol {
+            Protocol::OneD => self.p.saturating_sub(1),
+            Protocol::TwoD => {
+                let s = self.side;
+                let row = pe / s;
+                // Row mates that exist…
+                let row_mates = (s.min(self.p - row * s)).saturating_sub(1);
+                // …and column mates.
+                let col = pe % s;
+                let col_mates = ((self.p - col - 1) / s + 1).saturating_sub(1);
+                row_mates + col_mates
+            }
+            Protocol::ThreeD => {
+                let s = self.side;
+                let (x, y, z) = (pe % s, (pe / s) % s, pe / (s * s));
+                let count_axis = |f: &dyn Fn(usize) -> usize| -> usize {
+                    (0..s).filter(|&v| f(v) < self.p && f(v) != pe).count()
+                };
+                count_axis(&|v| z * s * s + y * s + v)
+                    + count_axis(&|v| z * s * s + v * s + x)
+                    + count_axis(&|v| v * s * s + y * s + x)
+            }
+        }
+    }
+
+    /// Number of hops a packet from `src` to `dst` takes.
+    pub fn hops(&self, src: PeId, dst: PeId) -> usize {
+        if src == dst {
+            return 0;
+        }
+        let mut cur = src;
+        let mut hops = 0;
+        while cur != dst {
+            cur = self.next_hop(cur, dst);
+            hops += 1;
+            assert!(hops <= 4, "routing must converge");
+        }
+        hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_d_is_direct() {
+        let t = Topology::new(Protocol::OneD, 7);
+        for s in 0..7 {
+            for d in 0..7 {
+                if s != d {
+                    assert_eq!(t.next_hop(s, d), d);
+                    assert_eq!(t.hops(s, d), 1);
+                }
+            }
+        }
+        assert_eq!(t.out_degree(3), 6);
+    }
+
+    #[test]
+    fn two_d_routes_in_at_most_two_hops() {
+        for p in [4usize, 9, 16, 12, 17, 64] {
+            let t = Topology::new(Protocol::TwoD, p);
+            for s in 0..p {
+                for d in 0..p {
+                    assert!(t.hops(s, d) <= 2, "P={p} {s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_d_routes_in_at_most_three_hops() {
+        for p in [8usize, 27, 64, 30, 100] {
+            let t = Topology::new(Protocol::ThreeD, p);
+            for s in 0..p {
+                for d in 0..p {
+                    assert!(t.hops(s, d) <= 3, "P={p} {s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_never_self_loops() {
+        for proto in [Protocol::OneD, Protocol::TwoD, Protocol::ThreeD] {
+            for p in [5usize, 16, 27, 50] {
+                let t = Topology::new(proto, p);
+                for s in 0..p {
+                    for d in 0..p {
+                        if s != d {
+                            assert_ne!(t.next_hop(s, d), s, "{proto:?} P={p} {s}->{d}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_degree_scales_with_exponent() {
+        let p = 4096;
+        let d1 = Topology::new(Protocol::OneD, p).out_degree(0);
+        let d2 = Topology::new(Protocol::TwoD, p).out_degree(0);
+        let d3 = Topology::new(Protocol::ThreeD, p).out_degree(0);
+        assert_eq!(d1, p - 1);
+        assert_eq!(d2, 2 * (64 - 1)); // 64×64 grid
+        assert_eq!(d3, 3 * (16 - 1)); // 16³ cube
+        assert!(d1 > d2 && d2 > d3);
+    }
+
+    #[test]
+    fn two_d_intermediate_is_row_then_column() {
+        // 3×3 grid: 0 1 2 / 3 4 5 / 6 7 8. From 0 to 8: row hop to 2
+        // (row 0, col 2), then column hop to 8.
+        let t = Topology::new(Protocol::TwoD, 9);
+        assert_eq!(t.next_hop(0, 8), 2);
+        assert_eq!(t.next_hop(2, 8), 8);
+    }
+
+    #[test]
+    fn singleton_topology() {
+        for proto in [Protocol::OneD, Protocol::TwoD, Protocol::ThreeD] {
+            let t = Topology::new(proto, 1);
+            assert_eq!(t.hops(0, 0), 0);
+            assert_eq!(t.out_degree(0), 0);
+        }
+    }
+
+    #[test]
+    fn exponents_and_hops() {
+        assert_eq!(Protocol::OneD.max_hops(), 1);
+        assert_eq!(Protocol::TwoD.max_hops(), 2);
+        assert_eq!(Protocol::ThreeD.max_hops(), 3);
+        assert!((Protocol::TwoD.exponent() - 0.5).abs() < 1e-12);
+    }
+}

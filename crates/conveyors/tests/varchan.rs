@@ -1,0 +1,186 @@
+//! Variable-length channel fuzzing: mixed fixed/variable channels with
+//! arbitrary payload sizes must deliver exactly-once, in every protocol.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dakc_conveyors::{Actor, ActorConfig, ChannelKind, ConveyorConfig, Protocol};
+use dakc_sim::{Ctx, MachineConfig, Program, Simulator, Step};
+
+/// Deterministic per-PE item stream: (dst, channel, payload bytes).
+fn items_for(pe: usize, p: usize, n: usize) -> Vec<(usize, u8, Vec<u8>)> {
+    let mut x = 0xA076_1D64_78BD_642Fu64.wrapping_mul(pe as u64 + 1) | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..n)
+        .map(|i| {
+            let dst = (next() % p as u64) as usize;
+            let chan = (next() % 2) as u8; // 0 = fixed(8), 1 = variable
+            let payload = if chan == 0 {
+                // Encode (pe, i) for exactly-once checking.
+                (((pe as u64) << 32) | i as u64).to_le_bytes().to_vec()
+            } else {
+                let len = 1 + (next() % 57) as usize;
+                let mut v = vec![0u8; len];
+                v[0] = pe as u8;
+                if len >= 3 {
+                    v[1] = (i & 0xFF) as u8;
+                    v[2] = ((i >> 8) & 0xFF) as u8;
+                }
+                v
+            };
+            (dst, chan, payload)
+        })
+        .collect()
+}
+
+type Sink = Rc<RefCell<Vec<(u8, Vec<u8>)>>>;
+
+struct Fuzz {
+    items: Vec<(usize, u8, Vec<u8>)>,
+    cursor: usize,
+    actor: Option<Actor>,
+    cfg: ActorConfig,
+    recv: Sink,
+    drained: bool,
+}
+
+impl Program for Fuzz {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        if self.actor.is_none() {
+            self.actor = Some(Actor::new(self.cfg.clone(), ctx));
+            return Step::Yield;
+        }
+        let recv = self.recv.clone();
+        let mut handler =
+            |chan: u8, payload: &[u8]| recv.borrow_mut().push((chan, payload.to_vec()));
+        let actor = self.actor.as_mut().expect("created");
+        if !self.drained {
+            let batch = 8.min(self.items.len() - self.cursor);
+            for (dst, chan, payload) in &self.items[self.cursor..self.cursor + batch] {
+                actor.send(ctx, *dst, *chan, payload);
+            }
+            self.cursor += batch;
+            actor.progress(ctx, &mut handler);
+            if self.cursor == self.items.len() {
+                actor.begin_drain(ctx);
+                self.drained = true;
+                return Step::Barrier;
+            }
+            return Step::Yield;
+        }
+        let before = actor.conveyor_stats();
+        actor.progress(ctx, &mut handler);
+        let after = actor.conveyor_stats();
+        if after.items_delivered + after.items_forwarded
+            > before.items_delivered + before.items_forwarded
+            || ctx.has_ready()
+        {
+            Step::Barrier
+        } else {
+            Step::Done
+        }
+    }
+}
+
+fn run_fuzz(protocol: Protocol, p: usize, per_pe: usize) {
+    let sinks: Vec<Sink> = (0..p).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
+    let cfg = ActorConfig {
+        c1_packets: 16,
+        conveyor: ConveyorConfig {
+            protocol,
+            c0_bytes: 160,
+            channels: vec![ChannelKind::Fixed(8), ChannelKind::Variable],
+        },
+    };
+    let programs: Vec<Box<dyn Program>> = (0..p)
+        .map(|pe| {
+            Box::new(Fuzz {
+                items: items_for(pe, p, per_pe),
+                cursor: 0,
+                actor: None,
+                cfg: cfg.clone(),
+                recv: sinks[pe].clone(),
+                drained: false,
+            }) as Box<dyn Program>
+        })
+        .collect();
+    Simulator::new(MachineConfig::test_machine(p, 1))
+        .run(programs)
+        .expect("sim ok");
+
+    // Exactly-once, per destination, as multisets.
+    let mut expected: Vec<Vec<(u8, Vec<u8>)>> = vec![Vec::new(); p];
+    for pe in 0..p {
+        for (dst, chan, payload) in items_for(pe, p, per_pe) {
+            expected[dst].push((chan, payload));
+        }
+    }
+    for pe in 0..p {
+        let mut got = sinks[pe].borrow().clone();
+        let mut want = expected[pe].clone();
+        got.sort();
+        want.sort();
+        assert_eq!(got.len(), want.len(), "PE {pe} count mismatch ({protocol:?})");
+        assert_eq!(got, want, "PE {pe} content mismatch ({protocol:?})");
+    }
+}
+
+#[test]
+fn mixed_channels_1d() {
+    run_fuzz(Protocol::OneD, 5, 300);
+}
+
+#[test]
+fn mixed_channels_2d() {
+    run_fuzz(Protocol::TwoD, 9, 250);
+}
+
+#[test]
+fn mixed_channels_3d() {
+    run_fuzz(Protocol::ThreeD, 8, 250);
+}
+
+#[test]
+fn mixed_channels_ragged_grids() {
+    run_fuzz(Protocol::TwoD, 7, 150);
+    run_fuzz(Protocol::ThreeD, 13, 150);
+}
+
+#[test]
+fn large_variable_payloads_cross_buffer_boundary() {
+    // Payloads close to C0 force a flush on nearly every push.
+    let p = 3;
+    let sinks: Vec<Sink> = (0..p).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
+    let cfg = ActorConfig {
+        c1_packets: 2,
+        conveyor: ConveyorConfig {
+            protocol: Protocol::OneD,
+            c0_bytes: 64,
+            channels: vec![ChannelKind::Fixed(8), ChannelKind::Variable],
+        },
+    };
+    let items: Vec<(usize, u8, Vec<u8>)> =
+        (0..50).map(|i| (i % p, 1u8, vec![i as u8; 60])).collect();
+    let programs: Vec<Box<dyn Program>> = (0..p)
+        .map(|pe| {
+            Box::new(Fuzz {
+                items: if pe == 0 { items.clone() } else { Vec::new() },
+                cursor: 0,
+                actor: None,
+                cfg: cfg.clone(),
+                recv: sinks[pe].clone(),
+                drained: false,
+            }) as Box<dyn Program>
+        })
+        .collect();
+    Simulator::new(MachineConfig::test_machine(p, 1))
+        .run(programs)
+        .expect("sim ok");
+    let total: usize = sinks.iter().map(|s| s.borrow().len()).sum();
+    assert_eq!(total, 50);
+}

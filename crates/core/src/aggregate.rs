@@ -1,0 +1,373 @@
+//! The application-side aggregation cascade: Algorithm 4 (`AsyncAdd`).
+//!
+//! ```text
+//! AsyncAdd(kmer)
+//!   └─ L3: append to a C3-element buffer; when full, sort + accumulate it
+//!      locally. Heavy hitters (count > 2) travel as {kmer, count} pairs on
+//!      the HEAVY channel; light k-mers re-expand into the NORMAL path.
+//!       └─ L2: pack C2 same-destination k-mers (or C2/2 heavy pairs) into
+//!          one conveyor packet, amortizing the 32-bit routing header.
+//!           └─ L1/L0: dakc-conveyors (actor staging + routed PUTs).
+//! ```
+//!
+//! The receiving side (`ProcessReceiveBuffer` in the paper) decodes packets
+//! into a [`ReceiveStore`]: plain k-mers and pre-accumulated pairs, which
+//! phase 2 sorts and merges.
+
+use std::collections::HashMap;
+
+use dakc_conveyors::{Actor, ActorConfig, ConvStats, ConveyorConfig};
+use dakc_kmer::{owner_pe, KmerWord};
+use dakc_sim::{Ctx, PeId};
+use dakc_sort::{accumulate, hybrid_sort, RadixKey};
+
+use crate::config::DakcConfig;
+use crate::costs;
+
+/// Channel id for packed plain k-mers.
+pub const CH_NORMAL: u8 = 0;
+/// Channel id for packed `{k-mer, count}` heavy-hitter pairs.
+pub const CH_HEAVY: u8 = 1;
+/// Channel id for single unpacked k-mers (L2 disabled).
+pub const CH_SINGLE: u8 = 2;
+
+/// What a PE has received so far: the owner-side `T` array of
+/// Algorithm 3/4, split into plain k-mers and pre-accumulated pairs.
+#[derive(Debug, Clone, Default)]
+pub struct ReceiveStore<W> {
+    /// Individual k-mer occurrences (count 1 each).
+    pub plain: Vec<W>,
+    /// Pre-accumulated heavy-hitter deliveries.
+    pub pairs: Vec<(W, u32)>,
+}
+
+impl<W> ReceiveStore<W> {
+    /// Total occurrences represented.
+    pub fn total_occurrences(&self) -> u64 {
+        self.plain.len() as u64 + self.pairs.iter().map(|&(_, c)| c as u64).sum::<u64>()
+    }
+}
+
+/// Aggregation counters for the ablation experiments (Fig 12).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggStats {
+    /// k-mers passed to `AsyncAdd`.
+    pub kmers_added: u64,
+    /// L3 buffer sort+accumulate rounds.
+    pub l3_flushes: u64,
+    /// Heavy `{k-mer, count}` pairs shipped.
+    pub heavy_pairs: u64,
+    /// Occurrences compressed away by heavy-hitter pre-accumulation
+    /// (`count − 1` summed over heavy pairs).
+    pub occurrences_compressed: u64,
+    /// NORMAL packets sent.
+    pub normal_packets: u64,
+    /// HEAVY packets sent.
+    pub heavy_packets: u64,
+    /// SINGLE packets sent (L2 disabled).
+    pub single_packets: u64,
+}
+
+/// The per-PE sender-side aggregation state.
+#[derive(Debug)]
+pub struct Aggregator<W> {
+    cfg: DakcConfig,
+    me: PeId,
+    num_pes: usize,
+    actor: Actor,
+    l3: Vec<W>,
+    l2n: HashMap<PeId, Vec<W>>,
+    l2h: HashMap<PeId, Vec<(W, u32)>>,
+    stats: AggStats,
+    word_bytes: usize,
+}
+
+impl<W: KmerWord + RadixKey> Aggregator<W> {
+    /// Builds the cascade for this PE and registers its buffer memory.
+    pub fn new(cfg: DakcConfig, ctx: &mut Ctx<'_>) -> Self {
+        cfg.validate::<W>();
+        let actor_cfg = ActorConfig {
+            c1_packets: cfg.c1_packets,
+            conveyor: ConveyorConfig {
+                protocol: cfg.protocol,
+                c0_bytes: cfg.c0_bytes,
+                channels: cfg.channels::<W>(),
+            },
+        };
+        let actor = Actor::new(actor_cfg, ctx);
+        let num_pes = ctx.num_pes();
+        ctx.mem_alloc(cfg.app_layer_bytes::<W>(num_pes));
+        let word_bytes = cfg.kmer_bytes::<W>();
+        Self {
+            cfg,
+            me: ctx.pe(),
+            num_pes,
+            actor,
+            l3: Vec::new(),
+            l2n: HashMap::new(),
+            l2h: HashMap::new(),
+            stats: AggStats::default(),
+            word_bytes,
+        }
+    }
+
+    /// Aggregation counters.
+    pub fn stats(&self) -> AggStats {
+        self.stats
+    }
+
+    /// The conveyor counters underneath.
+    pub fn conveyor_stats(&self) -> ConvStats {
+        self.actor.conveyor_stats()
+    }
+
+    /// Algorithm 3's `AsyncAdd`: route one parsed k-mer toward its owner.
+    pub fn async_add(&mut self, ctx: &mut Ctx<'_>, kmer: W) {
+        self.stats.kmers_added += 1;
+        if self.cfg.enable_l3 {
+            self.l3.push(kmer);
+            ctx.charge_ops(1);
+            if self.l3.len() >= self.cfg.c3 {
+                self.flush_l3(ctx);
+            }
+        } else {
+            self.add_to_l2(ctx, kmer, 1);
+        }
+    }
+
+    /// Sorts and accumulates the L3 buffer, then forwards the results
+    /// (`AddToL3Buffer`'s full branch).
+    fn flush_l3(&mut self, ctx: &mut Ctx<'_>) {
+        if self.l3.is_empty() {
+            return;
+        }
+        self.stats.l3_flushes += 1;
+        let mut buf = std::mem::take(&mut self.l3);
+        // Cache-aware sort cost: a cache-resident L3 buffer sorts without
+        // re-streaming main memory; an oversized one pays extra scatter
+        // levels. This is the "very high C3 values incur additional
+        // sorting overheads" effect of Fig 13b.
+        costs::charge_hybrid_sort(ctx, buf.len() as u64, self.word_bytes as u64);
+        hybrid_sort(&mut buf);
+        let accumulated = accumulate(&buf);
+        costs::charge_accumulate(ctx, buf.len() as u64, self.word_bytes as u64);
+        for (kmer, count) in accumulated {
+            self.add_to_l2(ctx, kmer, count);
+        }
+    }
+
+    /// `AddToL2Buffer`: pack toward the owner, splitting heavy hitters
+    /// onto the HEAVY channel.
+    fn add_to_l2(&mut self, ctx: &mut Ctx<'_>, kmer: W, count: u32) {
+        let dst = owner_pe(kmer, self.num_pes);
+        if !self.cfg.enable_l2 {
+            // L0–L1 mode: one k-mer per packet, `count` times.
+            debug_assert_eq!(count, 1, "without L3 every add carries count 1");
+            for _ in 0..count {
+                let wire = self.encode_word(kmer);
+                self.stats.single_packets += 1;
+                self.actor.send(ctx, dst, CH_SINGLE, &wire);
+            }
+            return;
+        }
+        if self.cfg.enable_l3 && count > 2 {
+            self.stats.heavy_pairs += 1;
+            self.stats.occurrences_compressed += count as u64 - 1;
+            let buf = self.l2h.entry(dst).or_default();
+            buf.push((kmer, count));
+            ctx.charge_ops(2);
+            if buf.len() >= self.cfg.c2 / 2 {
+                self.ship_heavy(ctx, dst);
+            }
+        } else {
+            // count ∈ {1, 2}: append `count` copies (Algorithm 4).
+            for _ in 0..count {
+                let buf = self.l2n.entry(dst).or_default();
+                buf.push(kmer);
+                ctx.charge_ops(1);
+                if buf.len() >= self.cfg.c2 {
+                    self.ship_normal(ctx, dst);
+                }
+            }
+        }
+    }
+
+    fn encode_word(&self, w: W) -> Vec<u8> {
+        w.to_u128().to_le_bytes()[..self.word_bytes].to_vec()
+    }
+
+    /// Encodes and sends one NORMAL packet for `dst`.
+    fn ship_normal(&mut self, ctx: &mut Ctx<'_>, dst: PeId) {
+        let Some(buf) = self.l2n.remove(&dst) else {
+            return;
+        };
+        if buf.is_empty() {
+            return;
+        }
+        debug_assert!(buf.len() <= self.cfg.c2);
+        let mut payload = Vec::with_capacity(buf.len() * self.word_bytes);
+        for w in &buf {
+            payload.extend_from_slice(&w.to_u128().to_le_bytes()[..self.word_bytes]);
+        }
+        ctx.charge_ops(payload.len() as u64 / 8 + 1);
+        self.stats.normal_packets += 1;
+        self.actor.send(ctx, dst, CH_NORMAL, &payload);
+    }
+
+    /// Encodes and sends one HEAVY packet for `dst`.
+    fn ship_heavy(&mut self, ctx: &mut Ctx<'_>, dst: PeId) {
+        let Some(buf) = self.l2h.remove(&dst) else {
+            return;
+        };
+        if buf.is_empty() {
+            return;
+        }
+        debug_assert!(buf.len() <= self.cfg.c2 / 2);
+        let pair_bytes = self.word_bytes + 4;
+        let mut payload = Vec::with_capacity(buf.len() * pair_bytes);
+        for (w, c) in &buf {
+            payload.extend_from_slice(&w.to_u128().to_le_bytes()[..self.word_bytes]);
+            payload.extend_from_slice(&c.to_le_bytes());
+        }
+        ctx.charge_ops(payload.len() as u64 / 8 + 1);
+        self.stats.heavy_packets += 1;
+        self.actor.send(ctx, dst, CH_HEAVY, &payload);
+    }
+
+    /// Polls and decodes arrived packets into `store`
+    /// (`ProcessReceiveBuffer`). Returns the number of records processed
+    /// (delivered here or relayed onward).
+    pub fn progress(&mut self, ctx: &mut Ctx<'_>, store: &mut ReceiveStore<W>) -> u64 {
+        let before = self.actor.conveyor_stats();
+        let word_bytes = self.word_bytes;
+        let mut decoded_ops = 0u64;
+        {
+            let mut handler = |channel: u8, payload: &[u8]| {
+                decode_packet(channel, payload, word_bytes, store);
+                decoded_ops += payload.len() as u64 / 8 + 1;
+            };
+            self.actor.progress(ctx, &mut handler);
+        }
+        ctx.charge_ops(decoded_ops);
+        let after = self.actor.conveyor_stats();
+        (after.items_delivered - before.items_delivered)
+            + (after.items_forwarded - before.items_forwarded)
+    }
+
+    /// Flushes every level (L3 → L2 → L1 → L0) and enters draining mode;
+    /// call once parsing is finished, immediately before the global
+    /// barrier.
+    pub fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.enable_l3 {
+            self.flush_l3(ctx);
+        }
+        // Deterministic partial-buffer flush order.
+        let mut heavy_dsts: Vec<PeId> = self.l2h.keys().copied().collect();
+        heavy_dsts.sort_unstable();
+        for dst in heavy_dsts {
+            self.ship_heavy(ctx, dst);
+        }
+        let mut normal_dsts: Vec<PeId> = self.l2n.keys().copied().collect();
+        normal_dsts.sort_unstable();
+        for dst in normal_dsts {
+            self.ship_normal(ctx, dst);
+        }
+        self.actor.begin_drain(ctx);
+    }
+
+    /// Releases registered buffer memory.
+    pub fn release(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.mem_free(self.cfg.app_layer_bytes::<W>(self.num_pes));
+        self.actor.release(ctx);
+    }
+
+    /// This PE's id (handy for assertions in callers).
+    pub fn pe(&self) -> PeId {
+        self.me
+    }
+}
+
+/// Decodes one packet into the receive store.
+fn decode_packet<W: KmerWord>(
+    channel: u8,
+    payload: &[u8],
+    word_bytes: usize,
+    store: &mut ReceiveStore<W>,
+) {
+    let read_word = |bytes: &[u8]| -> W {
+        let mut padded = [0u8; 16];
+        padded[..word_bytes].copy_from_slice(&bytes[..word_bytes]);
+        W::from_u128(u128::from_le_bytes(padded))
+    };
+    match channel {
+        CH_NORMAL => {
+            debug_assert_eq!(payload.len() % word_bytes, 0);
+            for chunk in payload.chunks_exact(word_bytes) {
+                store.plain.push(read_word(chunk));
+            }
+        }
+        CH_HEAVY => {
+            let pair_bytes = word_bytes + 4;
+            debug_assert_eq!(payload.len() % pair_bytes, 0);
+            for chunk in payload.chunks_exact(pair_bytes) {
+                let w = read_word(chunk);
+                let c = u32::from_le_bytes(
+                    chunk[word_bytes..pair_bytes].try_into().expect("count"),
+                );
+                store.pairs.push((w, c));
+            }
+        }
+        CH_SINGLE => {
+            store.plain.push(read_word(payload));
+        }
+        other => panic!("unknown channel {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_normal_round_trip() {
+        let mut store = ReceiveStore::<u64>::default();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&42u64.to_le_bytes());
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        decode_packet(CH_NORMAL, &payload, 8, &mut store);
+        assert_eq!(store.plain, vec![42, 7]);
+    }
+
+    #[test]
+    fn decode_heavy_round_trip() {
+        let mut store = ReceiveStore::<u64>::default();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&99u64.to_le_bytes());
+        payload.extend_from_slice(&1000u32.to_le_bytes());
+        decode_packet(CH_HEAVY, &payload, 8, &mut store);
+        assert_eq!(store.pairs, vec![(99, 1000)]);
+        assert_eq!(store.total_occurrences(), 1000);
+    }
+
+    #[test]
+    fn decode_single() {
+        let mut store = ReceiveStore::<u64>::default();
+        decode_packet(CH_SINGLE, &5u64.to_le_bytes(), 8, &mut store);
+        assert_eq!(store.plain, vec![5]);
+    }
+
+    #[test]
+    fn decode_u128_words() {
+        let mut store = ReceiveStore::<u128>::default();
+        let w: u128 = (3u128 << 100) | 17;
+        decode_packet(CH_SINGLE, &w.to_le_bytes(), 16, &mut store);
+        assert_eq!(store.plain, vec![w]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown channel")]
+    fn decode_unknown_channel_panics() {
+        let mut store = ReceiveStore::<u64>::default();
+        decode_packet(9, &[0u8; 8], 8, &mut store);
+    }
+}

@@ -1,0 +1,213 @@
+//! DAKC configuration: the four aggregation parameters of Table III plus
+//! algorithm knobs.
+
+use dakc_conveyors::Protocol;
+use dakc_kmer::CanonicalMode;
+
+/// Complete configuration of a DAKC run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DakcConfig {
+    /// k-mer length (paper: `k = 31` throughout the evaluation).
+    pub k: usize,
+    /// Conveyors routing protocol (paper default: 1D — 10–20% faster than
+    /// 2D/3D at higher memory cost, §VI-F).
+    pub protocol: Protocol,
+    /// L0 buffer capacity in bytes (Table III: 40 KiB).
+    pub c0_bytes: usize,
+    /// L1 staged packets before draining to L0 (Table III: `C1 = 1024`).
+    pub c1_packets: usize,
+    /// L2 packing factor: k-mers per conveyor packet (Table III:
+    /// `C2 = 32`; Fig 13a shows degradation below 8).
+    pub c2: usize,
+    /// L3 pre-accumulation buffer length (Table III: `C3 = 10⁴`; Fig 13b
+    /// shows a flat optimum over 10³–10⁶).
+    pub c3: usize,
+    /// Enables the L2 packing layer (`false` reproduces Fig 12's "L0–L1"
+    /// ablation: one k-mer per packet).
+    pub enable_l2: bool,
+    /// Enables the L3 heavy-hitter layer (requires L2; the paper turns it
+    /// on only for genomes with known high-frequency k-mers, §VI-C).
+    pub enable_l3: bool,
+    /// Forward (paper) or canonical (strand-neutral) counting.
+    pub canonical: CanonicalMode,
+    /// Reads parsed per scheduler step in the simulator engine
+    /// (granularity of asynchrony; no algorithmic effect).
+    pub batch_reads: usize,
+}
+
+impl DakcConfig {
+    /// The paper's production parameters (Table III) for a given `k`.
+    pub fn paper_defaults(k: usize) -> Self {
+        Self {
+            k,
+            protocol: Protocol::OneD,
+            c0_bytes: 40 * 1024,
+            c1_packets: 1024,
+            c2: 32,
+            c3: 10_000,
+            enable_l2: true,
+            enable_l3: false,
+            canonical: CanonicalMode::Forward,
+            batch_reads: 64,
+        }
+    }
+
+    /// Parameters proportioned for the workspace's scaled-down datasets
+    /// (DESIGN.md §4): smaller buffers so the multi-flush dynamics of the
+    /// full-scale system still occur at ~4000× smaller inputs.
+    pub fn scaled_defaults(k: usize) -> Self {
+        Self {
+            c0_bytes: 2 * 1024,
+            c1_packets: 64,
+            c3: 2_048,
+            ..Self::paper_defaults(k)
+        }
+    }
+
+    /// Enables L3 (and L2, which it requires) — what the paper does for
+    /// Human and *T. aestivum*.
+    pub fn with_l3(mut self) -> Self {
+        self.enable_l2 = true;
+        self.enable_l3 = true;
+        self
+    }
+
+    /// Disables the application-specific layers (Fig 12's "L0–L1" mode).
+    pub fn l0_l1_only(mut self) -> Self {
+        self.enable_l2 = false;
+        self.enable_l3 = false;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid combinations (L3 without L2, `c2 < 2`, zero
+    /// buffer sizes, unsupported `k`).
+    pub fn validate<W: dakc_kmer::KmerWord>(&self) {
+        assert!(
+            (1..=W::MAX_K).contains(&self.k),
+            "k = {} out of range for this word width (max {})",
+            self.k,
+            W::MAX_K
+        );
+        assert!(!self.enable_l3 || self.enable_l2, "L3 requires L2");
+        assert!(self.c2 >= 2, "C2 must be at least 2 (heavy packets hold C2/2)");
+        assert!(self.c3 >= 2, "C3 must hold at least 2 elements");
+        assert!(self.c0_bytes >= 64, "C0 too small to hold one packet");
+        assert!(self.c1_packets >= 1);
+        assert!(self.batch_reads >= 1);
+    }
+
+    /// Bytes of one k-mer word on the wire for width `W`.
+    pub fn kmer_bytes<W: dakc_kmer::KmerWord>(&self) -> usize {
+        (W::BITS / 8) as usize
+    }
+
+    /// Maximum payload of the NORMAL packed channel: `C2` k-mer words.
+    /// Packets are variable-length on the wire (a partial final flush
+    /// ships only what it holds).
+    pub fn normal_payload<W: dakc_kmer::KmerWord>(&self) -> usize {
+        self.c2 * self.kmer_bytes::<W>()
+    }
+
+    /// Maximum payload of the HEAVY channel: `C2/2` `{k-mer, u32}` pairs.
+    pub fn heavy_payload<W: dakc_kmer::KmerWord>(&self) -> usize {
+        (self.c2 / 2) * (self.kmer_bytes::<W>() + 4)
+    }
+
+    /// Payload size of the SINGLE channel (L2 disabled): one k-mer word.
+    pub fn single_payload<W: dakc_kmer::KmerWord>(&self) -> usize {
+        self.kmer_bytes::<W>()
+    }
+
+    /// Channel framing table for the conveyor, indexed by
+    /// [`crate::aggregate::CH_NORMAL`], [`crate::aggregate::CH_HEAVY`],
+    /// [`crate::aggregate::CH_SINGLE`].
+    pub fn channels<W: dakc_kmer::KmerWord>(&self) -> Vec<dakc_conveyors::ChannelKind> {
+        use dakc_conveyors::ChannelKind;
+        vec![
+            ChannelKind::Variable,
+            ChannelKind::Variable,
+            ChannelKind::Fixed(self.single_payload::<W>()),
+        ]
+    }
+
+    /// Table III's application-layer memory per PE in bytes:
+    /// `L2: ~(C2·wordsize + overhead) × P` buffers + `L3: C3` elements.
+    pub fn app_layer_bytes<W: dakc_kmer::KmerWord>(&self, num_pes: usize) -> u64 {
+        let w = self.kmer_bytes::<W>() as u64;
+        let l2 = if self.enable_l2 {
+            // NORMAL + HEAVY buffers per destination.
+            num_pes as u64 * (self.c2 as u64 * w + (self.c2 as u64 / 2) * (w + 4))
+        } else {
+            0
+        };
+        let l3 = if self.enable_l3 { self.c3 as u64 * w } else { 0 };
+        l2 + l3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_iii() {
+        let c = DakcConfig::paper_defaults(31);
+        assert_eq!(c.c0_bytes, 40 * 1024);
+        assert_eq!(c.c1_packets, 1024);
+        assert_eq!(c.c2, 32);
+        assert_eq!(c.c3, 10_000);
+        assert_eq!(c.protocol, Protocol::OneD);
+        c.validate::<u64>();
+    }
+
+    #[test]
+    fn payload_sizes() {
+        let c = DakcConfig::paper_defaults(31);
+        assert_eq!(c.normal_payload::<u64>(), 32 * 8);
+        assert_eq!(c.heavy_payload::<u64>(), 16 * 12);
+        assert_eq!(c.single_payload::<u64>(), 8);
+        assert_eq!(c.normal_payload::<u128>(), 32 * 16);
+    }
+
+    #[test]
+    fn with_l3_implies_l2() {
+        let c = DakcConfig::paper_defaults(31).l0_l1_only().with_l3();
+        assert!(c.enable_l2 && c.enable_l3);
+        c.validate::<u64>();
+    }
+
+    #[test]
+    #[should_panic(expected = "L3 requires L2")]
+    fn l3_without_l2_rejected() {
+        let mut c = DakcConfig::paper_defaults(31);
+        c.enable_l2 = false;
+        c.enable_l3 = true;
+        c.validate::<u64>();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_too_large_for_u64() {
+        DakcConfig::paper_defaults(33).validate::<u64>();
+    }
+
+    #[test]
+    fn k_33_valid_for_u128() {
+        DakcConfig::paper_defaults(33).validate::<u128>();
+    }
+
+    #[test]
+    fn app_layer_memory_scales_with_p() {
+        let c = DakcConfig::paper_defaults(31);
+        let m1 = c.app_layer_bytes::<u64>(24);
+        let m2 = c.app_layer_bytes::<u64>(48);
+        assert!(m2 > m1);
+        // Table III order of magnitude: 264 B per destination buffer pair
+        // is ~ C2·8 = 256 B for NORMAL alone.
+        assert!(m1 >= 24 * 256);
+    }
+}

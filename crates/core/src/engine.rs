@@ -1,0 +1,166 @@
+//! The simulator engine: run DAKC over a virtual cluster.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use dakc_io::ReadSet;
+use dakc_kmer::{KmerCount, KmerWord};
+use dakc_sim::{MachineConfig, Program, SimError, SimReport, Simulator};
+use dakc_sort::RadixKey;
+
+use crate::aggregate::AggStats;
+use crate::config::DakcConfig;
+use crate::program::{DakcPeProgram, OutputSink, PeOutput};
+
+/// The result of a simulated DAKC run.
+#[derive(Debug, Clone)]
+pub struct DakcRun<W> {
+    /// The global histogram, sorted by k-mer.
+    pub counts: Vec<KmerCount<W>>,
+    /// Simulator accounting (virtual time, bytes, idle, memory, phases).
+    pub report: SimReport,
+    /// Per-PE outputs (aggregation/conveyor counters, received load).
+    pub per_pe: Vec<PeOutput<W>>,
+}
+
+impl<W: KmerWord> DakcRun<W> {
+    /// Aggregate sender-side statistics over all PEs.
+    pub fn total_agg(&self) -> AggStats {
+        let mut t = AggStats::default();
+        for p in &self.per_pe {
+            t.kmers_added += p.agg.kmers_added;
+            t.l3_flushes += p.agg.l3_flushes;
+            t.heavy_pairs += p.agg.heavy_pairs;
+            t.occurrences_compressed += p.agg.occurrences_compressed;
+            t.normal_packets += p.agg.normal_packets;
+            t.heavy_packets += p.agg.heavy_packets;
+            t.single_packets += p.agg.single_packets;
+        }
+        t
+    }
+
+    /// Owner-side load imbalance: max over PEs of received *records*
+    /// (the data volume that must be stored and sorted) divided by the
+    /// mean (1.0 = perfectly balanced). L3's pre-accumulation shrinks a
+    /// heavy owner's records while occurrences are conserved.
+    pub fn load_imbalance(&self) -> f64 {
+        let loads: Vec<u64> = self.per_pe.iter().map(|p| p.received_records).collect();
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / loads.len() as f64;
+        loads.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+}
+
+/// Runs DAKC on `machine` over `reads` and returns the merged histogram
+/// plus full accounting.
+///
+/// Every PE owns a contiguous block of reads (perfect input balance, the
+/// paper's assumption 1) and the hash-owner convention partitions the
+/// output.
+pub fn count_kmers_sim<W: KmerWord + RadixKey>(
+    reads: &ReadSet,
+    cfg: &DakcConfig,
+    machine: &MachineConfig,
+) -> Result<DakcRun<W>, SimError> {
+    cfg.validate::<W>();
+    let p = machine.num_pes();
+    let reads = Arc::new(reads.clone());
+    let sink: OutputSink<W> = Rc::new(RefCell::new(vec![None; p]));
+    let programs: Vec<Box<dyn Program>> = (0..p)
+        .map(|pe| {
+            Box::new(DakcPeProgram::<W>::new(
+                cfg.clone(),
+                Arc::clone(&reads),
+                reads.pe_range(pe, p),
+                sink.clone(),
+            )) as Box<dyn Program>
+        })
+        .collect();
+
+    let report = Simulator::new(machine.clone()).run(programs)?;
+
+    let per_pe: Vec<PeOutput<W>> = Rc::try_unwrap(sink)
+        .expect("simulation dropped all other references")
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every PE published"))
+        .collect();
+
+    // Owner partitioning makes per-PE k-mer sets disjoint: concatenate and
+    // sort once (result assembly, not part of the algorithm's timed work).
+    let mut counts: Vec<KmerCount<W>> = per_pe.iter().flat_map(|o| o.counts.iter().copied()).collect();
+    counts.sort_unstable_by_key(|c| c.kmer);
+    debug_assert!(dakc_kmer::counts::is_sorted_strict(&counts));
+
+    Ok(DakcRun {
+        counts,
+        report,
+        per_pe,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dakc_kmer::CanonicalMode;
+
+    fn tiny_reads() -> ReadSet {
+        let mut rs = ReadSet::new();
+        rs.push(b"ACGTACGTAA");
+        rs.push(b"TTTTTTTTTT");
+        rs.push(b"ACGTACGTAA");
+        rs
+    }
+
+    fn reference_counts(reads: &ReadSet, k: usize) -> Vec<KmerCount<u64>> {
+        use std::collections::BTreeMap;
+        let mut h: BTreeMap<u64, u32> = BTreeMap::new();
+        for r in reads.iter() {
+            for w in dakc_kmer::kmers_of_read::<u64>(r, k, CanonicalMode::Forward) {
+                *h.entry(w).or_default() += 1;
+            }
+        }
+        h.into_iter().map(|(w, c)| KmerCount::new(w, c)).collect()
+    }
+
+    #[test]
+    fn matches_reference_on_tiny_input() {
+        let reads = tiny_reads();
+        let cfg = DakcConfig::scaled_defaults(4);
+        let machine = MachineConfig::test_machine(2, 2);
+        let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
+        assert_eq!(run.counts, reference_counts(&reads, 4));
+        assert_eq!(run.report.barriers_completed, 1, "exactly one explicit barrier");
+    }
+
+    #[test]
+    fn l3_mode_matches_reference() {
+        let reads = tiny_reads();
+        let cfg = DakcConfig::scaled_defaults(4).with_l3();
+        let machine = MachineConfig::test_machine(2, 2);
+        let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
+        assert_eq!(run.counts, reference_counts(&reads, 4));
+    }
+
+    #[test]
+    fn l0_l1_only_matches_reference() {
+        let reads = tiny_reads();
+        let cfg = DakcConfig::scaled_defaults(4).l0_l1_only();
+        let machine = MachineConfig::test_machine(2, 2);
+        let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
+        assert_eq!(run.counts, reference_counts(&reads, 4));
+    }
+
+    #[test]
+    fn single_pe_run() {
+        let reads = tiny_reads();
+        let cfg = DakcConfig::scaled_defaults(3);
+        let machine = MachineConfig::test_machine(1, 1);
+        let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
+        assert_eq!(run.counts, reference_counts(&reads, 3));
+    }
+}

@@ -1,0 +1,61 @@
+//! # dakc — Distributed Asynchronous k-mer Counting
+//!
+//! The paper's primary contribution: an FA-BSP k-mer counter that replaces
+//! the bulk-synchronous Many-To-Many exchanges of PakMan/HySortK with
+//! fine-grained one-sided messages behind a four-layer aggregation stack
+//! (Algorithm 3 + Algorithm 4).
+//!
+//! Two engines expose the same algorithm:
+//!
+//! * [`engine::count_kmers_sim`] — runs on the [`dakc_sim`] virtual-time
+//!   cluster (any node count, Table IV cost model); this is what every
+//!   distributed-memory experiment uses.
+//! * [`threaded::count_kmers_threaded`] — runs on real OS threads with
+//!   in-memory delivery, the configuration the paper benchmarks on single
+//!   shared-memory nodes (Fig 9), where the runtime turns remote messages
+//!   into `memcpy`.
+//!
+//! Layer map (paper §IV):
+//!
+//! ```text
+//!  AsyncAdd(kmer)
+//!    └─ L3   heavy-hitter pre-accumulation   (dakc::aggregate)
+//!        └─ L2   C2-k-mer packet packing      (dakc::aggregate)
+//!            └─ L1   actor staging            (dakc_conveyors::actor)
+//!                └─ L0   routed PUT buffers   (dakc_conveyors::conveyor)
+//! ```
+//!
+//! A quickstart:
+//!
+//! ```
+//! use dakc::{engine::count_kmers_sim, DakcConfig};
+//! use dakc_io::ReadSet;
+//! use dakc_sim::MachineConfig;
+//!
+//! let mut reads = ReadSet::new();
+//! reads.push(b"ACGTACGTACGTACGT");
+//! let cfg = DakcConfig::scaled_defaults(5);
+//! let machine = MachineConfig::test_machine(2, 2);
+//! let out = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
+//! assert_eq!(out.counts.iter().map(|c| c.count as usize).sum::<usize>(), 12);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod aggregate;
+pub mod config;
+pub mod costs;
+pub mod engine;
+pub mod filtered;
+pub mod overlap;
+pub mod program;
+pub mod threaded;
+
+pub use aggregate::{Aggregator, ReceiveStore};
+pub use config::DakcConfig;
+pub use engine::{count_kmers_sim, DakcRun};
+pub use filtered::{count_kmers_filtered, FilteredRun};
+pub use overlap::{count_kmers_sim_overlap, OverlapRun, SortedRunStore};
+pub use program::DakcPeProgram;
+pub use threaded::{count_kmers_threaded, ThreadedRun};

@@ -1,0 +1,205 @@
+//! The per-PE DAKC program for the simulator engine: Algorithm 3 as a
+//! resumable state machine.
+//!
+//! ```text
+//! Parse    — roll k-mers out of this PE's read range, AsyncAdd each,
+//!            poll/progress between batches (fine-grained asynchrony).
+//! Drain    — everything flushed; sit in the quiescent GLOBAL BARRIER,
+//!            waking to process (and relay) late arrivals.
+//! Count    — phase 2: sort the received array, accumulate, merge the
+//!            heavy-hitter pairs; publish this PE's slice of the result.
+//! ```
+//!
+//! The paper's three global synchronization points map to: one implicit
+//! start barrier (simulation start), the quiescent barrier between the
+//! phases, and simulation completion.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use dakc_io::ReadSet;
+use dakc_kmer::{
+    counts::merge_sorted_counts, kmers_of_read, KmerCount, KmerWord,
+};
+use dakc_sim::{Ctx, Program, Step};
+use dakc_sort::{accumulate, accumulate_weighted, hybrid_sort, lsd_radix_sort_by, RadixKey};
+
+use crate::aggregate::{AggStats, Aggregator, ReceiveStore};
+use crate::config::DakcConfig;
+use crate::costs;
+
+/// Everything a PE publishes when it finishes.
+#[derive(Debug, Clone)]
+pub struct PeOutput<W> {
+    /// This PE's owner-partition of the global histogram, sorted.
+    pub counts: Vec<KmerCount<W>>,
+    /// Sender-side aggregation counters.
+    pub agg: AggStats,
+    /// Conveyor counters.
+    pub conv: dakc_conveyors::ConvStats,
+    /// k-mer occurrences this PE received (owner-side load, for the load
+    /// imbalance analysis).
+    pub received_occurrences: u64,
+    /// Records this PE received (plain k-mers + heavy pairs) — the actual
+    /// data volume landing on the owner, which is what L3 rebalances.
+    pub received_records: u64,
+}
+
+/// Shared collection slot for PE outputs.
+pub type OutputSink<W> = Rc<RefCell<Vec<Option<PeOutput<W>>>>>;
+
+enum State {
+    Parse,
+    Drain,
+    Count,
+    Finished,
+}
+
+/// One PE's DAKC program.
+pub struct DakcPeProgram<W: KmerWord> {
+    cfg: DakcConfig,
+    reads: Arc<ReadSet>,
+    range: std::ops::Range<usize>,
+    cursor: usize,
+    agg: Option<Aggregator<W>>,
+    store: ReceiveStore<W>,
+    sink: OutputSink<W>,
+    state: State,
+}
+
+impl<W: KmerWord + RadixKey> DakcPeProgram<W> {
+    /// Creates the program for one PE. `range` is the PE's slice of read
+    /// indices; `sink` collects the result.
+    pub fn new(
+        cfg: DakcConfig,
+        reads: Arc<ReadSet>,
+        range: std::ops::Range<usize>,
+        sink: OutputSink<W>,
+    ) -> Self {
+        let cursor = range.start;
+        Self {
+            cfg,
+            reads,
+            range,
+            cursor,
+            agg: None,
+            store: ReceiveStore::default(),
+            sink,
+            state: State::Parse,
+        }
+    }
+
+    /// Parses up to `batch_reads` reads, AsyncAdd-ing every k-mer.
+    fn parse_batch(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let agg = self.agg.as_mut().expect("aggregator created");
+        let end = (self.cursor + self.cfg.batch_reads).min(self.range.end);
+        let mut kmers = 0u64;
+        let mut bases = 0u64;
+        for i in self.cursor..end {
+            let read = self.reads.get(i);
+            bases += read.len() as u64;
+            for w in kmers_of_read::<W>(read, self.cfg.k, self.cfg.canonical) {
+                kmers += 1;
+                agg.async_add(ctx, w);
+            }
+        }
+        self.cursor = end;
+        costs::charge_parse(ctx, kmers);
+        costs::charge_parse_traffic(ctx, bases, kmers, self.cfg.kmer_bytes::<W>() as u64);
+        self.cursor == self.range.end
+    }
+
+    /// Phase 2: sort + accumulate + merge; publishes the output.
+    fn count_phase(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_phase(1);
+        let agg = self.agg.as_mut().expect("aggregator created");
+        let word_bytes = self.cfg.kmer_bytes::<W>() as u64;
+        let store = std::mem::take(&mut self.store);
+        let received_occurrences = store.total_occurrences();
+        let received_records = (store.plain.len() + store.pairs.len()) as u64;
+        let ReceiveStore { mut plain, mut pairs } = store;
+
+        // Sort + accumulate the plain stream (the bulk of the data).
+        ctx.mem_alloc(plain.len() as u64 * word_bytes);
+        costs::charge_hybrid_sort(ctx, plain.len() as u64, word_bytes);
+        hybrid_sort(&mut plain);
+        costs::charge_accumulate(ctx, plain.len() as u64, word_bytes);
+        let plain_counts: Vec<KmerCount<W>> = accumulate(&plain)
+            .into_iter()
+            .map(|(w, c)| KmerCount::new(w, c))
+            .collect();
+
+        // Sort + accumulate the heavy pairs (small).
+        costs::charge_hybrid_sort(ctx, pairs.len() as u64, word_bytes + 4);
+        lsd_radix_sort_by(&mut pairs, |p| p.0);
+        costs::charge_accumulate(ctx, pairs.len() as u64, word_bytes + 4);
+        let pair_counts: Vec<KmerCount<W>> = accumulate_weighted(&pairs)
+            .into_iter()
+            .map(|(w, c)| KmerCount::new(w, c))
+            .collect();
+
+        let counts = merge_sorted_counts(&plain_counts, &pair_counts);
+        // Held, not freed: all PEs sort concurrently on a real node, so
+        // the OOM accounting must see the summed peak (see the same note
+        // in the BSP baseline).
+
+        let out = PeOutput {
+            counts,
+            agg: agg.stats(),
+            conv: agg.conveyor_stats(),
+            received_occurrences,
+            received_records,
+        };
+        agg.release(ctx);
+        self.sink.borrow_mut()[ctx.pe()] = Some(out);
+    }
+}
+
+impl<W: KmerWord + RadixKey> Program for DakcPeProgram<W> {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        match self.state {
+            State::Parse => {
+                if self.agg.is_none() {
+                    ctx.set_phase(0);
+                    self.agg = Some(Aggregator::new(self.cfg.clone(), ctx));
+                    return Step::Yield;
+                }
+                let done = self.parse_batch(ctx);
+                // Fine-grained asynchrony: service the network between
+                // batches, exactly like the conveyor progress loop.
+                self.agg
+                    .as_mut()
+                    .expect("created")
+                    .progress(ctx, &mut self.store);
+                if done {
+                    self.agg.as_mut().expect("created").flush(ctx);
+                    self.state = State::Drain;
+                    Step::Barrier
+                } else {
+                    Step::Yield
+                }
+            }
+            State::Drain => {
+                let processed = self
+                    .agg
+                    .as_mut()
+                    .expect("created")
+                    .progress(ctx, &mut self.store);
+                if processed > 0 || ctx.has_ready() {
+                    Step::Barrier
+                } else {
+                    // The quiescent barrier released us: phase 2.
+                    self.state = State::Count;
+                    Step::Yield
+                }
+            }
+            State::Count => {
+                self.count_phase(ctx);
+                self.state = State::Finished;
+                Step::Done
+            }
+            State::Finished => Step::Done,
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The Table V dataset registry.
+//!
+//! All 20 datasets of the paper's evaluation: 13 synthetic scales
+//! (*Synthetic 20–32*, genomes of `2^XY` bases read at ≈50× coverage with
+//! 150 bp reads) and 7 real NCBI SRA datasets, which we substitute with
+//! **profile-driven surrogates**: synthetic genomes matching each
+//! organism's genome size, read length, coverage and — for the complex
+//! genomes the paper calls out (Human, *T. aestivum*) — heavy-hitter
+//! tandem-repeat content (see DESIGN.md's substitution ledger).
+//!
+//! Every spec carries the paper's exact read counts and FASTQ sizes for
+//! reporting, and a [`DatasetSpec::scaled`] view that shrinks the workload
+//! by the global `2^shift` factor so experiments run on one machine. Node
+//! counts in the experiments stay as in the paper; only data volume
+//! shrinks.
+
+use crate::genome::{generate_genome, GenomeSpec, RepeatProfile};
+use crate::reads::{simulate_reads, ReadSimConfig};
+use crate::readset::ReadSet;
+
+/// Default workload shrink factor: every dataset is `2^12` ≈ 4000× smaller
+/// than the paper's (DESIGN.md §4).
+pub const DEFAULT_SCALE_SHIFT: u32 = 12;
+
+/// Whether a dataset is a paper synthetic or a surrogate for a real SRA
+/// accession.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// `Synthetic XY`: uniform random genome of `2^XY` bases.
+    Synthetic {
+        /// The scale exponent XY.
+        scale: u32,
+    },
+    /// Surrogate for a real dataset (organism profile).
+    RealSurrogate,
+}
+
+/// One row of Table V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset label (`"Synthetic 27"`, `"SRR28206931"`, …).
+    pub name: &'static str,
+    /// Organism name for real datasets.
+    pub organism: Option<&'static str>,
+    /// Synthetic or surrogate.
+    pub kind: DatasetKind,
+    /// Underlying genome size in bases (full scale).
+    pub genome_bases: u64,
+    /// Read count as reported in Table V (full scale).
+    pub paper_reads: u64,
+    /// Read length.
+    pub read_len: usize,
+    /// FASTQ size string exactly as Table V prints it.
+    pub fastq_size: &'static str,
+    /// Heavy-hitter repeat content, if the organism has it.
+    pub repeats: Option<RepeatProfile>,
+}
+
+impl DatasetSpec {
+    /// The dataset shrunk by `2^shift` (both genome and reads, keeping
+    /// coverage constant). Genome is floored at four read lengths so tiny
+    /// scales remain valid workloads.
+    pub fn scaled(&self, shift: u32) -> ScaledDataset {
+        let genome = (self.genome_bases >> shift).max(4 * self.read_len as u64) as usize;
+        let reads = ((self.paper_reads >> shift).max(16)) as usize;
+        ScaledDataset {
+            spec: self.clone(),
+            shift,
+            genome_bases: genome,
+            num_reads: reads,
+        }
+    }
+
+    /// Approximate coverage (`reads × read_len / genome`).
+    pub fn coverage(&self) -> f64 {
+        self.paper_reads as f64 * self.read_len as f64 / self.genome_bases as f64
+    }
+
+    /// `true` if the paper enables the L3 aggregation layer for this
+    /// dataset (§VI-C: "only on Human and T. aestivum, known to have
+    /// high-frequency k-mers").
+    pub fn needs_l3(&self) -> bool {
+        matches!(self.organism, Some("Human") | Some("T. aestivum"))
+    }
+}
+
+/// A dataset at a concrete scale, ready to generate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaledDataset {
+    /// The original spec.
+    pub spec: DatasetSpec,
+    /// Shrink exponent applied.
+    pub shift: u32,
+    /// Scaled genome size in bases.
+    pub genome_bases: usize,
+    /// Scaled read count.
+    pub num_reads: usize,
+}
+
+impl ScaledDataset {
+    /// Generates the read set. Deterministic in `seed`.
+    pub fn generate(&self, seed: u64) -> ReadSet {
+        let genome = generate_genome(
+            &GenomeSpec {
+                bases: self.genome_bases,
+                repeats: self.spec.repeats.clone(),
+            },
+            seed,
+        );
+        let cfg = ReadSimConfig {
+            read_len: self.spec.read_len,
+            num_reads: self.num_reads,
+            error_rate: 0.002,
+            both_strands: false,
+        };
+        simulate_reads(&genome, &cfg, seed ^ 0x5EED)
+    }
+
+    /// Scaled total bases (`n·m`).
+    pub fn total_bases(&self) -> u64 {
+        self.num_reads as u64 * self.spec.read_len as u64
+    }
+}
+
+/// `Synthetic XY` spec: `2^XY`-base uniform genome at ≈50× coverage
+/// (matches Table V's read counts).
+pub fn synthetic(scale: u32) -> DatasetSpec {
+    assert!((20..=32).contains(&scale), "paper uses Synthetic 20–32");
+    // Table V read counts (exact).
+    let paper_reads: u64 = match scale {
+        20 => 349_500,
+        21 => 699_050,
+        22 => 1_398_100,
+        23 => 2_796_200,
+        24 => 5_592_400,
+        25 => 11_184_800,
+        26 => 22_369_600,
+        27 => 44_739_200,
+        28 => 89_478_450,
+        29 => 178_956_950,
+        30 => 357_913_900,
+        31 => 715_827_850,
+        32 => 1_431_655_750,
+        _ => unreachable!(),
+    };
+    let fastq_size = match scale {
+        20 => "0.11 MB",
+        21 => "0.22 MB",
+        22 => "0.44 MB",
+        23 => "0.9 GB",
+        24 => "1.8 GB",
+        25 => "3.5 GB",
+        26 => "7.0 GB",
+        27 => "16.0 GB",
+        28 => "28.0 GB",
+        29 => "57.0 GB",
+        30 => "113.0 GB",
+        31 => "226.0 GB",
+        32 => "451.0 GB",
+        _ => unreachable!(),
+    };
+    let name: &'static str = match scale {
+        20 => "Synthetic 20",
+        21 => "Synthetic 21",
+        22 => "Synthetic 22",
+        23 => "Synthetic 23",
+        24 => "Synthetic 24",
+        25 => "Synthetic 25",
+        26 => "Synthetic 26",
+        27 => "Synthetic 27",
+        28 => "Synthetic 28",
+        29 => "Synthetic 29",
+        30 => "Synthetic 30",
+        31 => "Synthetic 31",
+        32 => "Synthetic 32",
+        _ => unreachable!(),
+    };
+    DatasetSpec {
+        name,
+        organism: None,
+        kind: DatasetKind::Synthetic { scale },
+        genome_bases: 1u64 << scale,
+        paper_reads,
+        read_len: 150,
+        fastq_size,
+        repeats: None,
+    }
+}
+
+/// The seven real datasets of Table V as surrogate profiles.
+pub fn real_datasets() -> Vec<DatasetSpec> {
+    // Genome sizes are the organisms' published assembly sizes; repeat
+    // fractions are chosen so that the complex genomes show the
+    // heavy-hitter skew §IV-D and §VI-G describe, and simple ones don't.
+    vec![
+        DatasetSpec {
+            name: "SRR29163078",
+            organism: Some("P. aeruginosa"),
+            kind: DatasetKind::RealSurrogate,
+            genome_bases: 6_300_000,
+            paper_reads: 10_190_262,
+            read_len: 151,
+            fastq_size: "3.8 GB",
+            repeats: None,
+        },
+        DatasetSpec {
+            name: "SRR28892189",
+            organism: Some("S. coelicolor"),
+            kind: DatasetKind::RealSurrogate,
+            genome_bases: 8_700_000,
+            paper_reads: 15_137_459,
+            read_len: 150,
+            fastq_size: "6.3 GB",
+            repeats: None,
+        },
+        DatasetSpec {
+            name: "SRR26113965",
+            organism: Some("F. vesca"),
+            kind: DatasetKind::RealSurrogate,
+            genome_bases: 220_000_000,
+            paper_reads: 56_271_131,
+            read_len: 150,
+            fastq_size: "24.0 GB",
+            repeats: Some(RepeatProfile {
+                unit: b"TTTAGGG".to_vec(), // plant telomeric repeat
+                fraction: 0.02,
+                arrays: 64,
+            }),
+        },
+        DatasetSpec {
+            name: "SRR25743144",
+            organism: Some("P. sinus"),
+            kind: DatasetKind::RealSurrogate,
+            genome_bases: 1_000_000_000,
+            paper_reads: 139_993_564,
+            read_len: 151,
+            fastq_size: "59.0 GB",
+            repeats: Some(RepeatProfile {
+                unit: b"TTAGGG".to_vec(),
+                fraction: 0.02,
+                arrays: 64,
+            }),
+        },
+        DatasetSpec {
+            name: "SRR7443702",
+            organism: Some("Ambystoma sp."),
+            kind: DatasetKind::RealSurrogate,
+            genome_bases: 10_000_000_000,
+            paper_reads: 141_903_420,
+            read_len: 125,
+            fastq_size: "45.0 GB",
+            repeats: Some(RepeatProfile {
+                unit: b"TTAGGG".to_vec(),
+                fraction: 0.05,
+                arrays: 128,
+            }),
+        },
+        DatasetSpec {
+            name: "SRR28206931",
+            organism: Some("Human"),
+            kind: DatasetKind::RealSurrogate,
+            genome_bases: 3_100_000_000,
+            paper_reads: 263_469_656,
+            read_len: 149,
+            fastq_size: "95.0 GB",
+            repeats: Some(RepeatProfile::aatgg(0.08)),
+        },
+        DatasetSpec {
+            name: "SRR29871703",
+            organism: Some("T. aestivum"),
+            kind: DatasetKind::RealSurrogate,
+            genome_bases: 14_200_000_000,
+            paper_reads: 345_818_242,
+            read_len: 150,
+            fastq_size: "145.0 GB",
+            repeats: Some(RepeatProfile::aatgg(0.12)),
+        },
+    ]
+}
+
+/// The full Table V: all synthetic scales then the real surrogates.
+pub fn table_v() -> Vec<DatasetSpec> {
+    let mut v: Vec<DatasetSpec> = (20..=32).map(synthetic).collect();
+    v.extend(real_datasets());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_20_rows() {
+        let t = table_v();
+        assert_eq!(t.len(), 20);
+        assert_eq!(t[0].name, "Synthetic 20");
+        assert_eq!(t[19].organism, Some("T. aestivum"));
+    }
+
+    #[test]
+    fn synthetic_coverage_is_about_50x() {
+        for s in 20..=32 {
+            let d = synthetic(s);
+            let cov = d.coverage();
+            assert!((45.0..55.0).contains(&cov), "Synthetic {s}: {cov}");
+        }
+    }
+
+    #[test]
+    fn l3_flag_matches_paper() {
+        let t = table_v();
+        let l3: Vec<&str> = t.iter().filter(|d| d.needs_l3()).map(|d| d.name).collect();
+        assert_eq!(l3, vec!["SRR28206931", "SRR29871703"]);
+    }
+
+    #[test]
+    fn scaled_shrinks_proportionally() {
+        let d = synthetic(30);
+        let s = d.scaled(12);
+        assert_eq!(s.genome_bases, 1 << 18);
+        assert!((s.num_reads as f64 / (d.paper_reads >> 12) as f64 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn scaled_floors_protect_tiny_datasets() {
+        let d = synthetic(20);
+        let s = d.scaled(20); // absurd shrink
+        assert!(s.genome_bases >= 4 * d.read_len);
+        assert!(s.num_reads >= 16);
+    }
+
+    #[test]
+    fn generate_produces_expected_shape() {
+        let s = synthetic(20).scaled(6);
+        let rs = s.generate(1);
+        assert_eq!(rs.len(), s.num_reads);
+        assert!(rs.iter().all(|r| r.len() == 150));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = synthetic(21).scaled(10);
+        assert_eq!(s.generate(3), s.generate(3));
+    }
+
+    #[test]
+    fn human_surrogate_is_skewed_bacteria_not() {
+        use dakc_kmer::{kmers_of_read, CanonicalMode};
+        use std::collections::HashMap;
+        let k = 21;
+        let max_count = |name: &str| -> u32 {
+            let d = table_v().into_iter().find(|d| d.name == name).unwrap();
+            let rs = d.scaled(14).generate(5);
+            let mut h: HashMap<u64, u32> = HashMap::new();
+            for r in rs.iter() {
+                for w in kmers_of_read::<u64>(r, k, CanonicalMode::Forward) {
+                    *h.entry(w).or_default() += 1;
+                }
+            }
+            h.values().copied().max().unwrap_or(0)
+        };
+        let human = max_count("SRR28206931");
+        let bacteria = max_count("SRR29163078");
+        assert!(
+            human > 10 * bacteria.max(1),
+            "human surrogate max {human} should dwarf bacterial {bacteria}"
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! FASTA/FASTQ parsing and writing.
+//!
+//! Input handling matches what the paper's pipeline expects from
+//! `fasterq-dump` output: 4-line FASTQ records (no multi-line sequences in
+//! FASTQ; FASTA sequences may wrap). Parsing is byte-oriented and
+//! allocation-light; records borrow nothing so they can be moved into a
+//! [`crate::ReadSet`].
+
+use std::io::{self, BufRead, Write};
+
+use crate::readset::ReadSet;
+
+/// One FASTA or FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastxRecord {
+    /// Record id (text after `>`/`@`, up to the first whitespace).
+    pub id: String,
+    /// Sequence bytes.
+    pub seq: Vec<u8>,
+    /// Phred+33 quality string; `None` for FASTA.
+    pub qual: Option<Vec<u8>>,
+}
+
+/// Parse errors with line information.
+#[derive(Debug)]
+pub enum FastxError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the input.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for FastxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastxError::Io(e) => write!(f, "I/O error: {e}"),
+            FastxError::Format { line, what } => write!(f, "line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FastxError {}
+
+impl From<io::Error> for FastxError {
+    fn from(e: io::Error) -> Self {
+        FastxError::Io(e)
+    }
+}
+
+fn id_of(header: &str) -> String {
+    header
+        .split_whitespace()
+        .next()
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Parses FASTQ (strict 4-line records) from a reader.
+pub fn parse_fastq<R: BufRead>(reader: R) -> Result<Vec<FastxRecord>, FastxError> {
+    let mut out = Vec::new();
+    let mut lines = reader.lines().enumerate();
+    while let Some((ln, header)) = lines.next() {
+        let header = header?;
+        if header.is_empty() {
+            continue; // tolerate trailing blank lines
+        }
+        if !header.starts_with('@') {
+            return Err(FastxError::Format {
+                line: ln + 1,
+                what: format!("expected '@' header, got {header:?}"),
+            });
+        }
+        let (sl, seq) = lines.next().ok_or(FastxError::Format {
+            line: ln + 2,
+            what: "missing sequence line".into(),
+        })?;
+        let seq = seq?;
+        let (_, plus) = lines.next().ok_or(FastxError::Format {
+            line: sl + 2,
+            what: "missing '+' line".into(),
+        })?;
+        let plus = plus?;
+        if !plus.starts_with('+') {
+            return Err(FastxError::Format {
+                line: sl + 2,
+                what: format!("expected '+' separator, got {plus:?}"),
+            });
+        }
+        let (ql, qual) = lines.next().ok_or(FastxError::Format {
+            line: sl + 3,
+            what: "missing quality line".into(),
+        })?;
+        let qual = qual?;
+        if qual.len() != seq.len() {
+            return Err(FastxError::Format {
+                line: ql + 1,
+                what: format!("quality length {} != sequence length {}", qual.len(), seq.len()),
+            });
+        }
+        out.push(FastxRecord {
+            id: id_of(&header[1..]),
+            seq: seq.into_bytes(),
+            qual: Some(qual.into_bytes()),
+        });
+    }
+    Ok(out)
+}
+
+/// Parses FASTA (possibly line-wrapped sequences) from a reader.
+pub fn parse_fasta<R: BufRead>(reader: R) -> Result<Vec<FastxRecord>, FastxError> {
+    let mut out: Vec<FastxRecord> = Vec::new();
+    for (ln, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('>') {
+            out.push(FastxRecord {
+                id: id_of(h),
+                seq: Vec::new(),
+                qual: None,
+            });
+        } else {
+            let rec = out.last_mut().ok_or(FastxError::Format {
+                line: ln + 1,
+                what: "sequence before any '>' header".into(),
+            })?;
+            rec.seq.extend_from_slice(line.as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Writes records as FASTQ (records lacking qualities get `I` — Q40 —
+/// throughout, the convention read simulators use for perfect bases).
+pub fn write_fastq<W: Write>(mut w: W, records: &[FastxRecord]) -> io::Result<()> {
+    for r in records {
+        w.write_all(b"@")?;
+        w.write_all(r.id.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.write_all(&r.seq)?;
+        w.write_all(b"\n+\n")?;
+        match &r.qual {
+            Some(q) => w.write_all(q)?,
+            None => w.write_all(&vec![b'I'; r.seq.len()])?,
+        }
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Writes records as FASTA with 80-column wrapping.
+pub fn write_fasta<W: Write>(mut w: W, records: &[FastxRecord]) -> io::Result<()> {
+    for r in records {
+        w.write_all(b">")?;
+        w.write_all(r.id.as_bytes())?;
+        w.write_all(b"\n")?;
+        for chunk in r.seq.chunks(80) {
+            w.write_all(chunk)?;
+            w.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads just the sequences of a FASTQ stream into a [`ReadSet`].
+pub fn fastq_to_readset<R: BufRead>(reader: R) -> Result<ReadSet, FastxError> {
+    let records = parse_fastq(reader)?;
+    let mut rs = ReadSet::with_capacity(records.len(), records.iter().map(|r| r.seq.len()).sum());
+    for r in &records {
+        rs.push(&r.seq);
+    }
+    Ok(rs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FQ: &str = "@r1 desc\nACGT\n+\nIIII\n@r2\nGG\n+\n##\n";
+
+    #[test]
+    fn fastq_round_trip() {
+        let recs = parse_fastq(FQ.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "r1");
+        assert_eq!(recs[0].seq, b"ACGT");
+        assert_eq!(recs[0].qual.as_deref(), Some(b"IIII".as_slice()));
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &recs).unwrap();
+        let again = parse_fastq(buf.as_slice()).unwrap();
+        assert_eq!(recs, again);
+    }
+
+    #[test]
+    fn fastq_rejects_bad_header() {
+        assert!(parse_fastq("ACGT\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn fastq_rejects_quality_length_mismatch() {
+        let bad = "@r\nACGT\n+\nII\n";
+        assert!(parse_fastq(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn fastq_rejects_truncated_record() {
+        let bad = "@r\nACGT\n";
+        assert!(parse_fastq(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn fasta_wrapped_sequences_concatenate() {
+        let fa = ">g1 chromosome\nACGT\nACGT\n>g2\nTT\n";
+        let recs = parse_fasta(fa.as_bytes()).unwrap();
+        assert_eq!(recs[0].id, "g1");
+        assert_eq!(recs[0].seq, b"ACGTACGT");
+        assert_eq!(recs[1].seq, b"TT");
+    }
+
+    #[test]
+    fn fasta_round_trip_with_wrapping() {
+        let rec = FastxRecord {
+            id: "long".into(),
+            seq: vec![b'A'; 200],
+            qual: None,
+        };
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, std::slice::from_ref(&rec)).unwrap();
+        let again = parse_fasta(buf.as_slice()).unwrap();
+        assert_eq!(again[0].seq, rec.seq);
+    }
+
+    #[test]
+    fn fasta_rejects_headerless_sequence() {
+        assert!(parse_fasta("ACGT\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn fastq_to_readset_extracts_sequences() {
+        let rs = fastq_to_readset(FQ.as_bytes()).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.get(0), b"ACGT");
+        assert_eq!(rs.get(1), b"GG");
+    }
+
+    #[test]
+    fn write_fastq_synthesizes_quality() {
+        let rec = FastxRecord {
+            id: "x".into(),
+            seq: b"ACG".to_vec(),
+            qual: None,
+        };
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, std::slice::from_ref(&rec)).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "@x\nACG\n+\nIII\n");
+    }
+}

@@ -1,0 +1,141 @@
+//! Synthetic genome generation.
+//!
+//! The paper's synthetic datasets sample a genome "uniformly randomly from
+//! the alphabet Σ = {A, C, G, T}" (§VI). Its real complex genomes (Human,
+//! *T. aestivum*) additionally carry *heavy hitters*: a few k-mers at very
+//! high frequency produced by tandem repeat arrays like `(AATGG)n`
+//! (§IV-D). [`RepeatProfile`] injects such arrays so the surrogate
+//! datasets reproduce the skew that makes the paper's L3 aggregation layer
+//! pay off.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A tandem-repeat component of a genome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepeatProfile {
+    /// Repeat unit, e.g. `b"AATGG"` (the human-genome repeat the paper
+    /// cites from HySortK).
+    pub unit: Vec<u8>,
+    /// Fraction of the genome covered by repeat arrays, in `[0, 1)`.
+    pub fraction: f64,
+    /// Number of distinct arrays the repeat budget is split across.
+    pub arrays: usize,
+}
+
+impl RepeatProfile {
+    /// The `(AATGG)n` centromeric-satellite-like profile for human-grade
+    /// skew.
+    pub fn aatgg(fraction: f64) -> Self {
+        Self {
+            unit: b"AATGG".to_vec(),
+            fraction,
+            arrays: 32,
+        }
+    }
+}
+
+/// Description of a genome to synthesize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenomeSpec {
+    /// Total length in bases.
+    pub bases: usize,
+    /// Optional tandem repeat structure (heavy hitters).
+    pub repeats: Option<RepeatProfile>,
+}
+
+/// Generates a genome: uniform random bases, then repeat arrays pasted
+/// over random disjoint-ish positions.
+///
+/// Deterministic in `seed`.
+pub fn generate_genome(spec: &GenomeSpec, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+    let mut g: Vec<u8> = (0..spec.bases).map(|_| BASES[rng.gen_range(0..4)]).collect();
+
+    if let Some(rp) = &spec.repeats {
+        assert!((0.0..1.0).contains(&rp.fraction), "fraction in [0,1)");
+        assert!(rp.arrays > 0, "need at least one array");
+        let budget = (spec.bases as f64 * rp.fraction) as usize;
+        if budget >= rp.unit.len() && spec.bases > rp.unit.len() {
+            let per_array = (budget / rp.arrays).max(rp.unit.len());
+            let mut placed = 0usize;
+            while placed + per_array <= budget {
+                let len = per_array.min(spec.bases);
+                let start = rng.gen_range(0..=spec.bases - len);
+                for i in 0..len {
+                    g[start + i] = rp.unit[i % rp.unit.len()];
+                }
+                placed += len;
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn length_and_alphabet() {
+        let g = generate_genome(&GenomeSpec { bases: 10_000, repeats: None }, 1);
+        assert_eq!(g.len(), 10_000);
+        assert!(g.iter().all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = GenomeSpec { bases: 5_000, repeats: Some(RepeatProfile::aatgg(0.1)) };
+        assert_eq!(generate_genome(&spec, 7), generate_genome(&spec, 7));
+        assert_ne!(generate_genome(&spec, 7), generate_genome(&spec, 8));
+    }
+
+    #[test]
+    fn uniform_genome_is_roughly_balanced() {
+        let g = generate_genome(&GenomeSpec { bases: 100_000, repeats: None }, 42);
+        let mut h: HashMap<u8, usize> = HashMap::new();
+        for &b in &g {
+            *h.entry(b).or_default() += 1;
+        }
+        for (_, &c) in &h {
+            let dev = (c as f64 - 25_000.0).abs() / 25_000.0;
+            assert!(dev < 0.05, "base frequency off by {dev}");
+        }
+    }
+
+    #[test]
+    fn repeats_create_heavy_kmers() {
+        use dakc_kmer::{kmers_of_read, CanonicalMode};
+        let spec = GenomeSpec { bases: 50_000, repeats: Some(RepeatProfile::aatgg(0.2)) };
+        let g = generate_genome(&spec, 3);
+        let k = 15;
+        let mut hist: HashMap<u64, u32> = HashMap::new();
+        for w in kmers_of_read::<u64>(&g, k, CanonicalMode::Forward) {
+            *hist.entry(w).or_default() += 1;
+        }
+        let max = hist.values().copied().max().unwrap();
+        // A 20% (AATGG)n budget over 50 kb makes one k-mer appear
+        // thousands of times; a uniform genome's max is single digits.
+        assert!(max > 500, "expected heavy hitters, max count {max}");
+
+        let uniform = generate_genome(&GenomeSpec { bases: 50_000, repeats: None }, 3);
+        let mut hist_u: HashMap<u64, u32> = HashMap::new();
+        for w in kmers_of_read::<u64>(&uniform, k, CanonicalMode::Forward) {
+            *hist_u.entry(w).or_default() += 1;
+        }
+        let max_u = hist_u.values().copied().max().unwrap();
+        assert!(max_u < 10, "uniform genome should not be skewed, got {max_u}");
+    }
+
+    #[test]
+    fn zero_fraction_is_uniform() {
+        let with = GenomeSpec {
+            bases: 1000,
+            repeats: Some(RepeatProfile { unit: b"AATGG".to_vec(), fraction: 0.0, arrays: 4 }),
+        };
+        let without = GenomeSpec { bases: 1000, repeats: None };
+        assert_eq!(generate_genome(&with, 9), generate_genome(&without, 9));
+    }
+}

@@ -1,0 +1,256 @@
+//! Streaming FASTA/FASTQ readers.
+//!
+//! [`crate::fastx`] materializes whole files; real datasets (Table V runs
+//! to 451 GB) need constant-memory streaming. [`FastxReader`] yields one
+//! record at a time from any `BufRead`, sniffing the format from the first
+//! byte, with the same strictness as the batch parsers.
+
+use std::io::BufRead;
+
+use crate::fastx::{FastxError, FastxRecord};
+use crate::readset::ReadSet;
+
+/// Detected stream format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastxFormat {
+    /// `>` headers, possibly wrapped sequences.
+    Fasta,
+    /// `@` headers, strict 4-line records.
+    Fastq,
+}
+
+/// A pull-based record reader.
+pub struct FastxReader<R: BufRead> {
+    inner: R,
+    format: Option<FastxFormat>,
+    /// FASTA carry-over: the header of the record currently being read.
+    pending_header: Option<String>,
+    line_no: usize,
+    line: String,
+}
+
+impl<R: BufRead> FastxReader<R> {
+    /// Wraps a reader; the format is sniffed on the first record.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            format: None,
+            pending_header: None,
+            line_no: 0,
+            line: String::new(),
+        }
+    }
+
+    /// The detected format, once the first record has been read.
+    pub fn format(&self) -> Option<FastxFormat> {
+        self.format
+    }
+
+    fn read_line(&mut self) -> Result<Option<&str>, FastxError> {
+        self.line.clear();
+        let n = self.inner.read_line(&mut self.line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.line_no += 1;
+        Ok(Some(self.line.trim_end_matches(['\n', '\r'])))
+    }
+
+    fn err(&self, what: impl Into<String>) -> FastxError {
+        FastxError::Format {
+            line: self.line_no,
+            what: what.into(),
+        }
+    }
+
+    /// Reads the next record, or `None` at end of stream.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<FastxRecord>, FastxError> {
+        // Resolve a header: either carried over (FASTA) or the next
+        // nonempty line.
+        let header = if let Some(h) = self.pending_header.take() {
+            h
+        } else {
+            loop {
+                match self.read_line()? {
+                    None => return Ok(None),
+                    Some(l) if l.is_empty() => continue,
+                    Some(l) => break l.to_string(),
+                }
+            }
+        };
+
+        let format = match self.format {
+            Some(f) => f,
+            None => {
+                let f = match header.bytes().next() {
+                    Some(b'>') => FastxFormat::Fasta,
+                    Some(b'@') => FastxFormat::Fastq,
+                    _ => return Err(self.err(format!("unrecognized header {header:?}"))),
+                };
+                self.format = Some(f);
+                f
+            }
+        };
+
+        let id = header[1..]
+            .split_whitespace()
+            .next()
+            .unwrap_or_default()
+            .to_string();
+
+        match format {
+            FastxFormat::Fastq => {
+                if !header.starts_with('@') {
+                    return Err(self.err(format!("expected '@', got {header:?}")));
+                }
+                let seq = match self.read_line()? {
+                    Some(l) => l.as_bytes().to_vec(),
+                    None => return Err(self.err("missing sequence line")),
+                };
+                let plus = match self.read_line()? {
+                    Some(l) => l.to_string(),
+                    None => return Err(self.err("missing '+' line")),
+                };
+                if !plus.starts_with('+') {
+                    return Err(self.err(format!("expected '+', got {plus:?}")));
+                }
+                let qual = match self.read_line()? {
+                    Some(l) => l.as_bytes().to_vec(),
+                    None => return Err(self.err("missing quality line")),
+                };
+                if qual.len() != seq.len() {
+                    return Err(self.err(format!(
+                        "quality length {} != sequence length {}",
+                        qual.len(),
+                        seq.len()
+                    )));
+                }
+                Ok(Some(FastxRecord { id, seq, qual: Some(qual) }))
+            }
+            FastxFormat::Fasta => {
+                if !header.starts_with('>') {
+                    return Err(self.err(format!("expected '>', got {header:?}")));
+                }
+                let mut seq = Vec::new();
+                loop {
+                    match self.read_line()? {
+                        None => break,
+                        Some(l) if l.starts_with('>') => {
+                            self.pending_header = Some(l.to_string());
+                            break;
+                        }
+                        Some(l) => seq.extend_from_slice(l.as_bytes()),
+                    }
+                }
+                Ok(Some(FastxRecord { id, seq, qual: None }))
+            }
+        }
+    }
+
+    /// Streams the remaining records into a [`ReadSet`] in fixed-size
+    /// chunks, calling `f` per chunk; the chunk is reused. Returns the
+    /// record total.
+    pub fn for_each_chunk(
+        &mut self,
+        chunk_reads: usize,
+        mut f: impl FnMut(&ReadSet),
+    ) -> Result<usize, FastxError> {
+        assert!(chunk_reads >= 1);
+        let mut total = 0usize;
+        let mut chunk = ReadSet::new();
+        while let Some(rec) = self.next()? {
+            chunk.push(&rec.seq);
+            total += 1;
+            if chunk.len() == chunk_reads {
+                f(&chunk);
+                chunk = ReadSet::new();
+            }
+        }
+        if !chunk.is_empty() {
+            f(&chunk);
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_fastq_records() {
+        let data = "@r1\nACGT\n+\nIIII\n@r2 extra\nGG\n+x\n##\n";
+        let mut r = FastxReader::new(data.as_bytes());
+        let a = r.next().unwrap().unwrap();
+        assert_eq!(r.format(), Some(FastxFormat::Fastq));
+        assert_eq!(a.id, "r1");
+        assert_eq!(a.seq, b"ACGT");
+        let b = r.next().unwrap().unwrap();
+        assert_eq!(b.id, "r2");
+        assert_eq!(b.qual.as_deref(), Some(b"##".as_slice()));
+        assert!(r.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn streams_wrapped_fasta() {
+        let data = ">g1\nACGT\nACG\n>g2\nTT\n";
+        let mut r = FastxReader::new(data.as_bytes());
+        let a = r.next().unwrap().unwrap();
+        assert_eq!(r.format(), Some(FastxFormat::Fasta));
+        assert_eq!(a.seq, b"ACGTACG");
+        let b = r.next().unwrap().unwrap();
+        assert_eq!(b.seq, b"TT");
+        assert!(r.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn agrees_with_batch_parser() {
+        let data = "@a\nACGTA\n+\nIIIII\n@b\nCC\n+\n!!\n@c\nGGGG\n+\nIIII\n";
+        let batch = crate::fastx::parse_fastq(data.as_bytes()).unwrap();
+        let mut streamed = Vec::new();
+        let mut r = FastxReader::new(data.as_bytes());
+        while let Some(rec) = r.next().unwrap() {
+            streamed.push(rec);
+        }
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn chunked_iteration_covers_everything() {
+        let mut data = String::new();
+        for i in 0..25 {
+            data.push_str(&format!("@r{i}\nACGT\n+\nIIII\n"));
+        }
+        let mut r = FastxReader::new(data.as_bytes());
+        let mut chunks = Vec::new();
+        let total = r
+            .for_each_chunk(10, |c| chunks.push(c.len()))
+            .unwrap();
+        assert_eq!(total, 25);
+        assert_eq!(chunks, vec![10, 10, 5]);
+    }
+
+    #[test]
+    fn truncated_fastq_errors_with_line_number() {
+        let data = "@r1\nACGT\n";
+        let mut r = FastxReader::new(data.as_bytes());
+        let err = r.next().unwrap_err();
+        assert!(format!("{err}").contains("missing"));
+    }
+
+    #[test]
+    fn garbage_header_rejected() {
+        let mut r = FastxReader::new("ACGT\n".as_bytes());
+        assert!(r.next().is_err());
+    }
+
+    #[test]
+    fn blank_lines_between_records_tolerated() {
+        let data = "@a\nAC\n+\nII\n\n\n@b\nGG\n+\nII\n";
+        let mut r = FastxReader::new(data.as_bytes());
+        assert_eq!(r.next().unwrap().unwrap().id, "a");
+        assert_eq!(r.next().unwrap().unwrap().id, "b");
+        assert!(r.next().unwrap().is_none());
+    }
+}

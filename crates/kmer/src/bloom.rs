@@ -1,0 +1,152 @@
+//! A blocked Bloom filter over k-mer words.
+//!
+//! The paper's related work (§II-A) covers DFCounter [35] and Squeakr
+//! [25]: probabilistic pre-filters that skip *singleton* k-mers — the
+//! sequencing-error artifacts that dominate distinct-k-mer counts — to
+//! shrink the counting workload. This filter is the substrate for the
+//! workspace's `count_kmers_filtered` extension: first occurrences go into
+//! the filter; only k-mers seen again are counted exactly.
+//!
+//! The filter is *blocked*: each element's probes all land in one 64-byte
+//! cache line, the standard HPC trade (slightly worse false-positive rate
+//! for one memory access per query).
+
+use crate::hash::splitmix64;
+use crate::kmer::KmerWord;
+
+/// Words per block: 8 × u64 = one 64-byte cache line.
+const BLOCK_WORDS: usize = 8;
+
+/// A blocked Bloom filter for k-mer words.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    blocks: Vec<[u64; BLOCK_WORDS]>,
+    probes: u32,
+}
+
+impl BloomFilter {
+    /// Builds a filter sized for `expected_items` at roughly the requested
+    /// false-positive rate (clamped to `[1e-6, 0.5]`).
+    pub fn with_rate(expected_items: usize, fp_rate: f64) -> Self {
+        let fp = fp_rate.clamp(1e-6, 0.5);
+        // Standard sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2; blocked
+        // filters lose a little accuracy, compensate with ~20% extra bits.
+        let n = expected_items.max(1) as f64;
+        let m_bits = (-n * fp.ln() / (2f64.ln().powi(2)) * 1.2).ceil() as usize;
+        let blocks = m_bits.div_ceil(BLOCK_WORDS * 64).max(1);
+        let probes = ((m_bits as f64 / n) * 2f64.ln()).round().clamp(1.0, 12.0) as u32;
+        Self {
+            blocks: vec![[0u64; BLOCK_WORDS]; blocks],
+            probes,
+        }
+    }
+
+    /// Bits of storage.
+    pub fn bits(&self) -> usize {
+        self.blocks.len() * BLOCK_WORDS * 64
+    }
+
+    /// Number of probe bits per element.
+    pub fn probes(&self) -> u32 {
+        self.probes
+    }
+
+    #[inline]
+    fn block_of(&self, h: u64) -> usize {
+        // Multiply-shift range reduction.
+        ((h as u128 * self.blocks.len() as u128) >> 64) as usize
+    }
+
+    /// Inserts the k-mer; returns `true` if it was (probably) already
+    /// present — i.e. every probe bit was already set.
+    #[inline]
+    pub fn insert<W: KmerWord>(&mut self, w: W) -> bool {
+        let h0 = w.hash64();
+        let block = self.block_of(h0);
+        let mut h = splitmix64(h0);
+        let mut all_set = true;
+        for _ in 0..self.probes {
+            let bit = (h % (BLOCK_WORDS as u64 * 64)) as usize;
+            let (word, off) = (bit / 64, bit % 64);
+            let mask = 1u64 << off;
+            if self.blocks[block][word] & mask == 0 {
+                all_set = false;
+                self.blocks[block][word] |= mask;
+            }
+            h = splitmix64(h);
+        }
+        all_set
+    }
+
+    /// `true` if the k-mer is (probably) present. Never a false negative.
+    #[inline]
+    pub fn contains<W: KmerWord>(&self, w: W) -> bool {
+        let h0 = w.hash64();
+        let block = self.block_of(h0);
+        let mut h = splitmix64(h0);
+        for _ in 0..self.probes {
+            let bit = (h % (BLOCK_WORDS as u64 * 64)) as usize;
+            if self.blocks[block][bit / 64] & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+            h = splitmix64(h);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_rate(10_000, 0.01);
+        let items: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        for &w in &items {
+            f.insert(w);
+        }
+        for &w in &items {
+            assert!(f.contains(w), "false negative for {w}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_bounded() {
+        let n = 50_000usize;
+        let mut f = BloomFilter::with_rate(n, 0.01);
+        for i in 0..n as u64 {
+            f.insert(splitmix64(i));
+        }
+        // Query disjoint values.
+        let fps = (0..n as u64)
+            .filter(|&i| f.contains(splitmix64(i + 1_000_000_000)))
+            .count();
+        let rate = fps as f64 / n as f64;
+        assert!(rate < 0.05, "observed fp rate {rate} too high");
+    }
+
+    #[test]
+    fn insert_reports_repeats() {
+        let mut f = BloomFilter::with_rate(1_000, 0.001);
+        assert!(!f.insert(42u64), "first insert is new");
+        assert!(f.insert(42u64), "second insert is a repeat");
+    }
+
+    #[test]
+    fn works_for_u128_words() {
+        let mut f = BloomFilter::with_rate(100, 0.01);
+        let w: u128 = (7u128 << 90) | 13;
+        assert!(!f.contains(w));
+        f.insert(w);
+        assert!(f.contains(w));
+    }
+
+    #[test]
+    fn tiny_filter_does_not_panic() {
+        let mut f = BloomFilter::with_rate(1, 0.5);
+        f.insert(1u64);
+        assert!(f.contains(1u64));
+        assert!(f.bits() >= 512);
+    }
+}

@@ -1,0 +1,197 @@
+//! 2-bit DNA encoding.
+//!
+//! Every parser and k-mer builder in the workspace shares these tables. The
+//! encoding follows the usual lexicographic convention:
+//!
+//! | base | code |
+//! |------|------|
+//! | `A`  | `0`  |
+//! | `C`  | `1`  |
+//! | `G`  | `2`  |
+//! | `T`  | `3`  |
+//!
+//! With this encoding the Watson-Crick complement of a code `c` is `3 - c`,
+//! i.e. `c ^ 0b11`, which is what makes the branch-free reverse-complement
+//! in [`crate::kmer`] possible.
+
+/// Sentinel stored in [`ENCODE_TABLE`] for bytes that are not DNA bases.
+pub const INVALID_CODE: u8 = 0xFF;
+
+/// 256-entry ASCII → 2-bit code table. Lower- and upper-case bases map to
+/// the same code; everything else maps to [`INVALID_CODE`].
+pub static ENCODE_TABLE: [u8; 256] = {
+    let mut t = [INVALID_CODE; 256];
+    t[b'A' as usize] = 0;
+    t[b'a' as usize] = 0;
+    t[b'C' as usize] = 1;
+    t[b'c' as usize] = 1;
+    t[b'G' as usize] = 2;
+    t[b'g' as usize] = 2;
+    t[b'T' as usize] = 3;
+    t[b't' as usize] = 3;
+    t
+};
+
+/// 2-bit code → upper-case ASCII base.
+pub static DECODE_TABLE: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Encodes one ASCII base into its 2-bit code.
+///
+/// Returns `None` for any byte that is not `ACGTacgt` (e.g. the ambiguity
+/// code `N` that real FASTQ data contains); callers decide whether to reset
+/// the rolling k-mer window or abort.
+#[inline]
+pub fn encode_base(b: u8) -> Option<u8> {
+    let c = ENCODE_TABLE[b as usize];
+    if c == INVALID_CODE {
+        None
+    } else {
+        Some(c)
+    }
+}
+
+/// Decodes a 2-bit code (`0..=3`) back to its upper-case ASCII base.
+///
+/// # Panics
+///
+/// Panics if `code > 3`.
+#[inline]
+pub fn decode_base(code: u8) -> u8 {
+    DECODE_TABLE[code as usize]
+}
+
+/// Returns `true` if the byte is one of `ACGTacgt`.
+#[inline]
+pub fn is_dna_base(b: u8) -> bool {
+    ENCODE_TABLE[b as usize] != INVALID_CODE
+}
+
+/// Watson-Crick complement of a 2-bit code (`A↔T`, `C↔G`).
+#[inline]
+pub fn complement_code(code: u8) -> u8 {
+    debug_assert!(code <= 3);
+    code ^ 0b11
+}
+
+/// Complement of an ASCII base, preserving case for `ACGTacgt`.
+///
+/// Returns `None` for non-DNA bytes.
+#[inline]
+pub fn complement_base(b: u8) -> Option<u8> {
+    Some(match b {
+        b'A' => b'T',
+        b'T' => b'A',
+        b'C' => b'G',
+        b'G' => b'C',
+        b'a' => b't',
+        b't' => b'a',
+        b'c' => b'g',
+        b'g' => b'c',
+        _ => return None,
+    })
+}
+
+/// Encodes an entire ASCII sequence into packed 2-bit codes, two bases per
+/// nibble boundary (4 bases per byte), most significant pair first.
+///
+/// This is the compact storage format used by the synthetic genome
+/// generator; it is *not* the k-mer wire format (k-mers travel as whole
+/// `u64`/`u128` words).
+///
+/// Returns `None` if the sequence contains a non-DNA byte.
+pub fn pack_sequence(seq: &[u8]) -> Option<Vec<u8>> {
+    let mut out = vec![0u8; seq.len().div_ceil(4)];
+    for (i, &b) in seq.iter().enumerate() {
+        let code = encode_base(b)?;
+        out[i / 4] |= code << (6 - 2 * (i % 4));
+    }
+    Some(out)
+}
+
+/// Inverse of [`pack_sequence`]; `len` is the number of bases to recover.
+pub fn unpack_sequence(packed: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= packed.len() * 4, "len exceeds packed capacity");
+    (0..len)
+        .map(|i| decode_base((packed[i / 4] >> (6 - 2 * (i % 4))) & 0b11))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known_bases() {
+        assert_eq!(encode_base(b'A'), Some(0));
+        assert_eq!(encode_base(b'C'), Some(1));
+        assert_eq!(encode_base(b'G'), Some(2));
+        assert_eq!(encode_base(b'T'), Some(3));
+        assert_eq!(encode_base(b'a'), Some(0));
+        assert_eq!(encode_base(b't'), Some(3));
+    }
+
+    #[test]
+    fn encode_rejects_non_dna() {
+        for b in [b'N', b'n', b'X', b'-', b' ', b'\n', 0u8, 255u8] {
+            assert_eq!(encode_base(b), None, "byte {b:?} must be invalid");
+        }
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        for code in 0..4u8 {
+            assert_eq!(encode_base(decode_base(code)), Some(code));
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for code in 0..4u8 {
+            assert_eq!(complement_code(complement_code(code)), code);
+        }
+        assert_eq!(complement_code(0), 3); // A -> T
+        assert_eq!(complement_code(1), 2); // C -> G
+    }
+
+    #[test]
+    fn complement_base_preserves_case() {
+        assert_eq!(complement_base(b'A'), Some(b'T'));
+        assert_eq!(complement_base(b'g'), Some(b'c'));
+        assert_eq!(complement_base(b'N'), None);
+    }
+
+    #[test]
+    fn is_dna_base_matches_encode() {
+        for b in 0..=255u8 {
+            assert_eq!(is_dna_base(b), encode_base(b).is_some());
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let seq = b"ACGTACGTTGCA";
+        let packed = pack_sequence(seq).unwrap();
+        assert_eq!(packed.len(), 3);
+        assert_eq!(unpack_sequence(&packed, seq.len()), seq.to_vec());
+    }
+
+    #[test]
+    fn pack_partial_final_byte() {
+        let seq = b"ACGTA";
+        let packed = pack_sequence(seq).unwrap();
+        assert_eq!(packed.len(), 2);
+        assert_eq!(unpack_sequence(&packed, 5), seq.to_vec());
+    }
+
+    #[test]
+    fn pack_rejects_invalid() {
+        assert!(pack_sequence(b"ACGNT").is_none());
+    }
+
+    #[test]
+    fn pack_empty() {
+        let packed = pack_sequence(b"").unwrap();
+        assert!(packed.is_empty());
+        assert!(unpack_sequence(&packed, 0).is_empty());
+    }
+}

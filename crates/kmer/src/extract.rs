@@ -1,0 +1,201 @@
+//! k-mer extraction from reads.
+//!
+//! Implements the parse loop of Algorithms 1–3: build the first k-mer with
+//! `GetFirstKmer`, then roll one base at a time. A read of `m` bases yields
+//! `m - k + 1` k-mers (when every base is a valid DNA character).
+//!
+//! Real sequencing data contains ambiguity codes (`N`); on encountering a
+//! non-ACGT byte the rolling window resets, so no emitted k-mer spans an
+//! invalid base — the behaviour of every production counter.
+
+use crate::encode::ENCODE_TABLE;
+use crate::kmer::KmerWord;
+
+/// Whether extraction emits forward k-mers (the paper's Algorithm 1) or
+/// canonical k-mers (strand-neutral, the KMC3 convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CanonicalMode {
+    /// Emit the k-mer exactly as read (paper default).
+    #[default]
+    Forward,
+    /// Emit `min(kmer, revcomp(kmer))`.
+    Canonical,
+}
+
+/// Iterator over the k-mers of one read. Created by [`kmers_of_read`].
+#[derive(Debug, Clone)]
+pub struct KmerIter<'a, W: KmerWord> {
+    seq: &'a [u8],
+    k: usize,
+    mode: CanonicalMode,
+    /// Next byte of `seq` to consume.
+    pos: usize,
+    /// Number of valid bases currently in the rolling window (≤ k).
+    filled: usize,
+    word: W,
+}
+
+impl<'a, W: KmerWord> Iterator for KmerIter<'a, W> {
+    type Item = W;
+
+    #[inline]
+    fn next(&mut self) -> Option<W> {
+        while self.pos < self.seq.len() {
+            let code = ENCODE_TABLE[self.seq[self.pos] as usize];
+            self.pos += 1;
+            if code == crate::encode::INVALID_CODE {
+                // Ambiguity code: restart the window after it.
+                self.filled = 0;
+                self.word = W::zero();
+                continue;
+            }
+            self.word = self.word.push_base(self.k, code);
+            self.filled = (self.filled + 1).min(self.k);
+            if self.filled == self.k {
+                return Some(match self.mode {
+                    CanonicalMode::Forward => self.word,
+                    CanonicalMode::Canonical => self.word.canonical(self.k),
+                });
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Each remaining byte can complete at most one window; an `N` can
+        // void everything, so the lower bound is 0.
+        (0, Some(self.seq.len() - self.pos))
+    }
+}
+
+/// Returns an iterator over all k-mers of `seq`, resetting across non-ACGT
+/// bytes.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds `W::MAX_K`.
+///
+/// # Examples
+///
+/// ```
+/// use dakc_kmer::{kmers_of_read, CanonicalMode, Kmer64, KmerWord};
+/// let kmers: Vec<Kmer64> = kmers_of_read(b"ACGTA", 3, CanonicalMode::Forward).collect();
+/// assert_eq!(kmers.len(), 3); // ACG, CGT, GTA
+/// assert_eq!(kmers[0].to_dna_string(3), "ACG");
+/// ```
+pub fn kmers_of_read<W: KmerWord>(seq: &[u8], k: usize, mode: CanonicalMode) -> KmerIter<'_, W> {
+    assert!(
+        (1..=W::MAX_K).contains(&k),
+        "k = {k} out of range 1..={}",
+        W::MAX_K
+    );
+    KmerIter {
+        seq,
+        k,
+        mode,
+        pos: 0,
+        filled: 0,
+        word: W::zero(),
+    }
+}
+
+/// Counts the k-mers a read would yield without materializing them
+/// (`m - k + 1` per maximal ACGT run of length `m ≥ k`).
+pub fn kmer_count_of_read(seq: &[u8], k: usize) -> usize {
+    let mut total = 0usize;
+    let mut run = 0usize;
+    for &b in seq {
+        if crate::encode::is_dna_base(b) {
+            run += 1;
+            if run >= k {
+                total += 1;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer::Kmer64;
+
+    fn strs(seq: &[u8], k: usize, mode: CanonicalMode) -> Vec<String> {
+        kmers_of_read::<Kmer64>(seq, k, mode)
+            .map(|w| w.to_dna_string(k))
+            .collect()
+    }
+
+    #[test]
+    fn forward_extraction_matches_sliding_window() {
+        let got = strs(b"ACGTAC", 3, CanonicalMode::Forward);
+        assert_eq!(got, vec!["ACG", "CGT", "GTA", "TAC"]);
+    }
+
+    #[test]
+    fn yields_m_minus_k_plus_1() {
+        let seq = b"ACGTACGTACGTACGT";
+        for k in 1..=seq.len() {
+            let n = kmers_of_read::<Kmer64>(seq, k, CanonicalMode::Forward).count();
+            assert_eq!(n, seq.len() - k + 1, "k = {k}");
+            assert_eq!(kmer_count_of_read(seq, k), n, "count helper, k = {k}");
+        }
+    }
+
+    #[test]
+    fn short_read_yields_nothing() {
+        assert!(strs(b"AC", 3, CanonicalMode::Forward).is_empty());
+        assert_eq!(kmer_count_of_read(b"AC", 3), 0);
+    }
+
+    #[test]
+    fn n_resets_window() {
+        // "ACGNTACG": the N voids windows spanning it ("CGN", "GNT", "NTA").
+        let got = strs(b"ACGNTACG", 3, CanonicalMode::Forward);
+        assert_eq!(got, vec!["ACG", "TAC", "ACG"]);
+        assert_eq!(kmer_count_of_read(b"ACGNTACG", 3), 3);
+    }
+
+    #[test]
+    fn all_invalid_yields_nothing() {
+        assert!(strs(b"NNNNNN", 2, CanonicalMode::Forward).is_empty());
+    }
+
+    #[test]
+    fn canonical_mode_is_strand_neutral() {
+        let fwd = strs(b"GGGCCATT", 4, CanonicalMode::Canonical);
+        // Reverse complement of the read.
+        let rc: Vec<u8> = b"GGGCCATT"
+            .iter()
+            .rev()
+            .map(|&b| crate::encode::complement_base(b).unwrap())
+            .collect();
+        let mut rev = strs(&rc, 4, CanonicalMode::Canonical);
+        rev.reverse();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        assert_eq!(strs(b"acgt", 2, CanonicalMode::Forward), vec!["AC", "CG", "GT"]);
+    }
+
+    #[test]
+    fn kmer128_extraction_for_large_k() {
+        let seq = b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"; // 40 bases
+        let k = 36;
+        let got: Vec<String> = kmers_of_read::<u128>(seq, k, CanonicalMode::Forward)
+            .map(|w| w.to_dna_string(k))
+            .collect();
+        assert_eq!(got.len(), seq.len() - k + 1);
+        assert_eq!(got[0].as_bytes(), &seq[..k]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_too_large_panics() {
+        let _ = kmers_of_read::<Kmer64>(b"ACGT", 33, CanonicalMode::Forward);
+    }
+}

@@ -1,0 +1,352 @@
+//! Packed k-mer words.
+//!
+//! Following the paper (§V, Phase 1), a k-mer of length `k` is stored in a
+//! `2^ceil(log2(2k))`-bit unsigned integer: `u64` for `k ≤ 32` (the paper's
+//! production configuration, `k = 31` in all experiments) and `u128` for
+//! `k ≤ 64` (the 128-bit extension the paper lists as future work, which we
+//! implement).
+//!
+//! The first base of the k-mer occupies the *most significant* 2-bit slot of
+//! the low `2k` bits, so appending the next base of a read is the shift-or
+//! step of Algorithm 1:
+//!
+//! ```text
+//! kmer ← (kmer << 2) OR Encode(R[i][j])      (masked to 2k bits)
+//! ```
+//!
+//! [`KmerWord`] abstracts over the two widths so extraction, aggregation and
+//! sorting are written once. It is implemented for the plain integer types —
+//! k-mers travel through every aggregation layer as raw words, exactly as in
+//! the reference implementation, so wrapping them in a newtype would only
+//! add conversion friction at the wire boundary. [`Kmer64`]/[`Kmer128`] are
+//! documentation aliases.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::encode::{decode_base, encode_base};
+
+/// A k-mer packed into a `u64` (`k ≤ 32`).
+pub type Kmer64 = u64;
+
+/// A k-mer packed into a `u128` (`33 ≤ k ≤ 64`); the paper's future-work
+/// extension for long-read workloads.
+pub type Kmer128 = u128;
+
+/// Operations every packed k-mer word supports.
+///
+/// All methods take `k` explicitly: the word itself does not carry its
+/// length (it is a raw integer on the wire).
+pub trait KmerWord:
+    Copy + Ord + Eq + Hash + Debug + Send + Sync + Default + 'static
+{
+    /// Largest supported k-mer length for this width.
+    const MAX_K: usize;
+
+    /// Width of the word in bits.
+    const BITS: u32;
+
+    /// The all-zero word (`AAA…A`).
+    fn zero() -> Self;
+
+    /// Bit mask selecting the low `2k` bits.
+    fn mask(k: usize) -> Self;
+
+    /// Appends one 2-bit base code on the right, dropping the leftmost base
+    /// (the rolling update of Algorithms 1–3).
+    fn push_base(self, k: usize, code: u8) -> Self;
+
+    /// The 2-bit code of base `i` (0-based from the start of the k-mer).
+    fn base_at(self, k: usize, i: usize) -> u8;
+
+    /// Reverse complement of the k-mer.
+    fn revcomp(self, k: usize) -> Self;
+
+    /// Canonical form: the lexicographic minimum of the k-mer and its
+    /// reverse complement. Strand-neutral counting (the convention of KMC3
+    /// and most production counters) counts canonical k-mers.
+    #[inline]
+    fn canonical(self, k: usize) -> Self {
+        self.min(self.revcomp(k))
+    }
+
+    /// Widens to `u128` (lossless for both widths); used by generic sorting
+    /// and hashing helpers.
+    fn to_u128(self) -> u128;
+
+    /// Narrows from `u128`; the inverse of [`KmerWord::to_u128`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the value does not fit.
+    fn from_u128(v: u128) -> Self;
+
+    /// A well-mixed 64-bit hash of the word, used for owner-PE assignment
+    /// and minimizer ordering.
+    fn hash64(self) -> u64;
+
+    /// Builds a k-mer from the first `k` bases of an ASCII sequence
+    /// (`GetFirstKmer` of Algorithm 1). Returns `None` if the window is
+    /// shorter than `k` or contains a non-ACGT byte.
+    fn from_dna(seq: &[u8], k: usize) -> Option<Self> {
+        assert!(
+            (1..=Self::MAX_K).contains(&k),
+            "k = {k} out of range 1..={}",
+            Self::MAX_K
+        );
+        if seq.len() < k {
+            return None;
+        }
+        let mut w = Self::zero();
+        for &b in &seq[..k] {
+            w = w.push_base(k, encode_base(b)?);
+        }
+        Some(w)
+    }
+
+    /// Decodes back to an ASCII string of length `k`.
+    fn to_dna_string(self, k: usize) -> String {
+        let bytes: Vec<u8> = (0..k).map(|i| decode_base(self.base_at(k, i))).collect();
+        String::from_utf8(bytes).expect("decode_base yields ASCII")
+    }
+}
+
+impl KmerWord for u64 {
+    const MAX_K: usize = 32;
+    const BITS: u32 = 64;
+
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline]
+    fn mask(k: usize) -> Self {
+        debug_assert!((1..=32).contains(&k));
+        if k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k)) - 1
+        }
+    }
+
+    #[inline]
+    fn push_base(self, k: usize, code: u8) -> Self {
+        debug_assert!(code <= 3);
+        ((self << 2) | code as u64) & Self::mask(k)
+    }
+
+    #[inline]
+    fn base_at(self, k: usize, i: usize) -> u8 {
+        debug_assert!(i < k);
+        ((self >> (2 * (k - 1 - i))) & 0b11) as u8
+    }
+
+    #[inline]
+    fn revcomp(self, k: usize) -> Self {
+        // Complement every base (each 2-bit group c becomes 3-c)…
+        let mut x = !self;
+        // …then reverse the order of the 2-bit groups across the word…
+        x = ((x >> 2) & 0x3333_3333_3333_3333) | ((x & 0x3333_3333_3333_3333) << 2);
+        x = ((x >> 4) & 0x0F0F_0F0F_0F0F_0F0F) | ((x & 0x0F0F_0F0F_0F0F_0F0F) << 4);
+        x = x.swap_bytes();
+        // …and drop the groups that were above the 2k-bit window.
+        x >> (64 - 2 * k as u32)
+    }
+
+    #[inline]
+    fn to_u128(self) -> u128 {
+        self as u128
+    }
+
+    #[inline]
+    fn from_u128(v: u128) -> Self {
+        debug_assert!(v <= u64::MAX as u128);
+        v as u64
+    }
+
+    #[inline]
+    fn hash64(self) -> u64 {
+        crate::hash::splitmix64(self)
+    }
+}
+
+impl KmerWord for u128 {
+    const MAX_K: usize = 64;
+    const BITS: u32 = 128;
+
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline]
+    fn mask(k: usize) -> Self {
+        debug_assert!((1..=64).contains(&k));
+        if k == 64 {
+            u128::MAX
+        } else {
+            (1u128 << (2 * k)) - 1
+        }
+    }
+
+    #[inline]
+    fn push_base(self, k: usize, code: u8) -> Self {
+        debug_assert!(code <= 3);
+        ((self << 2) | code as u128) & Self::mask(k)
+    }
+
+    #[inline]
+    fn base_at(self, k: usize, i: usize) -> u8 {
+        debug_assert!(i < k);
+        ((self >> (2 * (k - 1 - i))) & 0b11) as u8
+    }
+
+    #[inline]
+    fn revcomp(self, k: usize) -> Self {
+        let mut x = !self;
+        const M2: u128 = 0x3333_3333_3333_3333_3333_3333_3333_3333;
+        const M4: u128 = 0x0F0F_0F0F_0F0F_0F0F_0F0F_0F0F_0F0F_0F0F;
+        x = ((x >> 2) & M2) | ((x & M2) << 2);
+        x = ((x >> 4) & M4) | ((x & M4) << 4);
+        x = x.swap_bytes();
+        x >> (128 - 2 * k as u32)
+    }
+
+    #[inline]
+    fn to_u128(self) -> u128 {
+        self
+    }
+
+    #[inline]
+    fn from_u128(v: u128) -> Self {
+        v
+    }
+
+    #[inline]
+    fn hash64(self) -> u64 {
+        // Mix the two halves so both contribute to owner assignment.
+        crate::hash::splitmix64((self as u64) ^ crate::hash::splitmix64((self >> 64) as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn km(s: &str) -> u64 {
+        u64::from_dna(s.as_bytes(), s.len()).unwrap()
+    }
+
+    #[test]
+    fn from_dna_packs_first_base_high() {
+        // "CA": C=1 then A=0 -> 0b0100.
+        assert_eq!(km("CA"), 0b0100);
+        assert_eq!(km("AC"), 0b0001);
+    }
+
+    #[test]
+    fn from_dna_rejects_short_or_invalid() {
+        assert_eq!(u64::from_dna(b"AC", 3), None);
+        assert_eq!(u64::from_dna(b"ANC", 3), None);
+    }
+
+    #[test]
+    fn push_base_rolls_window() {
+        let k = 3;
+        let w = km("ACG");
+        let rolled = w.push_base(k, encode_base(b'T').unwrap());
+        assert_eq!(rolled, km("CGT"));
+    }
+
+    #[test]
+    fn base_at_round_trips() {
+        let s = "ACGTTGCAGTACGGTA";
+        let w = km(s);
+        for (i, &b) in s.as_bytes().iter().enumerate() {
+            assert_eq!(decode_base(w.base_at(s.len(), i)), b);
+        }
+    }
+
+    #[test]
+    fn to_dna_string_round_trips() {
+        for s in ["A", "ACGT", "TTTTTTTTTTTTTTTT", "GATTACAGATTACAGATTACAGATTACAGATT"] {
+            assert_eq!(km(s).to_dna_string(s.len()), s);
+        }
+    }
+
+    #[test]
+    fn revcomp_known_values() {
+        assert_eq!(km("ACGT").revcomp(4), km("ACGT")); // palindrome
+        assert_eq!(km("AAAA").revcomp(4), km("TTTT"));
+        assert_eq!(km("ACG").revcomp(3), km("CGT"));
+        assert_eq!(km("GATTACA").revcomp(7), km("TGTAATC"));
+    }
+
+    #[test]
+    fn revcomp_is_involution_u64() {
+        for s in ["A", "AC", "GATTACA", "ACGTACGTACGTACGTACGTACGTACGTACGT"] {
+            let k = s.len();
+            let w = km(s);
+            assert_eq!(w.revcomp(k).revcomp(k), w, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn revcomp_k32_full_width() {
+        let s = "ACGTACGTACGTACGTACGTACGTACGTACGA";
+        assert_eq!(s.len(), 32);
+        let w = km(s);
+        assert_eq!(w.revcomp(32).to_dna_string(32), "TCGTACGTACGTACGTACGTACGTACGTACGT");
+    }
+
+    #[test]
+    fn canonical_is_strand_neutral() {
+        let k = 5;
+        let w = km("GGGCC");
+        assert_eq!(w.canonical(k), w.revcomp(k).canonical(k));
+        assert!(w.canonical(k) <= w);
+    }
+
+    #[test]
+    fn kmer128_from_dna_and_back() {
+        let s = "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"; // k = 48 > 32
+        let k = s.len();
+        let w = u128::from_dna(s.as_bytes(), k).unwrap();
+        assert_eq!(w.to_dna_string(k), s);
+    }
+
+    #[test]
+    fn kmer128_revcomp_involution() {
+        let s = "GATTACAGATTACAGATTACAGATTACAGATTACAGATTAC";
+        let k = s.len();
+        let w = u128::from_dna(s.as_bytes(), k).unwrap();
+        assert_eq!(w.revcomp(k).revcomp(k), w);
+    }
+
+    #[test]
+    fn kmer128_matches_kmer64_on_small_k() {
+        let s = "GATTACAGATTACA";
+        let k = s.len();
+        let w64 = u64::from_dna(s.as_bytes(), k).unwrap();
+        let w128 = u128::from_dna(s.as_bytes(), k).unwrap();
+        assert_eq!(w64 as u128, w128);
+        assert_eq!(w64.revcomp(k) as u128, w128.revcomp(k));
+    }
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(u64::mask(1), 0b11);
+        assert_eq!(u64::mask(32), u64::MAX);
+        assert_eq!(u128::mask(64), u128::MAX);
+        assert_eq!(u128::mask(32), (1u128 << 64) - 1);
+    }
+
+    #[test]
+    fn u128_round_trip_through_u128() {
+        let v = 0x0123_4567_89AB_CDEF_u64;
+        assert_eq!(u64::from_u128(v.to_u128()), v);
+        let w = (7u128 << 100) | 42;
+        assert_eq!(u128::from_u128(w.to_u128()), w);
+    }
+}

@@ -1,0 +1,192 @@
+//! Minimizers and super-k-mers.
+//!
+//! The KMC3-style shared-memory baseline (paper §II-A, [27], [32]) bins
+//! k-mers by *minimizer*: the m-mer of a k-mer that is smallest under a
+//! hashed ordering. Consecutive k-mers of a read usually share a minimizer,
+//! so a read decomposes into a small number of *super-k-mers* — maximal
+//! substrings whose k-mers all share one minimizer — which are dispatched to
+//! per-minimizer bins with far less data movement than per-k-mer binning.
+//!
+//! We order m-mers by [`KmerWord::hash64`] rather than lexicographically:
+//! hashed orderings avoid the pathological `AAA…` minimizer skew noted in
+//! the minimizer literature.
+
+use crate::encode::ENCODE_TABLE;
+use crate::kmer::KmerWord;
+
+/// A maximal run of k-mers of one read sharing a single minimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperKmer {
+    /// The shared minimizer (an m-mer packed in a `u64`).
+    pub minimizer: u64,
+    /// Byte offset of the super-k-mer within the read.
+    pub start: usize,
+    /// Length in bases; a super-k-mer of length `len` carries
+    /// `len - k + 1` k-mers.
+    pub len: usize,
+}
+
+/// Returns the minimizer (m-mer minimal under hashed order) of the k-mer
+/// starting at `seq[at..at + k]`.
+///
+/// Returns `None` if the window contains a non-ACGT byte or is out of
+/// bounds.
+pub fn minimizer_of(seq: &[u8], at: usize, k: usize, m: usize) -> Option<u64> {
+    assert!(m >= 1 && m <= k && k <= 32, "need 1 <= m <= k <= 32");
+    let window = seq.get(at..at + k)?;
+    let mut best: Option<(u64, u64)> = None; // (hash, mmer)
+    let mut word = 0u64;
+    let mut filled = 0usize;
+    for &b in window {
+        let code = ENCODE_TABLE[b as usize];
+        if code == crate::encode::INVALID_CODE {
+            return None;
+        }
+        word = word.push_base(m, code);
+        filled = (filled + 1).min(m);
+        if filled == m {
+            let h = word.hash64();
+            if best.map_or(true, |(bh, _)| h < bh) {
+                best = Some((h, word));
+            }
+        }
+    }
+    best.map(|(_, w)| w)
+}
+
+/// Decomposes a read into super-k-mers.
+///
+/// Non-ACGT bytes split the read: no super-k-mer spans them. The union of
+/// k-mers carried by the returned super-k-mers is exactly the set of k-mers
+/// [`crate::kmers_of_read`] yields for the read.
+pub fn super_kmers(seq: &[u8], k: usize, m: usize) -> Vec<SuperKmer> {
+    assert!(m >= 1 && m <= k && k <= 32, "need 1 <= m <= k <= 32");
+    let mut out = Vec::new();
+    // Split into maximal ACGT runs first, then scan each run.
+    let mut run_start = 0usize;
+    let mut i = 0usize;
+    while i <= seq.len() {
+        let at_end = i == seq.len();
+        let invalid = !at_end && ENCODE_TABLE[seq[i] as usize] == crate::encode::INVALID_CODE;
+        if at_end || invalid {
+            if i - run_start >= k {
+                scan_run(seq, run_start, i, k, m, &mut out);
+            }
+            run_start = i + 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Scans one ACGT run `seq[lo..hi]`, appending its super-k-mers.
+fn scan_run(seq: &[u8], lo: usize, hi: usize, k: usize, m: usize, out: &mut Vec<SuperKmer>) {
+    let mut cur_min = minimizer_of(seq, lo, k, m).expect("run is pure ACGT");
+    let mut sk_start = lo;
+    for pos in lo + 1..=hi - k {
+        let mz = minimizer_of(seq, pos, k, m).expect("run is pure ACGT");
+        if mz != cur_min {
+            out.push(SuperKmer {
+                minimizer: cur_min,
+                start: sk_start,
+                // The previous k-mer (at pos-1) is the last sharing cur_min.
+                len: (pos - 1) - sk_start + k,
+            });
+            cur_min = mz;
+            sk_start = pos;
+        }
+    }
+    out.push(SuperKmer {
+        minimizer: cur_min,
+        start: sk_start,
+        len: hi - sk_start,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{kmers_of_read, CanonicalMode};
+    use crate::kmer::Kmer64;
+
+    #[test]
+    fn minimizer_of_is_some_mmer_of_window() {
+        let seq = b"ACGTACGGTTACG";
+        let (k, m) = (8, 3);
+        let mz = minimizer_of(seq, 2, k, m).unwrap();
+        // Must equal one of the window's m-mers.
+        let window = &seq[2..2 + k];
+        let mmers: Vec<u64> = kmers_of_read::<Kmer64>(window, m, CanonicalMode::Forward).collect();
+        assert!(mmers.contains(&mz));
+        // And must be hash-minimal among them.
+        let min_hash = mmers.iter().map(|w| w.hash64()).min().unwrap();
+        assert_eq!(mz.hash64(), min_hash);
+    }
+
+    #[test]
+    fn minimizer_rejects_invalid_window() {
+        assert_eq!(minimizer_of(b"ACGNACGT", 0, 6, 3), None);
+        assert_eq!(minimizer_of(b"ACG", 0, 6, 3), None); // out of bounds
+    }
+
+    #[test]
+    fn super_kmers_cover_all_kmers_exactly_once() {
+        let seq = b"ACGTACGGTTACGGATTACAGGCATTGACCAT";
+        let (k, m) = (9, 4);
+        let sks = super_kmers(seq, k, m);
+        // Reconstruct k-mer list from super-k-mers in order.
+        let mut covered = Vec::new();
+        for sk in &sks {
+            assert!(sk.len >= k);
+            for p in sk.start..=sk.start + sk.len - k {
+                covered.push(p);
+            }
+        }
+        let expected: Vec<usize> = (0..=seq.len() - k).collect();
+        assert_eq!(covered, expected);
+    }
+
+    #[test]
+    fn super_kmer_kmers_share_their_minimizer() {
+        let seq = b"GGATTCAGACCATTGCAGGACCTTAGGACAT";
+        let (k, m) = (7, 3);
+        for sk in super_kmers(seq, k, m) {
+            for p in sk.start..=sk.start + sk.len - k {
+                assert_eq!(minimizer_of(seq, p, k, m), Some(sk.minimizer));
+            }
+        }
+    }
+
+    #[test]
+    fn super_kmers_respect_n_breaks() {
+        let seq = b"ACGTACGGTNACGGATTACAG";
+        let (k, m) = (5, 2);
+        let sks = super_kmers(seq, k, m);
+        let n_pos = seq.iter().position(|&b| b == b'N').unwrap();
+        for sk in &sks {
+            assert!(
+                sk.start + sk.len <= n_pos || sk.start > n_pos,
+                "super-k-mer {sk:?} spans the N at {n_pos}"
+            );
+        }
+        // Total carried k-mers match the extractor.
+        let total: usize = sks.iter().map(|sk| sk.len - k + 1).sum();
+        let direct = kmers_of_read::<Kmer64>(seq, k, CanonicalMode::Forward).count();
+        assert_eq!(total, direct);
+    }
+
+    #[test]
+    fn short_or_empty_reads_yield_no_super_kmers() {
+        assert!(super_kmers(b"", 5, 2).is_empty());
+        assert!(super_kmers(b"ACGT", 5, 2).is_empty());
+    }
+
+    #[test]
+    fn single_kmer_read_is_one_super_kmer() {
+        let seq = b"ACGTA";
+        let sks = super_kmers(seq, 5, 3);
+        assert_eq!(sks.len(), 1);
+        assert_eq!(sks[0].start, 0);
+        assert_eq!(sks[0].len, 5);
+    }
+}

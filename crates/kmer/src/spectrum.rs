@@ -1,0 +1,237 @@
+//! k-mer spectrum analytics.
+//!
+//! The paper's introduction motivates k-mer counting through its
+//! consumers: assemblers estimate coverage and genome size from the count
+//! histogram, error correctors pick solid/weak thresholds from its valley
+//! ([2], [12]). This module implements those classic analyses over the
+//! `{k-mer, count}` output every engine produces.
+//!
+//! The model: genomic k-mers appear ≈ `Poisson(λ)` times where `λ` is the
+//! k-mer coverage; error k-mers pile up at count 1–2. The spectrum is
+//! bimodal — an error spike at the origin, a genomic peak near `λ` — and
+//! the valley between them is the natural error threshold.
+
+use crate::counts::{count_spectrum, KmerCount};
+use crate::kmer::KmerWord;
+
+/// Summary statistics extracted from a count spectrum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectrumSummary {
+    /// Histogram: `spectrum[c]` = distinct k-mers with count `c`
+    /// (index 0 unused; last bucket is overflow).
+    pub spectrum: Vec<u64>,
+    /// The valley between the error spike and the genomic peak, if the
+    /// spectrum is bimodal.
+    pub valley: Option<usize>,
+    /// The genomic coverage peak (mode above the valley), if present.
+    pub peak: Option<usize>,
+    /// Estimated k-mer coverage `λ` (position of the genomic peak).
+    pub coverage: Option<f64>,
+    /// Estimated number of distinct genomic k-mers ≈ genome size for
+    /// `k`-mers (total solid k-mer mass / coverage).
+    pub genome_kmers: Option<f64>,
+    /// Fraction of distinct k-mers classified as errors (below valley).
+    pub error_kmer_fraction: f64,
+}
+
+/// Analyzes a histogram. `max_count` bounds the spectrum's explicit
+/// buckets; counts beyond it land in the overflow bucket.
+pub fn analyze<W: KmerWord>(counts: &[KmerCount<W>], max_count: usize) -> SpectrumSummary {
+    assert!(max_count >= 4, "need a few buckets to find structure");
+    let spectrum = count_spectrum(counts, max_count);
+
+    // Valley: first local minimum after the initial descent from the
+    // error spike. Scan from count 2 to the last explicit bucket.
+    let mut valley = None;
+    for c in 2..max_count {
+        if spectrum[c] <= spectrum[c - 1] && spectrum[c] <= spectrum[c + 1] {
+            // Require a genuine rise afterwards (not a flat tail).
+            if spectrum[c + 1..=max_count].iter().any(|&v| v > spectrum[c]) {
+                valley = Some(c);
+                break;
+            }
+        }
+    }
+
+    // Peak: mode strictly above the valley.
+    let peak = valley.and_then(|v| {
+        let (best, best_n) = spectrum
+            .iter()
+            .enumerate()
+            .take(max_count + 1)
+            .skip(v + 1)
+            .max_by_key(|&(_, &n)| n)?;
+        (*best_n > 0).then_some(best)
+    });
+
+    let coverage = peak.map(|p| p as f64);
+
+    // Solid mass: total occurrences above the valley.
+    let genome_kmers = match (valley, coverage) {
+        (Some(v), Some(cov)) if cov > 0.0 => {
+            let solid_mass: f64 = counts
+                .iter()
+                .filter(|c| (c.count as usize) >= v)
+                .map(|c| c.count as f64)
+                .sum();
+            Some(solid_mass / cov)
+        }
+        _ => None,
+    };
+
+    let error_kmers = match valley {
+        Some(v) => counts.iter().filter(|c| (c.count as usize) < v).count(),
+        None => 0,
+    };
+    let error_kmer_fraction = if counts.is_empty() {
+        0.0
+    } else {
+        error_kmers as f64 / counts.len() as f64
+    };
+
+    SpectrumSummary {
+        spectrum,
+        valley,
+        peak,
+        coverage,
+        genome_kmers,
+        error_kmer_fraction,
+    }
+}
+
+/// Converts k-mer coverage to base coverage:
+/// `C_base = C_kmer · m / (m − k + 1)` for read length `m`.
+pub fn base_coverage(kmer_coverage: f64, read_len: usize, k: usize) -> f64 {
+    assert!(k >= 1 && read_len >= k);
+    kmer_coverage * read_len as f64 / (read_len - k + 1) as f64
+}
+
+/// Estimates the per-base error rate from the error-k-mer fraction: a
+/// substitution in the middle of a read damages up to `k` k-mers, so with
+/// `E` error k-mers out of `N · λ` total sampled positions,
+/// `rate ≈ E / (k · total_kmers)`.
+pub fn error_rate_estimate(summary: &SpectrumSummary, k: usize, total_kmers: u64) -> Option<f64> {
+    let v = summary.valley?;
+    let error_occurrences: u64 = summary.spectrum[1..v]
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (i as u64 + 1) * n)
+        .sum();
+    if total_kmers == 0 {
+        return None;
+    }
+    Some(error_occurrences as f64 / (k as f64 * total_kmers as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a synthetic bimodal histogram: `errors` singletons and
+    /// `genomic` k-mers at counts around `cov`.
+    fn bimodal(errors: u64, genomic: u64, cov: u32) -> Vec<KmerCount<u64>> {
+        let mut out = Vec::new();
+        let mut key = 0u64;
+        for _ in 0..errors {
+            out.push(KmerCount::new(key, 1));
+            key += 1;
+        }
+        for i in 0..genomic {
+            // Spread counts cov-1, cov, cov+1 around the peak.
+            let c = cov as i64 + (i % 3) as i64 - 1;
+            out.push(KmerCount::new(key, c.max(1) as u32));
+            key += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn finds_valley_and_peak() {
+        let counts = bimodal(5_000, 2_000, 30);
+        let s = analyze(&counts, 60);
+        let v = s.valley.expect("valley");
+        assert!(v > 1 && v < 29, "valley at {v}");
+        assert_eq!(s.peak, Some(30));
+        assert!((s.coverage.unwrap() - 30.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn genome_size_estimate_is_close() {
+        let counts = bimodal(3_000, 10_000, 40);
+        let s = analyze(&counts, 80);
+        let est = s.genome_kmers.expect("estimate");
+        assert!(
+            (est - 10_000.0).abs() / 10_000.0 < 0.1,
+            "estimated {est} genomic k-mers"
+        );
+    }
+
+    #[test]
+    fn error_fraction_reflects_singletons() {
+        let counts = bimodal(8_000, 2_000, 25);
+        let s = analyze(&counts, 50);
+        assert!((s.error_kmer_fraction - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn unimodal_spectrum_has_no_valley() {
+        // All singletons (e.g. 1x coverage): nothing to separate.
+        let counts: Vec<KmerCount<u64>> =
+            (0..1000).map(|i| KmerCount::new(i, 1)).collect();
+        let s = analyze(&counts, 20);
+        assert_eq!(s.valley, None);
+        assert_eq!(s.coverage, None);
+        assert_eq!(s.error_kmer_fraction, 0.0);
+    }
+
+    #[test]
+    fn base_coverage_conversion() {
+        // m = 150, k = 31: factor 150/120 = 1.25.
+        assert!((base_coverage(40.0, 150, 31) - 50.0).abs() < 1e-9);
+        assert!((base_coverage(10.0, 100, 1) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_to_end_on_simulated_reads() {
+        use crate::extract::{kmers_of_read, CanonicalMode};
+        use std::collections::HashMap;
+        // Hand-rolled workload: fixed genome string repeated via reads.
+        let genome: Vec<u8> = (0..2_000u64)
+            .map(|i| b"ACGT"[(crate::hash::splitmix64(i) % 4) as usize])
+            .collect();
+        let k = 15;
+        let m = 80;
+        let cov = 30;
+        let n_reads = cov * genome.len() / m;
+        let mut hist: HashMap<u64, u32> = HashMap::new();
+        let mut state = 7u64;
+        for _ in 0..n_reads {
+            state = crate::hash::splitmix64(state);
+            let start = (state % (genome.len() as u64 - m as u64)) as usize;
+            for w in kmers_of_read::<u64>(&genome[start..start + m], k, CanonicalMode::Forward) {
+                *hist.entry(w).or_default() += 1;
+            }
+        }
+        let counts: Vec<KmerCount<u64>> =
+            hist.into_iter().map(|(w, c)| KmerCount::new(w, c)).collect();
+        let s = analyze(&counts, 100);
+        // Error-free reads: the spectrum may be unimodal (no valley) or
+        // the estimated coverage lands near the k-mer coverage.
+        if let Some(cov_est) = s.coverage {
+            let expect = cov as f64 * (m - k + 1) as f64 / m as f64;
+            assert!(
+                (cov_est - expect).abs() / expect < 0.5,
+                "estimated {cov_est}, expected ≈{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_rate_estimate_sane() {
+        let counts = bimodal(6_000, 2_000, 30);
+        let s = analyze(&counts, 60);
+        let total: u64 = counts.iter().map(|c| c.count as u64).sum();
+        let rate = error_rate_estimate(&s, 21, total).expect("rate");
+        assert!(rate > 0.0 && rate < 0.05, "rate {rate}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the k-mer substrate.
+
+use dakc_kmer::{
+    encode::{complement_base, pack_sequence, unpack_sequence},
+    kmers_of_read, minimizer::super_kmers, owner_pe, CanonicalMode, KmerWord,
+};
+use proptest::prelude::*;
+
+/// Strategy: a DNA sequence of ACGT bases.
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max_len)
+}
+
+/// Strategy: DNA with occasional Ns.
+fn dna_with_n(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop::sample::select(vec![b'A', b'C', b'G', b'T', b'N']),
+        0..max_len,
+    )
+}
+
+fn revcomp_seq(seq: &[u8]) -> Vec<u8> {
+    seq.iter()
+        .rev()
+        .map(|&b| complement_base(b).expect("ACGT input"))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn pack_unpack_round_trip(seq in dna(200)) {
+        let packed = pack_sequence(&seq).unwrap();
+        prop_assert_eq!(unpack_sequence(&packed, seq.len()), seq);
+    }
+
+    #[test]
+    fn from_dna_to_string_round_trip(seq in dna(33).prop_filter("nonempty", |s| !s.is_empty())) {
+        let k = seq.len().min(32);
+        let w = u64::from_dna(&seq, k).unwrap();
+        let s = w.to_dna_string(k);
+        prop_assert_eq!(s.as_bytes(), &seq[..k]);
+    }
+
+    #[test]
+    fn revcomp_involution_u64(seq in dna(33).prop_filter("nonempty", |s| !s.is_empty())) {
+        let k = seq.len().min(32);
+        let w = u64::from_dna(&seq, k).unwrap();
+        prop_assert_eq!(w.revcomp(k).revcomp(k), w);
+    }
+
+    #[test]
+    fn revcomp_matches_string_revcomp(seq in dna(33).prop_filter("len>=1", |s| !s.is_empty())) {
+        let k = seq.len().min(32);
+        let w = u64::from_dna(&seq, k).unwrap();
+        let rc = revcomp_seq(&seq[..k]);
+        let wrc = u64::from_dna(&rc, k).unwrap();
+        prop_assert_eq!(w.revcomp(k), wrc);
+    }
+
+    #[test]
+    fn canonical_agrees_across_strands(seq in dna(64).prop_filter("len>=4", |s| s.len() >= 4)) {
+        let k = 4;
+        let rc = revcomp_seq(&seq);
+        let mut fwd: Vec<u64> = kmers_of_read(&seq, k, CanonicalMode::Canonical).collect();
+        let mut rev: Vec<u64> = kmers_of_read(&rc, k, CanonicalMode::Canonical).collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn extraction_count_formula(seq in dna(300), k in 1usize..=32) {
+        let n = kmers_of_read::<u64>(&seq, k, CanonicalMode::Forward).count();
+        let expect = seq.len().saturating_sub(k - 1).min(seq.len());
+        let expect = if seq.len() >= k { expect } else { 0 };
+        prop_assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn extraction_never_spans_n(seq in dna_with_n(120), k in 2usize..=8) {
+        // Every produced k-mer must equal some ACGT window of the read.
+        let windows: std::collections::HashSet<u64> = seq
+            .windows(k)
+            .filter_map(|w| u64::from_dna(w, k))
+            .collect();
+        for km in kmers_of_read::<u64>(&seq, k, CanonicalMode::Forward) {
+            prop_assert!(windows.contains(&km));
+        }
+    }
+
+    #[test]
+    fn u128_and_u64_agree_for_small_k(seq in dna(100), k in 1usize..=32) {
+        let a: Vec<u64> = kmers_of_read(&seq, k, CanonicalMode::Forward).collect();
+        let b: Vec<u128> = kmers_of_read(&seq, k, CanonicalMode::Forward).collect();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_u128(), *y);
+        }
+    }
+
+    #[test]
+    fn owner_pe_in_range(x in any::<u64>(), p in 1usize..10_000) {
+        prop_assert!(owner_pe(x, p) < p);
+    }
+
+    #[test]
+    fn super_kmers_partition_kmers(seq in dna_with_n(150), k in 3usize..=10) {
+        let m = (k / 2).max(1);
+        let sks = super_kmers(&seq, k, m);
+        let total: usize = sks.iter().map(|sk| sk.len - k + 1).sum();
+        let direct = kmers_of_read::<u64>(&seq, k, CanonicalMode::Forward).count();
+        prop_assert_eq!(total, direct);
+        // Starts strictly increase and runs never overlap.
+        for pair in sks.windows(2) {
+            prop_assert!(pair[0].start + pair[0].len - k < pair[1].start + 1);
+        }
+    }
+}

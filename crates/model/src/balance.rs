@@ -1,0 +1,78 @@
+//! Operational intensity (§VII).
+//!
+//! The paper estimates DAKC at ≈ 0.12 iadd64 per byte — far below the
+//! hardware balance of the Phoenix CPUs (≈ 2.6) and of an H100 (≈ 8.3) —
+//! concluding the workload is bandwidth-bound everywhere and GPUs would be
+//! even more underutilized than CPUs.
+
+use crate::Workload;
+
+/// Integer-adds per byte moved, from the model's own op and byte counts:
+///
+/// * ops: 1/k-mer to parse, `word_bytes`/k-mer to sort, 1/k-mer to
+///   accumulate;
+/// * bytes: read the input, write the k-mer array, one array stream per
+///   radix pass, and the NIC crossing (send + receive).
+pub fn op_to_byte_ratio(w: &Workload) -> f64 {
+    let kmers = w.kmers();
+    let wb = w.word_bytes();
+    let ops = kmers * (1.0 + wb + 1.0);
+    let bytes = w.input_bytes()            // parse the reads
+        + kmers * wb                       // write the k-mer array
+        + kmers * wb * wb                  // radix passes over the array
+        + 2.0 * kmers * wb; // NIC: send + receive
+    ops / bytes
+}
+
+/// Hardware balance: peak iadd64 rate over memory bandwidth.
+pub fn hardware_balance(ops_per_sec: f64, bytes_per_sec: f64) -> f64 {
+    ops_per_sec / bytes_per_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dakc_intensity_matches_paper_ballpark() {
+        // §VII: "about one iadd64 per 8.14 bytes, ≈ 0.12 iadd64/byte".
+        let w = Workload { n_reads: 357_913_900, read_len: 150, k: 31 };
+        let r = op_to_byte_ratio(&w);
+        assert!(
+            (0.08..0.16).contains(&r),
+            "op-to-byte ratio {r:.3} should be ≈ 0.12"
+        );
+    }
+
+    #[test]
+    fn phoenix_balance_matches_paper() {
+        // §VII: Phoenix CPUs ≈ 2.6 iadd64/byte.
+        let b = hardware_balance(121.9e9, 46.9e9);
+        assert!((b - 2.6).abs() < 0.05, "{b}");
+    }
+
+    #[test]
+    fn h100_balance_matches_paper() {
+        // §VII: H100 ≈ 8.3 iadd64/byte (~28 Tiadd64/s over 3.35 TB/s).
+        let b = hardware_balance(27.8e12, 3.35e12);
+        assert!((b - 8.3).abs() < 0.2, "{b}");
+    }
+
+    #[test]
+    fn workload_is_bandwidth_bound_on_all_hardware() {
+        let w = Workload { n_reads: 1_000_000, read_len: 150, k: 31 };
+        let intensity = op_to_byte_ratio(&w);
+        assert!(intensity < hardware_balance(121.9e9, 46.9e9));
+        assert!(intensity < hardware_balance(27.8e12, 3.35e12));
+    }
+
+    #[test]
+    fn wider_words_raise_intensity_slightly() {
+        let w64 = Workload { n_reads: 1000, read_len: 150, k: 31 };
+        let w128 = Workload { n_reads: 1000, read_len: 150, k: 63 };
+        // 128-bit k-mers do more byte passes but also more ops; both stay
+        // deeply bandwidth-bound.
+        assert!(op_to_byte_ratio(&w128) < 0.2);
+        assert!(op_to_byte_ratio(&w64) < 0.2);
+    }
+}

@@ -1,0 +1,70 @@
+//! The BSP vs FA-BSP closed forms of §III (Eqs 5–8).
+//!
+//! These are Θ-expressions; we evaluate them with unit constants, which is
+//! enough for the qualitative conclusions the paper draws from them: the
+//! BSP synchronization term grows as `τ (mn / bP) log P` while FA-BSP pays
+//! a single `τ log P`, so `T_BSP − T_FABSP > 0` always (Eq 8) and the gap
+//! widens with input size and latency.
+
+/// Eq 5: `T_BSP = mn/P + τ (mn / bP) log P + μ m n log P`.
+pub fn t_bsp(tau: f64, mu: f64, mn: f64, p: f64, b: f64) -> f64 {
+    assert!(p >= 1.0 && b >= 1.0 && mn >= 0.0);
+    let logp = p.log2().max(1.0);
+    mn / p + tau * (mn / (b * p)).ceil() * logp + mu * mn * logp / p
+}
+
+/// Eq 6: `T_FABSP = mn/P + τ log P + μ m n log P`.
+pub fn t_fabsp(tau: f64, mu: f64, mn: f64, p: f64) -> f64 {
+    assert!(p >= 1.0 && mn >= 0.0);
+    let logp = p.log2().max(1.0);
+    mn / p + tau * logp + mu * mn * logp / p
+}
+
+/// Eq 7: the gap `Θ(τ (mn / bP) log P)` (minus FA-BSP's single sync).
+pub fn bsp_minus_fabsp(tau: f64, mu: f64, mn: f64, p: f64, b: f64) -> f64 {
+    t_bsp(tau, mu, mn, p, b) - t_fabsp(tau, mu, mn, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TAU: f64 = 2e-6;
+    const MU: f64 = 1e-9;
+
+    #[test]
+    fn fabsp_never_slower_eq8() {
+        for mn in [1e6, 1e9, 1e12] {
+            for p in [2.0, 64.0, 6144.0] {
+                for b in [1e4, 1e6, 1e9] {
+                    assert!(
+                        bsp_minus_fabsp(TAU, MU, mn, p, b) >= 0.0,
+                        "mn={mn} p={p} b={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gap_grows_with_input() {
+        let small = bsp_minus_fabsp(TAU, MU, 1e8, 64.0, 1e5);
+        let large = bsp_minus_fabsp(TAU, MU, 1e10, 64.0, 1e5);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn gap_shrinks_with_batch_size() {
+        let tight = bsp_minus_fabsp(TAU, MU, 1e10, 64.0, 1e4);
+        let loose = bsp_minus_fabsp(TAU, MU, 1e10, 64.0, 1e8);
+        assert!(tight > loose, "bigger batches mean fewer syncs");
+    }
+
+    #[test]
+    fn single_batch_bsp_still_pays_one_sync() {
+        // With b ≥ mn/P, BSP does exactly one round: the gap collapses to
+        // ~zero (both pay one τ log P).
+        let gap = bsp_minus_fabsp(TAU, MU, 1e6, 4.0, 1e9);
+        assert!(gap.abs() < 1e-3);
+    }
+}

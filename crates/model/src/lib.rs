@@ -1,0 +1,282 @@
+//! # dakc-model — the paper's analytical performance model (§V)
+//!
+//! A direct transcription of Equations (1)–(18): k-mer counting decomposed
+//! into phase 1 (generation + reshuffle) and phase 2 (sort + accumulate),
+//! each bounded by compute, intranode memory traffic and internode NIC
+//! traffic under the Table IV machine constants.
+//!
+//! The model's assumptions (perfect load balance, 100% intranode
+//! efficiency, cache-oblivious algorithms, two-level memory with optimal
+//! replacement) make it a *lower* bound; the companion experiments (Figs
+//! 3–5) compare it against the simulator's measured numbers exactly the
+//! way the paper compares against PAPI counters and wall-clock.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod balance;
+pub mod closed_forms;
+pub mod predict;
+
+pub use balance::op_to_byte_ratio;
+pub use closed_forms::{bsp_minus_fabsp, t_bsp, t_fabsp};
+pub use predict::{fabsp_speedup_over_bsp, scaling_limit, strong_scaling_curve, ScalePoint};
+
+use dakc_sim::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// The workload parameters of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Number of reads `n`.
+    pub n_reads: u64,
+    /// Bases per read `m`.
+    pub read_len: u64,
+    /// k-mer length `k`.
+    pub k: u32,
+}
+
+impl Workload {
+    /// Total k-mers: `n (m − k + 1)`.
+    pub fn kmers(&self) -> f64 {
+        self.n_reads as f64 * (self.read_len - self.k as u64 + 1) as f64
+    }
+
+    /// Total input bases `m n`.
+    pub fn input_bytes(&self) -> f64 {
+        self.n_reads as f64 * self.read_len as f64
+    }
+
+    /// The k-mer word width in **bits**: `2^⌈log₂ 2k⌉` (paper §V phase 1).
+    /// `k = 31` ⇒ 64 bits.
+    pub fn word_bits(&self) -> f64 {
+        let x = (2 * self.k) as f64;
+        2f64.powf(x.log2().ceil())
+    }
+
+    /// Word width in bytes.
+    pub fn word_bytes(&self) -> f64 {
+        self.word_bits() / 8.0
+    }
+}
+
+/// Whether phase-1 communication composes as a sum or a max (Eqs 14/15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommModel {
+    /// `T_comm = T_intra + T_inter` (Eq 14) — serialized data movement.
+    Sum,
+    /// `T_comm = max(T_intra, T_inter)` (Eq 15) — perfectly overlapped.
+    Max,
+}
+
+/// The analytical model: a workload on a machine.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Machine constants (Table IV).
+    pub machine: MachineConfig,
+    /// Workload parameters.
+    pub workload: Workload,
+}
+
+impl Model {
+    /// Builds the model. `machine.nodes` is the paper's `P`.
+    pub fn new(machine: MachineConfig, workload: Workload) -> Self {
+        Self { machine, workload }
+    }
+
+    fn p(&self) -> f64 {
+        self.machine.nodes as f64
+    }
+
+    fn l(&self) -> f64 {
+        self.machine.line_bytes as f64
+    }
+
+    /// Eq 9: phase-1 compute time.
+    pub fn t_comp1(&self) -> f64 {
+        self.workload.kmers() / (self.p() * self.machine.node_ops_per_sec)
+    }
+
+    /// Cache misses to parse the input on one node (first term of Eq 10).
+    pub fn misses_parse(&self) -> f64 {
+        1.0 + self.workload.input_bytes() / (self.p() * self.l())
+    }
+
+    /// Cache misses to store the k-mer array on one node (second term of
+    /// Eq 10).
+    pub fn misses_store(&self) -> f64 {
+        1.0 + self.workload.kmers() * self.workload.word_bytes() / (self.p() * self.l())
+    }
+
+    /// Phase-1 cache misses per node (Fig 3's predicted series).
+    pub fn misses_phase1(&self) -> f64 {
+        self.misses_parse() + self.misses_store()
+    }
+
+    /// Eq 10: phase-1 intranode communication time.
+    pub fn t_intra1(&self) -> f64 {
+        self.misses_phase1() * self.l() / self.machine.mem_bandwidth
+    }
+
+    /// Eq 11: phase-1 internode communication time
+    /// (`kmers · word_bits / (4 P β_link)` — the factor 4 (not 8) counts
+    /// both the send and receive crossings of each node's NIC).
+    pub fn t_inter1(&self) -> f64 {
+        self.workload.kmers() * self.workload.word_bits()
+            / (4.0 * self.p() * self.machine.link_bandwidth)
+    }
+
+    /// Eqs 14/15: phase-1 communication time under the chosen composition.
+    pub fn t_comm1(&self, comm: CommModel) -> f64 {
+        match comm {
+            CommModel::Sum => self.t_intra1() + self.t_inter1(),
+            CommModel::Max => self.t_intra1().max(self.t_inter1()),
+        }
+    }
+
+    /// Eq 16: total phase-1 time.
+    pub fn t1(&self, comm: CommModel) -> f64 {
+        self.t_comp1().max(self.t_comm1(comm))
+    }
+
+    /// Eq 12: phase-2 compute time (one op per key byte: the worst case of
+    /// an in-place byte-wise radix sort).
+    pub fn t_comp2(&self) -> f64 {
+        self.workload.kmers() * self.workload.word_bytes()
+            / (self.p() * self.machine.node_ops_per_sec)
+    }
+
+    /// Phase-2 cache misses per node (Fig 3's predicted series): the
+    /// k-mer array streamed once per byte-pass (Eq 13's bracket).
+    pub fn misses_phase2(&self) -> f64 {
+        self.misses_store() * self.workload.word_bytes()
+    }
+
+    /// Eq 13: phase-2 intranode communication time.
+    pub fn t_intra2(&self) -> f64 {
+        self.misses_phase2() * self.l() / self.machine.mem_bandwidth
+    }
+
+    /// Eq 17: total phase-2 time.
+    pub fn t2(&self) -> f64 {
+        self.t_comp2().max(self.t_intra2())
+    }
+
+    /// Eq 18: end-to-end time (phases separated by the global barrier, so
+    /// no overlap between them).
+    pub fn t_total(&self, comm: CommModel) -> f64 {
+        self.t1(comm) + self.t2()
+    }
+
+    /// Fig 5's decomposition, assuming no compute/communication overlap:
+    /// `[compute, intranode, internode]` seconds across both phases.
+    pub fn breakdown(&self) -> [f64; 3] {
+        [
+            self.t_comp1() + self.t_comp2(),
+            self.t_intra1() + self.t_intra2(),
+            self.t_inter1(),
+        ]
+    }
+
+    /// Fig 5's percentages.
+    pub fn breakdown_percent(&self) -> [f64; 3] {
+        let b = self.breakdown();
+        let total: f64 = b.iter().sum();
+        [
+            100.0 * b[0] / total,
+            100.0 * b[1] / total,
+            100.0 * b[2] / total,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic30_on(nodes: usize) -> Model {
+        // Table V: Synthetic 30 = 357,913,900 reads × 150 bp, k = 31.
+        Model::new(
+            MachineConfig::phoenix_intel(nodes),
+            Workload {
+                n_reads: 357_913_900,
+                read_len: 150,
+                k: 31,
+            },
+        )
+    }
+
+    #[test]
+    fn word_width_rounds_to_power_of_two() {
+        let w = Workload { n_reads: 1, read_len: 150, k: 31 };
+        assert_eq!(w.word_bits(), 64.0);
+        let w = Workload { n_reads: 1, read_len: 150, k: 15 };
+        assert_eq!(w.word_bits(), 32.0);
+        let w = Workload { n_reads: 1, read_len: 150, k: 33 };
+        assert_eq!(w.word_bits(), 128.0);
+    }
+
+    #[test]
+    fn kmer_count_formula() {
+        let w = Workload { n_reads: 10, read_len: 150, k: 31 };
+        assert_eq!(w.kmers(), 1200.0);
+    }
+
+    #[test]
+    fn communication_dominates_compute_fig5() {
+        // Fig 5: for Synthetic 30 on 32 nodes "time spent on computation is
+        // very small"; the workload is bound by data movement.
+        let m = synthetic30_on(32);
+        let [comp, intra, inter] = m.breakdown_percent();
+        assert!(comp < 25.0, "compute {comp:.1}% should be the minority");
+        assert!(intra + inter > 75.0);
+    }
+
+    #[test]
+    fn doubling_nodes_halves_phase_times() {
+        let m8 = synthetic30_on(8);
+        let m16 = synthetic30_on(16);
+        for (a, b) in [
+            (m8.t_comp1(), m16.t_comp1()),
+            (m8.t_inter1(), m16.t_inter1()),
+            (m8.t_comp2(), m16.t_comp2()),
+        ] {
+            assert!((a / b - 2.0).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sum_model_upper_bounds_max_model() {
+        let m = synthetic30_on(8);
+        assert!(m.t_comm1(CommModel::Sum) >= m.t_comm1(CommModel::Max));
+        assert!(m.t_total(CommModel::Sum) >= m.t_total(CommModel::Max));
+    }
+
+    #[test]
+    fn phase2_misses_are_word_bytes_times_store_misses() {
+        let m = synthetic30_on(8);
+        assert!((m.misses_phase2() / m.misses_store() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_is_sum_of_phases() {
+        let m = synthetic30_on(8);
+        let t = m.t_total(CommModel::Sum);
+        assert!((t - (m.t1(CommModel::Sum) + m.t2())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_times_are_positive_and_finite() {
+        let m = synthetic30_on(256);
+        for v in [
+            m.t_comp1(),
+            m.t_intra1(),
+            m.t_inter1(),
+            m.t_comp2(),
+            m.t_intra2(),
+            m.t_total(CommModel::Max),
+        ] {
+            assert!(v.is_finite() && v > 0.0);
+        }
+    }
+}

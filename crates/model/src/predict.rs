@@ -1,0 +1,156 @@
+//! Scaling prediction from the analytical model.
+//!
+//! The model (Eqs 9–18) answers the planning questions a user asks before
+//! burning cluster hours: how many nodes until strong scaling stops
+//! paying, what efficiency to expect at a node count, and how much faster
+//! FA-BSP should be than a BSP code with batch size `b` on *this* machine
+//! (Eqs 5–8 with the machine's measured τ and μ).
+
+use dakc_sim::MachineConfig;
+
+use crate::closed_forms::{t_bsp, t_fabsp};
+use crate::{CommModel, Model, Workload};
+
+/// One point of a predicted scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalePoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Predicted total time, seconds.
+    pub time: f64,
+    /// Speedup relative to the first point of the sweep.
+    pub speedup: f64,
+    /// Parallel efficiency: `speedup / (nodes / first_nodes)`.
+    pub efficiency: f64,
+}
+
+/// Predicts a strong-scaling curve for `workload` over `node_counts`
+/// (machine constants taken from `base`, node count overridden per point).
+pub fn strong_scaling_curve(
+    base: &MachineConfig,
+    workload: Workload,
+    node_counts: &[usize],
+    comm: CommModel,
+) -> Vec<ScalePoint> {
+    assert!(!node_counts.is_empty());
+    let t_of = |nodes: usize| {
+        let mut m = base.clone();
+        m.nodes = nodes;
+        Model::new(m, workload).t_total(comm)
+    };
+    let first_nodes = node_counts[0];
+    let t0 = t_of(first_nodes);
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let time = t_of(nodes);
+            let speedup = t0 / time;
+            ScalePoint {
+                nodes,
+                time,
+                speedup,
+                efficiency: speedup / (nodes as f64 / first_nodes as f64),
+            }
+        })
+        .collect()
+}
+
+/// The node count beyond which doubling nodes improves total time by less
+/// than `threshold` (e.g. 1.25 = "less than 25% faster"): the model's
+/// strong-scaling limit. Searches powers of two up to `max_nodes`.
+pub fn scaling_limit(
+    base: &MachineConfig,
+    workload: Workload,
+    max_nodes: usize,
+    threshold: f64,
+    comm: CommModel,
+) -> usize {
+    assert!(threshold > 1.0);
+    let mut nodes = 1usize;
+    loop {
+        let next = nodes * 2;
+        if next > max_nodes {
+            return nodes;
+        }
+        let mut a = base.clone();
+        a.nodes = nodes;
+        let mut b = base.clone();
+        b.nodes = next;
+        let gain = Model::new(a, workload).t_total(comm) / Model::new(b, workload).t_total(comm);
+        if gain < threshold {
+            return nodes;
+        }
+        nodes = next;
+    }
+}
+
+/// Predicted FA-BSP speedup over BSP with batch `b` (Eqs 5/6 with this
+/// machine's τ and per-PE μ).
+pub fn fabsp_speedup_over_bsp(machine: &MachineConfig, workload: Workload, batch: f64) -> f64 {
+    let mn = workload.input_bytes();
+    let p = machine.num_pes() as f64;
+    let tau = machine.latency;
+    let mu = machine.mu();
+    t_bsp(tau, mu, mn, p, batch) / t_fabsp(tau, mu, mn, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic28() -> Workload {
+        Workload {
+            n_reads: 89_478_450,
+            read_len: 150,
+            k: 31,
+        }
+    }
+
+    #[test]
+    fn curve_starts_at_unity() {
+        let m = MachineConfig::phoenix_intel(1);
+        let curve = strong_scaling_curve(&m, synthetic28(), &[2, 4, 8], CommModel::Sum);
+        assert_eq!(curve[0].nodes, 2);
+        assert!((curve[0].speedup - 1.0).abs() < 1e-12);
+        assert!((curve[0].efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn times_decrease_with_nodes() {
+        let m = MachineConfig::phoenix_intel(1);
+        let curve = strong_scaling_curve(&m, synthetic28(), &[1, 2, 4, 8, 16], CommModel::Max);
+        for w in curve.windows(2) {
+            assert!(w[1].time < w[0].time, "{:?}", w);
+        }
+    }
+
+    #[test]
+    fn efficiency_declines_monotonically_or_holds() {
+        let m = MachineConfig::phoenix_intel(1);
+        let curve = strong_scaling_curve(&m, synthetic28(), &[1, 4, 16, 64], CommModel::Sum);
+        for w in curve.windows(2) {
+            assert!(w[1].efficiency <= w[0].efficiency + 1e-9);
+        }
+    }
+
+    #[test]
+    fn scaling_limit_is_within_range_and_grows_with_input() {
+        let m = MachineConfig::phoenix_intel(1);
+        let small = Workload { n_reads: 349_500, read_len: 150, k: 31 };
+        let big = synthetic28();
+        let lim_small = scaling_limit(&m, small, 256, 1.5, CommModel::Sum);
+        let lim_big = scaling_limit(&m, big, 256, 1.5, CommModel::Sum);
+        assert!(lim_small <= 256 && lim_big <= 256);
+        assert!(lim_big >= lim_small, "bigger inputs scale further");
+    }
+
+    #[test]
+    fn fabsp_speedup_at_least_one_and_grows_with_smaller_batches() {
+        let m = MachineConfig::phoenix_intel(8);
+        let w = synthetic28();
+        let tight = fabsp_speedup_over_bsp(&m, w, 1e6);
+        let loose = fabsp_speedup_over_bsp(&m, w, 1e9);
+        assert!(tight >= 1.0 && loose >= 1.0);
+        assert!(tight >= loose, "more syncs, more FA-BSP advantage");
+    }
+}

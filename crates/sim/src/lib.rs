@@ -1,0 +1,53 @@
+//! # dakc-sim — a deterministic virtual-time distributed-machine simulator
+//!
+//! The paper evaluates DAKC on the Phoenix cluster (256 Intel nodes, 24
+//! cores each, InfiniBand 100HDR, OpenSHMEM one-sided communication). This
+//! crate is the substitute substrate: a **conservative discrete-event
+//! simulator** in which every processing element (PE) runs the *real*
+//! algorithm on *real* data — real k-mers, real buffers, real routing — and
+//! only *time* is virtual.
+//!
+//! Each PE owns a virtual clock. Executing work charges the clock through a
+//! machine cost model ([`MachineConfig`], parameterized with the paper's
+//! Table IV constants); sending a message computes an arrival time at the
+//! destination from link bandwidth and latency; a PE with nothing to do
+//! sleeps until its next message arrives — which is precisely the "CPU
+//! cycle waste" from skew and synchronization that the paper's FA-BSP
+//! design attacks. Synchronization counts, communication volumes and load
+//! imbalance are therefore *measured from execution*, not assumed; the cost
+//! constants only convert them into seconds.
+//!
+//! The scheduler is single-threaded and fully deterministic: PEs are
+//! stepped in virtual-time order with PE-id tie-breaking, so every run with
+//! the same inputs produces bit-identical results (a property the
+//! cross-engine integration tests rely on).
+//!
+//! Components:
+//!
+//! * [`machine`] — node/PE topology and cost constants (Table IV presets).
+//! * [`sched`] — the virtual-time scheduler, [`Program`] trait and PE
+//!   context API ([`Ctx`]).
+//! * [`msg`] — typed in-flight messages with arrival times.
+//! * [`stats`] — per-PE and aggregate accounting: compute / intranode /
+//!   internode / idle seconds (Fig 5), bytes, messages, barrier waits.
+//! * [`memory`] — per-node memory budgets with OOM detection (Fig 8).
+//! * [`cache`] — a set-associative cache simulator standing in for PAPI
+//!   hardware counters (Fig 3).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod machine;
+pub mod memory;
+pub mod msg;
+pub mod sched;
+pub mod stats;
+pub mod trace;
+
+pub use cache::CacheSim;
+pub use machine::{MachineConfig, PeId};
+pub use msg::Msg;
+pub use sched::{Ctx, Program, SimError, Simulator, Step};
+pub use stats::{Category, PeStats, SimReport};
+pub use trace::Timeline;

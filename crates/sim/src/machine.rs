@@ -1,0 +1,216 @@
+//! Machine topology and cost constants.
+//!
+//! Mirrors the paper's Table IV ("Model parameters for Phoenix") plus the
+//! latency/bandwidth symbols τ and μ of Table I. All rates are in base SI
+//! units (bytes/second, operations/second, seconds) to keep arithmetic in
+//! the scheduler trivial.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a processing element (one simulated core).
+pub type PeId = usize;
+
+/// The simulated cluster: topology plus the cost constants that convert
+/// measured work into virtual seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of nodes in the allocation.
+    pub nodes: usize,
+    /// PEs (cores) per node. Phoenix Intel nodes expose 24.
+    pub pes_per_node: usize,
+    /// Peak 64-bit integer throughput per *node*, ops/s (Table IV
+    /// `C_node` = 121.9 GOp/s).
+    pub node_ops_per_sec: f64,
+    /// Sustained memory bandwidth per *node*, B/s (Table IV `β_mem` =
+    /// 46.9 GB/s).
+    pub mem_bandwidth: f64,
+    /// Last-level cache capacity per node, bytes (Table IV `Z` = 38 MB).
+    pub cache_bytes: usize,
+    /// Cache line size, bytes (Table IV `L` = 64 B).
+    pub line_bytes: usize,
+    /// Combined bidirectional NIC bandwidth per node, B/s (Table IV
+    /// `β_link` = 12.5 GB/s).
+    pub link_bandwidth: f64,
+    /// One-way remote message latency τ, seconds. InfiniBand-class RDMA
+    /// put latency; the paper only requires τ ≫ μ.
+    pub latency: f64,
+    /// Main-memory capacity per node, bytes; exceeded ⇒ OOM (Fig 8).
+    /// Phoenix Intel nodes have 192 GB.
+    pub node_memory: u64,
+}
+
+impl MachineConfig {
+    /// Phoenix Intel node parameters (paper Table IV; 192 GB DDR4,
+    /// dual-socket Xeon Gold 6226, 24 cores).
+    pub fn phoenix_intel(nodes: usize) -> Self {
+        Self {
+            nodes,
+            pes_per_node: 24,
+            node_ops_per_sec: 121.9e9,
+            mem_bandwidth: 46.9e9,
+            cache_bytes: 38 << 20,
+            line_bytes: 64,
+            link_bandwidth: 12.5e9,
+            latency: 2.0e-6,
+            node_memory: 192 << 30,
+        }
+    }
+
+    /// Phoenix AMD node (dual EPYC 7742, 128 cores, 512 GB), used for the
+    /// single-node shared-memory comparison of Fig 9.
+    pub fn phoenix_amd(nodes: usize) -> Self {
+        Self {
+            nodes,
+            pes_per_node: 128,
+            node_ops_per_sec: 256.0e9,
+            mem_bandwidth: 190.0e9,
+            cache_bytes: 256 << 20,
+            line_bytes: 64,
+            link_bandwidth: 12.5e9,
+            latency: 2.0e-6,
+            node_memory: 512 << 30,
+        }
+    }
+
+    /// A tiny fast machine for unit tests: costs are simple round numbers
+    /// so tests can assert exact virtual times.
+    pub fn test_machine(nodes: usize, pes_per_node: usize) -> Self {
+        Self {
+            nodes,
+            pes_per_node,
+            node_ops_per_sec: 1e9 * pes_per_node as f64,
+            mem_bandwidth: 1e9,
+            cache_bytes: 1 << 20,
+            line_bytes: 64,
+            link_bandwidth: 1e9,
+            latency: 1e-6,
+            node_memory: 1 << 30,
+        }
+    }
+
+    /// Total PEs in the allocation.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.nodes * self.pes_per_node
+    }
+
+    /// Node that hosts `pe` (PEs are block-distributed over nodes).
+    #[inline]
+    pub fn node_of(&self, pe: PeId) -> usize {
+        pe / self.pes_per_node
+    }
+
+    /// `true` if the two PEs share a node (their traffic is memcpy, not
+    /// NIC — paper §VI-B).
+    #[inline]
+    pub fn colocated(&self, a: PeId, b: PeId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Per-PE share of node integer throughput, ops/s.
+    #[inline]
+    pub fn pe_ops_per_sec(&self) -> f64 {
+        self.node_ops_per_sec / self.pes_per_node as f64
+    }
+
+    /// Per-PE share of node memory bandwidth, B/s.
+    #[inline]
+    pub fn pe_mem_bandwidth(&self) -> f64 {
+        self.mem_bandwidth / self.pes_per_node as f64
+    }
+
+    /// Per-PE share of NIC bandwidth, B/s.
+    #[inline]
+    pub fn pe_link_bandwidth(&self) -> f64 {
+        self.link_bandwidth / self.pes_per_node as f64
+    }
+
+    /// Seconds to execute `ops` 64-bit integer operations on one PE.
+    #[inline]
+    pub fn ops_time(&self, ops: u64) -> f64 {
+        ops as f64 / self.pe_ops_per_sec()
+    }
+
+    /// Seconds for one PE to stream `bytes` through main memory.
+    #[inline]
+    pub fn mem_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.pe_mem_bandwidth()
+    }
+
+    /// Seconds of NIC occupancy for one PE to inject `bytes`.
+    #[inline]
+    pub fn link_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.pe_link_bandwidth()
+    }
+
+    /// Cost of one tree barrier over `p` participants:
+    /// `Θ(τ log P + μ log P)` (paper Eq 3). We take μ·logP as one latency
+    /// per level with a machine-word payload folded into τ.
+    pub fn barrier_time(&self, p: usize) -> f64 {
+        if p <= 1 {
+            0.0
+        } else {
+            let levels = (p as f64).log2().ceil();
+            2.0 * self.latency * levels
+        }
+    }
+
+    /// The per-byte wire cost μ (inverse NIC bandwidth per PE).
+    #[inline]
+    pub fn mu(&self) -> f64 {
+        1.0 / self.pe_link_bandwidth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phoenix_matches_table_iv() {
+        let m = MachineConfig::phoenix_intel(8);
+        assert_eq!(m.num_pes(), 192); // the paper's "8 nodes (192 cores)"
+        assert!((m.node_ops_per_sec - 121.9e9).abs() < 1e6);
+        assert!((m.mem_bandwidth - 46.9e9).abs() < 1e6);
+        assert_eq!(m.cache_bytes, 38 << 20);
+        assert_eq!(m.line_bytes, 64);
+        assert!((m.link_bandwidth - 12.5e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn node_mapping_is_block() {
+        let m = MachineConfig::test_machine(3, 4);
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(3), 0);
+        assert_eq!(m.node_of(4), 1);
+        assert_eq!(m.node_of(11), 2);
+        assert!(m.colocated(0, 3));
+        assert!(!m.colocated(3, 4));
+    }
+
+    #[test]
+    fn cost_helpers_are_linear() {
+        let m = MachineConfig::test_machine(1, 2);
+        // 2 PEs share 2 GOp/s ⇒ 1 GOp/s each ⇒ 1e9 ops take 1 s.
+        assert!((m.ops_time(1_000_000_000) - 1.0).abs() < 1e-12);
+        // Memory: 1 GB/s shared by 2 ⇒ 0.5 GB/s each.
+        assert!((m.mem_time(500_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_grows_logarithmically() {
+        let m = MachineConfig::test_machine(16, 1);
+        assert_eq!(m.barrier_time(1), 0.0);
+        let b2 = m.barrier_time(2);
+        let b16 = m.barrier_time(16);
+        assert!(b16 > b2);
+        assert!((b16 / b2 - 4.0).abs() < 1e-9); // log2(16)/log2(2)
+    }
+
+    #[test]
+    fn tau_much_greater_than_mu() {
+        // The paper's standing assumption τ ≫ μ must hold for the presets.
+        let m = MachineConfig::phoenix_intel(1);
+        assert!(m.latency > 100.0 * m.mu());
+    }
+}

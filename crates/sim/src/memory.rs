@@ -1,0 +1,127 @@
+//! Per-node memory budgets.
+//!
+//! Programs declare their significant allocations (receive arrays, buffer
+//! pools, sort scratch) through [`crate::Ctx::mem_alloc`]; the tracker sums
+//! them per node and trips an OOM error when a node exceeds its budget —
+//! reproducing the OOM failures that eliminate PakMan\* and HySortK from
+//! the paper's Fig 8.
+
+use crate::machine::MachineConfig;
+
+/// Tracks live and peak allocation per node.
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    budget: u64,
+    live: Vec<u64>,
+    peak: Vec<u64>,
+}
+
+/// Raised when a node's live allocation exceeds its budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OomError {
+    /// The node that ran out of memory.
+    pub node: usize,
+    /// Live bytes after the failing allocation.
+    pub attempted: u64,
+    /// The node's budget in bytes.
+    pub budget: u64,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker for the machine's nodes and per-node budget.
+    pub fn new(machine: &MachineConfig) -> Self {
+        Self {
+            budget: machine.node_memory,
+            live: vec![0; machine.nodes],
+            peak: vec![0; machine.nodes],
+        }
+    }
+
+    /// Registers `bytes` of new allocation on `node`.
+    pub fn alloc(&mut self, node: usize, bytes: u64) -> Result<(), OomError> {
+        self.live[node] += bytes;
+        if self.live[node] > self.peak[node] {
+            self.peak[node] = self.live[node];
+        }
+        if self.live[node] > self.budget {
+            return Err(OomError {
+                node,
+                attempted: self.live[node],
+                budget: self.budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// Releases `bytes` on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is freed than is live (an accounting bug in the
+    /// calling program).
+    pub fn free(&mut self, node: usize, bytes: u64) {
+        assert!(
+            self.live[node] >= bytes,
+            "node {node}: freeing {bytes} B with only {} B live",
+            self.live[node]
+        );
+        self.live[node] -= bytes;
+    }
+
+    /// Live bytes on `node`.
+    pub fn live(&self, node: usize) -> u64 {
+        self.live[node]
+    }
+
+    /// Peak bytes per node (for [`crate::SimReport`]).
+    pub fn peaks(&self) -> &[u64] {
+        &self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(budget: u64) -> MemoryTracker {
+        let mut m = MachineConfig::test_machine(2, 1);
+        m.node_memory = budget;
+        MemoryTracker::new(&m)
+    }
+
+    #[test]
+    fn alloc_free_tracks_peak() {
+        let mut t = tracker(100);
+        t.alloc(0, 40).unwrap();
+        t.alloc(0, 30).unwrap();
+        t.free(0, 50);
+        assert_eq!(t.live(0), 20);
+        assert_eq!(t.peaks()[0], 70);
+        assert_eq!(t.peaks()[1], 0);
+    }
+
+    #[test]
+    fn oom_trips_at_budget() {
+        let mut t = tracker(100);
+        t.alloc(1, 100).unwrap();
+        let err = t.alloc(1, 1).unwrap_err();
+        assert_eq!(err.node, 1);
+        assert_eq!(err.attempted, 101);
+        assert_eq!(err.budget, 100);
+    }
+
+    #[test]
+    fn nodes_are_independent() {
+        let mut t = tracker(100);
+        t.alloc(0, 100).unwrap();
+        t.alloc(1, 100).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut t = tracker(100);
+        t.alloc(0, 10).unwrap();
+        t.free(0, 11);
+    }
+}

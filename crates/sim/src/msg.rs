@@ -1,0 +1,101 @@
+//! In-flight messages.
+//!
+//! A message models one one-sided `PUT`: a source PE, a destination PE, a
+//! tag (channel discriminator — conveyor hop, collective round, HEAVY vs
+//! NORMAL), an opaque payload and the virtual time at which the payload
+//! lands in the destination's receive buffer.
+//!
+//! Payloads are plain `Vec<u8>`: the communication layers above serialize
+//! packed k-mer words into them, so the byte counts the simulator charges
+//! for are exactly the bytes a real implementation would move (including
+//! the 32-bit routing headers whose overhead motivates the paper's L2
+//! layer).
+
+use crate::machine::PeId;
+
+/// One in-flight or delivered message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Msg {
+    /// Sending PE.
+    pub src: PeId,
+    /// Destination PE.
+    pub dst: PeId,
+    /// Channel discriminator, free for the layers above.
+    pub tag: u32,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+    /// Virtual time at which the message is visible to `dst`.
+    pub arrival: f64,
+    /// Global send sequence number; makes delivery order total and
+    /// deterministic when arrivals tie.
+    pub seq: u64,
+}
+
+impl Msg {
+    /// Payload size in bytes (what bandwidth is charged for).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// `true` if the payload is empty (zero-byte flush marker).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+/// Min-heap ordering key for pending messages: earliest arrival first,
+/// sequence number breaking ties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ArrivalKey {
+    pub arrival: f64,
+    pub seq: u64,
+}
+
+impl Eq for ArrivalKey {}
+
+impl PartialOrd for ArrivalKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ArrivalKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Arrival times are finite by construction (sums of finite costs).
+        self.arrival
+            .partial_cmp(&other.arrival)
+            .expect("finite arrival times")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_key_orders_by_time_then_seq() {
+        let a = ArrivalKey { arrival: 1.0, seq: 5 };
+        let b = ArrivalKey { arrival: 2.0, seq: 1 };
+        let c = ArrivalKey { arrival: 1.0, seq: 6 };
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn msg_len() {
+        let m = Msg {
+            src: 0,
+            dst: 1,
+            tag: 0,
+            payload: vec![1, 2, 3],
+            arrival: 0.0,
+            seq: 0,
+        };
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+}

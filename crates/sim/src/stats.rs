@@ -1,0 +1,187 @@
+//! Execution accounting.
+//!
+//! Everything the paper's evaluation plots comes from these counters: time
+//! decomposed into compute / intranode / internode / idle (Fig 5), bytes
+//! and message counts on the wire (the L2/L3 ablation of Fig 12 is a
+//! communication-volume story), barrier waits (the synchronization cost the
+//! FA-BSP design removes), and per-node peak memory (the OOM annotations of
+//! Fig 8 and the protocol memory of Fig 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Where a PE's virtual time went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Integer/ALU work (k-mer rolling, hashing, sort passes).
+    Compute,
+    /// Main-memory traffic within the node, including colocated-PE
+    /// "memcpy" message delivery.
+    Intranode,
+    /// NIC injection time for internode messages.
+    Internode,
+    /// Time spent with nothing to do: waiting for messages or inside a
+    /// barrier.
+    Idle,
+}
+
+/// Per-PE counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PeStats {
+    /// Seconds of integer compute.
+    pub compute_s: f64,
+    /// Seconds of intranode memory traffic.
+    pub intranode_s: f64,
+    /// Seconds of NIC occupancy.
+    pub internode_s: f64,
+    /// Seconds idle (message waits + barrier waits).
+    pub idle_s: f64,
+    /// Seconds idle inside barriers only (subset of `idle_s`).
+    pub barrier_wait_s: f64,
+    /// Messages sent, by destination locality.
+    pub msgs_sent_local: u64,
+    /// Messages sent to remote nodes.
+    pub msgs_sent_remote: u64,
+    /// Payload bytes sent to colocated PEs.
+    pub bytes_sent_local: u64,
+    /// Payload bytes sent across the network.
+    pub bytes_sent_remote: u64,
+    /// Messages received (delivered through `poll`).
+    pub msgs_received: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Number of barriers this PE entered.
+    pub barriers: u64,
+    /// Integer operations charged.
+    pub ops: u64,
+    /// Current allocation in bytes.
+    pub mem_now: u64,
+    /// Peak allocation in bytes.
+    pub mem_peak: u64,
+}
+
+impl PeStats {
+    /// Records time against a category.
+    pub fn charge(&mut self, cat: Category, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative charge {seconds}");
+        match cat {
+            Category::Compute => self.compute_s += seconds,
+            Category::Intranode => self.intranode_s += seconds,
+            Category::Internode => self.internode_s += seconds,
+            Category::Idle => self.idle_s += seconds,
+        }
+    }
+
+    /// Total accounted seconds.
+    pub fn busy_s(&self) -> f64 {
+        self.compute_s + self.intranode_s + self.internode_s
+    }
+}
+
+/// The result of a completed simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Virtual makespan: the maximum PE clock at completion.
+    pub total_time: f64,
+    /// Per-PE counters.
+    pub pes: Vec<PeStats>,
+    /// Peak memory per node, bytes.
+    pub node_mem_peak: Vec<u64>,
+    /// Number of global barriers completed.
+    pub barriers_completed: u64,
+    /// Per-phase makespan, indexed by the phase ids programs declared via
+    /// [`crate::Ctx::set_phase`]. `phase_time[p]` is the virtual time span
+    /// during which phase `p` was the latest phase entered.
+    pub phase_time: Vec<f64>,
+}
+
+impl SimReport {
+    /// Total payload bytes that crossed node boundaries.
+    pub fn remote_bytes(&self) -> u64 {
+        self.pes.iter().map(|p| p.bytes_sent_remote).sum()
+    }
+
+    /// Total payload bytes delivered between colocated PEs.
+    pub fn local_bytes(&self) -> u64 {
+        self.pes.iter().map(|p| p.bytes_sent_local).sum()
+    }
+
+    /// Total messages sent (local + remote).
+    pub fn total_msgs(&self) -> u64 {
+        self.pes
+            .iter()
+            .map(|p| p.msgs_sent_local + p.msgs_sent_remote)
+            .sum()
+    }
+
+    /// Aggregate seconds per category across PEs, in
+    /// `[compute, intranode, internode, idle]` order — the decomposition
+    /// Fig 5 plots as percentages.
+    pub fn category_seconds(&self) -> [f64; 4] {
+        let mut acc = [0.0f64; 4];
+        for p in &self.pes {
+            acc[0] += p.compute_s;
+            acc[1] += p.intranode_s;
+            acc[2] += p.internode_s;
+            acc[3] += p.idle_s;
+        }
+        acc
+    }
+
+    /// Percentage breakdown of busy time `[compute, intra, inter]`
+    /// ignoring idle, as Fig 5 presents ("no overlap assumed").
+    pub fn busy_percentages(&self) -> [f64; 3] {
+        let [c, ia, ie, _] = self.category_seconds();
+        let total = c + ia + ie;
+        if total == 0.0 {
+            [0.0; 3]
+        } else {
+            [100.0 * c / total, 100.0 * ia / total, 100.0 * ie / total]
+        }
+    }
+
+    /// Peak memory over all nodes, bytes.
+    pub fn peak_node_memory(&self) -> u64 {
+        self.node_mem_peak.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut s = PeStats::default();
+        s.charge(Category::Compute, 1.0);
+        s.charge(Category::Compute, 0.5);
+        s.charge(Category::Idle, 2.0);
+        assert!((s.compute_s - 1.5).abs() < 1e-12);
+        assert!((s.idle_s - 2.0).abs() < 1e-12);
+        assert!((s.busy_s() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut a = PeStats::default();
+        a.compute_s = 1.0;
+        a.bytes_sent_remote = 100;
+        let mut b = PeStats::default();
+        b.internode_s = 3.0;
+        b.bytes_sent_local = 7;
+        b.msgs_sent_local = 1;
+        let r = SimReport {
+            total_time: 3.0,
+            pes: vec![a, b],
+            node_mem_peak: vec![10, 20],
+            barriers_completed: 0,
+            phase_time: vec![],
+        };
+        assert_eq!(r.remote_bytes(), 100);
+        assert_eq!(r.local_bytes(), 7);
+        assert_eq!(r.total_msgs(), 1);
+        assert_eq!(r.peak_node_memory(), 20);
+        let pct = r.busy_percentages();
+        assert!((pct[0] - 25.0).abs() < 1e-9);
+        assert!((pct[2] - 75.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,181 @@
+//! Execution timelines.
+//!
+//! [`Timeline`] turns a [`crate::SimReport`] into human-readable pictures:
+//! a per-PE utilization bar (how each PE split its time across compute,
+//! intranode, internode and idle) and an aggregate roll-up. This is the
+//! debugging view used while developing the engines — a BSP run shows
+//! wide idle bands at every round barrier, a DAKC run shows them only at
+//! the drain — and it is exposed publicly because the same question
+//! ("where did the time go on each PE?") is the first one a user asks of
+//! any distributed run.
+
+use crate::stats::SimReport;
+
+/// Renders per-PE utilization bars from a report.
+#[derive(Debug, Clone)]
+pub struct Timeline<'a> {
+    report: &'a SimReport,
+    /// Width of a full bar in characters.
+    pub width: usize,
+}
+
+impl<'a> Timeline<'a> {
+    /// Creates a renderer with the default 48-character bars.
+    pub fn new(report: &'a SimReport) -> Self {
+        Self { report, width: 48 }
+    }
+
+    /// One PE's bar: `C` compute, `M` intranode memory, `N` internode,
+    /// `.` idle — proportional to that PE's accounted time.
+    pub fn pe_bar(&self, pe: usize) -> String {
+        let s = &self.report.pes[pe];
+        let total = s.compute_s + s.intranode_s + s.internode_s + s.idle_s;
+        if total <= 0.0 {
+            return " ".repeat(self.width);
+        }
+        let mut bar = String::with_capacity(self.width);
+        let segments = [
+            (s.compute_s, 'C'),
+            (s.intranode_s, 'M'),
+            (s.internode_s, 'N'),
+            (s.idle_s, '.'),
+        ];
+        let mut emitted = 0usize;
+        for (i, (secs, ch)) in segments.iter().enumerate() {
+            let cells = if i + 1 == segments.len() {
+                self.width - emitted
+            } else {
+                ((secs / total) * self.width as f64).round() as usize
+            };
+            let cells = cells.min(self.width - emitted);
+            bar.extend(std::iter::repeat(*ch).take(cells));
+            emitted += cells;
+        }
+        bar
+    }
+
+    /// The whole machine, one line per PE, with a legend and the makespan.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "timeline ({} PEs, makespan {:.6}s) — C compute, M intranode, N internode, . idle\n",
+            self.report.pes.len(),
+            self.report.total_time
+        ));
+        for pe in 0..self.report.pes.len() {
+            out.push_str(&format!("PE{pe:>4} |{}|\n", self.pe_bar(pe)));
+        }
+        out
+    }
+
+    /// A compact summary suitable for many-PE runs: min/median/max idle
+    /// fraction across PEs, plus the aggregate split.
+    pub fn summary(&self) -> String {
+        let mut idle_frac: Vec<f64> = self
+            .report
+            .pes
+            .iter()
+            .map(|s| {
+                let t = s.compute_s + s.intranode_s + s.internode_s + s.idle_s;
+                if t > 0.0 {
+                    s.idle_s / t
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        idle_frac.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pick = |q: f64| idle_frac[((idle_frac.len() - 1) as f64 * q) as usize];
+        let [c, m, n] = self.report.busy_percentages();
+        format!(
+            "busy split {c:.1}%C / {m:.1}%M / {n:.1}%N; idle fraction min {:.2} median {:.2} max {:.2}",
+            pick(0.0),
+            pick(0.5),
+            pick(1.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::sched::{Ctx, Program, Simulator, Step};
+
+    fn report_for(ops: &[u64]) -> SimReport {
+        struct Burn {
+            ops: u64,
+            state: u8,
+        }
+        impl Program for Burn {
+            fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+                match self.state {
+                    0 => {
+                        ctx.charge_ops(self.ops);
+                        self.state = 1;
+                        Step::Barrier
+                    }
+                    _ => Step::Done,
+                }
+            }
+        }
+        let machine = MachineConfig::test_machine(1, ops.len());
+        Simulator::new(machine)
+            .run(ops
+                .iter()
+                .map(|&o| Box::new(Burn { ops: o, state: 0 }) as Box<dyn Program>)
+                .collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn bars_have_fixed_width() {
+        let r = report_for(&[1_000_000, 4_000_000]);
+        let t = Timeline::new(&r);
+        assert_eq!(t.pe_bar(0).chars().count(), 48);
+        assert_eq!(t.pe_bar(1).chars().count(), 48);
+    }
+
+    #[test]
+    fn slow_pe_computes_fast_pe_idles() {
+        let r = report_for(&[1_000_000, 10_000_000]);
+        let t = Timeline::new(&r);
+        let fast = t.pe_bar(0);
+        let slow = t.pe_bar(1);
+        assert!(fast.matches('.').count() > slow.matches('.').count());
+        assert!(slow.matches('C').count() > fast.matches('C').count());
+    }
+
+    #[test]
+    fn render_lists_every_pe() {
+        let r = report_for(&[1, 2, 3]);
+        let text = Timeline::new(&r).render();
+        assert_eq!(text.lines().count(), 4); // header + 3 PEs
+        assert!(text.contains("PE   2"));
+    }
+
+    #[test]
+    fn summary_mentions_split() {
+        let r = report_for(&[5_000_000, 5_000_000]);
+        let s = Timeline::new(&r).summary();
+        assert!(s.contains("busy split"));
+        assert!(s.contains("idle fraction"));
+    }
+
+    #[test]
+    fn zero_work_bar_is_blank() {
+        // A report with genuinely zero accounting (no compute, no barrier
+        // idle) renders a blank bar rather than panicking on the 0/0.
+        struct Quit;
+        impl Program for Quit {
+            fn step(&mut self, _ctx: &mut Ctx<'_>) -> Step {
+                Step::Done
+            }
+        }
+        let r = Simulator::new(MachineConfig::test_machine(1, 2))
+            .run(vec![Box::new(Quit), Box::new(Quit)])
+            .unwrap();
+        let t = Timeline::new(&r);
+        assert_eq!(t.pe_bar(0).trim(), "");
+    }
+}

@@ -1,0 +1,207 @@
+//! Failure-injection tests for the simulator: programs that misbehave must
+//! produce diagnosable errors, not hangs or silent corruption.
+
+use dakc_sim::{Ctx, MachineConfig, Program, SimError, Simulator, Step};
+
+/// A program driven by a script of steps.
+struct Scripted {
+    script: Vec<Step>,
+    at: usize,
+    on_step: fn(&mut Ctx<'_>, usize),
+}
+
+impl Program for Scripted {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        (self.on_step)(ctx, self.at);
+        let s = self.script.get(self.at).copied().unwrap_or(Step::Done);
+        self.at += 1;
+        s
+    }
+}
+
+fn noop(_: &mut Ctx<'_>, _: usize) {}
+
+#[test]
+fn message_to_finished_pe_is_an_error() {
+    // PE 1 finishes on its first step; PE 0 computes for a step (so PE 1
+    // is already Done), then sends to it.
+    struct LateSender {
+        at: u8,
+    }
+    impl Program for LateSender {
+        fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+            match self.at {
+                0 => {
+                    ctx.charge_ops(1_000_000);
+                    self.at = 1;
+                    Step::Yield
+                }
+                1 => {
+                    ctx.send(1, 0, vec![1]);
+                    self.at = 2;
+                    Step::Yield
+                }
+                _ => Step::Done,
+            }
+        }
+    }
+    struct Quitter;
+    impl Program for Quitter {
+        fn step(&mut self, _ctx: &mut Ctx<'_>) -> Step {
+            Step::Done
+        }
+    }
+    let sim = Simulator::new(MachineConfig::test_machine(2, 1));
+    let err = sim
+        .run(vec![Box::new(LateSender { at: 0 }), Box::new(Quitter)])
+        .unwrap_err();
+    assert!(matches!(err, SimError::MessageToFinishedPe { src: 0, dst: 1 }));
+}
+
+#[test]
+fn mixed_sleepers_and_barrier_waiters_deadlock_cleanly() {
+    let sim = Simulator::new(MachineConfig::test_machine(2, 1));
+    let programs: Vec<Box<dyn Program>> = vec![
+        Box::new(Scripted { script: vec![Step::Sleep], at: 0, on_step: noop }),
+        Box::new(Scripted { script: vec![Step::Barrier], at: 0, on_step: noop }),
+    ];
+    let err = sim.run(programs).unwrap_err();
+    match err {
+        SimError::Deadlock { sleeping, in_barrier } => {
+            assert_eq!(sleeping, vec![0]);
+            assert_eq!(in_barrier, vec![1]);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn oom_error_identifies_the_node() {
+    struct Hog(usize);
+    impl Program for Hog {
+        fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+            if ctx.pe() == self.0 {
+                ctx.mem_alloc(u64::MAX / 4);
+            }
+            Step::Done
+        }
+    }
+    let mut machine = MachineConfig::test_machine(3, 2);
+    machine.node_memory = 1 << 20;
+    let sim = Simulator::new(machine);
+    let programs: Vec<Box<dyn Program>> = (0..6).map(|_| Box::new(Hog(5)) as Box<dyn Program>).collect();
+    let err = sim.run(programs).unwrap_err();
+    match err {
+        SimError::Oom(e) => assert_eq!(e.node, 2, "PE 5 lives on node 2"),
+        other => panic!("expected OOM, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_display_is_informative() {
+    let e = SimError::Deadlock { sleeping: vec![1, 2], in_barrier: vec![3] };
+    let s = format!("{e}");
+    assert!(s.contains("deadlock") && s.contains('2') && s.contains('1'));
+    let e = SimError::MessageToFinishedPe { src: 4, dst: 9 };
+    assert!(format!("{e}").contains('9'));
+}
+
+#[test]
+fn zero_work_programs_terminate_immediately() {
+    let sim = Simulator::new(MachineConfig::test_machine(2, 2));
+    let programs: Vec<Box<dyn Program>> = (0..4)
+        .map(|_| {
+            Box::new(Scripted { script: vec![Step::Done], at: 0, on_step: noop })
+                as Box<dyn Program>
+        })
+        .collect();
+    let r = sim.run(programs).unwrap();
+    assert_eq!(r.total_time, 0.0);
+    assert_eq!(r.barriers_completed, 0);
+}
+
+#[test]
+fn repeated_barriers_synchronize_every_time() {
+    fn charge_by_pe(ctx: &mut Ctx<'_>, _at: usize) {
+        // Different speeds each round; barrier must equalize clocks.
+        ctx.charge_ops((ctx.pe() as u64 + 1) * 1_000_000);
+    }
+    let rounds = 5;
+    let sim = Simulator::new(MachineConfig::test_machine(1, 3));
+    let programs: Vec<Box<dyn Program>> = (0..3)
+        .map(|_| {
+            let mut script = vec![Step::Barrier; rounds];
+            script.push(Step::Done);
+            Box::new(Scripted { script, at: 0, on_step: charge_by_pe }) as Box<dyn Program>
+        })
+        .collect();
+    let r = sim.run(programs).unwrap();
+    assert_eq!(r.barriers_completed, rounds as u64);
+    // The fast PE idles in every round.
+    assert!(r.pes[0].barrier_wait_s > r.pes[2].barrier_wait_s);
+}
+
+#[test]
+fn self_messages_deliver() {
+    struct SelfTalk {
+        state: u8,
+    }
+    impl Program for SelfTalk {
+        fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+            match self.state {
+                0 => {
+                    ctx.send(ctx.pe(), 3, vec![7; 16]);
+                    self.state = 1;
+                    Step::Yield
+                }
+                1 => {
+                    let msgs = ctx.poll();
+                    assert_eq!(msgs.len(), 1);
+                    assert_eq!(msgs[0].src, ctx.pe());
+                    assert_eq!(msgs[0].tag, 3);
+                    self.state = 2;
+                    Step::Done
+                }
+                _ => Step::Done,
+            }
+        }
+    }
+    let sim = Simulator::new(MachineConfig::test_machine(1, 1));
+    sim.run(vec![Box::new(SelfTalk { state: 0 })]).unwrap();
+}
+
+#[test]
+fn byte_accounting_balances() {
+    // All sent bytes must be received by completion.
+    struct Chatter {
+        sent: bool,
+    }
+    impl Program for Chatter {
+        fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+            if !self.sent {
+                let p = ctx.num_pes();
+                for d in 0..p {
+                    ctx.send(d, 0, vec![0xAB; 10 + d]);
+                }
+                self.sent = true;
+                return Step::Barrier;
+            }
+            // Drain anything that arrived; keep waiting while more is on
+            // the way (finishing with undelivered mail is a program bug).
+            ctx.poll();
+            if ctx.next_arrival().is_some() {
+                return Step::Barrier;
+            }
+            Step::Done
+        }
+    }
+    // NOTE: messages may arrive while in the barrier (quiescence wakes the
+    // PE); poll happens then, so everything is delivered by completion.
+    let sim = Simulator::new(MachineConfig::test_machine(2, 2));
+    let programs: Vec<Box<dyn Program>> =
+        (0..4).map(|_| Box::new(Chatter { sent: false }) as Box<dyn Program>).collect();
+    let r = sim.run(programs).unwrap();
+    let sent: u64 = r.pes.iter().map(|p| p.bytes_sent_local + p.bytes_sent_remote).sum();
+    let recv: u64 = r.pes.iter().map(|p| p.bytes_received).sum();
+    assert_eq!(sent, recv, "sent {sent} != received {recv}");
+}

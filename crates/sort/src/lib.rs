@@ -1,0 +1,103 @@
+//! # dakc-sort — the sorting substrate
+//!
+//! Every k-mer counter in this workspace is *sorting-based* (paper §III-A):
+//! count = sort the k-mer array, then sweep it accumulating run lengths.
+//! This crate provides the sorting algorithms the paper's systems use:
+//!
+//! * [`lsd`] — least-significant-digit radix sort (the `Θ(mn)` workhorse of
+//!   KMC3, HySortK, PakMan\* and DAKC), for any [`RadixKey`] and for
+//!   arbitrary records via a key extractor.
+//! * [`msd`] — in-place most-significant-digit ("American flag") radix sort.
+//! * [`hybrid`] — the ska-sort-style hybrid the paper cites ([47]): MSD
+//!   radix with a comparison-sort fallback heuristic for small buckets and a
+//!   pre-pass that skips already-sorted input (the behaviour §V-A relies on
+//!   when the model over-predicts phase-2 cache misses).
+//! * [`parallel`] — multi-threaded radix sort on crossbeam scoped threads
+//!   (the intra-node hybrid parallelism of HySortK and KMC3).
+//! * [`quicksort`] — a classic median-of-three quicksort: the sort used by
+//!   the *original* PakMan kernel, kept as a baseline so Figure 6's
+//!   "radix sort makes PakMan ≈2× faster" experiment can be rerun.
+//! * [`accumulate`] — the `Accumulate` sweep of Algorithm 1, plus the
+//!   weighted variant the L3 heavy-hitter path needs.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod accumulate;
+pub mod hybrid;
+pub mod lsd;
+pub mod msd;
+pub mod parallel;
+pub mod quicksort;
+
+pub use accumulate::{accumulate, accumulate_weighted};
+pub use hybrid::hybrid_sort;
+pub use lsd::{lsd_radix_sort, lsd_radix_sort_by};
+pub use msd::msd_radix_sort;
+pub use parallel::parallel_radix_sort;
+pub use quicksort::quicksort;
+
+/// A fixed-width unsigned key that radix sorts can digit-decompose.
+///
+/// `LEVELS` is the number of 8-bit digits; `radix_at(0)` is the *least*
+/// significant byte.
+pub trait RadixKey: Copy + Ord + Send + Sync + 'static {
+    /// Number of 8-bit digit levels in the key.
+    const LEVELS: usize;
+
+    /// The 8-bit digit at `level` (0 = least significant).
+    fn radix_at(self, level: usize) -> u8;
+}
+
+impl RadixKey for u32 {
+    const LEVELS: usize = 4;
+
+    #[inline]
+    fn radix_at(self, level: usize) -> u8 {
+        (self >> (8 * level)) as u8
+    }
+}
+
+impl RadixKey for u64 {
+    const LEVELS: usize = 8;
+
+    #[inline]
+    fn radix_at(self, level: usize) -> u8 {
+        (self >> (8 * level)) as u8
+    }
+}
+
+impl RadixKey for u128 {
+    const LEVELS: usize = 16;
+
+    #[inline]
+    fn radix_at(self, level: usize) -> u8 {
+        (self >> (8 * level)) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_digits_of_u64() {
+        let x: u64 = 0x0102_0304_0506_0708;
+        assert_eq!(x.radix_at(0), 0x08);
+        assert_eq!(x.radix_at(7), 0x01);
+    }
+
+    #[test]
+    fn radix_digits_of_u128() {
+        let x: u128 = 0xAB << 120;
+        assert_eq!(x.radix_at(15), 0xAB);
+        assert_eq!(x.radix_at(0), 0);
+    }
+
+    #[test]
+    fn radix_digits_of_u32() {
+        let x: u32 = 0xDEAD_BEEF;
+        assert_eq!(x.radix_at(0), 0xEF);
+        assert_eq!(x.radix_at(3), 0xDE);
+    }
+}

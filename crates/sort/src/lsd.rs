@@ -1,0 +1,147 @@
+//! Least-significant-digit radix sort.
+//!
+//! The stable out-of-place counting sort the distributed counters run on
+//! their received k-mer arrays. Runs `K::LEVELS` passes of 256-way counting
+//! sort, ping-ponging between the input and one scratch buffer, and skips
+//! any pass whose digit is constant across the whole array — for `k = 31`
+//! k-mers the top two bits of every word are zero, so the top pass is
+//! usually free, matching the "skip trivial passes" behaviour of RADULS-style
+//! sorters the paper's baselines use.
+
+use crate::RadixKey;
+
+/// Sorts `data` ascending, stably, in `O(LEVELS · n)` time and `n` extra
+/// space.
+pub fn lsd_radix_sort<K: RadixKey>(data: &mut Vec<K>) {
+    lsd_radix_sort_by(data, |k| *k);
+}
+
+/// Sorts arbitrary records ascending by a [`RadixKey`] extracted from each,
+/// stably. This is what sorts `{k-mer, count}` pairs by k-mer on the L3
+/// heavy-hitter path.
+pub fn lsd_radix_sort_by<T: Copy, K: RadixKey>(data: &mut Vec<T>, key: impl Fn(&T) -> K) {
+    if data.len() <= 1 {
+        return;
+    }
+    let mut scratch: Vec<T> = Vec::with_capacity(data.len());
+    // Safety-free ping-pong: `src` and `dst` alternate roles per pass.
+    let mut in_data = true; // true: current contents live in `data`
+    scratch.resize(data.len(), data[0]);
+
+    for level in 0..K::LEVELS {
+        let (src, dst): (&mut Vec<T>, &mut Vec<T>) = if in_data {
+            (data, &mut scratch)
+        } else {
+            (&mut scratch, data)
+        };
+
+        let mut hist = [0usize; 256];
+        for t in src.iter() {
+            hist[key(t).radix_at(level) as usize] += 1;
+        }
+        // Constant digit ⇒ the pass is the identity permutation; skip it.
+        if hist.iter().any(|&c| c == src.len()) {
+            continue;
+        }
+        let mut offsets = [0usize; 256];
+        let mut sum = 0usize;
+        for (o, &c) in offsets.iter_mut().zip(hist.iter()) {
+            *o = sum;
+            sum += c;
+        }
+        for t in src.iter() {
+            let d = key(t).radix_at(level) as usize;
+            dst[offsets[d]] = *t;
+            offsets[d] += 1;
+        }
+        in_data = !in_data;
+    }
+    if !in_data {
+        data.copy_from_slice(&scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_u64() {
+        let mut v: Vec<u64> = vec![5, 3, 3, 99, 0, u64::MAX, 7];
+        lsd_radix_sort(&mut v);
+        assert_eq!(v, vec![0, 3, 3, 5, 7, 99, u64::MAX]);
+    }
+
+    #[test]
+    fn sorts_u128() {
+        let mut v: Vec<u128> = vec![1u128 << 100, 1, 1u128 << 64, 0];
+        lsd_radix_sort(&mut v);
+        assert_eq!(v, vec![0, 1, 1u128 << 64, 1u128 << 100]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut v: Vec<u64> = vec![];
+        lsd_radix_sort(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![42u64];
+        lsd_radix_sort(&mut v);
+        assert_eq!(v, vec![42]);
+    }
+
+    #[test]
+    fn already_sorted_unchanged() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        lsd_radix_sort(&mut v);
+        assert_eq!(v, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reverse_sorted() {
+        let mut v: Vec<u64> = (0..1000).rev().collect();
+        lsd_radix_sort(&mut v);
+        assert_eq!(v, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sort_by_key_is_stable() {
+        // Pairs (key, original index); equal keys must keep index order.
+        let mut v: Vec<(u64, u32)> = vec![(2, 0), (1, 1), (2, 2), (1, 3), (2, 4)];
+        lsd_radix_sort_by(&mut v, |p| p.0);
+        assert_eq!(v, vec![(1, 1), (1, 3), (2, 0), (2, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn matches_std_sort_on_random_data() {
+        // Deterministic xorshift fill.
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let mut v: Vec<u64> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        lsd_radix_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn low_entropy_keys_2bit_encoded() {
+        // Only low 2k bits populated, like real k-mers with k = 9.
+        let mut x = 7u64;
+        let mut v: Vec<u64> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x & ((1 << 18) - 1)
+            })
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        lsd_radix_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+}

@@ -1,0 +1,166 @@
+//! Multi-threaded radix sort on crossbeam scoped threads.
+//!
+//! This is the intra-node "hybrid parallelism" substrate of the HySortK and
+//! KMC3 baselines (paper §II): a two-phase bucket sort —
+//!
+//! 1. **Partition** (parallel over input chunks): each worker splits its
+//!    chunk into 256 thread-local buckets by the most significant digit.
+//! 2. **Sort** (parallel over buckets): each of the 256 output buckets is a
+//!    contiguous, disjoint region of the output; workers concatenate the
+//!    per-thread pieces for their bucket and finish it with the sequential
+//!    [`crate::hybrid_sort`].
+//!
+//! Both phases are safe Rust: phase 1 writes only thread-local vectors and
+//! phase 2 hands each worker disjoint `&mut` bucket slices obtained by
+//! `split_at_mut`, so data-race freedom is by construction (the Rayon
+//! design rule), with no `unsafe` scatter.
+
+use crate::{hybrid_sort, RadixKey};
+
+/// Sorts `data` ascending using up to `threads` worker threads.
+///
+/// Falls back to the sequential hybrid sort for small inputs or
+/// `threads <= 1`.
+pub fn parallel_radix_sort<K: RadixKey>(data: &mut Vec<K>, threads: usize) {
+    const PARALLEL_CUTOFF: usize = 1 << 14;
+    if threads <= 1 || data.len() < PARALLEL_CUTOFF {
+        hybrid_sort(data);
+        return;
+    }
+    let threads = threads.min(data.len() / 1024).max(1);
+    let top = K::LEVELS - 1;
+
+    // Phase 1: parallel partition into per-thread bucket vectors.
+    let chunk = data.len().div_ceil(threads);
+    let chunks: Vec<&[K]> = data.chunks(chunk).collect();
+    let partitioned: Vec<Vec<Vec<K>>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|c| {
+                s.spawn(move |_| {
+                    let mut buckets: Vec<Vec<K>> = vec![Vec::new(); 256];
+                    for &k in *c {
+                        buckets[k.radix_at(top) as usize].push(k);
+                    }
+                    buckets
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("partition worker")).collect()
+    })
+    .expect("crossbeam scope");
+
+    // Bucket sizes across all threads.
+    let mut sizes = [0usize; 256];
+    for per_thread in &partitioned {
+        for (b, v) in per_thread.iter().enumerate() {
+            sizes[b] += v.len();
+        }
+    }
+
+    // Carve the output into 256 disjoint mutable bucket slices.
+    let mut rest: &mut [K] = data.as_mut_slice();
+    let mut bucket_slices: Vec<&mut [K]> = Vec::with_capacity(256);
+    for &sz in &sizes {
+        let (head, tail) = rest.split_at_mut(sz);
+        bucket_slices.push(head);
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty());
+
+    // Phase 2: fill and sort each bucket in parallel. Buckets are handed
+    // out round-robin so one worker never owns all the big ones.
+    crossbeam::thread::scope(|s| {
+        let partitioned = &partitioned;
+        let mut work: Vec<(usize, &mut [K])> = bucket_slices.into_iter().enumerate().collect();
+        let mut lanes: Vec<Vec<(usize, &mut [K])>> = (0..threads).map(|_| Vec::new()).collect();
+        // Largest buckets first, round-robin across lanes.
+        work.sort_by_key(|(_, s)| std::cmp::Reverse(s.len()));
+        for (i, item) in work.into_iter().enumerate() {
+            lanes[i % threads].push(item);
+        }
+        for lane in lanes {
+            s.spawn(move |_| {
+                for (b, slice) in lane {
+                    let mut at = 0usize;
+                    for per_thread in partitioned {
+                        let piece = &per_thread[b];
+                        slice[at..at + piece.len()].copy_from_slice(piece);
+                        at += piece.len();
+                    }
+                    debug_assert_eq!(at, slice.len());
+                    hybrid_sort(slice);
+                }
+            });
+        }
+    })
+    .expect("crossbeam scope");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_vec(n: usize, mut x: u64) -> Vec<u64> {
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_on_random() {
+        for threads in [2, 4, 8] {
+            let mut v = xorshift_vec(100_000, 42);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            parallel_radix_sort(&mut v, threads);
+            assert_eq!(v, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn small_input_falls_back() {
+        let mut v = vec![3u64, 1, 2];
+        parallel_radix_sort(&mut v, 8);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn single_thread_falls_back() {
+        let mut v = xorshift_vec(50_000, 7);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        parallel_radix_sort(&mut v, 1);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn skewed_top_byte() {
+        // All keys share the top byte: one giant bucket.
+        let mut v: Vec<u64> = xorshift_vec(60_000, 9)
+            .into_iter()
+            .map(|x| x & 0x00FF_FFFF_FFFF_FFFF)
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        parallel_radix_sort(&mut v, 4);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn u128_parallel() {
+        let mut v: Vec<u128> = xorshift_vec(40_000, 21)
+            .into_iter()
+            .map(|x| (x as u128) << 60)
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        parallel_radix_sort(&mut v, 4);
+        assert_eq!(v, expect);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: every sorter agrees with `std` sort; accumulate is a
+//! faithful histogram.
+
+use dakc_sort::{
+    accumulate, accumulate_weighted, hybrid_sort, lsd_radix_sort, lsd_radix_sort_by,
+    msd_radix_sort, parallel_radix_sort, quicksort,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #[test]
+    fn lsd_matches_std(mut v in prop::collection::vec(any::<u64>(), 0..2000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        lsd_radix_sort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn lsd_u128_matches_std(mut v in prop::collection::vec(any::<u128>(), 0..800)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        lsd_radix_sort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn msd_matches_std(mut v in prop::collection::vec(any::<u64>(), 0..2000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        msd_radix_sort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn hybrid_matches_std(mut v in prop::collection::vec(any::<u64>(), 0..2000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        hybrid_sort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn quicksort_matches_std(mut v in prop::collection::vec(any::<u64>(), 0..2000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        quicksort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn parallel_matches_std(mut v in prop::collection::vec(any::<u64>(), 0..40_000), threads in 1usize..8) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        parallel_radix_sort(&mut v, threads);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn lsd_by_key_stability(mut v in prop::collection::vec((0u8..4, any::<u32>()), 0..500)) {
+        // Tag with original index; after sorting by the small key, equal
+        // keys must preserve index order (stability).
+        let tagged: Vec<(u8, usize)> = v.iter().enumerate().map(|(i, &(k, _))| (k, i)).collect();
+        let mut sorted = tagged.clone();
+        lsd_radix_sort_by(&mut sorted, |t| t.0 as u32);
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+        v.clear(); // silence unused-mut lint paths
+    }
+
+    #[test]
+    fn accumulate_is_histogram(v in prop::collection::vec(0u64..50, 0..2000)) {
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let acc = accumulate(&sorted);
+        // Compare against a HashMap histogram.
+        let mut hist: HashMap<u64, u32> = HashMap::new();
+        for x in &v {
+            *hist.entry(*x).or_default() += 1;
+        }
+        prop_assert_eq!(acc.len(), hist.len());
+        for (val, count) in &acc {
+            prop_assert_eq!(hist[val], *count);
+        }
+        // Output sorted strictly by value.
+        prop_assert!(acc.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn accumulate_weighted_equals_expanding(pairs in prop::collection::vec((0u64..20, 1u32..5), 0..300)) {
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable_by_key(|p| p.0);
+        let weighted = accumulate_weighted(&sorted);
+        // Expand pairs into repeats and accumulate plainly.
+        let mut expanded: Vec<u64> = Vec::new();
+        for &(v, c) in &sorted {
+            expanded.extend(std::iter::repeat(v).take(c as usize));
+        }
+        let plain = accumulate(&expanded);
+        prop_assert_eq!(weighted, plain);
+    }
+}

@@ -1,0 +1,1 @@
+//! The DAKC example programs live as example targets of this package; see `quickstart.rs` and friends.

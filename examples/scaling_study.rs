@@ -1,0 +1,53 @@
+//! A miniature strong-scaling study through the public API: one dataset,
+//! one command, a table of virtual times, speedups, communication volumes
+//! and load imbalance — the workflow a systems researcher would use to
+//! explore DAKC configurations before touching a real cluster.
+//!
+//! ```text
+//! cargo run --release -p dakc-examples --example scaling_study
+//! ```
+
+use dakc::{count_kmers_sim, DakcConfig};
+use dakc_io::datasets::synthetic;
+use dakc_sim::MachineConfig;
+
+fn main() {
+    let ds = synthetic(28).scaled(12);
+    let reads = ds.generate(11);
+    println!(
+        "dataset: {} at 2^-12 scale — {} reads, {} bases\n",
+        ds.spec.name,
+        reads.len(),
+        reads.total_bases()
+    );
+
+    println!(
+        "{:>6} {:>6} {:>12} {:>9} {:>12} {:>12} {:>10}",
+        "nodes", "PEs", "time", "speedup", "remote", "local", "imbalance"
+    );
+    let mut base = None;
+    for nodes in [1usize, 2, 4, 8, 16, 32] {
+        let mut machine = MachineConfig::phoenix_intel(nodes);
+        machine.pes_per_node = 6; // scaled concurrency, see DESIGN.md §4
+        let cfg = DakcConfig::scaled_defaults(31);
+        let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).expect("simulation");
+        let t = run.report.total_time;
+        let t0 = *base.get_or_insert(t);
+        println!(
+            "{:>6} {:>6} {:>10.3}ms {:>8.2}x {:>9.1}MiB {:>9.1}MiB {:>10.2}",
+            nodes,
+            machine.num_pes(),
+            t * 1e3,
+            t0 / t,
+            run.report.remote_bytes() as f64 / (1 << 20) as f64,
+            run.report.local_bytes() as f64 / (1 << 20) as f64,
+            run.load_imbalance(),
+        );
+    }
+    println!(
+        "\nreading the table: speedup rises until per-PE work no longer amortizes\n\
+         communication and the single global barrier — the strong-scaling plateau\n\
+         of the paper's Fig 7. Remote bytes grow with (1 - 1/nodes) as more\n\
+         k-mer traffic crosses node boundaries."
+    );
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper. Outputs land in results/.
+set -uo pipefail
+cd "$(dirname "$0")"
+BINS="table2_protocols table3_aggregation_params table4_machine_params table5_datasets \
+fig01_speedup_summary fig02_protocol_memory fig03_cache_misses fig04_phase_times \
+fig05_time_breakdown fig06_pakman_sort fig07_strong_scaling fig08_strong_scaling_oom \
+fig09_shared_memory fig10_weak_scaling fig11_protocol_speedup fig12_aggregation_ablation \
+fig13_tuning ext_overlap_ablation ext_kmer128 abl_owner_hash abl_batch_size"
+cargo build --release -p dakc-bench
+for b in $BINS; do
+  echo "=== running $b $* ==="
+  cargo run --release -q -p dakc-bench --bin "$b" -- "$@" | tee "results/$b.txt"
+done
+echo "all outputs in results/"

@@ -1,0 +1,77 @@
+//! Determinism and reproducibility guarantees across the whole stack:
+//! identical seeds and configurations must produce bit-identical datasets,
+//! histograms and simulator reports.
+
+use dakc::{count_kmers_sim, DakcConfig};
+use dakc_baselines::{count_kmers_bsp_sim, BspConfig};
+use dakc_io::datasets::synthetic;
+use dakc_sim::MachineConfig;
+
+#[test]
+fn dataset_generation_is_reproducible() {
+    let ds = synthetic(22).scaled(12);
+    let a = ds.generate(123);
+    let b = ds.generate(123);
+    assert_eq!(a, b);
+    let c = ds.generate(124);
+    assert_ne!(a, c, "different seeds must differ");
+}
+
+#[test]
+fn dakc_sim_is_bit_deterministic() {
+    let reads = synthetic(21).scaled(12).generate(7);
+    let machine = MachineConfig::phoenix_intel(2);
+    let cfg = DakcConfig::scaled_defaults(31);
+    let a = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
+    let b = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
+    assert_eq!(a.counts, b.counts);
+    assert_eq!(a.report.total_time.to_bits(), b.report.total_time.to_bits());
+    assert_eq!(a.report.pes, b.report.pes);
+    assert_eq!(a.report.phase_time, b.report.phase_time);
+}
+
+#[test]
+fn bsp_sim_is_bit_deterministic() {
+    let reads = synthetic(21).scaled(12).generate(9);
+    let machine = MachineConfig::phoenix_intel(2);
+    let mut cfg = BspConfig::pakman_star(31);
+    cfg.batch = 8_000;
+    let a = count_kmers_bsp_sim::<u64>(&reads, &cfg, &machine).unwrap();
+    let b = count_kmers_bsp_sim::<u64>(&reads, &cfg, &machine).unwrap();
+    assert_eq!(a.counts, b.counts);
+    assert_eq!(a.report.total_time.to_bits(), b.report.total_time.to_bits());
+    assert_eq!(a.rounds, b.rounds);
+}
+
+#[test]
+fn results_are_independent_of_pe_count() {
+    // The histogram (not the timing) must not depend on the machine shape.
+    let reads = synthetic(20).scaled(10).generate(5);
+    let cfg = DakcConfig::scaled_defaults(31);
+    let base = count_kmers_sim::<u64>(&reads, &cfg, &MachineConfig::test_machine(1, 1))
+        .unwrap()
+        .counts;
+    for (nodes, ppn) in [(1, 4), (2, 3), (4, 6), (9, 1)] {
+        let run =
+            count_kmers_sim::<u64>(&reads, &cfg, &MachineConfig::test_machine(nodes, ppn)).unwrap();
+        assert_eq!(run.counts, base, "{nodes}x{ppn}");
+    }
+}
+
+#[test]
+fn results_are_independent_of_aggregation_parameters() {
+    let reads = synthetic(20).scaled(10).generate(6);
+    let machine = MachineConfig::test_machine(2, 2);
+    let base = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(31), &machine)
+        .unwrap()
+        .counts;
+    for (c2, c3, c1, c0) in [(2, 16, 1, 64), (8, 100, 4, 256), (64, 50_000, 2048, 64 * 1024)] {
+        let mut cfg = DakcConfig::scaled_defaults(31).with_l3();
+        cfg.c2 = c2;
+        cfg.c3 = c3;
+        cfg.c1_packets = c1;
+        cfg.c0_bytes = c0;
+        let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
+        assert_eq!(run.counts, base, "C2={c2} C3={c3} C1={c1} C0={c0}");
+    }
+}

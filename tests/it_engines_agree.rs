@@ -1,0 +1,168 @@
+//! Cross-engine agreement: every counting engine in the workspace — the
+//! serial reference, the threaded engines, the simulated DAKC, and every
+//! BSP baseline — must produce the identical histogram on identical input.
+
+use dakc::{count_kmers_sim, count_kmers_threaded, DakcConfig};
+use dakc_baselines::{
+    count_kmers_bsp_sim, count_kmers_bsp_threaded, count_kmers_kmc3, count_kmers_serial,
+    BspConfig, Kmc3Config, SortBackend,
+};
+use dakc_io::{generate_genome, simulate_reads, GenomeSpec, ReadSet, ReadSimConfig, RepeatProfile};
+use dakc_kmer::{CanonicalMode, KmerCount};
+use dakc_sim::MachineConfig;
+
+fn workload(seed: u64, skewed: bool) -> ReadSet {
+    let repeats = skewed.then(|| RepeatProfile::aatgg(0.15));
+    let genome = generate_genome(&GenomeSpec { bases: 6_000, repeats }, seed);
+    simulate_reads(
+        &genome,
+        &ReadSimConfig {
+            read_len: 120,
+            num_reads: 400,
+            error_rate: 0.01,
+            both_strands: false,
+        },
+        seed,
+    )
+}
+
+fn reference(reads: &ReadSet, k: usize, mode: CanonicalMode) -> Vec<KmerCount<u64>> {
+    count_kmers_serial::<u64>(reads, k, mode, false).counts
+}
+
+#[test]
+fn all_engines_agree_on_uniform_data() {
+    let reads = workload(1, false);
+    let k = 21;
+    let want = reference(&reads, k, CanonicalMode::Forward);
+    let machine = MachineConfig::test_machine(3, 2);
+
+    let dakc = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(k), &machine).unwrap();
+    assert_eq!(dakc.counts, want, "DAKC sim");
+
+    let threaded = count_kmers_threaded::<u64>(&reads, k, CanonicalMode::Forward, 5, None);
+    assert_eq!(threaded.counts, want, "DAKC threaded");
+
+    let pakman = count_kmers_bsp_sim::<u64>(&reads, &BspConfig::pakman_star(k), &machine).unwrap();
+    assert_eq!(pakman.counts, want, "PakMan*");
+
+    let hysortk = count_kmers_bsp_sim::<u64>(&reads, &BspConfig::hysortk(k), &machine).unwrap();
+    assert_eq!(hysortk.counts, want, "HySortK");
+
+    let qsort = count_kmers_bsp_sim::<u64>(&reads, &BspConfig::pakman_qsort(k), &machine).unwrap();
+    assert_eq!(qsort.counts, want, "PakMan qsort");
+
+    let kmc3 = count_kmers_kmc3::<u64>(&reads, &Kmc3Config::defaults(k, 4));
+    assert_eq!(kmc3.counts, want, "KMC3");
+
+    let bsp_t = count_kmers_bsp_threaded::<u64>(
+        &reads,
+        k,
+        CanonicalMode::Forward,
+        4,
+        2_000,
+        SortBackend::RadixHybrid,
+    );
+    assert_eq!(bsp_t.counts, want, "BSP threaded");
+}
+
+#[test]
+fn all_engines_agree_on_skewed_data_with_l3() {
+    let reads = workload(2, true);
+    let k = 15;
+    let want = reference(&reads, k, CanonicalMode::Forward);
+    let machine = MachineConfig::test_machine(2, 3);
+
+    let dakc_l3 =
+        count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(k).with_l3(), &machine)
+            .unwrap();
+    assert_eq!(dakc_l3.counts, want, "DAKC sim + L3");
+    assert!(
+        dakc_l3.total_agg().heavy_pairs > 0,
+        "the skewed input must exercise the HEAVY path"
+    );
+
+    let threaded_l3 = count_kmers_threaded::<u64>(&reads, k, CanonicalMode::Forward, 4, Some(512));
+    assert_eq!(threaded_l3.counts, want, "DAKC threaded + L3");
+
+    let l0l1 =
+        count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(k).l0_l1_only(), &machine)
+            .unwrap();
+    assert_eq!(l0l1.counts, want, "DAKC L0-L1 ablation");
+}
+
+#[test]
+fn engines_agree_under_canonical_counting() {
+    let reads = workload(3, false);
+    let k = 17;
+    let want = reference(&reads, k, CanonicalMode::Canonical);
+
+    let mut cfg = DakcConfig::scaled_defaults(k);
+    cfg.canonical = CanonicalMode::Canonical;
+    let machine = MachineConfig::test_machine(2, 2);
+    let dakc = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
+    assert_eq!(dakc.counts, want);
+
+    let threaded = count_kmers_threaded::<u64>(&reads, k, CanonicalMode::Canonical, 3, None);
+    assert_eq!(threaded.counts, want);
+
+    let kmc3 = count_kmers_kmc3::<u64>(
+        &reads,
+        &Kmc3Config {
+            canonical: CanonicalMode::Canonical,
+            ..Kmc3Config::defaults(k, 3)
+        },
+    );
+    assert_eq!(kmc3.counts, want);
+}
+
+#[test]
+fn engines_agree_across_protocols() {
+    let reads = workload(4, false);
+    let k = 19;
+    let want = reference(&reads, k, CanonicalMode::Forward);
+    let machine = MachineConfig::test_machine(9, 1); // 9 PEs: a 3x3 2D grid
+
+    for proto in [
+        dakc_conveyors::Protocol::OneD,
+        dakc_conveyors::Protocol::TwoD,
+        dakc_conveyors::Protocol::ThreeD,
+    ] {
+        let mut cfg = DakcConfig::scaled_defaults(k);
+        cfg.protocol = proto;
+        let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
+        assert_eq!(run.counts, want, "protocol {proto:?}");
+    }
+}
+
+#[test]
+fn engines_agree_for_u128_large_k() {
+    let reads = workload(5, false);
+    let k = 41; // > 32: needs the 128-bit extension
+    let want = count_kmers_serial::<u128>(&reads, k, CanonicalMode::Forward, false).counts;
+
+    let machine = MachineConfig::test_machine(2, 2);
+    let dakc = count_kmers_sim::<u128>(&reads, &DakcConfig::scaled_defaults(k), &machine).unwrap();
+    assert_eq!(dakc.counts, want, "DAKC sim u128");
+
+    let threaded = count_kmers_threaded::<u128>(&reads, k, CanonicalMode::Forward, 4, None);
+    assert_eq!(threaded.counts, want, "threaded u128");
+
+    let bsp = count_kmers_bsp_sim::<u128>(&reads, &BspConfig::pakman_star(k), &machine).unwrap();
+    assert_eq!(bsp.counts, want, "BSP u128");
+}
+
+#[test]
+fn reads_with_ambiguity_codes_agree() {
+    let mut reads = ReadSet::new();
+    reads.push(b"ACGTNNACGTACGGTTACANGGTACGATCAGT");
+    reads.push(b"NNNN");
+    reads.push(b"ACGTACGGTTACAGGGTACGATCAGTACCAGT");
+    let k = 9;
+    let want = reference(&reads, k, CanonicalMode::Forward);
+    let machine = MachineConfig::test_machine(2, 1);
+    let dakc = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(k), &machine).unwrap();
+    assert_eq!(dakc.counts, want);
+    let kmc3 = count_kmers_kmc3::<u64>(&reads, &Kmc3Config::defaults(k, 2));
+    assert_eq!(kmc3.counts, want);
+}

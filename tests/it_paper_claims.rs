@@ -1,0 +1,201 @@
+//! The paper's qualitative claims, asserted as tests at workspace scale:
+//! synchronization counts, who-wins relationships, the L3 payoff on skew,
+//! and the model's structural predictions.
+
+use dakc::{count_kmers_sim, DakcConfig};
+use dakc_baselines::{count_kmers_bsp_sim, BspConfig};
+use dakc_io::{generate_genome, simulate_reads, GenomeSpec, ReadSet, ReadSimConfig, RepeatProfile};
+use dakc_model::closed_forms;
+use dakc_sim::MachineConfig;
+
+fn workload(kmers_target: usize, seed: u64, repeat_fraction: f64) -> ReadSet {
+    let repeats = (repeat_fraction > 0.0).then(|| RepeatProfile::aatgg(repeat_fraction));
+    let genome_bases = (kmers_target / 40).max(1_000);
+    let genome = generate_genome(&GenomeSpec { bases: genome_bases, repeats }, seed);
+    let read_len = 150;
+    let num_reads = kmers_target / (read_len - 30);
+    simulate_reads(
+        &genome,
+        &ReadSimConfig { read_len, num_reads, error_rate: 0.002, both_strands: false },
+        seed,
+    )
+}
+
+/// §III: DAKC needs a constant number of global synchronizations (one
+/// explicit barrier between phases); BSP's count grows with input size.
+#[test]
+fn sync_counts_constant_vs_growing() {
+    let machine = MachineConfig::phoenix_intel(2);
+    let small = workload(40_000, 1, 0.0);
+    let large = workload(160_000, 1, 0.0);
+
+    let cfg = DakcConfig::scaled_defaults(31);
+    let d_small = count_kmers_sim::<u64>(&small, &cfg, &machine).unwrap();
+    let d_large = count_kmers_sim::<u64>(&large, &cfg, &machine).unwrap();
+    assert_eq!(d_small.report.barriers_completed, 1);
+    assert_eq!(d_large.report.barriers_completed, 1, "DAKC: constant syncs");
+
+    let mut bsp = BspConfig::pakman_star(31);
+    bsp.batch = 600;
+    let b_small = count_kmers_bsp_sim::<u64>(&small, &bsp, &machine).unwrap();
+    let b_large = count_kmers_bsp_sim::<u64>(&large, &bsp, &machine).unwrap();
+    assert!(
+        b_large.report.barriers_completed > b_small.report.barriers_completed,
+        "BSP: syncs grow with input ({} vs {})",
+        b_large.report.barriers_completed,
+        b_small.report.barriers_completed
+    );
+}
+
+/// Fig 7's headline: DAKC beats both BSP baselines in the scaling region —
+/// i.e. where the batch size forces multiple exchange rounds (Eq 1). The
+/// batch here keeps the per-PE round count at ~4, the regime the paper's
+/// evaluation sits in.
+#[test]
+fn dakc_beats_bsp_baselines() {
+    let reads = workload(200_000, 2, 0.0);
+    let mut machine = MachineConfig::phoenix_intel(4);
+    machine.pes_per_node = 6;
+
+    let d = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(31), &machine)
+        .unwrap()
+        .report
+        .total_time;
+    let mut pakman = BspConfig::pakman_star(31);
+    pakman.batch = 2048;
+    let mut hysortk = BspConfig::hysortk(31);
+    hysortk.batch = 2048;
+    let p = count_kmers_bsp_sim::<u64>(&reads, &pakman, &machine)
+        .unwrap()
+        .report
+        .total_time;
+    let h = count_kmers_bsp_sim::<u64>(&reads, &hysortk, &machine)
+        .unwrap()
+        .report
+        .total_time;
+    assert!(p / d > 1.5, "PakMan*/DAKC = {:.2} should exceed 1.5", p / d);
+    assert!(h / d > 1.5, "HySortK/DAKC = {:.2} should exceed 1.5", h / d);
+}
+
+/// §VI-G: on skewed (heavy-hitter) data, the L3 layer slashes both the
+/// communication volume and the owner-side load imbalance.
+#[test]
+fn l3_compresses_heavy_hitters_and_rebalances() {
+    let reads = workload(120_000, 3, 0.2);
+    let mut machine = MachineConfig::phoenix_intel(8);
+    machine.pes_per_node = 6;
+
+    let without = count_kmers_sim::<u64>(
+        &reads,
+        &DakcConfig::scaled_defaults(31).l0_l1_only(),
+        &machine,
+    )
+    .unwrap();
+    let with = count_kmers_sim::<u64>(
+        &reads,
+        &DakcConfig::scaled_defaults(31).with_l3(),
+        &machine,
+    )
+    .unwrap();
+    assert_eq!(without.counts, with.counts);
+
+    assert!(
+        with.total_agg().occurrences_compressed > 0,
+        "L3 must pre-accumulate something"
+    );
+    assert!(
+        with.report.remote_bytes() < without.report.remote_bytes(),
+        "L3 must reduce wire volume: {} vs {}",
+        with.report.remote_bytes(),
+        without.report.remote_bytes()
+    );
+    assert!(
+        with.load_imbalance() < without.load_imbalance(),
+        "L3 must relieve the heavy owner's data volume: {:.2} vs {:.2}",
+        with.load_imbalance(),
+        without.load_imbalance()
+    );
+    assert!(
+        with.report.total_time < without.report.total_time,
+        "L3 must be faster on skewed data"
+    );
+}
+
+/// §VI-G's other half: on uniform data L2 helps (~2×) but L3 adds nothing.
+/// Run at the paper's real node shape (24 cores/node): the per-item
+/// software overhead L2 amortizes scales with how thinly node resources
+/// are shared.
+#[test]
+fn l2_helps_uniform_data_l3_does_not() {
+    let reads = workload(120_000, 4, 0.0);
+    let machine = MachineConfig::phoenix_intel(4);
+
+    let l01 = count_kmers_sim::<u64>(
+        &reads,
+        &DakcConfig::scaled_defaults(31).l0_l1_only(),
+        &machine,
+    )
+    .unwrap()
+    .report
+    .total_time;
+    let l02 = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(31), &machine)
+        .unwrap()
+        .report
+        .total_time;
+    let l03 = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(31).with_l3(), &machine)
+        .unwrap()
+        .report
+        .total_time;
+    // Measured ≈1.3–1.5× depending on machine shape (paper: ≈2×; see
+    // EXPERIMENTS.md on the conservative per-item cost estimate).
+    assert!(l01 / l02 > 1.25, "L2 speedup {:.2} should be substantial", l01 / l02);
+    assert!(
+        (l02 / l03 - 1.0).abs() < 0.35,
+        "L3 should be ~neutral on uniform data: {:.2}",
+        l02 / l03
+    );
+}
+
+/// Fig 8's mechanism: under a tight node budget the heavyweight baselines
+/// OOM while DAKC completes.
+#[test]
+fn memory_budgets_reproduce_oom_ordering() {
+    let reads = workload(300_000, 5, 0.0);
+    let mut machine = MachineConfig::phoenix_intel(2);
+    machine.pes_per_node = 6;
+    // Budget sized between DAKC's ~1x-of-received footprint (~8 B/k-mer)
+    // and HySortK's ~4.5x of 12 B/k-mer pairs.
+    machine.node_memory = 8 * (reads.total_bases() as u64);
+
+    let d = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(31), &machine);
+    assert!(d.is_ok(), "DAKC should fit: {:?}", d.err());
+
+    let h = count_kmers_bsp_sim::<u64>(&reads, &BspConfig::hysortk(31), &machine);
+    assert!(
+        matches!(h, Err(dakc_sim::SimError::Oom(_))),
+        "HySortK should OOM under this budget"
+    );
+}
+
+/// Eq 8 at the workspace's own machine constants: FA-BSP ≤ BSP always.
+#[test]
+fn closed_forms_hold_with_machine_constants() {
+    let m = MachineConfig::phoenix_intel(8);
+    let tau = m.latency;
+    let mu = m.mu();
+    for mn in [1e6, 1e9] {
+        for p in [8.0, 192.0, 6144.0] {
+            assert!(closed_forms::bsp_minus_fabsp(tau, mu, mn, p, 1e6) >= -1e-12);
+        }
+    }
+}
+
+/// §VI-B: inside one node, DAKC's traffic is pure memcpy (no NIC bytes).
+#[test]
+fn single_node_traffic_is_all_local() {
+    let reads = workload(50_000, 6, 0.0);
+    let machine = MachineConfig::phoenix_intel(1);
+    let run = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(31), &machine).unwrap();
+    assert_eq!(run.report.remote_bytes(), 0);
+    assert!(run.report.local_bytes() > 0);
+}

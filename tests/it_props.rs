@@ -1,0 +1,73 @@
+//! Property-based integration tests: for arbitrary read sets and
+//! configurations, the distributed engines agree with the serial
+//! reference and conserve k-mer mass.
+
+use dakc::{count_kmers_sim, count_kmers_threaded, DakcConfig};
+use dakc_baselines::{count_kmers_bsp_sim, count_kmers_serial, BspConfig};
+use dakc_io::ReadSet;
+use dakc_kmer::CanonicalMode;
+use dakc_sim::MachineConfig;
+use proptest::prelude::*;
+
+fn read_set_strategy() -> impl Strategy<Value = ReadSet> {
+    prop::collection::vec(
+        prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T', b'N']), 0..80),
+        0..40,
+    )
+    .prop_map(|reads| {
+        let mut rs = ReadSet::new();
+        for r in &reads {
+            rs.push(r);
+        }
+        rs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dakc_sim_matches_serial(reads in read_set_strategy(), k in 2usize..12, nodes in 1usize..4, ppn in 1usize..4) {
+        let want = count_kmers_serial::<u64>(&reads, k, CanonicalMode::Forward, false).counts;
+        let machine = MachineConfig::test_machine(nodes, ppn);
+        let got = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(k), &machine).unwrap();
+        prop_assert_eq!(got.counts, want);
+    }
+
+    #[test]
+    fn dakc_l3_matches_serial(reads in read_set_strategy(), k in 2usize..12) {
+        let want = count_kmers_serial::<u64>(&reads, k, CanonicalMode::Forward, false).counts;
+        let machine = MachineConfig::test_machine(2, 2);
+        let mut cfg = DakcConfig::scaled_defaults(k).with_l3();
+        cfg.c3 = 8; // tiny C3 to force many L3 flushes
+        cfg.c2 = 4;
+        let got = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
+        prop_assert_eq!(got.counts, want);
+    }
+
+    #[test]
+    fn bsp_matches_serial(reads in read_set_strategy(), k in 2usize..12, batch in 8usize..200) {
+        let want = count_kmers_serial::<u64>(&reads, k, CanonicalMode::Forward, false).counts;
+        let machine = MachineConfig::test_machine(2, 2);
+        let mut cfg = BspConfig::pakman_star(k);
+        cfg.batch = batch;
+        let got = count_kmers_bsp_sim::<u64>(&reads, &cfg, &machine).unwrap();
+        prop_assert_eq!(got.counts, want);
+    }
+
+    #[test]
+    fn threaded_matches_serial(reads in read_set_strategy(), k in 2usize..12, threads in 1usize..6) {
+        let want = count_kmers_serial::<u64>(&reads, k, CanonicalMode::Forward, false).counts;
+        let got = count_kmers_threaded::<u64>(&reads, k, CanonicalMode::Forward, threads, None);
+        prop_assert_eq!(got.counts, want);
+    }
+
+    #[test]
+    fn kmer_mass_is_conserved(reads in read_set_strategy(), k in 2usize..12) {
+        // Total occurrences across the histogram == total extractable k-mers.
+        let machine = MachineConfig::test_machine(2, 1);
+        let run = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(k), &machine).unwrap();
+        let mass: u64 = run.counts.iter().map(|c| c.count as u64).sum();
+        prop_assert_eq!(mass as usize, reads.total_kmers(k));
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration tests spanning the DAKC crates live in this package; see the `it_*.rs` test targets.
