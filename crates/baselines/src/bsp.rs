@@ -32,6 +32,9 @@ use dakc_sort::{
     accumulate, accumulate_weighted, hybrid_sort, lsd_radix_sort_by, quicksort, RadixKey,
 };
 
+/// Shared per-PE output slot written by each program at completion.
+type OutputSink<W> = Rc<RefCell<Vec<Option<Vec<KmerCount<W>>>>>>;
+
 /// The sort used inside `FlushBuffer` and in phase 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SortBackend {
@@ -149,7 +152,7 @@ struct BspPeProgram<W: KmerWord> {
     t_r: Vec<(W, u32)>,
     recv_alloc: u64,
     word_bytes: usize,
-    sink: Rc<RefCell<Vec<Option<Vec<KmerCount<W>>>>>>,
+    sink: OutputSink<W>,
     st: St,
 }
 
@@ -402,8 +405,7 @@ pub fn count_kmers_bsp_sim<W: KmerWord + RadixKey>(
         .unwrap_or(0);
     let rounds = max_kmers.div_ceil(cfg.batch).max(1);
 
-    let sink: Rc<RefCell<Vec<Option<Vec<KmerCount<W>>>>>> =
-        Rc::new(RefCell::new(vec![None; p]));
+    let sink: OutputSink<W> = Rc::new(RefCell::new(vec![None; p]));
     let programs: Vec<Box<dyn Program>> = (0..p)
         .map(|pe| {
             let range = reads.pe_range(pe, p);

@@ -9,10 +9,8 @@
 //! (On one node blocking vs non-blocking collectives barely differ — the
 //! paper's §VI-E finding — so a single port covers both.)
 
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 use dakc_io::ReadSet;
 use dakc_kmer::{kmers_of_read, owner_pe, CanonicalMode, KmerCount, KmerWord};
@@ -64,12 +62,12 @@ pub fn count_kmers_bsp_threaded<W: KmerWord + RadixKey>(
     let outputs: Vec<Mutex<Option<Vec<KmerCount<W>>>>> =
         (0..threads).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
             let inboxes = &inboxes;
             let barrier = &barrier;
             let outputs = &outputs;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let range = reads.pe_range(t, threads);
                 let mut cursor = range.start;
                 for round in 0..rounds {
@@ -94,14 +92,14 @@ pub fn count_kmers_bsp_threaded<W: KmerWord + RadixKey>(
                             SortBackend::Quicksort => quicksort(&mut buf),
                         }
                         let pairs = accumulate(&buf);
-                        inboxes[owner].lock().extend_from_slice(&pairs);
+                        inboxes[owner].lock().unwrap().extend_from_slice(&pairs);
                     }
                     // The blocking collective's synchronization.
                     barrier.wait();
                 }
 
                 // Phase 2 on my partition.
-                let mut pairs = std::mem::take(&mut *inboxes[t].lock());
+                let mut pairs = std::mem::take(&mut *inboxes[t].lock().unwrap());
                 match sort {
                     SortBackend::RadixHybrid => lsd_radix_sort_by(&mut pairs, |p| p.0),
                     SortBackend::Quicksort => quicksort(&mut pairs),
@@ -110,15 +108,14 @@ pub fn count_kmers_bsp_threaded<W: KmerWord + RadixKey>(
                     .into_iter()
                     .map(|(w, c)| KmerCount::new(w, c))
                     .collect();
-                *outputs[t].lock() = Some(counts);
+                *outputs[t].lock().unwrap() = Some(counts);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     let mut counts: Vec<KmerCount<W>> = outputs
         .iter()
-        .flat_map(|m| m.lock().take().expect("published"))
+        .flat_map(|m| m.lock().unwrap().take().expect("published"))
         .collect();
     counts.sort_unstable_by_key(|c| c.kmer);
 

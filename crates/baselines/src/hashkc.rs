@@ -23,6 +23,9 @@ use dakc_kmer::{kmers_of_read, CanonicalMode, KmerCount, KmerWord};
 use dakc_sim::{Ctx, MachineConfig, PeId, Program, SimError, SimReport, Simulator, Step};
 use dakc_sort::RadixKey;
 
+/// Shared per-PE output slot written by each program at completion.
+type OutputSink<W> = Rc<RefCell<Vec<Option<Vec<KmerCount<W>>>>>>;
+
 /// Configuration of the hash-based baseline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HashKcConfig {
@@ -111,7 +114,7 @@ struct HashKcPeProgram<W: KmerWord> {
     send_bufs: HashMap<PeId, Vec<W>>,
     table: CostedTable<W>,
     word_bytes: usize,
-    sink: Rc<RefCell<Vec<Option<Vec<KmerCount<W>>>>>>,
+    sink: OutputSink<W>,
     st: St,
 }
 
@@ -254,8 +257,7 @@ pub fn count_kmers_hash_sim<W: KmerWord + RadixKey>(
         .unwrap_or(0);
     let rounds = max_kmers.div_ceil(cfg.batch).max(1);
 
-    let sink: Rc<RefCell<Vec<Option<Vec<KmerCount<W>>>>>> =
-        Rc::new(RefCell::new(vec![None; p]));
+    let sink: OutputSink<W> = Rc::new(RefCell::new(vec![None; p]));
     let programs: Vec<Box<dyn Program>> = (0..p)
         .map(|pe| {
             let range = reads.pe_range(pe, p);

@@ -18,9 +18,8 @@
 //! Because every occurrence of a k-mer shares its minimizer, bins are
 //! independent and the per-bin histograms concatenate into the global one.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 use dakc_io::ReadSet;
 use dakc_kmer::{
@@ -90,10 +89,10 @@ pub fn count_kmers_kmc3<W: KmerWord + RadixKey>(
     let bins: Vec<Mutex<Vec<BinnedSk>>> = (0..cfg.bins).map(|_| Mutex::new(Vec::new())).collect();
 
     // --- Stage 1: super-k-mer binning ---
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..cfg.threads {
             let bins = &bins;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut local: Vec<Vec<BinnedSk>> = vec![Vec::new(); cfg.bins];
                 for i in reads.pe_range(t, cfg.threads) {
                     let read = reads.get(i);
@@ -103,37 +102,36 @@ pub fn count_kmers_kmc3<W: KmerWord + RadixKey>(
                             seq: read[sk.start..sk.start + sk.len].to_vec(),
                         });
                         if local[bin].len() >= 64 {
-                            bins[bin].lock().append(&mut local[bin]);
+                            bins[bin].lock().unwrap().append(&mut local[bin]);
                         }
                     }
                 }
                 for (bin, buf) in local.iter_mut().enumerate() {
                     if !buf.is_empty() {
-                        bins[bin].lock().append(buf);
+                        bins[bin].lock().unwrap().append(buf);
                     }
                 }
             });
         }
-    })
-    .expect("binning worker panicked");
+    });
 
     // --- Stage 2: per-bin expand + sort + accumulate ---
     let outputs: Vec<Mutex<Vec<KmerCount<W>>>> =
         (0..cfg.threads).map(|_| Mutex::new(Vec::new())).collect();
     let next_bin = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..cfg.threads {
             let bins = &bins;
             let outputs = &outputs;
             let next_bin = &next_bin;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut out: Vec<KmerCount<W>> = Vec::new();
                 loop {
                     let b = next_bin.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if b >= cfg.bins {
                         break;
                     }
-                    let sks = std::mem::take(&mut *bins[b].lock());
+                    let sks = std::mem::take(&mut *bins[b].lock().unwrap());
                     if sks.is_empty() {
                         continue;
                     }
@@ -148,15 +146,14 @@ pub fn count_kmers_kmc3<W: KmerWord + RadixKey>(
                             .map(|(w, c)| KmerCount::new(w, c)),
                     );
                 }
-                outputs[t].lock().append(&mut out);
+                outputs[t].lock().unwrap().append(&mut out);
             });
         }
-    })
-    .expect("counting worker panicked");
+    });
 
     let mut counts: Vec<KmerCount<W>> = outputs
         .iter()
-        .flat_map(|m| std::mem::take(&mut *m.lock()))
+        .flat_map(|m| std::mem::take(&mut *m.lock().unwrap()))
         .collect();
     counts.sort_unstable_by_key(|c| c.kmer);
 

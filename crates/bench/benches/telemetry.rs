@@ -1,0 +1,43 @@
+//! Verifies the tentpole's zero-cost claim: running the full aggregation
+//! cascade under the simulator with tracing *disabled* must cost the same
+//! as before the telemetry hooks existed (the `TraceSink::Off` arm is one
+//! discriminant test and the event-constructing closures never run).
+//! Compare `cascade/trace_off` against `cascade/trace_ring` to see what
+//! enabling the flight recorder actually costs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dakc::{count_kmers_sim_traced, DakcConfig};
+use dakc_io::{generate_genome, simulate_reads, GenomeSpec, ReadSimConfig};
+use dakc_sim::{MachineConfig, TraceSink};
+
+fn reads(n: usize) -> dakc_io::ReadSet {
+    let genome = generate_genome(&GenomeSpec { bases: 120_000, repeats: None }, 7);
+    simulate_reads(&genome, &ReadSimConfig::art_like(n), 7)
+}
+
+fn bench_cascade_tracing(c: &mut Criterion) {
+    let rs = reads(1_500);
+    let cfg = DakcConfig::scaled_defaults(31).with_l3();
+    let mut machine = MachineConfig::phoenix_intel(2);
+    machine.pes_per_node = 4;
+
+    let mut g = c.benchmark_group("cascade");
+    g.bench_function("trace_off", |b| {
+        b.iter(|| {
+            let mut sink = TraceSink::Off;
+            let run = count_kmers_sim_traced::<u64>(&rs, &cfg, &machine, &mut sink).unwrap();
+            black_box(run.counts.len())
+        })
+    });
+    g.bench_function("trace_ring", |b| {
+        b.iter(|| {
+            let mut sink = TraceSink::ring_default();
+            let run = count_kmers_sim_traced::<u64>(&rs, &cfg, &machine, &mut sink).unwrap();
+            black_box((run.counts.len(), sink.events().len()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cascade_tracing);
+criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! Machine-readable bench artifacts.
+//!
+//! Every harness binary writes a JSON artifact to `results/<harness>.json`
+//! next to its human-readable table, so figure regeneration, CI schema
+//! checks and cross-run diffing never scrape stdout. The schema is
+//! deliberately small and versioned:
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "harness": "fig07_strong_scaling",
+//!   "params": { "scale_shift": N, "pes_per_node": N, "seed": N, "quick": bool },
+//!   "rows":   [ { "<column header>": "<cell>", ... }, ... ],
+//!   "metrics": { "counters": {...}, "histograms": {...} }
+//! }
+//! ```
+//!
+//! Rows are objects keyed by column header (not positional arrays) so a
+//! harness with several differently-shaped tables can concatenate them,
+//! and so readers survive column reordering. [`validate`] is the single
+//! source of truth for the schema — the `check_artifacts` binary and the
+//! CI workflow both go through it.
+
+use std::path::PathBuf;
+
+use dakc_sim::telemetry::json::{escape, parse, JsonValue};
+use dakc_sim::telemetry::MetricsRegistry;
+
+use crate::{BenchArgs, Table};
+
+/// Version of the artifact schema emitted by this crate.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Directory (relative to the working directory) artifacts are written to.
+pub const RESULTS_DIR: &str = "results";
+
+/// One harness run's machine-readable output.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    harness: String,
+    scale_shift: u32,
+    pes_per_node: usize,
+    seed: u64,
+    quick: bool,
+    rows: Vec<Vec<(String, String)>>,
+    metrics: MetricsRegistry,
+}
+
+impl Artifact {
+    /// An empty artifact for `harness` (the binary name), stamped with the
+    /// run's seed parameters.
+    pub fn new(harness: &str, args: &BenchArgs) -> Self {
+        Self {
+            harness: harness.to_string(),
+            scale_shift: args.scale_shift,
+            pes_per_node: args.pes_per_node,
+            seed: args.seed,
+            quick: args.quick,
+            rows: Vec::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Appends every row of `t`, keyed by its column headers.
+    pub fn table(&mut self, t: &Table) {
+        for row in t.rows() {
+            self.rows.push(
+                t.headers()
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| (h.clone(), c.clone()))
+                    .collect(),
+            );
+        }
+    }
+
+    /// The artifact's metrics registry, for harnesses that fold in
+    /// [`dakc_sim::SimReport::metrics`] or record their own.
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Deterministic JSON rendering of the whole artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema_version\":");
+        out.push_str(&SCHEMA_VERSION.to_string());
+        out.push_str(",\"harness\":\"");
+        out.push_str(&escape(&self.harness));
+        out.push_str("\",\"params\":{\"scale_shift\":");
+        out.push_str(&self.scale_shift.to_string());
+        out.push_str(",\"pes_per_node\":");
+        out.push_str(&self.pes_per_node.to_string());
+        out.push_str(",\"seed\":");
+        out.push_str(&self.seed.to_string());
+        out.push_str(",\"quick\":");
+        out.push_str(if self.quick { "true" } else { "false" });
+        out.push_str("},\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (j, (k, v)) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&escape(k));
+                out.push_str("\":\"");
+                out.push_str(&escape(v));
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"metrics\":");
+        out.push_str(&self.metrics.to_json());
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes `results/<harness>.json`, creating the directory if needed.
+    pub fn write(&self) -> Result<PathBuf, String> {
+        let dir = PathBuf::from(RESULTS_DIR);
+        std::fs::create_dir_all(&dir).map_err(|e| format!("{RESULTS_DIR}: {e}"))?;
+        let path = dir.join(format!("{}.json", self.harness));
+        std::fs::write(&path, self.to_json())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(path)
+    }
+
+    /// [`Artifact::write`], reporting the outcome on stderr instead of
+    /// failing the harness (artifacts are a side product of the run).
+    pub fn write_or_warn(&self) {
+        match self.write() {
+            Ok(path) => eprintln!("artifact   : {}", path.display()),
+            Err(e) => eprintln!("warning: could not write artifact: {e}"),
+        }
+    }
+}
+
+/// Checks that `body` is a schema-conformant artifact, returning the
+/// harness name on success.
+pub fn validate(body: &str) -> Result<String, String> {
+    let v = parse(body)?;
+    let version = v
+        .get("schema_version")
+        .and_then(JsonValue::as_f64)
+        .ok_or("missing schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    let harness = v
+        .get("harness")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing harness")?
+        .to_string();
+    let params = v.get("params").ok_or("missing params")?;
+    for key in ["scale_shift", "pes_per_node", "seed"] {
+        params
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("params.{key} missing or not a number"))?;
+    }
+    if !matches!(params.get("quick"), Some(JsonValue::Bool(_))) {
+        return Err("params.quick missing or not a bool".into());
+    }
+    let rows = v
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .ok_or("rows missing or not an array")?;
+    for (i, row) in rows.iter().enumerate() {
+        let obj = row
+            .as_obj()
+            .ok_or_else(|| format!("rows[{i}] is not an object"))?;
+        if obj.is_empty() {
+            return Err(format!("rows[{i}] is empty"));
+        }
+    }
+    let metrics = v.get("metrics").ok_or("missing metrics")?;
+    for key in ["counters", "histograms"] {
+        if metrics.get(key).and_then(JsonValue::as_obj).is_none() {
+            return Err(format!("metrics.{key} missing or not an object"));
+        }
+    }
+    Ok(harness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifact {
+        let args = BenchArgs { scale_shift: 13, quick: true, ..Default::default() };
+        let mut t = Table::new(&["Nodes", "Time"]);
+        t.row(vec!["4".into(), "1.5ms".into()]);
+        t.row(vec!["8".into(), "0.9ms".into()]);
+        let mut a = Artifact::new("unit_test", &args);
+        a.table(&t);
+        a.metrics().inc("runs", 2);
+        a
+    }
+
+    #[test]
+    fn artifact_json_validates() {
+        let j = sample().to_json();
+        assert_eq!(validate(&j).unwrap(), "unit_test");
+        let v = parse(&j).unwrap();
+        assert_eq!(
+            v.get("rows").and_then(|r| r.idx(1)).and_then(|r| r.get("Time")).and_then(|t| t.as_str()),
+            Some("0.9ms")
+        );
+        assert_eq!(
+            v.get("params").and_then(|p| p.get("scale_shift")).and_then(|s| s.as_f64()),
+            Some(13.0)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"schema_version\":99}").is_err());
+        // Right version but no params.
+        assert!(validate("{\"schema_version\":1,\"harness\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn write_creates_results_file() {
+        let dir = std::env::temp_dir().join("dakc-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prev = std::env::current_dir().unwrap();
+        // Serialize with other tests that might chdir (none today).
+        std::env::set_current_dir(&dir).unwrap();
+        let path = sample().write().unwrap();
+        std::env::set_current_dir(prev).unwrap();
+        let body = std::fs::read_to_string(dir.join(&path)).unwrap();
+        assert!(validate(&body).is_ok());
+    }
+}

@@ -35,6 +35,7 @@ fn main() {
     } else {
         vec![256, 1024, 4096, 16_384, 65_536, 1 << 20]
     };
+    let mut art = dakc_bench::Artifact::new("abl_batch_size", &args);
     let mut t = Table::new(&["b (kmers/PE/round)", "rounds (syncs)", "PakMan* time", "vs DAKC"]);
     for &b in &batches {
         let mut cfg = BspConfig::pakman_star(k);
@@ -48,6 +49,8 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
     println!(
         "DAKC reference: {} with {} barrier (constant, Eq 6).\n\
          expected shape: small b ⇒ many rounds ⇒ the τ·(mn/bP)·logP term of Eq 5\n\

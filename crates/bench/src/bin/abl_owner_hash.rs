@@ -30,6 +30,7 @@ fn main() {
 
     let k = 31;
     let p = 192; // 8 nodes x 24 cores
+    let mut art = dakc_bench::Artifact::new("abl_owner_hash", &args);
     let mut t = Table::new(&[
         "Dataset",
         "Owner assignment",
@@ -65,6 +66,8 @@ fn main() {
         }
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
     println!(
         "reading the table: on uniform-random genomes the low bits of a k-mer are\n\
          themselves uniform, so `mod P` happens to work — but the equally\n\

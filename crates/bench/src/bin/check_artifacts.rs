@@ -1,0 +1,57 @@
+//! Validates every bench artifact in `results/` against the schema.
+//!
+//! Used by CI after running a harness: exits non-zero when the directory
+//! has no artifacts or any artifact fails [`dakc_bench::artifact::validate`].
+//!
+//! ```text
+//! cargo run --release -p dakc-bench --bin check_artifacts [-- results_dir]
+//! ```
+
+use dakc_bench::artifact::validate;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let mut checked = 0usize;
+    let mut failed = 0usize;
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let body = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                failed += 1;
+                continue;
+            }
+        };
+        match validate(&body) {
+            Ok(harness) => {
+                println!("ok   {} ({harness})", path.display());
+                checked += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} artifact(s) failed validation");
+        std::process::exit(1);
+    }
+    if checked == 0 {
+        eprintln!("error: no artifacts found in {dir}");
+        std::process::exit(1);
+    }
+    println!("{checked} artifact(s) valid");
+}

@@ -22,6 +22,7 @@ fn main() {
     machine.pes_per_node = args.pes_per_node;
 
     let ks: Vec<usize> = if args.quick { vec![31, 41] } else { vec![15, 23, 31, 33, 41, 55, 63] };
+    let mut art = dakc_bench::Artifact::new("ext_kmer128", &args);
     let mut t = Table::new(&["k", "word", "threaded wall", "sim virtual", "distinct kmers"]);
     for k in ks {
         let (wall, virt, distinct) = if k <= 32 {
@@ -47,6 +48,8 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
     println!(
         "expected shape: crossing k = 32 doubles the word width — wire volume,\n\
          sort passes and memory footprint roughly double, visible in both the\n\

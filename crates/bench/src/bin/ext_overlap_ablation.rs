@@ -20,6 +20,7 @@ fn main() {
     let node_counts: Vec<usize> = if args.quick { vec![4, 16] } else { vec![2, 4, 8, 16, 32, 64] };
     let k = 31;
 
+    let mut art = dakc_bench::Artifact::new("ext_overlap_ablation", &args);
     let mut t = Table::new(&[
         "Nodes",
         "DAKC (barrier)",
@@ -46,6 +47,8 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
     println!(
         "reading the table: the post-barrier tail shrinks 2-3x (only the k-way\n\
          merge remains), which is the latency benefit this future-work item\n\

@@ -39,6 +39,7 @@ fn main() {
         .unwrap_or(4)
         .min(24);
 
+    let mut art = dakc_bench::Artifact::new("fig01_speedup_summary", &args);
     let mut t = Table::new(&[
         "Dataset",
         "vs PakMan*",
@@ -106,6 +107,8 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
 
     println!(
         "paper shape: 2–9x over the distributed baselines; 15–102x over the\n\

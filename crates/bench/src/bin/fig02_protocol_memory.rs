@@ -20,6 +20,7 @@ fn main() {
     let c0 = 40 * 1024u64; // Table III production buffer size
     let ppn = 24; // full Phoenix nodes for this figure
 
+    let mut art = dakc_bench::Artifact::new("fig02_protocol_memory", &args);
     let mut t = Table::new(&["Nodes", "PEs", "1D/PE", "2D/PE", "3D/PE"]);
     for nodes in [16usize, 32, 64, 128, 256] {
         let p = nodes * ppn;
@@ -36,6 +37,8 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
 
     println!(
         "paper shape: 1D grows linearly in P and becomes excessive at high core\n\

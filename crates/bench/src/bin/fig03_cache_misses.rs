@@ -31,6 +31,7 @@ fn main() {
         vec![20, 21, 22, 23, 24, 25, 26]
     };
 
+    let mut art = dakc_bench::Artifact::new("fig03_cache_misses", &args);
     let mut t = Table::new(&[
         "Dataset",
         "kmers(scaled)",
@@ -77,6 +78,8 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
 
     println!(
         "paper shape: phase-1 measured lands slightly above the prediction (model\n\

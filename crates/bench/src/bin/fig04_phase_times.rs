@@ -26,6 +26,7 @@ fn main() {
         vec![21, 22, 23, 24, 25, 26, 27]
     };
 
+    let mut art = dakc_bench::Artifact::new("fig04_phase_times", &args);
     let mut t = Table::new(&[
         "Dataset",
         "P1 sim",
@@ -65,6 +66,8 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
 
     println!(
         "paper shape: the model underestimates both phases but stays within the\n\

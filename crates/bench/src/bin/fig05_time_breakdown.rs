@@ -34,6 +34,7 @@ fn main() {
     let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).expect("sim ok");
     let [sc, si, se] = run.report.busy_percentages();
 
+    let mut art = dakc_bench::Artifact::new("fig05_time_breakdown", &args);
     let mut t = Table::new(&["Component", "Model %", "Simulator %"]);
     t.row(vec!["Computation".into(), format!("{mc:.1}"), format!("{sc:.1}")]);
     t.row(vec![
@@ -47,6 +48,8 @@ fn main() {
         format!("{se:.1}"),
     ]);
     t.print();
+    art.table(&t);
+    art.write_or_warn();
 
     println!(
         "paper shape: computation is a small slice; the workload is bounded by\n\

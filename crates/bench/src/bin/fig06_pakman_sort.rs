@@ -27,6 +27,7 @@ fn main() {
     );
 
     let node_counts: &[usize] = if args.quick { &[2, 8] } else { &[1, 2, 4, 8, 16] };
+    let mut art = dakc_bench::Artifact::new("fig06_pakman_sort", &args);
     let mut t = Table::new(&["Nodes", "PakMan(qsort)", "PakMan*(radix)", "Speedup"]);
     for &nodes in node_counts {
         let mut machine = MachineConfig::phoenix_intel(nodes);
@@ -44,5 +45,7 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
     println!("paper shape: radix sort speeds the kernel up by ≈2×.");
 }

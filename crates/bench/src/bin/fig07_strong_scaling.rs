@@ -44,6 +44,7 @@ fn main() {
     };
 
     let k = 31;
+    let mut art = dakc_bench::Artifact::new("fig07_strong_scaling", &args);
     let mut t = Table::new(&[
         "Dataset",
         "Nodes",
@@ -74,6 +75,7 @@ fn main() {
                 cfg = cfg.with_l3();
             }
             let dakc_run = count_kmers_sim::<u64>(&reads, &cfg, &machine).expect("dakc");
+            art.metrics().merge(&dakc_run.report.metrics);
             let hysortk = count_kmers_bsp_sim::<u64>(&reads, &BspConfig::hysortk(k), &machine)
                 .expect("hysortk");
             let pakman = count_kmers_bsp_sim::<u64>(&reads, &BspConfig::pakman_star(k), &machine)
@@ -97,6 +99,8 @@ fn main() {
         }
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!(

@@ -38,6 +38,7 @@ fn main() {
     };
     let k = 31;
 
+    let mut art = dakc_bench::Artifact::new("fig08_strong_scaling_oom", &args);
     let mut t = Table::new(&["Nodes", "DAKC", "PakMan*", "HySortK"]);
     for &nodes in &node_counts {
         let mut machine = MachineConfig::phoenix_intel(nodes);
@@ -66,6 +67,8 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
 
     println!(
         "paper shape: PakMan* OOMs at 16 and 32 nodes; HySortK fails in every\n\

@@ -41,6 +41,7 @@ fn main() {
     };
 
     let k = 31;
+    let mut art = dakc_bench::Artifact::new("fig09_shared_memory", &args);
     let mut t = Table::new(&[
         "Dataset",
         "DAKC",
@@ -108,6 +109,8 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
     println!(
         "paper shape: DAKC ≈2× faster than KMC3 and ≈2× faster than the\n\
          distributed baselines run inside one node."

@@ -21,6 +21,7 @@ fn main() {
     };
     let k = 31;
 
+    let mut art = dakc_bench::Artifact::new("fig10_weak_scaling", &args);
     let mut t = Table::new(&[
         "Nodes",
         "Dataset",
@@ -66,6 +67,8 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
 
     println!(
         "paper shape: DAKC is 1.7–3.4x faster than HySortK and 2.0–6.3x faster than\n\

@@ -19,6 +19,7 @@ fn main() {
     let nodes = 32usize;
     let k = 31;
 
+    let mut art = dakc_bench::Artifact::new("fig11_protocol_speedup", &args);
     let mut t = Table::new(&["Dataset", "1D", "2D", "3D", "2D/1D speedup", "3D/1D speedup"]);
     for name in &dataset_names {
         let (spec, reads) = dakc_bench::load_dataset(name, &args);
@@ -49,6 +50,8 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
 
     println!(
         "paper shape: speedups below 1.0 — 1D is 10–20% faster than 2D/3D (no\n\

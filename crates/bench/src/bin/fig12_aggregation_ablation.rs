@@ -28,6 +28,7 @@ fn main() {
     };
     let k = 31;
 
+    let mut art = dakc_bench::Artifact::new("fig12_aggregation_ablation", &args);
     let mut t = Table::new(&[
         "Dataset",
         "Nodes",
@@ -63,6 +64,7 @@ fn main() {
             )
             .expect("L0-L3");
             assert_eq!(l01.counts, l03.counts, "{name}@{nodes}");
+            art.metrics().merge(&l03.report.metrics);
 
             let (a, b, c) = (
                 l01.report.total_time,
@@ -84,6 +86,8 @@ fn main() {
         }
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
 
     println!(
         "paper shape: on the uniform Synthetic 32, L2's packet packing speeds the\n\

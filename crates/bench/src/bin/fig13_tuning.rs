@@ -24,6 +24,7 @@ fn main() {
         .total_time;
 
     println!("-- Fig 13a: C2 sweep (default C2 = 32) --");
+    let mut art = dakc_bench::Artifact::new("fig13_tuning", &args);
     let mut t = Table::new(&["C2", "Time", "Slowdown vs C2=32"]);
     let c2s: Vec<usize> = if args.quick { vec![2, 8, 32] } else { vec![2, 4, 8, 16, 32, 64, 128] };
     for c2 in c2s {
@@ -40,6 +41,7 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
     println!("paper shape: flat for C2 >= 8, degrades for C2 <= 4.\n");
 
     // --- Fig 13b: C3 sweep on the skewed Human surrogate ---
@@ -74,6 +76,8 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
     println!(
         "paper shape: flat over the middle decades (10^3-10^6 at paper scale);\n\
          very low C3 fails to compress the heavy hitters. The paper's high-end\n\

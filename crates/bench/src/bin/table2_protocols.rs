@@ -8,6 +8,7 @@ fn main() {
     let args = BenchArgs::from_env();
     args.banner("Table II — Conveyors protocols", "paper Table II");
 
+    let mut art = dakc_bench::Artifact::new("table2_protocols", &args);
     let mut t = Table::new(&[
         "Protocol",
         "Topology",
@@ -56,6 +57,8 @@ fn main() {
         }
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
     println!(
         "paper: 1D = O(P^2) total memory / 1 hop; 2D = O(P^1.5) / 2 hops; 3D = O(P^4/3) / 3 hops."
     );

@@ -12,6 +12,7 @@ fn main() {
     // The paper quotes per-PE numbers on the full machine: 256 nodes × 24.
     let p = 256 * 24;
 
+    let mut art = dakc_bench::Artifact::new("table3_aggregation_params", &args);
     let mut t = Table::new(&[
         "Scope",
         "Layer",
@@ -53,6 +54,8 @@ fn main() {
         fmt_bytes(cfg.c3 as u64 * 8),
     ]);
     t.print();
+    art.table(&t);
+    art.write_or_warn();
 
     println!(
         "paper reference values: L0 = 40K x P^x B, L1 = 264 KB (C1 = 1024),\n\

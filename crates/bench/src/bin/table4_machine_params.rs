@@ -13,6 +13,7 @@ fn main() {
     );
 
     let m = MachineConfig::phoenix_intel(1);
+    let mut art = dakc_bench::Artifact::new("table4_machine_params", &args);
     let mut t = Table::new(&["Parameter", "Symbol", "Intel Node"]);
     t.row(vec![
         "Peak INT64".into(),
@@ -40,6 +41,7 @@ fn main() {
         format!("{:.1} GB/s", m.link_bandwidth / 1e9),
     ]);
     t.print();
+    art.table(&t);
 
     println!("== §VII operational intensity ==");
     let w = Workload {
@@ -65,6 +67,8 @@ fn main() {
         "~8.3".into(),
     ]);
     t.print();
+    art.table(&t);
+    art.write_or_warn();
     println!(
         "conclusion: intensity {:.3} << balance {:.1} — k-mer counting is bandwidth-bound\n\
          on CPUs and would be even more compute-underutilized on GPUs (paper §VII).",

@@ -7,6 +7,7 @@ fn main() {
     let args = BenchArgs::from_env();
     args.banner("Table V — Datasets Used in Experiments", "paper Table V");
 
+    let mut art = dakc_bench::Artifact::new("table5_datasets", &args);
     let mut t = Table::new(&[
         "Data",
         "Reads(paper)",
@@ -33,4 +34,6 @@ fn main() {
         ]);
     }
     t.print();
+    art.table(&t);
+    art.write_or_warn();
 }

@@ -19,7 +19,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod artifact;
 pub mod cachetrace;
+
+pub use artifact::Artifact;
 
 use dakc_io::datasets::{table_v, DatasetSpec};
 use dakc_io::{ReadSet, DEFAULT_SCALE_SHIFT};
@@ -52,10 +55,23 @@ impl Default for BenchArgs {
 
 impl BenchArgs {
     /// Parses `--scale-shift N`, `--ppn N`, `--seed N` and `--quick` from
-    /// `std::env::args`, ignoring anything it does not recognize.
+    /// `std::env::args`. Unrecognized flags are warned about on stderr
+    /// (never fatal — harnesses accept extra, harness-specific flags like
+    /// `--full`, which callers list in `extra`).
     pub fn from_env() -> Self {
+        Self::from_env_with(&["--full"])
+    }
+
+    /// Like [`BenchArgs::from_env`] but with an explicit list of known
+    /// harness-specific flags that should not trigger a warning.
+    pub fn from_env_with(extra: &[&str]) -> Self {
+        Self::from_iter(std::env::args().skip(1), extra)
+    }
+
+    /// The testable core of [`BenchArgs::from_env`].
+    pub fn from_iter(args: impl Iterator<Item = String>, extra: &[&str]) -> Self {
         let mut out = Self::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args;
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--scale-shift" => {
@@ -77,7 +93,8 @@ impl BenchArgs {
                         .expect("--seed needs an integer");
                 }
                 "--quick" => out.quick = true,
-                _ => {}
+                other if extra.contains(&other) => {}
+                other => eprintln!("warning: unknown arg {other:?}"),
             }
         }
         out
@@ -127,6 +144,16 @@ impl Table {
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
         self.rows.push(cells);
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// Prints the aligned table followed by a CSV block.
@@ -224,5 +251,15 @@ mod tests {
         let a = BenchArgs::default();
         assert_eq!(a.scale_shift, 12);
         assert!(!a.quick);
+    }
+
+    #[test]
+    fn from_iter_parses_known_and_survives_unknown_flags() {
+        let argv = ["--scale-shift", "14", "--quick", "--tpyo", "--full", "--seed", "9"];
+        let a = BenchArgs::from_iter(argv.iter().map(|s| s.to_string()), &["--full"]);
+        // "--tpyo" only warns on stderr; parsing continues past it.
+        assert_eq!(a.scale_shift, 14);
+        assert_eq!(a.seed, 9);
+        assert!(a.quick);
     }
 }

@@ -51,6 +51,10 @@ pub struct CountArgs {
     pub output: Option<String>,
     /// Minimum count to report.
     pub min_count: u32,
+    /// Write a Chrome trace-event JSON of the run to this path.
+    pub trace: Option<String>,
+    /// Write the run's metrics registry as JSON to this path.
+    pub metrics: Option<String>,
 }
 
 /// Arguments of `dakc generate`.
@@ -90,6 +94,12 @@ pub struct SimulateArgs {
     pub protocol: Protocol,
     /// Enable the L3 heavy-hitter layer.
     pub l3: bool,
+    /// Write a Chrome trace-event JSON of the virtual-time run here.
+    pub trace: Option<String>,
+    /// Write the run's metrics registry as JSON to this path.
+    pub metrics: Option<String>,
+    /// Render the per-PE utilization timeline after the run.
+    pub timeline: bool,
 }
 
 /// Arguments of `dakc model`.
@@ -108,9 +118,11 @@ dakc — distributed asynchronous k-mer counting
 USAGE:
   dakc count <reads.fasta|fastq> [-k 31] [--threads 8] [--canonical]
              [--l3 C3] [--min-count 1] [-o counts.tsv]
+             [--trace trace.json] [--metrics metrics.json]
   dakc generate --dataset NAME [--scale-shift 12] [--seed 42] [-o out.fastq]
   dakc spectrum <counts.tsv> [--max 100]
   dakc simulate <reads> [-k 31] [--nodes 8] [--ppn 24] [--protocol 1d|2d|3d] [--l3]
+                [--trace trace.json] [--metrics metrics.json] [--timeline]
   dakc model --dataset NAME [--nodes 32]
   dakc compare <reads> [-k 31] [--nodes 8] [--ppn 24]
   dakc help
@@ -141,6 +153,8 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 l3: None,
                 output: None,
                 min_count: 1,
+                trace: None,
+                metrics: None,
             };
             let mut rest: Vec<String> = it.collect();
             let mut args = std::mem::take(&mut rest).into_iter();
@@ -157,6 +171,8 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                         a.min_count =
                             parse_num(take_value(&mut args, "--min-count")?, "--min-count")?
                     }
+                    "--trace" => a.trace = Some(take_value(&mut args, "--trace")?),
+                    "--metrics" => a.metrics = Some(take_value(&mut args, "--metrics")?),
                     other if !other.starts_with('-') && input.is_none() => {
                         input = Some(other.to_string())
                     }
@@ -221,6 +237,9 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 ppn: 24,
                 protocol: Protocol::OneD,
                 l3: false,
+                trace: None,
+                metrics: None,
+                timeline: false,
             };
             let mut args = it;
             while let Some(arg) = args.next() {
@@ -229,6 +248,9 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                     "--nodes" => a.nodes = parse_num(take_value(&mut args, "--nodes")?, "--nodes")?,
                     "--ppn" => a.ppn = parse_num(take_value(&mut args, "--ppn")?, "--ppn")?,
                     "--l3" => a.l3 = true,
+                    "--trace" => a.trace = Some(take_value(&mut args, "--trace")?),
+                    "--metrics" => a.metrics = Some(take_value(&mut args, "--metrics")?),
+                    "--timeline" => a.timeline = true,
                     "--protocol" => {
                         a.protocol = match take_value(&mut args, "--protocol")?.as_str() {
                             "1d" | "1D" => Protocol::OneD,
@@ -347,6 +369,26 @@ mod tests {
             assert_eq!(a.protocol, proto);
             assert_eq!(a.nodes, 4);
         }
+    }
+
+    #[test]
+    fn parse_count_trace_metrics() {
+        let cmd = parse_args(argv("count in.fq --trace t.json --metrics m.json")).unwrap();
+        let Command::Count(a) = cmd else { panic!() };
+        assert_eq!(a.trace.as_deref(), Some("t.json"));
+        assert_eq!(a.metrics.as_deref(), Some("m.json"));
+    }
+
+    #[test]
+    fn parse_simulate_observability_flags() {
+        let cmd =
+            parse_args(argv("simulate r.fq --trace t.json --metrics m.json --timeline")).unwrap();
+        let Command::Simulate(a) = cmd else { panic!() };
+        assert_eq!(a.trace.as_deref(), Some("t.json"));
+        assert_eq!(a.metrics.as_deref(), Some("m.json"));
+        assert!(a.timeline);
+        let Command::Simulate(b) = parse_args(argv("simulate r.fq")).unwrap() else { panic!() };
+        assert!(b.trace.is_none() && !b.timeline);
     }
 
     #[test]

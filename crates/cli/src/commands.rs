@@ -3,11 +3,12 @@
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 
-use dakc::{count_kmers_sim, count_kmers_threaded, DakcConfig};
+use dakc::{count_kmers_sim, count_kmers_sim_traced, count_kmers_threaded_traced, DakcConfig};
 use dakc_io::{fastx, ReadSet};
 use dakc_kmer::{CanonicalMode, KmerWord};
 use dakc_model::{CommModel, Model, Workload};
-use dakc_sim::MachineConfig;
+use dakc_sim::telemetry::{chrome_trace, metrics, Event, MetricsRegistry};
+use dakc_sim::{EventKind, MachineConfig, Timeline, TraceSink};
 
 use crate::args::{
     Command, CompareArgs, CountArgs, GenerateArgs, ModelArgs, SimulateArgs, SpectrumArgs, USAGE,
@@ -76,6 +77,38 @@ pub fn write_counts<W: KmerWord>(
     Ok(written)
 }
 
+fn write_artifact(path: &str, body: &str) -> Result<(), String> {
+    std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Distills a metrics registry from a threaded-engine event stream (the
+/// threaded engine records events in-line rather than carrying a registry
+/// through every worker).
+fn metrics_from_events(events: &[Event]) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    for e in events {
+        match e.kind {
+            EventKind::MsgSend { bytes, .. } => {
+                m.inc("msgs.sent", 1);
+                m.observe("msg.payload_bytes", metrics::BYTES_BOUNDS, bytes as f64);
+            }
+            EventKind::L3Flush { occupancy, cap } => {
+                m.inc("l3.flushes", 1);
+                m.observe(
+                    "l3.flush_occupancy_pct",
+                    metrics::PCT_BOUNDS,
+                    ((occupancy as u64 * 100) / cap.max(1) as u64).min(100) as f64,
+                );
+            }
+            EventKind::BarrierExit { waited_s } => {
+                m.observe("barrier.wait_s", metrics::SECONDS_BOUNDS, waited_s);
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
 fn count(a: CountArgs) -> Result<(), String> {
     let reads = load_reads(&a.input)?;
     let mode = if a.canonical {
@@ -83,23 +116,40 @@ fn count(a: CountArgs) -> Result<(), String> {
     } else {
         CanonicalMode::Forward
     };
+    let want_trace = a.trace.is_some() || a.metrics.is_some();
     let mut out = out_writer(&a.output)?;
-    let (written, elapsed, distinct) = if a.k <= 32 {
-        let run = count_kmers_threaded::<u64>(&reads, a.k, mode, a.threads, a.l3);
+    let (written, elapsed, distinct, events) = if a.k <= 32 {
+        let run = count_kmers_threaded_traced::<u64>(&reads, a.k, mode, a.threads, a.l3, want_trace);
         (
             write_counts(&mut *out, &run.counts, a.k, a.min_count)?,
             run.elapsed,
             run.counts.len(),
+            run.trace,
         )
     } else {
-        let run = count_kmers_threaded::<u128>(&reads, a.k, mode, a.threads, a.l3);
+        let run =
+            count_kmers_threaded_traced::<u128>(&reads, a.k, mode, a.threads, a.l3, want_trace);
         (
             write_counts(&mut *out, &run.counts, a.k, a.min_count)?,
             run.elapsed,
             run.counts.len(),
+            run.trace,
         )
     };
     out.flush().map_err(|e| e.to_string())?;
+    let events = events.unwrap_or_default();
+    if let Some(path) = &a.trace {
+        // All worker threads share one shared-memory node.
+        write_artifact(path, &chrome_trace(&events, a.threads.max(1)))?;
+        eprintln!("wrote trace: {path} ({} events)", events.len());
+    }
+    if let Some(path) = &a.metrics {
+        let mut m = metrics_from_events(&events);
+        m.inc("run.reads", reads.len() as u64);
+        m.inc("run.distinct_kmers", distinct as u64);
+        write_artifact(path, &m.to_json())?;
+        eprintln!("wrote metrics: {path}");
+    }
     eprintln!(
         "counted {} reads: {distinct} distinct k-mers ({written} ≥ count {}) in {elapsed:?} on {} threads",
         reads.len(),
@@ -181,7 +231,26 @@ fn simulate(a: SimulateArgs) -> Result<(), String> {
     if a.l3 {
         cfg = cfg.with_l3();
     }
-    let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).map_err(|e| e.to_string())?;
+    let mut sink = if a.trace.is_some() {
+        TraceSink::ring_default()
+    } else {
+        TraceSink::Off
+    };
+    let run = count_kmers_sim_traced::<u64>(&reads, &cfg, &machine, &mut sink)
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = &a.trace {
+        let events = sink.events();
+        write_artifact(path, &chrome_trace(&events, a.ppn))?;
+        eprintln!(
+            "wrote trace: {path} ({} events, {} dropped)",
+            events.len(),
+            sink.dropped()
+        );
+    }
+    if let Some(path) = &a.metrics {
+        write_artifact(path, &run.report.metrics.to_json())?;
+        eprintln!("wrote metrics: {path}");
+    }
     let r = &run.report;
     println!("machine          : {} nodes x {} PEs ({:?} conveyors)", a.nodes, a.ppn, a.protocol);
     println!("virtual time     : {:.6} s", r.total_time);
@@ -202,6 +271,11 @@ fn simulate(a: SimulateArgs) -> Result<(), String> {
     println!("distinct k-mers  : {}", run.counts.len());
     let [c, i, e] = r.busy_percentages();
     println!("busy-time split  : {c:.1}% compute, {i:.1}% intranode, {e:.1}% internode");
+    if a.timeline {
+        let t = Timeline::new(r);
+        println!("\n{}", t.render());
+        println!("{}", t.summary());
+    }
     Ok(())
 }
 
@@ -380,6 +454,69 @@ mod tests {
             ppn: 2,
         }))
         .unwrap();
+    }
+
+    #[test]
+    fn count_writes_trace_and_metrics_artifacts() {
+        use dakc_sim::telemetry::json;
+        let fq = tmp("obs.fastq");
+        std::fs::write(
+            &fq,
+            "@r\nACGTACGTACGGTTACAGGACCATGGACCAGT\n+\nIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIII\n",
+        )
+        .unwrap();
+        let trace = tmp("obs_trace.json");
+        let metrics = tmp("obs_metrics.json");
+        let tsv = tmp("obs.tsv");
+        dispatch(
+            parse_args(
+                ["dakc", "count", &fq, "-k", "11", "--threads", "2", "-o", &tsv,
+                 "--trace", &trace, "--metrics", &metrics]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let t = json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = t.get("traceEvents").unwrap().as_arr().unwrap();
+        // Metadata + at least one real event per worker thread.
+        assert!(events.len() > 2, "{} events", events.len());
+        let m = json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(
+            m.get("counters").and_then(|c| c.get("run.reads")).and_then(|v| v.as_f64())
+                == Some(1.0)
+        );
+        assert!(m.get("histograms").and_then(|h| h.get("msg.payload_bytes")).is_some());
+    }
+
+    #[test]
+    fn simulate_writes_trace_metrics_and_timeline() {
+        use dakc_sim::telemetry::json;
+        let fq = tmp("sim_obs.fastq");
+        std::fs::write(
+            &fq,
+            "@r\nACGTACGTACGGTTACAGGACCATGGACCAGT\n+\nIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIII\n",
+        )
+        .unwrap();
+        let trace = tmp("sim_trace.json");
+        let metrics = tmp("sim_metrics.json");
+        dispatch(
+            parse_args(
+                ["dakc", "simulate", &fq, "-k", "11", "--nodes", "2", "--ppn", "2",
+                 "--trace", &trace, "--metrics", &metrics, "--timeline"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let t = json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(!t.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
+        let m = json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(m.get("histograms").and_then(|h| h.get("barrier.wait_s")).is_some());
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! A minimal, dependency-free subset of the `criterion` API.
+//!
+//! The workspace builds in environments with no access to crates.io, so
+//! this shim provides the benchmark surface the repo uses: `black_box`,
+//! [`Criterion`] with `benchmark_group`/`bench_function`/
+//! `bench_with_input`, [`Throughput`], [`BenchmarkId`], and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then timed
+//! batches until ~60 ms of samples are collected; the mean ns/iter and
+//! derived throughput are printed to stdout. There is no statistical
+//! analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name plus a parameter value.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the mean wall-clock cost per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run for ~10ms to stabilize caches and branch predictors.
+        let warm_until = Instant::now() + Duration::from_millis(10);
+        let mut batch = 1u64;
+        while Instant::now() < warm_until {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+
+        // Measurement: accumulate ~60ms of timed batches.
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        let measure_until = Instant::now() + Duration::from_millis(60);
+        while Instant::now() < measure_until {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_ns += start.elapsed().as_nanos();
+            total_iters += batch;
+        }
+        self.mean_ns = if total_iters == 0 { 0.0 } else { total_ns as f64 / total_iters as f64 };
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_throughput(tp: Throughput, ns: f64) -> String {
+    let per_sec = |n: u64| n as f64 / (ns / 1e9);
+    match tp {
+        Throughput::Bytes(n) => {
+            let bps = per_sec(n);
+            if bps >= 1e9 {
+                format!("{:.2} GiB/s", bps / (1u64 << 30) as f64)
+            } else {
+                format!("{:.2} MiB/s", bps / (1u64 << 20) as f64)
+            }
+        }
+        Throughput::Elements(n) => format!("{:.2} Melem/s", per_sec(n) / 1e6),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        let mut line = format!("{}/{}  time: {}", self.name, id, fmt_time(b.mean_ns));
+        if let Some(tp) = self.throughput {
+            line.push_str(&format!("  thrpt: {}", fmt_throughput(tp, b.mean_ns)));
+        }
+        println!("{line}");
+    }
+
+    /// Benches `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        self.run_one(id.to_string(), f);
+    }
+
+    /// Benches `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run_one(id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+
+    /// Benches `f` directly at the top level.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        println!("{}  time: {}", id, fmt_time(b.mean_ns));
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each listed benchmark fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -6,7 +6,7 @@
 //! application. [`Actor`] is that façade: applications only ever call
 //! [`Actor::send`], [`Actor::progress`] and [`Actor::begin_drain`].
 
-use dakc_sim::{Ctx, PeId};
+use dakc_sim::{Ctx, EventKind, PeId};
 
 use crate::conveyor::{ConvStats, Conveyor, ConveyorConfig};
 
@@ -96,6 +96,8 @@ impl Actor {
     fn drain_l1(&mut self, ctx: &mut Ctx<'_>) {
         let staged = std::mem::take(&mut self.staged);
         let arena = std::mem::take(&mut self.arena);
+        let packets = staged.len() as u32;
+        ctx.trace(|| EventKind::L1Drain { packets });
         for s in &staged {
             self.conveyor
                 .push(ctx, s.dst, s.channel, &arena[s.start..s.start + s.len]);

@@ -19,7 +19,8 @@
 //! — it is exactly the per-packet overhead (§IV-C) that the application's
 //! L2 layer amortizes by packing many k-mers into one record.
 
-use dakc_sim::{Ctx, PeId};
+use dakc_sim::telemetry::metrics::{BYTES_BOUNDS, HOPS_BOUNDS, PCT_BOUNDS};
+use dakc_sim::{Ctx, EventKind, PeId};
 
 use crate::topo::{Protocol, Topology};
 
@@ -106,6 +107,10 @@ pub struct Conveyor {
     out: std::collections::HashMap<PeId, Vec<u8>>,
     draining: bool,
     stats: ConvStats,
+    /// Per-record hop tallies (index = hops to final destination),
+    /// accumulated locally so the hot push path stays a single array
+    /// increment; folded into the metrics registry at drain time.
+    hop_counts: [u64; 8],
 }
 
 impl Conveyor {
@@ -130,6 +135,7 @@ impl Conveyor {
             out: std::collections::HashMap::new(),
             draining: false,
             stats: ConvStats::default(),
+            hop_counts: [0; 8],
         };
         ctx.mem_alloc(conv.configured_buffer_bytes());
         conv
@@ -172,6 +178,8 @@ impl Conveyor {
         }
         self.stats.items_pushed += 1;
         self.stats.payload_bytes_pushed += payload.len() as u64;
+        let hops = self.topo.hops(self.me, final_dst).min(self.hop_counts.len() - 1);
+        self.hop_counts[hops] += 1;
         self.enqueue(ctx, final_dst, channel, payload);
     }
 
@@ -200,8 +208,21 @@ impl Conveyor {
         if buf.len() >= self.cfg.c0_bytes {
             let full = self.out.remove(&hop).expect("just filled");
             self.stats.puts += 1;
+            self.record_put(ctx, hop, full.len());
             ctx.send(hop, CONVEYOR_TAG, full);
         }
+    }
+
+    /// Telemetry for one `PUT`: fill/size histograms and a trace event.
+    fn record_put(&self, ctx: &mut Ctx<'_>, hop: PeId, bytes: usize) {
+        let fill_pct = ((bytes as u64 * 100) / self.cfg.c0_bytes.max(1) as u64).min(100) as u8;
+        ctx.metrics().observe("l0.put_fill_pct", PCT_BOUNDS, fill_pct as f64);
+        ctx.metrics().observe("l0.put_bytes", BYTES_BOUNDS, bytes as f64);
+        ctx.trace(|| EventKind::PutFlush {
+            hop: hop as u32,
+            bytes: bytes as u32,
+            fill_pct,
+        });
     }
 
     /// Polls the transport and processes every arrived buffer: records for
@@ -277,6 +298,7 @@ impl Conveyor {
             // O(P) empty vectors per PE on the host.
             let buf = self.out.remove(&hop).expect("listed");
             self.stats.puts += 1;
+            self.record_put(ctx, hop, buf.len());
             ctx.send(hop, CONVEYOR_TAG, buf);
         }
     }
@@ -286,7 +308,18 @@ impl Conveyor {
     /// records so the global quiescent barrier can complete.
     pub fn begin_drain(&mut self, ctx: &mut Ctx<'_>) {
         self.draining = true;
+        self.fold_hop_metrics(ctx);
         self.flush_all(ctx);
+    }
+
+    /// Folds the locally accumulated hop tallies into the run's metrics
+    /// registry and resets them.
+    fn fold_hop_metrics(&mut self, ctx: &mut Ctx<'_>) {
+        for (hops, n) in self.hop_counts.iter_mut().enumerate() {
+            ctx.metrics()
+                .observe_n("conv.record_hops", HOPS_BOUNDS, hops as f64, *n);
+            *n = 0;
+        }
     }
 
     /// `true` once `begin_drain` was called.
@@ -297,6 +330,7 @@ impl Conveyor {
     /// Releases the configured buffer memory (call when the communication
     /// epoch ends and the buffers are handed back).
     pub fn release(&mut self, ctx: &mut Ctx<'_>) {
+        self.fold_hop_metrics(ctx);
         ctx.mem_free(self.configured_buffer_bytes());
     }
 }

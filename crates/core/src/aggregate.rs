@@ -18,7 +18,8 @@ use std::collections::HashMap;
 
 use dakc_conveyors::{Actor, ActorConfig, ConvStats, ConveyorConfig};
 use dakc_kmer::{owner_pe, KmerWord};
-use dakc_sim::{Ctx, PeId};
+use dakc_sim::telemetry::metrics::PCT_BOUNDS;
+use dakc_sim::{Ctx, EventKind, PeId};
 use dakc_sort::{accumulate, hybrid_sort, RadixKey};
 
 use crate::config::DakcConfig;
@@ -143,6 +144,14 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
         }
         self.stats.l3_flushes += 1;
         let mut buf = std::mem::take(&mut self.l3);
+        let occupancy = buf.len() as u32;
+        let cap = self.cfg.c3 as u32;
+        ctx.metrics().observe(
+            "l3.flush_occupancy_pct",
+            PCT_BOUNDS,
+            ((occupancy as u64 * 100) / cap.max(1) as u64).min(100) as f64,
+        );
+        ctx.trace(|| EventKind::L3Flush { occupancy, cap });
         // Cache-aware sort cost: a cache-resident L3 buffer sorts without
         // re-streaming main memory; an oversized one pays extra scatter
         // levels. This is the "very high C3 values incur additional
@@ -211,6 +220,16 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
         }
         ctx.charge_ops(payload.len() as u64 / 8 + 1);
         self.stats.normal_packets += 1;
+        let fill_pct = ((buf.len() * 100) / self.cfg.c2.max(1)).min(100) as u8;
+        let records = buf.len() as u32;
+        ctx.metrics()
+            .observe("l2.packet_fill_pct", PCT_BOUNDS, fill_pct as f64);
+        ctx.trace(|| EventKind::L2Ship {
+            dst: dst as u32,
+            records,
+            fill_pct,
+            heavy: false,
+        });
         self.actor.send(ctx, dst, CH_NORMAL, &payload);
     }
 
@@ -231,6 +250,17 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
         }
         ctx.charge_ops(payload.len() as u64 / 8 + 1);
         self.stats.heavy_packets += 1;
+        let cap = (self.cfg.c2 / 2).max(1);
+        let fill_pct = ((buf.len() * 100) / cap).min(100) as u8;
+        let records = buf.len() as u32;
+        ctx.metrics()
+            .observe("l2.packet_fill_pct", PCT_BOUNDS, fill_pct as f64);
+        ctx.trace(|| EventKind::L2Ship {
+            dst: dst as u32,
+            records,
+            fill_pct,
+            heavy: true,
+        });
         self.actor.send(ctx, dst, CH_HEAVY, &payload);
     }
 

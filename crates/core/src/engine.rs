@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use dakc_io::ReadSet;
 use dakc_kmer::{KmerCount, KmerWord};
-use dakc_sim::{MachineConfig, Program, SimError, SimReport, Simulator};
+use dakc_sim::{MachineConfig, Program, SimError, SimReport, Simulator, TraceSink};
 use dakc_sort::RadixKey;
 
 use crate::aggregate::AggStats;
@@ -66,6 +66,19 @@ pub fn count_kmers_sim<W: KmerWord + RadixKey>(
     cfg: &DakcConfig,
     machine: &MachineConfig,
 ) -> Result<DakcRun<W>, SimError> {
+    count_kmers_sim_traced(reads, cfg, machine, &mut TraceSink::Off)
+}
+
+/// Like [`count_kmers_sim`], but records flight-recorder events into
+/// `trace` (virtual timestamps; export with
+/// [`dakc_sim::telemetry::chrome_trace`]). Identical inputs produce a
+/// byte-identical exported trace — tracing never perturbs the simulation.
+pub fn count_kmers_sim_traced<W: KmerWord + RadixKey>(
+    reads: &ReadSet,
+    cfg: &DakcConfig,
+    machine: &MachineConfig,
+    trace: &mut TraceSink,
+) -> Result<DakcRun<W>, SimError> {
     cfg.validate::<W>();
     let p = machine.num_pes();
     let reads = Arc::new(reads.clone());
@@ -81,7 +94,7 @@ pub fn count_kmers_sim<W: KmerWord + RadixKey>(
         })
         .collect();
 
-    let report = Simulator::new(machine.clone()).run(programs)?;
+    let report = Simulator::new(machine.clone()).run_traced(programs, trace)?;
 
     let per_pe: Vec<PeOutput<W>> = Rc::try_unwrap(sink)
         .expect("simulation dropped all other references")

@@ -16,9 +16,8 @@
 //! this family. Memory saved: the per-owner arrays never see singleton
 //! mass.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 use dakc_io::ReadSet;
 use dakc_kmer::{
@@ -54,17 +53,18 @@ pub fn count_kmers_filtered<W: KmerWord + RadixKey>(
     assert!((1..=W::MAX_K).contains(&k));
     let start = Instant::now();
 
+    // Each worker publishes (its partition's counts, singletons skipped).
+    type WorkerOut<W> = Mutex<Option<(Vec<KmerCount<W>>, u64)>>;
     let inboxes: Vec<Mutex<Vec<W>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
-    let outputs: Vec<Mutex<Option<(Vec<KmerCount<W>>, u64)>>> =
-        (0..threads).map(|_| Mutex::new(None)).collect();
+    let outputs: Vec<WorkerOut<W>> = (0..threads).map(|_| Mutex::new(None)).collect();
     let barrier = std::sync::Barrier::new(threads);
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
             let inboxes = &inboxes;
             let outputs = &outputs;
             let barrier = &barrier;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 // NOTE: per-thread filters see only this thread's reads, so
                 // a k-mer whose two occurrences land on different threads
                 // would be missed — unless filtering happens *after* owner
@@ -76,19 +76,19 @@ pub fn count_kmers_filtered<W: KmerWord + RadixKey>(
                         let owner = owner_pe(w, threads);
                         route[owner].push(w);
                         if route[owner].len() >= 1024 {
-                            inboxes[owner].lock().append(&mut route[owner]);
+                            inboxes[owner].lock().unwrap().append(&mut route[owner]);
                         }
                     }
                 }
                 for (owner, buf) in route.iter_mut().enumerate() {
                     if !buf.is_empty() {
-                        inboxes[owner].lock().append(buf);
+                        inboxes[owner].lock().unwrap().append(buf);
                     }
                 }
                 barrier.wait();
 
                 // Owner side: filter + exact count of survivors.
-                let mine: Vec<W> = std::mem::take(&mut *inboxes[t].lock());
+                let mine: Vec<W> = std::mem::take(&mut *inboxes[t].lock().unwrap());
                 let mut filter =
                     BloomFilter::with_rate(expected_distinct / threads + 16, fp_rate);
                 let mut survivors: Vec<W> = Vec::new();
@@ -106,16 +106,15 @@ pub fn count_kmers_filtered<W: KmerWord + RadixKey>(
                     // The first sighting fed the filter: report c + 1.
                     .map(|(w, c)| KmerCount::new(w, c.saturating_add(1)))
                     .collect();
-                *outputs[t].lock() = Some((counts, skipped));
+                *outputs[t].lock().unwrap() = Some((counts, skipped));
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     let mut counts: Vec<KmerCount<W>> = Vec::new();
     let mut skipped_first_sightings = 0u64;
     for o in &outputs {
-        let (c, s) = o.lock().take().expect("published");
+        let (c, s) = o.lock().unwrap().take().expect("published");
         counts.extend(c);
         skipped_first_sightings += s;
     }

@@ -4,7 +4,7 @@
 //! colocated … and converts the asynchronous messages into memcpy calls"
 //! (§VI-B), which is what makes DAKC competitive with — and ≈2× faster
 //! than — KMC3 on one node. This engine is that configuration, built
-//! directly on crossbeam scoped threads:
+//! directly on scoped threads:
 //!
 //! * every thread parses its block of reads and routes k-mers to their
 //!   owner thread through lock-protected inboxes, batched so each lock
@@ -17,15 +17,15 @@
 //! All synchronization is two `std::sync::Barrier` waits — the same
 //! synchronization structure as the distributed algorithm.
 
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 use dakc_io::ReadSet;
 use dakc_kmer::{
     counts::merge_sorted_counts, kmers_of_read, owner_pe, CanonicalMode, KmerCount, KmerWord,
 };
+use dakc_sim::telemetry::Event;
+use dakc_sim::EventKind;
 use dakc_sort::{accumulate, accumulate_weighted, hybrid_sort, lsd_radix_sort_by, RadixKey};
 
 /// Result of a threaded run.
@@ -37,6 +37,11 @@ pub struct ThreadedRun<W> {
     pub elapsed: Duration,
     /// Worker threads used.
     pub threads: usize,
+    /// Flight-recorder events (timestamps are wall-clock seconds since
+    /// run start; `pe` is the worker thread id), present when tracing was
+    /// requested via [`count_kmers_threaded_traced`]. Events are grouped
+    /// by worker, each worker's stream in chronological order.
+    pub trace: Option<Vec<Event>>,
 }
 
 /// Per-owner routing buffer flushed into the inbox when full (the memcpy
@@ -52,6 +57,23 @@ pub fn count_kmers_threaded<W: KmerWord + RadixKey>(
     threads: usize,
     l3_buffer: Option<usize>,
 ) -> ThreadedRun<W> {
+    count_kmers_threaded_traced(reads, k, canonical, threads, l3_buffer, false)
+}
+
+/// Like [`count_kmers_threaded`], but when `trace` is set each worker
+/// records flight-recorder events (inbox batch flushes, L3 drains, the
+/// phase barrier, phase transitions) into a thread-local buffer, merged
+/// into [`ThreadedRun::trace`] after the run. Timestamps are wall-clock
+/// seconds since run start — unlike simulator traces they are *not*
+/// byte-reproducible across runs.
+pub fn count_kmers_threaded_traced<W: KmerWord + RadixKey>(
+    reads: &ReadSet,
+    k: usize,
+    canonical: CanonicalMode,
+    threads: usize,
+    l3_buffer: Option<usize>,
+    trace: bool,
+) -> ThreadedRun<W> {
     assert!(threads >= 1);
     assert!((1..=W::MAX_K).contains(&k), "k out of range");
     let start = Instant::now();
@@ -62,45 +84,78 @@ pub fn count_kmers_threaded<W: KmerWord + RadixKey>(
     let phase_barrier = Barrier::new(threads);
     let outputs: Vec<Mutex<Option<Vec<KmerCount<W>>>>> =
         (0..threads).map(|_| Mutex::new(None)).collect();
+    let traces: Vec<Mutex<Vec<Event>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
             let inboxes = &inboxes;
             let pair_inboxes = &pair_inboxes;
             let phase_barrier = &phase_barrier;
             let outputs = &outputs;
-            s.spawn(move |_| {
+            let traces = &traces;
+            let start = &start;
+            s.spawn(move || {
+                let mut ev: Option<Vec<Event>> = trace.then(Vec::new);
+                let record = |ev: &mut Option<Vec<Event>>, kind: EventKind| {
+                    if let Some(ev) = ev {
+                        ev.push(Event {
+                            ts: start.elapsed().as_secs_f64(),
+                            pe: t as u32,
+                            kind,
+                        });
+                    }
+                };
+                record(&mut ev, EventKind::Phase { phase: 0 });
+
                 // --- Phase 1: parse and route ---
                 let mut route: Vec<Vec<W>> = vec![Vec::with_capacity(ROUTE_BATCH); threads];
                 let mut pair_route: Vec<Vec<(W, u32)>> = vec![Vec::new(); threads];
                 let mut l3: Vec<W> = Vec::new();
+                let word_bytes = std::mem::size_of::<W>();
 
-                let flush_owner = |owner: usize, route: &mut Vec<Vec<W>>| {
-                    let buf = &mut route[owner];
-                    if !buf.is_empty() {
-                        inboxes[owner].lock().append(buf);
-                    }
-                };
-                let drain_l3 =
-                    |l3: &mut Vec<W>,
-                     route: &mut Vec<Vec<W>>,
-                     pair_route: &mut Vec<Vec<(W, u32)>>| {
-                        hybrid_sort(l3.as_mut_slice());
-                        for (w, c) in accumulate(l3) {
-                            let owner = owner_pe(w, threads);
-                            if c > 2 {
-                                pair_route[owner].push((w, c));
-                            } else {
-                                for _ in 0..c {
-                                    route[owner].push(w);
-                                    if route[owner].len() >= ROUTE_BATCH {
-                                        inboxes[owner].lock().append(&mut route[owner]);
-                                    }
+                let flush_owner =
+                    |owner: usize, route: &mut Vec<Vec<W>>, ev: &mut Option<Vec<Event>>| {
+                        let buf = &mut route[owner];
+                        if !buf.is_empty() {
+                            record(ev, EventKind::MsgSend {
+                                dst: owner as u32,
+                                tag: 0,
+                                bytes: (buf.len() * word_bytes) as u32,
+                            });
+                            let mut inbox = inboxes[owner].lock().unwrap();
+                            inbox.append(buf);
+                            let depth = inbox.len() as u32;
+                            drop(inbox);
+                            // Depth of the receiver's inbox in staged words —
+                            // the memcpy-engine analogue of the simulator's
+                            // pending-message gauge.
+                            record(ev, EventKind::QueueDepth { depth });
+                        }
+                    };
+                let drain_l3 = |l3: &mut Vec<W>,
+                                route: &mut Vec<Vec<W>>,
+                                pair_route: &mut Vec<Vec<(W, u32)>>,
+                                ev: &mut Option<Vec<Event>>| {
+                    record(ev, EventKind::L3Flush {
+                        occupancy: l3.len() as u32,
+                        cap: l3_buffer.unwrap_or(l3.len()) as u32,
+                    });
+                    hybrid_sort(l3.as_mut_slice());
+                    for (w, c) in accumulate(l3) {
+                        let owner = owner_pe(w, threads);
+                        if c > 2 {
+                            pair_route[owner].push((w, c));
+                        } else {
+                            for _ in 0..c {
+                                route[owner].push(w);
+                                if route[owner].len() >= ROUTE_BATCH {
+                                    flush_owner(owner, route, ev);
                                 }
                             }
                         }
-                        l3.clear();
-                    };
+                    }
+                    l3.clear();
+                };
 
                 for i in reads.pe_range(t, threads) {
                     for w in kmers_of_read::<W>(reads.get(i), k, canonical) {
@@ -108,61 +163,82 @@ pub fn count_kmers_threaded<W: KmerWord + RadixKey>(
                             Some(c3) => {
                                 l3.push(w);
                                 if l3.len() >= c3 {
-                                    drain_l3(&mut l3, &mut route, &mut pair_route);
+                                    drain_l3(&mut l3, &mut route, &mut pair_route, &mut ev);
                                 }
                             }
                             None => {
                                 let owner = owner_pe(w, threads);
                                 route[owner].push(w);
                                 if route[owner].len() >= ROUTE_BATCH {
-                                    inboxes[owner].lock().append(&mut route[owner]);
+                                    flush_owner(owner, &mut route, &mut ev);
                                 }
                             }
                         }
                     }
                 }
                 if !l3.is_empty() {
-                    drain_l3(&mut l3, &mut route, &mut pair_route);
+                    drain_l3(&mut l3, &mut route, &mut pair_route, &mut ev);
                 }
                 for owner in 0..threads {
-                    flush_owner(owner, &mut route);
+                    flush_owner(owner, &mut route, &mut ev);
                     if !pair_route[owner].is_empty() {
-                        pair_inboxes[owner].lock().append(&mut pair_route[owner]);
+                        record(&mut ev, EventKind::MsgSend {
+                            dst: owner as u32,
+                            tag: 1,
+                            bytes: (pair_route[owner].len() * (word_bytes + 4)) as u32,
+                        });
+                        pair_inboxes[owner].lock().unwrap().append(&mut pair_route[owner]);
                     }
                 }
 
                 // --- GLOBAL BARRIER (paper's phase boundary) ---
+                record(&mut ev, EventKind::BarrierEnter);
+                let entered = start.elapsed().as_secs_f64();
                 phase_barrier.wait();
+                record(&mut ev, EventKind::BarrierExit {
+                    waited_s: start.elapsed().as_secs_f64() - entered,
+                });
+                record(&mut ev, EventKind::Phase { phase: 1 });
 
                 // --- Phase 2: sort + accumulate my partition ---
-                let mut mine: Vec<W> = std::mem::take(&mut *inboxes[t].lock());
+                let mut mine: Vec<W> = std::mem::take(&mut *inboxes[t].lock().unwrap());
                 hybrid_sort(&mut mine);
                 let plain: Vec<KmerCount<W>> = accumulate(&mine)
                     .into_iter()
                     .map(|(w, c)| KmerCount::new(w, c))
                     .collect();
-                let mut pairs: Vec<(W, u32)> = std::mem::take(&mut *pair_inboxes[t].lock());
+                let mut pairs: Vec<(W, u32)> = std::mem::take(&mut *pair_inboxes[t].lock().unwrap());
                 lsd_radix_sort_by(&mut pairs, |p| p.0);
                 let heavy: Vec<KmerCount<W>> = accumulate_weighted(&pairs)
                     .into_iter()
                     .map(|(w, c)| KmerCount::new(w, c))
                     .collect();
-                *outputs[t].lock() = Some(merge_sorted_counts(&plain, &heavy));
+                *outputs[t].lock().unwrap() = Some(merge_sorted_counts(&plain, &heavy));
+                if let Some(ev) = ev {
+                    *traces[t].lock().unwrap() = ev;
+                }
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     let mut counts: Vec<KmerCount<W>> = outputs
         .iter()
-        .flat_map(|m| m.lock().take().expect("every worker published"))
+        .flat_map(|m| m.lock().unwrap().take().expect("every worker published"))
         .collect();
     counts.sort_unstable_by_key(|c| c.kmer);
+
+    let trace = trace.then(|| {
+        traces
+            .iter()
+            .flat_map(|m| std::mem::take(&mut *m.lock().unwrap()))
+            .collect()
+    });
 
     ThreadedRun {
         counts,
         elapsed: start.elapsed(),
         threads,
+        trace,
     }
 }
 

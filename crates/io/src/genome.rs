@@ -8,8 +8,7 @@
 //! datasets reproduce the skew that makes the paper's L3 aggregation layer
 //! pay off.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// A tandem-repeat component of a genome.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,7 +98,7 @@ mod tests {
         for &b in &g {
             *h.entry(b).or_default() += 1;
         }
-        for (_, &c) in &h {
+        for &c in h.values() {
             let dev = (c as f64 - 25_000.0).abs() / 25_000.0;
             assert!(dev < 0.05, "base frequency off by {dev}");
         }

@@ -24,6 +24,7 @@ pub mod fastx;
 pub mod genome;
 pub mod reads;
 pub mod readset;
+pub mod rng;
 pub mod stream;
 
 pub use datasets::{table_v, DatasetSpec, ScaledDataset, DEFAULT_SCALE_SHIFT};

@@ -7,10 +7,8 @@
 //! substitution errors (which create the singleton k-mers that dominate a
 //! real count spectrum), and Phred+33 qualities.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::fastx::FastxRecord;
+use crate::rng::SmallRng;
 use crate::readset::ReadSet;
 
 /// Read-simulator parameters.

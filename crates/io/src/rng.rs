@@ -1,0 +1,108 @@
+//! A small deterministic RNG for workload generation.
+//!
+//! The genome and read simulators only need reproducible uniform draws, so
+//! this is a SplitMix64-seeded xoshiro-style generator with the three
+//! sampling helpers the simulators use (`gen_range` over `usize` ranges
+//! and `gen_bool`). Keeping it in-tree removes the workspace's only
+//! runtime dependency on an external crate, which matters because the
+//! build must succeed with no registry access.
+
+/// Deterministic 64-bit generator (SplitMix64 state advance).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seeds the generator; equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly-random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from a half-open or inclusive `usize` range.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> usize {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53-bit mantissa draw, the standard uniform-in-[0,1) construction.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+/// Ranges `gen_range` accepts.
+pub trait SampleRange {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut SmallRng) -> usize;
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    #[inline]
+    fn sample(self, rng: &mut SmallRng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    #[inline]
+    fn sample(self, rng: &mut SmallRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as u64 + 1;
+        if span == 0 {
+            // Full u64-width usize range: every draw is in range.
+            return rng.next_u64() as usize;
+        }
+        lo + (rng.next_u64() % span) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(10);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(r.gen_range(0..4) < 4);
+            let v = r.gen_range(10..=12);
+            assert!((10..=12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits = {hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

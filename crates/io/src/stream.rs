@@ -74,7 +74,7 @@ impl<R: BufRead> FastxReader<R> {
             loop {
                 match self.read_line()? {
                     None => return Ok(None),
-                    Some(l) if l.is_empty() => continue,
+                    Some("") => continue,
                     Some(l) => break l.to_string(),
                 }
             }

@@ -6,12 +6,11 @@
 //! type identical across engines lets the integration tests assert bitwise
 //! agreement between them.
 
-use serde::{Deserialize, Serialize};
 
 use crate::kmer::KmerWord;
 
 /// One histogram entry: a k-mer and its frequency in the input.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct KmerCount<W> {
     /// The packed k-mer word.
     pub kmer: W,

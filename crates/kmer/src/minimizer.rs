@@ -46,7 +46,7 @@ pub fn minimizer_of(seq: &[u8], at: usize, k: usize, m: usize) -> Option<u64> {
         filled = (filled + 1).min(m);
         if filled == m {
             let h = word.hash64();
-            if best.map_or(true, |(bh, _)| h < bh) {
+            if best.is_none_or(|(bh, _)| h < bh) {
                 best = Some((h, word));
             }
         }

@@ -23,10 +23,9 @@ pub use closed_forms::{bsp_minus_fabsp, t_bsp, t_fabsp};
 pub use predict::{fabsp_speedup_over_bsp, scaling_limit, strong_scaling_curve, ScalePoint};
 
 use dakc_sim::MachineConfig;
-use serde::{Deserialize, Serialize};
 
 /// The workload parameters of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Workload {
     /// Number of reads `n`.
     pub n_reads: u64,
@@ -61,7 +60,7 @@ impl Workload {
 }
 
 /// Whether phase-1 communication composes as a sum or a max (Eqs 14/15).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommModel {
     /// `T_comm = T_intra + T_inter` (Eq 14) — serialized data movement.
     Sum,

@@ -37,7 +37,7 @@ impl CacheSim {
     pub fn new(capacity_bytes: usize, line_bytes: usize, ways: usize) -> Self {
         assert!(capacity_bytes > 0 && line_bytes > 0 && ways > 0);
         let lines = capacity_bytes / line_bytes;
-        assert!(lines >= ways && lines % ways == 0, "capacity must fit whole sets");
+        assert!(lines >= ways && lines.is_multiple_of(ways), "capacity must fit whole sets");
         let sets = lines / ways;
         Self {
             line_bytes,
@@ -139,10 +139,10 @@ mod tests {
         // 2 sets × 2 ways × 64 B = 256 B cache.
         let mut c = CacheSim::new(256, 64, 2);
         // Three lines mapping to set 0: lines 0, 2, 4 (even lines).
-        assert!(c.access(0 * 64));
+        assert!(c.access(0));
         assert!(c.access(2 * 64));
         assert!(c.access(4 * 64)); // evicts line 0 (LRU)
-        assert!(c.access(0 * 64)); // line 0 gone again
+        assert!(c.access(0)); // line 0 gone again
         assert!(!c.access(4 * 64)); // still resident
     }
 

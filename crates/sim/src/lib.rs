@@ -33,6 +33,9 @@
 //! * [`memory`] — per-node memory budgets with OOM detection (Fig 8).
 //! * [`cache`] — a set-associative cache simulator standing in for PAPI
 //!   hardware counters (Fig 3).
+//! * [`telemetry`] — flight-recorder event tracing at virtual timestamps,
+//!   a metrics registry of counters and fixed-bucket histograms, and a
+//!   Chrome trace-event JSON exporter (Perfetto-viewable).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -43,6 +46,7 @@ pub mod memory;
 pub mod msg;
 pub mod sched;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 pub use cache::CacheSim;
@@ -50,4 +54,5 @@ pub use machine::{MachineConfig, PeId};
 pub use msg::Msg;
 pub use sched::{Ctx, Program, SimError, Simulator, Step};
 pub use stats::{Category, PeStats, SimReport};
+pub use telemetry::{chrome_trace, Event, EventKind, MetricsRegistry, TraceSink};
 pub use trace::Timeline;

@@ -5,14 +5,13 @@
 //! units (bytes/second, operations/second, seconds) to keep arithmetic in
 //! the scheduler trivial.
 
-use serde::{Deserialize, Serialize};
 
 /// Index of a processing element (one simulated core).
 pub type PeId = usize;
 
 /// The simulated cluster: topology plus the cost constants that convert
 /// measured work into virtual seconds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Number of nodes in the allocation.
     pub nodes: usize,

@@ -37,6 +37,7 @@ use crate::machine::{MachineConfig, PeId};
 use crate::memory::{MemoryTracker, OomError};
 use crate::msg::{ArrivalKey, Msg};
 use crate::stats::{Category, PeStats, SimReport};
+use crate::telemetry::{metrics as mbounds, EventKind, MetricsRegistry, TraceSink};
 
 /// What a program wants after a step. See the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +179,8 @@ pub struct Ctx<'a> {
     oom: &'a mut Option<OomError>,
     delivered: &'a mut u64,
     phase_entry: &'a mut Vec<f64>,
+    trace: &'a mut TraceSink,
+    metrics: &'a mut MetricsRegistry,
 }
 
 impl Ctx<'_> {
@@ -203,6 +206,21 @@ impl Ctx<'_> {
     #[inline]
     pub fn now(&self) -> f64 {
         *self.clock
+    }
+
+    /// Records a flight-recorder event at this PE's current virtual time.
+    /// `make` is only invoked when tracing is enabled, so an instrumented
+    /// hot path pays one enum-discriminant branch when it is off.
+    #[inline]
+    pub fn trace(&mut self, make: impl FnOnce() -> EventKind) {
+        self.trace.record(*self.clock, self.pe as u32, make);
+    }
+
+    /// The run-wide metrics registry. Counters and histograms recorded
+    /// here end up on [`crate::SimReport::metrics`].
+    #[inline]
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        self.metrics
     }
 
     /// Charges `ops` 64-bit integer operations of compute time.
@@ -250,6 +268,13 @@ impl Ctx<'_> {
         };
         let seq = *self.seq;
         *self.seq += 1;
+        self.metrics
+            .observe("msg.payload_bytes", mbounds::BYTES_BOUNDS, bytes as f64);
+        self.trace.record(*self.clock, self.pe as u32, || EventKind::MsgSend {
+            dst: dst as u32,
+            tag,
+            bytes: bytes as u32,
+        });
         self.staged.push(Msg {
             src: self.pe,
             dst,
@@ -267,7 +292,17 @@ impl Ctx<'_> {
             self.stats.msgs_received += 1;
             self.stats.bytes_received += m.len() as u64;
             *self.delivered += 1;
+            self.trace.record(*self.clock, self.pe as u32, || EventKind::MsgDeliver {
+                src: m.src as u32,
+                tag: m.tag,
+                bytes: m.len() as u32,
+            });
             out.push(m);
+        }
+        if !out.is_empty() {
+            let depth = self.inbox.len() as u32;
+            self.trace
+                .record(*self.clock, self.pe as u32, || EventKind::QueueDepth { depth });
         }
         out
     }
@@ -288,17 +323,37 @@ impl Ctx<'_> {
     pub fn mem_alloc(&mut self, bytes: u64) {
         self.stats.mem_now += bytes;
         self.stats.mem_peak = self.stats.mem_peak.max(self.stats.mem_now);
-        if let Err(e) = self.mem.alloc(self.machine.node_of(self.pe), bytes) {
+        let node = self.machine.node_of(self.pe);
+        let now = self.stats.mem_now;
+        self.trace
+            .record(*self.clock, self.pe as u32, || EventKind::MemAlloc { bytes, now });
+        if let Err(e) = self.mem.alloc(node, bytes) {
+            self.trace
+                .record(*self.clock, self.pe as u32, || EventKind::Oom { bytes });
             if self.oom.is_none() {
                 *self.oom = Some(e);
             }
         }
+        let live = self.mem.live(node);
+        self.trace.record(*self.clock, self.pe as u32, || EventKind::NodeMem {
+            node: node as u32,
+            bytes: live,
+        });
     }
 
     /// Releases `bytes` of allocation.
     pub fn mem_free(&mut self, bytes: u64) {
         self.stats.mem_now = self.stats.mem_now.saturating_sub(bytes);
-        self.mem.free(self.machine.node_of(self.pe), bytes);
+        let node = self.machine.node_of(self.pe);
+        self.mem.free(node, bytes);
+        let now = self.stats.mem_now;
+        self.trace
+            .record(*self.clock, self.pe as u32, || EventKind::MemFree { bytes, now });
+        let live = self.mem.live(node);
+        self.trace.record(*self.clock, self.pe as u32, || EventKind::NodeMem {
+            node: node as u32,
+            bytes: live,
+        });
     }
 
     /// Marks entry into `phase` (0-based). Used for the per-phase makespan
@@ -308,6 +363,9 @@ impl Ctx<'_> {
             self.phase_entry.resize(phase + 1, 0.0);
         }
         self.phase_entry[phase] = self.phase_entry[phase].max(*self.clock);
+        self.trace.record(*self.clock, self.pe as u32, || EventKind::Phase {
+            phase: phase as u32,
+        });
     }
 }
 
@@ -334,6 +392,25 @@ impl Simulator {
     ///
     /// Panics if `programs.len()` differs from the machine's PE count.
     pub fn run(&self, programs: Vec<Box<dyn Program>>) -> Result<SimReport, SimError> {
+        self.run_traced(programs, &mut TraceSink::Off)
+    }
+
+    /// Like [`Simulator::run`], but records flight-recorder events into
+    /// `trace`. Pass [`TraceSink::Off`] (what [`Simulator::run`] does) for
+    /// zero-overhead untraced execution, or a [`TraceSink::ring`] to keep
+    /// the most recent events for Chrome-trace export. The simulator itself
+    /// records message sends/deliveries, memory traffic, phase transitions
+    /// and barrier enter/exit pairs; programs add cascade-level events
+    /// through [`Ctx::trace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len()` differs from the machine's PE count.
+    pub fn run_traced(
+        &self,
+        programs: Vec<Box<dyn Program>>,
+        trace: &mut TraceSink,
+    ) -> Result<SimReport, SimError> {
         let p = self.machine.num_pes();
         assert_eq!(programs.len(), p, "need one program per PE");
 
@@ -350,6 +427,7 @@ impl Simulator {
         let mut delivered = 0u64;
         let mut barriers_completed = 0u64;
         let mut barrier_entry = vec![0.0f64; p];
+        let mut metrics = MetricsRegistry::new();
 
         // Runnable heap of (clock, pe, generation); stale entries skipped.
         let mut heap: BinaryHeap<Reverse<(ArrivalKey, PeId, u64)>> = BinaryHeap::new();
@@ -398,8 +476,11 @@ impl Simulator {
                     let t_done = t_max + self.machine.barrier_time(live.len());
                     for &i in &live {
                         let wait = t_done - clocks[i];
+                        let waited_s = t_done - barrier_entry[i];
                         stats[i].charge(Category::Idle, wait);
-                        stats[i].barrier_wait_s += t_done - barrier_entry[i];
+                        stats[i].barrier_wait_s += waited_s;
+                        metrics.observe("barrier.wait_s", mbounds::SECONDS_BOUNDS, waited_s);
+                        trace.record(t_done, i as u32, || EventKind::BarrierExit { waited_s });
                         clocks[i] = t_done;
                         states[i] = PeState::Runnable;
                         gens[i] += 1;
@@ -438,6 +519,8 @@ impl Simulator {
                     oom: &mut oom,
                     delivered: &mut delivered,
                     phase_entry: &mut phase_entry,
+                    trace,
+                    metrics: &mut metrics,
                 };
                 program.step(&mut ctx)
             };
@@ -461,7 +544,10 @@ impl Simulator {
                     let idle = wake - clocks[dst];
                     stats[dst].charge(Category::Idle, idle);
                     if states[dst] == PeState::InBarrier {
-                        stats[dst].barrier_wait_s += wake - barrier_entry[dst];
+                        let waited_s = wake - barrier_entry[dst];
+                        stats[dst].barrier_wait_s += waited_s;
+                        metrics.observe("barrier.wait_s", mbounds::SECONDS_BOUNDS, waited_s);
+                        trace.record(wake, dst as u32, || EventKind::BarrierExit { waited_s });
                     }
                     clocks[dst] = wake;
                     states[dst] = PeState::Runnable;
@@ -501,6 +587,7 @@ impl Simulator {
                         states[pe] = PeState::InBarrier;
                         barrier_entry[pe] = clocks[pe];
                         stats[pe].barriers += 1;
+                        trace.record(clocks[pe], pe as u32, || EventKind::BarrierEnter);
                     }
                 }
                 Step::Done => {
@@ -533,6 +620,7 @@ impl Simulator {
             node_mem_peak: mem.peaks().to_vec(),
             barriers_completed,
             phase_time,
+            metrics,
         })
     }
 }

@@ -7,10 +7,9 @@
 //! FA-BSP design removes), and per-node peak memory (the OOM annotations of
 //! Fig 8 and the protocol memory of Fig 2).
 
-use serde::{Deserialize, Serialize};
 
 /// Where a PE's virtual time went.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Integer/ALU work (k-mer rolling, hashing, sort passes).
     Compute,
@@ -25,7 +24,7 @@ pub enum Category {
 }
 
 /// Per-PE counters.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PeStats {
     /// Seconds of integer compute.
     pub compute_s: f64,
@@ -78,7 +77,7 @@ impl PeStats {
 }
 
 /// The result of a completed simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Virtual makespan: the maximum PE clock at completion.
     pub total_time: f64,
@@ -92,6 +91,10 @@ pub struct SimReport {
     /// [`crate::Ctx::set_phase`]. `phase_time[p]` is the virtual time span
     /// during which phase `p` was the latest phase entered.
     pub phase_time: Vec<f64>,
+    /// Named counters and histograms recorded during the run (merged
+    /// across PEs): packet fill ratios, payload sizes, barrier waits, hop
+    /// counts. Empty unless the program observed anything.
+    pub metrics: crate::telemetry::MetricsRegistry,
 }
 
 impl SimReport {
@@ -162,19 +165,20 @@ mod tests {
 
     #[test]
     fn report_aggregates() {
-        let mut a = PeStats::default();
-        a.compute_s = 1.0;
-        a.bytes_sent_remote = 100;
-        let mut b = PeStats::default();
-        b.internode_s = 3.0;
-        b.bytes_sent_local = 7;
-        b.msgs_sent_local = 1;
+        let a = PeStats { compute_s: 1.0, bytes_sent_remote: 100, ..Default::default() };
+        let b = PeStats {
+            internode_s: 3.0,
+            bytes_sent_local: 7,
+            msgs_sent_local: 1,
+            ..Default::default()
+        };
         let r = SimReport {
             total_time: 3.0,
             pes: vec![a, b],
             node_mem_peak: vec![10, 20],
             barriers_completed: 0,
             phase_time: vec![],
+            metrics: Default::default(),
         };
         assert_eq!(r.remote_bytes(), 100);
         assert_eq!(r.local_bytes(), 7);

@@ -1,0 +1,287 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders a recorded event stream as the Trace Event Format understood by
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`: one
+//! process per node, one thread track per PE, `"B"`/`"E"` duration slices
+//! for barrier occupancy, `"i"` instants for everything punctual, and
+//! `"C"` counter tracks for inbox queue depth and per-node live memory.
+//! Timestamps are converted from seconds (virtual or wall-clock) to the
+//! format's microseconds.
+//!
+//! The writer is hand-rolled and appends events in recording order with
+//! `f64` rendered via `Display`, so identical runs export byte-identical
+//! traces.
+
+use super::event::{Event, EventKind};
+use super::metrics::fmt_num;
+
+/// Microseconds per second — trace-event timestamps are in µs.
+const US: f64 = 1e6;
+
+/// Renders `events` as a complete Chrome trace-event JSON document.
+///
+/// `pes_per_node` maps PE ids onto process tracks (node = pe / ppn); pass
+/// the machine's PEs-per-node for the simulator or the thread count for a
+/// single-node threaded run.
+pub fn chrome_trace(events: &[Event], pes_per_node: usize) -> String {
+    let ppn = pes_per_node.max(1) as u32;
+    let mut w = Writer::new();
+
+    // Metadata: name each node process and PE thread once, in id order.
+    let mut pes: Vec<u32> = events.iter().map(|e| e.pe).collect();
+    pes.sort_unstable();
+    pes.dedup();
+    let mut nodes: Vec<u32> = pes.iter().map(|pe| pe / ppn).collect();
+    nodes.dedup();
+    for node in &nodes {
+        w.meta("process_name", *node, 0, &format!("node{node}"));
+    }
+    for pe in &pes {
+        w.meta("thread_name", pe / ppn, *pe, &format!("pe{pe}"));
+    }
+
+    for e in events {
+        let node = e.pe / ppn;
+        let ts = e.ts * US;
+        match e.kind {
+            EventKind::MsgSend { dst, tag, bytes } => {
+                w.instant(e, node, ts, &[
+                    ("dst", Arg::U(dst as u64)),
+                    ("tag", Arg::U(tag as u64)),
+                    ("bytes", Arg::U(bytes as u64)),
+                ]);
+            }
+            EventKind::MsgDeliver { src, tag, bytes } => {
+                w.instant(e, node, ts, &[
+                    ("src", Arg::U(src as u64)),
+                    ("tag", Arg::U(tag as u64)),
+                    ("bytes", Arg::U(bytes as u64)),
+                ]);
+            }
+            EventKind::PutFlush { hop, bytes, fill_pct } => {
+                w.instant(e, node, ts, &[
+                    ("hop", Arg::U(hop as u64)),
+                    ("bytes", Arg::U(bytes as u64)),
+                    ("fill_pct", Arg::U(fill_pct as u64)),
+                ]);
+            }
+            EventKind::L1Drain { packets } => {
+                w.instant(e, node, ts, &[("packets", Arg::U(packets as u64))]);
+            }
+            EventKind::L2Ship { dst, records, fill_pct, heavy } => {
+                w.instant(e, node, ts, &[
+                    ("dst", Arg::U(dst as u64)),
+                    ("records", Arg::U(records as u64)),
+                    ("fill_pct", Arg::U(fill_pct as u64)),
+                    ("heavy", Arg::B(heavy)),
+                ]);
+            }
+            EventKind::L3Flush { occupancy, cap } => {
+                w.instant(e, node, ts, &[
+                    ("occupancy", Arg::U(occupancy as u64)),
+                    ("cap", Arg::U(cap as u64)),
+                ]);
+            }
+            EventKind::BarrierEnter => {
+                w.slice('B', "barrier", node, e.pe, ts, &[]);
+            }
+            EventKind::BarrierExit { waited_s } => {
+                w.slice('E', "barrier", node, e.pe, ts, &[("waited_s", Arg::F(waited_s))]);
+            }
+            EventKind::Phase { phase } => {
+                w.instant(e, node, ts, &[("phase", Arg::U(phase as u64))]);
+            }
+            EventKind::MemAlloc { bytes, now } => {
+                w.instant(e, node, ts, &[("bytes", Arg::U(bytes)), ("now", Arg::U(now))]);
+            }
+            EventKind::MemFree { bytes, now } => {
+                w.instant(e, node, ts, &[("bytes", Arg::U(bytes)), ("now", Arg::U(now))]);
+            }
+            EventKind::Oom { bytes } => {
+                w.instant(e, node, ts, &[("bytes", Arg::U(bytes))]);
+            }
+            EventKind::QueueDepth { depth } => {
+                // Counter track per PE: pid = node, name carries the PE id
+                // so tracks don't collapse into one series.
+                w.counter(&format!("queue_depth/pe{}", e.pe), node, e.pe, ts, &[(
+                    "depth",
+                    Arg::U(depth as u64),
+                )]);
+            }
+            EventKind::NodeMem { node: n, bytes } => {
+                w.counter("node_mem", n, e.pe, ts, &[("bytes", Arg::U(bytes))]);
+            }
+        }
+    }
+
+    w.finish()
+}
+
+/// An argument value in a trace event's `args` object.
+enum Arg {
+    U(u64),
+    F(f64),
+    B(bool),
+}
+
+struct Writer {
+    out: String,
+    first: bool,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self {
+            out: String::from("{\"traceEvents\":[\n"),
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push_str(",\n");
+        }
+    }
+
+    fn args(&mut self, args: &[(&str, Arg)]) {
+        self.out.push_str("\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push('"');
+            self.out.push_str(k);
+            self.out.push_str("\":");
+            match v {
+                Arg::U(n) => self.out.push_str(&n.to_string()),
+                Arg::F(f) => self.out.push_str(&fmt_num(*f)),
+                Arg::B(b) => self.out.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        self.out.push('}');
+    }
+
+    fn meta(&mut self, what: &str, pid: u32, tid: u32, name: &str) {
+        self.sep();
+        self.out.push_str(&format!(
+            "{{\"name\":\"{what}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+    }
+
+    fn instant(&mut self, e: &Event, pid: u32, ts: f64, args: &[(&str, Arg)]) {
+        self.sep();
+        self.out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{},\"ts\":{},",
+            e.kind.name(),
+            e.pe,
+            fmt_num(ts)
+        ));
+        self.args(args);
+        self.out.push('}');
+    }
+
+    fn slice(&mut self, ph: char, name: &str, pid: u32, tid: u32, ts: f64, args: &[(&str, Arg)]) {
+        self.sep();
+        self.out.push_str(&format!(
+            "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},",
+            fmt_num(ts)
+        ));
+        self.args(args);
+        self.out.push('}');
+    }
+
+    fn counter(&mut self, name: &str, pid: u32, tid: u32, ts: f64, args: &[(&str, Arg)]) {
+        self.sep();
+        self.out.push_str(&format!(
+            "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},",
+            fmt_num(ts)
+        ));
+        self.args(args);
+        self.out.push('}');
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::json::parse;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event { ts: 0.0, pe: 0, kind: EventKind::Phase { phase: 0 } },
+            Event {
+                ts: 1e-6,
+                pe: 0,
+                kind: EventKind::MsgSend { dst: 1, tag: 7, bytes: 128 },
+            },
+            Event {
+                ts: 2e-6,
+                pe: 1,
+                kind: EventKind::MsgDeliver { src: 0, tag: 7, bytes: 128 },
+            },
+            Event { ts: 3e-6, pe: 1, kind: EventKind::BarrierEnter },
+            Event {
+                ts: 4e-6,
+                pe: 1,
+                kind: EventKind::BarrierExit { waited_s: 1e-6 },
+            },
+            Event { ts: 4e-6, pe: 0, kind: EventKind::QueueDepth { depth: 3 } },
+            Event {
+                ts: 5e-6,
+                pe: 0,
+                kind: EventKind::NodeMem { node: 0, bytes: 4096 },
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_expected_tracks() {
+        let trace = chrome_trace(&sample_events(), 2);
+        let doc = parse(&trace).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).expect("array");
+
+        // Metadata names for the node process and both PE threads.
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 3, "1 process + 2 thread name records");
+
+        // Barrier B/E pair is balanced on the same track.
+        let b = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B"))
+            .expect("barrier begin");
+        let end = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("E"))
+            .expect("barrier end");
+        assert_eq!(b.get("tid"), end.get("tid"));
+        assert!(
+            b.get("ts").and_then(|t| t.as_f64()) <= end.get("ts").and_then(|t| t.as_f64())
+        );
+
+        // Counter tracks exist for queue depth and node memory.
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                && e.get("name").and_then(|n| n.as_str()) == Some("queue_depth/pe0")
+        }));
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                && e.get("name").and_then(|n| n.as_str()) == Some("node_mem")
+        }));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let ev = sample_events();
+        assert_eq!(chrome_trace(&ev, 2), chrome_trace(&ev, 2));
+    }
+}

@@ -1,0 +1,140 @@
+//! Trace event vocabulary.
+//!
+//! One variant per instrumented point in the stack: the simulator core
+//! (messages, barriers, phases, memory), the conveyor layer (L0 PUT
+//! flushes, hop-routed records), and the aggregation cascade (L1 packet
+//! drains, L2 packet ships, L3 batch flushes). Events are small POD values
+//! so recording one is a handful of moves.
+
+/// A single trace event: *when*, *where*, *what*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Timestamp in seconds — virtual time in the simulator, wall-clock
+    /// seconds since run start in the threaded engine.
+    pub ts: f64,
+    /// The PE (simulator) or worker thread (threaded engine) that recorded
+    /// the event.
+    pub pe: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// What happened at an instrumented point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A message left this PE.
+    MsgSend {
+        /// Destination PE.
+        dst: u32,
+        /// Channel tag.
+        tag: u32,
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// A message was delivered through `poll`.
+    MsgDeliver {
+        /// Originating PE.
+        src: u32,
+        /// Channel tag.
+        tag: u32,
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// An L0 conveyor PUT buffer was flushed onto the wire.
+    PutFlush {
+        /// Next-hop PE the buffer was sent to.
+        hop: u32,
+        /// Bytes in the flushed buffer.
+        bytes: u32,
+        /// Percent of the configured `C0` capacity that was used.
+        fill_pct: u8,
+    },
+    /// The L1 actor stage drained its staged packets into the conveyor.
+    L1Drain {
+        /// Packets drained.
+        packets: u32,
+    },
+    /// An L2 packet was shipped to its destination PE.
+    L2Ship {
+        /// Destination PE.
+        dst: u32,
+        /// k-mer records in the packet.
+        records: u32,
+        /// Percent of the configured `C2` capacity that was used.
+        fill_pct: u8,
+        /// Heavy-hitter (`{k-mer, count}` pair) packet rather than plain.
+        heavy: bool,
+    },
+    /// The L3 pre-accumulation buffer was flushed.
+    L3Flush {
+        /// Occurrences in the buffer at flush.
+        occupancy: u32,
+        /// Configured `C3` capacity.
+        cap: u32,
+    },
+    /// The PE entered the global barrier.
+    BarrierEnter,
+    /// The PE left the barrier (woken by a late message or released).
+    BarrierExit {
+        /// Seconds spent inside since the matching enter.
+        waited_s: f64,
+    },
+    /// The PE entered a program phase.
+    Phase {
+        /// 0-based phase id.
+        phase: u32,
+    },
+    /// Memory was allocated.
+    MemAlloc {
+        /// Bytes allocated.
+        bytes: u64,
+        /// PE-local live bytes after the allocation.
+        now: u64,
+    },
+    /// Memory was freed.
+    MemFree {
+        /// Bytes freed.
+        bytes: u64,
+        /// PE-local live bytes after the free.
+        now: u64,
+    },
+    /// An allocation tripped the node budget.
+    Oom {
+        /// Bytes of the failed allocation.
+        bytes: u64,
+    },
+    /// Counter sample: pending (undelivered) messages in this PE's inbox.
+    QueueDepth {
+        /// Messages pending after the poll.
+        depth: u32,
+    },
+    /// Counter sample: live bytes on a node.
+    NodeMem {
+        /// Node id.
+        node: u32,
+        /// Live bytes.
+        bytes: u64,
+    },
+}
+
+impl EventKind {
+    /// Short stable name used for trace-track labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::MsgSend { .. } => "msg_send",
+            EventKind::MsgDeliver { .. } => "msg_deliver",
+            EventKind::PutFlush { .. } => "put_flush",
+            EventKind::L1Drain { .. } => "l1_drain",
+            EventKind::L2Ship { .. } => "l2_ship",
+            EventKind::L3Flush { .. } => "l3_flush",
+            EventKind::BarrierEnter => "barrier_enter",
+            EventKind::BarrierExit { .. } => "barrier",
+            EventKind::Phase { .. } => "phase",
+            EventKind::MemAlloc { .. } => "mem_alloc",
+            EventKind::MemFree { .. } => "mem_free",
+            EventKind::Oom { .. } => "oom",
+            EventKind::QueueDepth { .. } => "queue_depth",
+            EventKind::NodeMem { .. } => "node_mem",
+        }
+    }
+}

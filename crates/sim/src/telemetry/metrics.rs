@@ -1,0 +1,396 @@
+//! Named counters and fixed-bucket histograms.
+//!
+//! Means hide exactly what the paper's tuning decisions need: whether L2
+//! packets ship full or half-empty, whether L3 batches flush at capacity,
+//! how long each PE sat in the barrier. A [`Histogram`] answers those as a
+//! distribution; the [`MetricsRegistry`] keys them by name with
+//! deterministic (sorted) iteration so two identical runs render
+//! byte-identical JSON.
+
+use std::collections::BTreeMap;
+
+use super::json::escape;
+
+/// Bucket bounds for percent-valued metrics (fill ratios, occupancy).
+pub const PCT_BOUNDS: &[f64] = &[10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0];
+
+/// Bucket bounds for payload sizes in bytes (powers of four).
+pub const BYTES_BOUNDS: &[f64] =
+    &[64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0];
+
+/// Bucket bounds for barrier waits in (virtual) seconds.
+pub const SECONDS_BOUNDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+/// Bucket bounds for message hop counts.
+pub const HOPS_BOUNDS: &[f64] = &[0.0, 1.0, 2.0, 3.0, 4.0];
+
+/// A fixed-bucket histogram with conserved totals under merge.
+///
+/// `counts[i]` counts observations `v <= bounds[i]` (and greater than the
+/// previous bound); the final slot counts overflow beyond the last bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over `bounds` (must be non-empty and ascending).
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly ascending"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records `n` identical observations of `v` (used to fold locally
+    /// accumulated per-record tallies in one call).
+    pub fn observe_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += n;
+        self.sum += v * n as f64;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds `other` into `self`. Merging is associative and commutative and
+    /// conserves total counts; both sides must share bucket bounds.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean observation, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum / n as f64
+        }
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count() > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count() > 0).then_some(self.max)
+    }
+
+    fn to_json(&self, out: &mut String) {
+        out.push_str("{\"bounds\":[");
+        for (i, b) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&fmt_num(*b));
+        }
+        out.push_str("],\"counts\":[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+        out.push_str("],\"count\":");
+        out.push_str(&self.count().to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&fmt_num(self.sum));
+        if self.count() > 0 {
+            out.push_str(",\"min\":");
+            out.push_str(&fmt_num(self.min));
+            out.push_str(",\"max\":");
+            out.push_str(&fmt_num(self.max));
+        }
+        out.push('}');
+    }
+}
+
+/// Formats an f64 as JSON (no NaN/Inf — clamped to null-safe 0).
+pub(crate) fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Named counters + histograms with deterministic iteration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at 0).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += by,
+            None => {
+                self.counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    /// Records `v` into histogram `name`, creating it over `bounds` on
+    /// first use. Later calls ignore `bounds` (the first registration
+    /// wins), so pass the same constant everywhere.
+    pub fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                let mut h = Histogram::with_bounds(bounds);
+                h.observe(v);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Records `n` identical observations of `v` into histogram `name`
+    /// (see [`MetricsRegistry::observe`] for the bounds contract).
+    pub fn observe_n(&mut self, name: &str, bounds: &[f64], v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe_n(v, n),
+            None => {
+                let mut h = Histogram::with_bounds(bounds);
+                h.observe_n(v, n);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Counter value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, name-sorted.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms, name-sorted.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges `other` into `self` (counters add, histograms merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.inc(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Deterministic JSON rendering:
+    /// `{"counters":{...},"histograms":{name:{bounds,counts,count,sum,min,max}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(k));
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(k));
+            out.push_str("\":");
+            h.to_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Human-readable rendering, one metric per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k:<28} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{k:<28} n={} mean={:.3} min={:.3} max={:.3}\n",
+                h.count(),
+                h.mean(),
+                h.min().unwrap_or(0.0),
+                h.max().unwrap_or(0.0)
+            ));
+            let total = h.count().max(1);
+            let labels: Vec<String> = h
+                .bounds
+                .iter()
+                .map(|b| format!("<={b}"))
+                .chain(std::iter::once(format!(">{}", h.bounds.last().unwrap())))
+                .collect();
+            for (label, c) in labels.iter().zip(&h.counts) {
+                if *c == 0 {
+                    continue;
+                }
+                let bar = "#".repeat(((c * 40) / total).max(1) as usize);
+                out.push_str(&format!("  {label:>12} {c:>8} {bar}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_and_totals() {
+        let mut h = Histogram::with_bounds(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(500.0));
+    }
+
+    #[test]
+    fn merge_conserves_and_is_associative() {
+        let mk = |vals: &[f64]| {
+            let mut h = Histogram::with_bounds(PCT_BOUNDS);
+            for &v in vals {
+                h.observe(v);
+            }
+            h
+        };
+        let a = mk(&[5.0, 60.0]);
+        let b = mk(&[95.0]);
+        let c = mk(&[100.0, 12.0, 30.0]);
+
+        // (a+b)+c == a+(b+c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.count(), 6);
+    }
+
+    #[test]
+    fn registry_json_is_sorted_and_parses() {
+        let mut m = MetricsRegistry::new();
+        m.inc("z.last", 2);
+        m.inc("a.first", 1);
+        m.observe("fill", PCT_BOUNDS, 50.0);
+        let j = m.to_json();
+        assert!(j.find("a.first").unwrap() < j.find("z.last").unwrap());
+        let parsed = crate::telemetry::json::parse(&j).expect("valid JSON");
+        assert_eq!(
+            parsed.get("counters").and_then(|c| c.get("a.first")).and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn registry_merge_adds() {
+        let mut a = MetricsRegistry::new();
+        a.inc("x", 1);
+        a.observe("h", PCT_BOUNDS, 10.0);
+        let mut b = MetricsRegistry::new();
+        b.inc("x", 2);
+        b.inc("y", 5);
+        b.observe("h", PCT_BOUNDS, 90.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 5);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Flight-recorder telemetry: event tracing, metrics, JSON export.
+//!
+//! Three pillars (all dependency-free):
+//!
+//! * [`TraceSink`] + [`Event`] — an optionally-enabled ring-buffered
+//!   event trace recorded at virtual timestamps inside the simulator (and
+//!   at wall-clock timestamps by the threaded engine). Disabled tracing is
+//!   a single enum-discriminant branch per hook: the event-constructing
+//!   closure is never called.
+//! * [`MetricsRegistry`] — named counters and fixed-bucket histograms
+//!   (packet fill ratios, batch occupancy, payload sizes, barrier waits,
+//!   hop counts) attached to every [`crate::SimReport`].
+//! * [`chrome`] / [`json`] — a hand-rolled Chrome trace-event JSON writer
+//!   (viewable in Perfetto or `chrome://tracing`) and a tiny JSON reader
+//!   used by tests and artifact validation.
+//!
+//! Everything here is deterministic: identical runs produce byte-identical
+//! traces and metrics JSON, preserving the simulator's core invariant.
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod ring;
+
+pub use chrome::chrome_trace;
+pub use event::{Event, EventKind};
+pub use json::JsonValue;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use ring::TraceSink;

@@ -1,0 +1,155 @@
+//! The flight recorder: an optionally-enabled ring buffer of events.
+//!
+//! [`TraceSink::Off`] makes every hook a single discriminant test — the
+//! event-constructing closure passed to [`TraceSink::record`] is never
+//! invoked, so disabled tracing costs nothing measurable (verified by the
+//! `telemetry` Criterion bench in `dakc-bench`). [`TraceSink::Ring`]
+//! keeps the most recent `capacity` events, counting what it evicted, the
+//! way a hardware flight recorder keeps the last minutes before an
+//! incident.
+
+use super::event::{Event, EventKind};
+
+/// Default ring capacity: enough for every event of a bench-scale sim run
+/// while bounding memory for production-scale ones.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+/// Where trace events go.
+#[derive(Debug, Clone)]
+pub enum TraceSink {
+    /// Tracing disabled; hooks are no-ops.
+    Off,
+    /// Record into a bounded ring.
+    Ring(FlightRecorder),
+}
+
+impl TraceSink {
+    /// An enabled sink keeping the most recent `capacity` events.
+    pub fn ring(capacity: usize) -> Self {
+        TraceSink::Ring(FlightRecorder::new(capacity))
+    }
+
+    /// An enabled sink with [`DEFAULT_RING_CAPACITY`].
+    pub fn ring_default() -> Self {
+        Self::ring(DEFAULT_RING_CAPACITY)
+    }
+
+    /// `true` when events are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        matches!(self, TraceSink::Ring(_))
+    }
+
+    /// Records an event. `make` is only called when the sink is enabled, so
+    /// argument construction is free when tracing is off.
+    #[inline]
+    pub fn record(&mut self, ts: f64, pe: u32, make: impl FnOnce() -> EventKind) {
+        if let TraceSink::Ring(r) = self {
+            r.push(Event { ts, pe, kind: make() });
+        }
+    }
+
+    /// The recorded events in chronological (recording) order. Empty when
+    /// the sink is off.
+    pub fn events(&self) -> Vec<Event> {
+        match self {
+            TraceSink::Off => Vec::new(),
+            TraceSink::Ring(r) => r.in_order(),
+        }
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        match self {
+            TraceSink::Off => 0,
+            TraceSink::Ring(r) => r.dropped,
+        }
+    }
+}
+
+/// Fixed-capacity overwrite-oldest event buffer.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index the next event will be written at once the ring has wrapped.
+    head: usize,
+    /// Events evicted so far.
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self {
+            buf: Vec::new(),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, e: Event) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events oldest-first.
+    fn in_order(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_sink_never_calls_closure() {
+        let mut sink = TraceSink::Off;
+        sink.record(0.0, 0, || panic!("must not be constructed"));
+        assert!(sink.events().is_empty());
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut sink = TraceSink::ring(3);
+        for i in 0..5u32 {
+            sink.record(i as f64, 0, || EventKind::Phase { phase: i });
+        }
+        let ev = sink.events();
+        assert_eq!(ev.len(), 3);
+        let phases: Vec<u32> = ev
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Phase { phase } => phase,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(phases, vec![2, 3, 4]);
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn unwrapped_ring_is_chronological() {
+        let mut sink = TraceSink::ring(10);
+        for i in 0..4u32 {
+            sink.record(i as f64, i, || EventKind::BarrierEnter);
+        }
+        let ev = sink.events();
+        assert_eq!(ev.len(), 4);
+        assert!(ev.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert_eq!(sink.dropped(), 0);
+    }
+}

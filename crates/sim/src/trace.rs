@@ -26,19 +26,24 @@ impl<'a> Timeline<'a> {
     }
 
     /// One PE's bar: `C` compute, `M` intranode memory, `N` internode,
-    /// `.` idle — proportional to that PE's accounted time.
+    /// `B` barrier idle, `.` other idle — proportional to that PE's
+    /// accounted time. Barrier idle is split out because it is the
+    /// synchronization waste the FA-BSP design attacks: a BSP run shows
+    /// wide `B` bands at every round, DAKC only at the drain.
     pub fn pe_bar(&self, pe: usize) -> String {
         let s = &self.report.pes[pe];
         let total = s.compute_s + s.intranode_s + s.internode_s + s.idle_s;
         if total <= 0.0 {
             return " ".repeat(self.width);
         }
+        let barrier_idle = s.barrier_wait_s.min(s.idle_s);
         let mut bar = String::with_capacity(self.width);
         let segments = [
             (s.compute_s, 'C'),
             (s.intranode_s, 'M'),
             (s.internode_s, 'N'),
-            (s.idle_s, '.'),
+            (barrier_idle, 'B'),
+            (s.idle_s - barrier_idle, '.'),
         ];
         let mut emitted = 0usize;
         for (i, (secs, ch)) in segments.iter().enumerate() {
@@ -48,20 +53,63 @@ impl<'a> Timeline<'a> {
                 ((secs / total) * self.width as f64).round() as usize
             };
             let cells = cells.min(self.width - emitted);
-            bar.extend(std::iter::repeat(*ch).take(cells));
+            bar.extend(std::iter::repeat_n(*ch, cells));
             emitted += cells;
         }
         bar
     }
 
-    /// The whole machine, one line per PE, with a legend and the makespan.
+    /// A width-aligned ruler marking the virtual-time span of each program
+    /// phase (`p0`, `p1`, …) under the same scale as the bars, or `None`
+    /// when the run declared no phases via [`crate::Ctx::set_phase`].
+    pub fn phase_ruler(&self) -> Option<String> {
+        let total = self.report.total_time;
+        if self.report.phase_time.is_empty() || total <= 0.0 {
+            return None;
+        }
+        let n = self.report.phase_time.len();
+        let mut out = String::with_capacity(self.width);
+        let mut emitted = 0usize;
+        for (i, span) in self.report.phase_time.iter().enumerate() {
+            let cells = if i + 1 == n {
+                self.width - emitted
+            } else {
+                (((span / total) * self.width as f64).round() as usize)
+                    .min(self.width - emitted)
+            };
+            if cells == 0 {
+                continue;
+            }
+            let label = format!("p{i}");
+            out.push('|');
+            let mut used = 1usize;
+            for c in label.chars().take(cells.saturating_sub(1)) {
+                out.push(c);
+                used += 1;
+            }
+            for _ in used..cells {
+                out.push('-');
+            }
+            emitted += cells;
+        }
+        for _ in emitted..self.width {
+            out.push('-');
+        }
+        Some(out)
+    }
+
+    /// The whole machine, one line per PE, with a legend, the makespan and
+    /// (when phases were declared) a phase ruler above the bars.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "timeline ({} PEs, makespan {:.6}s) — C compute, M intranode, N internode, . idle\n",
+            "timeline ({} PEs, makespan {:.6}s) — C compute, M intranode, N internode, B barrier idle, . idle\n",
             self.report.pes.len(),
             self.report.total_time
         ));
+        if let Some(ruler) = self.phase_ruler() {
+            out.push_str(&format!("phase  |{ruler}|\n"));
+        }
         for pe in 0..self.report.pes.len() {
             out.push_str(&format!("PE{pe:>4} |{}|\n", self.pe_bar(pe)));
         }
@@ -142,8 +190,19 @@ mod tests {
         let t = Timeline::new(&r);
         let fast = t.pe_bar(0);
         let slow = t.pe_bar(1);
-        assert!(fast.matches('.').count() > slow.matches('.').count());
+        let idle = |bar: &str| bar.matches(['.', 'B']).count();
+        assert!(idle(&fast) > idle(&slow));
         assert!(slow.matches('C').count() > fast.matches('C').count());
+    }
+
+    #[test]
+    fn barrier_wait_renders_as_b_overlay() {
+        // The fast PE's idle time is spent waiting at the quiescence
+        // barrier for the slow PE, so its bar must show `B`, not `.`.
+        let r = report_for(&[1_000_000, 10_000_000]);
+        let t = Timeline::new(&r);
+        assert!(t.pe_bar(0).contains('B'), "{:?}", t.pe_bar(0));
+        assert!(r.pes[0].barrier_wait_s > 0.0);
     }
 
     #[test]
@@ -160,6 +219,54 @@ mod tests {
         let s = Timeline::new(&r).summary();
         assert!(s.contains("busy split"));
         assert!(s.contains("idle fraction"));
+    }
+
+    #[test]
+    fn phase_ruler_matches_declared_phases() {
+        struct Phased {
+            state: u8,
+        }
+        impl Program for Phased {
+            fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+                match self.state {
+                    0 => {
+                        ctx.set_phase(0);
+                        ctx.charge_ops(1_000_000);
+                        self.state = 1;
+                        Step::Barrier
+                    }
+                    1 => {
+                        ctx.set_phase(1);
+                        ctx.charge_ops(3_000_000);
+                        self.state = 2;
+                        Step::Barrier
+                    }
+                    _ => Step::Done,
+                }
+            }
+        }
+        let machine = MachineConfig::test_machine(1, 2);
+        let r = Simulator::new(machine)
+            .run(vec![
+                Box::new(Phased { state: 0 }),
+                Box::new(Phased { state: 0 }),
+            ])
+            .unwrap();
+        let t = Timeline::new(&r);
+        let ruler = t.phase_ruler().expect("two phases declared");
+        assert_eq!(ruler.chars().count(), t.width);
+        assert!(ruler.contains("p0") && ruler.contains("p1"), "{ruler:?}");
+        // p1 does 3x the work of p0, so it must occupy more cells.
+        let p1_at = ruler.find("|p1").unwrap();
+        assert!(t.width - p1_at > p1_at, "{ruler:?}");
+        assert!(t.render().contains("phase  |"));
+    }
+
+    #[test]
+    fn no_phases_no_ruler() {
+        let r = report_for(&[1, 2]);
+        assert!(Timeline::new(&r).phase_ruler().is_none());
+        assert_eq!(Timeline::new(&r).render().lines().count(), 3);
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn sort_rec<K: RadixKey>(data: &mut [K], level: usize) {
         hist[k.radix_at(level) as usize] += 1;
     }
 
-    if hist.iter().any(|&c| c == data.len()) {
+    if hist.contains(&data.len()) {
         // Constant digit: either descend or, at the last level, done
         // (all remaining digits equal ⇒ keys equal ⇒ sorted).
         if level > 0 {

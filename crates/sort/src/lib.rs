@@ -12,7 +12,7 @@
 //!   radix with a comparison-sort fallback heuristic for small buckets and a
 //!   pre-pass that skips already-sorted input (the behaviour §V-A relies on
 //!   when the model over-predicts phase-2 cache misses).
-//! * [`parallel`] — multi-threaded radix sort on crossbeam scoped threads
+//! * [`parallel`] — multi-threaded radix sort on scoped threads
 //!   (the intra-node hybrid parallelism of HySortK and KMC3).
 //! * [`quicksort`] — a classic median-of-three quicksort: the sort used by
 //!   the *original* PakMan kernel, kept as a baseline so Figure 6's

@@ -40,7 +40,7 @@ pub fn lsd_radix_sort_by<T: Copy, K: RadixKey>(data: &mut Vec<T>, key: impl Fn(&
             hist[key(t).radix_at(level) as usize] += 1;
         }
         // Constant digit ⇒ the pass is the identity permutation; skip it.
-        if hist.iter().any(|&c| c == src.len()) {
+        if hist.contains(&src.len()) {
             continue;
         }
         let mut offsets = [0usize; 256];

@@ -30,7 +30,7 @@ fn sort_level<K: RadixKey>(data: &mut [K], level: usize) {
     }
 
     // A constant digit contributes nothing; descend directly.
-    if hist.iter().any(|&c| c == data.len()) {
+    if hist.contains(&data.len()) {
         if level > 0 {
             sort_level(data, level - 1);
         } else {

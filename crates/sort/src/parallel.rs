@@ -1,4 +1,4 @@
-//! Multi-threaded radix sort on crossbeam scoped threads.
+//! Multi-threaded radix sort on scoped threads.
 //!
 //! This is the intra-node "hybrid parallelism" substrate of the HySortK and
 //! KMC3 baselines (paper §II): a two-phase bucket sort —
@@ -33,11 +33,11 @@ pub fn parallel_radix_sort<K: RadixKey>(data: &mut Vec<K>, threads: usize) {
     // Phase 1: parallel partition into per-thread bucket vectors.
     let chunk = data.len().div_ceil(threads);
     let chunks: Vec<&[K]> = data.chunks(chunk).collect();
-    let partitioned: Vec<Vec<Vec<K>>> = crossbeam::thread::scope(|s| {
+    let partitioned: Vec<Vec<Vec<K>>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|c| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut buckets: Vec<Vec<K>> = vec![Vec::new(); 256];
                     for &k in *c {
                         buckets[k.radix_at(top) as usize].push(k);
@@ -47,8 +47,7 @@ pub fn parallel_radix_sort<K: RadixKey>(data: &mut Vec<K>, threads: usize) {
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("partition worker")).collect()
-    })
-    .expect("crossbeam scope");
+    });
 
     // Bucket sizes across all threads.
     let mut sizes = [0usize; 256];
@@ -70,7 +69,7 @@ pub fn parallel_radix_sort<K: RadixKey>(data: &mut Vec<K>, threads: usize) {
 
     // Phase 2: fill and sort each bucket in parallel. Buckets are handed
     // out round-robin so one worker never owns all the big ones.
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let partitioned = &partitioned;
         let mut work: Vec<(usize, &mut [K])> = bucket_slices.into_iter().enumerate().collect();
         let mut lanes: Vec<Vec<(usize, &mut [K])>> = (0..threads).map(|_| Vec::new()).collect();
@@ -80,7 +79,7 @@ pub fn parallel_radix_sort<K: RadixKey>(data: &mut Vec<K>, threads: usize) {
             lanes[i % threads].push(item);
         }
         for lane in lanes {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (b, slice) in lane {
                     let mut at = 0usize;
                     for per_thread in partitioned {
@@ -93,8 +92,7 @@ pub fn parallel_radix_sort<K: RadixKey>(data: &mut Vec<K>, threads: usize) {
                 }
             });
         }
-    })
-    .expect("crossbeam scope");
+    });
 }
 
 #[cfg(test)]

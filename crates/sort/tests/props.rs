@@ -99,7 +99,7 @@ proptest! {
         // Expand pairs into repeats and accumulate plainly.
         let mut expanded: Vec<u64> = Vec::new();
         for &(v, c) in &sorted {
-            expanded.extend(std::iter::repeat(v).take(c as usize));
+            expanded.extend(std::iter::repeat_n(v, c as usize));
         }
         let plain = accumulate(&expanded);
         prop_assert_eq!(weighted, plain);

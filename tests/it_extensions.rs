@@ -100,7 +100,8 @@ fn timeline_renders_for_a_real_run() {
     let machine = MachineConfig::test_machine(2, 2);
     let run = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(15), &machine).unwrap();
     let text = dakc_sim::Timeline::new(&run.report).render();
-    assert_eq!(text.lines().count(), 5); // header + 4 PEs
+    assert_eq!(text.lines().count(), 6); // header + phase ruler + 4 PEs
+    assert!(text.contains("phase  |"));
     let summary = dakc_sim::Timeline::new(&run.report).summary();
     assert!(summary.contains("busy split"));
 }
@@ -115,7 +116,7 @@ fn streaming_reader_feeds_the_counter() {
         fq.extend_from_slice(format!("@r{i}\n").as_bytes());
         fq.extend_from_slice(r);
         fq.extend_from_slice(b"\n+\n");
-        fq.extend(std::iter::repeat(b'I').take(r.len()));
+        fq.extend(std::iter::repeat_n(b'I', r.len()));
         fq.push(b'\n');
     }
     let mut reader = FastxReader::new(fq.as_slice());

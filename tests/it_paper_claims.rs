@@ -9,7 +9,14 @@ use dakc_model::closed_forms;
 use dakc_sim::MachineConfig;
 
 fn workload(kmers_target: usize, seed: u64, repeat_fraction: f64) -> ReadSet {
-    let repeats = (repeat_fraction > 0.0).then(|| RepeatProfile::aatgg(repeat_fraction));
+    // Few long arrays rather than RepeatProfile::aatgg's 32: the genomes
+    // here are only a few kb, and an array shorter than k contains no
+    // whole k-mer, i.e. no heavy hitter at all.
+    let repeats = (repeat_fraction > 0.0).then(|| RepeatProfile {
+        unit: b"AATGG".to_vec(),
+        fraction: repeat_fraction,
+        arrays: 4,
+    });
     let genome_bases = (kmers_target / 40).max(1_000);
     let genome = generate_genome(&GenomeSpec { bases: genome_bases, repeats }, seed);
     let read_len = 150;

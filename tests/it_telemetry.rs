@@ -1,0 +1,156 @@
+//! Observability integration tests: the exported Chrome trace is valid
+//! JSON with the promised tracks, timestamps are monotone per PE,
+//! histogram merging is associative and count-conserving, and identical
+//! simulated runs export byte-identical traces and metrics.
+
+use dakc::{count_kmers_sim_traced, count_kmers_threaded_traced, DakcConfig};
+use dakc_io::datasets::synthetic;
+use dakc_kmer::CanonicalMode;
+use dakc_sim::telemetry::json::{self, JsonValue};
+use dakc_sim::telemetry::metrics::{Histogram, PCT_BOUNDS};
+use dakc_sim::telemetry::{chrome_trace, Event};
+use dakc_sim::{MachineConfig, TraceSink};
+use proptest::prelude::*;
+
+fn traced_sim_run() -> (Vec<Event>, String) {
+    let reads = synthetic(21).scaled(14).generate(7);
+    let machine = MachineConfig::test_machine(2, 3);
+    let cfg = DakcConfig::scaled_defaults(15).with_l3();
+    let mut sink = TraceSink::ring_default();
+    let run = count_kmers_sim_traced::<u64>(&reads, &cfg, &machine, &mut sink).unwrap();
+    assert!(!run.counts.is_empty());
+    (sink.events(), run.report.metrics.to_json())
+}
+
+/// Events of a trace JSON document, with (name, ph, pid, tid, ts) pulled out.
+fn trace_rows(doc: &str) -> Vec<(String, String, f64, f64, f64)> {
+    let v = json::parse(doc).expect("trace must be valid JSON");
+    let events = v.get("traceEvents").and_then(JsonValue::as_arr).expect("traceEvents array");
+    events
+        .iter()
+        .map(|e| {
+            (
+                e.get("name").and_then(JsonValue::as_str).unwrap_or_default().to_string(),
+                e.get("ph").and_then(JsonValue::as_str).expect("ph").to_string(),
+                e.get("pid").and_then(JsonValue::as_f64).expect("pid"),
+                e.get("tid").and_then(JsonValue::as_f64).unwrap_or(-1.0),
+                e.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sim_chrome_trace_parses_with_expected_tracks() {
+    let (events, _) = traced_sim_run();
+    assert!(!events.is_empty());
+    let doc = chrome_trace(&events, 3);
+    let rows = trace_rows(&doc);
+
+    // One thread_name metadata record per PE (6 PEs on 2 nodes x 3).
+    let pe_tracks = rows.iter().filter(|r| r.1 == "M" && r.0 == "thread_name").count();
+    assert_eq!(pe_tracks, 6);
+    // Node (process) metadata for both nodes.
+    let node_tracks = rows.iter().filter(|r| r.1 == "M" && r.0 == "process_name").count();
+    assert_eq!(node_tracks, 2);
+    // Counter tracks for queue depth and node memory exist.
+    assert!(rows.iter().any(|r| r.1 == "C" && r.0.starts_with("queue_depth")));
+    assert!(rows.iter().any(|r| r.1 == "C" && r.0 == "node_mem"));
+    // Barrier slices are balanced per tid.
+    for tid in 0..6 {
+        let opens = rows.iter().filter(|r| r.1 == "B" && r.3 == tid as f64).count();
+        let closes = rows.iter().filter(|r| r.1 == "E" && r.3 == tid as f64).count();
+        assert_eq!(opens, closes, "unbalanced barrier slices on tid {tid}");
+    }
+    // At least one non-metadata event per PE.
+    for pe in 0..6 {
+        assert!(
+            rows.iter().any(|r| r.1 != "M" && r.3 == pe as f64),
+            "no events for pe {pe}"
+        );
+    }
+}
+
+#[test]
+fn sim_trace_timestamps_are_monotone_per_pe() {
+    let (events, _) = traced_sim_run();
+    let mut last = [f64::NEG_INFINITY; 6];
+    for e in &events {
+        let pe = e.pe as usize;
+        assert!(
+            e.ts >= last[pe],
+            "pe {pe}: ts {} after {}",
+            e.ts,
+            last[pe]
+        );
+        last[pe] = e.ts;
+    }
+}
+
+#[test]
+fn threaded_trace_timestamps_are_monotone_per_pe() {
+    let reads = synthetic(21).scaled(14).generate(3);
+    let run = count_kmers_threaded_traced::<u64>(
+        &reads,
+        15,
+        CanonicalMode::Forward,
+        3,
+        Some(256),
+        true,
+    );
+    let events = run.trace.expect("tracing requested");
+    assert!(!events.is_empty());
+    let mut last = [f64::NEG_INFINITY; 3];
+    for e in &events {
+        let pe = e.pe as usize;
+        assert!(e.ts >= last[pe], "pe {pe} out of order");
+        last[pe] = e.ts;
+    }
+    // The merged stream covers every worker.
+    for pe in 0..3u32 {
+        assert!(events.iter().any(|e| e.pe == pe), "no events for worker {pe}");
+    }
+    // And it parses as a Chrome trace.
+    assert!(json::parse(&chrome_trace(&events, 3)).is_ok());
+}
+
+#[test]
+fn identical_sim_runs_export_identical_artifacts() {
+    let (ev_a, metrics_a) = traced_sim_run();
+    let (ev_b, metrics_b) = traced_sim_run();
+    assert_eq!(chrome_trace(&ev_a, 3), chrome_trace(&ev_b, 3));
+    assert_eq!(metrics_a, metrics_b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn histogram_merge_is_associative_and_conserves_counts(
+        xs in prop::collection::vec(0u32..120, 0..40),
+        ys in prop::collection::vec(0u32..120, 0..40),
+        zs in prop::collection::vec(0u32..120, 0..40),
+    ) {
+        let mk = |vals: &[u32]| {
+            let mut h = Histogram::with_bounds(PCT_BOUNDS);
+            for &v in vals {
+                h.observe(v as f64);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&xs), mk(&ys), mk(&zs));
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        prop_assert_eq!(&ab_c, &a_bc);
+        prop_assert_eq!(ab_c.count() as usize, xs.len() + ys.len() + zs.len());
+        let bucket_sum: u64 = ab_c.counts().iter().sum();
+        prop_assert_eq!(bucket_sum, ab_c.count());
+    }
+}
