@@ -1,9 +1,11 @@
-//! Verifies the tentpole's zero-cost claim: running the full aggregation
-//! cascade under the simulator with tracing *disabled* must cost the same
-//! as before the telemetry hooks existed (the `TraceSink::Off` arm is one
-//! discriminant test and the event-constructing closures never run).
+//! Verifies the zero-cost claim: running the full aggregation cascade
+//! under the simulator with tracing *disabled* must cost the same as
+//! before the telemetry hooks existed (the `TraceSink::Off` arm is one
+//! discriminant test, the event-constructing closures never run, and a
+//! disabled `FlowSampler` is a single `Option` check per packet open).
 //! Compare `cascade/trace_off` against `cascade/trace_ring` to see what
-//! enabling the flight recorder actually costs.
+//! enabling the flight recorder costs, and against `cascade/flow_full`
+//! for flight recorder + full-rate causal flow tagging.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dakc::{count_kmers_sim_traced, DakcConfig};
@@ -33,6 +35,14 @@ fn bench_cascade_tracing(c: &mut Criterion) {
         b.iter(|| {
             let mut sink = TraceSink::ring_default();
             let run = count_kmers_sim_traced::<u64>(&rs, &cfg, &machine, &mut sink).unwrap();
+            black_box((run.counts.len(), sink.events().len()))
+        })
+    });
+    let flow_cfg = cfg.clone().with_trace_sample(1);
+    g.bench_function("flow_full", |b| {
+        b.iter(|| {
+            let mut sink = TraceSink::ring_default();
+            let run = count_kmers_sim_traced::<u64>(&rs, &flow_cfg, &machine, &mut sink).unwrap();
             black_box((run.counts.len(), sink.events().len()))
         })
     });

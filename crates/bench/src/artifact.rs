@@ -168,6 +168,9 @@ pub fn validate(body: &str) -> Result<String, String> {
         .get("rows")
         .and_then(JsonValue::as_arr)
         .ok_or("rows missing or not an array")?;
+    if rows.is_empty() {
+        return Err("rows is empty (harness produced no measurements)".into());
+    }
     for (i, row) in rows.iter().enumerate() {
         let obj = row
             .as_obj()
@@ -182,7 +185,42 @@ pub fn validate(body: &str) -> Result<String, String> {
             return Err(format!("metrics.{key} missing or not an object"));
         }
     }
+    let histograms = metrics.get("histograms").and_then(JsonValue::as_obj).unwrap();
+    for (name, h) in histograms {
+        validate_histogram(name, h)?;
+    }
     Ok(harness)
+}
+
+/// Checks the internal consistency of one serialized histogram: `counts`
+/// must have exactly one more bucket than `bounds` (the overflow bucket),
+/// and the scalar `count` must equal the sum of the per-bucket counts.
+fn validate_histogram(name: &str, h: &JsonValue) -> Result<(), String> {
+    let arr = |key: &str| {
+        h.get(key)
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| format!("histogram {name:?}: {key} missing or not an array"))
+    };
+    let bounds = arr("bounds")?;
+    let counts = arr("counts")?;
+    if counts.len() != bounds.len() + 1 {
+        return Err(format!(
+            "histogram {name:?}: {} counts for {} bounds (want bounds+1)",
+            counts.len(),
+            bounds.len()
+        ));
+    }
+    let total = h
+        .get("count")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("histogram {name:?}: count missing or not a number"))?;
+    let sum: f64 = counts.iter().filter_map(JsonValue::as_f64).sum();
+    if sum != total {
+        return Err(format!(
+            "histogram {name:?}: count {total} != sum of bucket counts {sum}"
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -222,6 +260,31 @@ mod tests {
         assert!(validate("{\"schema_version\":99}").is_err());
         // Right version but no params.
         assert!(validate("{\"schema_version\":1,\"harness\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_rows() {
+        let args = BenchArgs::default();
+        let a = Artifact::new("no_rows", &args);
+        let err = validate(&a.to_json()).unwrap_err();
+        assert!(err.contains("rows is empty"), "{err}");
+    }
+
+    #[test]
+    fn validate_checks_histogram_consistency() {
+        let mut a = sample();
+        a.metrics().observe("lat", &[1.0, 2.0], 1.5);
+        let good = a.to_json();
+        assert!(validate(&good).is_ok());
+        // Bucket counts that no longer sum to `count`.
+        let bad_sum = good.replace("\"counts\":[0,1,0],\"count\":1", "\"counts\":[0,1,1],\"count\":1");
+        assert_ne!(bad_sum, good, "replacement must hit");
+        let err = validate(&bad_sum).unwrap_err();
+        assert!(err.contains("sum of bucket counts"), "{err}");
+        // A counts array that lost its overflow bucket.
+        let bad_len = good.replace("\"counts\":[0,1,0]", "\"counts\":[0,1]");
+        let err = validate(&bad_len).unwrap_err();
+        assert!(err.contains("want bounds+1"), "{err}");
     }
 
     #[test]

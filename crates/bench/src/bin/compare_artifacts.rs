@@ -1,0 +1,62 @@
+//! Compares two directories of bench artifacts and gates on regressions.
+//!
+//! CI's performance gate: after re-running the quick harnesses, compare
+//! the fresh `results/` against the committed `results/baselines/` and
+//! fail when any duration cell got more than `--threshold` times slower.
+//!
+//! ```text
+//! cargo run --release -p dakc-bench --bin compare_artifacts -- \
+//!     results/baselines results [--threshold 2.0]
+//! ```
+//!
+//! Exit status: `0` when every matched cell is within the threshold,
+//! `1` on regressions or usage/IO errors. Rows present on only one side
+//! are reported but do not fail the gate (baselines may cover a subset).
+
+use std::path::Path;
+
+use dakc_bench::compare::compare_dirs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dirs: Vec<&str> = Vec::new();
+    let mut threshold = 2.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| *t > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --threshold needs a positive number");
+                        std::process::exit(1);
+                    });
+            }
+            other => dirs.push(other),
+        }
+    }
+    let [baseline, current] = dirs[..] else {
+        eprintln!("usage: compare_artifacts <baseline_dir> <current_dir> [--threshold 2.0]");
+        std::process::exit(1);
+    };
+    let report = match compare_dirs(Path::new(baseline), Path::new(current)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render(threshold));
+    let regressions = report.regressions(threshold);
+    println!(
+        "{} cell(s) compared, {} unmatched, {} regression(s) at {threshold}x",
+        report.deltas.len(),
+        report.unmatched.len(),
+        regressions.len()
+    );
+    if !regressions.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Artifact-to-artifact regression comparison.
+//!
+//! Loads two directories of bench artifacts (see [`crate::artifact`]),
+//! matches artifacts by harness name and rows by their non-duration cells,
+//! parses every duration cell ([`crate::fmt_secs`] format: `2.500s` /
+//! `2.500ms` / `2.500us`), and reports the per-cell ratio
+//! `current / baseline`. A cell whose ratio exceeds a configurable
+//! threshold is a **regression** — the `compare_artifacts` binary exits
+//! non-zero when any exists, which is the CI performance gate.
+//!
+//! Only duration cells participate: counters, byte sizes and speedup
+//! factors identify the row but are never themselves compared, so a
+//! legitimate change in distinct-k-mer counts does not trip the gate.
+
+use std::path::Path;
+
+use dakc_sim::telemetry::json::{parse, JsonValue};
+
+/// Parses one table cell in [`crate::fmt_secs`] format into seconds.
+///
+/// Returns `None` for anything that is not a plain duration (`"8"`,
+/// `"1.25x"`, `"3.20KiB"`, `"OOM"`), which is how the comparator decides
+/// whether a cell is part of the row key or a measured value.
+pub fn parse_duration(cell: &str) -> Option<f64> {
+    let cell = cell.trim();
+    let (num, scale) = if let Some(n) = cell.strip_suffix("us") {
+        (n, 1e-6)
+    } else if let Some(n) = cell.strip_suffix("ms") {
+        (n, 1e-3)
+    } else if let Some(n) = cell.strip_suffix('s') {
+        (n, 1.0)
+    } else {
+        return None;
+    };
+    let v: f64 = num.trim().parse().ok()?;
+    (v.is_finite() && v >= 0.0).then_some(v * scale)
+}
+
+/// One matched duration cell across the two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDelta {
+    /// Harness the cell came from (artifact file stem).
+    pub harness: String,
+    /// The row's identity: its non-duration cells as `header=value`.
+    pub row_key: String,
+    /// Column header of the duration cell.
+    pub column: String,
+    /// Baseline value in seconds.
+    pub baseline_s: f64,
+    /// Current value in seconds.
+    pub current_s: f64,
+}
+
+impl CellDelta {
+    /// Slowdown factor `current / baseline` (`> 1` means slower).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_s > 0.0 {
+            self.current_s / self.baseline_s
+        } else if self.current_s > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Outcome of comparing two artifact directories.
+#[derive(Debug, Default)]
+pub struct CompareReport {
+    /// Every matched duration cell.
+    pub deltas: Vec<CellDelta>,
+    /// Rows or harnesses present on one side only (informational).
+    pub unmatched: Vec<String>,
+}
+
+impl CompareReport {
+    /// Cells whose slowdown exceeds `threshold` (e.g. `2.0` = 2× slower).
+    pub fn regressions(&self, threshold: f64) -> Vec<&CellDelta> {
+        self.deltas.iter().filter(|d| d.ratio() > threshold).collect()
+    }
+
+    /// Human-readable table of all deltas, worst first.
+    pub fn render(&self, threshold: f64) -> String {
+        let mut sorted: Vec<&CellDelta> = self.deltas.iter().collect();
+        sorted.sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
+        let mut out = String::new();
+        for d in sorted {
+            let flag = if d.ratio() > threshold { "  REGRESSION" } else { "" };
+            out.push_str(&format!(
+                "{:>6.2}x  {} [{}] {}: {} -> {}{flag}\n",
+                d.ratio(),
+                d.harness,
+                d.row_key,
+                d.column,
+                crate::fmt_secs(d.baseline_s),
+                crate::fmt_secs(d.current_s),
+            ));
+        }
+        for u in &self.unmatched {
+            out.push_str(&format!("   n/a  {u}\n"));
+        }
+        out
+    }
+}
+
+/// A parsed artifact row, split into identity and measured cells.
+struct SplitRow {
+    key: String,
+    durations: Vec<(String, f64)>,
+}
+
+fn split_rows(v: &JsonValue) -> Vec<SplitRow> {
+    let Some(rows) = v.get("rows").and_then(JsonValue::as_arr) else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|row| {
+            let obj = row.as_obj()?;
+            let mut key = String::new();
+            let mut durations = Vec::new();
+            for (h, cell) in obj {
+                let cell = cell.as_str().unwrap_or_default();
+                match parse_duration(cell) {
+                    Some(s) => durations.push((h.clone(), s)),
+                    None => {
+                        if !key.is_empty() {
+                            key.push(' ');
+                        }
+                        key.push_str(&format!("{h}={cell}"));
+                    }
+                }
+            }
+            Some(SplitRow { key, durations })
+        })
+        .collect()
+}
+
+/// True when the two artifacts were produced with identical run
+/// parameters (scale shift, PE count, seed, quick mode) — comparing
+/// across different parameters would be meaningless.
+fn params_match(a: &JsonValue, b: &JsonValue) -> bool {
+    let get = |v: &JsonValue, k: &str| v.get("params").and_then(|p| p.get(k)).cloned();
+    ["scale_shift", "pes_per_node", "seed", "quick"]
+        .iter()
+        .all(|k| match (get(a, k), get(b, k)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        })
+}
+
+/// Compares two artifact JSON bodies from the same harness.
+pub fn compare_bodies(
+    harness: &str,
+    baseline: &str,
+    current: &str,
+    report: &mut CompareReport,
+) -> Result<(), String> {
+    let b = parse(baseline).map_err(|e| format!("{harness} baseline: {e}"))?;
+    let c = parse(current).map_err(|e| format!("{harness} current: {e}"))?;
+    if !params_match(&b, &c) {
+        return Err(format!(
+            "{harness}: baseline and current were run with different params"
+        ));
+    }
+    let b_rows = split_rows(&b);
+    let mut c_rows = split_rows(&c);
+    for br in b_rows {
+        // First unconsumed current row with the same identity cells.
+        let Some(pos) = c_rows.iter().position(|cr| cr.key == br.key) else {
+            report.unmatched.push(format!("{harness}: row [{}] missing from current", br.key));
+            continue;
+        };
+        let cr = c_rows.swap_remove(pos);
+        for (col, base_s) in br.durations {
+            match cr.durations.iter().find(|(h, _)| *h == col) {
+                Some(&(_, cur_s)) => report.deltas.push(CellDelta {
+                    harness: harness.to_string(),
+                    row_key: br.key.clone(),
+                    column: col,
+                    baseline_s: base_s,
+                    current_s: cur_s,
+                }),
+                None => report.unmatched.push(format!(
+                    "{harness}: column {col:?} of row [{}] missing from current",
+                    br.key
+                )),
+            }
+        }
+    }
+    for cr in c_rows {
+        report.unmatched.push(format!("{harness}: row [{}] missing from baseline", cr.key));
+    }
+    Ok(())
+}
+
+/// Compares every `*.json` artifact present in **both** directories.
+///
+/// Errors on unreadable/invalid files or mismatched run parameters;
+/// harnesses present on one side only are listed in
+/// [`CompareReport::unmatched`] but are not an error (the baseline set is
+/// allowed to cover a subset of the current run).
+pub fn compare_dirs(baseline: &Path, current: &Path) -> Result<CompareReport, String> {
+    let mut report = CompareReport::default();
+    let entries = std::fs::read_dir(baseline)
+        .map_err(|e| format!("{}: {e}", baseline.display()))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("{}: no artifacts", baseline.display()));
+    }
+    for name in names {
+        let harness = name.trim_end_matches(".json").to_string();
+        let cur_path = current.join(&name);
+        if !cur_path.exists() {
+            report.unmatched.push(format!("{harness}: artifact missing from current run"));
+            continue;
+        }
+        let read = |p: &Path| {
+            std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))
+        };
+        compare_bodies(&harness, &read(&baseline.join(&name))?, &read(&cur_path)?, &mut report)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(times: &[(&str, &str)]) -> String {
+        let rows: Vec<String> = times
+            .iter()
+            .map(|(n, t)| format!("{{\"Nodes\":\"{n}\",\"Time\":\"{t}\"}}"))
+            .collect();
+        format!(
+            "{{\"schema_version\":1,\"harness\":\"h\",\"params\":{{\"scale_shift\":12,\
+             \"pes_per_node\":6,\"seed\":42,\"quick\":true}},\"rows\":[{}],\
+             \"metrics\":{{\"counters\":{{}},\"histograms\":{{}}}}}}",
+            rows.join(",")
+        )
+    }
+
+    #[test]
+    fn duration_parsing() {
+        assert_eq!(parse_duration("2.500s"), Some(2.5));
+        assert_eq!(parse_duration("2.500ms"), Some(2.5e-3));
+        assert!((parse_duration("2.500us").unwrap() - 2.5e-6).abs() < 1e-18);
+        assert_eq!(parse_duration("8"), None);
+        assert_eq!(parse_duration("1.25x"), None);
+        assert_eq!(parse_duration("3.20KiB"), None);
+        assert_eq!(parse_duration("OOM"), None);
+        assert_eq!(parse_duration("-1.0s"), None);
+    }
+
+    #[test]
+    fn identical_artifacts_have_no_regressions() {
+        let body = artifact(&[("4", "1.500ms"), ("8", "0.900ms")]);
+        let mut r = CompareReport::default();
+        compare_bodies("h", &body, &body, &mut r).unwrap();
+        assert_eq!(r.deltas.len(), 2);
+        assert!(r.regressions(1.01).is_empty());
+        assert!(r.unmatched.is_empty());
+    }
+
+    #[test]
+    fn synthetic_2x_regression_detected() {
+        let base = artifact(&[("4", "1.500ms"), ("8", "0.900ms")]);
+        let cur = artifact(&[("4", "1.600ms"), ("8", "1.900ms")]);
+        let mut r = CompareReport::default();
+        compare_bodies("h", &base, &cur, &mut r).unwrap();
+        let bad = r.regressions(2.0);
+        assert_eq!(bad.len(), 1, "{}", r.render(2.0));
+        assert_eq!(bad[0].row_key, "Nodes=8");
+        assert!((bad[0].ratio() - 1.9 / 0.9).abs() < 1e-12);
+        // The 1.07x cell passes a 2x gate but fails a tight one.
+        assert_eq!(r.regressions(1.05).len(), 2);
+    }
+
+    #[test]
+    fn mismatched_rows_are_reported_not_compared() {
+        let base = artifact(&[("4", "1.500ms"), ("16", "0.500ms")]);
+        let cur = artifact(&[("4", "1.500ms"), ("8", "0.900ms")]);
+        let mut r = CompareReport::default();
+        compare_bodies("h", &base, &cur, &mut r).unwrap();
+        assert_eq!(r.deltas.len(), 1);
+        assert_eq!(r.unmatched.len(), 2);
+    }
+
+    #[test]
+    fn different_params_error() {
+        let base = artifact(&[("4", "1.500ms")]);
+        let cur = base.replace("\"scale_shift\":12", "\"scale_shift\":14");
+        let mut r = CompareReport::default();
+        assert!(compare_bodies("h", &base, &cur, &mut r).is_err());
+    }
+
+    #[test]
+    fn compare_dirs_end_to_end() {
+        let root = std::env::temp_dir().join("dakc-compare-test");
+        let (bd, cd) = (root.join("base"), root.join("cur"));
+        std::fs::create_dir_all(&bd).unwrap();
+        std::fs::create_dir_all(&cd).unwrap();
+        std::fs::write(bd.join("h.json"), artifact(&[("4", "1.000ms")])).unwrap();
+        std::fs::write(cd.join("h.json"), artifact(&[("4", "3.000ms")])).unwrap();
+        let r = compare_dirs(&bd, &cd).unwrap();
+        assert_eq!(r.regressions(2.0).len(), 1);
+        assert!(r.render(2.0).contains("REGRESSION"));
+    }
+}

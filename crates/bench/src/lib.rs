@@ -21,6 +21,7 @@
 
 pub mod artifact;
 pub mod cachetrace;
+pub mod compare;
 
 pub use artifact::Artifact;
 

@@ -55,6 +55,8 @@ pub struct CountArgs {
     pub trace: Option<String>,
     /// Write the run's metrics registry as JSON to this path.
     pub metrics: Option<String>,
+    /// Causal flow tracing: tag one in `N` packets (`1` = every packet).
+    pub trace_sample: Option<u32>,
 }
 
 /// Arguments of `dakc generate`.
@@ -98,6 +100,8 @@ pub struct SimulateArgs {
     pub trace: Option<String>,
     /// Write the run's metrics registry as JSON to this path.
     pub metrics: Option<String>,
+    /// Causal flow tracing: tag one in `N` packets (`1` = every packet).
+    pub trace_sample: Option<u32>,
     /// Render the per-PE utilization timeline after the run.
     pub timeline: bool,
 }
@@ -118,11 +122,12 @@ dakc — distributed asynchronous k-mer counting
 USAGE:
   dakc count <reads.fasta|fastq> [-k 31] [--threads 8] [--canonical]
              [--l3 C3] [--min-count 1] [-o counts.tsv]
-             [--trace trace.json] [--metrics metrics.json]
+             [--trace trace.json] [--metrics metrics.json] [--trace-sample N]
   dakc generate --dataset NAME [--scale-shift 12] [--seed 42] [-o out.fastq]
   dakc spectrum <counts.tsv> [--max 100]
   dakc simulate <reads> [-k 31] [--nodes 8] [--ppn 24] [--protocol 1d|2d|3d] [--l3]
                 [--trace trace.json] [--metrics metrics.json] [--timeline]
+                [--trace-sample N]
   dakc model --dataset NAME [--nodes 32]
   dakc compare <reads> [-k 31] [--nodes 8] [--ppn 24]
   dakc help
@@ -155,6 +160,7 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 min_count: 1,
                 trace: None,
                 metrics: None,
+                trace_sample: None,
             };
             let mut rest: Vec<String> = it.collect();
             let mut args = std::mem::take(&mut rest).into_iter();
@@ -173,6 +179,12 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                     }
                     "--trace" => a.trace = Some(take_value(&mut args, "--trace")?),
                     "--metrics" => a.metrics = Some(take_value(&mut args, "--metrics")?),
+                    "--trace-sample" => {
+                        a.trace_sample = Some(parse_num(
+                            take_value(&mut args, "--trace-sample")?,
+                            "--trace-sample",
+                        )?)
+                    }
                     other if !other.starts_with('-') && input.is_none() => {
                         input = Some(other.to_string())
                     }
@@ -239,6 +251,7 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 l3: false,
                 trace: None,
                 metrics: None,
+                trace_sample: None,
                 timeline: false,
             };
             let mut args = it;
@@ -250,6 +263,12 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                     "--l3" => a.l3 = true,
                     "--trace" => a.trace = Some(take_value(&mut args, "--trace")?),
                     "--metrics" => a.metrics = Some(take_value(&mut args, "--metrics")?),
+                    "--trace-sample" => {
+                        a.trace_sample = Some(parse_num(
+                            take_value(&mut args, "--trace-sample")?,
+                            "--trace-sample",
+                        )?)
+                    }
                     "--timeline" => a.timeline = true,
                     "--protocol" => {
                         a.protocol = match take_value(&mut args, "--protocol")?.as_str() {
@@ -389,6 +408,21 @@ mod tests {
         assert!(a.timeline);
         let Command::Simulate(b) = parse_args(argv("simulate r.fq")).unwrap() else { panic!() };
         assert!(b.trace.is_none() && !b.timeline);
+    }
+
+    #[test]
+    fn parse_trace_sample() {
+        let Command::Simulate(a) =
+            parse_args(argv("simulate r.fq --trace t.json --trace-sample 64")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.trace_sample, Some(64));
+        let Command::Count(c) = parse_args(argv("count r.fq --trace-sample 1")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.trace_sample, Some(1));
+        assert!(parse_args(argv("simulate r.fq --trace-sample zero")).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 
-use dakc::{count_kmers_sim, count_kmers_sim_traced, count_kmers_threaded_traced, DakcConfig};
+use dakc::{count_kmers_sim, count_kmers_sim_traced, count_kmers_threaded_opts, DakcConfig, ThreadedOpts};
 use dakc_io::{fastx, ReadSet};
 use dakc_kmer::{CanonicalMode, KmerWord};
 use dakc_model::{CommModel, Model, Workload};
@@ -103,10 +103,42 @@ fn metrics_from_events(events: &[Event]) -> MetricsRegistry {
             EventKind::BarrierExit { waited_s } => {
                 m.observe("barrier.wait_s", metrics::SECONDS_BOUNDS, waited_s);
             }
+            EventKind::FlowSend { .. } => m.inc("flow.opened", 1),
+            EventKind::FlowRecv { l2_s, drain_s, e2e_s, .. } => {
+                m.inc("flow.closed", 1);
+                m.observe("flow.e2e_s.normal", metrics::LATENCY_BOUNDS, e2e_s);
+                m.observe("flow.stage_s.l2", metrics::LATENCY_BOUNDS, l2_s);
+                m.observe("flow.stage_s.drain", metrics::LATENCY_BOUNDS, drain_s);
+            }
             _ => {}
         }
     }
     m
+}
+
+/// Prints a p50/p95/p99/max table of every `flow.*` latency histogram in
+/// the registry (the output of `--metrics` with flow tracing on).
+fn print_flow_latencies(m: &MetricsRegistry) {
+    let mut rows: Vec<(&str, &metrics::Histogram)> =
+        m.histograms().filter(|(n, _)| n.starts_with("flow.")).collect();
+    if rows.is_empty() {
+        return;
+    }
+    rows.sort_unstable_by_key(|(n, _)| *n);
+    println!("\nflow latency percentiles (sampled flows):");
+    println!("{:<24} {:>8} {:>12} {:>12} {:>12} {:>12}", "stage", "flows", "p50", "p95", "p99", "max");
+    for (name, h) in rows {
+        let q = |p: f64| h.quantile(p).unwrap_or(0.0);
+        println!(
+            "{:<24} {:>8} {:>11.1}us {:>11.1}us {:>11.1}us {:>11.1}us",
+            name,
+            h.count(),
+            q(0.50) * 1e6,
+            q(0.95) * 1e6,
+            q(0.99) * 1e6,
+            q(1.0) * 1e6,
+        );
+    }
 }
 
 fn count(a: CountArgs) -> Result<(), String> {
@@ -117,9 +149,15 @@ fn count(a: CountArgs) -> Result<(), String> {
         CanonicalMode::Forward
     };
     let want_trace = a.trace.is_some() || a.metrics.is_some();
+    let opts = ThreadedOpts {
+        trace: want_trace,
+        // Flow tracing defaults to 1-in-64 packets when any telemetry is
+        // requested; `--trace-sample 1` opts into full-rate tagging.
+        trace_sample: a.trace_sample.or(want_trace.then_some(64)),
+    };
     let mut out = out_writer(&a.output)?;
     let (written, elapsed, distinct, events) = if a.k <= 32 {
-        let run = count_kmers_threaded_traced::<u64>(&reads, a.k, mode, a.threads, a.l3, want_trace);
+        let run = count_kmers_threaded_opts::<u64>(&reads, a.k, mode, a.threads, a.l3, &opts);
         (
             write_counts(&mut *out, &run.counts, a.k, a.min_count)?,
             run.elapsed,
@@ -127,8 +165,7 @@ fn count(a: CountArgs) -> Result<(), String> {
             run.trace,
         )
     } else {
-        let run =
-            count_kmers_threaded_traced::<u128>(&reads, a.k, mode, a.threads, a.l3, want_trace);
+        let run = count_kmers_threaded_opts::<u128>(&reads, a.k, mode, a.threads, a.l3, &opts);
         (
             write_counts(&mut *out, &run.counts, a.k, a.min_count)?,
             run.elapsed,
@@ -149,6 +186,7 @@ fn count(a: CountArgs) -> Result<(), String> {
         m.inc("run.distinct_kmers", distinct as u64);
         write_artifact(path, &m.to_json())?;
         eprintln!("wrote metrics: {path}");
+        print_flow_latencies(&m);
     }
     eprintln!(
         "counted {} reads: {distinct} distinct k-mers ({written} ≥ count {}) in {elapsed:?} on {} threads",
@@ -231,6 +269,12 @@ fn simulate(a: SimulateArgs) -> Result<(), String> {
     if a.l3 {
         cfg = cfg.with_l3();
     }
+    // Flow tracing defaults to 1-in-64 packets when any telemetry is
+    // requested; `--trace-sample 1` opts into full-rate tagging.
+    let want_telemetry = a.trace.is_some() || a.metrics.is_some();
+    if let Some(n) = a.trace_sample.or(want_telemetry.then_some(64)) {
+        cfg = cfg.with_trace_sample(n);
+    }
     let mut sink = if a.trace.is_some() {
         TraceSink::ring_default()
     } else {
@@ -250,6 +294,7 @@ fn simulate(a: SimulateArgs) -> Result<(), String> {
     if let Some(path) = &a.metrics {
         write_artifact(path, &run.report.metrics.to_json())?;
         eprintln!("wrote metrics: {path}");
+        print_flow_latencies(&run.report.metrics);
     }
     let r = &run.report;
     println!("machine          : {} nodes x {} PEs ({:?} conveyors)", a.nodes, a.ppn, a.protocol);

@@ -6,7 +6,7 @@
 //! application. [`Actor`] is that façade: applications only ever call
 //! [`Actor::send`], [`Actor::progress`] and [`Actor::begin_drain`].
 
-use dakc_sim::{Ctx, EventKind, PeId};
+use dakc_sim::{Ctx, EventKind, FlowTag, PeId};
 
 use crate::conveyor::{ConvStats, Conveyor, ConveyorConfig};
 
@@ -41,6 +41,8 @@ struct Staged {
     /// Offset range into the flat payload arena.
     start: usize,
     len: usize,
+    /// Out-of-band causal tag when this packet's flow is sampled.
+    flow: Option<FlowTag>,
 }
 
 /// The per-PE actor endpoint wrapping a [`Conveyor`].
@@ -77,6 +79,19 @@ impl Actor {
     /// Queues one packet for `dst`; drains to the conveyor when `C1`
     /// packets are staged.
     pub fn send(&mut self, ctx: &mut Ctx<'_>, dst: PeId, channel: u8, payload: &[u8]) {
+        self.send_flow(ctx, dst, channel, payload, None);
+    }
+
+    /// Like [`Actor::send`], but attaches a causal flow tag that rides out
+    /// of band through the conveyor to the remote drain.
+    pub fn send_flow(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: PeId,
+        channel: u8,
+        payload: &[u8],
+        flow: Option<FlowTag>,
+    ) {
         let start = self.arena.len();
         self.arena.extend_from_slice(payload);
         self.staged.push(Staged {
@@ -84,6 +99,7 @@ impl Actor {
             channel,
             start,
             len: payload.len(),
+            flow,
         });
         // Staging cost: copy into the L1 arena plus bookkeeping.
         ctx.charge_ops(payload.len() as u64 / 8 + STAGE_ITEM_OPS);
@@ -94,13 +110,17 @@ impl Actor {
 
     /// Moves all staged packets into the conveyor's L0 buffers.
     fn drain_l1(&mut self, ctx: &mut Ctx<'_>) {
-        let staged = std::mem::take(&mut self.staged);
+        let mut staged = std::mem::take(&mut self.staged);
         let arena = std::mem::take(&mut self.arena);
         let packets = staged.len() as u32;
         ctx.trace(|| EventKind::L1Drain { packets });
-        for s in &staged {
+        let now = ctx.now();
+        for s in &mut staged {
+            if let Some(tag) = &mut s.flow {
+                tag.t_l1_drain = now;
+            }
             self.conveyor
-                .push(ctx, s.dst, s.channel, &arena[s.start..s.start + s.len]);
+                .push_flow(ctx, s.dst, s.channel, &arena[s.start..s.start + s.len], s.flow);
         }
     }
 

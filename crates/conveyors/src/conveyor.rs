@@ -19,8 +19,8 @@
 //! — it is exactly the per-packet overhead (§IV-C) that the application's
 //! L2 layer amortizes by packing many k-mers into one record.
 
-use dakc_sim::telemetry::metrics::{BYTES_BOUNDS, HOPS_BOUNDS, PCT_BOUNDS};
-use dakc_sim::{Ctx, EventKind, PeId};
+use dakc_sim::telemetry::metrics::{BYTES_BOUNDS, HOPS_BOUNDS, LATENCY_BOUNDS, PCT_BOUNDS};
+use dakc_sim::{Ctx, EventKind, FlowTag, Msg, PeId};
 
 use crate::topo::{Protocol, Topology};
 
@@ -69,6 +69,10 @@ pub struct ConveyorConfig {
     pub c0_bytes: usize,
     /// Framing per channel id. Channel ids index this table.
     pub channels: Vec<ChannelKind>,
+    /// Display names per channel id, used to key per-channel flow-latency
+    /// metrics (e.g. `flow.e2e_s.normal`). Channels beyond this table fall
+    /// back to `ch<N>`.
+    pub channel_names: Vec<&'static str>,
 }
 
 impl ConveyorConfig {
@@ -78,6 +82,7 @@ impl ConveyorConfig {
             protocol,
             c0_bytes: 40 * 1024,
             channels,
+            channel_names: Vec::new(),
         }
     }
 }
@@ -97,6 +102,18 @@ pub struct ConvStats {
     pub payload_bytes_pushed: u64,
 }
 
+/// One L0 send buffer: wire bytes plus the out-of-band flow sidecar.
+#[derive(Debug, Default)]
+struct OutBuf {
+    /// Wire bytes (what the `PUT` is charged for).
+    bytes: Vec<u8>,
+    /// Records appended so far (ordinals key the flow sidecar).
+    records: u32,
+    /// Causal tags for sampled records, by record ordinal. Never
+    /// serialized: flow tracing must not change simulated time.
+    flows: Vec<(u32, FlowTag)>,
+}
+
 /// One PE's conveyor endpoint.
 #[derive(Debug)]
 pub struct Conveyor {
@@ -104,7 +121,7 @@ pub struct Conveyor {
     topo: Topology,
     cfg: ConveyorConfig,
     /// L0 send buffer per direct neighbor, lazily materialized.
-    out: std::collections::HashMap<PeId, Vec<u8>>,
+    out: std::collections::HashMap<PeId, OutBuf>,
     draining: bool,
     stats: ConvStats,
     /// Per-record hop tallies (index = hops to final destination),
@@ -165,6 +182,21 @@ impl Conveyor {
     /// a fixed channel, > 64 KiB on a variable one) or the channel id is
     /// unknown.
     pub fn push(&mut self, ctx: &mut Ctx<'_>, final_dst: PeId, channel: u8, payload: &[u8]) {
+        self.push_flow(ctx, final_dst, channel, payload, None);
+    }
+
+    /// Like [`Conveyor::push`], but attaches a causal flow tag to the
+    /// record. The tag rides out of band (see [`OutBuf::flows`]) and is
+    /// closed — per-stage residencies recorded — when the record is
+    /// delivered at `final_dst`.
+    pub fn push_flow(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        final_dst: PeId,
+        channel: u8,
+        payload: &[u8],
+        flow: Option<FlowTag>,
+    ) {
         match self.cfg.channels[channel as usize] {
             ChannelKind::Fixed(sz) => assert_eq!(
                 payload.len(),
@@ -180,11 +212,18 @@ impl Conveyor {
         self.stats.payload_bytes_pushed += payload.len() as u64;
         let hops = self.topo.hops(self.me, final_dst).min(self.hop_counts.len() - 1);
         self.hop_counts[hops] += 1;
-        self.enqueue(ctx, final_dst, channel, payload);
+        self.enqueue(ctx, final_dst, channel, payload, flow);
     }
 
     /// Appends a record to the next hop's buffer, flushing if full.
-    fn enqueue(&mut self, ctx: &mut Ctx<'_>, final_dst: PeId, channel: u8, payload: &[u8]) {
+    fn enqueue(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        final_dst: PeId,
+        channel: u8,
+        payload: &[u8],
+        flow: Option<FlowTag>,
+    ) {
         let hop = if final_dst == self.me {
             self.me
         } else {
@@ -198,19 +237,34 @@ impl Conveyor {
 
         let buf = self.out.entry(hop).or_default();
         if hdr > 0 {
-            buf.extend_from_slice(&(final_dst as u32).to_le_bytes());
+            buf.bytes.extend_from_slice(&(final_dst as u32).to_le_bytes());
         }
-        buf.push(channel);
+        buf.bytes.push(channel);
         if variable {
-            buf.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+            buf.bytes.extend_from_slice(&(payload.len() as u16).to_le_bytes());
         }
-        buf.extend_from_slice(payload);
-        if buf.len() >= self.cfg.c0_bytes {
+        buf.bytes.extend_from_slice(payload);
+        if let Some(tag) = flow {
+            buf.flows.push((buf.records, tag));
+        }
+        buf.records += 1;
+        if buf.bytes.len() >= self.cfg.c0_bytes {
             let full = self.out.remove(&hop).expect("just filled");
             self.stats.puts += 1;
-            self.record_put(ctx, hop, full.len());
-            ctx.send(hop, CONVEYOR_TAG, full);
+            self.ship(ctx, hop, full);
         }
+    }
+
+    /// Ships one L0 buffer as a `PUT`, stamping the wire time on every
+    /// flow tag riding with it (re-stamped per hop on relayed routes, so
+    /// the in-flight stage measures the final hop).
+    fn ship(&mut self, ctx: &mut Ctx<'_>, hop: PeId, mut buf: OutBuf) {
+        self.record_put(ctx, hop, buf.bytes.len());
+        let now = ctx.now();
+        for (_, tag) in &mut buf.flows {
+            tag.t_l0_put = now;
+        }
+        ctx.send_with_flows(hop, CONVEYOR_TAG, buf.bytes, buf.flows);
     }
 
     /// Telemetry for one `PUT`: fill/size histograms and a trace event.
@@ -233,7 +287,7 @@ impl Conveyor {
         let msgs = ctx.poll();
         for msg in msgs {
             debug_assert_eq!(msg.tag, CONVEYOR_TAG);
-            self.process_buffer(ctx, &msg.payload, deliver);
+            self.process_buffer(ctx, &msg, deliver);
         }
         if self.draining {
             self.flush_all(ctx);
@@ -243,11 +297,15 @@ impl Conveyor {
     fn process_buffer(
         &mut self,
         ctx: &mut Ctx<'_>,
-        bytes: &[u8],
+        msg: &Msg,
         deliver: &mut dyn FnMut(u8, &[u8]),
     ) {
+        let bytes = &msg.payload;
         let hdr = self.header_bytes();
         let mut at = 0usize;
+        // Flow sidecar entries are ordinal-sorted (appended in push order).
+        let mut flow_at = 0usize;
+        let mut ordinal = 0u32;
         while at < bytes.len() {
             let final_dst = if hdr > 0 {
                 let d = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("header"));
@@ -269,17 +327,74 @@ impl Conveyor {
             };
             let payload = &bytes[at..at + size];
             at += size;
+            let flow = match msg.flows.get(flow_at) {
+                Some(&(ord, tag)) if ord == ordinal => {
+                    flow_at += 1;
+                    Some(tag)
+                }
+                _ => None,
+            };
+            ordinal += 1;
             // Per-record processing cost.
             ctx.charge_ops(size as u64 / 8 + PROCESS_ITEM_OPS);
             if final_dst == self.me {
                 self.stats.items_delivered += 1;
+                if let Some(tag) = flow {
+                    self.close_flow(ctx, msg.arrival, &tag);
+                }
                 deliver(channel, payload);
             } else {
                 self.stats.items_forwarded += 1;
                 let payload = payload.to_vec();
-                self.enqueue(ctx, final_dst, channel, &payload);
+                self.enqueue(ctx, final_dst, channel, &payload, flow);
             }
         }
+    }
+
+    /// Display name for `channel` in metric keys.
+    fn channel_name(&self, channel: u8) -> String {
+        match self.cfg.channel_names.get(channel as usize) {
+            Some(name) => (*name).to_string(),
+            None => format!("ch{channel}"),
+        }
+    }
+
+    /// Closes a sampled flow at its final destination: computes per-stage
+    /// residencies from the tag's hand-off timestamps, records them as
+    /// latency histograms and emits the Chrome-trace flow-finish event.
+    /// The residencies telescope — they sum to the end-to-end latency.
+    fn close_flow(&self, ctx: &mut Ctx<'_>, arrival: f64, tag: &FlowTag) {
+        let now = ctx.now();
+        let l3_s = tag.t_l2_open - tag.t_open;
+        let l2_s = tag.t_l2_ship - tag.t_l2_open;
+        let l1_s = tag.t_l1_drain - tag.t_l2_ship;
+        let l0_s = tag.t_l0_put - tag.t_l1_drain;
+        let net_s = arrival - tag.t_l0_put;
+        let drain_s = now - arrival;
+        let e2e_s = now - tag.t_open;
+        let name = self.channel_name(tag.channel);
+        let m = ctx.metrics();
+        m.inc("flow.closed", 1);
+        m.observe(&format!("flow.e2e_s.{name}"), LATENCY_BOUNDS, e2e_s);
+        m.observe("flow.stage_s.l3", LATENCY_BOUNDS, l3_s);
+        m.observe("flow.stage_s.l2", LATENCY_BOUNDS, l2_s);
+        m.observe("flow.stage_s.l1", LATENCY_BOUNDS, l1_s);
+        m.observe("flow.stage_s.l0", LATENCY_BOUNDS, l0_s);
+        m.observe("flow.stage_s.net", LATENCY_BOUNDS, net_s);
+        m.observe("flow.stage_s.drain", LATENCY_BOUNDS, drain_s);
+        let (flow, channel, src) = (tag.flow, tag.channel, tag.src);
+        ctx.trace(|| EventKind::FlowRecv {
+            flow,
+            channel,
+            src,
+            l3_s,
+            l2_s,
+            l1_s,
+            l0_s,
+            net_s,
+            drain_s,
+            e2e_s,
+        });
     }
 
     /// Ships every nonempty buffer immediately, regardless of fill.
@@ -288,7 +403,7 @@ impl Conveyor {
         let mut hops: Vec<PeId> = self
             .out
             .iter()
-            .filter(|(_, b)| !b.is_empty())
+            .filter(|(_, b)| !b.bytes.is_empty())
             .map(|(&h, _)| h)
             .collect();
         hops.sort_unstable();
@@ -298,8 +413,7 @@ impl Conveyor {
             // O(P) empty vectors per PE on the host.
             let buf = self.out.remove(&hop).expect("listed");
             self.stats.puts += 1;
-            self.record_put(ctx, hop, buf.len());
-            ctx.send(hop, CONVEYOR_TAG, buf);
+            self.ship(ctx, hop, buf);
         }
     }
 

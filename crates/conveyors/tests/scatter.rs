@@ -120,6 +120,7 @@ fn run_scatter(
             protocol,
             c0_bytes: c0,
             channels: vec![ChannelKind::Fixed(8)],
+            channel_names: Vec::new(),
         },
     };
     let programs: Vec<Box<dyn Program>> = (0..p)
@@ -264,6 +265,7 @@ fn conveyor_without_actor_layer_works() {
                         protocol: Protocol::OneD,
                         c0_bytes: 64,
                         channels: vec![ChannelKind::Fixed(8)],
+                        channel_names: Vec::new(),
                     },
                     ctx,
                 ));

@@ -95,6 +95,7 @@ fn run_fuzz(protocol: Protocol, p: usize, per_pe: usize) {
             protocol,
             c0_bytes: 160,
             channels: vec![ChannelKind::Fixed(8), ChannelKind::Variable],
+            channel_names: Vec::new(),
         },
     };
     let programs: Vec<Box<dyn Program>> = (0..p)
@@ -162,6 +163,7 @@ fn large_variable_payloads_cross_buffer_boundary() {
             protocol: Protocol::OneD,
             c0_bytes: 64,
             channels: vec![ChannelKind::Fixed(8), ChannelKind::Variable],
+            channel_names: Vec::new(),
         },
     };
     let items: Vec<(usize, u8, Vec<u8>)> =

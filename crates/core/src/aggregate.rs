@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use dakc_conveyors::{Actor, ActorConfig, ConvStats, ConveyorConfig};
 use dakc_kmer::{owner_pe, KmerWord};
 use dakc_sim::telemetry::metrics::PCT_BOUNDS;
-use dakc_sim::{Ctx, EventKind, PeId};
+use dakc_sim::{Ctx, EventKind, FlowSampler, FlowTag, PeId};
 use dakc_sort::{accumulate, hybrid_sort, RadixKey};
 
 use crate::config::DakcConfig;
@@ -81,6 +81,16 @@ pub struct Aggregator<W> {
     l2h: HashMap<PeId, Vec<(W, u32)>>,
     stats: AggStats,
     word_bytes: usize,
+    /// Deterministic 1-in-N flow sampler (disabled unless
+    /// [`DakcConfig::trace_sample`] is set).
+    sampler: FlowSampler,
+    /// Open flow per NORMAL L2 destination buffer (sampled opens only).
+    fl2n: HashMap<PeId, FlowTag>,
+    /// Open flow per HEAVY L2 destination buffer (sampled opens only).
+    fl2h: HashMap<PeId, FlowTag>,
+    /// Virtual time the current L3 batch opened (first k-mer pushed);
+    /// flows opened while it accumulates inherit it as their `t_open`.
+    l3_open: Option<f64>,
 }
 
 impl<W: KmerWord + RadixKey> Aggregator<W> {
@@ -93,12 +103,14 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
                 protocol: cfg.protocol,
                 c0_bytes: cfg.c0_bytes,
                 channels: cfg.channels::<W>(),
+                channel_names: vec!["normal", "heavy", "single"],
             },
         };
         let actor = Actor::new(actor_cfg, ctx);
         let num_pes = ctx.num_pes();
         ctx.mem_alloc(cfg.app_layer_bytes::<W>(num_pes));
         let word_bytes = cfg.kmer_bytes::<W>();
+        let sampler = FlowSampler::new(ctx.pe() as u32, cfg.trace_sample);
         Self {
             cfg,
             me: ctx.pe(),
@@ -109,6 +121,10 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
             l2h: HashMap::new(),
             stats: AggStats::default(),
             word_bytes,
+            sampler,
+            fl2n: HashMap::new(),
+            fl2h: HashMap::new(),
+            l3_open: None,
         }
     }
 
@@ -126,6 +142,9 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
     pub fn async_add(&mut self, ctx: &mut Ctx<'_>, kmer: W) {
         self.stats.kmers_added += 1;
         if self.cfg.enable_l3 {
+            if self.sampler.enabled() && self.l3.is_empty() {
+                self.l3_open = Some(ctx.now());
+            }
             self.l3.push(kmer);
             ctx.charge_ops(1);
             if self.l3.len() >= self.cfg.c3 {
@@ -163,6 +182,22 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
         for (kmer, count) in accumulated {
             self.add_to_l2(ctx, kmer, count);
         }
+        self.l3_open = None;
+    }
+
+    /// Flow-open hook for one L2 packet-buffer open (empty → nonempty):
+    /// counts the open on the sampler and mints a tag when selected. The
+    /// tag's `t_open` reaches back to the current L3 batch's open time, so
+    /// the L3 stage measures how long k-mers waited in pre-accumulation.
+    fn open_flow(&mut self, ctx: &mut Ctx<'_>, channel: u8) -> Option<FlowTag> {
+        if !self.sampler.enabled() {
+            return None;
+        }
+        let flow = self.sampler.sample()?;
+        let now = ctx.now();
+        let t_open = self.l3_open.unwrap_or(now);
+        ctx.metrics().inc("flow.opened", 1);
+        Some(FlowTag::open(flow, channel, self.me as u32, t_open, now))
     }
 
     /// `AddToL2Buffer`: pack toward the owner, splitting heavy hitters
@@ -175,13 +210,22 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
             for _ in 0..count {
                 let wire = self.encode_word(kmer);
                 self.stats.single_packets += 1;
-                self.actor.send(ctx, dst, CH_SINGLE, &wire);
+                // A SINGLE packet opens and ships in the same instant, so
+                // its L3/L2 stages are zero-width.
+                let opened = self.open_flow(ctx, CH_SINGLE);
+                let flow = Self::stamp_ship(ctx, opened, dst);
+                self.actor.send_flow(ctx, dst, CH_SINGLE, &wire, flow);
             }
             return;
         }
         if self.cfg.enable_l3 && count > 2 {
             self.stats.heavy_pairs += 1;
             self.stats.occurrences_compressed += count as u64 - 1;
+            if self.sampler.enabled() && !self.l2h.contains_key(&dst) {
+                if let Some(tag) = self.open_flow(ctx, CH_HEAVY) {
+                    self.fl2h.insert(dst, tag);
+                }
+            }
             let buf = self.l2h.entry(dst).or_default();
             buf.push((kmer, count));
             ctx.charge_ops(2);
@@ -191,6 +235,11 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
         } else {
             // count ∈ {1, 2}: append `count` copies (Algorithm 4).
             for _ in 0..count {
+                if self.sampler.enabled() && !self.l2n.contains_key(&dst) {
+                    if let Some(tag) = self.open_flow(ctx, CH_NORMAL) {
+                        self.fl2n.insert(dst, tag);
+                    }
+                }
                 let buf = self.l2n.entry(dst).or_default();
                 buf.push(kmer);
                 ctx.charge_ops(1);
@@ -230,7 +279,22 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
             fill_pct,
             heavy: false,
         });
-        self.actor.send(ctx, dst, CH_NORMAL, &payload);
+        let flow = Self::stamp_ship(ctx, self.fl2n.remove(&dst), dst);
+        self.actor.send_flow(ctx, dst, CH_NORMAL, &payload, flow);
+    }
+
+    /// Stamps the L2→L1 hand-off time on a shipping packet's flow tag (if
+    /// any) and emits the Chrome-trace flow-start event.
+    fn stamp_ship(ctx: &mut Ctx<'_>, flow: Option<FlowTag>, dst: PeId) -> Option<FlowTag> {
+        let mut tag = flow?;
+        tag.t_l2_ship = ctx.now();
+        let (fid, channel, fdst) = (tag.flow, tag.channel, dst as u32);
+        ctx.trace(|| EventKind::FlowSend {
+            flow: fid,
+            channel,
+            dst: fdst,
+        });
+        Some(tag)
     }
 
     /// Encodes and sends one HEAVY packet for `dst`.
@@ -261,7 +325,8 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
             fill_pct,
             heavy: true,
         });
-        self.actor.send(ctx, dst, CH_HEAVY, &payload);
+        let flow = Self::stamp_ship(ctx, self.fl2h.remove(&dst), dst);
+        self.actor.send_flow(ctx, dst, CH_HEAVY, &payload, flow);
     }
 
     /// Polls and decodes arrived packets into `store`

@@ -33,6 +33,12 @@ pub struct DakcConfig {
     /// Reads parsed per scheduler step in the simulator engine
     /// (granularity of asynchrony; no algorithmic effect).
     pub batch_reads: usize,
+    /// Causal flow tracing: tag one in `N` L2 packet opens with a
+    /// [`dakc_sim::FlowTag`] and record its per-stage residency at the
+    /// remote drain. `None` disables flow tracing entirely (the default —
+    /// the hot path then pays a single `Option` check per packet open);
+    /// `Some(1)` tags every packet.
+    pub trace_sample: Option<u32>,
 }
 
 impl DakcConfig {
@@ -49,6 +55,7 @@ impl DakcConfig {
             enable_l3: false,
             canonical: CanonicalMode::Forward,
             batch_reads: 64,
+            trace_sample: None,
         }
     }
 
@@ -69,6 +76,13 @@ impl DakcConfig {
     pub fn with_l3(mut self) -> Self {
         self.enable_l2 = true;
         self.enable_l3 = true;
+        self
+    }
+
+    /// Enables causal flow tracing at a 1-in-`n` packet sampling rate
+    /// (`n = 1` tags every packet — what `--trace-sample 1` requests).
+    pub fn with_trace_sample(mut self, n: u32) -> Self {
+        self.trace_sample = Some(n.max(1));
         self
     }
 

@@ -58,4 +58,7 @@ pub use engine::{count_kmers_sim, count_kmers_sim_traced, DakcRun};
 pub use filtered::{count_kmers_filtered, FilteredRun};
 pub use overlap::{count_kmers_sim_overlap, OverlapRun, SortedRunStore};
 pub use program::DakcPeProgram;
-pub use threaded::{count_kmers_threaded, count_kmers_threaded_traced, ThreadedRun};
+pub use threaded::{
+    count_kmers_threaded, count_kmers_threaded_opts, count_kmers_threaded_traced, ThreadedOpts,
+    ThreadedRun,
+};

@@ -25,7 +25,7 @@ use dakc_kmer::{
     counts::merge_sorted_counts, kmers_of_read, owner_pe, CanonicalMode, KmerCount, KmerWord,
 };
 use dakc_sim::telemetry::Event;
-use dakc_sim::EventKind;
+use dakc_sim::{EventKind, FlowSampler};
 use dakc_sort::{accumulate, accumulate_weighted, hybrid_sort, lsd_radix_sort_by, RadixKey};
 
 /// Result of a threaded run.
@@ -47,6 +47,17 @@ pub struct ThreadedRun<W> {
 /// Per-owner routing buffer flushed into the inbox when full (the memcpy
 /// analogue of an L2 packet).
 const ROUTE_BATCH: usize = 1024;
+
+/// Observability options for [`count_kmers_threaded_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadedOpts {
+    /// Record flight-recorder events into [`ThreadedRun::trace`].
+    pub trace: bool,
+    /// Causal flow sampling: tag one in `N` route-buffer opens and record
+    /// its wall-clock residency (pack wait + inbox drain wait) when the
+    /// owner consumes it in phase 2. `None` disables flow tracing.
+    pub trace_sample: Option<u32>,
+}
 
 /// Counts k-mers with `threads` workers. `l3_buffer` enables the
 /// heavy-hitter pre-accumulation stage with the given `C3`.
@@ -74,12 +85,45 @@ pub fn count_kmers_threaded_traced<W: KmerWord + RadixKey>(
     l3_buffer: Option<usize>,
     trace: bool,
 ) -> ThreadedRun<W> {
+    count_kmers_threaded_opts(
+        reads,
+        k,
+        canonical,
+        threads,
+        l3_buffer,
+        &ThreadedOpts { trace, trace_sample: None },
+    )
+}
+
+/// Like [`count_kmers_threaded_traced`], with causal flow tracing: when
+/// [`ThreadedOpts::trace_sample`] is set, a sampled route-buffer open mints
+/// a flow id ([`EventKind::FlowSend`] at the flush into the owner's inbox)
+/// that the owner closes with an [`EventKind::FlowRecv`] when phase 2
+/// drains the inbox. The wall-clock analogue of the simulator's virtual
+/// residencies: the pack wait lands in `l2_s`, the inbox wait in
+/// `drain_s`, and the memcpy stages (`l1/l0/net`) are zero-width.
+pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
+    reads: &ReadSet,
+    k: usize,
+    canonical: CanonicalMode,
+    threads: usize,
+    l3_buffer: Option<usize>,
+    opts: &ThreadedOpts,
+) -> ThreadedRun<W> {
+    let trace = opts.trace;
+    let trace_sample = opts.trace_sample;
     assert!(threads >= 1);
     assert!((1..=W::MAX_K).contains(&k), "k out of range");
     let start = Instant::now();
 
     let inboxes: Vec<Mutex<Vec<W>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
     let pair_inboxes: Vec<Mutex<Vec<(W, u32)>>> =
+        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    // Flow sidecars per owner: (flow id, src worker, open time, send time).
+    // Like the simulator's Msg sidecar, these ride out of band — flow
+    // tracing never changes what the inboxes carry.
+    type FlowEntry = (u64, u32, f64, f64);
+    let flow_inboxes: Vec<Mutex<Vec<FlowEntry>>> =
         (0..threads).map(|_| Mutex::new(Vec::new())).collect();
     let phase_barrier = Barrier::new(threads);
     let outputs: Vec<Mutex<Option<Vec<KmerCount<W>>>>> =
@@ -90,6 +134,7 @@ pub fn count_kmers_threaded_traced<W: KmerWord + RadixKey>(
         for t in 0..threads {
             let inboxes = &inboxes;
             let pair_inboxes = &pair_inboxes;
+            let flow_inboxes = &flow_inboxes;
             let phase_barrier = &phase_barrier;
             let outputs = &outputs;
             let traces = &traces;
@@ -112,29 +157,60 @@ pub fn count_kmers_threaded_traced<W: KmerWord + RadixKey>(
                 let mut pair_route: Vec<Vec<(W, u32)>> = vec![Vec::new(); threads];
                 let mut l3: Vec<W> = Vec::new();
                 let word_bytes = std::mem::size_of::<W>();
+                let mut sampler = FlowSampler::new(t as u32, trace_sample);
+                // Open flow per route buffer: (flow id, open time).
+                let mut route_flow: Vec<Option<(u64, f64)>> = vec![None; threads];
 
-                let flush_owner =
-                    |owner: usize, route: &mut Vec<Vec<W>>, ev: &mut Option<Vec<Event>>| {
-                        let buf = &mut route[owner];
-                        if !buf.is_empty() {
-                            record(ev, EventKind::MsgSend {
-                                dst: owner as u32,
-                                tag: 0,
-                                bytes: (buf.len() * word_bytes) as u32,
-                            });
-                            let mut inbox = inboxes[owner].lock().unwrap();
-                            inbox.append(buf);
-                            let depth = inbox.len() as u32;
-                            drop(inbox);
-                            // Depth of the receiver's inbox in staged words —
-                            // the memcpy-engine analogue of the simulator's
-                            // pending-message gauge.
-                            record(ev, EventKind::QueueDepth { depth });
+                // Flow-open hook: one route-buffer open (empty → first
+                // push) counts once on the sampler.
+                let open_flow = |owner: usize,
+                                 route: &[Vec<W>],
+                                 route_flow: &mut [Option<(u64, f64)>],
+                                 sampler: &mut FlowSampler| {
+                    if sampler.enabled() && route[owner].is_empty() {
+                        if let Some(flow) = sampler.sample() {
+                            route_flow[owner] = Some((flow, start.elapsed().as_secs_f64()));
                         }
-                    };
+                    }
+                };
+                let flush_owner = |owner: usize,
+                                   route: &mut Vec<Vec<W>>,
+                                   route_flow: &mut [Option<(u64, f64)>],
+                                   ev: &mut Option<Vec<Event>>| {
+                    let buf = &mut route[owner];
+                    if !buf.is_empty() {
+                        record(ev, EventKind::MsgSend {
+                            dst: owner as u32,
+                            tag: 0,
+                            bytes: (buf.len() * word_bytes) as u32,
+                        });
+                        if let Some((flow, t_open)) = route_flow[owner].take() {
+                            let t_send = start.elapsed().as_secs_f64();
+                            record(ev, EventKind::FlowSend {
+                                flow,
+                                channel: 0,
+                                dst: owner as u32,
+                            });
+                            flow_inboxes[owner]
+                                .lock()
+                                .unwrap()
+                                .push((flow, t as u32, t_open, t_send));
+                        }
+                        let mut inbox = inboxes[owner].lock().unwrap();
+                        inbox.append(buf);
+                        let depth = inbox.len() as u32;
+                        drop(inbox);
+                        // Depth of the receiver's inbox in staged words —
+                        // the memcpy-engine analogue of the simulator's
+                        // pending-message gauge.
+                        record(ev, EventKind::QueueDepth { depth });
+                    }
+                };
                 let drain_l3 = |l3: &mut Vec<W>,
                                 route: &mut Vec<Vec<W>>,
                                 pair_route: &mut Vec<Vec<(W, u32)>>,
+                                route_flow: &mut [Option<(u64, f64)>],
+                                sampler: &mut FlowSampler,
                                 ev: &mut Option<Vec<Event>>| {
                     record(ev, EventKind::L3Flush {
                         occupancy: l3.len() as u32,
@@ -147,9 +223,10 @@ pub fn count_kmers_threaded_traced<W: KmerWord + RadixKey>(
                             pair_route[owner].push((w, c));
                         } else {
                             for _ in 0..c {
+                                open_flow(owner, route, route_flow, sampler);
                                 route[owner].push(w);
                                 if route[owner].len() >= ROUTE_BATCH {
-                                    flush_owner(owner, route, ev);
+                                    flush_owner(owner, route, route_flow, ev);
                                 }
                             }
                         }
@@ -163,24 +240,39 @@ pub fn count_kmers_threaded_traced<W: KmerWord + RadixKey>(
                             Some(c3) => {
                                 l3.push(w);
                                 if l3.len() >= c3 {
-                                    drain_l3(&mut l3, &mut route, &mut pair_route, &mut ev);
+                                    drain_l3(
+                                        &mut l3,
+                                        &mut route,
+                                        &mut pair_route,
+                                        &mut route_flow,
+                                        &mut sampler,
+                                        &mut ev,
+                                    );
                                 }
                             }
                             None => {
                                 let owner = owner_pe(w, threads);
+                                open_flow(owner, &route, &mut route_flow, &mut sampler);
                                 route[owner].push(w);
                                 if route[owner].len() >= ROUTE_BATCH {
-                                    flush_owner(owner, &mut route, &mut ev);
+                                    flush_owner(owner, &mut route, &mut route_flow, &mut ev);
                                 }
                             }
                         }
                     }
                 }
                 if !l3.is_empty() {
-                    drain_l3(&mut l3, &mut route, &mut pair_route, &mut ev);
+                    drain_l3(
+                        &mut l3,
+                        &mut route,
+                        &mut pair_route,
+                        &mut route_flow,
+                        &mut sampler,
+                        &mut ev,
+                    );
                 }
                 for owner in 0..threads {
-                    flush_owner(owner, &mut route, &mut ev);
+                    flush_owner(owner, &mut route, &mut route_flow, &mut ev);
                     if !pair_route[owner].is_empty() {
                         record(&mut ev, EventKind::MsgSend {
                             dst: owner as u32,
@@ -202,6 +294,26 @@ pub fn count_kmers_threaded_traced<W: KmerWord + RadixKey>(
 
                 // --- Phase 2: sort + accumulate my partition ---
                 let mut mine: Vec<W> = std::mem::take(&mut *inboxes[t].lock().unwrap());
+                // Close any flows routed to this worker: the barrier is the
+                // drain point, so drain residency is barrier-exit → now.
+                let closing = std::mem::take(&mut *flow_inboxes[t].lock().unwrap());
+                if !closing.is_empty() {
+                    let now = start.elapsed().as_secs_f64();
+                    for (flow, src, t_open, t_send) in closing {
+                        record(&mut ev, EventKind::FlowRecv {
+                            flow,
+                            channel: 0,
+                            src,
+                            l3_s: 0.0,
+                            l2_s: t_send - t_open,
+                            l1_s: 0.0,
+                            l0_s: 0.0,
+                            net_s: 0.0,
+                            drain_s: now - t_send,
+                            e2e_s: now - t_open,
+                        });
+                    }
+                }
                 hybrid_sort(&mut mine);
                 let plain: Vec<KmerCount<W>> = accumulate(&mine)
                     .into_iter()

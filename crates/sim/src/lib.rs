@@ -54,5 +54,5 @@ pub use machine::{MachineConfig, PeId};
 pub use msg::Msg;
 pub use sched::{Ctx, Program, SimError, Simulator, Step};
 pub use stats::{Category, PeStats, SimReport};
-pub use telemetry::{chrome_trace, Event, EventKind, MetricsRegistry, TraceSink};
+pub use telemetry::{chrome_trace, Event, EventKind, FlowSampler, FlowTag, MetricsRegistry, TraceSink};
 pub use trace::Timeline;

@@ -12,6 +12,7 @@
 //! layer).
 
 use crate::machine::PeId;
+use crate::telemetry::FlowTag;
 
 /// One in-flight or delivered message.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +30,11 @@ pub struct Msg {
     /// Global send sequence number; makes delivery order total and
     /// deterministic when arrivals tie.
     pub seq: u64,
+    /// Out-of-band causal flow tags riding with this message, keyed by the
+    /// ordinal of the tagged record within the payload. Empty unless flow
+    /// sampling is on; never serialized, never charged for — simulated
+    /// time depends only on `payload` bytes.
+    pub flows: Vec<(u32, FlowTag)>,
 }
 
 impl Msg {
@@ -94,6 +100,7 @@ mod tests {
             payload: vec![1, 2, 3],
             arrival: 0.0,
             seq: 0,
+            flows: Vec::new(),
         };
         assert_eq!(m.len(), 3);
         assert!(!m.is_empty());

@@ -250,6 +250,20 @@ impl Ctx<'_> {
     /// a memory copy and the message is visible immediately (the runtime's
     /// memcpy conversion, paper §VI-B).
     pub fn send(&mut self, dst: PeId, tag: u32, payload: Vec<u8>) {
+        self.send_with_flows(dst, tag, payload, Vec::new());
+    }
+
+    /// Like [`Ctx::send`], but attaches out-of-band causal flow tags
+    /// (record-ordinal keyed) to the message. The tags ride in the [`Msg`]
+    /// sidecar — they are not payload bytes, so the charged time is
+    /// identical to an untagged send.
+    pub fn send_with_flows(
+        &mut self,
+        dst: PeId,
+        tag: u32,
+        payload: Vec<u8>,
+        flows: Vec<(u32, crate::telemetry::FlowTag)>,
+    ) {
         let bytes = payload.len() as u64;
         let arrival = if self.machine.colocated(self.pe, dst) {
             let t = self.machine.mem_time(bytes);
@@ -282,6 +296,7 @@ impl Ctx<'_> {
             payload,
             arrival,
             seq,
+            flows,
         });
     }
 

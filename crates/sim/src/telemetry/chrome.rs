@@ -111,6 +111,36 @@ pub fn chrome_trace(events: &[Event], pes_per_node: usize) -> String {
             EventKind::NodeMem { node: n, bytes } => {
                 w.counter("node_mem", n, e.pe, ts, &[("bytes", Arg::U(bytes))]);
             }
+            EventKind::FlowSend { flow, channel, dst } => {
+                w.flow('s', flow, node, e.pe, ts, &[
+                    ("channel", Arg::U(channel as u64)),
+                    ("dst", Arg::U(dst as u64)),
+                ]);
+            }
+            EventKind::FlowRecv {
+                flow,
+                channel,
+                src,
+                l3_s,
+                l2_s,
+                l1_s,
+                l0_s,
+                net_s,
+                drain_s,
+                e2e_s,
+            } => {
+                w.flow('f', flow, node, e.pe, ts, &[
+                    ("channel", Arg::U(channel as u64)),
+                    ("src", Arg::U(src as u64)),
+                    ("l3_s", Arg::F(l3_s)),
+                    ("l2_s", Arg::F(l2_s)),
+                    ("l1_s", Arg::F(l1_s)),
+                    ("l0_s", Arg::F(l0_s)),
+                    ("net_s", Arg::F(net_s)),
+                    ("drain_s", Arg::F(drain_s)),
+                    ("e2e_s", Arg::F(e2e_s)),
+                ]);
+            }
         }
     }
 
@@ -186,6 +216,20 @@ impl Writer {
         self.sep();
         self.out.push_str(&format!(
             "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},",
+            fmt_num(ts)
+        ));
+        self.args(args);
+        self.out.push('}');
+    }
+
+    /// Flow events: `ph:"s"` starts an arrow, `ph:"f"` (with binding point
+    /// `"e"`, i.e. bind to the enclosing instant) ends it. Perfetto draws
+    /// an arrow between the two events sharing `cat` + `id`.
+    fn flow(&mut self, ph: char, id: u64, pid: u32, tid: u32, ts: f64, args: &[(&str, Arg)]) {
+        self.sep();
+        let bp = if ph == 'f' { ",\"bp\":\"e\"" } else { "" };
+        self.out.push_str(&format!(
+            "{{\"name\":\"msgflow\",\"cat\":\"flow\",\"ph\":\"{ph}\",\"id\":{id}{bp},\"pid\":{pid},\"tid\":{tid},\"ts\":{},",
             fmt_num(ts)
         ));
         self.args(args);
@@ -277,6 +321,49 @@ mod tests {
             e.get("ph").and_then(|p| p.as_str()) == Some("C")
                 && e.get("name").and_then(|n| n.as_str()) == Some("node_mem")
         }));
+    }
+
+    #[test]
+    fn flow_events_pair_by_id_with_binding_point() {
+        let events = vec![
+            Event {
+                ts: 1e-6,
+                pe: 0,
+                kind: EventKind::FlowSend { flow: 42, channel: 0, dst: 3 },
+            },
+            Event {
+                ts: 9e-6,
+                pe: 3,
+                kind: EventKind::FlowRecv {
+                    flow: 42,
+                    channel: 0,
+                    src: 0,
+                    l3_s: 1e-6,
+                    l2_s: 2e-6,
+                    l1_s: 0.0,
+                    l0_s: 3e-6,
+                    net_s: 1e-6,
+                    drain_s: 1e-6,
+                    e2e_s: 8e-6,
+                },
+            },
+        ];
+        let doc = parse(&chrome_trace(&events, 2)).expect("valid JSON");
+        let rows = doc.get("traceEvents").and_then(|e| e.as_arr()).expect("array");
+        let s = rows
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("s"))
+            .expect("flow start");
+        let f = rows
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("f"))
+            .expect("flow finish");
+        assert_eq!(s.get("id"), f.get("id"));
+        assert_eq!(s.get("cat").and_then(|c| c.as_str()), Some("flow"));
+        assert_eq!(f.get("bp").and_then(|c| c.as_str()), Some("e"));
+        // Start on the sender's track, finish on the receiver's.
+        assert_eq!(s.get("tid").and_then(|t| t.as_f64()), Some(0.0));
+        assert_eq!(f.get("tid").and_then(|t| t.as_f64()), Some(3.0));
     }
 
     #[test]

@@ -115,6 +115,41 @@ pub enum EventKind {
         /// Live bytes.
         bytes: u64,
     },
+    /// A sampled causal flow opened: an L2 packet was tagged and shipped
+    /// toward its owner (the Chrome-trace flow-arrow start, `ph:"s"`).
+    FlowSend {
+        /// Flow id (see [`crate::telemetry::flow::FlowTag::id`]).
+        flow: u64,
+        /// Application channel (NORMAL/HEAVY/SINGLE).
+        channel: u8,
+        /// Final destination PE.
+        dst: u32,
+    },
+    /// A sampled causal flow closed at its destination: the packet's
+    /// records were accumulated (the flow-arrow end, `ph:"f"`). Stage
+    /// residencies telescope: they are non-negative and sum to `e2e_s`.
+    FlowRecv {
+        /// Flow id pairing this close with its [`EventKind::FlowSend`].
+        flow: u64,
+        /// Application channel (NORMAL/HEAVY/SINGLE).
+        channel: u8,
+        /// PE that opened the flow.
+        src: u32,
+        /// L3 batch wait: first k-mer entered L3 → entered the L2 packet.
+        l3_s: f64,
+        /// L2 pack wait: packet opened → packet shipped to L1.
+        l2_s: f64,
+        /// L1 buffer wait: shipped to L1 → drained into the L0 conveyor.
+        l1_s: f64,
+        /// L0 buffer wait: drained into L0 → PUT flushed onto the wire.
+        l0_s: f64,
+        /// In-flight: wire PUT → delivery at the destination PE.
+        net_s: f64,
+        /// Drain-queue wait: delivery → records accumulated.
+        drain_s: f64,
+        /// End-to-end latency (sum of the six stages above).
+        e2e_s: f64,
+    },
 }
 
 impl EventKind {
@@ -135,6 +170,8 @@ impl EventKind {
             EventKind::Oom { .. } => "oom",
             EventKind::QueueDepth { .. } => "queue_depth",
             EventKind::NodeMem { .. } => "node_mem",
+            EventKind::FlowSend { .. } => "flow_send",
+            EventKind::FlowRecv { .. } => "flow_recv",
         }
     }
 }

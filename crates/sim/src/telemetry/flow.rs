@@ -1,0 +1,171 @@
+//! Causal flow tags: follow one sampled L2 packet through the cascade.
+//!
+//! The flight recorder's point events say *that* a PUT happened; a flow
+//! tag says *how long the k-mers inside it waited at every layer*. When a
+//! packet buffer opens at L2 (and the sampling counter selects it), the
+//! aggregation layer mints a [`FlowTag`] carrying the flow id and the
+//! timestamps of each hand-off. The tag rides *out of band* — in a message
+//! sidecar, never in wire payloads — so tracing cannot perturb simulated
+//! time, and a disabled sampler costs one `Option` check per packet open.
+//!
+//! Stages (virtual seconds in the simulator, wall seconds threaded):
+//!
+//! ```text
+//!  t_open      first k-mer enters the L3 batch (or L2 packet when no L3)
+//!  t_l2_open   first k-mer enters the L2 packet buffer
+//!  t_l2_ship   packet handed to the L1 actor stage
+//!  t_l1_drain  actor drained the packet into the L0 conveyor
+//!  t_l0_put    L0 buffer flushed onto the wire
+//!  (arrival)   message delivered at the destination PE
+//!  (close)     records accumulated into the owner's table
+//! ```
+//!
+//! Consecutive differences are the per-stage residencies reported by
+//! [`crate::telemetry::event::EventKind::FlowRecv`]; they telescope, so
+//! they always sum to the end-to-end latency. For multi-record packets the
+//! residency is measured from the *first* record's entry (a documented
+//! first-entry approximation), and on multi-hop routes `t_l0_put` is
+//! re-stamped at each relay hop so the in-flight stage covers the final
+//! hop only — earlier hops show up in the drain stage of the relay.
+
+/// Out-of-band causal tag for one sampled L2 packet.
+///
+/// Small `Copy` POD: carrying one is a few moves, and the sidecar vectors
+/// holding them stay empty unless sampling is enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowTag {
+    /// Globally unique flow id: `(source PE) << 40 | per-PE sequence`.
+    pub flow: u64,
+    /// Application channel the packet shipped on (NORMAL/HEAVY/SINGLE).
+    pub channel: u8,
+    /// PE that opened the flow.
+    pub src: u32,
+    /// First k-mer entered the L3 batch (equals `t_l2_open` when the L3
+    /// layer is disabled, making the L3 stage zero-width).
+    pub t_open: f64,
+    /// First k-mer entered the L2 packet buffer.
+    pub t_l2_open: f64,
+    /// Packet shipped from L2 into the L1 actor stage.
+    pub t_l2_ship: f64,
+    /// Actor drained the packet into the L0 conveyor.
+    pub t_l1_drain: f64,
+    /// L0 buffer flushed onto the wire (re-stamped per relay hop).
+    pub t_l0_put: f64,
+}
+
+impl FlowTag {
+    /// Builds the globally unique flow id for `seq`-th flow opened by `pe`.
+    pub fn id(pe: u32, seq: u64) -> u64 {
+        ((pe as u64) << 40) | (seq & ((1 << 40) - 1))
+    }
+
+    /// Opens a flow: later stage timestamps default to the open time so a
+    /// tag that skips a layer (e.g. no L3) reports zero residency there.
+    pub fn open(flow: u64, channel: u8, src: u32, t_open: f64, t_l2_open: f64) -> Self {
+        Self {
+            flow,
+            channel,
+            src,
+            t_open,
+            t_l2_open,
+            t_l2_ship: t_l2_open,
+            t_l1_drain: t_l2_open,
+            t_l0_put: t_l2_open,
+        }
+    }
+}
+
+/// Deterministic 1-in-N sampler minting [`FlowTag`] ids.
+///
+/// `None` rate disables sampling entirely (the hot path sees a single
+/// `is_none` branch); `Some(1)` tags every packet. Sampling is counted per
+/// PE over packet-buffer opens, so identical runs select identical flows.
+#[derive(Debug, Clone)]
+pub struct FlowSampler {
+    pe: u32,
+    rate: Option<u32>,
+    opens: u64,
+    minted: u64,
+}
+
+impl FlowSampler {
+    /// A sampler for `pe` tagging one in `rate` packet opens.
+    pub fn new(pe: u32, rate: Option<u32>) -> Self {
+        Self { pe, rate, opens: 0, minted: 0 }
+    }
+
+    /// `true` when sampling is enabled at any rate.
+    pub fn enabled(&self) -> bool {
+        self.rate.is_some()
+    }
+
+    /// Counts a packet-buffer open; returns a fresh flow id when this open
+    /// is sampled.
+    pub fn sample(&mut self) -> Option<u64> {
+        let rate = self.rate?.max(1);
+        let hit = self.opens.is_multiple_of(rate as u64);
+        self.opens += 1;
+        if hit {
+            let id = FlowTag::id(self.pe, self.minted);
+            self.minted += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Flows minted so far.
+    pub fn minted(&self) -> u64 {
+        self.minted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sampler_never_mints() {
+        let mut s = FlowSampler::new(3, None);
+        assert!(!s.enabled());
+        for _ in 0..100 {
+            assert_eq!(s.sample(), None);
+        }
+        assert_eq!(s.minted(), 0);
+    }
+
+    #[test]
+    fn full_rate_tags_every_open_with_unique_ids() {
+        let mut s = FlowSampler::new(2, Some(1));
+        let ids: Vec<u64> = (0..5).map(|_| s.sample().unwrap()).collect();
+        assert_eq!(ids, vec![
+            FlowTag::id(2, 0),
+            FlowTag::id(2, 1),
+            FlowTag::id(2, 2),
+            FlowTag::id(2, 3),
+            FlowTag::id(2, 4),
+        ]);
+        // Distinct PEs never collide.
+        assert_ne!(FlowTag::id(2, 0), FlowTag::id(3, 0));
+    }
+
+    #[test]
+    fn one_in_n_sampling_is_periodic() {
+        let mut s = FlowSampler::new(0, Some(4));
+        let hits: Vec<bool> = (0..12).map(|_| s.sample().is_some()).collect();
+        assert_eq!(hits, vec![
+            true, false, false, false, true, false, false, false, true, false, false, false
+        ]);
+        assert_eq!(s.minted(), 3);
+    }
+
+    #[test]
+    fn open_defaults_later_stages_to_l2_open() {
+        let t = FlowTag::open(7, 1, 4, 0.5, 1.0);
+        assert_eq!(t.t_open, 0.5);
+        assert_eq!(t.t_l2_open, 1.0);
+        assert_eq!(t.t_l2_ship, 1.0);
+        assert_eq!(t.t_l1_drain, 1.0);
+        assert_eq!(t.t_l0_put, 1.0);
+    }
+}

@@ -24,6 +24,16 @@ pub const SECONDS_BOUNDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
 /// Bucket bounds for message hop counts.
 pub const HOPS_BOUNDS: &[f64] = &[0.0, 1.0, 2.0, 3.0, 4.0];
 
+/// Bucket bounds for message-latency seconds: a 1–2–5 ladder per decade
+/// from 100 ns to 1 s. Fine enough that an interpolated percentile
+/// ([`Histogram::quantile`]) is off by at most one bucket width — ≤ 2.5×
+/// relative on this ladder — versus the 10× a decade-per-bucket ladder
+/// like [`SECONDS_BOUNDS`] would allow.
+pub const LATENCY_BOUNDS: &[f64] = &[
+    1e-7, 2e-7, 5e-7, 1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3,
+    1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1.0,
+];
+
 /// A fixed-bucket histogram with conserved totals under merge.
 ///
 /// `counts[i]` counts observations `v <= bounds[i]` (and greater than the
@@ -129,6 +139,47 @@ impl Histogram {
     /// Largest observation (`None` when empty).
     pub fn max(&self) -> Option<f64> {
         (self.count() > 0).then_some(self.max)
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation *within* the containing bucket, Prometheus-style.
+    ///
+    /// The rank `q·n` is located by walking the cumulative bucket counts;
+    /// the estimate then assumes in-bucket observations are uniformly
+    /// spread over `(lower, upper]`. The result always lies inside the
+    /// bucket that truly contains the ranked observation, so the absolute
+    /// error is bounded by that bucket's width (the first bucket is
+    /// tightened to start at `min`, the overflow bucket to end at `max`,
+    /// and the estimate is clamped to `[min, max]`). `q = 0` returns the
+    /// exact `min`, `q = 1` the exact `max`; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        if q == 1.0 {
+            return Some(self.max);
+        }
+        let target = q * n as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if (cum as f64) >= target {
+                // First bucket with cum >= target also has c > 0
+                // (earlier buckets left cum == prev < target).
+                let lower = if i == 0 { self.min } else { self.bounds[i - 1] };
+                let upper = if i < self.bounds.len() { self.bounds[i] } else { self.max };
+                let frac = (target - prev as f64) / c as f64;
+                let est = lower + frac * (upper - lower);
+                return Some(est.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
     }
 
     fn to_json(&self, out: &mut String) {
@@ -362,6 +413,38 @@ mod tests {
         a_bc.merge(&bc);
         assert_eq!(ab_c, a_bc);
         assert_eq!(ab_c.count(), 6);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::with_bounds(&[10.0, 20.0, 30.0]);
+        // 10 observations spread uniformly over (10, 20].
+        for i in 1..=10 {
+            h.observe(10.0 + i as f64);
+        }
+        assert_eq!(h.quantile(0.0), Some(11.0)); // exact min
+        assert_eq!(h.quantile(1.0), Some(20.0)); // exact max
+        // All mass in the (10, 20] bucket: the median interpolates to 15,
+        // within one bucket width of the naive sorted-vec answer.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 15.0).abs() < 1e-9, "p50 = {p50}");
+        // Estimates never leave [min, max].
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let v = h.quantile(q).unwrap();
+            assert!((11.0..=20.0).contains(&v), "q={q} -> {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_handles_overflow_bucket_and_empty() {
+        assert_eq!(Histogram::with_bounds(&[1.0]).quantile(0.5), None);
+        let mut h = Histogram::with_bounds(&[1.0]);
+        h.observe(5.0);
+        h.observe(9.0);
+        // Both observations overflow: quantiles stay within [5, 9].
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((5.0..=9.0).contains(&p50));
+        assert_eq!(h.quantile(1.0), Some(9.0));
     }
 
     #[test]

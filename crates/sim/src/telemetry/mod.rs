@@ -19,12 +19,14 @@
 
 pub mod chrome;
 pub mod event;
+pub mod flow;
 pub mod json;
 pub mod metrics;
 pub mod ring;
 
 pub use chrome::chrome_trace;
 pub use event::{Event, EventKind};
+pub use flow::{FlowSampler, FlowTag};
 pub use json::JsonValue;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use ring::TraceSink;

@@ -7,15 +7,27 @@ use dakc::{count_kmers_sim_traced, count_kmers_threaded_traced, DakcConfig};
 use dakc_io::datasets::synthetic;
 use dakc_kmer::CanonicalMode;
 use dakc_sim::telemetry::json::{self, JsonValue};
-use dakc_sim::telemetry::metrics::{Histogram, PCT_BOUNDS};
+use dakc_sim::telemetry::metrics::{Histogram, LATENCY_BOUNDS, PCT_BOUNDS};
 use dakc_sim::telemetry::{chrome_trace, Event};
-use dakc_sim::{MachineConfig, TraceSink};
+use dakc_sim::{EventKind, MachineConfig, TraceSink};
 use proptest::prelude::*;
 
 fn traced_sim_run() -> (Vec<Event>, String) {
     let reads = synthetic(21).scaled(14).generate(7);
     let machine = MachineConfig::test_machine(2, 3);
     let cfg = DakcConfig::scaled_defaults(15).with_l3();
+    let mut sink = TraceSink::ring_default();
+    let run = count_kmers_sim_traced::<u64>(&reads, &cfg, &machine, &mut sink).unwrap();
+    assert!(!run.counts.is_empty());
+    (sink.events(), run.report.metrics.to_json())
+}
+
+/// Like [`traced_sim_run`] but with full-rate flow tracing, so every
+/// packet carries a causal tag from L2 open to remote drain.
+fn traced_flow_run() -> (Vec<Event>, String) {
+    let reads = synthetic(21).scaled(14).generate(7);
+    let machine = MachineConfig::test_machine(2, 3);
+    let cfg = DakcConfig::scaled_defaults(15).with_l3().with_trace_sample(1);
     let mut sink = TraceSink::ring_default();
     let run = count_kmers_sim_traced::<u64>(&reads, &cfg, &machine, &mut sink).unwrap();
     assert!(!run.counts.is_empty());
@@ -115,6 +127,99 @@ fn threaded_trace_timestamps_are_monotone_per_pe() {
 }
 
 #[test]
+fn every_flow_start_has_exactly_one_matching_finish() {
+    let (events, metrics) = traced_flow_run();
+    let mut sends = std::collections::HashMap::new();
+    let mut recvs = std::collections::HashMap::new();
+    for e in &events {
+        match e.kind {
+            EventKind::FlowSend { flow, .. } => *sends.entry(flow).or_insert(0u32) += 1,
+            EventKind::FlowRecv { flow, .. } => *recvs.entry(flow).or_insert(0u32) += 1,
+            _ => {}
+        }
+    }
+    assert!(!sends.is_empty(), "full-rate sampling produced no flows");
+    assert_eq!(sends.len(), recvs.len());
+    for (flow, n) in &sends {
+        assert_eq!(*n, 1, "flow {flow:#x} sent {n} times");
+        assert_eq!(recvs.get(flow), Some(&1), "flow {flow:#x} unmatched");
+    }
+    // The counters agree with the event stream.
+    let m = json::parse(&metrics).unwrap();
+    let counter = |k: &str| m.get("counters").and_then(|c| c.get(k)).and_then(|v| v.as_f64());
+    assert_eq!(counter("flow.opened"), Some(sends.len() as f64));
+    assert_eq!(counter("flow.closed"), Some(recvs.len() as f64));
+}
+
+#[test]
+fn flow_stage_residencies_are_nonnegative_and_telescope() {
+    let (events, _) = traced_flow_run();
+    let mut checked = 0;
+    for e in &events {
+        if let EventKind::FlowRecv { flow, l3_s, l2_s, l1_s, l0_s, net_s, drain_s, e2e_s, .. } =
+            e.kind
+        {
+            for (stage, v) in
+                [("l3", l3_s), ("l2", l2_s), ("l1", l1_s), ("l0", l0_s), ("net", net_s), ("drain", drain_s)]
+            {
+                assert!(v >= 0.0, "flow {flow:#x}: negative {stage} residency {v}");
+            }
+            let sum = l3_s + l2_s + l1_s + l0_s + net_s + drain_s;
+            assert!(
+                (sum - e2e_s).abs() <= 1e-12 + 1e-9 * e2e_s.abs(),
+                "flow {flow:#x}: stages sum to {sum}, e2e is {e2e_s}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no flows closed");
+}
+
+#[test]
+fn identical_flow_traced_runs_export_identical_traces() {
+    let (ev_a, metrics_a) = traced_flow_run();
+    let (ev_b, metrics_b) = traced_flow_run();
+    assert_eq!(chrome_trace(&ev_a, 3), chrome_trace(&ev_b, 3));
+    assert_eq!(metrics_a, metrics_b);
+    // Flow events survive into the Chrome export as paired s/f records.
+    let doc = chrome_trace(&ev_a, 3);
+    let rows = trace_rows(&doc);
+    let starts = rows.iter().filter(|r| r.1 == "s").count();
+    let finishes = rows.iter().filter(|r| r.1 == "f").count();
+    assert!(starts > 0);
+    assert_eq!(starts, finishes);
+}
+
+#[test]
+fn threaded_flow_events_pair_and_telescope() {
+    let reads = synthetic(21).scaled(14).generate(3);
+    let opts = dakc::ThreadedOpts { trace: true, trace_sample: Some(1) };
+    let run =
+        dakc::count_kmers_threaded_opts::<u64>(&reads, 15, CanonicalMode::Forward, 3, Some(256), &opts);
+    let events = run.trace.expect("tracing requested");
+    let sends: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::FlowSend { flow, .. } => Some(flow),
+            _ => None,
+        })
+        .collect();
+    assert!(!sends.is_empty(), "no flows sampled");
+    for e in &events {
+        if let EventKind::FlowRecv { flow, l2_s, drain_s, e2e_s, .. } = e.kind {
+            assert!(sends.contains(&flow), "recv for unknown flow {flow:#x}");
+            assert!(l2_s >= 0.0 && drain_s >= 0.0);
+            assert!((l2_s + drain_s - e2e_s).abs() <= 1e-9);
+        }
+    }
+    let recvs = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::FlowRecv { .. }))
+        .count();
+    assert_eq!(recvs, sends.len(), "every send must be drained exactly once");
+}
+
+#[test]
 fn identical_sim_runs_export_identical_artifacts() {
     let (ev_a, metrics_a) = traced_sim_run();
     let (ev_b, metrics_b) = traced_sim_run();
@@ -152,5 +257,44 @@ proptest! {
         prop_assert_eq!(ab_c.count() as usize, xs.len() + ys.len() + zs.len());
         let bucket_sum: u64 = ab_c.counts().iter().sum();
         prop_assert_eq!(bucket_sum, ab_c.count());
+    }
+
+    // The interpolated histogram quantile never leaves the bucket that
+    // holds the exact (sorted-vector) quantile: its error is bounded by
+    // one bucket width, and at the extremes it returns the exact min/max.
+    #[test]
+    fn histogram_quantile_brackets_naive_quantile(
+        xs_us in prop::collection::vec(1u32..900_000, 1..200),
+        q_ppm in 0u32..1_000_001,
+    ) {
+        // The vendored proptest has no f64 range strategy; derive floats
+        // from integer microseconds (1us..0.9s) and parts-per-million.
+        let mut xs: Vec<f64> = xs_us.iter().map(|&v| v as f64 * 1e-6).collect();
+        let q = q_ppm as f64 * 1e-6;
+        let mut h = Histogram::with_bounds(LATENCY_BOUNDS);
+        for &v in &xs {
+            h.observe(v);
+        }
+        xs.sort_by(f64::total_cmp);
+
+        // Naive quantile: the ceil(q*n)-th smallest sample (rank method).
+        let n = xs.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let exact = xs[rank - 1];
+
+        let est = h.quantile(q).expect("non-empty");
+        // Both values must fall inside the same latency bucket, so the
+        // estimate is off by at most that bucket's width.
+        let bucket = |v: f64| LATENCY_BOUNDS.iter().position(|&b| v <= b).unwrap_or(LATENCY_BOUNDS.len());
+        prop_assert_eq!(
+            bucket(est),
+            bucket(exact),
+            "estimate {} and exact {} in different buckets at q={}",
+            est, exact, q
+        );
+        // And it always stays within the observed range.
+        prop_assert!(est >= xs[0] && est <= xs[n - 1]);
+        prop_assert_eq!(h.quantile(0.0).unwrap(), xs[0]);
+        prop_assert_eq!(h.quantile(1.0).unwrap(), xs[n - 1]);
     }
 }
