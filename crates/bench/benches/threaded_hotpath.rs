@@ -1,0 +1,154 @@
+//! Criterion microbenchmarks for the contention-free threaded hot path:
+//! batch extraction vs the per-k-mer iterator, SPSC route-lane batch
+//! sizes end to end, and monolithic vs radix-partitioned phase 2.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dakc::{count_kmers_threaded_opts, ThreadedOpts};
+use dakc_io::{generate_genome, simulate_reads, GenomeSpec, ReadSimConfig};
+use dakc_kmer::{extract_into, kmers_of_read, CanonicalMode, KmerCount, KmerWord};
+use dakc_sort::{accumulate, distinct_runs_estimate, hybrid_sort, hybrid_sort_from, RadixKey};
+
+fn reads(n: usize) -> dakc_io::ReadSet {
+    let genome = generate_genome(&GenomeSpec { bases: 200_000, repeats: None }, 1);
+    simulate_reads(&genome, &ReadSimConfig::art_like(n), 1)
+}
+
+fn kmer_vec(n: usize, mut x: u64) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x & u64::mask(31)
+        })
+        .collect()
+}
+
+/// Iterator-based extraction vs the batch `extract_into` path (which
+/// carries the rolling reverse complement for O(1) canonical emits).
+fn bench_extract_paths(c: &mut Criterion) {
+    let rs = reads(2_000);
+    let bases = rs.total_bases() as u64;
+    let mut g = c.benchmark_group("extract_paths");
+    g.throughput(Throughput::Bytes(bases));
+    for mode in [CanonicalMode::Forward, CanonicalMode::Canonical] {
+        let label = match mode {
+            CanonicalMode::Forward => "forward",
+            CanonicalMode::Canonical => "canonical",
+        };
+        g.bench_with_input(BenchmarkId::new("iterator", label), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for r in rs.iter() {
+                    for w in kmers_of_read::<u64>(r, 31, mode) {
+                        acc ^= w;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("extract_into", label), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for r in rs.iter() {
+                    extract_into::<u64>(r, 31, mode, |w| acc ^= w);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end threaded counting across route-lane batch sizes: the
+/// handoff-frequency vs amortization trade the `route_batch` knob exposes.
+fn bench_route_batch(c: &mut Criterion) {
+    let rs = reads(4_000);
+    let kmers = rs.total_kmers(31) as u64;
+    let mut g = c.benchmark_group("route_batch");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(kmers));
+    for rb in [64usize, 1024, 16_384] {
+        g.bench_with_input(BenchmarkId::from_parameter(rb), &rb, |b, &rb| {
+            let opts = ThreadedOpts { route_batch: rb, ..ThreadedOpts::default() };
+            b.iter(|| {
+                black_box(
+                    count_kmers_threaded_opts::<u64>(
+                        &rs,
+                        31,
+                        CanonicalMode::Forward,
+                        4,
+                        None,
+                        &opts,
+                    )
+                    .counts
+                    .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Phase 2 on one owner's partition: one monolithic sort + accumulate vs
+/// the engine's pre-partitioned form (scatter by top radix byte, sort each
+/// cache-resident bucket from the next level down, fused accumulate).
+fn bench_phase2(c: &mut Criterion) {
+    let n = 1 << 18;
+    let data = kmer_vec(n, 42);
+    // k = 31 keys occupy 62 bits, so the top in-window byte is level 7.
+    let bucket_level = (2 * 31 - 1) / 8;
+    let mut g = c.benchmark_group("phase2_256k");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("monolithic_sort_accumulate", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            hybrid_sort(&mut v);
+            let counts: Vec<(u64, u32)> = accumulate(&v);
+            black_box(counts.len())
+        })
+    });
+    g.bench_function("radix_bucketed_fused", |b| {
+        b.iter(|| {
+            // Producer-side partition: counting-scatter by top byte.
+            let mut hist = [0usize; 256];
+            for &w in &data {
+                hist[w.radix_at(bucket_level) as usize] += 1;
+            }
+            let mut starts = [0usize; 256];
+            let mut sum = 0usize;
+            for (s, &c) in starts.iter_mut().zip(hist.iter()) {
+                *s = sum;
+                sum += c;
+            }
+            let mut cursor = starts;
+            let mut v = vec![0u64; data.len()];
+            for &w in &data {
+                let bkt = w.radix_at(bucket_level) as usize;
+                v[cursor[bkt]] = w;
+                cursor[bkt] += 1;
+            }
+            // Owner-side: sort each cache-resident bucket, fused sweep.
+            for bkt in 0..256 {
+                let (lo, hi) = (starts[bkt], cursor[bkt]);
+                if hi - lo > 1 {
+                    hybrid_sort_from(&mut v[lo..hi], bucket_level - 1);
+                }
+            }
+            let mut counts: Vec<KmerCount<u64>> =
+                Vec::with_capacity(distinct_runs_estimate(&v));
+            for &w in &v {
+                match counts.last_mut() {
+                    Some(c) if c.kmer == w => c.count = c.count.saturating_add(1),
+                    _ => counts.push(KmerCount::new(w, 1)),
+                }
+            }
+            black_box(counts.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extract_paths, bench_route_batch, bench_phase2);
+criterion_main!(benches);

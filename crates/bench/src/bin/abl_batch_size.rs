@@ -1,10 +1,15 @@
 //! Ablation (paper Eq 1): the BSP batch size `b` controls the
 //! synchronization count `⌈mn/bP⌉`. Sweeping `b` exposes the sync-cost
 //! term that DAKC's single barrier removes — the crux of §III's analysis.
+//!
+//! A second sweep covers the shared-memory engine's analogue: the SPSC
+//! route-lane batch ([`ThreadedOpts::route_batch`]), trading handoff
+//! frequency against per-batch partition-and-send amortization.
 
-use dakc::{count_kmers_sim, DakcConfig};
+use dakc::{count_kmers_sim, count_kmers_threaded_opts, DakcConfig, ThreadedOpts};
 use dakc_baselines::{count_kmers_bsp_sim, BspConfig};
 use dakc_bench::{fmt_secs, BenchArgs, Table};
+use dakc_kmer::CanonicalMode;
 use dakc_sim::MachineConfig;
 
 fn main() {
@@ -50,6 +55,41 @@ fn main() {
     }
     t.print();
     art.table(&t);
+
+    // Wall-clock analogue: the threaded engine's route-lane batch size.
+    let threads = 4;
+    let route_batches: Vec<usize> =
+        if args.quick { vec![64, 1024, 16_384] } else { vec![16, 64, 256, 1024, 4096, 16_384] };
+    let mut rt = Table::new(&["route_batch (words/lane)", "threaded time", "vs default"]);
+    let time_with = |rb: usize| {
+        let opts = ThreadedOpts { route_batch: rb, ..ThreadedOpts::default() };
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let run = count_kmers_threaded_opts::<u64>(
+                &reads,
+                k,
+                CanonicalMode::Forward,
+                threads,
+                None,
+                &opts,
+            );
+            best = best.min(run.elapsed.as_secs_f64());
+        }
+        best
+    };
+    let default_t = time_with(ThreadedOpts::default().route_batch);
+    for &rb in &route_batches {
+        let t_rb =
+            if rb == ThreadedOpts::default().route_batch { default_t } else { time_with(rb) };
+        rt.row(vec![
+            rb.to_string(),
+            fmt_secs(t_rb),
+            format!("{:.2}x", t_rb / default_t),
+        ]);
+    }
+    println!("\nthreaded engine ({threads} threads, default route_batch = {}):", ThreadedOpts::default().route_batch);
+    rt.print();
+    art.table(&rt);
     art.write_or_warn();
     println!(
         "DAKC reference: {} with {} barrier (constant, Eq 6).\n\

@@ -57,6 +57,8 @@ pub struct CountArgs {
     pub metrics: Option<String>,
     /// Causal flow tracing: tag one in `N` packets (`1` = every packet).
     pub trace_sample: Option<u32>,
+    /// Words per route-lane batch (engine default if absent).
+    pub route_batch: Option<usize>,
 }
 
 /// Arguments of `dakc generate`.
@@ -121,7 +123,7 @@ dakc — distributed asynchronous k-mer counting
 
 USAGE:
   dakc count <reads.fasta|fastq> [-k 31] [--threads 8] [--canonical]
-             [--l3 C3] [--min-count 1] [-o counts.tsv]
+             [--l3 C3] [--min-count 1] [-o counts.tsv] [--route-batch N]
              [--trace trace.json] [--metrics metrics.json] [--trace-sample N]
   dakc generate --dataset NAME [--scale-shift 12] [--seed 42] [-o out.fastq]
   dakc spectrum <counts.tsv> [--max 100]
@@ -161,6 +163,7 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 trace: None,
                 metrics: None,
                 trace_sample: None,
+                route_batch: None,
             };
             let mut rest: Vec<String> = it.collect();
             let mut args = std::mem::take(&mut rest).into_iter();
@@ -183,6 +186,12 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                         a.trace_sample = Some(parse_num(
                             take_value(&mut args, "--trace-sample")?,
                             "--trace-sample",
+                        )?)
+                    }
+                    "--route-batch" => {
+                        a.route_batch = Some(parse_num(
+                            take_value(&mut args, "--route-batch")?,
+                            "--route-batch",
                         )?)
                     }
                     other if !other.starts_with('-') && input.is_none() => {
@@ -423,6 +432,17 @@ mod tests {
         };
         assert_eq!(c.trace_sample, Some(1));
         assert!(parse_args(argv("simulate r.fq --trace-sample zero")).is_err());
+    }
+
+    #[test]
+    fn parse_route_batch() {
+        let Command::Count(a) = parse_args(argv("count r.fq --route-batch 256")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.route_batch, Some(256));
+        let Command::Count(b) = parse_args(argv("count r.fq")).unwrap() else { panic!() };
+        assert_eq!(b.route_batch, None);
+        assert!(parse_args(argv("count r.fq --route-batch lots")).is_err());
     }
 
     #[test]

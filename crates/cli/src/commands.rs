@@ -154,6 +154,7 @@ fn count(a: CountArgs) -> Result<(), String> {
         // Flow tracing defaults to 1-in-64 packets when any telemetry is
         // requested; `--trace-sample 1` opts into full-rate tagging.
         trace_sample: a.trace_sample.or(want_trace.then_some(64)),
+        route_batch: a.route_batch.unwrap_or(ThreadedOpts::default().route_batch),
     };
     let mut out = out_writer(&a.output)?;
     let (written, elapsed, distinct, events) = if a.k <= 32 {

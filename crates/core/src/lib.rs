@@ -60,5 +60,5 @@ pub use overlap::{count_kmers_sim_overlap, OverlapRun, SortedRunStore};
 pub use program::DakcPeProgram;
 pub use threaded::{
     count_kmers_threaded, count_kmers_threaded_opts, count_kmers_threaded_traced, ThreadedOpts,
-    ThreadedRun,
+    ThreadedRun, DEFAULT_ROUTE_BATCH,
 };

@@ -4,29 +4,45 @@
 //! colocated … and converts the asynchronous messages into memcpy calls"
 //! (§VI-B), which is what makes DAKC competitive with — and ≈2× faster
 //! than — KMC3 on one node. This engine is that configuration, built
-//! directly on scoped threads:
+//! directly on scoped threads, with a contention-free hot path:
 //!
-//! * every thread parses its block of reads and routes k-mers to their
-//!   owner thread through lock-protected inboxes, batched so each lock
-//!   acquisition moves a buffer, not a k-mer (the L2 idea in memcpy form);
+//! * every thread parses its block of reads with the batch extractor
+//!   ([`dakc_kmer::extract_into`]: rolling canonical form, no per-k-mer
+//!   iterator dispatch) and routes k-mers to their owner thread through
+//!   **per-(producer, owner) SPSC lanes**: each lane is a single-producer/
+//!   single-consumer channel, the producer fills a private batch buffer
+//!   and hands off the whole batch in one channel send — no lock any other
+//!   thread can contend on (the L2 idea in memcpy form);
+//! * at flush time the producer counting-scatters the batch by the k-mer's
+//!   **top radix byte**, so batches arrive pre-partitioned and phase 2
+//!   assembles each of the owner's ≤256 buckets with pure `memcpy`s;
 //! * an optional L3 stage pre-accumulates heavy hitters locally before
-//!   routing, shipping `{k-mer, count}` pairs instead of repeats;
-//! * after a phase barrier every owner sorts and accumulates its partition
-//!   independently (parallelism across owners).
+//!   routing (into a reused scratch buffer), shipping `{k-mer, count}`
+//!   pairs instead of repeats;
+//! * after a phase barrier every owner drains its lanes, sorts each
+//!   cache-resident bucket independently ([`hybrid_sort_from`], which
+//!   skips the radix levels the partitioning already fixed), and folds the
+//!   result into `{k-mer, count}` records in one fused, capacity-reserved
+//!   sweep.
 //!
 //! All synchronization is two `std::sync::Barrier` waits — the same
 //! synchronization structure as the distributed algorithm.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use dakc_io::ReadSet;
 use dakc_kmer::{
-    counts::merge_sorted_counts, kmers_of_read, owner_pe, CanonicalMode, KmerCount, KmerWord,
+    counts::merge_sorted_counts, extract_into, owner_pe, CanonicalMode, KmerCount, KmerWord,
 };
 use dakc_sim::telemetry::Event;
 use dakc_sim::{EventKind, FlowSampler};
-use dakc_sort::{accumulate, accumulate_weighted, hybrid_sort, lsd_radix_sort_by, RadixKey};
+use dakc_sort::{
+    accumulate_into, accumulate_weighted, distinct_runs_estimate, hybrid_sort, hybrid_sort_from,
+    lsd_radix_sort_by, RadixKey,
+};
 
 /// Result of a threaded run.
 #[derive(Debug, Clone)]
@@ -44,19 +60,58 @@ pub struct ThreadedRun<W> {
     pub trace: Option<Vec<Event>>,
 }
 
-/// Per-owner routing buffer flushed into the inbox when full (the memcpy
-/// analogue of an L2 packet).
-const ROUTE_BATCH: usize = 1024;
+/// Default words per route-lane batch (the memcpy analogue of an L2
+/// packet); override via [`ThreadedOpts::route_batch`].
+pub const DEFAULT_ROUTE_BATCH: usize = 1024;
 
-/// Observability options for [`count_kmers_threaded_opts`].
-#[derive(Debug, Clone, Copy, Default)]
+/// Options for [`count_kmers_threaded_opts`].
+#[derive(Debug, Clone, Copy)]
 pub struct ThreadedOpts {
     /// Record flight-recorder events into [`ThreadedRun::trace`].
     pub trace: bool,
     /// Causal flow sampling: tag one in `N` route-buffer opens and record
-    /// its wall-clock residency (pack wait + inbox drain wait) when the
+    /// its wall-clock residency (pack wait + lane drain wait) when the
     /// owner consumes it in phase 2. `None` disables flow tracing.
     pub trace_sample: Option<u32>,
+    /// Words a route lane accumulates before the batch is handed to its
+    /// owner ([`DEFAULT_ROUTE_BATCH`] by default). Smaller batches hand
+    /// off more often (more channel sends, fresher flow samples); larger
+    /// batches amortize the per-batch partition-and-send cost.
+    pub route_batch: usize,
+}
+
+impl Default for ThreadedOpts {
+    fn default() -> Self {
+        Self {
+            trace: false,
+            trace_sample: None,
+            route_batch: DEFAULT_ROUTE_BATCH,
+        }
+    }
+}
+
+/// One flushed route batch crossing an SPSC lane: the producer's private
+/// buffer, counting-scattered by the k-mer's top radix byte so the owner
+/// can place every bucket run with a `copy_from_slice`.
+struct RouteBatch<W> {
+    /// k-mers in ascending top-byte bucket order.
+    words: Vec<W>,
+    /// Words per top-byte bucket; prefix sums recover the runs in `words`.
+    counts: Box<[u32; 256]>,
+    /// Sampled-flow sidecar riding out of band, exactly like the
+    /// simulator's `Msg.flows`: (flow id, src worker, open time, send
+    /// time). Never changes what the lane carries.
+    flow: Option<(u64, u32, f64, f64)>,
+}
+
+/// A heavy-hitter shipment: L3-accumulated `(k-mer, count)` pairs.
+type PairBatch<W> = Vec<(W, u32)>;
+
+/// Index of the most significant radix byte inside the `2k`-bit window.
+/// All bytes above it are zero, so partitioning on it makes concatenated
+/// sorted buckets globally sorted.
+fn top_byte_level(k: usize) -> usize {
+    (2 * k - 1) / 8
 }
 
 /// Counts k-mers with `threads` workers. `l3_buffer` enables the
@@ -72,7 +127,7 @@ pub fn count_kmers_threaded<W: KmerWord + RadixKey>(
 }
 
 /// Like [`count_kmers_threaded`], but when `trace` is set each worker
-/// records flight-recorder events (inbox batch flushes, L3 drains, the
+/// records flight-recorder events (lane batch flushes, L3 drains, the
 /// phase barrier, phase transitions) into a thread-local buffer, merged
 /// into [`ThreadedRun::trace`] after the run. Timestamps are wall-clock
 /// seconds since run start — unlike simulator traces they are *not*
@@ -91,17 +146,18 @@ pub fn count_kmers_threaded_traced<W: KmerWord + RadixKey>(
         canonical,
         threads,
         l3_buffer,
-        &ThreadedOpts { trace, trace_sample: None },
+        &ThreadedOpts { trace, ..ThreadedOpts::default() },
     )
 }
 
 /// Like [`count_kmers_threaded_traced`], with causal flow tracing: when
 /// [`ThreadedOpts::trace_sample`] is set, a sampled route-buffer open mints
-/// a flow id ([`EventKind::FlowSend`] at the flush into the owner's inbox)
-/// that the owner closes with an [`EventKind::FlowRecv`] when phase 2
-/// drains the inbox. The wall-clock analogue of the simulator's virtual
-/// residencies: the pack wait lands in `l2_s`, the inbox wait in
-/// `drain_s`, and the memcpy stages (`l1/l0/net`) are zero-width.
+/// a flow id ([`EventKind::FlowSend`] at the batch handoff into the
+/// owner's lane) that the owner closes with an [`EventKind::FlowRecv`]
+/// when phase 2 drains the lane. The wall-clock analogue of the
+/// simulator's virtual residencies: the pack wait lands in `l2_s`, the
+/// lane wait in `drain_s`, and the memcpy stages (`l1/l0/net`) are
+/// zero-width.
 pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
     reads: &ReadSet,
     k: usize,
@@ -112,29 +168,49 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
 ) -> ThreadedRun<W> {
     let trace = opts.trace;
     let trace_sample = opts.trace_sample;
+    let route_batch = opts.route_batch.max(1);
     assert!(threads >= 1);
     assert!((1..=W::MAX_K).contains(&k), "k out of range");
     let start = Instant::now();
 
-    let inboxes: Vec<Mutex<Vec<W>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
-    let pair_inboxes: Vec<Mutex<Vec<(W, u32)>>> =
-        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
-    // Flow sidecars per owner: (flow id, src worker, open time, send time).
-    // Like the simulator's Msg sidecar, these ride out of band — flow
-    // tracing never changes what the inboxes carry.
-    type FlowEntry = (u64, u32, f64, f64);
-    let flow_inboxes: Vec<Mutex<Vec<FlowEntry>>> =
-        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    // One SPSC lane per (producer, owner) pair, for word batches and for
+    // L3 heavy-hitter pairs. `word_txs[p][o]` is producer p's private
+    // sender towards owner o; `word_rxs[o][p]` is the matching receiver.
+    // No lane is ever touched by more than one producer or one consumer,
+    // so a batch handoff is a single channel send with no shared lock.
+    let mut word_txs: Vec<Vec<Sender<RouteBatch<W>>>> =
+        (0..threads).map(|_| Vec::with_capacity(threads)).collect();
+    let mut word_rxs: Vec<Vec<Receiver<RouteBatch<W>>>> =
+        (0..threads).map(|_| Vec::with_capacity(threads)).collect();
+    let mut pair_txs: Vec<Vec<Sender<PairBatch<W>>>> =
+        (0..threads).map(|_| Vec::with_capacity(threads)).collect();
+    let mut pair_rxs: Vec<Vec<Receiver<PairBatch<W>>>> =
+        (0..threads).map(|_| Vec::with_capacity(threads)).collect();
+    for p in 0..threads {
+        for o in 0..threads {
+            let (tx, rx) = channel();
+            word_txs[p].push(tx);
+            word_rxs[o].push(rx);
+            let (tx, rx) = channel();
+            pair_txs[p].push(tx);
+            pair_rxs[o].push(rx);
+        }
+    }
+    // Staged-words gauge per owner (the memcpy-engine analogue of the
+    // simulator's pending-message gauge); only touched when tracing.
+    let staged: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
     let phase_barrier = Barrier::new(threads);
     let outputs: Vec<Mutex<Option<Vec<KmerCount<W>>>>> =
         (0..threads).map(|_| Mutex::new(None)).collect();
     let traces: Vec<Mutex<Vec<Event>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
 
     std::thread::scope(|s| {
-        for t in 0..threads {
-            let inboxes = &inboxes;
-            let pair_inboxes = &pair_inboxes;
-            let flow_inboxes = &flow_inboxes;
+        let lanes = word_txs
+            .into_iter()
+            .zip(word_rxs)
+            .zip(pair_txs.into_iter().zip(pair_rxs));
+        for (t, ((wtx, wrx), (ptx, prx))) in lanes.enumerate() {
+            let staged = &staged;
             let phase_barrier = &phase_barrier;
             let outputs = &outputs;
             let traces = &traces;
@@ -153,9 +229,14 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
                 record(&mut ev, EventKind::Phase { phase: 0 });
 
                 // --- Phase 1: parse and route ---
-                let mut route: Vec<Vec<W>> = vec![Vec::with_capacity(ROUTE_BATCH); threads];
+                let bucket_level = top_byte_level(k);
+                let mut route: Vec<Vec<W>> =
+                    (0..threads).map(|_| Vec::with_capacity(route_batch)).collect();
                 let mut pair_route: Vec<Vec<(W, u32)>> = vec![Vec::new(); threads];
                 let mut l3: Vec<W> = Vec::new();
+                // Reused accumulate scratch: the L3 drain allocates nothing
+                // at steady state.
+                let mut l3_acc: Vec<(W, u32)> = Vec::new();
                 let word_bytes = std::mem::size_of::<W>();
                 let mut sampler = FlowSampler::new(t as u32, trace_sample);
                 // Open flow per route buffer: (flow id, open time).
@@ -173,42 +254,64 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
                         }
                     }
                 };
+                // Batch handoff: counting-scatter the filled buffer by top
+                // radix byte into a fresh batch and send it down the SPSC
+                // lane. The fill buffer is retained and cleared — the
+                // double-buffer swap that keeps the lane contention-free.
                 let flush_owner = |owner: usize,
-                                   route: &mut Vec<Vec<W>>,
+                                   route: &mut [Vec<W>],
                                    route_flow: &mut [Option<(u64, f64)>],
                                    ev: &mut Option<Vec<Event>>| {
                     let buf = &mut route[owner];
-                    if !buf.is_empty() {
-                        record(ev, EventKind::MsgSend {
-                            dst: owner as u32,
-                            tag: 0,
-                            bytes: (buf.len() * word_bytes) as u32,
-                        });
-                        if let Some((flow, t_open)) = route_flow[owner].take() {
-                            let t_send = start.elapsed().as_secs_f64();
-                            record(ev, EventKind::FlowSend {
-                                flow,
-                                channel: 0,
-                                dst: owner as u32,
-                            });
-                            flow_inboxes[owner]
-                                .lock()
-                                .unwrap()
-                                .push((flow, t as u32, t_open, t_send));
-                        }
-                        let mut inbox = inboxes[owner].lock().unwrap();
-                        inbox.append(buf);
-                        let depth = inbox.len() as u32;
-                        drop(inbox);
-                        // Depth of the receiver's inbox in staged words —
-                        // the memcpy-engine analogue of the simulator's
-                        // pending-message gauge.
-                        record(ev, EventKind::QueueDepth { depth });
+                    if buf.is_empty() {
+                        return;
                     }
+                    let mut counts = Box::new([0u32; 256]);
+                    for w in buf.iter() {
+                        counts[w.radix_at(bucket_level) as usize] += 1;
+                    }
+                    let mut offs = [0u32; 256];
+                    let mut sum = 0u32;
+                    for (o, &c) in offs.iter_mut().zip(counts.iter()) {
+                        *o = sum;
+                        sum += c;
+                    }
+                    let mut words = vec![W::zero(); buf.len()];
+                    for &w in buf.iter() {
+                        let b = w.radix_at(bucket_level) as usize;
+                        words[offs[b] as usize] = w;
+                        offs[b] += 1;
+                    }
+                    record(ev, EventKind::MsgSend {
+                        dst: owner as u32,
+                        tag: 0,
+                        bytes: (words.len() * word_bytes) as u32,
+                    });
+                    let flow = route_flow[owner].take().map(|(flow, t_open)| {
+                        let t_send = start.elapsed().as_secs_f64();
+                        record(ev, EventKind::FlowSend {
+                            flow,
+                            channel: 0,
+                            dst: owner as u32,
+                        });
+                        (flow, t as u32, t_open, t_send)
+                    });
+                    if trace {
+                        // Depth of the receiver's staged words across all
+                        // of its lanes.
+                        let depth =
+                            staged[owner].fetch_add(words.len(), Ordering::Relaxed) + words.len();
+                        record(ev, EventKind::QueueDepth { depth: depth as u32 });
+                    }
+                    buf.clear();
+                    wtx[owner]
+                        .send(RouteBatch { words, counts, flow })
+                        .expect("owner holds its receivers past the barrier");
                 };
                 let drain_l3 = |l3: &mut Vec<W>,
-                                route: &mut Vec<Vec<W>>,
-                                pair_route: &mut Vec<Vec<(W, u32)>>,
+                                l3_acc: &mut Vec<(W, u32)>,
+                                route: &mut [Vec<W>],
+                                pair_route: &mut [Vec<(W, u32)>],
                                 route_flow: &mut [Option<(u64, f64)>],
                                 sampler: &mut FlowSampler,
                                 ev: &mut Option<Vec<Event>>| {
@@ -217,7 +320,8 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
                         cap: l3_buffer.unwrap_or(l3.len()) as u32,
                     });
                     hybrid_sort(l3.as_mut_slice());
-                    for (w, c) in accumulate(l3) {
+                    accumulate_into(l3, l3_acc);
+                    for &(w, c) in l3_acc.iter() {
                         let owner = owner_pe(w, threads);
                         if c > 2 {
                             pair_route[owner].push((w, c));
@@ -225,7 +329,7 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
                             for _ in 0..c {
                                 open_flow(owner, route, route_flow, sampler);
                                 route[owner].push(w);
-                                if route[owner].len() >= ROUTE_BATCH {
+                                if route[owner].len() >= route_batch {
                                     flush_owner(owner, route, route_flow, ev);
                                 }
                             }
@@ -234,14 +338,27 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
                     l3.clear();
                 };
 
-                for i in reads.pe_range(t, threads) {
-                    for w in kmers_of_read::<W>(reads.get(i), k, canonical) {
-                        match l3_buffer {
-                            Some(c3) => {
+                match l3_buffer {
+                    None => {
+                        for i in reads.pe_range(t, threads) {
+                            extract_into::<W>(reads.get(i), k, canonical, |w| {
+                                let owner = owner_pe(w, threads);
+                                open_flow(owner, &route, &mut route_flow, &mut sampler);
+                                route[owner].push(w);
+                                if route[owner].len() >= route_batch {
+                                    flush_owner(owner, &mut route, &mut route_flow, &mut ev);
+                                }
+                            });
+                        }
+                    }
+                    Some(c3) => {
+                        for i in reads.pe_range(t, threads) {
+                            extract_into::<W>(reads.get(i), k, canonical, |w| {
                                 l3.push(w);
                                 if l3.len() >= c3 {
                                     drain_l3(
                                         &mut l3,
+                                        &mut l3_acc,
                                         &mut route,
                                         &mut pair_route,
                                         &mut route_flow,
@@ -249,27 +366,20 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
                                         &mut ev,
                                     );
                                 }
-                            }
-                            None => {
-                                let owner = owner_pe(w, threads);
-                                open_flow(owner, &route, &mut route_flow, &mut sampler);
-                                route[owner].push(w);
-                                if route[owner].len() >= ROUTE_BATCH {
-                                    flush_owner(owner, &mut route, &mut route_flow, &mut ev);
-                                }
-                            }
+                            });
+                        }
+                        if !l3.is_empty() {
+                            drain_l3(
+                                &mut l3,
+                                &mut l3_acc,
+                                &mut route,
+                                &mut pair_route,
+                                &mut route_flow,
+                                &mut sampler,
+                                &mut ev,
+                            );
                         }
                     }
-                }
-                if !l3.is_empty() {
-                    drain_l3(
-                        &mut l3,
-                        &mut route,
-                        &mut pair_route,
-                        &mut route_flow,
-                        &mut sampler,
-                        &mut ev,
-                    );
                 }
                 for owner in 0..threads {
                     flush_owner(owner, &mut route, &mut route_flow, &mut ev);
@@ -279,9 +389,15 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
                             tag: 1,
                             bytes: (pair_route[owner].len() * (word_bytes + 4)) as u32,
                         });
-                        pair_inboxes[owner].lock().unwrap().append(&mut pair_route[owner]);
+                        ptx[owner]
+                            .send(std::mem::take(&mut pair_route[owner]))
+                            .expect("owner holds its receivers past the barrier");
                     }
                 }
+                // Hang up the lanes: every batch is in flight before the
+                // barrier, so phase 2's drains observe complete channels.
+                drop(wtx);
+                drop(ptx);
 
                 // --- GLOBAL BARRIER (paper's phase boundary) ---
                 record(&mut ev, EventKind::BarrierEnter);
@@ -292,34 +408,98 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
                 });
                 record(&mut ev, EventKind::Phase { phase: 1 });
 
-                // --- Phase 2: sort + accumulate my partition ---
-                let mut mine: Vec<W> = std::mem::take(&mut *inboxes[t].lock().unwrap());
-                // Close any flows routed to this worker: the barrier is the
-                // drain point, so drain residency is barrier-exit → now.
-                let closing = std::mem::take(&mut *flow_inboxes[t].lock().unwrap());
-                if !closing.is_empty() {
-                    let now = start.elapsed().as_secs_f64();
-                    for (flow, src, t_open, t_send) in closing {
-                        record(&mut ev, EventKind::FlowRecv {
-                            flow,
-                            channel: 0,
-                            src,
-                            l3_s: 0.0,
-                            l2_s: t_send - t_open,
-                            l1_s: 0.0,
-                            l0_s: 0.0,
-                            net_s: 0.0,
-                            drain_s: now - t_send,
-                            e2e_s: now - t_open,
-                        });
+                // --- Phase 2: drain lanes, bucket, sort, accumulate ---
+                let mut batches: Vec<RouteBatch<W>> = Vec::new();
+                let mut bucket_totals = [0usize; 256];
+                for rx in &wrx {
+                    for batch in rx.try_iter() {
+                        for (tot, &c) in bucket_totals.iter_mut().zip(batch.counts.iter()) {
+                            *tot += c as usize;
+                        }
+                        batches.push(batch);
                     }
                 }
-                hybrid_sort(&mut mine);
-                let plain: Vec<KmerCount<W>> = accumulate(&mine)
-                    .into_iter()
-                    .map(|(w, c)| KmerCount::new(w, c))
-                    .collect();
-                let mut pairs: Vec<(W, u32)> = std::mem::take(&mut *pair_inboxes[t].lock().unwrap());
+                // Close sampled flows: the lane drain is the consume
+                // point, so drain residency is barrier-exit → now.
+                if ev.is_some() {
+                    let now = start.elapsed().as_secs_f64();
+                    for batch in &batches {
+                        if let Some((flow, src, t_open, t_send)) = batch.flow {
+                            record(&mut ev, EventKind::FlowRecv {
+                                flow,
+                                channel: 0,
+                                src,
+                                l3_s: 0.0,
+                                l2_s: t_send - t_open,
+                                l1_s: 0.0,
+                                l0_s: 0.0,
+                                net_s: 0.0,
+                                drain_s: now - t_send,
+                                e2e_s: now - t_open,
+                            });
+                        }
+                    }
+                }
+
+                // Assemble the partition bucket by bucket: every batch is
+                // already scattered by top byte, so placement is one
+                // `copy_from_slice` per (batch, bucket) run.
+                let total: usize = bucket_totals.iter().sum();
+                let mut starts = [0usize; 256];
+                let mut sum = 0usize;
+                for (s0, &c) in starts.iter_mut().zip(bucket_totals.iter()) {
+                    *s0 = sum;
+                    sum += c;
+                }
+                let mut cursor = starts;
+                let mut mine = vec![W::zero(); total];
+                for batch in &batches {
+                    let mut off = 0usize;
+                    for (bk, &c) in batch.counts.iter().enumerate() {
+                        let c = c as usize;
+                        if c > 0 {
+                            mine[cursor[bk]..cursor[bk] + c]
+                                .copy_from_slice(&batch.words[off..off + c]);
+                            cursor[bk] += c;
+                            off += c;
+                        }
+                    }
+                }
+                drop(batches);
+
+                // Sort each cache-resident bucket; concatenated buckets
+                // are globally sorted because the bucket byte is the most
+                // significant in-window byte. At bucket_level 0 the bucket
+                // byte is the whole key, so buckets are constant already.
+                if bucket_level > 0 {
+                    for bk in 0..256 {
+                        let (lo, hi) = (starts[bk], cursor[bk]);
+                        if hi - lo > 1 {
+                            hybrid_sort_from(&mut mine[lo..hi], bucket_level - 1);
+                        }
+                    }
+                }
+
+                // Fused accumulate: fold the sorted partition straight
+                // into output records, capacity reserved from a sampled
+                // distinct-run estimate (runs never span buckets — equal
+                // words share a bucket).
+                let mut plain: Vec<KmerCount<W>> =
+                    Vec::with_capacity(distinct_runs_estimate(&mine));
+                for &w in &mine {
+                    match plain.last_mut() {
+                        Some(c) if c.kmer == w => c.count = c.count.saturating_add(1),
+                        _ => plain.push(KmerCount::new(w, 1)),
+                    }
+                }
+                drop(mine);
+
+                let mut pairs: Vec<(W, u32)> = Vec::new();
+                for rx in &prx {
+                    for batch in rx.try_iter() {
+                        pairs.extend(batch);
+                    }
+                }
                 lsd_radix_sort_by(&mut pairs, |p| p.0);
                 let heavy: Vec<KmerCount<W>> = accumulate_weighted(&pairs)
                     .into_iter()
@@ -357,6 +537,7 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dakc_kmer::kmers_of_read;
     use std::collections::BTreeMap;
 
     fn reference(reads: &ReadSet, k: usize, mode: CanonicalMode) -> Vec<KmerCount<u64>> {
@@ -390,6 +571,20 @@ mod tests {
     }
 
     #[test]
+    fn tiny_route_batches_exercise_many_handoffs() {
+        let reads = random_reads(150, 70, 9);
+        for mode in [CanonicalMode::Forward, CanonicalMode::Canonical] {
+            let want = reference(&reads, 17, mode);
+            for rb in [1usize, 7, 64] {
+                let opts = ThreadedOpts { route_batch: rb, ..ThreadedOpts::default() };
+                let run =
+                    count_kmers_threaded_opts::<u64>(&reads, 17, mode, 4, Some(256), &opts);
+                assert_eq!(run.counts, want, "route_batch = {rb}, mode = {mode:?}");
+            }
+        }
+    }
+
+    #[test]
     fn l3_mode_matches_reference() {
         let reads = random_reads(200, 100, 2);
         let want = reference(&reads, 15, CanonicalMode::Forward);
@@ -414,6 +609,18 @@ mod tests {
         let run = count_kmers_threaded::<u128>(&reads, k, CanonicalMode::Forward, 3, None);
         let total: u64 = run.counts.iter().map(|c| c.count as u64).sum();
         assert_eq!(total as usize, reads.total_kmers(k));
+    }
+
+    #[test]
+    fn small_k_single_byte_window() {
+        // 2k ≤ 8 bits: the bucket byte is the whole key, so phase 2's
+        // bucket assembly must already be sorted with no sort pass.
+        let reads = random_reads(60, 40, 4);
+        for k in [1usize, 3, 4] {
+            let want = reference(&reads, k, CanonicalMode::Forward);
+            let run = count_kmers_threaded::<u64>(&reads, k, CanonicalMode::Forward, 3, None);
+            assert_eq!(run.counts, want, "k = {k}");
+        }
     }
 
     #[test]

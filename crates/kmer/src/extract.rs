@@ -23,6 +23,11 @@ pub enum CanonicalMode {
 }
 
 /// Iterator over the k-mers of one read. Created by [`kmers_of_read`].
+///
+/// In [`CanonicalMode::Canonical`] the reverse-complement word is
+/// maintained incrementally alongside the forward word
+/// ([`KmerWord::push_base_rc`]), so each emitted canonical k-mer costs one
+/// `min` instead of a full [`KmerWord::revcomp`] bit-reversal.
 #[derive(Debug, Clone)]
 pub struct KmerIter<'a, W: KmerWord> {
     seq: &'a [u8],
@@ -33,6 +38,9 @@ pub struct KmerIter<'a, W: KmerWord> {
     /// Number of valid bases currently in the rolling window (≤ k).
     filled: usize,
     word: W,
+    /// Rolling reverse complement of `word`; only maintained (and only
+    /// valid once `filled == k`) in canonical mode.
+    rc: W,
 }
 
 impl<'a, W: KmerWord> Iterator for KmerIter<'a, W> {
@@ -47,14 +55,18 @@ impl<'a, W: KmerWord> Iterator for KmerIter<'a, W> {
                 // Ambiguity code: restart the window after it.
                 self.filled = 0;
                 self.word = W::zero();
+                self.rc = W::zero();
                 continue;
             }
             self.word = self.word.push_base(self.k, code);
+            if self.mode == CanonicalMode::Canonical {
+                self.rc = self.rc.push_base_rc(self.k, code);
+            }
             self.filled = (self.filled + 1).min(self.k);
             if self.filled == self.k {
                 return Some(match self.mode {
                     CanonicalMode::Forward => self.word,
-                    CanonicalMode::Canonical => self.word.canonical(self.k),
+                    CanonicalMode::Canonical => self.word.min(self.rc),
                 });
             }
         }
@@ -96,6 +108,69 @@ pub fn kmers_of_read<W: KmerWord>(seq: &[u8], k: usize, mode: CanonicalMode) -> 
         pos: 0,
         filled: 0,
         word: W::zero(),
+        rc: W::zero(),
+    }
+}
+
+/// Batch extraction: calls `emit` once per k-mer of `seq`, in read order,
+/// with the same reset-on-`N` semantics as [`kmers_of_read`].
+///
+/// This is the hot-path entry used by the threaded engine's phase 1: the
+/// emit closure pushes straight into the per-owner route lanes, so there is
+/// no per-k-mer iterator state machine between extraction and routing, and
+/// the per-mode dispatch happens once per read instead of once per k-mer.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds `W::MAX_K`.
+#[inline]
+pub fn extract_into<W: KmerWord>(
+    seq: &[u8],
+    k: usize,
+    mode: CanonicalMode,
+    mut emit: impl FnMut(W),
+) {
+    assert!(
+        (1..=W::MAX_K).contains(&k),
+        "k = {k} out of range 1..={}",
+        W::MAX_K
+    );
+    let mut word = W::zero();
+    let mut filled = 0usize;
+    match mode {
+        CanonicalMode::Forward => {
+            for &b in seq {
+                let code = ENCODE_TABLE[b as usize];
+                if code == crate::encode::INVALID_CODE {
+                    filled = 0;
+                    word = W::zero();
+                    continue;
+                }
+                word = word.push_base(k, code);
+                filled += 1;
+                if filled >= k {
+                    emit(word);
+                }
+            }
+        }
+        CanonicalMode::Canonical => {
+            let mut rc = W::zero();
+            for &b in seq {
+                let code = ENCODE_TABLE[b as usize];
+                if code == crate::encode::INVALID_CODE {
+                    filled = 0;
+                    word = W::zero();
+                    rc = W::zero();
+                    continue;
+                }
+                word = word.push_base(k, code);
+                rc = rc.push_base_rc(k, code);
+                filled += 1;
+                if filled >= k {
+                    emit(word.min(rc));
+                }
+            }
+        }
     }
 }
 
@@ -197,5 +272,44 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn k_too_large_panics() {
         let _ = kmers_of_read::<Kmer64>(b"ACGT", 33, CanonicalMode::Forward);
+    }
+
+    fn collect_into(seq: &[u8], k: usize, mode: CanonicalMode) -> Vec<Kmer64> {
+        let mut v = Vec::new();
+        extract_into::<Kmer64>(seq, k, mode, |w| v.push(w));
+        v
+    }
+
+    #[test]
+    fn extract_into_matches_iterator() {
+        for seq in [
+            b"ACGTACGTACGT".as_slice(),
+            b"ACGNTACGNNGGGCCATTACGT",
+            b"NNN",
+            b"",
+            b"acgtACGT",
+        ] {
+            for k in [1usize, 3, 5, 11] {
+                for mode in [CanonicalMode::Forward, CanonicalMode::Canonical] {
+                    let want: Vec<Kmer64> = kmers_of_read(seq, k, mode).collect();
+                    assert_eq!(collect_into(seq, k, mode), want, "k={k} mode={mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_canonical_matches_full_revcomp() {
+        // The O(1)-per-base rolling min must agree with the definitional
+        // canonical(k) at every position, including across N resets.
+        let seq = b"GGGCCATTNACGTTGCAGTACGGTAGATTACA";
+        for k in [2usize, 7, 13] {
+            let fwd: Vec<Kmer64> = kmers_of_read(seq, k, CanonicalMode::Forward).collect();
+            let can: Vec<Kmer64> = kmers_of_read(seq, k, CanonicalMode::Canonical).collect();
+            assert_eq!(can.len(), fwd.len());
+            for (w, c) in fwd.iter().zip(&can) {
+                assert_eq!(*c, w.canonical(k), "k={k}");
+            }
+        }
     }
 }

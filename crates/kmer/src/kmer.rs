@@ -56,6 +56,17 @@ pub trait KmerWord:
     /// (the rolling update of Algorithms 1–3).
     fn push_base(self, k: usize, code: u8) -> Self;
 
+    /// The reverse-complement mirror of [`KmerWord::push_base`]: treating
+    /// `self` as the reverse complement of the current window, produces the
+    /// reverse complement of the window after `push_base(k, code)` — the
+    /// complement of `code` enters at the *most significant* base slot while
+    /// the least significant base falls off.
+    ///
+    /// Maintaining this word incrementally makes canonical extraction an
+    /// O(1) `min` per base instead of a full [`KmerWord::revcomp`] per
+    /// emitted k-mer.
+    fn push_base_rc(self, k: usize, code: u8) -> Self;
+
     /// The 2-bit code of base `i` (0-based from the start of the k-mer).
     fn base_at(self, k: usize, i: usize) -> u8;
 
@@ -137,6 +148,12 @@ impl KmerWord for u64 {
     }
 
     #[inline]
+    fn push_base_rc(self, k: usize, code: u8) -> Self {
+        debug_assert!(code <= 3);
+        (self >> 2) | (((3 - code) as u64) << (2 * (k - 1)))
+    }
+
+    #[inline]
     fn base_at(self, k: usize, i: usize) -> u8 {
         debug_assert!(i < k);
         ((self >> (2 * (k - 1 - i))) & 0b11) as u8
@@ -194,6 +211,12 @@ impl KmerWord for u128 {
     fn push_base(self, k: usize, code: u8) -> Self {
         debug_assert!(code <= 3);
         ((self << 2) | code as u128) & Self::mask(k)
+    }
+
+    #[inline]
+    fn push_base_rc(self, k: usize, code: u8) -> Self {
+        debug_assert!(code <= 3);
+        (self >> 2) | (((3 - code) as u128) << (2 * (k - 1)))
     }
 
     #[inline]
@@ -257,6 +280,39 @@ mod tests {
         let w = km("ACG");
         let rolled = w.push_base(k, encode_base(b'T').unwrap());
         assert_eq!(rolled, km("CGT"));
+    }
+
+    #[test]
+    fn push_base_rc_tracks_revcomp() {
+        // Rolling rc over a window must equal revcomp of the rolled window.
+        let k = 7;
+        let seq = b"GATTACAGGGCCATTACGT";
+        let mut w = 0u64;
+        let mut rc = 0u64;
+        for (i, &b) in seq.iter().enumerate() {
+            let code = encode_base(b).unwrap();
+            w = w.push_base(k, code);
+            rc = rc.push_base_rc(k, code);
+            if i + 1 >= k {
+                assert_eq!(rc, w.revcomp(k), "pos {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_base_rc_tracks_revcomp_u128_full_width() {
+        let k = 64; // full-width window: no masking slack
+        let seq: Vec<u8> = b"ACGTTGCAGTACGGTA".repeat(6);
+        let mut w = 0u128;
+        let mut rc = 0u128;
+        for (i, &b) in seq.iter().enumerate() {
+            let code = encode_base(b).unwrap();
+            w = w.push_base(k, code);
+            rc = rc.push_base_rc(k, code);
+            if i + 1 >= k {
+                assert_eq!(rc, w.revcomp(k), "pos {i}");
+            }
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod spectrum;
 pub use bloom::BloomFilter;
 pub use counts::KmerCount;
 pub use encode::{complement_code, decode_base, encode_base, is_dna_base};
-pub use extract::{kmers_of_read, CanonicalMode, KmerIter};
+pub use extract::{extract_into, kmers_of_read, CanonicalMode, KmerIter};
 pub use hash::{owner_pe, splitmix64};
 pub use kmer::{Kmer128, Kmer64, KmerWord};
 pub use minimizer::{minimizer_of, super_kmers, SuperKmer};

@@ -2,7 +2,7 @@
 
 use dakc_kmer::{
     encode::{complement_base, pack_sequence, unpack_sequence},
-    kmers_of_read, minimizer::super_kmers, owner_pe, CanonicalMode, KmerWord,
+    extract_into, kmers_of_read, minimizer::super_kmers, owner_pe, CanonicalMode, KmerWord,
 };
 use proptest::prelude::*;
 
@@ -101,6 +101,38 @@ proptest! {
     #[test]
     fn owner_pe_in_range(x in any::<u64>(), p in 1usize..10_000) {
         prop_assert!(owner_pe(x, p) < p);
+    }
+
+    #[test]
+    fn rolling_canonical_equals_definitional(seq in dna_with_n(150), k in 1usize..=32) {
+        // The rolling-revcomp O(1) min must agree with min(w, revcomp(w))
+        // at every position, for every k, across N resets.
+        let fwd: Vec<u64> = kmers_of_read(&seq, k, CanonicalMode::Forward).collect();
+        let can: Vec<u64> = kmers_of_read(&seq, k, CanonicalMode::Canonical).collect();
+        prop_assert_eq!(fwd.len(), can.len());
+        for (w, c) in fwd.iter().zip(&can) {
+            prop_assert_eq!(*c, w.canonical(k));
+        }
+    }
+
+    #[test]
+    fn rolling_canonical_equals_definitional_u128(seq in dna_with_n(150), k in 33usize..=64) {
+        let fwd: Vec<u128> = kmers_of_read(&seq, k, CanonicalMode::Forward).collect();
+        let can: Vec<u128> = kmers_of_read(&seq, k, CanonicalMode::Canonical).collect();
+        prop_assert_eq!(fwd.len(), can.len());
+        for (w, c) in fwd.iter().zip(&can) {
+            prop_assert_eq!(*c, w.canonical(k));
+        }
+    }
+
+    #[test]
+    fn extract_into_matches_iterator_props(seq in dna_with_n(200), k in 1usize..=32) {
+        for mode in [CanonicalMode::Forward, CanonicalMode::Canonical] {
+            let want: Vec<u64> = kmers_of_read(&seq, k, mode).collect();
+            let mut got: Vec<u64> = Vec::new();
+            extract_into(&seq, k, mode, |w| got.push(w));
+            prop_assert_eq!(got, want);
+        }
     }
 
     #[test]

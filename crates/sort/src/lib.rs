@@ -30,8 +30,11 @@ pub mod msd;
 pub mod parallel;
 pub mod quicksort;
 
-pub use accumulate::{accumulate, accumulate_weighted};
-pub use hybrid::hybrid_sort;
+pub use accumulate::{
+    accumulate, accumulate_into, accumulate_weighted, accumulate_weighted_into,
+    distinct_runs_estimate,
+};
+pub use hybrid::{hybrid_sort, hybrid_sort_from};
 pub use lsd::{lsd_radix_sort, lsd_radix_sort_by};
 pub use msd::msd_radix_sort;
 pub use parallel::parallel_radix_sort;

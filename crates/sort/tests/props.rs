@@ -2,8 +2,9 @@
 //! faithful histogram.
 
 use dakc_sort::{
-    accumulate, accumulate_weighted, hybrid_sort, lsd_radix_sort, lsd_radix_sort_by,
-    msd_radix_sort, parallel_radix_sort, quicksort,
+    accumulate, accumulate_into, accumulate_weighted, accumulate_weighted_into,
+    distinct_runs_estimate, hybrid_sort, hybrid_sort_from, lsd_radix_sort, lsd_radix_sort_by,
+    msd_radix_sort, parallel_radix_sort, quicksort, RadixKey,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -103,5 +104,52 @@ proptest! {
         }
         let plain = accumulate(&expanded);
         prop_assert_eq!(weighted, plain);
+    }
+
+    #[test]
+    fn accumulate_into_matches_owning(v in prop::collection::vec(0u64..50, 0..2000)) {
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let mut buf: Vec<(u64, u32)> = vec![(99, 99); 7]; // stale content must be cleared
+        accumulate_into(&sorted, &mut buf);
+        prop_assert_eq!(buf, accumulate(&sorted));
+    }
+
+    #[test]
+    fn accumulate_weighted_into_matches_owning(pairs in prop::collection::vec((0u64..20, 1u32..5), 0..300)) {
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable_by_key(|p| p.0);
+        let mut buf: Vec<(u64, u32)> = vec![(1, 1)];
+        accumulate_weighted_into(&sorted, &mut buf);
+        prop_assert_eq!(buf, accumulate_weighted(&sorted));
+    }
+
+    #[test]
+    fn distinct_estimate_never_exceeds_len(v in prop::collection::vec(0u64..64, 0..3000)) {
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let est = distinct_runs_estimate(&sorted);
+        prop_assert!(est <= sorted.len());
+        if !sorted.is_empty() {
+            prop_assert!(est >= 1);
+        }
+    }
+
+    #[test]
+    fn hybrid_from_top_level_matches_std(mut v in prop::collection::vec(any::<u64>(), 0..3000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        hybrid_sort_from(&mut v, <u64 as RadixKey>::LEVELS - 1);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn hybrid_from_respects_constant_prefix(low in prop::collection::vec(any::<u16>(), 0..3000), hi in any::<u16>()) {
+        // Constant top six bytes, so sorting may start at level 1.
+        let mut v: Vec<u64> = low.iter().map(|&x| ((hi as u64) << 48) | x as u64).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        hybrid_sort_from(&mut v, 1);
+        prop_assert_eq!(v, expect);
     }
 }

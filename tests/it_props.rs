@@ -2,7 +2,7 @@
 //! configurations, the distributed engines agree with the serial
 //! reference and conserve k-mer mass.
 
-use dakc::{count_kmers_sim, count_kmers_threaded, DakcConfig};
+use dakc::{count_kmers_sim, count_kmers_threaded, count_kmers_threaded_opts, DakcConfig, ThreadedOpts};
 use dakc_baselines::{count_kmers_bsp_sim, count_kmers_serial, BspConfig};
 use dakc_io::ReadSet;
 use dakc_kmer::CanonicalMode;
@@ -69,5 +69,38 @@ proptest! {
         let run = count_kmers_sim::<u64>(&reads, &DakcConfig::scaled_defaults(k), &machine).unwrap();
         let mass: u64 = run.counts.iter().map(|c| c.count as u64).sum();
         prop_assert_eq!(mass as usize, reads.total_kmers(k));
+    }
+}
+
+// The SPSC-lane engine is exercised harder (wide k range incl. u128,
+// every thread shape, both canonical modes, tiny lane batches, L3 on and
+// off) with fewer cases per property — the product space carries the
+// coverage.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn threaded_bit_identical_across_shapes(
+        reads in read_set_strategy(),
+        canonical in any::<bool>(),
+        route_batch in prop::sample::select(vec![7usize, 1024]),
+        l3_cap in prop::sample::select(vec![0usize, 8, 48]),
+    ) {
+        let l3 = (l3_cap != 0).then_some(l3_cap);
+        let mode = if canonical { CanonicalMode::Canonical } else { CanonicalMode::Forward };
+        let opts = ThreadedOpts { route_batch, ..ThreadedOpts::default() };
+        for k in [15usize, 31] {
+            let want = count_kmers_serial::<u64>(&reads, k, mode, false).counts;
+            for threads in [1usize, 2, 4, 7] {
+                let got = count_kmers_threaded_opts::<u64>(&reads, k, mode, threads, l3, &opts);
+                prop_assert_eq!(&got.counts, &want, "k={} threads={}", k, threads);
+            }
+        }
+        // k > 32 takes the u128 word path.
+        let want = count_kmers_serial::<u128>(&reads, 33, mode, false).counts;
+        for threads in [1usize, 2, 4, 7] {
+            let got = count_kmers_threaded_opts::<u128>(&reads, 33, mode, threads, l3, &opts);
+            prop_assert_eq!(&got.counts, &want, "k=33 threads={}", threads);
+        }
     }
 }

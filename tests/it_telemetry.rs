@@ -193,7 +193,7 @@ fn identical_flow_traced_runs_export_identical_traces() {
 #[test]
 fn threaded_flow_events_pair_and_telescope() {
     let reads = synthetic(21).scaled(14).generate(3);
-    let opts = dakc::ThreadedOpts { trace: true, trace_sample: Some(1) };
+    let opts = dakc::ThreadedOpts { trace: true, trace_sample: Some(1), ..Default::default() };
     let run =
         dakc::count_kmers_threaded_opts::<u64>(&reads, 15, CanonicalMode::Forward, 3, Some(256), &opts);
     let events = run.trace.expect("tracing requested");
