@@ -13,6 +13,11 @@ pub enum Command {
     Spectrum(SpectrumArgs),
     /// `dakc simulate <input> [-k N] [--nodes N] [--ppn N] [--protocol 1d|2d|3d] [--l3]`
     Simulate(SimulateArgs),
+    /// `dakc launch <input> [--ranks N] [--backend tcp|loopback] [-k N]`
+    Launch(LaunchArgs),
+    /// `dakc worker <input> --rank I --ranks N --rendezvous DIR` (hidden;
+    /// spawned by `launch --backend tcp`, one per rank).
+    Worker(WorkerArgs),
     /// `dakc model --dataset NAME [--nodes N]`
     Model(ModelArgs),
     /// `dakc compare <input> [-k N] [--nodes N] [--ppn N]`
@@ -59,6 +64,51 @@ pub struct CountArgs {
     pub trace_sample: Option<u32>,
     /// Words per route-lane batch (engine default if absent).
     pub route_batch: Option<usize>,
+}
+
+/// Transport backend of `dakc launch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetBackend {
+    /// In-process channel mesh: `ranks` threads, no sockets.
+    Loopback,
+    /// Real OS processes connected over localhost TCP.
+    Tcp,
+}
+
+/// Arguments of `dakc launch` (and, with rank identity added, of the
+/// hidden `dakc worker`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchArgs {
+    /// Input FASTA/FASTQ path.
+    pub input: String,
+    /// k-mer length.
+    pub k: usize,
+    /// Number of ranks (processes or loopback threads).
+    pub ranks: usize,
+    /// Transport backend.
+    pub backend: NetBackend,
+    /// Canonical (strand-neutral) counting.
+    pub canonical: bool,
+    /// Heavy-hitter L3 buffer size, if enabled.
+    pub l3: Option<usize>,
+    /// Minimum count to report.
+    pub min_count: u32,
+    /// Output TSV path (stdout if absent).
+    pub output: Option<String>,
+    /// Write the merged metrics registry as JSON to this path.
+    pub metrics: Option<String>,
+}
+
+/// Arguments of the hidden `dakc worker` subcommand: one rank of a TCP
+/// job. `launch --backend tcp` spawns these; not for interactive use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerArgs {
+    /// This process's rank.
+    pub rank: usize,
+    /// Rendezvous directory where all ranks publish `rank<i>.addr`.
+    pub rendezvous: String,
+    /// The count parameters, identical on every rank.
+    pub job: LaunchArgs,
 }
 
 /// Arguments of `dakc generate`.
@@ -130,6 +180,9 @@ USAGE:
   dakc simulate <reads> [-k 31] [--nodes 8] [--ppn 24] [--protocol 1d|2d|3d] [--l3]
                 [--trace trace.json] [--metrics metrics.json] [--timeline]
                 [--trace-sample N]
+  dakc launch <reads> [--ranks 4] [--backend tcp|loopback] [-k 31]
+              [--canonical] [--l3 C3] [--min-count 1] [-o counts.tsv]
+              [--metrics metrics.json]
   dakc model --dataset NAME [--nodes 32]
   dakc compare <reads> [-k 31] [--nodes 8] [--ppn 24]
   dakc help
@@ -295,6 +348,75 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
             }
             a.input = input.ok_or("simulate: missing input file")?;
             Ok(Command::Simulate(a))
+        }
+        "launch" | "worker" => {
+            let hidden = sub == "worker";
+            let mut input = None;
+            let mut a = LaunchArgs {
+                input: String::new(),
+                k: 31,
+                ranks: 4,
+                backend: NetBackend::Tcp,
+                canonical: false,
+                l3: None,
+                min_count: 1,
+                output: None,
+                metrics: None,
+            };
+            let mut rank = None;
+            let mut rendezvous = None;
+            let mut args = it;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "-k" => a.k = parse_num(take_value(&mut args, "-k")?, "-k")?,
+                    "--ranks" => a.ranks = parse_num(take_value(&mut args, "--ranks")?, "--ranks")?,
+                    "--backend" => {
+                        a.backend = match take_value(&mut args, "--backend")?.as_str() {
+                            "tcp" => NetBackend::Tcp,
+                            "loopback" => NetBackend::Loopback,
+                            other => return Err(format!("unknown backend {other:?}")),
+                        }
+                    }
+                    "--canonical" => a.canonical = true,
+                    "--l3" => a.l3 = Some(parse_num(take_value(&mut args, "--l3")?, "--l3")?),
+                    "--min-count" => {
+                        a.min_count =
+                            parse_num(take_value(&mut args, "--min-count")?, "--min-count")?
+                    }
+                    "-o" | "--output" => a.output = Some(take_value(&mut args, "-o")?),
+                    "--metrics" => a.metrics = Some(take_value(&mut args, "--metrics")?),
+                    "--rank" if hidden => {
+                        rank = Some(parse_num(take_value(&mut args, "--rank")?, "--rank")?)
+                    }
+                    "--rendezvous" if hidden => {
+                        rendezvous = Some(take_value(&mut args, "--rendezvous")?)
+                    }
+                    other if !other.starts_with('-') && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(format!("{sub}: unknown argument {other:?}")),
+                }
+            }
+            a.input = input.ok_or_else(|| format!("{sub}: missing input file"))?;
+            if a.k == 0 || a.k > 64 {
+                return Err(format!("{sub}: k must be in 1..=64"));
+            }
+            if a.ranks == 0 {
+                return Err(format!("{sub}: --ranks must be at least 1"));
+            }
+            if hidden {
+                let rank = rank.ok_or("worker: --rank is required")?;
+                if rank >= a.ranks {
+                    return Err(format!("worker: rank {rank} out of range 0..{}", a.ranks));
+                }
+                Ok(Command::Worker(WorkerArgs {
+                    rank,
+                    rendezvous: rendezvous.ok_or("worker: --rendezvous is required")?,
+                    job: a,
+                }))
+            } else {
+                Ok(Command::Launch(a))
+            }
         }
         "model" => {
             let mut a = ModelArgs { dataset: String::new(), nodes: 32 };
@@ -464,6 +586,49 @@ mod tests {
         assert_eq!(a.nodes, 4);
         assert_eq!(a.ppn, 6);
         assert_eq!(a.k, 21);
+    }
+
+    #[test]
+    fn parse_launch_full_and_defaults() {
+        let cmd = parse_args(argv(
+            "launch in.fq --ranks 8 --backend loopback -k 33 --canonical --l3 512 --min-count 2 -o out.tsv --metrics m.json",
+        ))
+        .unwrap();
+        let Command::Launch(a) = cmd else { panic!("not launch") };
+        assert_eq!(a.input, "in.fq");
+        assert_eq!(a.ranks, 8);
+        assert_eq!(a.backend, NetBackend::Loopback);
+        assert_eq!(a.k, 33);
+        assert!(a.canonical);
+        assert_eq!(a.l3, Some(512));
+        assert_eq!(a.min_count, 2);
+        assert_eq!(a.output.as_deref(), Some("out.tsv"));
+        assert_eq!(a.metrics.as_deref(), Some("m.json"));
+        let Command::Launch(b) = parse_args(argv("launch in.fq")).unwrap() else { panic!() };
+        assert_eq!(b.ranks, 4);
+        assert_eq!(b.backend, NetBackend::Tcp);
+    }
+
+    #[test]
+    fn launch_rejects_bad_args() {
+        assert!(parse_args(argv("launch")).is_err());
+        assert!(parse_args(argv("launch in.fq --ranks 0")).is_err());
+        assert!(parse_args(argv("launch in.fq --backend carrier-pigeon")).is_err());
+        // Worker-only flags are hidden from `launch`.
+        assert!(parse_args(argv("launch in.fq --rank 0")).is_err());
+    }
+
+    #[test]
+    fn parse_worker() {
+        let cmd =
+            parse_args(argv("worker in.fq --rank 2 --ranks 4 --rendezvous /tmp/rv")).unwrap();
+        let Command::Worker(w) = cmd else { panic!("not worker") };
+        assert_eq!(w.rank, 2);
+        assert_eq!(w.rendezvous, "/tmp/rv");
+        assert_eq!(w.job.ranks, 4);
+        assert!(parse_args(argv("worker in.fq --ranks 4 --rendezvous /tmp/rv")).is_err());
+        assert!(parse_args(argv("worker in.fq --rank 4 --ranks 4 --rendezvous /tmp/rv")).is_err());
+        assert!(parse_args(argv("worker in.fq --rank 0 --ranks 4")).is_err());
     }
 
     #[test]

@@ -3,15 +3,21 @@
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 
-use dakc::{count_kmers_sim, count_kmers_sim_traced, count_kmers_threaded_opts, DakcConfig, ThreadedOpts};
+use dakc::{
+    count_kmers_loopback, count_kmers_sim, count_kmers_sim_traced, count_kmers_threaded_opts,
+    run_rank, DakcConfig, NetRun, ThreadedOpts,
+};
 use dakc_io::{fastx, ReadSet};
 use dakc_kmer::{CanonicalMode, KmerWord};
 use dakc_model::{CommModel, Model, Workload};
+use dakc_net::TcpTransport;
 use dakc_sim::telemetry::{chrome_trace, metrics, Event, MetricsRegistry};
 use dakc_sim::{EventKind, MachineConfig, Timeline, TraceSink};
+use dakc_sort::RadixKey;
 
 use crate::args::{
-    Command, CompareArgs, CountArgs, GenerateArgs, ModelArgs, SimulateArgs, SpectrumArgs, USAGE,
+    Command, CompareArgs, CountArgs, GenerateArgs, LaunchArgs, ModelArgs, NetBackend,
+    SimulateArgs, SpectrumArgs, WorkerArgs, USAGE,
 };
 
 /// Runs a parsed command.
@@ -21,6 +27,8 @@ pub fn dispatch(cmd: Command) -> Result<(), String> {
         Command::Generate(a) => generate(a),
         Command::Spectrum(a) => spectrum(a),
         Command::Simulate(a) => simulate(a),
+        Command::Launch(a) => launch(a),
+        Command::Worker(a) => worker(a),
         Command::Model(a) => model(a),
         Command::Compare(a) => compare(a),
         Command::Help => {
@@ -195,6 +203,135 @@ fn count(a: CountArgs) -> Result<(), String> {
         a.min_count,
         a.threads
     );
+    Ok(())
+}
+
+/// The distributed-engine config for a launch/worker invocation. Every
+/// rank of a job must derive the identical config, so both paths funnel
+/// through here.
+fn net_config(a: &LaunchArgs) -> DakcConfig {
+    let mut cfg = DakcConfig::scaled_defaults(a.k);
+    cfg.canonical = if a.canonical {
+        CanonicalMode::Canonical
+    } else {
+        CanonicalMode::Forward
+    };
+    if let Some(c3) = a.l3 {
+        cfg = cfg.with_l3();
+        cfg.c3 = c3;
+    }
+    cfg
+}
+
+/// Writes rank 0's merged result: counts TSV, optional metrics JSON, and
+/// a run summary on stderr.
+fn emit_net_run<W: KmerWord>(run: &NetRun<W>, a: &LaunchArgs) -> Result<(), String> {
+    let mut out = out_writer(&a.output)?;
+    let written = write_counts(&mut *out, &run.counts, a.k, a.min_count)?;
+    out.flush().map_err(|e| e.to_string())?;
+    if let Some(path) = &a.metrics {
+        write_artifact(path, &run.metrics.to_json())?;
+        eprintln!("wrote metrics: {path}");
+    }
+    eprintln!(
+        "launch: {} distinct k-mers ({written} ≥ count {}) on {} ranks in {:.3} s",
+        run.counts.len(),
+        a.min_count,
+        run.ranks,
+        run.elapsed_s
+    );
+    Ok(())
+}
+
+fn launch_loopback<W: KmerWord + RadixKey + Send>(
+    reads: &ReadSet,
+    cfg: &DakcConfig,
+    a: &LaunchArgs,
+) -> Result<(), String> {
+    let run = count_kmers_loopback::<W>(reads, cfg, a.ranks);
+    emit_net_run(&run, a)
+}
+
+fn launch(a: LaunchArgs) -> Result<(), String> {
+    match a.backend {
+        NetBackend::Loopback => {
+            let reads = load_reads(&a.input)?;
+            let cfg = net_config(&a);
+            if a.k <= 32 {
+                launch_loopback::<u64>(&reads, &cfg, &a)
+            } else {
+                launch_loopback::<u128>(&reads, &cfg, &a)
+            }
+        }
+        NetBackend::Tcp => {
+            // Fail on an unreadable input before spawning N processes.
+            load_reads(&a.input)?;
+            let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+            let dir = std::env::temp_dir().join(format!("dakc-rendezvous-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let mut children = Vec::new();
+            for rank in 0..a.ranks {
+                let mut cmd = std::process::Command::new(&exe);
+                cmd.arg("worker")
+                    .arg(&a.input)
+                    .args(["--rank", &rank.to_string()])
+                    .args(["--ranks", &a.ranks.to_string()])
+                    .args(["--rendezvous", &dir.to_string_lossy()])
+                    .args(["-k", &a.k.to_string()])
+                    .args(["--min-count", &a.min_count.to_string()]);
+                if a.canonical {
+                    cmd.arg("--canonical");
+                }
+                if let Some(c3) = a.l3 {
+                    cmd.args(["--l3", &c3.to_string()]);
+                }
+                // Only rank 0 holds the merged result; it inherits this
+                // process's stdout, so `-o` absent still prints here.
+                if rank == 0 {
+                    if let Some(o) = &a.output {
+                        cmd.args(["-o", o]);
+                    }
+                    if let Some(m) = &a.metrics {
+                        cmd.args(["--metrics", m]);
+                    }
+                }
+                children.push(cmd.spawn().map_err(|e| format!("spawn rank {rank}: {e}"))?);
+            }
+            let mut failures = Vec::new();
+            for (rank, mut child) in children.into_iter().enumerate() {
+                let status = child.wait().map_err(|e| format!("wait rank {rank}: {e}"))?;
+                if !status.success() {
+                    failures.push(format!("rank {rank} exited with {status}"));
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            if failures.is_empty() {
+                Ok(())
+            } else {
+                Err(failures.join("; "))
+            }
+        }
+    }
+}
+
+fn worker(w: WorkerArgs) -> Result<(), String> {
+    let a = &w.job;
+    let reads = load_reads(&a.input)?;
+    let cfg = net_config(a);
+    let transport = TcpTransport::rendezvous(
+        w.rank,
+        a.ranks,
+        std::path::Path::new(&w.rendezvous),
+        cfg.c0_bytes,
+    )
+    .map_err(|e| format!("rank {}: rendezvous: {e}", w.rank))?;
+    if a.k <= 32 {
+        if let Some(run) = run_rank::<u64, _>(&reads, &cfg, transport) {
+            emit_net_run(&run, a)?;
+        }
+    } else if let Some(run) = run_rank::<u128, _>(&reads, &cfg, transport) {
+        emit_net_run(&run, a)?;
+    }
     Ok(())
 }
 

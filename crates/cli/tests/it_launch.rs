@@ -1,0 +1,87 @@
+//! End-to-end `dakc launch`: real OS processes over TCP (and the
+//! loopback backend) must write byte-identical TSV to the serial
+//! `dakc count` path on the same input.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dakc")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dakc-it-launch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn run(args: &[&str]) {
+    let out = Command::new(bin()).args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "dakc {:?} failed:\n{}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Generates a small synthetic dataset and returns its path.
+fn dataset() -> PathBuf {
+    let fq = tmp("reads.fastq");
+    run(&[
+        "generate",
+        "--dataset",
+        "Synthetic 20",
+        "--scale-shift",
+        "15",
+        "-o",
+        fq.to_str().unwrap(),
+    ]);
+    fq
+}
+
+#[test]
+fn launch_tcp_matches_serial_count() {
+    let fq = dataset();
+    let serial = tmp("serial.tsv");
+    run(&[
+        "count", fq.to_str().unwrap(), "-k", "21", "--threads", "2", "-o",
+        serial.to_str().unwrap(),
+    ]);
+    let dist = tmp("tcp.tsv");
+    let metrics = tmp("tcp_metrics.json");
+    run(&[
+        "launch", fq.to_str().unwrap(), "-k", "21", "--ranks", "4", "--backend", "tcp", "-o",
+        dist.to_str().unwrap(), "--metrics", metrics.to_str().unwrap(),
+    ]);
+    let want = std::fs::read(&serial).unwrap();
+    let got = std::fs::read(&dist).unwrap();
+    assert!(!want.is_empty());
+    assert_eq!(got, want, "4-process TCP output differs from serial");
+    // Transport telemetry rode along in the merged metrics export.
+    let m = std::fs::read_to_string(&metrics).unwrap();
+    assert!(m.contains("net.frames_sent"), "{m}");
+    assert!(m.contains("net.term_rounds"), "{m}");
+}
+
+#[test]
+fn launch_loopback_and_single_rank_match_serial() {
+    let fq = dataset();
+    let serial = tmp("serial_lo.tsv");
+    run(&[
+        "count", fq.to_str().unwrap(), "-k", "17", "--threads", "2", "--canonical", "-o",
+        serial.to_str().unwrap(),
+    ]);
+    let want = std::fs::read(&serial).unwrap();
+    for (ranks, backend, out_name) in
+        [("3", "loopback", "lo3.tsv"), ("1", "tcp", "tcp1.tsv"), ("1", "loopback", "lo1.tsv")]
+    {
+        let dist = tmp(out_name);
+        run(&[
+            "launch", fq.to_str().unwrap(), "-k", "17", "--canonical", "--ranks", ranks,
+            "--backend", backend, "-o", dist.to_str().unwrap(),
+        ]);
+        let got = std::fs::read(&dist).unwrap();
+        assert_eq!(got, want, "{backend} ranks={ranks} differs from serial");
+    }
+}

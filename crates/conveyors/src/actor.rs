@@ -6,9 +6,10 @@
 //! application. [`Actor`] is that façade: applications only ever call
 //! [`Actor::send`], [`Actor::progress`] and [`Actor::begin_drain`].
 
-use dakc_sim::{Ctx, EventKind, FlowTag, PeId};
+use dakc_sim::{EventKind, FlowTag, PeId};
 
 use crate::conveyor::{ConvStats, Conveyor, ConveyorConfig};
+use crate::fabric::Fabric;
 
 /// Software cost of staging one packet in the L1 buffer, in integer ops.
 pub const STAGE_ITEM_OPS: u64 = 16;
@@ -56,7 +57,7 @@ pub struct Actor {
 
 impl Actor {
     /// Creates the endpoint and registers L1 buffer memory.
-    pub fn new(cfg: ActorConfig, ctx: &mut Ctx<'_>) -> Self {
+    pub fn new<F: Fabric>(cfg: ActorConfig, ctx: &mut F) -> Self {
         let conveyor = Conveyor::new(cfg.conveyor.clone(), ctx);
         // L1 memory: C1 packets of the largest channel budget plus
         // bookkeeping (Table III charges 264 B per element).
@@ -78,15 +79,15 @@ impl Actor {
 
     /// Queues one packet for `dst`; drains to the conveyor when `C1`
     /// packets are staged.
-    pub fn send(&mut self, ctx: &mut Ctx<'_>, dst: PeId, channel: u8, payload: &[u8]) {
+    pub fn send<F: Fabric>(&mut self, ctx: &mut F, dst: PeId, channel: u8, payload: &[u8]) {
         self.send_flow(ctx, dst, channel, payload, None);
     }
 
     /// Like [`Actor::send`], but attaches a causal flow tag that rides out
     /// of band through the conveyor to the remote drain.
-    pub fn send_flow(
+    pub fn send_flow<F: Fabric>(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut F,
         dst: PeId,
         channel: u8,
         payload: &[u8],
@@ -109,7 +110,7 @@ impl Actor {
     }
 
     /// Moves all staged packets into the conveyor's L0 buffers.
-    fn drain_l1(&mut self, ctx: &mut Ctx<'_>) {
+    fn drain_l1<F: Fabric>(&mut self, ctx: &mut F) {
         let mut staged = std::mem::take(&mut self.staged);
         let arena = std::mem::take(&mut self.arena);
         let packets = staged.len() as u32;
@@ -126,14 +127,14 @@ impl Actor {
 
     /// Polls and processes arrivals (delivery + relaying), exactly like
     /// the actor runtime's background progress loop.
-    pub fn progress(&mut self, ctx: &mut Ctx<'_>, deliver: &mut dyn FnMut(u8, &[u8])) {
+    pub fn progress<F: Fabric>(&mut self, ctx: &mut F, deliver: &mut dyn FnMut(u8, &[u8])) {
         self.conveyor.progress(ctx, deliver);
     }
 
     /// Flushes L1 and L0 and enters draining mode (call once the
     /// application has produced all its packets, before the global
     /// barrier).
-    pub fn begin_drain(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn begin_drain<F: Fabric>(&mut self, ctx: &mut F) {
         self.drain_l1(ctx);
         self.conveyor.begin_drain(ctx);
     }
@@ -149,7 +150,7 @@ impl Actor {
     }
 
     /// Releases registered buffer memory.
-    pub fn release(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn release<F: Fabric>(&mut self, ctx: &mut F) {
         let max_payload = self
             .cfg
             .conveyor

@@ -20,8 +20,9 @@
 //! L2 layer amortizes by packing many k-mers into one record.
 
 use dakc_sim::telemetry::metrics::{BYTES_BOUNDS, HOPS_BOUNDS, LATENCY_BOUNDS, PCT_BOUNDS};
-use dakc_sim::{Ctx, EventKind, FlowTag, Msg, PeId};
+use dakc_sim::{EventKind, FlowTag, Msg, PeId};
 
+use crate::fabric::Fabric;
 use crate::topo::{Protocol, Topology};
 
 /// Message tag conveyors traffic uses on the simulator transport.
@@ -142,7 +143,7 @@ impl Conveyor {
     /// Creates the endpoint for PE `me` of `p`, and registers the
     /// configured buffer memory with the simulator (Fig 2's protocol
     /// memory overhead).
-    pub fn new(cfg: ConveyorConfig, ctx: &mut Ctx<'_>) -> Self {
+    pub fn new<F: Fabric>(cfg: ConveyorConfig, ctx: &mut F) -> Self {
         let me = ctx.pe();
         let topo = Topology::new(cfg.protocol, ctx.num_pes());
         let conv = Self {
@@ -181,7 +182,7 @@ impl Conveyor {
     /// Panics if the payload violates the channel's framing (wrong size on
     /// a fixed channel, > 64 KiB on a variable one) or the channel id is
     /// unknown.
-    pub fn push(&mut self, ctx: &mut Ctx<'_>, final_dst: PeId, channel: u8, payload: &[u8]) {
+    pub fn push<F: Fabric>(&mut self, ctx: &mut F, final_dst: PeId, channel: u8, payload: &[u8]) {
         self.push_flow(ctx, final_dst, channel, payload, None);
     }
 
@@ -189,9 +190,9 @@ impl Conveyor {
     /// record. The tag rides out of band (see [`OutBuf::flows`]) and is
     /// closed — per-stage residencies recorded — when the record is
     /// delivered at `final_dst`.
-    pub fn push_flow(
+    pub fn push_flow<F: Fabric>(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut F,
         final_dst: PeId,
         channel: u8,
         payload: &[u8],
@@ -216,9 +217,9 @@ impl Conveyor {
     }
 
     /// Appends a record to the next hop's buffer, flushing if full.
-    fn enqueue(
+    fn enqueue<F: Fabric>(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut F,
         final_dst: PeId,
         channel: u8,
         payload: &[u8],
@@ -258,7 +259,7 @@ impl Conveyor {
     /// Ships one L0 buffer as a `PUT`, stamping the wire time on every
     /// flow tag riding with it (re-stamped per hop on relayed routes, so
     /// the in-flight stage measures the final hop).
-    fn ship(&mut self, ctx: &mut Ctx<'_>, hop: PeId, mut buf: OutBuf) {
+    fn ship<F: Fabric>(&mut self, ctx: &mut F, hop: PeId, mut buf: OutBuf) {
         self.record_put(ctx, hop, buf.bytes.len());
         let now = ctx.now();
         for (_, tag) in &mut buf.flows {
@@ -268,7 +269,7 @@ impl Conveyor {
     }
 
     /// Telemetry for one `PUT`: fill/size histograms and a trace event.
-    fn record_put(&self, ctx: &mut Ctx<'_>, hop: PeId, bytes: usize) {
+    fn record_put<F: Fabric>(&self, ctx: &mut F, hop: PeId, bytes: usize) {
         let fill_pct = ((bytes as u64 * 100) / self.cfg.c0_bytes.max(1) as u64).min(100) as u8;
         ctx.metrics().observe("l0.put_fill_pct", PCT_BOUNDS, fill_pct as f64);
         ctx.metrics().observe("l0.put_bytes", BYTES_BOUNDS, bytes as f64);
@@ -283,7 +284,7 @@ impl Conveyor {
     /// this PE are handed to `deliver(channel, payload)`; others are
     /// relayed. In draining mode all partially filled buffers are flushed
     /// afterwards so quiescence can be reached.
-    pub fn progress(&mut self, ctx: &mut Ctx<'_>, deliver: &mut dyn FnMut(u8, &[u8])) {
+    pub fn progress<F: Fabric>(&mut self, ctx: &mut F, deliver: &mut dyn FnMut(u8, &[u8])) {
         let msgs = ctx.poll();
         for msg in msgs {
             debug_assert_eq!(msg.tag, CONVEYOR_TAG);
@@ -294,9 +295,9 @@ impl Conveyor {
         }
     }
 
-    fn process_buffer(
+    fn process_buffer<F: Fabric>(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut F,
         msg: &Msg,
         deliver: &mut dyn FnMut(u8, &[u8]),
     ) {
@@ -363,7 +364,7 @@ impl Conveyor {
     /// residencies from the tag's hand-off timestamps, records them as
     /// latency histograms and emits the Chrome-trace flow-finish event.
     /// The residencies telescope — they sum to the end-to-end latency.
-    fn close_flow(&self, ctx: &mut Ctx<'_>, arrival: f64, tag: &FlowTag) {
+    fn close_flow<F: Fabric>(&self, ctx: &mut F, arrival: f64, tag: &FlowTag) {
         let now = ctx.now();
         let l3_s = tag.t_l2_open - tag.t_open;
         let l2_s = tag.t_l2_ship - tag.t_l2_open;
@@ -398,7 +399,7 @@ impl Conveyor {
     }
 
     /// Ships every nonempty buffer immediately, regardless of fill.
-    pub fn flush_all(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn flush_all<F: Fabric>(&mut self, ctx: &mut F) {
         // Deterministic flush order.
         let mut hops: Vec<PeId> = self
             .out
@@ -420,7 +421,7 @@ impl Conveyor {
     /// Enters draining mode (the application has produced everything) and
     /// flushes. While draining, every `progress` call auto-flushes relayed
     /// records so the global quiescent barrier can complete.
-    pub fn begin_drain(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn begin_drain<F: Fabric>(&mut self, ctx: &mut F) {
         self.draining = true;
         self.fold_hop_metrics(ctx);
         self.flush_all(ctx);
@@ -428,7 +429,7 @@ impl Conveyor {
 
     /// Folds the locally accumulated hop tallies into the run's metrics
     /// registry and resets them.
-    fn fold_hop_metrics(&mut self, ctx: &mut Ctx<'_>) {
+    fn fold_hop_metrics<F: Fabric>(&mut self, ctx: &mut F) {
         for (hops, n) in self.hop_counts.iter_mut().enumerate() {
             ctx.metrics()
                 .observe_n("conv.record_hops", HOPS_BOUNDS, hops as f64, *n);
@@ -443,7 +444,7 @@ impl Conveyor {
 
     /// Releases the configured buffer memory (call when the communication
     /// epoch ends and the buffers are handed back).
-    pub fn release(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn release<F: Fabric>(&mut self, ctx: &mut F) {
         self.fold_hop_metrics(ctx);
         ctx.mem_free(self.configured_buffer_bytes());
     }

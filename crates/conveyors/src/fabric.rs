@@ -1,0 +1,133 @@
+//! The delivery-fabric abstraction underneath the cascade.
+//!
+//! Every layer that moves bytes — L0 conveyor buffers, L1 actor staging,
+//! and the application's L2/L3 packing built on top — talks to its runtime
+//! through this trait instead of the simulator's [`Ctx`] directly. Two
+//! families of implementation exist:
+//!
+//! * [`Ctx`] — virtual-time discrete-event delivery, where `charge_*`
+//!   advances the simulated clock and `poll` drains the simulated inbox;
+//! * real transports (`dakc-net`'s `NetFabric`) — wall-clock delivery
+//!   between OS processes, where cost charges are no-ops (time passes by
+//!   itself) and `poll` drains a socket.
+//!
+//! The cascade code is identical in both worlds. In particular the wire
+//! bytes a conveyor produces are the same, which is what lets real
+//! multi-process runs be bit-identical to the simulator and the serial
+//! baseline.
+
+use dakc_sim::telemetry::MetricsRegistry;
+use dakc_sim::{Ctx, EventKind, FlowTag, Msg, PeId};
+
+/// The runtime surface the cascade needs: identity, timing, cost charging,
+/// message delivery and telemetry.
+///
+/// Methods mirror the subset of [`Ctx`] the conveyor layers actually use,
+/// so `impl Fabric for Ctx<'_>` is pure delegation and existing simulator
+/// programs keep passing their `ctx` unchanged.
+pub trait Fabric {
+    /// This endpoint's rank (PE id).
+    fn pe(&self) -> PeId;
+
+    /// Total ranks participating in the run.
+    fn num_pes(&self) -> usize;
+
+    /// Current time in seconds — virtual on the simulator, wall-clock on a
+    /// real transport. Only ever compared against other values from the
+    /// same fabric (flow-stage residencies).
+    fn now(&self) -> f64;
+
+    /// Charges `ops` integer operations. Advances virtual time on the
+    /// simulator; a no-op on real fabrics.
+    fn charge_ops(&mut self, ops: u64);
+
+    /// Charges `bytes` of streaming memory traffic.
+    fn charge_mem(&mut self, bytes: u64);
+
+    /// Bytes of last-level cache available to this endpoint, for the
+    /// cache-aware sort cost models. Real fabrics return 0 (no model:
+    /// charges are no-ops anyway).
+    fn cache_share_bytes(&self) -> u64;
+
+    /// Registers `bytes` of buffer memory for peak-memory accounting.
+    fn mem_alloc(&mut self, bytes: u64);
+
+    /// Returns buffer memory registered with [`Fabric::mem_alloc`].
+    fn mem_free(&mut self, bytes: u64);
+
+    /// Nonblocking buffered send of `payload` to `dst` on channel `tag`,
+    /// with out-of-band causal flow tags (never wire bytes).
+    fn send_with_flows(
+        &mut self,
+        dst: PeId,
+        tag: u32,
+        payload: Vec<u8>,
+        flows: Vec<(u32, FlowTag)>,
+    );
+
+    /// Delivers every message that has arrived, in arrival order.
+    fn poll(&mut self) -> Vec<Msg>;
+
+    /// The run's metrics registry.
+    fn metrics(&mut self) -> &mut MetricsRegistry;
+
+    /// Records a trace event (lazily built; dropped when tracing is off).
+    fn trace(&mut self, make: impl FnOnce() -> EventKind);
+}
+
+impl Fabric for Ctx<'_> {
+    fn pe(&self) -> PeId {
+        Ctx::pe(self)
+    }
+
+    fn num_pes(&self) -> usize {
+        Ctx::num_pes(self)
+    }
+
+    fn now(&self) -> f64 {
+        Ctx::now(self)
+    }
+
+    fn charge_ops(&mut self, ops: u64) {
+        Ctx::charge_ops(self, ops);
+    }
+
+    fn charge_mem(&mut self, bytes: u64) {
+        Ctx::charge_mem(self, bytes);
+    }
+
+    fn cache_share_bytes(&self) -> u64 {
+        let m = self.machine();
+        (m.cache_bytes / m.pes_per_node) as u64
+    }
+
+    fn mem_alloc(&mut self, bytes: u64) {
+        Ctx::mem_alloc(self, bytes);
+    }
+
+    fn mem_free(&mut self, bytes: u64) {
+        Ctx::mem_free(self, bytes);
+    }
+
+    fn send_with_flows(
+        &mut self,
+        dst: PeId,
+        tag: u32,
+        payload: Vec<u8>,
+        flows: Vec<(u32, FlowTag)>,
+    ) {
+        Ctx::send_with_flows(self, dst, tag, payload, flows);
+    }
+
+    fn poll(&mut self) -> Vec<Msg> {
+        Ctx::poll(self)
+    }
+
+    fn metrics(&mut self) -> &mut MetricsRegistry {
+        Ctx::metrics(self)
+    }
+
+    fn trace(&mut self, make: impl FnOnce() -> EventKind) {
+        Ctx::trace(self, make);
+    }
+}

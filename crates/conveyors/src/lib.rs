@@ -29,8 +29,10 @@
 
 pub mod actor;
 pub mod conveyor;
+pub mod fabric;
 pub mod topo;
 
 pub use actor::{Actor, ActorConfig};
 pub use conveyor::{ChannelKind, ConvStats, Conveyor, ConveyorConfig};
+pub use fabric::Fabric;
 pub use topo::{Protocol, Topology};

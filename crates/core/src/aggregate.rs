@@ -16,10 +16,10 @@
 
 use std::collections::HashMap;
 
-use dakc_conveyors::{Actor, ActorConfig, ConvStats, ConveyorConfig};
+use dakc_conveyors::{Actor, ActorConfig, ConvStats, ConveyorConfig, Fabric};
 use dakc_kmer::{owner_pe, KmerWord};
 use dakc_sim::telemetry::metrics::PCT_BOUNDS;
-use dakc_sim::{Ctx, EventKind, FlowSampler, FlowTag, PeId};
+use dakc_sim::{EventKind, FlowSampler, FlowTag, PeId};
 use dakc_sort::{accumulate, hybrid_sort, RadixKey};
 
 use crate::config::DakcConfig;
@@ -95,7 +95,7 @@ pub struct Aggregator<W> {
 
 impl<W: KmerWord + RadixKey> Aggregator<W> {
     /// Builds the cascade for this PE and registers its buffer memory.
-    pub fn new(cfg: DakcConfig, ctx: &mut Ctx<'_>) -> Self {
+    pub fn new<F: Fabric>(cfg: DakcConfig, ctx: &mut F) -> Self {
         cfg.validate::<W>();
         let actor_cfg = ActorConfig {
             c1_packets: cfg.c1_packets,
@@ -139,7 +139,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
     }
 
     /// Algorithm 3's `AsyncAdd`: route one parsed k-mer toward its owner.
-    pub fn async_add(&mut self, ctx: &mut Ctx<'_>, kmer: W) {
+    pub fn async_add<F: Fabric>(&mut self, ctx: &mut F, kmer: W) {
         self.stats.kmers_added += 1;
         if self.cfg.enable_l3 {
             if self.sampler.enabled() && self.l3.is_empty() {
@@ -157,7 +157,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
 
     /// Sorts and accumulates the L3 buffer, then forwards the results
     /// (`AddToL3Buffer`'s full branch).
-    fn flush_l3(&mut self, ctx: &mut Ctx<'_>) {
+    fn flush_l3<F: Fabric>(&mut self, ctx: &mut F) {
         if self.l3.is_empty() {
             return;
         }
@@ -189,7 +189,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
     /// counts the open on the sampler and mints a tag when selected. The
     /// tag's `t_open` reaches back to the current L3 batch's open time, so
     /// the L3 stage measures how long k-mers waited in pre-accumulation.
-    fn open_flow(&mut self, ctx: &mut Ctx<'_>, channel: u8) -> Option<FlowTag> {
+    fn open_flow<F: Fabric>(&mut self, ctx: &mut F, channel: u8) -> Option<FlowTag> {
         if !self.sampler.enabled() {
             return None;
         }
@@ -202,7 +202,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
 
     /// `AddToL2Buffer`: pack toward the owner, splitting heavy hitters
     /// onto the HEAVY channel.
-    fn add_to_l2(&mut self, ctx: &mut Ctx<'_>, kmer: W, count: u32) {
+    fn add_to_l2<F: Fabric>(&mut self, ctx: &mut F, kmer: W, count: u32) {
         let dst = owner_pe(kmer, self.num_pes);
         if !self.cfg.enable_l2 {
             // L0–L1 mode: one k-mer per packet, `count` times.
@@ -255,7 +255,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
     }
 
     /// Encodes and sends one NORMAL packet for `dst`.
-    fn ship_normal(&mut self, ctx: &mut Ctx<'_>, dst: PeId) {
+    fn ship_normal<F: Fabric>(&mut self, ctx: &mut F, dst: PeId) {
         let Some(buf) = self.l2n.remove(&dst) else {
             return;
         };
@@ -263,10 +263,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
             return;
         }
         debug_assert!(buf.len() <= self.cfg.c2);
-        let mut payload = Vec::with_capacity(buf.len() * self.word_bytes);
-        for w in &buf {
-            payload.extend_from_slice(&w.to_u128().to_le_bytes()[..self.word_bytes]);
-        }
+        let payload = encode_normal_packet(&buf, self.word_bytes);
         ctx.charge_ops(payload.len() as u64 / 8 + 1);
         self.stats.normal_packets += 1;
         let fill_pct = ((buf.len() * 100) / self.cfg.c2.max(1)).min(100) as u8;
@@ -285,7 +282,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
 
     /// Stamps the L2→L1 hand-off time on a shipping packet's flow tag (if
     /// any) and emits the Chrome-trace flow-start event.
-    fn stamp_ship(ctx: &mut Ctx<'_>, flow: Option<FlowTag>, dst: PeId) -> Option<FlowTag> {
+    fn stamp_ship<F: Fabric>(ctx: &mut F, flow: Option<FlowTag>, dst: PeId) -> Option<FlowTag> {
         let mut tag = flow?;
         tag.t_l2_ship = ctx.now();
         let (fid, channel, fdst) = (tag.flow, tag.channel, dst as u32);
@@ -298,7 +295,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
     }
 
     /// Encodes and sends one HEAVY packet for `dst`.
-    fn ship_heavy(&mut self, ctx: &mut Ctx<'_>, dst: PeId) {
+    fn ship_heavy<F: Fabric>(&mut self, ctx: &mut F, dst: PeId) {
         let Some(buf) = self.l2h.remove(&dst) else {
             return;
         };
@@ -306,12 +303,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
             return;
         }
         debug_assert!(buf.len() <= self.cfg.c2 / 2);
-        let pair_bytes = self.word_bytes + 4;
-        let mut payload = Vec::with_capacity(buf.len() * pair_bytes);
-        for (w, c) in &buf {
-            payload.extend_from_slice(&w.to_u128().to_le_bytes()[..self.word_bytes]);
-            payload.extend_from_slice(&c.to_le_bytes());
-        }
+        let payload = encode_heavy_packet(&buf, self.word_bytes);
         ctx.charge_ops(payload.len() as u64 / 8 + 1);
         self.stats.heavy_packets += 1;
         let cap = (self.cfg.c2 / 2).max(1);
@@ -332,7 +324,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
     /// Polls and decodes arrived packets into `store`
     /// (`ProcessReceiveBuffer`). Returns the number of records processed
     /// (delivered here or relayed onward).
-    pub fn progress(&mut self, ctx: &mut Ctx<'_>, store: &mut ReceiveStore<W>) -> u64 {
+    pub fn progress<F: Fabric>(&mut self, ctx: &mut F, store: &mut ReceiveStore<W>) -> u64 {
         let before = self.actor.conveyor_stats();
         let word_bytes = self.word_bytes;
         let mut decoded_ops = 0u64;
@@ -352,7 +344,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
     /// Flushes every level (L3 → L2 → L1 → L0) and enters draining mode;
     /// call once parsing is finished, immediately before the global
     /// barrier.
-    pub fn flush(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn flush<F: Fabric>(&mut self, ctx: &mut F) {
         if self.cfg.enable_l3 {
             self.flush_l3(ctx);
         }
@@ -371,7 +363,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
     }
 
     /// Releases registered buffer memory.
-    pub fn release(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn release<F: Fabric>(&mut self, ctx: &mut F) {
         ctx.mem_free(self.cfg.app_layer_bytes::<W>(self.num_pes));
         self.actor.release(ctx);
     }
@@ -382,8 +374,33 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
     }
 }
 
-/// Decodes one packet into the receive store.
-fn decode_packet<W: KmerWord>(
+/// Encodes one NORMAL packet: `buf.len()` k-mer words, little-endian,
+/// truncated to `word_bytes` each. This *is* the L2 wire format — the
+/// transport layers below never re-encode it.
+pub fn encode_normal_packet<W: KmerWord>(buf: &[W], word_bytes: usize) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(buf.len() * word_bytes);
+    for w in buf {
+        payload.extend_from_slice(&w.to_u128().to_le_bytes()[..word_bytes]);
+    }
+    payload
+}
+
+/// Encodes one HEAVY packet: `{k-mer, count}` pairs, each a little-endian
+/// word of `word_bytes` followed by a `u32 LE` count. Shared by the L2
+/// heavy channel and the distributed engine's result gather.
+pub fn encode_heavy_packet<W: KmerWord>(buf: &[(W, u32)], word_bytes: usize) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(buf.len() * (word_bytes + 4));
+    for (w, c) in buf {
+        payload.extend_from_slice(&w.to_u128().to_le_bytes()[..word_bytes]);
+        payload.extend_from_slice(&c.to_le_bytes());
+    }
+    payload
+}
+
+/// Decodes one packet into the receive store (the inverse of
+/// [`encode_normal_packet`] / [`encode_heavy_packet`] / the SINGLE
+/// channel's bare word).
+pub fn decode_packet<W: KmerWord>(
     channel: u8,
     payload: &[u8],
     word_bytes: usize,

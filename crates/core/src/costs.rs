@@ -13,17 +13,17 @@
 //! The *communication* side needs no helpers: bytes cross the simulated
 //! NIC through real `send`s, so Eq 11's term is measured, not charged.
 
-use dakc_sim::Ctx;
+use dakc_conveyors::Fabric;
 
 /// Charges the parse-side compute of generating `kmers` k-mers (Eq 9).
-pub fn charge_parse(ctx: &mut Ctx<'_>, kmers: u64) {
+pub fn charge_parse<F: Fabric>(ctx: &mut F, kmers: u64) {
     ctx.charge_ops(kmers);
 }
 
 /// Charges the streaming memory traffic of reading `input_bytes` of reads
 /// and writing `kmers` packed words of `word_bytes` (Eq 10's two miss
 /// terms).
-pub fn charge_parse_traffic(ctx: &mut Ctx<'_>, input_bytes: u64, kmers: u64, word_bytes: u64) {
+pub fn charge_parse_traffic<F: Fabric>(ctx: &mut F, input_bytes: u64, kmers: u64, word_bytes: u64) {
     ctx.charge_mem(input_bytes + kmers * word_bytes);
 }
 
@@ -31,7 +31,7 @@ pub fn charge_parse_traffic(ctx: &mut Ctx<'_>, input_bytes: u64, kmers: u64, wor
 /// key byte (Eq 12) and one full array stream per byte-pass (Eq 13's
 /// worst case). This is the *model's* assumption; engines that actually
 /// run the MSD hybrid should use [`charge_hybrid_sort`].
-pub fn charge_radix_sort(ctx: &mut Ctx<'_>, n: u64, key_bytes: u64) {
+pub fn charge_radix_sort<F: Fabric>(ctx: &mut F, n: u64, key_bytes: u64) {
     ctx.charge_ops(n * key_bytes);
     ctx.charge_mem(n * key_bytes * key_bytes);
 }
@@ -42,10 +42,10 @@ pub fn charge_radix_sort(ctx: &mut Ctx<'_>, n: u64, key_bytes: u64) {
 /// writes the array once). This is why the paper's *measured* phase 2
 /// lands below the Eq 13 worst case (§V-A) — partitions shrink 256× per
 /// level and stop missing.
-pub fn charge_hybrid_sort(ctx: &mut Ctx<'_>, n: u64, key_bytes: u64) {
+pub fn charge_hybrid_sort<F: Fabric>(ctx: &mut F, n: u64, key_bytes: u64) {
     ctx.charge_ops(n * key_bytes);
     let bytes = n * key_bytes;
-    let share = (ctx.machine().cache_bytes / ctx.machine().pes_per_node) as u64;
+    let share = ctx.cache_share_bytes();
     let mut levels = 1u64;
     let mut partition = bytes;
     while partition > share.max(1) && levels < key_bytes {
@@ -56,7 +56,7 @@ pub fn charge_hybrid_sort(ctx: &mut Ctx<'_>, n: u64, key_bytes: u64) {
 }
 
 /// Charges the accumulate sweep over `n` sorted records of `rec_bytes`.
-pub fn charge_accumulate(ctx: &mut Ctx<'_>, n: u64, rec_bytes: u64) {
+pub fn charge_accumulate<F: Fabric>(ctx: &mut F, n: u64, rec_bytes: u64) {
     ctx.charge_ops(n);
     ctx.charge_mem(n * rec_bytes);
 }
@@ -72,12 +72,12 @@ pub fn charge_accumulate(ctx: &mut Ctx<'_>, n: u64, rec_bytes: u64) {
 /// partition. Quicksort halves partitions per level (radix divides by
 /// 256), so it pays ~8× more out-of-cache levels — the cache-behaviour
 /// gap behind Fig 6's ≈2× kernel difference.
-pub fn charge_comparison_sort(ctx: &mut Ctx<'_>, n: u64, rec_bytes: u64) {
+pub fn charge_comparison_sort<F: Fabric>(ctx: &mut F, n: u64, rec_bytes: u64) {
     if n > 1 {
         let logn = 64 - (n - 1).leading_zeros() as u64;
         ctx.charge_ops(12 * n * logn);
         let bytes = n * rec_bytes;
-        let share = (ctx.machine().cache_bytes / ctx.machine().pes_per_node) as u64;
+        let share = ctx.cache_share_bytes();
         let mut dram_levels = 1u64; // the initial read is always a stream
         let mut partition = bytes;
         while partition > share.max(1) && dram_levels < logn {
@@ -91,7 +91,7 @@ pub fn charge_comparison_sort(ctx: &mut Ctx<'_>, n: u64, rec_bytes: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dakc_sim::{MachineConfig, Program, Simulator, Step};
+    use dakc_sim::{Ctx, MachineConfig, Program, Simulator, Step};
 
     struct Probe {
         f: fn(&mut Ctx<'_>),

@@ -1,0 +1,324 @@
+//! The distributed engine: DAKC over a real [`Transport`].
+//!
+//! Each rank (an OS process under `dakc launch`, or a thread over the
+//! loopback backend) runs the same phases as the simulator's
+//! [`crate::program::DakcPeProgram`], driving the identical L0–L3 cascade
+//! through a [`NetFabric`]:
+//!
+//! ```text
+//! Parse  — roll k-mers out of this rank's read slice, AsyncAdd each,
+//!          servicing the transport between batches.
+//! Drain  — flush every layer, then alternate progress with collective
+//!          four-counter termination rounds until the job is quiescent.
+//! Count  — phase 2: sort + accumulate + merge this rank's partition.
+//! Gather — every rank streams its `{kmer, count}` pairs (HEAVY wire
+//!          format) and its metrics JSON to rank 0, which merges them.
+//! ```
+//!
+//! The quiescent-barrier fix the simulator relies on (`processed > 0 ||
+//! has_ready`) has no transport equivalent — there is no global scheduler
+//! to ask — which is exactly what the termination rounds replace: a rank
+//! with zero input flushes nothing, contributes `(0, 0)` and terminates
+//! after the two confirming rounds; a single-rank job self-delivers and
+//! terminates the same way. Both cases are regression-tested in
+//! `tests/it_net.rs`.
+
+use std::time::Instant;
+
+use dakc_conveyors::Fabric;
+use dakc_io::ReadSet;
+use dakc_kmer::{counts::merge_sorted_counts, kmers_of_read, KmerCount, KmerWord};
+use dakc_net::{Loopback, NetFabric, Transport};
+use dakc_sim::telemetry::MetricsRegistry;
+use dakc_sort::{accumulate, accumulate_weighted, hybrid_sort, lsd_radix_sort_by, RadixKey};
+
+use crate::aggregate::{decode_packet, encode_heavy_packet, Aggregator, ReceiveStore, CH_HEAVY};
+use crate::config::DakcConfig;
+
+/// Gather chunk budget in bytes: small enough to interleave fairly on the
+/// launcher's inbox, large enough to amortize framing.
+const GATHER_CHUNK_BYTES: usize = 60 * 1024;
+
+/// The result of a distributed run, published by rank 0.
+#[derive(Debug, Clone)]
+pub struct NetRun<W> {
+    /// The global histogram, sorted by k-mer — bit-identical to the serial
+    /// baseline on the same input.
+    pub counts: Vec<KmerCount<W>>,
+    /// All ranks' metrics merged: cascade telemetry (L0–L3 histograms)
+    /// plus transport counters (`net.*`), SimReport-style.
+    pub metrics: MetricsRegistry,
+    /// Rank 0's wall-clock seconds from transport hand-off to merged
+    /// result.
+    pub elapsed_s: f64,
+    /// Ranks that participated.
+    pub ranks: usize,
+}
+
+/// Runs one rank of a distributed count over an already-connected
+/// transport. Collective: every rank of the job must call this once, with
+/// the same `cfg`. Returns `Some` on rank 0 (the merged result), `None`
+/// elsewhere.
+pub fn run_rank<W, T>(reads: &ReadSet, cfg: &DakcConfig, transport: T) -> Option<NetRun<W>>
+where
+    W: KmerWord + RadixKey,
+    T: Transport,
+{
+    cfg.validate::<W>();
+    let started = Instant::now();
+    let rank = transport.rank();
+    let n = transport.num_ranks();
+    let word_bytes = cfg.kmer_bytes::<W>();
+    let mut fab = NetFabric::new(transport);
+    let mut agg = Aggregator::<W>::new(cfg.clone(), &mut fab);
+    let mut store = ReceiveStore::<W>::default();
+
+    // Parse: AsyncAdd every k-mer of this rank's slice, servicing arrivals
+    // between batches so receive-side work overlaps parsing.
+    let range = reads.pe_range(rank, n);
+    let mut cursor = range.start;
+    while cursor < range.end {
+        let end = (cursor + cfg.batch_reads).min(range.end);
+        for i in cursor..end {
+            for w in kmers_of_read::<W>(reads.get(i), cfg.k, cfg.canonical) {
+                agg.async_add(&mut fab, w);
+            }
+        }
+        cursor = end;
+        agg.progress(&mut fab, &mut store);
+    }
+
+    // Drain: flush L3→L2→L1→L0, then alternate progress with termination
+    // rounds. A round only runs when this rank has nothing left to
+    // process; it flushes relayed traffic first (via `Transport::flush`)
+    // so counted sends are on the wire before totals are compared.
+    agg.flush(&mut fab);
+    loop {
+        let processed = agg.progress(&mut fab, &mut store);
+        if processed == 0 && fab.transport_mut().termination_round() {
+            break;
+        }
+    }
+
+    // Phase 2 on the quiescent store: identical sorts and merge to the
+    // simulator engine's count phase.
+    let ReceiveStore { mut plain, mut pairs } = store;
+    hybrid_sort(&mut plain);
+    let plain_counts: Vec<KmerCount<W>> = accumulate(&plain)
+        .into_iter()
+        .map(|(w, c)| KmerCount::new(w, c))
+        .collect();
+    lsd_radix_sort_by(&mut pairs, |p| p.0);
+    let pair_counts: Vec<KmerCount<W>> = accumulate_weighted(&pairs)
+        .into_iter()
+        .map(|(w, c)| KmerCount::new(w, c))
+        .collect();
+    let counts = merge_sorted_counts(&plain_counts, &pair_counts);
+
+    // Fold this rank's cascade counters next to the transport telemetry.
+    let agg_stats = agg.stats();
+    let conv = agg.conveyor_stats();
+    {
+        let m = fab.metrics();
+        m.inc("agg.kmers_added", agg_stats.kmers_added);
+        m.inc("agg.l3_flushes", agg_stats.l3_flushes);
+        m.inc("agg.heavy_pairs", agg_stats.heavy_pairs);
+        m.inc("conv.items_pushed", conv.items_pushed);
+        m.inc("conv.items_delivered", conv.items_delivered);
+        m.inc("conv.items_forwarded", conv.items_forwarded);
+        m.inc("conv.puts", conv.puts);
+    }
+    agg.release(&mut fab);
+    let (transport, metrics) = fab.finish();
+
+    let result = gather(transport, counts, metrics, word_bytes);
+    result.map(|(mut transport, counts, metrics)| {
+        transport.barrier();
+        NetRun {
+            counts,
+            metrics,
+            elapsed_s: started.elapsed().as_secs_f64(),
+            ranks: n,
+        }
+    })
+}
+
+/// Streams every rank's pairs and metrics to rank 0 over the (now
+/// quiescent) transport. Per rank the frame sequence is: one header
+/// (`[npairs: u64 LE]`), `ceil` chunk frames in HEAVY `{kmer, count}`
+/// wire format, then one metrics-JSON frame. Per-peer FIFO ordering makes
+/// the sequence self-delimiting. Non-zero ranks run their final barrier
+/// here; rank 0's caller does after consuming the result.
+fn gather<W: KmerWord, T: Transport>(
+    mut transport: T,
+    counts: Vec<KmerCount<W>>,
+    metrics: MetricsRegistry,
+    word_bytes: usize,
+) -> Option<(T, Vec<KmerCount<W>>, MetricsRegistry)> {
+    let rank = transport.rank();
+    let n = transport.num_ranks();
+    if rank != 0 {
+        let pairs: Vec<(W, u32)> = counts.into_iter().map(|c| (c.kmer, c.count)).collect();
+        transport.send(0, &(pairs.len() as u64).to_le_bytes());
+        let chunk_pairs = (GATHER_CHUNK_BYTES / (word_bytes + 4)).max(1);
+        for chunk in pairs.chunks(chunk_pairs) {
+            transport.send(0, &encode_heavy_packet(chunk, word_bytes));
+        }
+        transport.send(0, metrics.to_json().as_bytes());
+        transport.flush();
+        transport.barrier();
+        return None;
+    }
+
+    // Rank 0: consume each peer's header → chunks → metrics sequence.
+    enum PeerState {
+        Header,
+        Pairs(u64),
+        Metrics,
+        Done,
+    }
+    let mut states: Vec<PeerState> = (0..n)
+        .map(|r| if r == 0 { PeerState::Done } else { PeerState::Header })
+        .collect();
+    let mut merged = metrics;
+    let mut all: Vec<(W, u32)> = counts.into_iter().map(|c| (c.kmer, c.count)).collect();
+    let mut outstanding = n - 1;
+    while outstanding > 0 {
+        let Some((src, bytes)) = transport.try_recv() else {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            continue;
+        };
+        match states[src] {
+            PeerState::Header => {
+                let npairs = u64::from_le_bytes(bytes[..8].try_into().expect("gather header"));
+                states[src] = if npairs == 0 {
+                    PeerState::Metrics
+                } else {
+                    PeerState::Pairs(npairs)
+                };
+            }
+            PeerState::Pairs(remaining) => {
+                let mut store = ReceiveStore::<W>::default();
+                decode_packet(CH_HEAVY, &bytes, word_bytes, &mut store);
+                let got = store.pairs.len() as u64;
+                assert!(got <= remaining, "gather overrun from rank {src}");
+                all.extend(store.pairs);
+                states[src] = if got == remaining {
+                    PeerState::Metrics
+                } else {
+                    PeerState::Pairs(remaining - got)
+                };
+            }
+            PeerState::Metrics => {
+                let text = std::str::from_utf8(&bytes).expect("gather metrics utf8");
+                let theirs = MetricsRegistry::from_json(text)
+                    .unwrap_or_else(|e| panic!("gather metrics from rank {src}: {e}"));
+                merged.merge(&theirs);
+                states[src] = PeerState::Done;
+                outstanding -= 1;
+            }
+            PeerState::Done => panic!("unexpected frame from finished rank {src}"),
+        }
+    }
+    merged.inc("net.ranks", n as u64);
+
+    // Owner partitioning makes per-rank k-mer sets disjoint: concatenate
+    // and sort once.
+    all.sort_unstable_by_key(|&(w, _)| w);
+    let counts: Vec<KmerCount<W>> = all
+        .into_iter()
+        .map(|(w, c)| KmerCount::new(w, c))
+        .collect();
+    debug_assert!(dakc_kmer::counts::is_sorted_strict(&counts));
+    Some((transport, counts, merged))
+}
+
+/// Runs a distributed count in-process: `ranks` threads over a
+/// [`Loopback`] mesh. This is `dakc launch --backend loopback`, and the
+/// cheap way to exercise the full transport protocol in tests.
+pub fn count_kmers_loopback<W>(reads: &ReadSet, cfg: &DakcConfig, ranks: usize) -> NetRun<W>
+where
+    W: KmerWord + RadixKey + Send,
+{
+    let mesh = Loopback::mesh(ranks);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = mesh
+            .into_iter()
+            .map(|t| s.spawn(move || run_rank::<W, _>(reads, cfg, t)))
+            .collect();
+        let mut out = None;
+        for h in handles {
+            if let Some(run) = h.join().expect("rank thread panicked") {
+                out = Some(run);
+            }
+        }
+        out.expect("rank 0 publishes the result")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dakc_baselines_shim::reference_counts;
+
+    /// Tiny reference counter, independent of all engines.
+    mod dakc_baselines_shim {
+        use super::*;
+        use std::collections::BTreeMap;
+
+        pub fn reference_counts(
+            reads: &ReadSet,
+            k: usize,
+            canonical: dakc_kmer::CanonicalMode,
+        ) -> Vec<KmerCount<u64>> {
+            let mut h: BTreeMap<u64, u32> = BTreeMap::new();
+            for r in reads.iter() {
+                for w in kmers_of_read::<u64>(r, k, canonical) {
+                    *h.entry(w).or_default() += 1;
+                }
+            }
+            h.into_iter().map(|(w, c)| KmerCount::new(w, c)).collect()
+        }
+    }
+
+    fn tiny_reads() -> ReadSet {
+        let mut rs = ReadSet::new();
+        rs.push(b"ACGTACGTAACCGGTTACGT");
+        rs.push(b"TTTTTTTTTTTTTTTT");
+        rs.push(b"ACGTACGTAACCGGTTACGT");
+        rs.push(b"GGGGCCCCAAAATTTT");
+        rs
+    }
+
+    #[test]
+    fn loopback_matches_reference() {
+        let reads = tiny_reads();
+        let cfg = DakcConfig::scaled_defaults(5);
+        for ranks in [1, 2, 3] {
+            let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks);
+            assert_eq!(
+                run.counts,
+                reference_counts(&reads, 5, cfg.canonical),
+                "ranks={ranks}"
+            );
+            assert_eq!(run.ranks, ranks);
+            assert!(run.metrics.counter("net.term_rounds") >= 2 * ranks as u64);
+        }
+    }
+
+    #[test]
+    fn metrics_carry_transport_counters() {
+        let reads = tiny_reads();
+        let cfg = DakcConfig::scaled_defaults(4);
+        let run = count_kmers_loopback::<u64>(&reads, &cfg, 2);
+        assert!(run.metrics.counter("net.frames_sent") > 0);
+        assert_eq!(run.metrics.counter("net.ranks"), 2);
+        assert_eq!(
+            run.metrics.counter("agg.kmers_added"),
+            reference_counts(&reads, 4, cfg.canonical)
+                .iter()
+                .map(|c| c.count as u64)
+                .sum::<u64>()
+        );
+    }
+}

@@ -46,14 +46,18 @@
 pub mod aggregate;
 pub mod config;
 pub mod costs;
+pub mod distributed;
 pub mod engine;
 pub mod filtered;
 pub mod overlap;
 pub mod program;
 pub mod threaded;
 
-pub use aggregate::{Aggregator, ReceiveStore};
+pub use aggregate::{
+    decode_packet, encode_heavy_packet, encode_normal_packet, Aggregator, ReceiveStore,
+};
 pub use config::DakcConfig;
+pub use distributed::{count_kmers_loopback, run_rank, NetRun};
 pub use engine::{count_kmers_sim, count_kmers_sim_traced, DakcRun};
 pub use filtered::{count_kmers_filtered, FilteredRun};
 pub use overlap::{count_kmers_sim_overlap, OverlapRun, SortedRunStore};

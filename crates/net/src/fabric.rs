@@ -1,0 +1,139 @@
+//! [`NetFabric`]: runs the conveyor cascade over a real [`Transport`].
+//!
+//! This is the wall-clock implementation of [`dakc_conveyors::Fabric`]:
+//! `charge_*` is a no-op (time passes by itself), `now` is seconds since
+//! the fabric was created, `send_with_flows` forwards the payload bytes as
+//! one data frame, and `poll` drains arrived frames into [`Msg`] values so
+//! the conveyor's receive path — including 2D/3D relaying — runs the exact
+//! code it runs under the simulator. Flow sidecars are dropped: causal
+//! flow tracing is a virtual-time facility and cannot ride a real wire
+//! without changing the bytes.
+
+use std::time::Instant;
+
+use dakc_conveyors::conveyor::CONVEYOR_TAG;
+use dakc_conveyors::Fabric;
+use dakc_sim::telemetry::metrics::BYTES_BOUNDS;
+use dakc_sim::telemetry::MetricsRegistry;
+use dakc_sim::{EventKind, FlowTag, Msg, PeId};
+
+use crate::transport::Transport;
+
+/// A [`Fabric`] over a real [`Transport`], with a wall-clock `now` and a
+/// run-local metrics registry.
+#[derive(Debug)]
+pub struct NetFabric<T: Transport> {
+    transport: T,
+    metrics: MetricsRegistry,
+    start: Instant,
+    seq: u64,
+}
+
+impl<T: Transport> NetFabric<T> {
+    /// Wraps a connected transport.
+    pub fn new(transport: T) -> Self {
+        Self {
+            transport,
+            metrics: MetricsRegistry::default(),
+            start: Instant::now(),
+            seq: 0,
+        }
+    }
+
+    /// The wrapped transport (for collectives and gather traffic).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Folds the transport's counters into the registry and returns both.
+    pub fn finish(mut self) -> (T, MetricsRegistry) {
+        let me = self.transport.rank();
+        self.transport.stats().fold_into(me, &mut self.metrics);
+        (self.transport, self.metrics)
+    }
+}
+
+impl<T: Transport> Fabric for NetFabric<T> {
+    fn pe(&self) -> PeId {
+        self.transport.rank()
+    }
+
+    fn num_pes(&self) -> usize {
+        self.transport.num_ranks()
+    }
+
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn charge_ops(&mut self, _ops: u64) {}
+
+    fn charge_mem(&mut self, _bytes: u64) {}
+
+    fn cache_share_bytes(&self) -> u64 {
+        0
+    }
+
+    fn mem_alloc(&mut self, _bytes: u64) {}
+
+    fn mem_free(&mut self, _bytes: u64) {}
+
+    fn send_with_flows(
+        &mut self,
+        dst: PeId,
+        _tag: u32,
+        payload: Vec<u8>,
+        _flows: Vec<(u32, FlowTag)>,
+    ) {
+        self.metrics
+            .observe("msg.payload_bytes", BYTES_BOUNDS, payload.len() as f64);
+        self.transport.send(dst, &payload);
+    }
+
+    fn poll(&mut self) -> Vec<Msg> {
+        let me = self.transport.rank();
+        let now = self.start.elapsed().as_secs_f64();
+        let mut out = Vec::new();
+        while let Some((src, payload)) = self.transport.try_recv() {
+            let seq = self.seq;
+            self.seq += 1;
+            out.push(Msg {
+                src,
+                dst: me,
+                tag: CONVEYOR_TAG,
+                payload,
+                arrival: now,
+                seq,
+                flows: Vec::new(),
+            });
+        }
+        out
+    }
+
+    fn metrics(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    fn trace(&mut self, _make: impl FnOnce() -> EventKind) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::Loopback;
+
+    #[test]
+    fn fabric_delivers_payload_bytes() {
+        let mut mesh = Loopback::mesh(1);
+        let mut fab = NetFabric::new(mesh.remove(0));
+        fab.send_with_flows(0, CONVEYOR_TAG, vec![1, 2, 3], Vec::new());
+        let msgs = fab.poll();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].payload, vec![1, 2, 3]);
+        assert_eq!(msgs[0].src, 0);
+        assert_eq!(msgs[0].tag, CONVEYOR_TAG);
+        let (_, metrics) = fab.finish();
+        let json = metrics.to_json();
+        assert!(json.contains("net.frames_sent"), "{json}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # dakc-net — a real multi-process transport under the Conveyor L0
+//!
+//! The simulator (`dakc-sim`) delivers L0 `PUT` buffers in virtual time;
+//! this crate delivers the *same wire bytes* between real endpoints:
+//!
+//! * [`frame`] — length-prefixed message framing (`[len: u32 LE][kind: u8]
+//!   [payload]`) with an incremental decoder that tolerates arbitrarily
+//!   split reads;
+//! * [`transport`] — the [`Transport`] trait: rank identity, nonblocking
+//!   `send`/`try_recv` of data frames, `flush`, a full barrier, and a
+//!   four-counter (Mattern/Dijkstra-style) termination-detection round;
+//! * [`loopback`] — an in-process backend over shared queues, for tests
+//!   and single-host thread-per-rank runs;
+//! * [`tcp`] — a backend over `std::net::TcpStream` with per-peer buffered
+//!   writers sized to the L0 buffer config, reader threads feeding a
+//!   shared inbox, and all-to-all connection setup from an address list or
+//!   a rendezvous directory;
+//! * [`fabric`] — [`NetFabric`], the [`dakc_conveyors::Fabric`]
+//!   implementation that lets the whole L1–L3 cascade (HEAVY channel and
+//!   `{kmer, count}` wire format included) run unchanged over a
+//!   [`Transport`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod fabric;
+pub mod frame;
+pub mod loopback;
+pub mod tcp;
+pub mod transport;
+
+pub use fabric::NetFabric;
+pub use frame::{encode_frame, FrameDecoder, FrameError, FrameKind, MAX_FRAME_LEN};
+pub use loopback::Loopback;
+pub use tcp::TcpTransport;
+pub use transport::{NetStats, PeerStats, Rank, TermDetector, Transport};

@@ -1,0 +1,187 @@
+//! In-process [`Transport`] backend over shared queues.
+//!
+//! [`Loopback::mesh`] builds all N endpoints at once; hand one to each
+//! thread (they are `Send`). Delivery is a per-rank FIFO of `(src, bytes)`
+//! pairs, so per-peer ordering matches the TCP backend. Barriers use
+//! [`std::sync::Barrier`]; termination rounds publish per-rank totals to a
+//! shared table between two barrier waits, so every rank sums the same
+//! snapshot.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier, Mutex};
+
+use crate::transport::{NetStats, Rank, TermDetector, Transport};
+
+/// A rank's delivery FIFO of `(src, frame bytes)` pairs.
+type Inbox = Mutex<VecDeque<(Rank, Vec<u8>)>>;
+
+#[derive(Debug)]
+struct Shared {
+    /// One inbox per rank.
+    inboxes: Vec<Inbox>,
+    barrier: Barrier,
+    /// Per-rank `(sent, received)` contributions for the current
+    /// termination round.
+    term: Mutex<Vec<(u64, u64)>>,
+}
+
+/// One rank's endpoint of an in-process mesh.
+#[derive(Debug)]
+pub struct Loopback {
+    rank: Rank,
+    n: usize,
+    shared: Arc<Shared>,
+    detector: TermDetector,
+    stats: NetStats,
+}
+
+impl Loopback {
+    /// Builds the full mesh: element `i` is rank `i`'s endpoint.
+    pub fn mesh(n: usize) -> Vec<Loopback> {
+        assert!(n > 0, "mesh needs at least one rank");
+        let shared = Arc::new(Shared {
+            inboxes: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            barrier: Barrier::new(n),
+            term: Mutex::new(vec![(0, 0); n]),
+        });
+        (0..n)
+            .map(|rank| Loopback {
+                rank,
+                n,
+                shared: Arc::clone(&shared),
+                detector: TermDetector::new(),
+                stats: NetStats::new(n),
+            })
+            .collect()
+    }
+}
+
+impl Transport for Loopback {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, dest: Rank, frame: &[u8]) {
+        self.stats.peers[dest].frames_sent += 1;
+        self.stats.peers[dest].bytes_sent += frame.len() as u64;
+        self.shared.inboxes[dest]
+            .lock()
+            .expect("inbox")
+            .push_back((self.rank, frame.to_vec()));
+    }
+
+    fn try_recv(&mut self) -> Option<(Rank, Vec<u8>)> {
+        let got = self.shared.inboxes[self.rank]
+            .lock()
+            .expect("inbox")
+            .pop_front();
+        if let Some((src, ref bytes)) = got {
+            self.stats.peers[src].frames_recv += 1;
+            self.stats.peers[src].bytes_recv += bytes.len() as u64;
+        }
+        got
+    }
+
+    fn flush(&mut self) {
+        // Sends are delivered eagerly; nothing is buffered.
+    }
+
+    fn barrier(&mut self) {
+        self.shared.barrier.wait();
+        self.stats.barriers += 1;
+    }
+
+    fn termination_round(&mut self) -> bool {
+        self.flush();
+        {
+            let mut term = self.shared.term.lock().expect("term table");
+            term[self.rank] = (self.stats.frames_sent(), self.stats.frames_recv());
+        }
+        // Everyone has published; the table is stable while we sum it.
+        self.shared.barrier.wait();
+        let (sent, received) = {
+            let term = self.shared.term.lock().expect("term table");
+            term.iter()
+                .fold((0, 0), |(s, r), &(ps, pr)| (s + ps, r + pr))
+        };
+        // Everyone has summed; the table may be overwritten next round.
+        self.shared.barrier.wait();
+        self.stats.term_rounds += 1;
+        self.detector.decide(sent, received)
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_terminates_after_two_rounds() {
+        let mut mesh = Loopback::mesh(1);
+        let mut t = mesh.remove(0);
+        assert!(!t.termination_round());
+        assert!(t.termination_round());
+        assert_eq!(t.stats().term_rounds, 2);
+    }
+
+    #[test]
+    fn self_send_roundtrip() {
+        let mut mesh = Loopback::mesh(1);
+        let mut t = mesh.remove(0);
+        t.send(0, b"abc");
+        assert_eq!(t.try_recv(), Some((0, b"abc".to_vec())));
+        assert_eq!(t.try_recv(), None);
+        assert!(!t.termination_round());
+        assert!(t.termination_round());
+    }
+
+    #[test]
+    fn two_ranks_exchange_and_terminate() {
+        let mut mesh = Loopback::mesh(2);
+        let mut t1 = mesh.pop().unwrap();
+        let mut t0 = mesh.pop().unwrap();
+        let h = std::thread::spawn(move || {
+            t1.send(0, b"from1");
+            let mut got = None;
+            while got.is_none() {
+                got = t1.try_recv();
+            }
+            assert_eq!(got, Some((0, b"from0".to_vec())));
+            while !t1.termination_round() {}
+            t1.barrier();
+            t1.stats().frames_sent()
+        });
+        t0.send(1, b"from0");
+        let mut got = None;
+        while got.is_none() {
+            got = t0.try_recv();
+        }
+        assert_eq!(got, Some((1, b"from1".to_vec())));
+        while !t0.termination_round() {}
+        t0.barrier();
+        assert_eq!(h.join().unwrap(), 1);
+        assert_eq!(t0.stats().frames_sent(), 1);
+        assert_eq!(t0.stats().frames_recv(), 1);
+    }
+
+    #[test]
+    fn per_peer_fifo_order() {
+        let mut mesh = Loopback::mesh(2);
+        let mut t1 = mesh.pop().unwrap();
+        let mut t0 = mesh.pop().unwrap();
+        for i in 0..10u8 {
+            t0.send(1, &[i]);
+        }
+        for i in 0..10u8 {
+            assert_eq!(t1.try_recv(), Some((0, vec![i])));
+        }
+    }
+}

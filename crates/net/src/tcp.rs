@@ -1,0 +1,532 @@
+//! [`Transport`] backend over `std::net::TcpStream`.
+//!
+//! Topology is a full mesh: rank `i` connects to every lower rank and
+//! accepts from every higher rank, identifying itself with a 4-byte rank
+//! hello, so each socket's peer is known up front. Per peer the endpoint
+//! keeps a send-side [`BufWriter`] sized to the L0 buffer config (one L0
+//! `PUT` should flush in one syscall) and a reader thread that decodes
+//! frames incrementally and pushes them onto a shared inbox channel.
+//!
+//! Control traffic (barrier announcements, termination contributions)
+//! shares the sockets with data. Because peers progress at different
+//! speeds, control frames for a *future* round can arrive while this rank
+//! still waits on the current one; they are keyed by their epoch/round
+//! number and buffered until the local rank catches up. Data frames that
+//! arrive during a collective wait are stashed and handed to the next
+//! `try_recv` — they are *not* counted as received until then, which the
+//! termination protocol requires.
+//!
+//! Address discovery is either an explicit list (a rank file, one
+//! `host:port` per line) or a rendezvous directory: every rank binds an
+//! ephemeral port, atomically publishes `rank<i>.addr`, and polls until
+//! all N files exist — which is how `dakc launch` wires up self-spawned
+//! workers on localhost.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::frame::{encode_frame, FrameDecoder, FrameKind};
+use crate::transport::{NetStats, Rank, TermDetector, Transport};
+
+/// How long connection setup retries a peer that is not listening yet.
+const CONNECT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// How long a collective waits for stragglers before declaring the job
+/// wedged (a peer died mid-protocol).
+const COLLECTIVE_DEADLINE: Duration = Duration::from_secs(120);
+
+/// A send (or flush) slower than this counts as one backpressure stall.
+const STALL_THRESHOLD: Duration = Duration::from_millis(1);
+
+/// One decoded frame arriving from a reader thread.
+struct Event {
+    src: Rank,
+    kind: FrameKind,
+    payload: Vec<u8>,
+}
+
+/// One rank's TCP endpoint.
+pub struct TcpTransport {
+    rank: Rank,
+    n: usize,
+    /// Per-peer buffered writers (`None` at `rank` — self-sends bypass
+    /// the wire).
+    writers: Vec<Option<BufWriter<TcpStream>>>,
+    /// Shared inbox fed by one reader thread per peer.
+    rx: mpsc::Receiver<Event>,
+    /// Keeps the channel open when there are no peers (single-rank jobs).
+    _tx: mpsc::Sender<Event>,
+    /// Self-sends and data frames that arrived during a collective wait.
+    pending: VecDeque<(Rank, Vec<u8>)>,
+    /// Barrier announcements seen, per epoch.
+    bar_seen: HashMap<u64, usize>,
+    /// Termination contributions seen, per round.
+    term_seen: HashMap<u64, Vec<(u64, u64)>>,
+    epoch: u64,
+    round: u64,
+    detector: TermDetector,
+    stats: NetStats,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("rank", &self.rank)
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpTransport {
+    /// Connects a full mesh from an explicit address list; `addrs[rank]`
+    /// must be bindable locally. `buf_bytes` sizes the per-peer send and
+    /// receive buffers (pass the job's L0 `c0_bytes`).
+    pub fn connect(rank: Rank, addrs: &[SocketAddr], buf_bytes: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addrs[rank])?;
+        Self::with_listener(rank, addrs, listener, buf_bytes)
+    }
+
+    /// Like [`TcpTransport::connect`], reading the address list from a
+    /// rank file: one `host:port` per line, line `i` for rank `i`.
+    pub fn from_rank_file(
+        rank: Rank,
+        path: &Path,
+        buf_bytes: usize,
+    ) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let addrs = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| {
+                l.parse::<SocketAddr>().map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("rank file line {l:?}: {e}"),
+                    )
+                })
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Self::connect(rank, &addrs, buf_bytes)
+    }
+
+    /// Binds an ephemeral localhost port, publishes it as
+    /// `<dir>/rank<i>.addr` (atomic write), waits for all `n` ranks to
+    /// publish, then connects the mesh. This is the `dakc launch`
+    /// self-spawn path.
+    pub fn rendezvous(
+        rank: Rank,
+        n: usize,
+        dir: &Path,
+        buf_bytes: usize,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let tmp = dir.join(format!(".rank{rank}.addr.tmp"));
+        std::fs::write(&tmp, addr.to_string())?;
+        std::fs::rename(&tmp, dir.join(format!("rank{rank}.addr")))?;
+
+        let deadline = Instant::now() + CONNECT_DEADLINE;
+        let mut addrs = vec![None; n];
+        addrs[rank] = Some(addr);
+        while addrs.iter().any(Option::is_none) {
+            for (i, slot) in addrs.iter_mut().enumerate() {
+                if slot.is_none() {
+                    if let Ok(text) = std::fs::read_to_string(dir.join(format!("rank{i}.addr"))) {
+                        *slot = Some(text.trim().parse().map_err(|e| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!("rank {i} addr: {e}"),
+                            )
+                        })?);
+                    }
+                }
+            }
+            if addrs.iter().any(Option::is_none) {
+                if Instant::now() > deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "rendezvous: not all ranks published an address",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        let addrs: Vec<SocketAddr> = addrs.into_iter().map(|a| a.expect("filled")).collect();
+        Self::with_listener(rank, &addrs, listener, buf_bytes)
+    }
+
+    fn with_listener(
+        rank: Rank,
+        addrs: &[SocketAddr],
+        listener: TcpListener,
+        buf_bytes: usize,
+    ) -> std::io::Result<Self> {
+        let n = addrs.len();
+        assert!(rank < n, "rank {rank} out of range for {n} ranks");
+        let buf_bytes = buf_bytes.max(4 << 10);
+        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+
+        // Lower ranks are dialed (they listen first by construction);
+        // higher ranks dial us.
+        for (peer, addr) in addrs.iter().enumerate().take(rank) {
+            let deadline = Instant::now() + CONNECT_DEADLINE;
+            let stream = loop {
+                match TcpStream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() > deadline {
+                            return Err(std::io::Error::new(
+                                e.kind(),
+                                format!("rank {rank}: connecting to rank {peer} at {addr}: {e}"),
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            };
+            stream.set_nodelay(true)?;
+            let mut s = stream;
+            s.write_all(&(rank as u32).to_le_bytes())?;
+            s.flush()?;
+            streams[peer] = Some(s);
+        }
+        for _ in rank + 1..n {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            let mut hello = [0u8; 4];
+            stream.read_exact(&mut hello)?;
+            let src = u32::from_le_bytes(hello) as usize;
+            if src <= rank || src >= n || streams[src].is_some() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("rank {rank}: unexpected hello from rank {src}"),
+                ));
+            }
+            streams[src] = Some(stream);
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let mut writers: Vec<Option<BufWriter<TcpStream>>> = Vec::with_capacity(n);
+        for (peer, stream) in streams.into_iter().enumerate() {
+            match stream {
+                None => writers.push(None),
+                Some(s) => {
+                    let reader = s.try_clone()?;
+                    let tx = tx.clone();
+                    std::thread::Builder::new()
+                        .name(format!("dakc-net-r{rank}p{peer}"))
+                        .spawn(move || reader_loop(peer, reader, tx, buf_bytes))
+                        .expect("spawn reader thread");
+                    writers.push(Some(BufWriter::with_capacity(buf_bytes, s)));
+                }
+            }
+        }
+        Ok(Self {
+            rank,
+            n,
+            writers,
+            rx,
+            _tx: tx,
+            pending: VecDeque::new(),
+            bar_seen: HashMap::new(),
+            term_seen: HashMap::new(),
+            epoch: 0,
+            round: 0,
+            detector: TermDetector::new(),
+            stats: NetStats::new(n),
+        })
+    }
+
+    /// Writes one frame to a peer's buffered writer, counting a stall when
+    /// the OS pushes back.
+    fn write_frame(&mut self, dest: Rank, kind: FrameKind, payload: &[u8]) {
+        let wire = encode_frame(kind, payload);
+        let w = self.writers[dest]
+            .as_mut()
+            .unwrap_or_else(|| panic!("rank {} has no writer for {dest}", self.rank));
+        let t0 = Instant::now();
+        w.write_all(&wire)
+            .unwrap_or_else(|e| panic!("rank {} send to {dest}: {e}", self.rank));
+        if t0.elapsed() >= STALL_THRESHOLD {
+            self.stats.send_stalls += 1;
+        }
+    }
+
+    /// Handles one event from the inbox: data is stashed for `try_recv`,
+    /// control is recorded under its epoch/round key.
+    fn absorb(&mut self, ev: Event) {
+        match ev.kind {
+            FrameKind::Data => self.pending.push_back((ev.src, ev.payload)),
+            FrameKind::Barrier => {
+                let epoch = u64::from_le_bytes(ev.payload[..8].try_into().expect("epoch"));
+                *self.bar_seen.entry(epoch).or_insert(0) += 1;
+            }
+            FrameKind::Term => {
+                let round = u64::from_le_bytes(ev.payload[..8].try_into().expect("round"));
+                let sent = u64::from_le_bytes(ev.payload[8..16].try_into().expect("sent"));
+                let recv = u64::from_le_bytes(ev.payload[16..24].try_into().expect("recv"));
+                self.term_seen.entry(round).or_default().push((sent, recv));
+            }
+        }
+    }
+
+    /// Blocks for the next inbox event and absorbs it.
+    fn pump_blocking(&mut self, what: &str) {
+        match self.rx.recv_timeout(COLLECTIVE_DEADLINE) {
+            Ok(ev) => self.absorb(ev),
+            Err(e) => panic!(
+                "rank {} wedged waiting for {what} ({} of {} ranks): {e}",
+                self.rank, self.n, self.n
+            ),
+        }
+    }
+}
+
+fn reader_loop(src: Rank, mut stream: TcpStream, tx: mpsc::Sender<Event>, buf_bytes: usize) {
+    let mut dec = FrameDecoder::new();
+    let mut buf = vec![0u8; buf_bytes];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(k) => {
+                dec.feed(&buf[..k]);
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some((kind, payload))) => {
+                            if tx.send(Event { src, kind, payload }).is_err() {
+                                // Endpoint dropped: stop reading.
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => panic!("corrupt stream from rank {src}: {e}"),
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, dest: Rank, frame: &[u8]) {
+        self.stats.peers[dest].frames_sent += 1;
+        self.stats.peers[dest].bytes_sent += frame.len() as u64;
+        if dest == self.rank {
+            self.pending.push_back((self.rank, frame.to_vec()));
+        } else {
+            self.write_frame(dest, FrameKind::Data, frame);
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<(Rank, Vec<u8>)> {
+        loop {
+            if let Some((src, bytes)) = self.pending.pop_front() {
+                self.stats.peers[src].frames_recv += 1;
+                self.stats.peers[src].bytes_recv += bytes.len() as u64;
+                return Some((src, bytes));
+            }
+            match self.rx.try_recv() {
+                Ok(ev) => self.absorb(ev),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        for dest in 0..self.n {
+            if let Some(w) = self.writers[dest].as_mut() {
+                let t0 = Instant::now();
+                w.flush()
+                    .unwrap_or_else(|e| panic!("rank {} flush to {dest}: {e}", self.rank));
+                if t0.elapsed() >= STALL_THRESHOLD {
+                    self.stats.send_stalls += 1;
+                }
+            }
+        }
+    }
+
+    fn barrier(&mut self) {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let payload = epoch.to_le_bytes();
+        for dest in 0..self.n {
+            if dest != self.rank {
+                self.write_frame(dest, FrameKind::Barrier, &payload);
+            }
+        }
+        self.flush();
+        while self.bar_seen.get(&epoch).copied().unwrap_or(0) < self.n - 1 {
+            self.pump_blocking("barrier");
+        }
+        self.bar_seen.remove(&epoch);
+        self.stats.barriers += 1;
+    }
+
+    fn termination_round(&mut self) -> bool {
+        self.flush();
+        let round = self.round;
+        self.round += 1;
+        let mine = (self.stats.frames_sent(), self.stats.frames_recv());
+        let mut payload = [0u8; 24];
+        payload[..8].copy_from_slice(&round.to_le_bytes());
+        payload[8..16].copy_from_slice(&mine.0.to_le_bytes());
+        payload[16..24].copy_from_slice(&mine.1.to_le_bytes());
+        for dest in 0..self.n {
+            if dest != self.rank {
+                self.write_frame(dest, FrameKind::Term, &payload);
+            }
+        }
+        self.flush();
+        while self
+            .term_seen
+            .get(&round)
+            .map(Vec::len)
+            .unwrap_or(0)
+            < self.n - 1
+        {
+            self.pump_blocking("termination round");
+        }
+        let contribs = self.term_seen.remove(&round).unwrap_or_default();
+        let (sent, received) = contribs
+            .iter()
+            .fold(mine, |(s, r), &(ps, pr)| (s + ps, r + pr));
+        self.stats.term_rounds += 1;
+        self.detector.decide(sent, received)
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        for w in self.writers.iter_mut().flatten() {
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds an in-process TCP mesh on localhost ephemeral ports.
+    fn tcp_mesh(n: usize) -> Vec<TcpTransport> {
+        let dir = std::env::temp_dir().join(format!(
+            "dakc-net-test-{}-{n}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let handles: Vec<_> = (0..n)
+            .map(|rank| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    TcpTransport::rendezvous(rank, n, &dir, 8 << 10).unwrap()
+                })
+            })
+            .collect();
+        let mesh = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        std::fs::remove_dir_all(&dir).ok();
+        mesh
+    }
+
+    #[test]
+    fn single_rank_needs_no_sockets() {
+        let dir = std::env::temp_dir().join(format!("dakc-net-1r-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut t = TcpTransport::rendezvous(0, 1, &dir, 8 << 10).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        t.send(0, b"self");
+        assert_eq!(t.try_recv(), Some((0, b"self".to_vec())));
+        assert!(!t.termination_round());
+        assert!(t.termination_round());
+        t.barrier();
+    }
+
+    #[test]
+    fn mesh_exchange_and_terminate() {
+        let mesh = tcp_mesh(3);
+        let handles: Vec<_> = mesh
+            .into_iter()
+            .map(|mut t| {
+                std::thread::spawn(move || {
+                    let me = t.rank();
+                    let n = t.num_ranks();
+                    for dest in 0..n {
+                        t.send(dest, format!("hi from {me} to {dest}").as_bytes());
+                    }
+                    t.flush();
+                    let mut got = Vec::new();
+                    while got.len() < n {
+                        if let Some((src, bytes)) = t.try_recv() {
+                            got.push((src, bytes));
+                        }
+                    }
+                    got.sort();
+                    for (i, (src, bytes)) in got.iter().enumerate() {
+                        assert_eq!(*src, i);
+                        assert_eq!(bytes, format!("hi from {i} to {me}").as_bytes());
+                    }
+                    while !t.termination_round() {}
+                    t.barrier();
+                    (t.stats().frames_sent(), t.stats().frames_recv())
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), (3, 3));
+        }
+    }
+
+    #[test]
+    fn skewed_ranks_still_terminate() {
+        // Rank 0 sends a burst late; ranks spin termination rounds in the
+        // meantime and must not declare quiescence before the burst lands.
+        let mesh = tcp_mesh(2);
+        let handles: Vec<_> = mesh
+            .into_iter()
+            .map(|mut t| {
+                std::thread::spawn(move || {
+                    let me = t.rank();
+                    if me == 0 {
+                        std::thread::sleep(Duration::from_millis(50));
+                        for i in 0..100u32 {
+                            t.send(1, &i.to_le_bytes());
+                        }
+                    }
+                    let mut recvd = 0u64;
+                    loop {
+                        while t.try_recv().is_some() {
+                            recvd += 1;
+                        }
+                        if t.termination_round() {
+                            break;
+                        }
+                    }
+                    (me, recvd)
+                })
+            })
+            .collect();
+        let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort();
+        assert_eq!(results, vec![(0, 0), (1, 100)]);
+    }
+}

@@ -1,0 +1,198 @@
+//! The [`Transport`] trait and the four-counter termination detector.
+//!
+//! A transport is one rank's endpoint in an N-rank job. Data frames are
+//! L0 `PUT` buffers (or post-quiescence gather chunks); the transport
+//! moves them without inspecting them. Besides nonblocking `send` /
+//! `try_recv` it offers two collectives the drain protocol needs:
+//!
+//! * [`Transport::barrier`] — a full barrier, used at epoch boundaries
+//!   (after quiescence, around the final gather);
+//! * [`Transport::termination_round`] — one round of four-counter
+//!   (Mattern/Dijkstra-style) termination detection: every rank
+//!   contributes its monotone totals of data frames *sent* and data
+//!   frames *received*, the round computes the global sums `(S, R)`, and
+//!   the job is quiescent exactly when two consecutive rounds observe
+//!   `S == R` with unchanged totals. A single balanced snapshot is not
+//!   enough: a frame can be sent after one rank contributed and received
+//!   before another did, making a transient snapshot look balanced; the
+//!   confirming round proves no traffic moved in between.
+//!
+//! Receives are counted when the *application* pulls a frame with
+//! `try_recv`, not when bytes land in an OS buffer: an unprocessed
+//! conveyor buffer can still generate relay traffic (2D/3D routing), so
+//! only consumed frames may count toward quiescence.
+
+use dakc_sim::telemetry::MetricsRegistry;
+
+/// Rank id within a job (dense, `0..num_ranks`).
+pub type Rank = usize;
+
+/// Per-peer traffic counters.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PeerStats {
+    /// Data frames sent to this peer.
+    pub frames_sent: u64,
+    /// Data payload bytes sent to this peer (framing overhead excluded).
+    pub bytes_sent: u64,
+    /// Data frames received from this peer.
+    pub frames_recv: u64,
+    /// Data payload bytes received from this peer.
+    pub bytes_recv: u64,
+}
+
+/// Transport-level counters, folded into the metrics registry at the end
+/// of a run (SimReport-style export from real processes).
+#[derive(Debug, Default, Clone)]
+pub struct NetStats {
+    /// Per-peer traffic (indexed by rank; includes self-sends).
+    pub peers: Vec<PeerStats>,
+    /// Sends that blocked noticeably on the OS socket (backpressure).
+    pub send_stalls: u64,
+    /// Termination-detection rounds executed.
+    pub term_rounds: u64,
+    /// Barriers completed.
+    pub barriers: u64,
+}
+
+impl NetStats {
+    /// Fresh stats for a job of `n` ranks.
+    pub fn new(n: usize) -> Self {
+        Self {
+            peers: vec![PeerStats::default(); n],
+            ..Self::default()
+        }
+    }
+
+    /// Total data frames sent (the termination detector's `sent` counter).
+    pub fn frames_sent(&self) -> u64 {
+        self.peers.iter().map(|p| p.frames_sent).sum()
+    }
+
+    /// Total data frames received at the application.
+    pub fn frames_recv(&self) -> u64 {
+        self.peers.iter().map(|p| p.frames_recv).sum()
+    }
+
+    /// Total data payload bytes sent.
+    pub fn bytes_sent(&self) -> u64 {
+        self.peers.iter().map(|p| p.bytes_sent).sum()
+    }
+
+    /// Folds these counters into `m`, namespaced per rank so per-rank
+    /// registries merge without collisions on the launcher.
+    pub fn fold_into(&self, me: Rank, m: &mut MetricsRegistry) {
+        m.inc("net.frames_sent", self.frames_sent());
+        m.inc("net.frames_recv", self.frames_recv());
+        m.inc("net.bytes_sent", self.bytes_sent());
+        m.inc(
+            "net.bytes_recv",
+            self.peers.iter().map(|p| p.bytes_recv).sum(),
+        );
+        m.inc("net.send_stalls", self.send_stalls);
+        m.inc("net.term_rounds", self.term_rounds);
+        m.inc("net.barriers", self.barriers);
+        m.inc(&format!("net.rank{me}.bytes_sent"), self.bytes_sent());
+        m.inc(&format!("net.rank{me}.frames_sent"), self.frames_sent());
+        m.inc(&format!("net.rank{me}.send_stalls"), self.send_stalls);
+        for (peer, p) in self.peers.iter().enumerate() {
+            if p.frames_sent > 0 {
+                m.inc(&format!("net.rank{me}.to{peer}.frames"), p.frames_sent);
+                m.inc(&format!("net.rank{me}.to{peer}.bytes"), p.bytes_sent);
+            }
+        }
+    }
+}
+
+/// One rank's endpoint: nonblocking data-frame delivery plus the two
+/// collectives the drain protocol needs.
+pub trait Transport: Send {
+    /// This endpoint's rank.
+    fn rank(&self) -> Rank;
+
+    /// Total ranks in the job.
+    fn num_ranks(&self) -> usize;
+
+    /// Queues one data frame for `dest` (self-sends allowed). Nonblocking:
+    /// bytes may sit in the per-peer send buffer until [`Transport::flush`].
+    fn send(&mut self, dest: Rank, frame: &[u8]);
+
+    /// Pulls the next arrived data frame, if any. Frames from one peer
+    /// arrive in send order; no order holds across peers.
+    fn try_recv(&mut self) -> Option<(Rank, Vec<u8>)>;
+
+    /// Pushes every buffered send to the wire.
+    fn flush(&mut self);
+
+    /// Blocks until every rank has entered this barrier.
+    fn barrier(&mut self);
+
+    /// Runs one collective termination-detection round (flushing first)
+    /// and returns `true` when the job is quiescent. All ranks must call
+    /// this the same number of times; the decision is identical on all
+    /// ranks in the same round.
+    fn termination_round(&mut self) -> bool;
+
+    /// Traffic counters so far.
+    fn stats(&self) -> &NetStats;
+}
+
+/// The per-rank decision state of the four-counter protocol: remembers the
+/// previous round's global `(sent, received)` totals and declares
+/// quiescence on a balanced, unchanged repeat.
+#[derive(Debug, Default, Clone)]
+pub struct TermDetector {
+    prev: Option<(u64, u64)>,
+}
+
+impl TermDetector {
+    /// A fresh detector (no rounds seen).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one round's global totals; `true` means quiescent.
+    pub fn decide(&mut self, sent: u64, received: u64) -> bool {
+        let quiescent = sent == received && self.prev == Some((sent, received));
+        self.prev = Some((sent, received));
+        quiescent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_two_identical_balanced_rounds() {
+        let mut d = TermDetector::new();
+        assert!(!d.decide(0, 0), "first round never decides");
+        assert!(d.decide(0, 0), "confirmed idle");
+    }
+
+    #[test]
+    fn unbalanced_rounds_never_decide() {
+        let mut d = TermDetector::new();
+        assert!(!d.decide(5, 3));
+        assert!(!d.decide(5, 3), "unchanged but unbalanced");
+        assert!(!d.decide(5, 5), "balanced but changed since last round");
+        assert!(d.decide(5, 5));
+    }
+
+    #[test]
+    fn progress_resets_confirmation() {
+        let mut d = TermDetector::new();
+        assert!(!d.decide(2, 2));
+        assert!(!d.decide(4, 4), "totals moved: not quiescent yet");
+        assert!(d.decide(4, 4));
+    }
+
+    #[test]
+    fn stats_totals_sum_peers() {
+        let mut s = NetStats::new(3);
+        s.peers[0].frames_sent = 2;
+        s.peers[2].frames_sent = 3;
+        s.peers[1].bytes_sent = 100;
+        assert_eq!(s.frames_sent(), 5);
+        assert_eq!(s.bytes_sent(), 100);
+    }
+}

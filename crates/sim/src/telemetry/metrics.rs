@@ -182,6 +182,39 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Rebuilds a histogram from its serialized parts (the inverse of the
+    /// JSON rendering), so per-process registries can be gathered across
+    /// a wire. `min`/`max` are `None` for an empty histogram.
+    pub fn from_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        min: Option<f64>,
+        max: Option<f64>,
+    ) -> Result<Self, String> {
+        if bounds.is_empty() || !bounds.windows(2).all(|w| w[0] < w[1]) {
+            return Err("bounds must be non-empty and strictly ascending".into());
+        }
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "counts length {} != bounds length {} + 1",
+                counts.len(),
+                bounds.len()
+            ));
+        }
+        let total: u64 = counts.iter().sum();
+        if (total == 0) != (min.is_none() && max.is_none()) {
+            return Err("min/max must be present exactly when counts are nonzero".into());
+        }
+        Ok(Self {
+            bounds,
+            counts,
+            sum,
+            min: min.unwrap_or(f64::INFINITY),
+            max: max.unwrap_or(f64::NEG_INFINITY),
+        })
+    }
+
     fn to_json(&self, out: &mut String) {
         out.push_str("{\"bounds\":[");
         for (i, b) in self.bounds.iter().enumerate() {
@@ -340,6 +373,50 @@ impl MetricsRegistry {
         out
     }
 
+    /// Parses a registry back from [`MetricsRegistry::to_json`] output.
+    /// Round-trips every counter exactly; histogram `sum`/`min`/`max` go
+    /// through decimal text (f64 `Display` prints shortest-roundtrip, so
+    /// in practice these are exact too). Used to gather per-rank
+    /// registries from worker processes.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = super::json::parse(text)?;
+        let mut m = Self::new();
+        let counters = v
+            .get("counters")
+            .and_then(|c| c.as_obj())
+            .ok_or("missing counters object")?;
+        for (name, val) in counters {
+            let n = val.as_f64().ok_or_else(|| format!("counter {name} not a number"))?;
+            m.counters.insert(name.clone(), n as u64);
+        }
+        let histograms = v
+            .get("histograms")
+            .and_then(|h| h.as_obj())
+            .ok_or("missing histograms object")?;
+        for (name, hv) in histograms {
+            let nums = |key: &str| -> Result<Vec<f64>, String> {
+                hv.get(key)
+                    .and_then(|a| a.as_arr())
+                    .ok_or_else(|| format!("histogram {name} missing {key}"))?
+                    .iter()
+                    .map(|x| x.as_f64().ok_or_else(|| format!("{name}.{key}: not a number")))
+                    .collect()
+            };
+            let bounds = nums("bounds")?;
+            let counts: Vec<u64> = nums("counts")?.into_iter().map(|c| c as u64).collect();
+            let sum = hv
+                .get("sum")
+                .and_then(|s| s.as_f64())
+                .ok_or_else(|| format!("histogram {name} missing sum"))?;
+            let min = hv.get("min").and_then(|x| x.as_f64());
+            let max = hv.get("max").and_then(|x| x.as_f64());
+            let h = Histogram::from_parts(bounds, counts, sum, min, max)
+                .map_err(|e| format!("histogram {name}: {e}"))?;
+            m.histograms.insert(name.clone(), h);
+        }
+        Ok(m)
+    }
+
     /// Human-readable rendering, one metric per line.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -460,6 +537,28 @@ mod tests {
             parsed.get("counters").and_then(|c| c.get("a.first")).and_then(|v| v.as_f64()),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut m = MetricsRegistry::new();
+        m.inc("net.frames_sent", 12345);
+        m.inc("a", 0);
+        m.observe("lat", LATENCY_BOUNDS, 3.2e-4);
+        m.observe("lat", LATENCY_BOUNDS, 7.5e-2);
+        m.observe_n("fill", PCT_BOUNDS, 50.0, 7);
+        let back = MetricsRegistry::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.to_json(), m.to_json());
+    }
+
+    #[test]
+    fn json_round_trip_empty_histogram_rejected_without_counts() {
+        assert!(Histogram::from_parts(vec![1.0], vec![0, 0], 0.0, Some(1.0), None).is_err());
+        assert!(Histogram::from_parts(vec![1.0], vec![0], 0.0, None, None).is_err());
+        let h = Histogram::from_parts(vec![1.0], vec![0, 0], 0.0, None, None).unwrap();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
     }
 
     #[test]

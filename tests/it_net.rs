@@ -1,0 +1,273 @@
+//! Distributed-runtime integration tests: the real-transport engine
+//! (`dakc-net` under the Conveyor L0) must be bit-identical to the serial
+//! baseline over both backends, terminate without deadlock in the
+//! degenerate topologies, and round-trip every wire format.
+
+use dakc::{count_kmers_loopback, decode_packet, encode_heavy_packet, encode_normal_packet,
+    run_rank, DakcConfig, NetRun, ReceiveStore};
+use dakc_baselines::count_kmers_serial;
+use dakc_io::{generate_genome, simulate_reads, GenomeSpec, ReadSet, ReadSimConfig, RepeatProfile};
+use dakc_kmer::{CanonicalMode, KmerCount, KmerWord};
+use dakc_net::{FrameDecoder, FrameKind, TcpTransport};
+use dakc_sort::RadixKey;
+use proptest::prelude::*;
+
+const CH_NORMAL: u8 = 0;
+const CH_HEAVY: u8 = 1;
+
+fn workload(seed: u64) -> ReadSet {
+    let genome = generate_genome(
+        &GenomeSpec { bases: 5_000, repeats: Some(RepeatProfile::aatgg(0.12)) },
+        seed,
+    );
+    simulate_reads(
+        &genome,
+        &ReadSimConfig { read_len: 100, num_reads: 300, error_rate: 0.01, both_strands: false },
+        seed,
+    )
+}
+
+fn reference<W: KmerWord + RadixKey>(
+    reads: &ReadSet,
+    k: usize,
+    mode: CanonicalMode,
+) -> Vec<KmerCount<W>> {
+    count_kmers_serial::<W>(reads, k, mode, false).counts
+}
+
+/// Runs the distributed engine over an in-process TCP mesh: one thread
+/// per rank, rendezvous through a unique temp dir, real sockets on
+/// localhost.
+fn count_kmers_tcp_threads<W: KmerWord + RadixKey + Send>(
+    reads: &ReadSet,
+    cfg: &DakcConfig,
+    ranks: usize,
+    tag: &str,
+) -> NetRun<W> {
+    let dir = std::env::temp_dir().join(format!("dakc-it-net-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..ranks)
+            .map(|rank| {
+                let dir = dir.clone();
+                s.spawn(move || {
+                    let t = TcpTransport::rendezvous(rank, ranks, &dir, cfg.c0_bytes).unwrap();
+                    run_rank::<W, _>(reads, cfg, t)
+                })
+            })
+            .collect();
+        let mut out = None;
+        for h in handles {
+            if let Some(r) = h.join().expect("rank thread panicked") {
+                out = Some(r);
+            }
+        }
+        out.expect("rank 0 result")
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    run
+}
+
+#[test]
+fn loopback_matches_serial_across_ranks_and_modes() {
+    let reads = workload(11);
+    for k in [15, 31] {
+        for mode in [CanonicalMode::Forward, CanonicalMode::Canonical] {
+            let mut cfg = DakcConfig::scaled_defaults(k);
+            cfg.canonical = mode;
+            let want = reference::<u64>(&reads, k, mode);
+            for ranks in [1, 2, 4, 7] {
+                let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks);
+                assert_eq!(run.counts, want, "k={k} mode={mode:?} ranks={ranks}");
+            }
+        }
+    }
+}
+
+#[test]
+fn loopback_matches_serial_with_l3_enabled() {
+    let reads = workload(12);
+    let cfg = DakcConfig::scaled_defaults(21).with_l3();
+    let want = reference::<u64>(&reads, 21, cfg.canonical);
+    for ranks in [2, 5] {
+        let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks);
+        assert_eq!(run.counts, want, "l3 ranks={ranks}");
+    }
+}
+
+#[test]
+fn loopback_matches_serial_for_kmer128() {
+    let reads = workload(13);
+    let k = 33;
+    let cfg = DakcConfig::scaled_defaults(k);
+    let want = reference::<u128>(&reads, k, cfg.canonical);
+    for ranks in [1, 3] {
+        let run = count_kmers_loopback::<u128>(&reads, &cfg, ranks);
+        assert_eq!(run.counts, want, "u128 ranks={ranks}");
+    }
+}
+
+#[test]
+fn tcp_matches_serial() {
+    let reads = workload(14);
+    let cfg = DakcConfig::scaled_defaults(19).with_l3();
+    let want = reference::<u64>(&reads, 19, cfg.canonical);
+    let run = count_kmers_tcp_threads::<u64>(&reads, &cfg, 4, "agree");
+    assert_eq!(run.counts, want);
+    assert!(run.metrics.counter("net.frames_sent") > 0);
+    assert_eq!(run.metrics.counter("net.ranks"), 4);
+}
+
+// Regression: ranks=1 has no remote peers — every send is a self-
+// delivery and the termination protocol must still converge (two
+// confirming rounds on (0, 0) deltas), in both backends.
+#[test]
+fn single_rank_terminates_loopback_and_tcp() {
+    let reads = workload(15);
+    let cfg = DakcConfig::scaled_defaults(17);
+    let want = reference::<u64>(&reads, 17, cfg.canonical);
+    let loop_run = count_kmers_loopback::<u64>(&reads, &cfg, 1);
+    assert_eq!(loop_run.counts, want, "loopback ranks=1");
+    let tcp_run = count_kmers_tcp_threads::<u64>(&reads, &cfg, 1, "single");
+    assert_eq!(tcp_run.counts, want, "tcp ranks=1");
+}
+
+// Regression: more ranks than reads leaves some ranks with an empty
+// read slice. They flush nothing, contribute (0, 0) to every
+// termination round, and must neither deadlock the collective nor
+// corrupt the histogram.
+#[test]
+fn zero_input_ranks_terminate_loopback_and_tcp() {
+    let mut reads = ReadSet::new();
+    reads.push(b"ACGTACGTAACCGGTTACGTACGT");
+    reads.push(b"TTTTTTTTTTTTTTTTTTTT");
+    let cfg = DakcConfig::scaled_defaults(9);
+    let want = reference::<u64>(&reads, 9, cfg.canonical);
+    let ranks = 6; // > number of reads / 2: ranks 2.. get empty slices
+    let loop_run = count_kmers_loopback::<u64>(&reads, &cfg, ranks);
+    assert_eq!(loop_run.counts, want, "loopback zero-input ranks");
+    let tcp_run = count_kmers_tcp_threads::<u64>(&reads, &cfg, ranks, "zeroin");
+    assert_eq!(tcp_run.counts, want, "tcp zero-input ranks");
+}
+
+// ---------------------------------------------------------------------
+// Wire-format round-trips (satellite: L2 packets and HEAVY pairs over
+// the framed transport, fuzzing lengths and split reads).
+// ---------------------------------------------------------------------
+
+/// Pushes `wire` through a [`FrameDecoder`] in chunks drawn from
+/// `splits`, returning every decoded data payload.
+fn decode_split(wire: &[u8], splits: &[usize]) -> Vec<Vec<u8>> {
+    let mut dec = FrameDecoder::new();
+    let mut out = Vec::new();
+    let mut at = 0;
+    let mut si = 0;
+    while at < wire.len() {
+        let step = splits[si % splits.len()].min(wire.len() - at);
+        si += 1;
+        dec.feed(&wire[at..at + step]);
+        at += step;
+        while let Some((kind, payload)) = dec.next_frame().unwrap() {
+            assert_eq!(kind, FrameKind::Data);
+            out.push(payload);
+        }
+    }
+    assert_eq!(dec.pending_bytes(), 0);
+    out
+}
+
+proptest! {
+    // NORMAL packets (one k-mer word per record) survive framing with
+    // arbitrary read splits, for both word widths.
+    #[test]
+    fn normal_packet_roundtrip_u64(
+        words in prop::collection::vec(any::<u64>(), 1..200),
+        splits in prop::collection::vec(1usize..61, 1..20),
+    ) {
+        let word_bytes = 8;
+        let payload = encode_normal_packet(&words, word_bytes);
+        let wire = dakc_net::encode_frame(FrameKind::Data, &payload);
+        let payloads = decode_split(&wire, &splits);
+        prop_assert_eq!(payloads.len(), 1);
+        let mut store = ReceiveStore::<u64>::default();
+        decode_packet(CH_NORMAL, &payloads[0], word_bytes, &mut store);
+        prop_assert_eq!(store.plain, words);
+        prop_assert!(store.pairs.is_empty());
+    }
+
+    // HEAVY `{kmer, count}` pairs round-trip for Kmer128 words (k > 32:
+    // 16-byte words, the full 128-bit range).
+    #[test]
+    fn heavy_packet_roundtrip_u128(
+        pairs in prop::collection::vec((any::<u128>(), 1u32..u32::MAX), 1..120),
+        splits in prop::collection::vec(1usize..97, 1..20),
+    ) {
+        let word_bytes = 16;
+        let payload = encode_heavy_packet(&pairs, word_bytes);
+        let wire = dakc_net::encode_frame(FrameKind::Data, &payload);
+        let payloads = decode_split(&wire, &splits);
+        prop_assert_eq!(payloads.len(), 1);
+        let mut store = ReceiveStore::<u128>::default();
+        decode_packet(CH_HEAVY, &payloads[0], word_bytes, &mut store);
+        prop_assert_eq!(store.pairs, pairs);
+        prop_assert!(store.plain.is_empty());
+    }
+
+    // Truncated word widths (k ≤ 32 ships 8-byte words even for u128
+    // stores in the 9..=16 byte regime): width used on encode must
+    // reproduce exactly on decode.
+    #[test]
+    fn heavy_packet_roundtrip_narrow_width(
+        pairs in prop::collection::vec((any::<u64>(), 1u32..1000), 1..80),
+        width in 5usize..=8,
+    ) {
+        let mask = if width == 8 { u64::MAX } else { (1u64 << (width * 8)) - 1 };
+        let pairs: Vec<(u64, u32)> = pairs.into_iter().map(|(w, c)| (w & mask, c)).collect();
+        let payload = encode_heavy_packet(&pairs, width);
+        prop_assert_eq!(payload.len(), pairs.len() * (width + 4));
+        let mut store = ReceiveStore::<u64>::default();
+        decode_packet(CH_HEAVY, &payload, width, &mut store);
+        prop_assert_eq!(store.pairs, pairs);
+    }
+
+    // A mixed stream of NORMAL and HEAVY packets over one framed
+    // connection: every frame decodes on its announced channel.
+    #[test]
+    fn mixed_channel_stream_roundtrip(
+        packets in prop::collection::vec(
+            prop::collection::vec((any::<u64>(), 1u32..500), 1..40),
+            1..12,
+        ),
+        heavy_mask in any::<u16>(),
+        splits in prop::collection::vec(1usize..53, 1..16),
+    ) {
+        let word_bytes = 8;
+        let mut wire = Vec::new();
+        let mut want = ReceiveStore::<u64>::default();
+        for (i, pkt) in packets.iter().enumerate() {
+            if heavy_mask & (1 << (i as u16 % 16)) != 0 {
+                let payload = encode_heavy_packet(pkt, word_bytes);
+                wire.push((CH_HEAVY, payload));
+                want.pairs.extend_from_slice(pkt);
+            } else {
+                let words: Vec<u64> = pkt.iter().map(|&(w, _)| w).collect();
+                let payload = encode_normal_packet(&words, word_bytes);
+                wire.push((CH_NORMAL, payload));
+                want.plain.extend(words);
+            }
+        }
+        // Prefix each payload with its channel byte, as one data frame.
+        let mut bytes = Vec::new();
+        for (ch, payload) in &wire {
+            let mut tagged = vec![*ch];
+            tagged.extend_from_slice(payload);
+            bytes.extend_from_slice(&dakc_net::encode_frame(FrameKind::Data, &tagged));
+        }
+        let mut store = ReceiveStore::<u64>::default();
+        for payload in decode_split(&bytes, &splits) {
+            decode_packet(payload[0], &payload[1..], word_bytes, &mut store);
+        }
+        prop_assert_eq!(store.plain, want.plain);
+        prop_assert_eq!(store.pairs, want.pairs);
+    }
+}
