@@ -43,7 +43,7 @@ fn main() {
         "term rounds",
     ]);
     for ranks in rank_counts {
-        let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks);
+        let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks).expect("loopback run");
         assert_eq!(run.counts, want, "loopback ranks={ranks} diverged from serial");
         let m = &run.metrics;
         let per_rank: Vec<u64> = (0..ranks)

@@ -97,6 +97,15 @@ pub struct LaunchArgs {
     pub output: Option<String>,
     /// Write the merged metrics registry as JSON to this path.
     pub metrics: Option<String>,
+    /// Transport deadline in seconds (connection setup and collective
+    /// waits); the tuned default when absent.
+    pub net_timeout: Option<f64>,
+    /// Retry budget for transient send stalls.
+    pub net_retries: Option<u32>,
+    /// Chaos fault-injection RNG seed (only meaningful with a profile).
+    pub chaos_seed: Option<u64>,
+    /// Chaos fault-injection profile, e.g. `drop=5,die:2@200`.
+    pub chaos_profile: Option<String>,
 }
 
 /// Arguments of the hidden `dakc worker` subcommand: one rank of a TCP
@@ -107,6 +116,8 @@ pub struct WorkerArgs {
     pub rank: usize,
     /// Rendezvous directory where all ranks publish `rank<i>.addr`.
     pub rendezvous: String,
+    /// The launcher's supervisor address to heartbeat to (`host:port`).
+    pub supervisor: Option<String>,
     /// The count parameters, identical on every rank.
     pub job: LaunchArgs,
 }
@@ -182,7 +193,8 @@ USAGE:
                 [--trace-sample N]
   dakc launch <reads> [--ranks 4] [--backend tcp|loopback] [-k 31]
               [--canonical] [--l3 C3] [--min-count 1] [-o counts.tsv]
-              [--metrics metrics.json]
+              [--metrics metrics.json] [--net-timeout SECS] [--net-retries N]
+              [--chaos-seed N] [--chaos-profile SPEC]
   dakc model --dataset NAME [--nodes 32]
   dakc compare <reads> [-k 31] [--nodes 8] [--ppn 24]
   dakc help
@@ -362,9 +374,14 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 min_count: 1,
                 output: None,
                 metrics: None,
+                net_timeout: None,
+                net_retries: None,
+                chaos_seed: None,
+                chaos_profile: None,
             };
             let mut rank = None;
             let mut rendezvous = None;
+            let mut supervisor = None;
             let mut args = it;
             while let Some(arg) = args.next() {
                 match arg.as_str() {
@@ -385,11 +402,37 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                     }
                     "-o" | "--output" => a.output = Some(take_value(&mut args, "-o")?),
                     "--metrics" => a.metrics = Some(take_value(&mut args, "--metrics")?),
+                    "--net-timeout" => {
+                        let secs: f64 =
+                            parse_num(take_value(&mut args, "--net-timeout")?, "--net-timeout")?;
+                        if !secs.is_finite() || secs <= 0.0 {
+                            return Err(format!("{sub}: --net-timeout must be positive seconds"));
+                        }
+                        a.net_timeout = Some(secs);
+                    }
+                    "--net-retries" => {
+                        a.net_retries = Some(parse_num(
+                            take_value(&mut args, "--net-retries")?,
+                            "--net-retries",
+                        )?)
+                    }
+                    "--chaos-seed" => {
+                        a.chaos_seed = Some(parse_num(
+                            take_value(&mut args, "--chaos-seed")?,
+                            "--chaos-seed",
+                        )?)
+                    }
+                    "--chaos-profile" => {
+                        a.chaos_profile = Some(take_value(&mut args, "--chaos-profile")?)
+                    }
                     "--rank" if hidden => {
                         rank = Some(parse_num(take_value(&mut args, "--rank")?, "--rank")?)
                     }
                     "--rendezvous" if hidden => {
                         rendezvous = Some(take_value(&mut args, "--rendezvous")?)
+                    }
+                    "--supervisor" if hidden => {
+                        supervisor = Some(take_value(&mut args, "--supervisor")?)
                     }
                     other if !other.starts_with('-') && input.is_none() => {
                         input = Some(other.to_string())
@@ -412,6 +455,7 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 Ok(Command::Worker(WorkerArgs {
                     rank,
                     rendezvous: rendezvous.ok_or("worker: --rendezvous is required")?,
+                    supervisor,
                     job: a,
                 }))
             } else {
@@ -629,6 +673,46 @@ mod tests {
         assert!(parse_args(argv("worker in.fq --ranks 4 --rendezvous /tmp/rv")).is_err());
         assert!(parse_args(argv("worker in.fq --rank 4 --ranks 4 --rendezvous /tmp/rv")).is_err());
         assert!(parse_args(argv("worker in.fq --rank 0 --ranks 4")).is_err());
+    }
+
+    #[test]
+    fn parse_launch_fault_tolerance_flags() {
+        let cmd = parse_args(argv(
+            "launch in.fq --net-timeout 2.5 --net-retries 3 --chaos-seed 42 --chaos-profile drop=5,die:2@100",
+        ))
+        .unwrap();
+        let Command::Launch(a) = cmd else { panic!("not launch") };
+        assert_eq!(a.net_timeout, Some(2.5));
+        assert_eq!(a.net_retries, Some(3));
+        assert_eq!(a.chaos_seed, Some(42));
+        assert_eq!(a.chaos_profile.as_deref(), Some("drop=5,die:2@100"));
+        let Command::Launch(b) = parse_args(argv("launch in.fq")).unwrap() else { panic!() };
+        assert_eq!(b.net_timeout, None);
+        assert_eq!(b.net_retries, None);
+        assert_eq!(b.chaos_seed, None);
+        assert_eq!(b.chaos_profile, None);
+        assert!(parse_args(argv("launch in.fq --net-timeout 0")).is_err());
+        assert!(parse_args(argv("launch in.fq --net-timeout -1")).is_err());
+        assert!(parse_args(argv("launch in.fq --net-retries many")).is_err());
+        // The supervisor address is wired by `launch`, not user-settable.
+        assert!(parse_args(argv("launch in.fq --supervisor 127.0.0.1:9")).is_err());
+    }
+
+    #[test]
+    fn parse_worker_supervisor() {
+        let cmd = parse_args(argv(
+            "worker in.fq --rank 1 --ranks 4 --rendezvous /tmp/rv --supervisor 127.0.0.1:7070 --net-timeout 3",
+        ))
+        .unwrap();
+        let Command::Worker(w) = cmd else { panic!("not worker") };
+        assert_eq!(w.supervisor.as_deref(), Some("127.0.0.1:7070"));
+        assert_eq!(w.job.net_timeout, Some(3.0));
+        let Command::Worker(w2) =
+            parse_args(argv("worker in.fq --rank 0 --ranks 2 --rendezvous /tmp/rv")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(w2.supervisor, None);
     }
 
     #[test]

@@ -2,15 +2,21 @@
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dakc::{
     count_kmers_loopback, count_kmers_sim, count_kmers_sim_traced, count_kmers_threaded_opts,
-    run_rank, DakcConfig, NetRun, ThreadedOpts,
+    run_rank_opts, DakcConfig, NetRun, RunOpts, ThreadedOpts,
 };
 use dakc_io::{fastx, ReadSet};
 use dakc_kmer::{CanonicalMode, KmerWord};
 use dakc_model::{CommModel, Model, Workload};
-use dakc_net::TcpTransport;
+use dakc_net::{
+    ChaosConfig, ChaosTransport, HeartbeatSender, HeartbeatState, NetTuning, Supervisor,
+    TcpTransport,
+};
 use dakc_sim::telemetry::{chrome_trace, metrics, Event, MetricsRegistry};
 use dakc_sim::{EventKind, MachineConfig, Timeline, TraceSink};
 use dakc_sort::RadixKey;
@@ -223,6 +229,19 @@ fn net_config(a: &LaunchArgs) -> DakcConfig {
     cfg
 }
 
+/// Network deadlines/retry budget for a launch/worker invocation,
+/// derived from `--net-timeout` / `--net-retries`.
+fn net_tuning(a: &LaunchArgs) -> NetTuning {
+    let mut t = NetTuning::default();
+    if let Some(secs) = a.net_timeout {
+        t = t.with_timeout(Duration::from_secs_f64(secs));
+    }
+    if let Some(r) = a.net_retries {
+        t = t.with_retries(r);
+    }
+    t
+}
+
 /// Writes rank 0's merged result: counts TSV, optional metrics JSON, and
 /// a run summary on stderr.
 fn emit_net_run<W: KmerWord>(run: &NetRun<W>, a: &LaunchArgs) -> Result<(), String> {
@@ -248,8 +267,115 @@ fn launch_loopback<W: KmerWord + RadixKey + Send>(
     cfg: &DakcConfig,
     a: &LaunchArgs,
 ) -> Result<(), String> {
-    let run = count_kmers_loopback::<W>(reads, cfg, a.ranks);
+    let run = count_kmers_loopback::<W>(reads, cfg, a.ranks).map_err(|e| format!("loopback: {e}"))?;
     emit_net_run(&run, a)
+}
+
+/// Removes the file-rendezvous directory on drop, so every exit from
+/// `launch` — spawn failure, supervisor teardown, clean finish — leaves
+/// no stale `rank*.addr` files behind.
+struct DirGuard(std::path::PathBuf);
+
+impl Drop for DirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kills and reaps every still-running worker.
+fn teardown(children: &mut [Option<std::process::Child>]) {
+    for child in children.iter_mut().flatten() {
+        let _ = child.kill();
+    }
+    for slot in children.iter_mut() {
+        if let Some(mut child) = slot.take() {
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Watches spawned workers until all exit cleanly, tearing the mesh down
+/// on the first failure. Two failure signals feed the verdict: a nonzero
+/// exit (a rank crashed or surfaced a net error), and a heartbeat going
+/// stale while the rank's process still runs (hung or frozen — the peers
+/// may not notice until their own collective deadline, so the launcher
+/// acts first). On failure every surviving worker is killed, the per-rank
+/// health report is printed, and the error names the blamed rank.
+fn supervise(
+    sup: &Supervisor,
+    children: &mut [Option<std::process::Child>],
+    tuning: &NetTuning,
+    launched: Instant,
+) -> Result<(), String> {
+    // Fire before the workers' own collective deadline so a frozen rank
+    // is blamed by name rather than as a generic peer timeout; floor
+    // covers spawn + rendezvous before the first heartbeat lands.
+    let stale_limit = (tuning.collective_timeout / 2).max(Duration::from_millis(1500));
+    let mut exits: Vec<(usize, std::process::ExitStatus)> = Vec::new();
+    loop {
+        for (rank, slot) in children.iter_mut().enumerate() {
+            if let Some(child) = slot {
+                match child.try_wait() {
+                    Ok(Some(status)) => {
+                        exits.push((rank, status));
+                        *slot = None;
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        teardown(children);
+                        return Err(format!("launch failed: wait rank {rank}: {e}"));
+                    }
+                }
+            }
+        }
+        let failed: Vec<usize> =
+            exits.iter().filter(|(_, s)| !s.success()).map(|&(r, _)| r).collect();
+        if !failed.is_empty() {
+            teardown(children);
+            // Failing workers file obituaries naming the rank their typed
+            // error points at; give in-flight ones a moment to land, then
+            // let the majority verdict pick the root cause out of the
+            // cascade (every victim of a dead rank blames that rank, not
+            // itself). Fallback when no obituary blames anyone: the
+            // failed rank that stopped heartbeating first — peers keep
+            // beating right up to their own exit.
+            std::thread::sleep(Duration::from_millis(150));
+            let snap = sup.snapshot();
+            let rank = sup.blamed().unwrap_or_else(|| {
+                failed
+                    .iter()
+                    .copied()
+                    .min_by_key(|&r| snap.get(r).and_then(|h| h.last_beat))
+                    .expect("nonempty failures")
+            });
+            let verdict = match exits.iter().find(|&&(r, _)| r == rank) {
+                Some(&(_, status)) => format!("rank {rank} failed with {status}"),
+                None => format!("rank {rank} took down {} peer(s)", failed.len()),
+            };
+            eprint!("{}", sup.report(stale_limit));
+            return Err(format!("launch failed: {verdict}"));
+        }
+        if children.iter().all(Option::is_none) {
+            return Ok(());
+        }
+        let stale = sup.snapshot().into_iter().enumerate().find_map(|(rank, h)| {
+            // Ranks that already exited cleanly are allowed to go quiet.
+            if children.get(rank).is_none_or(Option::is_none) {
+                return None;
+            }
+            let age = h.last_beat.map_or_else(|| launched.elapsed(), |t| t.elapsed());
+            (age > stale_limit).then_some((rank, age))
+        });
+        if let Some((rank, age)) = stale {
+            teardown(children);
+            eprint!("{}", sup.report(stale_limit));
+            return Err(format!(
+                "launch failed: rank {rank} stopped heartbeating ({:.1} s since last beat)",
+                age.as_secs_f64()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(15));
+    }
 }
 
 fn launch(a: LaunchArgs) -> Result<(), String> {
@@ -266,10 +392,14 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
         NetBackend::Tcp => {
             // Fail on an unreadable input before spawning N processes.
             load_reads(&a.input)?;
+            let tuning = net_tuning(&a);
             let exe = std::env::current_exe().map_err(|e| e.to_string())?;
             let dir = std::env::temp_dir().join(format!("dakc-rendezvous-{}", std::process::id()));
             std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-            let mut children = Vec::new();
+            let _guard = DirGuard(dir.clone());
+            let (sup, sup_addr) = Supervisor::bind(a.ranks).map_err(|e| format!("supervisor: {e}"))?;
+            let launched = Instant::now();
+            let mut children: Vec<Option<std::process::Child>> = Vec::new();
             for rank in 0..a.ranks {
                 let mut cmd = std::process::Command::new(&exe);
                 cmd.arg("worker")
@@ -277,6 +407,7 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
                     .args(["--rank", &rank.to_string()])
                     .args(["--ranks", &a.ranks.to_string()])
                     .args(["--rendezvous", &dir.to_string_lossy()])
+                    .args(["--supervisor", &sup_addr.to_string()])
                     .args(["-k", &a.k.to_string()])
                     .args(["--min-count", &a.min_count.to_string()]);
                 if a.canonical {
@@ -284,6 +415,18 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
                 }
                 if let Some(c3) = a.l3 {
                     cmd.args(["--l3", &c3.to_string()]);
+                }
+                if let Some(t) = a.net_timeout {
+                    cmd.args(["--net-timeout", &t.to_string()]);
+                }
+                if let Some(r) = a.net_retries {
+                    cmd.args(["--net-retries", &r.to_string()]);
+                }
+                if let Some(s) = a.chaos_seed {
+                    cmd.args(["--chaos-seed", &s.to_string()]);
+                }
+                if let Some(p) = &a.chaos_profile {
+                    cmd.args(["--chaos-profile", p]);
                 }
                 // Only rank 0 holds the merged result; it inherits this
                 // process's stdout, so `-o` absent still prints here.
@@ -295,41 +438,85 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
                         cmd.args(["--metrics", m]);
                     }
                 }
-                children.push(cmd.spawn().map_err(|e| format!("spawn rank {rank}: {e}"))?);
-            }
-            let mut failures = Vec::new();
-            for (rank, mut child) in children.into_iter().enumerate() {
-                let status = child.wait().map_err(|e| format!("wait rank {rank}: {e}"))?;
-                if !status.success() {
-                    failures.push(format!("rank {rank} exited with {status}"));
+                match cmd.spawn() {
+                    Ok(child) => children.push(Some(child)),
+                    Err(e) => {
+                        teardown(&mut children);
+                        return Err(format!("spawn rank {rank}: {e}"));
+                    }
                 }
             }
-            let _ = std::fs::remove_dir_all(&dir);
-            if failures.is_empty() {
-                Ok(())
-            } else {
-                Err(failures.join("; "))
-            }
+            supervise(&sup, &mut children, &tuning, launched)
         }
     }
 }
 
 fn worker(w: WorkerArgs) -> Result<(), String> {
     let a = &w.job;
+    let rank = w.rank;
+    let tuning = net_tuning(a);
+    // Heartbeat channel back to the launch supervisor. The mute flag is
+    // shared with chaos `freeze` injection: a frozen rank goes silent,
+    // which is exactly the hang signature the supervisor must catch.
+    let mute = Arc::new(AtomicBool::new(false));
+    let monitor = Arc::new(HeartbeatState::new());
+    let mut sup_addr = None;
+    let _hb = match &w.supervisor {
+        Some(addr) => {
+            let addr: std::net::SocketAddr = addr
+                .parse()
+                .map_err(|e| format!("rank {rank}: --supervisor {addr}: {e}"))?;
+            sup_addr = Some(addr);
+            Some(
+                HeartbeatSender::spawn(
+                    addr,
+                    rank,
+                    Arc::clone(&monitor),
+                    Duration::from_millis(100),
+                    Arc::clone(&mute),
+                )
+                .map_err(|e| format!("rank {rank}: supervisor dial: {e}"))?,
+            )
+        }
+        None => None,
+    };
     let reads = load_reads(&a.input)?;
     let cfg = net_config(a);
-    let transport = TcpTransport::rendezvous(
-        w.rank,
+    // On a net error, file an obituary with the supervisor before exiting:
+    // the typed error names the rank at fault (ourselves for an injected
+    // death, the peer for a disconnect), and the launcher tallies those
+    // verdicts to blame the root cause rather than the first victim.
+    let fail = move |e: dakc_net::NetError| {
+        if let Some(addr) = sup_addr {
+            let _ = dakc_net::send_obituary(addr, rank, e.rank());
+        }
+        format!("rank {rank}: {e}")
+    };
+    let transport = TcpTransport::rendezvous_tuned(
+        rank,
         a.ranks,
         std::path::Path::new(&w.rendezvous),
         cfg.c0_bytes,
+        tuning.clone(),
     )
-    .map_err(|e| format!("rank {}: rendezvous: {e}", w.rank))?;
+    .map_err(fail)?;
+    // Chaos wrapping is unconditional: with no profile the config is off
+    // and the wrapper is pure delegation (verified bit-identical in
+    // tests), so real runs pay nothing for the capability.
+    let chaos = match &a.chaos_profile {
+        Some(p) => ChaosConfig::parse(p, a.chaos_seed.unwrap_or(0), rank)
+            .map_err(|e| format!("rank {rank}: --chaos-profile: {e}"))?,
+        None => ChaosConfig::off(),
+    };
+    let transport = ChaosTransport::new(transport, chaos).with_freeze_flag(Arc::clone(&mute));
+    let opts = RunOpts { tuning, monitor: Some(Arc::clone(&monitor)) };
     if a.k <= 32 {
-        if let Some(run) = run_rank::<u64, _>(&reads, &cfg, transport) {
+        if let Some(run) = run_rank_opts::<u64, _>(&reads, &cfg, transport, &opts).map_err(fail)? {
             emit_net_run(&run, a)?;
         }
-    } else if let Some(run) = run_rank::<u128, _>(&reads, &cfg, transport) {
+    } else if let Some(run) =
+        run_rank_opts::<u128, _>(&reads, &cfg, transport, &opts).map_err(fail)?
+    {
         emit_net_run(&run, a)?;
     }
     Ok(())

@@ -4,6 +4,7 @@
 
 use std::path::PathBuf;
 use std::process::Command;
+use std::time::Duration;
 
 fn bin() -> &'static str {
     env!("CARGO_BIN_EXE_dakc")
@@ -38,6 +39,73 @@ fn dataset() -> PathBuf {
         fq.to_str().unwrap(),
     ]);
     fq
+}
+
+/// Runs `dakc` expecting it to exit on its own well before `deadline`.
+/// Returns the exit status, captured stderr (workers inherit the
+/// launcher's stderr pipe, so their diagnostics land here too), and the
+/// launcher's pid. Panics if the process outlives the deadline — a
+/// failed launch must tear itself down, not hang.
+fn run_to_exit(args: &[&str], deadline: Duration) -> (std::process::ExitStatus, String, u32) {
+    let child = Command::new(bin())
+        .args(args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let pid = child.id();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(child.wait_with_output());
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(out) => {
+            let out = out.unwrap();
+            (out.status, String::from_utf8_lossy(&out.stderr).into_owned(), pid)
+        }
+        Err(_) => {
+            let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+            panic!("dakc {args:?} still running after {deadline:?}");
+        }
+    }
+}
+
+#[test]
+fn launch_chaos_die_fails_fast_naming_dead_rank() {
+    let fq = dataset();
+    let out_tsv = tmp("die.tsv");
+    let (status, stderr, pid) = run_to_exit(
+        &[
+            "launch", fq.to_str().unwrap(), "-k", "21", "--ranks", "4", "--backend", "tcp",
+            "--chaos-profile", "die:2@5", "--chaos-seed", "1",
+            "-o", out_tsv.to_str().unwrap(),
+        ],
+        Duration::from_secs(60),
+    );
+    assert!(!status.success(), "launch with a dying rank must fail");
+    assert!(stderr.contains("rank 2"), "stderr must name the dead rank:\n{stderr}");
+    // The launcher removed its rendezvous dir even on the failure path.
+    let dir = std::env::temp_dir().join(format!("dakc-rendezvous-{pid}"));
+    assert!(!dir.exists(), "stale rendezvous dir left behind: {}", dir.display());
+}
+
+#[test]
+fn launch_supervisor_catches_frozen_rank() {
+    let fq = dataset();
+    let out_tsv = tmp("freeze.tsv");
+    // A frozen rank exits no syscall and closes no socket: only the
+    // heartbeat deadline can catch it. Tight --net-timeout keeps the
+    // supervisor's stale limit (half the collective deadline) short.
+    let (status, stderr, _) = run_to_exit(
+        &[
+            "launch", fq.to_str().unwrap(), "-k", "21", "--ranks", "4", "--backend", "tcp",
+            "--chaos-profile", "freeze:1@5", "--net-timeout", "3",
+            "-o", out_tsv.to_str().unwrap(),
+        ],
+        Duration::from_secs(60),
+    );
+    assert!(!status.success(), "launch with a frozen rank must fail");
+    assert!(stderr.contains("rank 1"), "stderr must name the frozen rank:\n{stderr}");
 }
 
 #[test]

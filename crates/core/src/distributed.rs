@@ -22,13 +22,24 @@
 //! after the two confirming rounds; a single-rank job self-delivers and
 //! terminates the same way. Both cases are regression-tested in
 //! `tests/it_net.rs`.
+//!
+//! Every phase is fallible: wire failures latched by the fabric surface at
+//! batch boundaries, a drain whose global totals stop moving without
+//! reaching quiescence fails with a four-counter diagnostic dump (the
+//! stalled-termination path a dropped or duplicated frame produces), and
+//! the gather fast-fails when a peer that still owes data is known dead.
+//! When a [`HeartbeatState`] monitor is attached via [`RunOpts`], phase
+//! transitions and traffic totals are published for the launch supervisor.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dakc_conveyors::Fabric;
 use dakc_io::ReadSet;
 use dakc_kmer::{counts::merge_sorted_counts, kmers_of_read, KmerCount, KmerWord};
-use dakc_net::{Loopback, NetFabric, Transport};
+use dakc_net::{
+    HeartbeatState, Loopback, NetError, NetFabric, NetResult, NetTuning, Phase, Transport,
+};
 use dakc_sim::telemetry::MetricsRegistry;
 use dakc_sort::{accumulate, accumulate_weighted, hybrid_sort, lsd_radix_sort_by, RadixKey};
 
@@ -38,6 +49,33 @@ use crate::config::DakcConfig;
 /// Gather chunk budget in bytes: small enough to interleave fairly on the
 /// launcher's inbox, large enough to amortize framing.
 const GATHER_CHUNK_BYTES: usize = 60 * 1024;
+
+/// Per-rank run options: transport deadlines/retries and the optional
+/// supervision hook.
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// Deadlines and retry policy for the drain/gather waits (the
+    /// transport itself is tuned at construction; this governs the
+    /// driver-level stall detection).
+    pub tuning: NetTuning,
+    /// When set, phase transitions and traffic totals are published here
+    /// for the heartbeat sender.
+    pub monitor: Option<Arc<HeartbeatState>>,
+}
+
+impl RunOpts {
+    fn set_phase(&self, phase: Phase) {
+        if let Some(m) = &self.monitor {
+            m.set_phase(phase);
+        }
+    }
+
+    fn record_traffic(&self, sent: u64, recv: u64) {
+        if let Some(m) = &self.monitor {
+            m.record_traffic(sent, recv);
+        }
+    }
+}
 
 /// The result of a distributed run, published by rank 0.
 #[derive(Debug, Clone)]
@@ -56,10 +94,25 @@ pub struct NetRun<W> {
 }
 
 /// Runs one rank of a distributed count over an already-connected
-/// transport. Collective: every rank of the job must call this once, with
-/// the same `cfg`. Returns `Some` on rank 0 (the merged result), `None`
-/// elsewhere.
-pub fn run_rank<W, T>(reads: &ReadSet, cfg: &DakcConfig, transport: T) -> Option<NetRun<W>>
+/// transport, with default options. Collective: every rank of the job
+/// must call this once, with the same `cfg`. Returns `Ok(Some)` on rank 0
+/// (the merged result), `Ok(None)` elsewhere, and a rank-attributed
+/// [`NetError`] when the wire or a peer fails.
+pub fn run_rank<W, T>(reads: &ReadSet, cfg: &DakcConfig, transport: T) -> NetResult<Option<NetRun<W>>>
+where
+    W: KmerWord + RadixKey,
+    T: Transport,
+{
+    run_rank_opts(reads, cfg, transport, &RunOpts::default())
+}
+
+/// [`run_rank`] with explicit [`RunOpts`].
+pub fn run_rank_opts<W, T>(
+    reads: &ReadSet,
+    cfg: &DakcConfig,
+    transport: T,
+    opts: &RunOpts,
+) -> NetResult<Option<NetRun<W>>>
 where
     W: KmerWord + RadixKey,
     T: Transport,
@@ -74,7 +127,9 @@ where
     let mut store = ReceiveStore::<W>::default();
 
     // Parse: AsyncAdd every k-mer of this rank's slice, servicing arrivals
-    // between batches so receive-side work overlaps parsing.
+    // between batches so receive-side work overlaps parsing. Wire failures
+    // latched by the fabric surface at the batch boundary.
+    opts.set_phase(Phase::Parse);
     let range = reads.pe_range(rank, n);
     let mut cursor = range.start;
     while cursor < range.end {
@@ -86,22 +141,58 @@ where
         }
         cursor = end;
         agg.progress(&mut fab, &mut store);
+        fab.check()?;
+        {
+            let s = fab.transport_mut().stats();
+            opts.record_traffic(s.frames_sent(), s.frames_recv());
+        }
     }
 
     // Drain: flush L3→L2→L1→L0, then alternate progress with termination
     // rounds. A round only runs when this rank has nothing left to
     // process; it flushes relayed traffic first (via `Transport::flush`)
     // so counted sends are on the wire before totals are compared.
+    //
+    // A job whose frames were lost or duplicated on the wire never reaches
+    // quiescence, yet every round completes promptly (all peers are
+    // alive) — the transport's own collective deadline never fires. The
+    // driver watches the *global totals* instead: unchanged totals without
+    // quiescence for a full collective deadline means the counters are
+    // wedged, and the run fails with the four-counter dump.
+    opts.set_phase(Phase::Drain);
     agg.flush(&mut fab);
+    let mut last_totals: Option<(u64, u64)> = None;
+    let mut last_movement = Instant::now();
     loop {
         let processed = agg.progress(&mut fab, &mut store);
-        if processed == 0 && fab.transport_mut().termination_round() {
+        fab.check()?;
+        if processed > 0 {
+            continue;
+        }
+        if fab.transport_mut().termination_round()? {
             break;
+        }
+        let totals = fab.transport_mut().last_global_totals();
+        if let Some((s, r)) = totals {
+            opts.record_traffic(s, r);
+        }
+        if totals != last_totals {
+            last_totals = totals;
+            last_movement = Instant::now();
+        } else if last_movement.elapsed() >= opts.tuning.collective_timeout {
+            let waited = last_movement.elapsed();
+            let diag = fab.transport_mut().diagnostics();
+            return Err(NetError::timeout(
+                "termination",
+                waited,
+                format!("quiescence stalled, global totals frozen at {last_totals:?}; {diag}"),
+            ));
         }
     }
 
     // Phase 2 on the quiescent store: identical sorts and merge to the
     // simulator engine's count phase.
+    opts.set_phase(Phase::Count);
     let ReceiveStore { mut plain, mut pairs } = store;
     hybrid_sort(&mut plain);
     let plain_counts: Vec<KmerCount<W>> = accumulate(&plain)
@@ -127,20 +218,29 @@ where
         m.inc("conv.items_delivered", conv.items_delivered);
         m.inc("conv.items_forwarded", conv.items_forwarded);
         m.inc("conv.puts", conv.puts);
+        if let Some(mon) = &opts.monitor {
+            m.inc("net.heartbeats_sent", mon.beats());
+        }
     }
     agg.release(&mut fab);
+    fab.check()?;
     let (transport, metrics) = fab.finish();
 
-    let result = gather(transport, counts, metrics, word_bytes);
-    result.map(|(mut transport, counts, metrics)| {
-        transport.barrier();
-        NetRun {
-            counts,
-            metrics,
-            elapsed_s: started.elapsed().as_secs_f64(),
-            ranks: n,
+    opts.set_phase(Phase::Gather);
+    let result = gather(transport, counts, metrics, word_bytes, opts)?;
+    opts.set_phase(Phase::Done);
+    match result {
+        None => Ok(None),
+        Some((mut transport, counts, metrics)) => {
+            transport.barrier()?;
+            Ok(Some(NetRun {
+                counts,
+                metrics,
+                elapsed_s: started.elapsed().as_secs_f64(),
+                ranks: n,
+            }))
         }
-    })
+    }
 }
 
 /// Streams every rank's pairs and metrics to rank 0 over the (now
@@ -148,29 +248,35 @@ where
 /// (`[npairs: u64 LE]`), `ceil` chunk frames in HEAVY `{kmer, count}`
 /// wire format, then one metrics-JSON frame. Per-peer FIFO ordering makes
 /// the sequence self-delimiting. Non-zero ranks run their final barrier
-/// here; rank 0's caller does after consuming the result.
+/// here; rank 0's caller does after consuming the result. Rank 0
+/// fast-fails when a peer that still owes frames dies, and times out when
+/// no frame arrives for a full collective deadline.
+type Gathered<W, T> = Option<(T, Vec<KmerCount<W>>, MetricsRegistry)>;
+
 fn gather<W: KmerWord, T: Transport>(
     mut transport: T,
     counts: Vec<KmerCount<W>>,
     metrics: MetricsRegistry,
     word_bytes: usize,
-) -> Option<(T, Vec<KmerCount<W>>, MetricsRegistry)> {
+    opts: &RunOpts,
+) -> NetResult<Gathered<W, T>> {
     let rank = transport.rank();
     let n = transport.num_ranks();
     if rank != 0 {
         let pairs: Vec<(W, u32)> = counts.into_iter().map(|c| (c.kmer, c.count)).collect();
-        transport.send(0, &(pairs.len() as u64).to_le_bytes());
+        transport.send(0, &(pairs.len() as u64).to_le_bytes())?;
         let chunk_pairs = (GATHER_CHUNK_BYTES / (word_bytes + 4)).max(1);
         for chunk in pairs.chunks(chunk_pairs) {
-            transport.send(0, &encode_heavy_packet(chunk, word_bytes));
+            transport.send(0, &encode_heavy_packet(chunk, word_bytes))?;
         }
-        transport.send(0, metrics.to_json().as_bytes());
-        transport.flush();
-        transport.barrier();
-        return None;
+        transport.send(0, metrics.to_json().as_bytes())?;
+        transport.flush()?;
+        transport.barrier()?;
+        return Ok(None);
     }
 
     // Rank 0: consume each peer's header → chunks → metrics sequence.
+    #[derive(Clone, Copy, PartialEq)]
     enum PeerState {
         Header,
         Pairs(u64),
@@ -183,14 +289,44 @@ fn gather<W: KmerWord, T: Transport>(
     let mut merged = metrics;
     let mut all: Vec<(W, u32)> = counts.into_iter().map(|c| (c.kmer, c.count)).collect();
     let mut outstanding = n - 1;
+    let mut last_frame = Instant::now();
     while outstanding > 0 {
-        let Some((src, bytes)) = transport.try_recv() else {
+        let Some((src, bytes)) = transport.try_recv()? else {
+            // Nothing arrived: fail fast on a dead debtor, then on silence.
+            if let Some(p) =
+                (0..n).find(|&p| states[p] != PeerState::Done && transport.peer_dead(p))
+            {
+                return Err(NetError::PeerDisconnected {
+                    rank: p,
+                    detail: "died during gather with results outstanding".to_string(),
+                });
+            }
+            let waited = last_frame.elapsed();
+            if waited >= opts.tuning.collective_timeout {
+                let owing: Vec<usize> =
+                    (0..n).filter(|&p| states[p] != PeerState::Done).collect();
+                return Err(NetError::timeout(
+                    "gather",
+                    waited,
+                    format!("ranks {owing:?} still owe frames; {}", transport.diagnostics()),
+                ));
+            }
             std::thread::sleep(std::time::Duration::from_micros(200));
             continue;
         };
+        last_frame = Instant::now();
         match states[src] {
             PeerState::Header => {
-                let npairs = u64::from_le_bytes(bytes[..8].try_into().expect("gather header"));
+                let npairs = bytes
+                    .get(..8)
+                    .and_then(|b| <[u8; 8]>::try_from(b).ok())
+                    .map(u64::from_le_bytes)
+                    .ok_or_else(|| NetError::Protocol {
+                        detail: format!(
+                            "gather header from rank {src} is {} bytes, want 8",
+                            bytes.len()
+                        ),
+                    })?;
                 states[src] = if npairs == 0 {
                     PeerState::Metrics
                 } else {
@@ -201,7 +337,13 @@ fn gather<W: KmerWord, T: Transport>(
                 let mut store = ReceiveStore::<W>::default();
                 decode_packet(CH_HEAVY, &bytes, word_bytes, &mut store);
                 let got = store.pairs.len() as u64;
-                assert!(got <= remaining, "gather overrun from rank {src}");
+                if got > remaining {
+                    return Err(NetError::Protocol {
+                        detail: format!(
+                            "gather overrun from rank {src}: got {got} pairs, expected {remaining}"
+                        ),
+                    });
+                }
                 all.extend(store.pairs);
                 states[src] = if got == remaining {
                     PeerState::Metrics
@@ -210,14 +352,24 @@ fn gather<W: KmerWord, T: Transport>(
                 };
             }
             PeerState::Metrics => {
-                let text = std::str::from_utf8(&bytes).expect("gather metrics utf8");
-                let theirs = MetricsRegistry::from_json(text)
-                    .unwrap_or_else(|e| panic!("gather metrics from rank {src}: {e}"));
+                let theirs = std::str::from_utf8(&bytes)
+                    .map_err(|e| NetError::Protocol {
+                        detail: format!("gather metrics from rank {src}: not utf8: {e}"),
+                    })
+                    .and_then(|text| {
+                        MetricsRegistry::from_json(text).map_err(|e| NetError::Protocol {
+                            detail: format!("gather metrics from rank {src}: {e}"),
+                        })
+                    })?;
                 merged.merge(&theirs);
                 states[src] = PeerState::Done;
                 outstanding -= 1;
             }
-            PeerState::Done => panic!("unexpected frame from finished rank {src}"),
+            PeerState::Done => {
+                return Err(NetError::Protocol {
+                    detail: format!("unexpected frame from finished rank {src}"),
+                })
+            }
         }
     }
     merged.inc("net.ranks", n as u64);
@@ -230,13 +382,18 @@ fn gather<W: KmerWord, T: Transport>(
         .map(|(w, c)| KmerCount::new(w, c))
         .collect();
     debug_assert!(dakc_kmer::counts::is_sorted_strict(&counts));
-    Some((transport, counts, merged))
+    Ok(Some((transport, counts, merged)))
 }
 
 /// Runs a distributed count in-process: `ranks` threads over a
 /// [`Loopback`] mesh. This is `dakc launch --backend loopback`, and the
-/// cheap way to exercise the full transport protocol in tests.
-pub fn count_kmers_loopback<W>(reads: &ReadSet, cfg: &DakcConfig, ranks: usize) -> NetRun<W>
+/// cheap way to exercise the full transport protocol in tests. Fails with
+/// the lowest-failing-rank's error when any rank fails.
+pub fn count_kmers_loopback<W>(
+    reads: &ReadSet,
+    cfg: &DakcConfig,
+    ranks: usize,
+) -> NetResult<NetRun<W>>
 where
     W: KmerWord + RadixKey + Send,
 {
@@ -247,12 +404,18 @@ where
             .map(|t| s.spawn(move || run_rank::<W, _>(reads, cfg, t)))
             .collect();
         let mut out = None;
+        let mut failure = None;
         for h in handles {
-            if let Some(run) = h.join().expect("rank thread panicked") {
-                out = Some(run);
+            match h.join().expect("rank thread panicked") {
+                Ok(Some(run)) => out = Some(run),
+                Ok(None) => {}
+                Err(e) => failure = Some(failure.unwrap_or(e)),
             }
         }
-        out.expect("rank 0 publishes the result")
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(out.expect("rank 0 publishes the result")),
+        }
     })
 }
 
@@ -295,7 +458,7 @@ mod tests {
         let reads = tiny_reads();
         let cfg = DakcConfig::scaled_defaults(5);
         for ranks in [1, 2, 3] {
-            let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks);
+            let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks).unwrap();
             assert_eq!(
                 run.counts,
                 reference_counts(&reads, 5, cfg.canonical),
@@ -310,7 +473,7 @@ mod tests {
     fn metrics_carry_transport_counters() {
         let reads = tiny_reads();
         let cfg = DakcConfig::scaled_defaults(4);
-        let run = count_kmers_loopback::<u64>(&reads, &cfg, 2);
+        let run = count_kmers_loopback::<u64>(&reads, &cfg, 2).unwrap();
         assert!(run.metrics.counter("net.frames_sent") > 0);
         assert_eq!(run.metrics.counter("net.ranks"), 2);
         assert_eq!(
@@ -320,5 +483,23 @@ mod tests {
                 .map(|c| c.count as u64)
                 .sum::<u64>()
         );
+    }
+
+    #[test]
+    fn monitor_sees_phases_and_heartbeat_metric() {
+        let reads = tiny_reads();
+        let cfg = DakcConfig::scaled_defaults(5);
+        let mesh = Loopback::mesh(1);
+        let monitor = Arc::new(HeartbeatState::new());
+        let opts = RunOpts { monitor: Some(Arc::clone(&monitor)), ..RunOpts::default() };
+        let mut mesh = mesh;
+        let run = run_rank_opts::<u64, _>(&reads, &cfg, mesh.remove(0), &opts)
+            .unwrap()
+            .expect("rank 0 result");
+        assert_eq!(monitor.phase(), Phase::Done);
+        // No sender thread was attached, so zero beats were recorded —
+        // but the counter exists in the merged metrics.
+        assert_eq!(run.metrics.counter("net.heartbeats_sent"), 0);
+        assert_eq!(run.counts, reference_counts(&reads, 5, cfg.canonical));
     }
 }

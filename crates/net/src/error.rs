@@ -1,0 +1,187 @@
+//! The typed transport-failure taxonomy.
+//!
+//! Every way the wire can fail — a peer dying, a corrupt byte stream, a
+//! collective that never completes, an injected chaos fault — has one
+//! variant here, carrying the rank it is attributed to so a 256-rank job
+//! fails with "rank 17 disconnected" instead of a panic in a detached
+//! reader thread. All variants are `Clone + Eq` (sources are flattened to
+//! strings) so errors can be latched in a fabric and re-surfaced, and
+//! compared in tests.
+
+use std::time::Duration;
+
+use crate::frame::FrameError;
+use crate::transport::Rank;
+
+/// Result alias for every fallible transport operation.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// A transport-level failure, attributed to a rank where one is known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A peer's connection went away (EOF, reset, broken pipe) while the
+    /// job still needed it.
+    PeerDisconnected {
+        /// The peer that vanished.
+        rank: Rank,
+        /// What the OS / protocol reported.
+        detail: String,
+    },
+    /// A peer's byte stream failed to decode (bad length prefix, unknown
+    /// frame kind, malformed collective payload).
+    CorruptFrame {
+        /// The peer whose stream is corrupt.
+        rank: Rank,
+        /// Decoder diagnostic.
+        detail: String,
+    },
+    /// A frame's length prefix exceeded the decoder's configured bound —
+    /// a corruption guard that refuses multi-GB allocations from a
+    /// flipped 4-byte prefix.
+    OversizedFrame {
+        /// The peer that sent the prefix.
+        rank: Rank,
+        /// The announced length.
+        len: u32,
+        /// The configured maximum.
+        max: u32,
+    },
+    /// A collective or send did not complete within the configured
+    /// deadline. `detail` carries the four-counter diagnostic dump.
+    Timeout {
+        /// Which protocol phase stalled (`barrier`, `termination`,
+        /// `gather`, `connect`, `send`).
+        phase: String,
+        /// How long the operation waited, in milliseconds.
+        waited_ms: u64,
+        /// Protocol-state dump at the moment of the timeout.
+        detail: String,
+    },
+    /// An I/O error outside the classes above.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The underlying error, stringified.
+        detail: String,
+    },
+    /// The peer spoke the protocol wrong (duplicate contribution, frame
+    /// from a finished rank, gather overrun).
+    Protocol {
+        /// Diagnostic.
+        detail: String,
+    },
+    /// A deliberately injected chaos fault (`ChaosTransport` death).
+    Injected {
+        /// The rank that was told to die.
+        rank: Rank,
+        /// Which fault fired.
+        detail: String,
+    },
+}
+
+impl NetError {
+    /// Wraps an `io::Error`, classifying disconnect-shaped kinds as
+    /// [`NetError::PeerDisconnected`] when a peer rank is known.
+    pub fn from_io(context: impl Into<String>, peer: Option<Rank>, e: &std::io::Error) -> Self {
+        use std::io::ErrorKind as K;
+        match (peer, e.kind()) {
+            (
+                Some(rank),
+                K::BrokenPipe | K::ConnectionReset | K::ConnectionAborted | K::UnexpectedEof,
+            ) => NetError::PeerDisconnected { rank, detail: format!("{}: {e}", context.into()) },
+            _ => NetError::Io { context: context.into(), detail: e.to_string() },
+        }
+    }
+
+    /// Maps a frame-decode failure on `rank`'s stream to its typed form.
+    pub fn from_frame(rank: Rank, e: &FrameError) -> Self {
+        match *e {
+            FrameError::Oversized { len, max } => NetError::OversizedFrame { rank, len, max },
+            FrameError::BadLength(l) => {
+                NetError::CorruptFrame { rank, detail: format!("bad frame length {l}") }
+            }
+            FrameError::BadKind(k) => {
+                NetError::CorruptFrame { rank, detail: format!("bad frame kind {k}") }
+            }
+        }
+    }
+
+    /// Builds a [`NetError::Timeout`] from a waited duration.
+    pub fn timeout(phase: impl Into<String>, waited: Duration, detail: impl Into<String>) -> Self {
+        NetError::Timeout {
+            phase: phase.into(),
+            waited_ms: waited.as_millis() as u64,
+            detail: detail.into(),
+        }
+    }
+
+    /// The rank this failure is attributed to, if one is known.
+    pub fn rank(&self) -> Option<Rank> {
+        match self {
+            NetError::PeerDisconnected { rank, .. }
+            | NetError::CorruptFrame { rank, .. }
+            | NetError::OversizedFrame { rank, .. }
+            | NetError::Injected { rank, .. } => Some(*rank),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::PeerDisconnected { rank, detail } => {
+                write!(f, "peer rank {rank} disconnected: {detail}")
+            }
+            NetError::CorruptFrame { rank, detail } => {
+                write!(f, "corrupt stream from rank {rank}: {detail}")
+            }
+            NetError::OversizedFrame { rank, len, max } => {
+                write!(f, "oversized frame from rank {rank}: length {len} > max {max}")
+            }
+            NetError::Timeout { phase, waited_ms, detail } => {
+                write!(f, "{phase} timed out after {waited_ms} ms ({detail})")
+            }
+            NetError::Io { context, detail } => write!(f, "{context}: {detail}"),
+            NetError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            NetError::Injected { rank, detail } => {
+                write!(f, "injected fault on rank {rank}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_disconnect_kinds_attribute_the_peer() {
+        let e = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe");
+        let err = NetError::from_io("send", Some(3), &e);
+        assert_eq!(err.rank(), Some(3));
+        assert!(matches!(err, NetError::PeerDisconnected { rank: 3, .. }));
+        let e = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "perm");
+        assert!(matches!(NetError::from_io("send", Some(3), &e), NetError::Io { .. }));
+    }
+
+    #[test]
+    fn frame_errors_map_to_typed_variants() {
+        let over = NetError::from_frame(2, &FrameError::Oversized { len: 999, max: 100 });
+        assert_eq!(over, NetError::OversizedFrame { rank: 2, len: 999, max: 100 });
+        assert!(matches!(
+            NetError::from_frame(1, &FrameError::BadKind(7)),
+            NetError::CorruptFrame { rank: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn display_names_the_rank() {
+        let s = NetError::PeerDisconnected { rank: 5, detail: "eof".into() }.to_string();
+        assert!(s.contains("rank 5"), "{s}");
+        let t = NetError::timeout("barrier", Duration::from_millis(1500), "dump").to_string();
+        assert!(t.contains("1500 ms"), "{t}");
+    }
+}

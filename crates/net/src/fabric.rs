@@ -8,6 +8,13 @@
 //! code it runs under the simulator. Flow sidecars are dropped: causal
 //! flow tracing is a virtual-time facility and cannot ride a real wire
 //! without changing the bytes.
+//!
+//! The [`Fabric`] trait is infallible (the simulator cannot fail), so a
+//! wire failure cannot surface through `send_with_flows`/`poll` directly.
+//! Instead the first [`NetError`] is *latched*: subsequent sends and polls
+//! become no-ops, and the run driver polls [`NetFabric::check`] at its
+//! service points to propagate the failure — the cascade stops making
+//! progress within one batch of the fault instead of panicking under it.
 
 use std::time::Instant;
 
@@ -17,16 +24,21 @@ use dakc_sim::telemetry::metrics::BYTES_BOUNDS;
 use dakc_sim::telemetry::MetricsRegistry;
 use dakc_sim::{EventKind, FlowTag, Msg, PeId};
 
+use crate::error::{NetError, NetResult};
 use crate::transport::Transport;
 
 /// A [`Fabric`] over a real [`Transport`], with a wall-clock `now` and a
-/// run-local metrics registry.
+/// run-local metrics registry. Wire failures are latched (see the module
+/// docs) and re-surfaced by [`NetFabric::check`].
 #[derive(Debug)]
 pub struct NetFabric<T: Transport> {
     transport: T,
     metrics: MetricsRegistry,
     start: Instant,
     seq: u64,
+    /// The first wire failure observed through the infallible `Fabric`
+    /// surface; once set, sends and polls are no-ops.
+    failure: Option<NetError>,
 }
 
 impl<T: Transport> NetFabric<T> {
@@ -37,12 +49,22 @@ impl<T: Transport> NetFabric<T> {
             metrics: MetricsRegistry::default(),
             start: Instant::now(),
             seq: 0,
+            failure: None,
         }
     }
 
     /// The wrapped transport (for collectives and gather traffic).
     pub fn transport_mut(&mut self) -> &mut T {
         &mut self.transport
+    }
+
+    /// Propagates the first failure latched by a send or poll, if any.
+    /// Run drivers call this at every service point.
+    pub fn check(&self) -> NetResult<()> {
+        match &self.failure {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
     }
 
     /// Folds the transport's counters into the registry and returns both.
@@ -85,27 +107,44 @@ impl<T: Transport> Fabric for NetFabric<T> {
         payload: Vec<u8>,
         _flows: Vec<(u32, FlowTag)>,
     ) {
+        if self.failure.is_some() {
+            return;
+        }
         self.metrics
             .observe("msg.payload_bytes", BYTES_BOUNDS, payload.len() as f64);
-        self.transport.send(dst, &payload);
+        if let Err(e) = self.transport.send(dst, &payload) {
+            self.failure = Some(e);
+        }
     }
 
     fn poll(&mut self) -> Vec<Msg> {
+        if self.failure.is_some() {
+            return Vec::new();
+        }
         let me = self.transport.rank();
         let now = self.start.elapsed().as_secs_f64();
         let mut out = Vec::new();
-        while let Some((src, payload)) = self.transport.try_recv() {
-            let seq = self.seq;
-            self.seq += 1;
-            out.push(Msg {
-                src,
-                dst: me,
-                tag: CONVEYOR_TAG,
-                payload,
-                arrival: now,
-                seq,
-                flows: Vec::new(),
-            });
+        loop {
+            match self.transport.try_recv() {
+                Ok(Some((src, payload))) => {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    out.push(Msg {
+                        src,
+                        dst: me,
+                        tag: CONVEYOR_TAG,
+                        payload,
+                        arrival: now,
+                        seq,
+                        flows: Vec::new(),
+                    });
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.failure = Some(e);
+                    break;
+                }
+            }
         }
         out
     }
@@ -135,5 +174,22 @@ mod tests {
         let (_, metrics) = fab.finish();
         let json = metrics.to_json();
         assert!(json.contains("net.frames_sent"), "{json}");
+    }
+
+    #[test]
+    fn wire_failure_is_latched_and_checkable() {
+        use crate::chaos::{ChaosConfig, ChaosTransport};
+        let mut mesh = Loopback::mesh(1);
+        let cfg = ChaosConfig::parse("die:0@1", 0, 0).unwrap();
+        let chaos = ChaosTransport::new(mesh.remove(0), cfg);
+        let mut fab = NetFabric::new(chaos);
+        assert!(fab.check().is_ok());
+        fab.send_with_flows(0, CONVEYOR_TAG, vec![1], Vec::new());
+        let err = fab.check().unwrap_err();
+        assert!(matches!(err, NetError::Injected { rank: 0, .. }), "{err}");
+        // Latched: later operations are inert, the error stays the first.
+        fab.send_with_flows(0, CONVEYOR_TAG, vec![2], Vec::new());
+        assert!(fab.poll().is_empty());
+        assert_eq!(fab.check().unwrap_err(), err);
     }
 }

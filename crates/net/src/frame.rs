@@ -31,6 +31,9 @@ pub enum FrameKind {
     /// Termination-detection contribution:
     /// `[round: u64 LE][sent: u64 LE][received: u64 LE]`.
     Term,
+    /// Worker liveness beacon to the launch supervisor
+    /// ([`crate::supervisor::Heartbeat`] wire format).
+    Heartbeat,
 }
 
 impl FrameKind {
@@ -40,6 +43,7 @@ impl FrameKind {
             FrameKind::Data => 0,
             FrameKind::Barrier => 1,
             FrameKind::Term => 2,
+            FrameKind::Heartbeat => 3,
         }
     }
 
@@ -49,6 +53,7 @@ impl FrameKind {
             0 => Some(FrameKind::Data),
             1 => Some(FrameKind::Barrier),
             2 => Some(FrameKind::Term),
+            3 => Some(FrameKind::Heartbeat),
             _ => None,
         }
     }
@@ -72,6 +77,15 @@ pub enum FrameError {
     BadLength(u32),
     /// The kind tag is not a known [`FrameKind`].
     BadKind(u8),
+    /// The length prefix exceeds the decoder's configured bound (a
+    /// corruption guard: a flipped 4-byte prefix must not trigger a
+    /// multi-GB allocation).
+    Oversized {
+        /// The announced frame length.
+        len: u32,
+        /// The decoder's configured maximum.
+        max: u32,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -79,6 +93,9 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::BadLength(l) => write!(f, "bad frame length {l}"),
             FrameError::BadKind(k) => write!(f, "bad frame kind {k}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "oversized frame: length {len} > max {max}")
+            }
         }
     }
 }
@@ -86,18 +103,34 @@ impl std::fmt::Display for FrameError {
 impl std::error::Error for FrameError {}
 
 /// Incremental frame decoder over an arbitrarily-chunked byte stream.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     /// Consumed prefix of `buf`; compacted lazily so feeding many small
     /// chunks stays O(bytes).
     at: usize,
+    /// Largest acceptable frame length; prefixes past this are rejected
+    /// as [`FrameError::Oversized`] before any payload is buffered.
+    max_len: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self { buf: Vec::new(), at: 0, max_len: MAX_FRAME_LEN }
+    }
 }
 
 impl FrameDecoder {
-    /// A fresh decoder.
+    /// A fresh decoder accepting frames up to [`MAX_FRAME_LEN`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A decoder with a tighter length bound (clamped to
+    /// [`MAX_FRAME_LEN`]). Transports size this from the job's L0 buffer
+    /// config so a corrupt prefix cannot demand a giant allocation.
+    pub fn with_max_len(max_len: usize) -> Self {
+        Self { max_len: max_len.clamp(1, MAX_FRAME_LEN), ..Self::default() }
     }
 
     /// Appends newly received bytes.
@@ -120,8 +153,11 @@ impl FrameDecoder {
         }
         let len_bytes: [u8; 4] = self.buf[self.at..self.at + 4].try_into().expect("4 bytes");
         let len = u32::from_le_bytes(len_bytes);
-        if len == 0 || len as usize > MAX_FRAME_LEN {
+        if len == 0 {
             return Err(FrameError::BadLength(len));
+        }
+        if len as usize > self.max_len {
+            return Err(FrameError::Oversized { len, max: self.max_len as u32 });
         }
         let len = len as usize;
         if avail < 4 + len {
@@ -195,13 +231,42 @@ mod tests {
         assert_eq!(dec.next_frame(), Err(FrameError::BadLength(0)));
     }
 
+    #[test]
+    fn rejects_oversized_prefix_before_payload_arrives() {
+        // A corrupt 4-byte prefix announcing a huge frame fails as soon
+        // as the prefix is complete — no payload bytes are demanded or
+        // buffered first.
+        let mut dec = FrameDecoder::with_max_len(1024);
+        dec.feed(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::Oversized { len: u32::MAX, max: 1024 })
+        );
+        assert!(dec.pending_bytes() <= 4, "nothing beyond the prefix buffered");
+    }
+
+    #[test]
+    fn max_len_bound_is_inclusive() {
+        let mut dec = FrameDecoder::with_max_len(6);
+        // len = 6: kind byte + 5-byte payload — exactly at the bound.
+        dec.feed(&encode_frame(FrameKind::Data, b"01234"));
+        assert_eq!(
+            dec.next_frame().unwrap(),
+            Some((FrameKind::Data, b"01234".to_vec()))
+        );
+        // One byte more is rejected.
+        let mut dec = FrameDecoder::with_max_len(6);
+        dec.feed(&encode_frame(FrameKind::Data, b"012345"));
+        assert_eq!(dec.next_frame(), Err(FrameError::Oversized { len: 7, max: 6 }));
+    }
+
     // Any sequence of frames, split at arbitrary points, decodes back to
     // the same sequence.
     proptest! {
         #[test]
         fn split_read_roundtrip(
             frames in prop::collection::vec(
-                (0u8..3, prop::collection::vec(any::<u8>(), 0..300)),
+                (0u8..4, prop::collection::vec(any::<u8>(), 0..300)),
                 1..20,
             ),
             splits in prop::collection::vec(1usize..97, 1..40),

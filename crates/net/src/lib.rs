@@ -18,19 +18,37 @@
 //! * [`fabric`] — [`NetFabric`], the [`dakc_conveyors::Fabric`]
 //!   implementation that lets the whole L1–L3 cascade (HEAVY channel and
 //!   `{kmer, count}` wire format included) run unchanged over a
-//!   [`Transport`].
+//!   [`Transport`];
+//! * [`error`] — the typed [`NetError`] taxonomy every fallible operation
+//!   returns: rank-attributed disconnects, corrupt/oversized frames, and
+//!   phase-attributed timeouts, instead of panics and hangs;
+//! * [`chaos`] — [`ChaosTransport`], seeded deterministic fault injection
+//!   (drops, duplicates, delays, corrupt writes, scripted rank death and
+//!   freezes) over any transport;
+//! * [`supervisor`] — worker heartbeat frames and the launcher-side
+//!   [`Supervisor`] that detects dead or silently hung ranks and renders
+//!   the per-rank diagnostic report.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod chaos;
+pub mod error;
 pub mod fabric;
 pub mod frame;
 pub mod loopback;
+pub mod supervisor;
 pub mod tcp;
 pub mod transport;
 
+pub use chaos::{splitmix64, ChaosConfig, ChaosTransport};
+pub use error::{NetError, NetResult};
 pub use fabric::NetFabric;
 pub use frame::{encode_frame, FrameDecoder, FrameError, FrameKind, MAX_FRAME_LEN};
-pub use loopback::Loopback;
+pub use loopback::{Loopback, TimedBarrier};
+pub use supervisor::{
+    send_obituary, Heartbeat, HeartbeatSender, HeartbeatState, PeerHealth, Phase, Supervisor,
+    NO_BLAME,
+};
 pub use tcp::TcpTransport;
-pub use transport::{NetStats, PeerStats, Rank, TermDetector, Transport};
+pub use transport::{NetStats, NetTuning, PeerStats, Rank, TermDetector, Transport};

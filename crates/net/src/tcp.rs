@@ -16,6 +16,17 @@
 //! `try_recv` — they are *not* counted as received until then, which the
 //! termination protocol requires.
 //!
+//! Failure semantics: nothing here panics or hangs forever. A reader
+//! thread that sees EOF, a reset, or a corrupt stream reports a `Gone`
+//! event instead of panicking; a clean EOF marks the peer dead (it may
+//! simply have finished first), while a decode failure or reset surfaces
+//! as a typed [`NetError`] on the next `try_recv`/collective. Collectives
+//! fast-fail with [`NetError::PeerDisconnected`] as soon as a dead peer is
+//! known to owe a contribution, and otherwise time out after the tuned
+//! collective deadline with a four-counter diagnostic dump. Connection
+//! setup and transient send stalls retry with capped exponential backoff
+//! plus deterministic jitter, within the tuned deadlines.
+//!
 //! Address discovery is either an explicit list (a rank file, one
 //! `host:port` per line) or a rendezvous directory: every rank binds an
 //! ephemeral port, atomically publishes `rank<i>.addr`, and polls until
@@ -30,24 +41,32 @@ use std::path::Path;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+use crate::error::{NetError, NetResult};
 use crate::frame::{encode_frame, FrameDecoder, FrameKind};
-use crate::transport::{NetStats, Rank, TermDetector, Transport};
-
-/// How long connection setup retries a peer that is not listening yet.
-const CONNECT_DEADLINE: Duration = Duration::from_secs(30);
-
-/// How long a collective waits for stragglers before declaring the job
-/// wedged (a peer died mid-protocol).
-const COLLECTIVE_DEADLINE: Duration = Duration::from_secs(120);
+use crate::transport::{NetStats, NetTuning, Rank, TermDetector, Transport};
 
 /// A send (or flush) slower than this counts as one backpressure stall.
 const STALL_THRESHOLD: Duration = Duration::from_millis(1);
 
-/// One decoded frame arriving from a reader thread.
-struct Event {
-    src: Rank,
-    kind: FrameKind,
-    payload: Vec<u8>,
+/// How long one inbox wait blocks before re-checking deadlines and dead
+/// peers. Bounds the latency of fast-fail detection during collectives.
+const PUMP_SLICE: Duration = Duration::from_millis(50);
+
+/// One message from a reader thread.
+enum Event {
+    /// A decoded frame from `src`.
+    Frame {
+        src: Rank,
+        kind: FrameKind,
+        payload: Vec<u8>,
+    },
+    /// `src`'s connection ended. `error` is `None` for a clean EOF (the
+    /// peer may legitimately have finished first) and carries the typed
+    /// failure for resets and corrupt streams.
+    Gone {
+        src: Rank,
+        error: Option<NetError>,
+    },
 }
 
 /// One rank's TCP endpoint.
@@ -63,14 +82,17 @@ pub struct TcpTransport {
     _tx: mpsc::Sender<Event>,
     /// Self-sends and data frames that arrived during a collective wait.
     pending: VecDeque<(Rank, Vec<u8>)>,
-    /// Barrier announcements seen, per epoch.
-    bar_seen: HashMap<u64, usize>,
-    /// Termination contributions seen, per round.
-    term_seen: HashMap<u64, Vec<(u64, u64)>>,
+    /// Why each gone peer's connection ended (`None` while alive).
+    gone: Vec<Option<String>>,
+    /// Barrier announcements seen, per epoch, per peer.
+    bar_seen: HashMap<u64, Vec<bool>>,
+    /// Termination contributions seen, per round, per peer.
+    term_seen: HashMap<u64, Vec<Option<(u64, u64)>>>,
     epoch: u64,
     round: u64,
     detector: TermDetector,
     stats: NetStats,
+    tuning: NetTuning,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -82,83 +104,109 @@ impl std::fmt::Debug for TcpTransport {
     }
 }
 
+fn io_err(context: String, peer: Option<Rank>, e: &std::io::Error) -> NetError {
+    NetError::from_io(context, peer, e)
+}
+
 impl TcpTransport {
-    /// Connects a full mesh from an explicit address list; `addrs[rank]`
-    /// must be bindable locally. `buf_bytes` sizes the per-peer send and
-    /// receive buffers (pass the job's L0 `c0_bytes`).
-    pub fn connect(rank: Rank, addrs: &[SocketAddr], buf_bytes: usize) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addrs[rank])?;
-        Self::with_listener(rank, addrs, listener, buf_bytes)
+    /// Connects a full mesh from an explicit address list with default
+    /// tuning; `addrs[rank]` must be bindable locally. `buf_bytes` sizes
+    /// the per-peer send and receive buffers (pass the job's L0
+    /// `c0_bytes`).
+    pub fn connect(rank: Rank, addrs: &[SocketAddr], buf_bytes: usize) -> NetResult<Self> {
+        Self::connect_tuned(rank, addrs, buf_bytes, NetTuning::default())
+    }
+
+    /// [`TcpTransport::connect`] with explicit deadlines/retry tuning.
+    pub fn connect_tuned(
+        rank: Rank,
+        addrs: &[SocketAddr],
+        buf_bytes: usize,
+        tuning: NetTuning,
+    ) -> NetResult<Self> {
+        let listener = TcpListener::bind(addrs[rank])
+            .map_err(|e| io_err(format!("rank {rank}: bind {}", addrs[rank]), None, &e))?;
+        Self::with_listener(rank, addrs, listener, buf_bytes, tuning)
     }
 
     /// Like [`TcpTransport::connect`], reading the address list from a
     /// rank file: one `host:port` per line, line `i` for rank `i`.
-    pub fn from_rank_file(
-        rank: Rank,
-        path: &Path,
-        buf_bytes: usize,
-    ) -> std::io::Result<Self> {
-        let text = std::fs::read_to_string(path)?;
+    pub fn from_rank_file(rank: Rank, path: &Path, buf_bytes: usize) -> NetResult<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| io_err(format!("rank file {}", path.display()), None, &e))?;
         let addrs = text
             .lines()
             .map(str::trim)
             .filter(|l| !l.is_empty() && !l.starts_with('#'))
             .map(|l| {
-                l.parse::<SocketAddr>().map_err(|e| {
-                    std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("rank file line {l:?}: {e}"),
-                    )
+                l.parse::<SocketAddr>().map_err(|e| NetError::Protocol {
+                    detail: format!("rank file line {l:?}: {e}"),
                 })
             })
-            .collect::<std::io::Result<Vec<_>>>()?;
+            .collect::<NetResult<Vec<_>>>()?;
         Self::connect(rank, &addrs, buf_bytes)
     }
 
     /// Binds an ephemeral localhost port, publishes it as
     /// `<dir>/rank<i>.addr` (atomic write), waits for all `n` ranks to
-    /// publish, then connects the mesh. This is the `dakc launch`
-    /// self-spawn path.
-    pub fn rendezvous(
+    /// publish, then connects the mesh with default tuning. This is the
+    /// `dakc launch` self-spawn path.
+    pub fn rendezvous(rank: Rank, n: usize, dir: &Path, buf_bytes: usize) -> NetResult<Self> {
+        Self::rendezvous_tuned(rank, n, dir, buf_bytes, NetTuning::default())
+    }
+
+    /// [`TcpTransport::rendezvous`] with explicit deadlines/retry tuning.
+    pub fn rendezvous_tuned(
         rank: Rank,
         n: usize,
         dir: &Path,
         buf_bytes: usize,
-    ) -> std::io::Result<Self> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
+        tuning: NetTuning,
+    ) -> NetResult<Self> {
+        let ctx = |what: &str| format!("rank {rank}: rendezvous {what}");
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| io_err(ctx("bind"), None, &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| io_err(ctx("local_addr"), None, &e))?;
         let tmp = dir.join(format!(".rank{rank}.addr.tmp"));
-        std::fs::write(&tmp, addr.to_string())?;
-        std::fs::rename(&tmp, dir.join(format!("rank{rank}.addr")))?;
+        std::fs::write(&tmp, addr.to_string())
+            .map_err(|e| io_err(ctx("publish"), None, &e))?;
+        std::fs::rename(&tmp, dir.join(format!("rank{rank}.addr")))
+            .map_err(|e| io_err(ctx("publish"), None, &e))?;
 
-        let deadline = Instant::now() + CONNECT_DEADLINE;
+        let start = Instant::now();
         let mut addrs = vec![None; n];
         addrs[rank] = Some(addr);
         while addrs.iter().any(Option::is_none) {
             for (i, slot) in addrs.iter_mut().enumerate() {
                 if slot.is_none() {
                     if let Ok(text) = std::fs::read_to_string(dir.join(format!("rank{i}.addr"))) {
-                        *slot = Some(text.trim().parse().map_err(|e| {
-                            std::io::Error::new(
-                                std::io::ErrorKind::InvalidData,
-                                format!("rank {i} addr: {e}"),
-                            )
+                        *slot = Some(text.trim().parse().map_err(|e| NetError::Protocol {
+                            detail: format!("rank {i} published a bad address: {e}"),
                         })?);
                     }
                 }
             }
             if addrs.iter().any(Option::is_none) {
-                if Instant::now() > deadline {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::TimedOut,
-                        "rendezvous: not all ranks published an address",
+                if start.elapsed() > tuning.connect_timeout {
+                    let missing: Vec<usize> = addrs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| a.is_none())
+                        .map(|(i, _)| i)
+                        .collect();
+                    return Err(NetError::timeout(
+                        "connect",
+                        start.elapsed(),
+                        format!("rank {rank}: rendezvous missing addresses for ranks {missing:?}"),
                     ));
                 }
                 std::thread::sleep(Duration::from_millis(10));
             }
         }
         let addrs: Vec<SocketAddr> = addrs.into_iter().map(|a| a.expect("filled")).collect();
-        Self::with_listener(rank, &addrs, listener, buf_bytes)
+        Self::with_listener(rank, &addrs, listener, buf_bytes, tuning)
     }
 
     fn with_listener(
@@ -166,67 +214,135 @@ impl TcpTransport {
         addrs: &[SocketAddr],
         listener: TcpListener,
         buf_bytes: usize,
-    ) -> std::io::Result<Self> {
+        tuning: NetTuning,
+    ) -> NetResult<Self> {
         let n = addrs.len();
         assert!(rank < n, "rank {rank} out of range for {n} ranks");
         let buf_bytes = buf_bytes.max(4 << 10);
         let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut setup_retries = 0u64;
 
         // Lower ranks are dialed (they listen first by construction);
         // higher ranks dial us.
         for (peer, addr) in addrs.iter().enumerate().take(rank) {
-            let deadline = Instant::now() + CONNECT_DEADLINE;
+            let start = Instant::now();
+            let mut attempt = 0u32;
             let stream = loop {
                 match TcpStream::connect(addr) {
                     Ok(s) => break s,
                     Err(e) => {
-                        if Instant::now() > deadline {
-                            return Err(std::io::Error::new(
-                                e.kind(),
-                                format!("rank {rank}: connecting to rank {peer} at {addr}: {e}"),
+                        if start.elapsed() > tuning.connect_timeout {
+                            return Err(NetError::timeout(
+                                "connect",
+                                start.elapsed(),
+                                format!(
+                                    "rank {rank}: dialing rank {peer} at {addr} \
+                                     ({attempt} retries, last error: {e})"
+                                ),
                             ));
                         }
-                        std::thread::sleep(Duration::from_millis(20));
+                        attempt += 1;
+                        setup_retries += 1;
+                        let salt = ((rank as u64) << 32) | peer as u64;
+                        std::thread::sleep(tuning.backoff(attempt, salt));
                     }
                 }
             };
-            stream.set_nodelay(true)?;
+            let peer_ctx = |what: &str| format!("rank {rank}: {what} to rank {peer}");
+            stream
+                .set_nodelay(true)
+                .map_err(|e| io_err(peer_ctx("nodelay"), Some(peer), &e))?;
             let mut s = stream;
-            s.write_all(&(rank as u32).to_le_bytes())?;
-            s.flush()?;
+            s.write_all(&(rank as u32).to_le_bytes())
+                .and_then(|()| s.flush())
+                .map_err(|e| io_err(peer_ctx("hello"), Some(peer), &e))?;
             streams[peer] = Some(s);
         }
-        for _ in rank + 1..n {
-            let (mut stream, _) = listener.accept()?;
-            stream.set_nodelay(true)?;
-            let mut hello = [0u8; 4];
-            stream.read_exact(&mut hello)?;
-            let src = u32::from_le_bytes(hello) as usize;
-            if src <= rank || src >= n || streams[src].is_some() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("rank {rank}: unexpected hello from rank {src}"),
-                ));
+        // Accept the higher ranks without blocking forever on a spawn
+        // that never happened: poll a nonblocking listener under the
+        // connect deadline.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err(format!("rank {rank}: listener nonblocking"), None, &e))?;
+        let start = Instant::now();
+        let expected = n - rank - 1;
+        let mut accepted = 0usize;
+        while accepted < expected {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let ctx = |what: &str| format!("rank {rank}: accept {what}");
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| io_err(ctx("blocking"), None, &e))?;
+                    stream
+                        .set_nodelay(true)
+                        .map_err(|e| io_err(ctx("nodelay"), None, &e))?;
+                    // A connected-but-mute dialer must not wedge setup.
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(5)))
+                        .map_err(|e| io_err(ctx("read timeout"), None, &e))?;
+                    let mut stream = stream;
+                    let mut hello = [0u8; 4];
+                    stream
+                        .read_exact(&mut hello)
+                        .map_err(|e| io_err(ctx("hello"), None, &e))?;
+                    stream
+                        .set_read_timeout(None)
+                        .map_err(|e| io_err(ctx("read timeout"), None, &e))?;
+                    let src = u32::from_le_bytes(hello) as usize;
+                    if src <= rank || src >= n || streams[src].is_some() {
+                        return Err(NetError::Protocol {
+                            detail: format!("rank {rank}: unexpected hello from rank {src}"),
+                        });
+                    }
+                    streams[src] = Some(stream);
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if start.elapsed() > tuning.connect_timeout {
+                        return Err(NetError::timeout(
+                            "connect",
+                            start.elapsed(),
+                            format!(
+                                "rank {rank}: accepted {accepted} of {expected} higher ranks"
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_err(format!("rank {rank}: accept"), None, &e)),
             }
-            streams[src] = Some(stream);
         }
 
         let (tx, rx) = mpsc::channel();
+        // Bound incoming frames well above any frame the job legitimately
+        // produces (one L0 PUT, a gather chunk, a metrics blob) so a
+        // flipped length prefix cannot demand a giant allocation.
+        let max_frame = (buf_bytes * 4).max(1 << 20);
         let mut writers: Vec<Option<BufWriter<TcpStream>>> = Vec::with_capacity(n);
         for (peer, stream) in streams.into_iter().enumerate() {
             match stream {
                 None => writers.push(None),
                 Some(s) => {
-                    let reader = s.try_clone()?;
+                    // A send that sits in the OS buffer past the
+                    // collective deadline is a wedge, not backpressure.
+                    s.set_write_timeout(Some(tuning.collective_timeout))
+                        .map_err(|e| io_err(format!("rank {rank}: write timeout"), Some(peer), &e))?;
+                    let reader = s
+                        .try_clone()
+                        .map_err(|e| io_err(format!("rank {rank}: clone stream"), Some(peer), &e))?;
                     let tx = tx.clone();
                     std::thread::Builder::new()
                         .name(format!("dakc-net-r{rank}p{peer}"))
-                        .spawn(move || reader_loop(peer, reader, tx, buf_bytes))
-                        .expect("spawn reader thread");
+                        .spawn(move || reader_loop(peer, reader, tx, buf_bytes, max_frame))
+                        .map_err(|e| io_err(format!("rank {rank}: spawn reader"), None, &e))?;
                     writers.push(Some(BufWriter::with_capacity(buf_bytes, s)));
                 }
             }
         }
+        let mut stats = NetStats::new(n);
+        stats.retries = setup_retries;
         Ok(Self {
             rank,
             n,
@@ -234,83 +350,260 @@ impl TcpTransport {
             rx,
             _tx: tx,
             pending: VecDeque::new(),
+            gone: vec![None; n],
             bar_seen: HashMap::new(),
             term_seen: HashMap::new(),
             epoch: 0,
             round: 0,
             detector: TermDetector::new(),
-            stats: NetStats::new(n),
+            stats,
+            tuning,
         })
     }
 
-    /// Writes one frame to a peer's buffered writer, counting a stall when
-    /// the OS pushes back.
-    fn write_frame(&mut self, dest: Rank, kind: FrameKind, payload: &[u8]) {
-        let wire = encode_frame(kind, payload);
-        let w = self.writers[dest]
-            .as_mut()
-            .unwrap_or_else(|| panic!("rank {} has no writer for {dest}", self.rank));
+    /// Writes raw wire bytes to a peer, retrying transient stalls with
+    /// backoff and classifying failures.
+    fn write_wire(&mut self, dest: Rank, wire: &[u8]) -> NetResult<()> {
+        let me = self.rank;
+        let Some(w) = self.writers[dest].as_mut() else {
+            return Err(NetError::Protocol {
+                detail: format!("rank {me} has no connection to rank {dest}"),
+            });
+        };
         let t0 = Instant::now();
-        w.write_all(&wire)
-            .unwrap_or_else(|e| panic!("rank {} send to {dest}: {e}", self.rank));
+        let mut attempt = 0u32;
+        loop {
+            match w.write_all(wire) {
+                Ok(()) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if attempt >= self.tuning.retries {
+                        return Err(NetError::timeout(
+                            "send",
+                            t0.elapsed(),
+                            format!("rank {me} to rank {dest}: {attempt} retries exhausted ({e})"),
+                        ));
+                    }
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    let salt = ((me as u64) << 32) | dest as u64;
+                    let delay = self.tuning.backoff(attempt, salt);
+                    std::thread::sleep(delay);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(io_err(format!("rank {me} send to rank {dest}"), Some(dest), &e))
+                }
+            }
+        }
         if t0.elapsed() >= STALL_THRESHOLD {
             self.stats.send_stalls += 1;
         }
+        Ok(())
+    }
+
+    /// Encodes and writes one frame to a peer's buffered writer.
+    fn write_frame(&mut self, dest: Rank, kind: FrameKind, payload: &[u8]) -> NetResult<()> {
+        let wire = encode_frame(kind, payload);
+        self.write_wire(dest, &wire)
+    }
+
+    /// Flushes one peer's buffered writer with the same retry policy as
+    /// [`TcpTransport::write_wire`].
+    fn flush_peer(&mut self, dest: Rank) -> NetResult<()> {
+        let me = self.rank;
+        let Some(w) = self.writers[dest].as_mut() else {
+            return Ok(());
+        };
+        let t0 = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match w.flush() {
+                Ok(()) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if attempt >= self.tuning.retries {
+                        return Err(NetError::timeout(
+                            "send",
+                            t0.elapsed(),
+                            format!("rank {me} flush to rank {dest}: {attempt} retries exhausted"),
+                        ));
+                    }
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    let salt = ((me as u64) << 32) | dest as u64 | 1 << 63;
+                    std::thread::sleep(self.tuning.backoff(attempt, salt));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(io_err(format!("rank {me} flush to rank {dest}"), Some(dest), &e))
+                }
+            }
+        }
+        if t0.elapsed() >= STALL_THRESHOLD {
+            self.stats.send_stalls += 1;
+        }
+        Ok(())
     }
 
     /// Handles one event from the inbox: data is stashed for `try_recv`,
-    /// control is recorded under its epoch/round key.
-    fn absorb(&mut self, ev: Event) {
-        match ev.kind {
-            FrameKind::Data => self.pending.push_back((ev.src, ev.payload)),
-            FrameKind::Barrier => {
-                let epoch = u64::from_le_bytes(ev.payload[..8].try_into().expect("epoch"));
-                *self.bar_seen.entry(epoch).or_insert(0) += 1;
+    /// control is recorded under its epoch/round key, and connection ends
+    /// mark the peer dead (erroring immediately when the end itself was a
+    /// failure rather than a clean EOF).
+    fn absorb(&mut self, ev: Event) -> NetResult<()> {
+        match ev {
+            Event::Gone { src, error } => {
+                let detail = error
+                    .as_ref()
+                    .map(ToString::to_string)
+                    .unwrap_or_else(|| "clean eof".to_string());
+                if self.gone[src].is_none() {
+                    self.gone[src] = Some(detail);
+                }
+                match error {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
             }
-            FrameKind::Term => {
-                let round = u64::from_le_bytes(ev.payload[..8].try_into().expect("round"));
-                let sent = u64::from_le_bytes(ev.payload[8..16].try_into().expect("sent"));
-                let recv = u64::from_le_bytes(ev.payload[16..24].try_into().expect("recv"));
-                self.term_seen.entry(round).or_default().push((sent, recv));
-            }
+            Event::Frame { src, kind, payload } => match kind {
+                FrameKind::Data => {
+                    self.pending.push_back((src, payload));
+                    Ok(())
+                }
+                FrameKind::Barrier => {
+                    let epoch = parse_u64(&payload, 0, src, "barrier epoch")?;
+                    let seen = self.bar_seen.entry(epoch).or_insert_with(|| vec![false; self.n]);
+                    if std::mem::replace(&mut seen[src], true) {
+                        return Err(NetError::Protocol {
+                            detail: format!(
+                                "duplicate barrier announcement for epoch {epoch} from rank {src}"
+                            ),
+                        });
+                    }
+                    Ok(())
+                }
+                FrameKind::Term => {
+                    let round = parse_u64(&payload, 0, src, "termination round")?;
+                    let sent = parse_u64(&payload, 8, src, "termination sent")?;
+                    let recv = parse_u64(&payload, 16, src, "termination received")?;
+                    let seen =
+                        self.term_seen.entry(round).or_insert_with(|| vec![None; self.n]);
+                    if seen[src].replace((sent, recv)).is_some() {
+                        return Err(NetError::Protocol {
+                            detail: format!(
+                                "duplicate termination contribution for round {round} from rank {src}"
+                            ),
+                        });
+                    }
+                    Ok(())
+                }
+                FrameKind::Heartbeat => Err(NetError::Protocol {
+                    detail: format!("unexpected heartbeat frame on the data mesh from rank {src}"),
+                }),
+            },
         }
     }
 
-    /// Blocks for the next inbox event and absorbs it.
-    fn pump_blocking(&mut self, what: &str) {
-        match self.rx.recv_timeout(COLLECTIVE_DEADLINE) {
+    /// Waits up to one slice for an inbox event and absorbs it. Errors
+    /// with a diagnostic [`NetError::Timeout`] once `start` is older than
+    /// the collective deadline.
+    fn pump(&mut self, start: Instant, phase: &str) -> NetResult<()> {
+        match self.rx.recv_timeout(PUMP_SLICE) {
             Ok(ev) => self.absorb(ev),
-            Err(e) => panic!(
-                "rank {} wedged waiting for {what} ({} of {} ranks): {e}",
-                self.rank, self.n, self.n
-            ),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let waited = start.elapsed();
+                if waited >= self.tuning.collective_timeout {
+                    Err(NetError::timeout(phase, waited, self.diagnostics()))
+                } else {
+                    Ok(())
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(NetError::Protocol {
+                detail: format!("rank {}: inbox channel closed", self.rank),
+            }),
         }
+    }
+
+    /// The first dead peer that has not contributed, per `contributed`.
+    fn dead_straggler(&self, contributed: impl Fn(Rank) -> bool) -> Option<(Rank, &str)> {
+        (0..self.n).find_map(|p| {
+            if p == self.rank || contributed(p) {
+                return None;
+            }
+            self.gone[p].as_deref().map(|d| (p, d))
+        })
     }
 }
 
-fn reader_loop(src: Rank, mut stream: TcpStream, tx: mpsc::Sender<Event>, buf_bytes: usize) {
-    let mut dec = FrameDecoder::new();
+/// Reads one little-endian `u64` out of a control payload, typing a short
+/// payload as a corrupt frame instead of panicking on the slice.
+fn parse_u64(payload: &[u8], at: usize, src: Rank, what: &str) -> NetResult<u64> {
+    payload
+        .get(at..at + 8)
+        .and_then(|b| b.try_into().ok())
+        .map(u64::from_le_bytes)
+        .ok_or_else(|| NetError::CorruptFrame {
+            rank: src,
+            detail: format!("{what}: control payload is {} bytes", payload.len()),
+        })
+}
+
+fn reader_loop(
+    src: Rank,
+    mut stream: TcpStream,
+    tx: mpsc::Sender<Event>,
+    buf_bytes: usize,
+    max_frame: usize,
+) {
+    let mut dec = FrameDecoder::with_max_len(max_frame);
     let mut buf = vec![0u8; buf_bytes];
     loop {
         match stream.read(&mut buf) {
-            Ok(0) => return,
+            Ok(0) => {
+                let _ = tx.send(Event::Gone { src, error: None });
+                return;
+            }
             Ok(k) => {
                 dec.feed(&buf[..k]);
                 loop {
                     match dec.next_frame() {
                         Ok(Some((kind, payload))) => {
-                            if tx.send(Event { src, kind, payload }).is_err() {
+                            if tx.send(Event::Frame { src, kind, payload }).is_err() {
                                 // Endpoint dropped: stop reading.
                                 return;
                             }
                         }
                         Ok(None) => break,
-                        Err(e) => panic!("corrupt stream from rank {src}: {e}"),
+                        Err(e) => {
+                            let _ = tx.send(Event::Gone {
+                                src,
+                                error: Some(NetError::from_frame(src, &e)),
+                            });
+                            return;
+                        }
                     }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => return,
+            Err(e) => {
+                let _ = tx.send(Event::Gone {
+                    src,
+                    error: Some(NetError::from_io(
+                        format!("read from rank {src}"),
+                        Some(src),
+                        &e,
+                    )),
+                });
+                return;
+            }
         }
     }
 }
@@ -324,62 +617,75 @@ impl Transport for TcpTransport {
         self.n
     }
 
-    fn send(&mut self, dest: Rank, frame: &[u8]) {
+    fn send(&mut self, dest: Rank, frame: &[u8]) -> NetResult<()> {
         self.stats.peers[dest].frames_sent += 1;
         self.stats.peers[dest].bytes_sent += frame.len() as u64;
         if dest == self.rank {
             self.pending.push_back((self.rank, frame.to_vec()));
+            Ok(())
         } else {
-            self.write_frame(dest, FrameKind::Data, frame);
+            self.write_frame(dest, FrameKind::Data, frame)
         }
     }
 
-    fn try_recv(&mut self) -> Option<(Rank, Vec<u8>)> {
+    fn try_recv(&mut self) -> NetResult<Option<(Rank, Vec<u8>)>> {
         loop {
             if let Some((src, bytes)) = self.pending.pop_front() {
                 self.stats.peers[src].frames_recv += 1;
                 self.stats.peers[src].bytes_recv += bytes.len() as u64;
-                return Some((src, bytes));
+                return Ok(Some((src, bytes)));
             }
             match self.rx.try_recv() {
-                Ok(ev) => self.absorb(ev),
-                Err(_) => return None,
+                Ok(ev) => self.absorb(ev)?,
+                Err(_) => return Ok(None),
             }
         }
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self) -> NetResult<()> {
         for dest in 0..self.n {
-            if let Some(w) = self.writers[dest].as_mut() {
-                let t0 = Instant::now();
-                w.flush()
-                    .unwrap_or_else(|e| panic!("rank {} flush to {dest}: {e}", self.rank));
-                if t0.elapsed() >= STALL_THRESHOLD {
-                    self.stats.send_stalls += 1;
-                }
-            }
+            self.flush_peer(dest)?;
         }
+        Ok(())
     }
 
-    fn barrier(&mut self) {
+    fn barrier(&mut self) -> NetResult<()> {
         let epoch = self.epoch;
         self.epoch += 1;
         let payload = epoch.to_le_bytes();
         for dest in 0..self.n {
             if dest != self.rank {
-                self.write_frame(dest, FrameKind::Barrier, &payload);
+                self.write_frame(dest, FrameKind::Barrier, &payload)?;
             }
         }
-        self.flush();
-        while self.bar_seen.get(&epoch).copied().unwrap_or(0) < self.n - 1 {
-            self.pump_blocking("barrier");
+        self.flush()?;
+        let start = Instant::now();
+        loop {
+            let done = match self.bar_seen.get(&epoch) {
+                Some(seen) => (0..self.n).all(|p| p == self.rank || seen[p]),
+                None => self.n == 1,
+            };
+            if done {
+                break;
+            }
+            let straggler = self.dead_straggler(|p| {
+                self.bar_seen.get(&epoch).map(|s| s[p]).unwrap_or(false)
+            });
+            if let Some((p, why)) = straggler {
+                return Err(NetError::PeerDisconnected {
+                    rank: p,
+                    detail: format!("died before barrier epoch {epoch} ({why})"),
+                });
+            }
+            self.pump(start, "barrier")?;
         }
         self.bar_seen.remove(&epoch);
         self.stats.barriers += 1;
+        Ok(())
     }
 
-    fn termination_round(&mut self) -> bool {
-        self.flush();
+    fn termination_round(&mut self) -> NetResult<bool> {
+        self.flush()?;
         let round = self.round;
         self.round += 1;
         let mine = (self.stats.frames_sent(), self.stats.frames_recv());
@@ -389,36 +695,107 @@ impl Transport for TcpTransport {
         payload[16..24].copy_from_slice(&mine.1.to_le_bytes());
         for dest in 0..self.n {
             if dest != self.rank {
-                self.write_frame(dest, FrameKind::Term, &payload);
+                self.write_frame(dest, FrameKind::Term, &payload)?;
             }
         }
-        self.flush();
-        while self
-            .term_seen
-            .get(&round)
-            .map(Vec::len)
-            .unwrap_or(0)
-            < self.n - 1
-        {
-            self.pump_blocking("termination round");
+        self.flush()?;
+        let start = Instant::now();
+        loop {
+            let done = match self.term_seen.get(&round) {
+                Some(seen) => (0..self.n).all(|p| p == self.rank || seen[p].is_some()),
+                None => self.n == 1,
+            };
+            if done {
+                break;
+            }
+            let straggler = self.dead_straggler(|p| {
+                self.term_seen
+                    .get(&round)
+                    .map(|s| s[p].is_some())
+                    .unwrap_or(false)
+            });
+            if let Some((p, why)) = straggler {
+                return Err(NetError::PeerDisconnected {
+                    rank: p,
+                    detail: format!("died before termination round {round} ({why})"),
+                });
+            }
+            self.pump(start, "termination")?;
         }
         let contribs = self.term_seen.remove(&round).unwrap_or_default();
         let (sent, received) = contribs
             .iter()
+            .flatten()
             .fold(mine, |(s, r), &(ps, pr)| (s + ps, r + pr));
         self.stats.term_rounds += 1;
-        self.detector.decide(sent, received)
+        Ok(self.detector.decide(sent, received))
     }
 
     fn stats(&self) -> &NetStats {
         &self.stats
     }
+
+    fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    fn last_global_totals(&self) -> Option<(u64, u64)> {
+        self.detector.last()
+    }
+
+    fn first_dead_peer(&self) -> Option<Rank> {
+        self.gone.iter().position(Option::is_some)
+    }
+
+    fn peer_dead(&self, rank: Rank) -> bool {
+        self.gone.get(rank).map(Option::is_some).unwrap_or(false)
+    }
+
+    fn send_corrupt(&mut self, dest: Rank) -> NetResult<()> {
+        if dest == self.rank {
+            return Ok(());
+        }
+        // An all-ones length prefix: the peer's decoder must reject it as
+        // oversized without buffering a giant payload.
+        self.write_wire(dest, &[0xFF; 16])?;
+        self.flush_peer(dest)
+    }
+
+    fn diagnostics(&self) -> String {
+        let gone: Vec<String> = self
+            .gone
+            .iter()
+            .enumerate()
+            .filter_map(|(p, g)| g.as_ref().map(|d| format!("rank {p} gone ({d})")))
+            .collect();
+        format!(
+            "rank {}/{}: epoch={} round={} sent={} recv={} pending={} last_global={:?}{}{}",
+            self.rank,
+            self.n,
+            self.epoch,
+            self.round,
+            self.stats.frames_sent(),
+            self.stats.frames_recv(),
+            self.pending.len(),
+            self.detector.last(),
+            if gone.is_empty() { "" } else { "; " },
+            gone.join(", "),
+        )
+    }
 }
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
+        // Flush buffered frames, then shut each socket down both ways.
+        // The write shutdown puts FIN on the wire immediately, so peers'
+        // reader threads see EOF (and raise `Gone`) even if this rank's
+        // own reader threads are parked in a blocking read — death
+        // detection must not depend on a peer sending us something first.
+        // The read shutdown unblocks those parked reader threads so they
+        // exit instead of lingering until process exit.
         for w in self.writers.iter_mut().flatten() {
             let _ = w.flush();
+            let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
         }
     }
 }
@@ -454,11 +831,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let mut t = TcpTransport::rendezvous(0, 1, &dir, 8 << 10).unwrap();
         std::fs::remove_dir_all(&dir).ok();
-        t.send(0, b"self");
-        assert_eq!(t.try_recv(), Some((0, b"self".to_vec())));
-        assert!(!t.termination_round());
-        assert!(t.termination_round());
-        t.barrier();
+        t.send(0, b"self").unwrap();
+        assert_eq!(t.try_recv().unwrap(), Some((0, b"self".to_vec())));
+        assert!(!t.termination_round().unwrap());
+        assert!(t.termination_round().unwrap());
+        t.barrier().unwrap();
     }
 
     #[test]
@@ -471,12 +848,13 @@ mod tests {
                     let me = t.rank();
                     let n = t.num_ranks();
                     for dest in 0..n {
-                        t.send(dest, format!("hi from {me} to {dest}").as_bytes());
+                        t.send(dest, format!("hi from {me} to {dest}").as_bytes())
+                            .unwrap();
                     }
-                    t.flush();
+                    t.flush().unwrap();
                     let mut got = Vec::new();
                     while got.len() < n {
-                        if let Some((src, bytes)) = t.try_recv() {
+                        if let Some((src, bytes)) = t.try_recv().unwrap() {
                             got.push((src, bytes));
                         }
                     }
@@ -485,8 +863,8 @@ mod tests {
                         assert_eq!(*src, i);
                         assert_eq!(bytes, format!("hi from {i} to {me}").as_bytes());
                     }
-                    while !t.termination_round() {}
-                    t.barrier();
+                    while !t.termination_round().unwrap() {}
+                    t.barrier().unwrap();
                     (t.stats().frames_sent(), t.stats().frames_recv())
                 })
             })
@@ -509,15 +887,15 @@ mod tests {
                     if me == 0 {
                         std::thread::sleep(Duration::from_millis(50));
                         for i in 0..100u32 {
-                            t.send(1, &i.to_le_bytes());
+                            t.send(1, &i.to_le_bytes()).unwrap();
                         }
                     }
                     let mut recvd = 0u64;
                     loop {
-                        while t.try_recv().is_some() {
+                        while t.try_recv().unwrap().is_some() {
                             recvd += 1;
                         }
-                        if t.termination_round() {
+                        if t.termination_round().unwrap() {
                             break;
                         }
                     }
@@ -528,5 +906,60 @@ mod tests {
         let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         results.sort();
         assert_eq!(results, vec![(0, 0), (1, 100)]);
+    }
+
+    #[test]
+    fn dead_peer_fails_barrier_with_its_rank() {
+        let mut mesh = tcp_mesh(2);
+        let t1 = mesh.pop().unwrap();
+        let mut t0 = mesh.pop().unwrap();
+        drop(t1); // rank 1 "dies": its sockets close, rank 0 sees EOF
+        let err = t0.barrier().expect_err("barrier must not complete against a dead peer");
+        match err {
+            NetError::PeerDisconnected { rank, .. } => assert_eq!(rank, 1),
+            // The send itself may observe the closed socket first.
+            other => assert_eq!(other.rank(), Some(1), "{other}"),
+        }
+    }
+
+    #[test]
+    fn dead_peer_fails_termination_round_fast() {
+        let mut mesh = tcp_mesh(2);
+        let t1 = mesh.pop().unwrap();
+        let mut t0 = mesh.pop().unwrap();
+        drop(t1);
+        let start = Instant::now();
+        let err = t0.termination_round().unwrap_err();
+        assert_eq!(err.rank(), Some(1), "{err}");
+        // Fast-fail, not the 120 s collective deadline.
+        assert!(start.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn corrupt_wire_bytes_surface_as_typed_error() {
+        let mut mesh = tcp_mesh(2);
+        let mut t1 = mesh.pop().unwrap();
+        let mut t0 = mesh.pop().unwrap();
+        t1.send_corrupt(0).unwrap();
+        let start = Instant::now();
+        let err = loop {
+            match t0.try_recv() {
+                Ok(_) => {
+                    assert!(
+                        start.elapsed() < Duration::from_secs(10),
+                        "corrupt frame never surfaced"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(
+                err,
+                NetError::OversizedFrame { rank: 1, .. } | NetError::CorruptFrame { rank: 1, .. }
+            ),
+            "{err}"
+        );
     }
 }

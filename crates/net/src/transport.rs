@@ -21,11 +21,81 @@
 //! `try_recv`, not when bytes land in an OS buffer: an unprocessed
 //! conveyor buffer can still generate relay traffic (2D/3D routing), so
 //! only consumed frames may count toward quiescence.
+//!
+//! Every fallible operation returns [`NetResult`]: a dead peer, a corrupt
+//! stream, or a deadline overrun surfaces as a typed, rank-attributed
+//! [`crate::NetError`] instead of a panic or an indefinite hang.
+//! Deadlines and retry/backoff behavior come from [`NetTuning`].
+
+use std::time::Duration;
 
 use dakc_sim::telemetry::MetricsRegistry;
 
+use crate::error::NetResult;
+
 /// Rank id within a job (dense, `0..num_ranks`).
 pub type Rank = usize;
+
+/// Deadlines and retry policy for a transport endpoint.
+///
+/// `--net-timeout` maps onto the two deadline fields and `--net-retries`
+/// onto `retries`; backoff between retries is capped exponential with
+/// deterministic jitter (seeded from rank and attempt, so reruns are
+/// reproducible).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetTuning {
+    /// How long connection setup (dial, accept, rendezvous polling) may
+    /// retry before failing with a `Timeout`.
+    pub connect_timeout: Duration,
+    /// How long a collective wait (barrier, termination round, gather
+    /// stall, drain quiescence) may sit without progress before failing
+    /// with a `Timeout` carrying the four-counter diagnostic dump.
+    pub collective_timeout: Duration,
+    /// Retry budget for transient send stalls (`WouldBlock`/`TimedOut`).
+    pub retries: u32,
+    /// First backoff step; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for NetTuning {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(30),
+            collective_timeout: Duration::from_secs(120),
+            retries: 8,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(250),
+        }
+    }
+}
+
+impl NetTuning {
+    /// Sets both deadlines from one `--net-timeout` value.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self.collective_timeout = timeout;
+        self
+    }
+
+    /// Sets the transient-stall retry budget (`--net-retries`).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Backoff before retry `attempt` (1-based): capped exponential with
+    /// deterministic jitter in `[delay/2, delay]`, salted so concurrent
+    /// ranks do not stampede in lockstep.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self.backoff_base.as_micros().max(1) as u64;
+        let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
+        let capped = exp.min(self.backoff_cap.as_micros().max(1) as u64);
+        let jitter = crate::chaos::splitmix64(salt ^ u64::from(attempt)) % (capped / 2 + 1);
+        Duration::from_micros(capped / 2 + jitter)
+    }
+}
 
 /// Per-peer traffic counters.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -52,6 +122,10 @@ pub struct NetStats {
     pub term_rounds: u64,
     /// Barriers completed.
     pub barriers: u64,
+    /// Retries performed (connection attempts and transient send stalls).
+    pub retries: u64,
+    /// Chaos faults injected by a wrapping [`crate::ChaosTransport`].
+    pub injected_faults: u64,
 }
 
 impl NetStats {
@@ -91,6 +165,8 @@ impl NetStats {
         m.inc("net.send_stalls", self.send_stalls);
         m.inc("net.term_rounds", self.term_rounds);
         m.inc("net.barriers", self.barriers);
+        m.inc("net.retries", self.retries);
+        m.inc("net.injected_faults", self.injected_faults);
         m.inc(&format!("net.rank{me}.bytes_sent"), self.bytes_sent());
         m.inc(&format!("net.rank{me}.frames_sent"), self.frames_sent());
         m.inc(&format!("net.rank{me}.send_stalls"), self.send_stalls);
@@ -104,7 +180,8 @@ impl NetStats {
 }
 
 /// One rank's endpoint: nonblocking data-frame delivery plus the two
-/// collectives the drain protocol needs.
+/// collectives the drain protocol needs. Every operation that can observe
+/// a wire failure returns [`NetResult`].
 pub trait Transport: Send {
     /// This endpoint's rank.
     fn rank(&self) -> Rank;
@@ -114,26 +191,75 @@ pub trait Transport: Send {
 
     /// Queues one data frame for `dest` (self-sends allowed). Nonblocking:
     /// bytes may sit in the per-peer send buffer until [`Transport::flush`].
-    fn send(&mut self, dest: Rank, frame: &[u8]);
+    fn send(&mut self, dest: Rank, frame: &[u8]) -> NetResult<()>;
 
     /// Pulls the next arrived data frame, if any. Frames from one peer
-    /// arrive in send order; no order holds across peers.
-    fn try_recv(&mut self) -> Option<(Rank, Vec<u8>)>;
+    /// arrive in send order; no order holds across peers. Surfaces a
+    /// corrupt peer stream as a typed error.
+    fn try_recv(&mut self) -> NetResult<Option<(Rank, Vec<u8>)>>;
 
     /// Pushes every buffered send to the wire.
-    fn flush(&mut self);
+    fn flush(&mut self) -> NetResult<()>;
 
-    /// Blocks until every rank has entered this barrier.
-    fn barrier(&mut self);
+    /// Blocks until every rank has entered this barrier, or fails fast
+    /// when a straggler is known dead / the deadline passes.
+    fn barrier(&mut self) -> NetResult<()>;
 
     /// Runs one collective termination-detection round (flushing first)
     /// and returns `true` when the job is quiescent. All ranks must call
     /// this the same number of times; the decision is identical on all
     /// ranks in the same round.
-    fn termination_round(&mut self) -> bool;
+    fn termination_round(&mut self) -> NetResult<bool>;
 
     /// Traffic counters so far.
     fn stats(&self) -> &NetStats;
+
+    /// Mutable counters — used by fault-injection wrappers to keep the
+    /// four-counter totals consistent with the faults they inject (a
+    /// "lost on the wire" frame still counts as sent; a wire-level
+    /// duplicate counts as one application send).
+    fn stats_mut(&mut self) -> &mut NetStats;
+
+    /// The global `(sent, received)` totals of the most recent
+    /// termination round, if any — for timeout diagnostics.
+    fn last_global_totals(&self) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// First peer known to have gone away, if the backend can tell.
+    fn first_dead_peer(&self) -> Option<Rank> {
+        None
+    }
+
+    /// Whether `rank`'s connection is known to have ended (in-process
+    /// backends cannot tell and report `false`).
+    fn peer_dead(&self, _rank: Rank) -> bool {
+        false
+    }
+
+    /// Writes deliberately malformed bytes to `dest`'s wire, if the
+    /// backend has one (chaos hook for corrupt-frame testing; no-op on
+    /// in-process backends, which have no framing layer to corrupt).
+    fn send_corrupt(&mut self, _dest: Rank) -> NetResult<()> {
+        Ok(())
+    }
+
+    /// One-line protocol-state dump for timeout diagnostics: the
+    /// four-counter state plus whatever the backend knows about stuck
+    /// peers.
+    fn diagnostics(&self) -> String {
+        let s = self.stats();
+        format!(
+            "rank {} of {}: sent={} recv={} rounds={} barriers={} last_global={:?}",
+            self.rank(),
+            self.num_ranks(),
+            s.frames_sent(),
+            s.frames_recv(),
+            s.term_rounds,
+            s.barriers,
+            self.last_global_totals(),
+        )
+    }
 }
 
 /// The per-rank decision state of the four-counter protocol: remembers the
@@ -156,6 +282,11 @@ impl TermDetector {
         self.prev = Some((sent, received));
         quiescent
     }
+
+    /// The most recent round's global totals, if any.
+    pub fn last(&self) -> Option<(u64, u64)> {
+        self.prev
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +307,7 @@ mod tests {
         assert!(!d.decide(5, 3), "unchanged but unbalanced");
         assert!(!d.decide(5, 5), "balanced but changed since last round");
         assert!(d.decide(5, 5));
+        assert_eq!(d.last(), Some((5, 5)));
     }
 
     #[test]
@@ -194,5 +326,19 @@ mod tests {
         s.peers[1].bytes_sent = 100;
         assert_eq!(s.frames_sent(), 5);
         assert_eq!(s.bytes_sent(), 100);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_deterministic() {
+        let t = NetTuning::default();
+        for attempt in 1..12 {
+            let a = t.backoff(attempt, 7);
+            let b = t.backoff(attempt, 7);
+            assert_eq!(a, b, "same salt and attempt must agree");
+            assert!(a <= t.backoff_cap, "attempt {attempt}: {a:?} over cap");
+            assert!(a >= t.backoff_base / 2, "attempt {attempt}: {a:?} under floor");
+        }
+        // Grows (until the cap) as attempts climb.
+        assert!(t.backoff(6, 7) >= t.backoff(1, 7));
     }
 }

@@ -4,13 +4,17 @@
 //! degenerate topologies, and round-trip every wire format.
 
 use dakc::{count_kmers_loopback, decode_packet, encode_heavy_packet, encode_normal_packet,
-    run_rank, DakcConfig, NetRun, ReceiveStore};
+    run_rank, run_rank_opts, DakcConfig, NetRun, ReceiveStore, RunOpts};
 use dakc_baselines::count_kmers_serial;
 use dakc_io::{generate_genome, simulate_reads, GenomeSpec, ReadSet, ReadSimConfig, RepeatProfile};
 use dakc_kmer::{CanonicalMode, KmerCount, KmerWord};
-use dakc_net::{FrameDecoder, FrameKind, TcpTransport};
+use dakc_net::{
+    ChaosConfig, ChaosTransport, FrameDecoder, FrameError, FrameKind, Loopback, NetError,
+    NetResult, NetTuning, TcpTransport,
+};
 use dakc_sort::RadixKey;
 use proptest::prelude::*;
+use std::time::Duration;
 
 const CH_NORMAL: u8 = 0;
 const CH_HEAVY: u8 = 1;
@@ -52,7 +56,7 @@ fn count_kmers_tcp_threads<W: KmerWord + RadixKey + Send>(
                 let dir = dir.clone();
                 s.spawn(move || {
                     let t = TcpTransport::rendezvous(rank, ranks, &dir, cfg.c0_bytes).unwrap();
-                    run_rank::<W, _>(reads, cfg, t)
+                    run_rank::<W, _>(reads, cfg, t).unwrap()
                 })
             })
             .collect();
@@ -68,6 +72,70 @@ fn count_kmers_tcp_threads<W: KmerWord + RadixKey + Send>(
     run
 }
 
+/// Runs the distributed engine with every rank's transport wrapped in a
+/// [`ChaosTransport`] — over an in-process TCP mesh when `tcp` is set,
+/// else a loopback mesh — returning each rank's verdict (no unwrap: the
+/// fault-injection tests assert on the errors).
+#[allow(clippy::too_many_arguments)]
+fn run_ranks_chaos<W: KmerWord + RadixKey + Send>(
+    reads: &ReadSet,
+    cfg: &DakcConfig,
+    ranks: usize,
+    tag: &str,
+    profile: Option<&str>,
+    seed: u64,
+    tuning: NetTuning,
+    tcp: bool,
+) -> Vec<NetResult<Option<NetRun<W>>>> {
+    let chaos_for = |rank: usize| match profile {
+        Some(p) => ChaosConfig::parse(p, seed, rank).expect("chaos profile"),
+        None => ChaosConfig::off(),
+    };
+    let dir = std::env::temp_dir().join(format!("dakc-it-chaos-{}-{tag}", std::process::id()));
+    if tcp {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut loop_mesh: Vec<Option<Loopback>> = if tcp {
+        (0..ranks).map(|_| None).collect()
+    } else {
+        Loopback::mesh_tuned(ranks, tuning.clone()).into_iter().map(Some).collect()
+    };
+    let results = std::thread::scope(|s| {
+        let handles: Vec<_> = loop_mesh
+            .iter_mut()
+            .enumerate()
+            .map(|(rank, slot)| {
+                let dir = dir.clone();
+                let tuning = tuning.clone();
+                let chaos = chaos_for(rank);
+                let slot = slot.take();
+                s.spawn(move || {
+                    let opts = RunOpts { tuning: tuning.clone(), monitor: None };
+                    match slot {
+                        Some(lo) => run_rank_opts::<W, _>(
+                            reads,
+                            cfg,
+                            ChaosTransport::new(lo, chaos),
+                            &opts,
+                        ),
+                        None => {
+                            let t = TcpTransport::rendezvous_tuned(
+                                rank, ranks, &dir, cfg.c0_bytes, tuning,
+                            )?;
+                            run_rank_opts::<W, _>(reads, cfg, ChaosTransport::new(t, chaos), &opts)
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+    });
+    if tcp {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    results
+}
+
 #[test]
 fn loopback_matches_serial_across_ranks_and_modes() {
     let reads = workload(11);
@@ -77,7 +145,7 @@ fn loopback_matches_serial_across_ranks_and_modes() {
             cfg.canonical = mode;
             let want = reference::<u64>(&reads, k, mode);
             for ranks in [1, 2, 4, 7] {
-                let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks);
+                let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks).unwrap();
                 assert_eq!(run.counts, want, "k={k} mode={mode:?} ranks={ranks}");
             }
         }
@@ -90,7 +158,7 @@ fn loopback_matches_serial_with_l3_enabled() {
     let cfg = DakcConfig::scaled_defaults(21).with_l3();
     let want = reference::<u64>(&reads, 21, cfg.canonical);
     for ranks in [2, 5] {
-        let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks);
+        let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks).unwrap();
         assert_eq!(run.counts, want, "l3 ranks={ranks}");
     }
 }
@@ -102,7 +170,7 @@ fn loopback_matches_serial_for_kmer128() {
     let cfg = DakcConfig::scaled_defaults(k);
     let want = reference::<u128>(&reads, k, cfg.canonical);
     for ranks in [1, 3] {
-        let run = count_kmers_loopback::<u128>(&reads, &cfg, ranks);
+        let run = count_kmers_loopback::<u128>(&reads, &cfg, ranks).unwrap();
         assert_eq!(run.counts, want, "u128 ranks={ranks}");
     }
 }
@@ -126,7 +194,7 @@ fn single_rank_terminates_loopback_and_tcp() {
     let reads = workload(15);
     let cfg = DakcConfig::scaled_defaults(17);
     let want = reference::<u64>(&reads, 17, cfg.canonical);
-    let loop_run = count_kmers_loopback::<u64>(&reads, &cfg, 1);
+    let loop_run = count_kmers_loopback::<u64>(&reads, &cfg, 1).unwrap();
     assert_eq!(loop_run.counts, want, "loopback ranks=1");
     let tcp_run = count_kmers_tcp_threads::<u64>(&reads, &cfg, 1, "single");
     assert_eq!(tcp_run.counts, want, "tcp ranks=1");
@@ -144,7 +212,7 @@ fn zero_input_ranks_terminate_loopback_and_tcp() {
     let cfg = DakcConfig::scaled_defaults(9);
     let want = reference::<u64>(&reads, 9, cfg.canonical);
     let ranks = 6; // > number of reads / 2: ranks 2.. get empty slices
-    let loop_run = count_kmers_loopback::<u64>(&reads, &cfg, ranks);
+    let loop_run = count_kmers_loopback::<u64>(&reads, &cfg, ranks).unwrap();
     assert_eq!(loop_run.counts, want, "loopback zero-input ranks");
     let tcp_run = count_kmers_tcp_threads::<u64>(&reads, &cfg, ranks, "zeroin");
     assert_eq!(tcp_run.counts, want, "tcp zero-input ranks");
@@ -269,5 +337,208 @@ proptest! {
         }
         prop_assert_eq!(store.plain, want.plain);
         prop_assert_eq!(store.pairs, want.pairs);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (tentpole): the chaos wrapper must be invisible when
+// off, deterministic when seeded, and every injected fault must surface
+// as a typed error or a diagnosed stall — never a panic or a hang.
+// ---------------------------------------------------------------------
+
+/// Joins a chaos mesh's per-rank verdicts into rank 0's run, failing the
+/// test if any rank errored.
+fn expect_clean_run<W: KmerWord + RadixKey>(
+    results: Vec<NetResult<Option<NetRun<W>>>>,
+    what: &str,
+) -> NetRun<W> {
+    let mut root = None;
+    for (rank, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(Some(run)) => root = Some(run),
+            Ok(None) => {}
+            Err(e) => panic!("{what}: rank {rank} failed: {e}"),
+        }
+    }
+    root.expect("rank 0 result")
+}
+
+#[test]
+fn chaos_off_wrapper_is_bit_identical() {
+    let reads = workload(21);
+    let cfg = DakcConfig::scaled_defaults(15);
+    let want = reference::<u64>(&reads, 15, cfg.canonical);
+    for tcp in [false, true] {
+        let tag = if tcp { "off-tcp" } else { "off-loop" };
+        let results = run_ranks_chaos::<u64>(
+            &reads, &cfg, 4, tag, None, 0, NetTuning::default(), tcp,
+        );
+        let run = expect_clean_run(results, tag);
+        assert_eq!(run.counts, want, "tcp={tcp}: chaos-off wrapper changed the result");
+        assert_eq!(run.metrics.counter("net.injected_faults"), 0, "tcp={tcp}");
+    }
+}
+
+#[test]
+fn chaos_delay_is_deterministic_and_preserves_counts() {
+    let reads = workload(22);
+    let cfg = DakcConfig::scaled_defaults(15);
+    let want = reference::<u64>(&reads, 15, cfg.canonical);
+    let mut seen = None;
+    for attempt in 0..2 {
+        let results = run_ranks_chaos::<u64>(
+            &reads, &cfg, 4, &format!("delay{attempt}"),
+            Some("delay=400"), 9, NetTuning::default(), false,
+        );
+        let run = expect_clean_run(results, "delay profile");
+        assert_eq!(run.counts, want, "attempt {attempt}: delays corrupted the result");
+        let faults = run.metrics.counter("net.injected_faults");
+        assert!(faults > 0, "attempt {attempt}: no delays injected");
+        if let Some(prev) = seen {
+            assert_eq!(faults, prev, "same --chaos-seed must inject identically");
+        }
+        seen = Some(faults);
+    }
+}
+
+// Silently dropped frames leave sends counted but never received: the
+// four-counter protocol can never observe S == R, and every rank must
+// abort with a diagnosed termination stall instead of spinning forever.
+#[test]
+fn chaos_drop_stalls_termination_with_typed_timeout() {
+    let reads = workload(23);
+    let cfg = DakcConfig::scaled_defaults(15);
+    let tuning = NetTuning::default().with_timeout(Duration::from_secs(2));
+    let results =
+        run_ranks_chaos::<u64>(&reads, &cfg, 3, "drop", Some("drop=1000"), 5, tuning, false);
+    let errs: Vec<String> = results
+        .iter()
+        .map(|r| match r {
+            Ok(_) => "ok".to_string(),
+            Err(e) => e.to_string(),
+        })
+        .collect();
+    assert!(results.iter().all(Result::is_err), "lost frames but ranks converged: {errs:?}");
+    let stalled = results.iter().any(|r| {
+        matches!(r, Err(NetError::Timeout { phase, .. }) if phase == "termination")
+    });
+    assert!(stalled, "no rank diagnosed the termination stall: {errs:?}");
+}
+
+// A rank dying mid-cascade over real sockets: the dead rank surfaces its
+// own injected error, and surviving ranks fast-fail with the dead rank's
+// number well before the collective deadline.
+#[test]
+fn chaos_die_fast_fails_peers_naming_the_dead_rank() {
+    let reads = workload(24);
+    let cfg = DakcConfig::scaled_defaults(15);
+    let tuning = NetTuning::default().with_timeout(Duration::from_secs(30));
+    let started = std::time::Instant::now();
+    let results =
+        run_ranks_chaos::<u64>(&reads, &cfg, 3, "die", Some("die:1@40"), 0, tuning, true);
+    let elapsed = started.elapsed();
+    assert!(elapsed < Duration::from_secs(25), "fast-fail took {elapsed:?}");
+    assert!(
+        matches!(results[1], Err(NetError::Injected { rank: 1, .. })),
+        "rank 1 should die of its injected fault"
+    );
+    let blamed = results
+        .iter()
+        .enumerate()
+        .any(|(i, r)| i != 1 && matches!(r, Err(e) if e.rank() == Some(1)));
+    assert!(blamed, "no surviving rank attributed the failure to rank 1");
+}
+
+// ---------------------------------------------------------------------
+// Wire robustness (satellite): truncated, bit-flipped, and oversized
+// streams must produce typed frame errors or clean parks — never a
+// panic, an unbounded allocation, or a hang.
+// ---------------------------------------------------------------------
+
+fn kind_of(tag: u8) -> FrameKind {
+    FrameKind::from_u8(tag).expect("valid tag")
+}
+
+#[test]
+fn oversized_length_prefix_rejected_before_payload() {
+    let mut dec = FrameDecoder::with_max_len(1024);
+    let mut header = 4096u32.to_le_bytes().to_vec();
+    header.push(0); // Data
+    dec.feed(&header);
+    assert!(matches!(
+        dec.next_frame(),
+        Err(FrameError::Oversized { len: 4096, max: 1024 })
+    ));
+}
+
+proptest! {
+    // Truncating a valid stream at any byte: the decoder yields exactly
+    // the frames whose bytes fully arrived and parks waiting for more —
+    // never a phantom frame, never an error (truncation isn't corruption).
+    #[test]
+    fn truncated_stream_yields_exact_frame_prefix(
+        frames in prop::collection::vec(
+            (0u8..4, prop::collection::vec(any::<u8>(), 1..64)), 1..8),
+        cut_raw in any::<u32>(),
+    ) {
+        let mut wire = Vec::new();
+        let mut boundaries = Vec::new();
+        for (tag, payload) in &frames {
+            wire.extend_from_slice(&dakc_net::encode_frame(kind_of(*tag), payload));
+            boundaries.push(wire.len());
+        }
+        let cut = cut_raw as usize % (wire.len() + 1);
+        let complete = boundaries.iter().filter(|&&b| b <= cut).count();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..cut]);
+        let mut got = Vec::new();
+        while let Some(frame) = dec.next_frame().expect("truncation is not corruption") {
+            got.push(frame);
+        }
+        prop_assert_eq!(got.len(), complete);
+        for (g, f) in got.iter().zip(frames.iter()) {
+            prop_assert_eq!(g.0, kind_of(f.0));
+            prop_assert_eq!(&g.1, &f.1);
+        }
+    }
+
+    // One flipped bit anywhere in the stream, fed in arbitrary chunks:
+    // the decoder either keeps producing frames (the flip landed in a
+    // payload) or surfaces a typed frame error. It must never panic and
+    // the frame count stays bounded by the wire length.
+    #[test]
+    fn bit_flip_yields_frames_or_typed_error(
+        frames in prop::collection::vec(
+            (0u8..4, prop::collection::vec(any::<u8>(), 1..64)), 1..8),
+        flip_raw in any::<u32>(),
+        chunk in 1usize..64,
+    ) {
+        let mut wire = Vec::new();
+        for (tag, payload) in &frames {
+            wire.extend_from_slice(&dakc_net::encode_frame(kind_of(*tag), payload));
+        }
+        let at = flip_raw as usize % (wire.len() * 8);
+        wire[at / 8] ^= 1 << (at % 8);
+        let mut dec = FrameDecoder::with_max_len(1 << 16);
+        let mut decoded = 0usize;
+        'outer: for part in wire.chunks(chunk) {
+            dec.feed(part);
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(_)) => {
+                        decoded += 1;
+                        // A shrunk length prefix can re-frame the tail,
+                        // but every frame still costs ≥ 5 wire bytes.
+                        prop_assert!(decoded <= wire.len() / 5 + 1);
+                    }
+                    Ok(None) => break,
+                    Err(
+                        FrameError::BadKind(_)
+                        | FrameError::BadLength(_)
+                        | FrameError::Oversized { .. },
+                    ) => break 'outer,
+                }
+            }
+        }
     }
 }
