@@ -106,6 +106,12 @@ pub struct LaunchArgs {
     pub chaos_seed: Option<u64>,
     /// Chaos fault-injection profile, e.g. `drop=5,die:2@200`.
     pub chaos_profile: Option<String>,
+    /// Write the clock-aligned merged multi-rank Chrome trace here.
+    pub trace: Option<String>,
+    /// Causal flow tracing: tag one in `N` packets (`1` = every packet).
+    pub trace_sample: Option<u32>,
+    /// Render the live per-rank status table while the job runs.
+    pub status: bool,
 }
 
 /// Arguments of the hidden `dakc worker` subcommand: one rank of a TCP
@@ -194,7 +200,8 @@ USAGE:
   dakc launch <reads> [--ranks 4] [--backend tcp|loopback] [-k 31]
               [--canonical] [--l3 C3] [--min-count 1] [-o counts.tsv]
               [--metrics metrics.json] [--net-timeout SECS] [--net-retries N]
-              [--chaos-seed N] [--chaos-profile SPEC]
+              [--chaos-seed N] [--chaos-profile SPEC] [--trace trace.json]
+              [--trace-sample N] [--status]
   dakc model --dataset NAME [--nodes 32]
   dakc compare <reads> [-k 31] [--nodes 8] [--ppn 24]
   dakc help
@@ -378,6 +385,9 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 net_retries: None,
                 chaos_seed: None,
                 chaos_profile: None,
+                trace: None,
+                trace_sample: None,
+                status: false,
             };
             let mut rank = None;
             let mut rendezvous = None;
@@ -425,6 +435,14 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                     "--chaos-profile" => {
                         a.chaos_profile = Some(take_value(&mut args, "--chaos-profile")?)
                     }
+                    "--trace" => a.trace = Some(take_value(&mut args, "--trace")?),
+                    "--trace-sample" => {
+                        a.trace_sample = Some(parse_num(
+                            take_value(&mut args, "--trace-sample")?,
+                            "--trace-sample",
+                        )?)
+                    }
+                    "--status" => a.status = true,
                     "--rank" if hidden => {
                         rank = Some(parse_num(take_value(&mut args, "--rank")?, "--rank")?)
                     }
@@ -696,6 +714,31 @@ mod tests {
         assert!(parse_args(argv("launch in.fq --net-retries many")).is_err());
         // The supervisor address is wired by `launch`, not user-settable.
         assert!(parse_args(argv("launch in.fq --supervisor 127.0.0.1:9")).is_err());
+    }
+
+    #[test]
+    fn parse_launch_trace_and_status_flags() {
+        let cmd = parse_args(argv(
+            "launch in.fq --ranks 4 --trace net.json --trace-sample 16 --status",
+        ))
+        .unwrap();
+        let Command::Launch(a) = cmd else { panic!("not launch") };
+        assert_eq!(a.trace.as_deref(), Some("net.json"));
+        assert_eq!(a.trace_sample, Some(16));
+        assert!(a.status);
+        let Command::Launch(b) = parse_args(argv("launch in.fq")).unwrap() else { panic!() };
+        assert_eq!(b.trace, None);
+        assert_eq!(b.trace_sample, None);
+        assert!(!b.status);
+        assert!(parse_args(argv("launch in.fq --trace-sample every")).is_err());
+        // The worker sees the same trace flags the launcher forwards.
+        let Command::Worker(w) = parse_args(argv(
+            "worker in.fq --rank 0 --ranks 2 --rendezvous /tmp/rv --trace net.json",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(w.job.trace.as_deref(), Some("net.json"));
     }
 
     #[test]

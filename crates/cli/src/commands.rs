@@ -1,13 +1,13 @@
 //! Subcommand implementations.
 
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, IsTerminal, Write};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dakc::{
-    count_kmers_loopback, count_kmers_sim, count_kmers_sim_traced, count_kmers_threaded_opts,
+    count_kmers_loopback_opts, count_kmers_sim, count_kmers_sim_traced, count_kmers_threaded_opts,
     run_rank_opts, DakcConfig, NetRun, RunOpts, ThreadedOpts,
 };
 use dakc_io::{fastx, ReadSet};
@@ -226,6 +226,12 @@ fn net_config(a: &LaunchArgs) -> DakcConfig {
         cfg = cfg.with_l3();
         cfg.c3 = c3;
     }
+    // Flow tracing defaults to 1-in-64 packets when `--trace` is on.
+    // Derived from forwarded flags only, so every rank lands on the same
+    // sampling rate — flow sidecars are part of the wire format.
+    if let Some(n) = a.trace_sample.or(a.trace.is_some().then_some(64)) {
+        cfg = cfg.with_trace_sample(n);
+    }
     cfg
 }
 
@@ -248,9 +254,16 @@ fn emit_net_run<W: KmerWord>(run: &NetRun<W>, a: &LaunchArgs) -> Result<(), Stri
     let mut out = out_writer(&a.output)?;
     let written = write_counts(&mut *out, &run.counts, a.k, a.min_count)?;
     out.flush().map_err(|e| e.to_string())?;
+    if let Some(path) = &a.trace {
+        // `pes_per_node = 1` maps each rank to its own process track:
+        // pid = rank, all on rank 0's clock after alignment.
+        write_artifact(path, &chrome_trace(&run.trace, 1))?;
+        eprintln!("wrote trace: {path} ({} events, {} ranks merged)", run.trace.len(), run.ranks);
+    }
     if let Some(path) = &a.metrics {
         write_artifact(path, &run.metrics.to_json())?;
         eprintln!("wrote metrics: {path}");
+        print_net_rank_table(&run.metrics, run.ranks);
     }
     eprintln!(
         "launch: {} distinct k-mers ({written} ≥ count {}) on {} ranks in {:.3} s",
@@ -267,8 +280,37 @@ fn launch_loopback<W: KmerWord + RadixKey + Send>(
     cfg: &DakcConfig,
     a: &LaunchArgs,
 ) -> Result<(), String> {
-    let run = count_kmers_loopback::<W>(reads, cfg, a.ranks).map_err(|e| format!("loopback: {e}"))?;
+    let opts = RunOpts { trace: a.trace.is_some(), ..RunOpts::default() };
+    let run = count_kmers_loopback_opts::<W>(reads, cfg, a.ranks, &opts)
+        .map_err(|e| format!("loopback: {e}"))?;
     emit_net_run(&run, a)
+}
+
+/// Prints the per-rank transport counters gathered on rank 0 — one row
+/// per rank, so a hot spot (one rank retrying or stalling) stands out
+/// where the merged `net.*` sums would average it away.
+fn print_net_rank_table(m: &MetricsRegistry, ranks: usize) {
+    let cols = ["frames_sent", "frames_recv", "bytes_sent", "bytes_recv", "send_stalls", "retries"];
+    if (0..ranks).all(|r| m.counter(&format!("net.rank{r}.frames_sent")) == 0) {
+        return;
+    }
+    eprintln!("\nper-rank transport counters:");
+    eprint!("{:<6}", "rank");
+    for c in cols {
+        eprint!(" {c:>12}");
+    }
+    eprintln!();
+    for r in 0..ranks {
+        eprint!("{r:<6}");
+        for c in cols {
+            eprint!(" {:>12}", m.counter(&format!("net.rank{r}.{c}")));
+        }
+        let faults = m.counter(&format!("net.rank{r}.injected_faults"));
+        if faults > 0 {
+            eprint!("  ({faults} injected faults)");
+        }
+        eprintln!();
+    }
 }
 
 /// Removes the file-rendezvous directory on drop, so every exit from
@@ -301,18 +343,56 @@ fn teardown(children: &mut [Option<std::process::Child>]) {
 /// may not notice until their own collective deadline, so the launcher
 /// acts first). On failure every surviving worker is killed, the per-rank
 /// health report is printed, and the error names the blamed rank.
+/// One frame of the live `--status` table: per-rank phase, traffic
+/// counters, and heartbeat age from the supervisor's health table.
+fn status_table(sup: &Supervisor, launched: Instant) -> String {
+    let mut out = format!(
+        "{:<6} {:<8} {:>12} {:>12} {:>9} {:>9}\n",
+        "rank", "phase", "sent", "recv", "retries", "beat"
+    );
+    for (rank, h) in sup.snapshot().into_iter().enumerate() {
+        let age = h.last_beat.map_or_else(|| launched.elapsed(), |t| t.elapsed());
+        let (phase, sent, recv, retries) = match h.last {
+            Some(b) => (b.phase.name(), b.frames_sent, b.frames_recv, b.retries),
+            None => ("-", 0, 0, 0),
+        };
+        out.push_str(&format!(
+            "{rank:<6} {phase:<8} {sent:>12} {recv:>12} {retries:>9} {:>8.1}s\n",
+            age.as_secs_f64()
+        ));
+    }
+    out
+}
+
 fn supervise(
     sup: &Supervisor,
     children: &mut [Option<std::process::Child>],
     tuning: &NetTuning,
     launched: Instant,
+    status: bool,
 ) -> Result<(), String> {
     // Fire before the workers' own collective deadline so a frozen rank
     // is blamed by name rather than as a generic peer timeout; floor
     // covers spawn + rendezvous before the first heartbeat lands.
     let stale_limit = (tuning.collective_timeout / 2).max(Duration::from_millis(1500));
     let mut exits: Vec<(usize, std::process::ExitStatus)> = Vec::new();
+    // Live status: redraw in place on a terminal (cursor-up + clear),
+    // append plain frames when stderr is piped to a file.
+    let redraw_in_place = status && std::io::stderr().is_terminal();
+    let mut status_lines = 0usize;
+    let mut next_status = Instant::now();
     loop {
+        if status && Instant::now() >= next_status {
+            let table = status_table(sup, launched);
+            let mut err = std::io::stderr().lock();
+            if redraw_in_place && status_lines > 0 {
+                let _ = write!(err, "\x1b[{status_lines}A\x1b[0J");
+            }
+            let _ = write!(err, "{table}");
+            let _ = err.flush();
+            status_lines = table.lines().count();
+            next_status = Instant::now() + Duration::from_millis(500);
+        }
         for (rank, slot) in children.iter_mut().enumerate() {
             if let Some(child) = slot {
                 match child.try_wait() {
@@ -428,6 +508,15 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
                 if let Some(p) = &a.chaos_profile {
                     cmd.args(["--chaos-profile", p]);
                 }
+                // Tracing is collective (it changes the wire format and
+                // runs the clock-sync exchange), so every rank gets the
+                // flags; only rank 0 writes the merged trace file.
+                if let Some(t) = &a.trace {
+                    cmd.args(["--trace", t]);
+                }
+                if let Some(n) = a.trace_sample {
+                    cmd.args(["--trace-sample", &n.to_string()]);
+                }
                 // Only rank 0 holds the merged result; it inherits this
                 // process's stdout, so `-o` absent still prints here.
                 if rank == 0 {
@@ -446,7 +535,7 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
                     }
                 }
             }
-            supervise(&sup, &mut children, &tuning, launched)
+            supervise(&sup, &mut children, &tuning, launched, a.status)
         }
     }
 }
@@ -509,7 +598,7 @@ fn worker(w: WorkerArgs) -> Result<(), String> {
         None => ChaosConfig::off(),
     };
     let transport = ChaosTransport::new(transport, chaos).with_freeze_flag(Arc::clone(&mute));
-    let opts = RunOpts { tuning, monitor: Some(Arc::clone(&monitor)) };
+    let opts = RunOpts { tuning, monitor: Some(Arc::clone(&monitor)), trace: a.trace.is_some() };
     if a.k <= 32 {
         if let Some(run) = run_rank_opts::<u64, _>(&reads, &cfg, transport, &opts).map_err(fail)? {
             emit_net_run(&run, a)?;

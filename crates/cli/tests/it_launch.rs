@@ -133,6 +133,69 @@ fn launch_tcp_matches_serial_count() {
 }
 
 #[test]
+fn launch_tcp_trace_merges_ranks_on_one_clock() {
+    use dakc_sim::telemetry::json::{self, JsonValue};
+    let fq = dataset();
+    let dist = tmp("traced.tsv");
+    let trace = tmp("net_trace.json");
+    run(&[
+        "launch", fq.to_str().unwrap(), "-k", "21", "--ranks", "4", "--backend", "tcp",
+        "--trace", trace.to_str().unwrap(), "--trace-sample", "1",
+        "-o", dist.to_str().unwrap(),
+    ]);
+    let doc = json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let ph = |e: &JsonValue| e.get("ph").and_then(JsonValue::as_str).unwrap().to_owned();
+    let num = |e: &JsonValue, k: &str| e.get(k).and_then(JsonValue::as_f64).unwrap();
+
+    // Every rank contributed real (non-metadata) events to one merged
+    // timeline: the per-rank ring buffers crossed the gather wire.
+    let pids: std::collections::BTreeSet<u32> = events
+        .iter()
+        .filter(|e| ph(e) != "M")
+        .map(|e| num(e, "pid") as u32)
+        .collect();
+    assert_eq!(pids, (0..4u32).collect(), "expected all 4 ranks as process tracks");
+
+    // Post-alignment, each rank's events appear in its own recording
+    // order: the global sort by timestamp must keep per-rank ts monotone.
+    let mut last_ts = std::collections::HashMap::new();
+    for e in events.iter().filter(|e| ph(e) != "M") {
+        let pid = num(e, "pid") as u32;
+        let ts = num(e, "ts");
+        let prev = last_ts.insert(pid, ts).unwrap_or(f64::MIN);
+        assert!(ts >= prev, "rank {pid} timestamps regressed: {prev} -> {ts}");
+    }
+
+    // Flow arrows: every finish ("f") pairs with a start ("s") of the
+    // same id, at least one pair spans two ranks, and no arrow points
+    // backwards in time beyond clock-estimation error (5 ms ≪ the
+    // hundreds of ms of process-start skew alignment removes).
+    let mut starts = std::collections::HashMap::new();
+    for e in events {
+        if e.get("cat").and_then(JsonValue::as_str) == Some("flow") && ph(e) == "s" {
+            starts.insert(num(e, "id") as u64, (num(e, "pid") as u32, num(e, "ts")));
+        }
+    }
+    let mut cross_rank = 0usize;
+    let mut finishes = 0usize;
+    for e in events {
+        if e.get("cat").and_then(JsonValue::as_str) != Some("flow") || ph(e) != "f" {
+            continue;
+        }
+        finishes += 1;
+        let (src_pid, src_ts) =
+            *starts.get(&(num(e, "id") as u64)).expect("flow finish without a start");
+        assert!(num(e, "ts") >= src_ts - 5_000.0, "flow arrow points backwards in time");
+        if num(e, "pid") as u32 != src_pid {
+            cross_rank += 1;
+        }
+    }
+    assert!(finishes > 0, "no flow arrows in a --trace-sample 1 run");
+    assert!(cross_rank > 0, "no cross-rank flow arrows among {finishes}");
+}
+
+#[test]
 fn launch_loopback_and_single_rank_match_serial() {
     let fq = dataset();
     let serial = tmp("serial_lo.tsv");

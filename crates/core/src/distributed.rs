@@ -39,8 +39,10 @@ use dakc_io::ReadSet;
 use dakc_kmer::{counts::merge_sorted_counts, kmers_of_read, KmerCount, KmerWord};
 use dakc_net::{
     HeartbeatState, Loopback, NetError, NetFabric, NetResult, NetTuning, Phase, Transport,
+    DEFAULT_PINGS,
 };
-use dakc_sim::telemetry::MetricsRegistry;
+use dakc_sim::telemetry::{decode_events, encode_events, Event, MetricsRegistry};
+use dakc_sim::EventKind;
 use dakc_sort::{accumulate, accumulate_weighted, hybrid_sort, lsd_radix_sort_by, RadixKey};
 
 use crate::aggregate::{decode_packet, encode_heavy_packet, Aggregator, ReceiveStore, CH_HEAVY};
@@ -61,6 +63,11 @@ pub struct RunOpts {
     /// When set, phase transitions and traffic totals are published here
     /// for the heartbeat sender.
     pub monitor: Option<Arc<HeartbeatState>>,
+    /// Turns on the distributed flight recorder: clock alignment against
+    /// rank 0, wall-clock event tracing, flow sidecars on the wire, and
+    /// the per-rank trace gather. Collective — every rank of a job must
+    /// agree (the launcher forwards `--trace` to all workers).
+    pub trace: bool,
 }
 
 impl RunOpts {
@@ -70,9 +77,9 @@ impl RunOpts {
         }
     }
 
-    fn record_traffic(&self, sent: u64, recv: u64) {
+    fn record_traffic(&self, sent: u64, recv: u64, retries: u64) {
         if let Some(m) = &self.monitor {
-            m.record_traffic(sent, recv);
+            m.record_traffic(sent, recv, retries);
         }
     }
 }
@@ -91,6 +98,10 @@ pub struct NetRun<W> {
     pub elapsed_s: f64,
     /// Ranks that participated.
     pub ranks: usize,
+    /// Every rank's flight-recorder events on rank 0's clock, merged and
+    /// sorted by timestamp (stable, so per-rank recording order is
+    /// preserved among ties). Empty unless [`RunOpts::trace`] was set.
+    pub trace: Vec<Event>,
 }
 
 /// Runs one rank of a distributed count over an already-connected
@@ -123,6 +134,14 @@ where
     let n = transport.num_ranks();
     let word_bytes = cfg.kmer_bytes::<W>();
     let mut fab = NetFabric::new(transport);
+    if opts.trace {
+        // Order matters: the wire format switches with tracing, and the
+        // clock exchange must finish before any cascade frame flies so
+        // every later timestamp (trace events and flow-tag stamps alike)
+        // is already on rank 0's clock.
+        fab.enable_tracing();
+        fab.align_clock(DEFAULT_PINGS, opts.tuning.collective_timeout)?;
+    }
     let mut agg = Aggregator::<W>::new(cfg.clone(), &mut fab);
     let mut store = ReceiveStore::<W>::default();
 
@@ -130,6 +149,7 @@ where
     // between batches so receive-side work overlaps parsing. Wire failures
     // latched by the fabric surface at the batch boundary.
     opts.set_phase(Phase::Parse);
+    fab.trace(|| EventKind::Phase { phase: Phase::Parse as u32 });
     let range = reads.pe_range(rank, n);
     let mut cursor = range.start;
     while cursor < range.end {
@@ -144,7 +164,7 @@ where
         fab.check()?;
         {
             let s = fab.transport_mut().stats();
-            opts.record_traffic(s.frames_sent(), s.frames_recv());
+            opts.record_traffic(s.frames_sent(), s.frames_recv(), s.retries);
         }
     }
 
@@ -160,6 +180,7 @@ where
     // quiescence for a full collective deadline means the counters are
     // wedged, and the run fails with the four-counter dump.
     opts.set_phase(Phase::Drain);
+    fab.trace(|| EventKind::Phase { phase: Phase::Drain as u32 });
     agg.flush(&mut fab);
     let mut last_totals: Option<(u64, u64)> = None;
     let mut last_movement = Instant::now();
@@ -174,7 +195,8 @@ where
         }
         let totals = fab.transport_mut().last_global_totals();
         if let Some((s, r)) = totals {
-            opts.record_traffic(s, r);
+            let retries = fab.transport_mut().stats().retries;
+            opts.record_traffic(s, r, retries);
         }
         if totals != last_totals {
             last_totals = totals;
@@ -193,6 +215,7 @@ where
     // Phase 2 on the quiescent store: identical sorts and merge to the
     // simulator engine's count phase.
     opts.set_phase(Phase::Count);
+    fab.trace(|| EventKind::Phase { phase: Phase::Count as u32 });
     let ReceiveStore { mut plain, mut pairs } = store;
     hybrid_sort(&mut plain);
     let plain_counts: Vec<KmerCount<W>> = accumulate(&plain)
@@ -224,39 +247,48 @@ where
     }
     agg.release(&mut fab);
     fab.check()?;
-    let (transport, metrics) = fab.finish();
+    fab.trace(|| EventKind::Phase { phase: Phase::Gather as u32 });
+    let (transport, metrics, trace) = fab.finish();
 
     opts.set_phase(Phase::Gather);
-    let result = gather(transport, counts, metrics, word_bytes, opts)?;
+    let result = gather(transport, counts, metrics, trace, word_bytes, opts)?;
     opts.set_phase(Phase::Done);
     match result {
         None => Ok(None),
-        Some((mut transport, counts, metrics)) => {
+        Some((mut transport, counts, metrics, mut trace)) => {
             transport.barrier()?;
+            // One timeline: stable sort keeps each rank's recording order
+            // among equal (clock-aligned) timestamps.
+            trace.sort_by(|a, b| a.ts.total_cmp(&b.ts));
             Ok(Some(NetRun {
                 counts,
                 metrics,
                 elapsed_s: started.elapsed().as_secs_f64(),
                 ranks: n,
+                trace,
             }))
         }
     }
 }
 
-/// Streams every rank's pairs and metrics to rank 0 over the (now
-/// quiescent) transport. Per rank the frame sequence is: one header
-/// (`[npairs: u64 LE]`), `ceil` chunk frames in HEAVY `{kmer, count}`
-/// wire format, then one metrics-JSON frame. Per-peer FIFO ordering makes
-/// the sequence self-delimiting. Non-zero ranks run their final barrier
-/// here; rank 0's caller does after consuming the result. Rank 0
-/// fast-fails when a peer that still owes frames dies, and times out when
-/// no frame arrives for a full collective deadline.
-type Gathered<W, T> = Option<(T, Vec<KmerCount<W>>, MetricsRegistry)>;
+/// Streams every rank's pairs, metrics, and (when tracing) trace buffer
+/// to rank 0 over the (now quiescent) transport. Per rank the frame
+/// sequence is: one header (`[npairs: u64 LE]`), `ceil` chunk frames in
+/// HEAVY `{kmer, count}` wire format, one metrics-JSON frame, and — only
+/// when [`RunOpts::trace`] is set on every rank — one trace header
+/// (`[nbytes: u64 LE]`) followed by `ceil` chunks of
+/// [`encode_events`]-format bytes. Per-peer FIFO ordering makes the
+/// sequence self-delimiting. Non-zero ranks run their final barrier here;
+/// rank 0's caller does after consuming the result. Rank 0 fast-fails
+/// when a peer that still owes frames dies, and times out when no frame
+/// arrives for a full collective deadline.
+type Gathered<W, T> = Option<(T, Vec<KmerCount<W>>, MetricsRegistry, Vec<Event>)>;
 
 fn gather<W: KmerWord, T: Transport>(
     mut transport: T,
     counts: Vec<KmerCount<W>>,
     metrics: MetricsRegistry,
+    trace: Vec<Event>,
     word_bytes: usize,
     opts: &RunOpts,
 ) -> NetResult<Gathered<W, T>> {
@@ -270,17 +302,27 @@ fn gather<W: KmerWord, T: Transport>(
             transport.send(0, &encode_heavy_packet(chunk, word_bytes))?;
         }
         transport.send(0, metrics.to_json().as_bytes())?;
+        if opts.trace {
+            let bytes = encode_events(&trace);
+            transport.send(0, &(bytes.len() as u64).to_le_bytes())?;
+            for chunk in bytes.chunks(GATHER_CHUNK_BYTES) {
+                transport.send(0, chunk)?;
+            }
+        }
         transport.flush()?;
         transport.barrier()?;
         return Ok(None);
     }
 
-    // Rank 0: consume each peer's header → chunks → metrics sequence.
+    // Rank 0: consume each peer's header → chunks → metrics sequence
+    // (continuing into the trace header → chunks when tracing).
     #[derive(Clone, Copy, PartialEq)]
     enum PeerState {
         Header,
         Pairs(u64),
         Metrics,
+        TraceHeader,
+        Trace(u64),
         Done,
     }
     let mut states: Vec<PeerState> = (0..n)
@@ -288,6 +330,8 @@ fn gather<W: KmerWord, T: Transport>(
         .collect();
     let mut merged = metrics;
     let mut all: Vec<(W, u32)> = counts.into_iter().map(|c| (c.kmer, c.count)).collect();
+    let mut merged_trace = trace;
+    let mut trace_bufs: Vec<Vec<u8>> = vec![Vec::new(); n];
     let mut outstanding = n - 1;
     let mut last_frame = Instant::now();
     while outstanding > 0 {
@@ -362,8 +406,53 @@ fn gather<W: KmerWord, T: Transport>(
                         })
                     })?;
                 merged.merge(&theirs);
-                states[src] = PeerState::Done;
-                outstanding -= 1;
+                if opts.trace {
+                    states[src] = PeerState::TraceHeader;
+                } else {
+                    states[src] = PeerState::Done;
+                    outstanding -= 1;
+                }
+            }
+            PeerState::TraceHeader => {
+                let nbytes = bytes
+                    .get(..8)
+                    .and_then(|b| <[u8; 8]>::try_from(b).ok())
+                    .map(u64::from_le_bytes)
+                    .ok_or_else(|| NetError::Protocol {
+                        detail: format!(
+                            "trace header from rank {src} is {} bytes, want 8",
+                            bytes.len()
+                        ),
+                    })?;
+                if nbytes == 0 {
+                    states[src] = PeerState::Done;
+                    outstanding -= 1;
+                } else {
+                    trace_bufs[src].reserve(nbytes as usize);
+                    states[src] = PeerState::Trace(nbytes);
+                }
+            }
+            PeerState::Trace(remaining) => {
+                let got = bytes.len() as u64;
+                if got > remaining {
+                    return Err(NetError::Protocol {
+                        detail: format!(
+                            "trace overrun from rank {src}: got {got} bytes, expected {remaining}"
+                        ),
+                    });
+                }
+                trace_bufs[src].extend_from_slice(&bytes);
+                if got == remaining {
+                    let events = decode_events(&trace_bufs[src]).map_err(|detail| {
+                        NetError::CorruptFrame { rank: src, detail }
+                    })?;
+                    trace_bufs[src] = Vec::new();
+                    merged_trace.extend(events);
+                    states[src] = PeerState::Done;
+                    outstanding -= 1;
+                } else {
+                    states[src] = PeerState::Trace(remaining - got);
+                }
             }
             PeerState::Done => {
                 return Err(NetError::Protocol {
@@ -382,7 +471,7 @@ fn gather<W: KmerWord, T: Transport>(
         .map(|(w, c)| KmerCount::new(w, c))
         .collect();
     debug_assert!(dakc_kmer::counts::is_sorted_strict(&counts));
-    Ok(Some((transport, counts, merged)))
+    Ok(Some((transport, counts, merged, merged_trace)))
 }
 
 /// Runs a distributed count in-process: `ranks` threads over a
@@ -397,11 +486,26 @@ pub fn count_kmers_loopback<W>(
 where
     W: KmerWord + RadixKey + Send,
 {
+    count_kmers_loopback_opts(reads, cfg, ranks, &RunOpts::default())
+}
+
+/// [`count_kmers_loopback`] with explicit [`RunOpts`] — how a loopback
+/// launch turns on the distributed flight recorder. The monitor (if any)
+/// is shared by every rank thread, so leave it unset here.
+pub fn count_kmers_loopback_opts<W>(
+    reads: &ReadSet,
+    cfg: &DakcConfig,
+    ranks: usize,
+    opts: &RunOpts,
+) -> NetResult<NetRun<W>>
+where
+    W: KmerWord + RadixKey + Send,
+{
     let mesh = Loopback::mesh(ranks);
     std::thread::scope(|s| {
         let handles: Vec<_> = mesh
             .into_iter()
-            .map(|t| s.spawn(move || run_rank::<W, _>(reads, cfg, t)))
+            .map(|t| s.spawn(move || run_rank_opts::<W, _>(reads, cfg, t, opts)))
             .collect();
         let mut out = None;
         let mut failure = None;
@@ -483,6 +587,58 @@ mod tests {
                 .map(|c| c.count as u64)
                 .sum::<u64>()
         );
+    }
+
+    #[test]
+    fn traced_loopback_merges_aligned_flow_events() {
+        let reads = tiny_reads();
+        let cfg = DakcConfig::scaled_defaults(5).with_trace_sample(1);
+        let opts = RunOpts { trace: true, ..RunOpts::default() };
+        let run = count_kmers_loopback_opts::<u64>(&reads, &cfg, 3, &opts).unwrap();
+        assert_eq!(run.counts, reference_counts(&reads, 5, cfg.canonical));
+
+        // The merged timeline is sorted and carries every rank's events.
+        assert!(!run.trace.is_empty());
+        assert!(run.trace.windows(2).all(|w| w[0].ts <= w[1].ts), "unsorted merge");
+        let mut pes: Vec<u32> = run.trace.iter().map(|e| e.pe).collect();
+        pes.sort_unstable();
+        pes.dedup();
+        assert_eq!(pes, vec![0, 1, 2], "all ranks contribute events");
+
+        // Every flow close pairs an open, and post-alignment the close
+        // never precedes its open by more than the estimation error.
+        let sends: Vec<&Event> = run
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::FlowSend { .. }))
+            .collect();
+        let recvs: Vec<&Event> = run
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::FlowRecv { .. }))
+            .collect();
+        assert!(!recvs.is_empty(), "sampling at 1-in-1 must close flows");
+        let mut cross_rank = 0;
+        for r in &recvs {
+            let EventKind::FlowRecv { flow, .. } = r.kind else { unreachable!() };
+            let s = sends
+                .iter()
+                .find(|s| matches!(s.kind, EventKind::FlowSend { flow: f, .. } if f == flow))
+                .unwrap_or_else(|| panic!("flow {flow:#x} closed without an open"));
+            assert!(r.ts >= s.ts - 5e-3, "close at {} before open at {}", r.ts, s.ts);
+            if r.pe != s.pe {
+                cross_rank += 1;
+            }
+        }
+        assert!(cross_rank > 0, "3 ranks with owner hashing must cross ranks");
+    }
+
+    #[test]
+    fn untraced_run_records_nothing() {
+        let reads = tiny_reads();
+        let cfg = DakcConfig::scaled_defaults(5);
+        let run = count_kmers_loopback::<u64>(&reads, &cfg, 2).unwrap();
+        assert!(run.trace.is_empty());
     }
 
     #[test]

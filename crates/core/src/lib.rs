@@ -57,7 +57,9 @@ pub use aggregate::{
     decode_packet, encode_heavy_packet, encode_normal_packet, Aggregator, ReceiveStore,
 };
 pub use config::DakcConfig;
-pub use distributed::{count_kmers_loopback, run_rank, run_rank_opts, NetRun, RunOpts};
+pub use distributed::{
+    count_kmers_loopback, count_kmers_loopback_opts, run_rank, run_rank_opts, NetRun, RunOpts,
+};
 pub use engine::{count_kmers_sim, count_kmers_sim_traced, DakcRun};
 pub use filtered::{count_kmers_filtered, FilteredRun};
 pub use overlap::{count_kmers_sim_overlap, OverlapRun, SortedRunStore};

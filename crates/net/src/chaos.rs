@@ -29,7 +29,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::error::{NetError, NetResult};
-use crate::transport::{NetStats, Rank, Transport};
+use crate::transport::{NetNote, NetStats, Rank, Transport};
 
 /// SplitMix64: the tiny, high-quality mixer used for all chaos and
 /// backoff-jitter randomness (no external RNG dependency).
@@ -209,7 +209,11 @@ impl<T: Transport> ChaosTransport<T> {
     }
 
     fn note(&mut self, fault: &'static str) {
-        self.inner.stats_mut().injected_faults += 1;
+        let stats = self.inner.stats_mut();
+        stats.injected_faults += 1;
+        // Also queue an incident note so a tracing fabric can put the
+        // fault on the timeline as a `net_fault` instant.
+        stats.note(NetNote::Fault { kind: fault });
         if self.log.len() < FAULT_LOG_CAP {
             self.log.push((self.ops, fault));
         }

@@ -1,0 +1,284 @@
+//! Clock alignment for merged multi-rank traces.
+//!
+//! Every rank's flight recorder stamps events against its own process
+//! clock (seconds since that rank's fabric was created), so naively
+//! merging per-rank traces interleaves unrelated clock domains and the
+//! cross-rank flow arrows point backwards in time. This module estimates
+//! each rank's offset to rank 0's clock with the classic NTP ping
+//! exchange, run over ordinary data frames before the Parse phase:
+//!
+//! ```text
+//!   rank i                rank 0
+//!   t0: ping(seq,t0) ───▶ t1: receipt stamped
+//!                         t2: pong(seq,t0,t1,t2) sent
+//!   t3: pong received
+//!
+//!   offset  θ = ((t1 − t0) + (t2 − t3)) / 2      (rank-0 minus local)
+//!   delay   δ = (t3 − t0) − (t2 − t1)            (round-trip, minus turn)
+//! ```
+//!
+//! θ is exact when the outbound and return paths are equally fast; path
+//! asymmetry biases it by half the asymmetry, which is why each rank
+//! exchanges several pings and keeps the minimum-delay sample — the round
+//! least likely to have queued behind other traffic (DESIGN.md §6). Rank 0
+//! is the reference and has offset 0 by definition.
+//!
+//! The exchange uses only [`Transport::send`] / [`Transport::try_recv`],
+//! so it works identically over TCP and the in-process loopback, and its
+//! sends and receives are symmetric: every ping and pong is consumed
+//! before the closing barrier, leaving the four-counter termination
+//! totals balanced when Parse begins.
+
+use std::time::{Duration, Instant};
+
+use crate::error::{NetError, NetResult};
+use crate::transport::Transport;
+
+/// Pings each non-zero rank exchanges with rank 0.
+pub const DEFAULT_PINGS: u32 = 8;
+
+/// Ping wire format: `[0u8][seq u32 LE][t0 f64 LE]`.
+const PING_LEN: usize = 13;
+/// Pong wire format: `[1u8][seq u32 LE][t0 f64 LE][t1 f64 LE][t2 f64 LE]`.
+const PONG_LEN: usize = 29;
+
+/// One completed ping round's four timestamps: `t0`/`t3` on the probing
+/// rank's clock, `t1`/`t2` on the reference clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PingSample {
+    /// Ping send time (local clock).
+    pub t0: f64,
+    /// Ping receipt time (reference clock).
+    pub t1: f64,
+    /// Pong send time (reference clock).
+    pub t2: f64,
+    /// Pong receipt time (local clock).
+    pub t3: f64,
+}
+
+impl PingSample {
+    /// The NTP offset estimate: reference-clock minus local-clock.
+    pub fn offset(&self) -> f64 {
+        ((self.t1 - self.t0) + (self.t2 - self.t3)) / 2.0
+    }
+
+    /// Round-trip delay with the reference's turn-around time removed.
+    pub fn delay(&self) -> f64 {
+        (self.t3 - self.t0) - (self.t2 - self.t1)
+    }
+}
+
+/// Offset of the minimum-delay sample — the standard NTP filter: the
+/// fastest round trip queued the least, so its symmetric-path assumption
+/// is the most trustworthy. `None` on an empty slice.
+pub fn estimate_offset(samples: &[PingSample]) -> Option<f64> {
+    samples
+        .iter()
+        .min_by(|a, b| a.delay().total_cmp(&b.delay()))
+        .map(PingSample::offset)
+}
+
+/// Runs the clock-alignment exchange and returns this rank's offset to
+/// rank 0 (add it to local timestamps to land on rank 0's clock).
+///
+/// `now` reads this rank's trace clock. All ranks must call this at the
+/// same protocol point: non-zero ranks each send `pings` pings and await
+/// the pongs, rank 0 serves exactly `(num_ranks − 1) × pings` pings, and
+/// everyone meets at a closing barrier. A silent peer fails the exchange
+/// with a typed `Timeout` after `deadline`.
+pub fn sync_offset<T: Transport>(
+    t: &mut T,
+    mut now: impl FnMut() -> f64,
+    pings: u32,
+    deadline: Duration,
+) -> NetResult<f64> {
+    let offset = if t.num_ranks() < 2 {
+        0.0
+    } else if t.rank() == 0 {
+        serve_pings(t, &mut now, pings, deadline)?;
+        0.0
+    } else {
+        probe(t, &mut now, pings, deadline)?
+    };
+    t.barrier()?;
+    Ok(offset)
+}
+
+/// Rank 0: stamp and answer every expected ping.
+fn serve_pings<T: Transport>(
+    t: &mut T,
+    now: &mut impl FnMut() -> f64,
+    pings: u32,
+    deadline: Duration,
+) -> NetResult<()> {
+    let mut remaining = (t.num_ranks() as u64 - 1) * u64::from(pings);
+    let started = Instant::now();
+    while remaining > 0 {
+        let Some((src, frame)) = t.try_recv()? else {
+            if started.elapsed() > deadline {
+                return Err(NetError::timeout("clock_sync", started.elapsed(), t.diagnostics()));
+            }
+            std::thread::yield_now();
+            continue;
+        };
+        let t1 = now();
+        if frame.len() != PING_LEN || frame[0] != 0 {
+            return Err(NetError::Protocol {
+                detail: format!("rank {src} sent a malformed clock ping ({} bytes)", frame.len()),
+            });
+        }
+        let mut pong = Vec::with_capacity(PONG_LEN);
+        pong.push(1u8);
+        pong.extend_from_slice(&frame[1..PING_LEN]); // echo seq + t0
+        pong.extend_from_slice(&t1.to_le_bytes());
+        pong.extend_from_slice(&now().to_le_bytes()); // t2: as late as possible
+        t.send(src, &pong)?;
+        t.flush()?;
+        remaining -= 1;
+    }
+    Ok(())
+}
+
+/// Non-zero rank: ping rank 0 `pings` times and keep the best sample.
+fn probe<T: Transport>(
+    t: &mut T,
+    now: &mut impl FnMut() -> f64,
+    pings: u32,
+    deadline: Duration,
+) -> NetResult<f64> {
+    let started = Instant::now();
+    let mut samples = Vec::with_capacity(pings as usize);
+    for seq in 0..pings.max(1) {
+        let t0 = now();
+        let mut ping = Vec::with_capacity(PING_LEN);
+        ping.push(0u8);
+        ping.extend_from_slice(&seq.to_le_bytes());
+        ping.extend_from_slice(&t0.to_le_bytes());
+        t.send(0, &ping)?;
+        t.flush()?;
+        loop {
+            let Some((src, frame)) = t.try_recv()? else {
+                if started.elapsed() > deadline {
+                    return Err(NetError::timeout(
+                        "clock_sync",
+                        started.elapsed(),
+                        t.diagnostics(),
+                    ));
+                }
+                std::thread::yield_now();
+                continue;
+            };
+            let t3 = now();
+            if src != 0 || frame.len() != PONG_LEN || frame[0] != 1 {
+                return Err(NetError::Protocol {
+                    detail: format!(
+                        "rank {src} sent a malformed clock pong ({} bytes)",
+                        frame.len()
+                    ),
+                });
+            }
+            let echoed_seq = u32::from_le_bytes(frame[1..5].try_into().unwrap());
+            if echoed_seq != seq {
+                // A pong from an earlier (slow) round; ignore it — its
+                // ping's sample would be stale anyway.
+                continue;
+            }
+            let t0 = f64::from_le_bytes(frame[5..13].try_into().unwrap());
+            let t1 = f64::from_le_bytes(frame[13..21].try_into().unwrap());
+            let t2 = f64::from_le_bytes(frame[21..29].try_into().unwrap());
+            samples.push(PingSample { t0, t1, t2, t3 });
+            break;
+        }
+    }
+    Ok(estimate_offset(&samples).unwrap_or(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::Loopback;
+
+    /// Builds the sample a probe would record when the true offset is
+    /// `theta` (reference minus local), the outbound path takes `out_s`,
+    /// and the return path takes `back_s`.
+    fn sample(t0: f64, theta: f64, out_s: f64, back_s: f64) -> PingSample {
+        let t1 = t0 + out_s + theta;
+        let t2 = t1 + 1e-6; // turn-around at the reference
+        let t3 = t2 + back_s - theta;
+        PingSample { t0, t1, t2, t3 }
+    }
+
+    #[test]
+    fn symmetric_delay_recovers_exact_offset() {
+        for theta in [-42.0, -0.5, 0.0, 0.5, 1e3] {
+            let s = sample(10.0, theta, 2e-3, 2e-3);
+            assert!((s.offset() - theta).abs() < 1e-12, "theta={theta}: {}", s.offset());
+            assert!((s.delay() - 4e-3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn asymmetric_delay_bias_is_half_the_asymmetry() {
+        // Outbound 9 ms, return 1 ms: the estimate is off by (9−1)/2 = 4 ms
+        // (the slow outbound leg makes the reference look 4 ms later).
+        let theta = 7.5;
+        let s = sample(0.0, theta, 9e-3, 1e-3);
+        let bias = s.offset() - theta;
+        assert!((bias - 4e-3).abs() < 1e-12, "bias={bias}");
+        // The bias is bounded by delay/2 regardless of the split.
+        assert!(bias.abs() <= s.delay() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn min_delay_sample_wins() {
+        let theta = -3.0;
+        let samples = vec![
+            sample(0.0, theta, 20e-3, 2e-3), // badly asymmetric, slow
+            sample(1.0, theta, 1e-3, 1e-3),  // clean, fast round
+            sample(2.0, theta, 2e-3, 30e-3), // asymmetric the other way
+        ];
+        let est = estimate_offset(&samples).unwrap();
+        assert!((est - theta).abs() < 1e-12, "est={est}");
+        assert_eq!(estimate_offset(&[]), None);
+    }
+
+    #[test]
+    fn loopback_exchange_recovers_injected_skew() {
+        // Rank 1's trace clock runs 100 s ahead of rank 0's; the estimated
+        // offset (rank 0 minus rank 1) must come out near −100 s. Loopback
+        // round trips are microseconds, so millisecond tolerance is ample.
+        let start = Instant::now();
+        let mut mesh = Loopback::mesh(2);
+        let r1 = mesh.pop().unwrap();
+        let r0 = mesh.pop().unwrap();
+        let h0 = std::thread::spawn(move || {
+            let mut t = r0;
+            sync_offset(&mut t, || start.elapsed().as_secs_f64(), DEFAULT_PINGS, Duration::from_secs(10))
+        });
+        let h1 = std::thread::spawn(move || {
+            let mut t = r1;
+            sync_offset(
+                &mut t,
+                || start.elapsed().as_secs_f64() + 100.0,
+                DEFAULT_PINGS,
+                Duration::from_secs(10),
+            )
+        });
+        let off0 = h0.join().unwrap().expect("rank 0 syncs");
+        let off1 = h1.join().unwrap().expect("rank 1 syncs");
+        assert_eq!(off0, 0.0, "the reference rank never moves");
+        assert!((off1 + 100.0).abs() < 50e-3, "estimated {off1}, wanted ≈ −100");
+        // Aligned clocks agree: local + offset lands on rank 0's domain.
+        let local1 = start.elapsed().as_secs_f64() + 100.0;
+        let aligned1 = local1 + off1;
+        assert!((aligned1 - start.elapsed().as_secs_f64()).abs() < 50e-3);
+    }
+
+    #[test]
+    fn single_rank_skips_the_exchange() {
+        let mut t = Loopback::mesh(1).pop().unwrap();
+        let off = sync_offset(&mut t, || 0.0, DEFAULT_PINGS, Duration::from_secs(1)).unwrap();
+        assert_eq!(off, 0.0);
+        assert_eq!(t.stats().frames_sent(), 0, "no pings for a 1-rank job");
+    }
+}

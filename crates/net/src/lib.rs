@@ -27,12 +27,16 @@
 //!   freezes) over any transport;
 //! * [`supervisor`] — worker heartbeat frames and the launcher-side
 //!   [`Supervisor`] that detects dead or silently hung ranks and renders
-//!   the per-rank diagnostic report.
+//!   the per-rank diagnostic report;
+//! * [`clock`] — NTP-style offset estimation against rank 0, run over
+//!   ordinary data frames, so per-rank wall-clock traces merge onto one
+//!   timeline (the distributed flight recorder's clock model).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod chaos;
+pub mod clock;
 pub mod error;
 pub mod fabric;
 pub mod frame;
@@ -42,6 +46,7 @@ pub mod tcp;
 pub mod transport;
 
 pub use chaos::{splitmix64, ChaosConfig, ChaosTransport};
+pub use clock::{estimate_offset, sync_offset, PingSample, DEFAULT_PINGS};
 pub use error::{NetError, NetResult};
 pub use fabric::NetFabric;
 pub use frame::{encode_frame, FrameDecoder, FrameError, FrameKind, MAX_FRAME_LEN};
@@ -51,4 +56,4 @@ pub use supervisor::{
     NO_BLAME,
 };
 pub use tcp::TcpTransport;
-pub use transport::{NetStats, NetTuning, PeerStats, Rank, TermDetector, Transport};
+pub use transport::{NetNote, NetStats, NetTuning, PeerStats, Rank, TermDetector, Transport};

@@ -77,8 +77,10 @@ impl Phase {
 pub const NO_BLAME: u32 = u32::MAX;
 
 /// One liveness beacon.
-/// Wire payload (33 bytes, little-endian):
-/// `[rank u32][seq u64][phase u8][frames_sent u64][frames_recv u64][blame u32]`.
+/// Wire payload (41 bytes, little-endian):
+/// `[rank u32][seq u64][phase u8][frames_sent u64][frames_recv u64]
+/// [retries u64][blame u32]`. Launcher and workers always run the same
+/// binary, so the layout can grow without a version field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Heartbeat {
     /// Sender's rank.
@@ -91,6 +93,9 @@ pub struct Heartbeat {
     pub frames_sent: u64,
     /// Transport data frames received so far.
     pub frames_recv: u64,
+    /// Transport send retries so far (backpressure indicator for the live
+    /// `--status` table).
+    pub retries: u64,
     /// Whom an obituary ([`Phase::Failed`]) blames: the rank the worker's
     /// typed error points at, or [`NO_BLAME`]. Ordinary beats carry
     /// [`NO_BLAME`].
@@ -98,22 +103,23 @@ pub struct Heartbeat {
 }
 
 impl Heartbeat {
-    /// Encodes the 33-byte wire payload.
-    pub fn encode(&self) -> [u8; 33] {
-        let mut out = [0u8; 33];
+    /// Encodes the 41-byte wire payload.
+    pub fn encode(&self) -> [u8; 41] {
+        let mut out = [0u8; 41];
         out[..4].copy_from_slice(&self.rank.to_le_bytes());
         out[4..12].copy_from_slice(&self.seq.to_le_bytes());
         out[12] = self.phase as u8;
         out[13..21].copy_from_slice(&self.frames_sent.to_le_bytes());
         out[21..29].copy_from_slice(&self.frames_recv.to_le_bytes());
-        out[29..33].copy_from_slice(&self.blame.to_le_bytes());
+        out[29..37].copy_from_slice(&self.retries.to_le_bytes());
+        out[37..41].copy_from_slice(&self.blame.to_le_bytes());
         out
     }
 
     /// Decodes a wire payload.
     pub fn decode(payload: &[u8]) -> Result<Self, String> {
-        if payload.len() != 33 {
-            return Err(format!("heartbeat payload is {} bytes, want 33", payload.len()));
+        if payload.len() != 41 {
+            return Err(format!("heartbeat payload is {} bytes, want 41", payload.len()));
         }
         let u32le = |r: std::ops::Range<usize>| {
             u32::from_le_bytes(payload[r].try_into().expect("4 bytes"))
@@ -128,7 +134,8 @@ impl Heartbeat {
                 .ok_or_else(|| format!("bad heartbeat phase {}", payload[12]))?,
             frames_sent: u64le(13..21),
             frames_recv: u64le(21..29),
-            blame: u32le(29..33),
+            retries: u64le(29..37),
+            blame: u32le(37..41),
         })
     }
 }
@@ -145,6 +152,7 @@ pub fn send_obituary(addr: SocketAddr, rank: Rank, blame: Option<Rank>) -> std::
         phase: Phase::Failed,
         frames_sent: 0,
         frames_recv: 0,
+        retries: 0,
         blame: blame.map_or(NO_BLAME, |r| r as u32),
     };
     let mut stream = TcpStream::connect(addr)?;
@@ -160,6 +168,7 @@ pub struct HeartbeatState {
     phase: AtomicU8,
     frames_sent: AtomicU64,
     frames_recv: AtomicU64,
+    retries: AtomicU64,
     beats: AtomicU64,
 }
 
@@ -179,10 +188,11 @@ impl HeartbeatState {
         Phase::from_u8(self.phase.load(Ordering::Relaxed)).unwrap_or(Phase::Setup)
     }
 
-    /// Records the transport's current frame totals.
-    pub fn record_traffic(&self, sent: u64, recv: u64) {
+    /// Records the transport's current frame totals and retry count.
+    pub fn record_traffic(&self, sent: u64, recv: u64, retries: u64) {
         self.frames_sent.store(sent, Ordering::Relaxed);
         self.frames_recv.store(recv, Ordering::Relaxed);
+        self.retries.store(retries, Ordering::Relaxed);
     }
 
     /// How many heartbeats have been sent from this state.
@@ -226,6 +236,7 @@ impl HeartbeatSender {
                             phase: state.phase(),
                             frames_sent: state.frames_sent.load(Ordering::Relaxed),
                             frames_recv: state.frames_recv.load(Ordering::Relaxed),
+                            retries: state.retries.load(Ordering::Relaxed),
                             blame: NO_BLAME,
                         };
                         seq += 1;
@@ -375,10 +386,11 @@ impl Supervisor {
                         String::new()
                     };
                     out.push_str(&format!(
-                        "  rank {rank}: phase={}{blames} sent={} recv={} last_beat={:.1}s ago{stale}\n",
+                        "  rank {rank}: phase={}{blames} sent={} recv={} retries={} last_beat={:.1}s ago{stale}\n",
                         h.phase.name(),
                         h.frames_sent,
                         h.frames_recv,
+                        h.retries,
                         age.as_secs_f64(),
                     ));
                 }
@@ -467,6 +479,7 @@ mod tests {
             phase: Phase::Drain,
             frames_sent: 1000,
             frames_recv: 998,
+            retries: 6,
             blame: NO_BLAME,
         };
         assert_eq!(Heartbeat::decode(&hb.encode()).unwrap(), hb);
@@ -499,7 +512,7 @@ mod tests {
         let (sup, addr) = Supervisor::bind(2).unwrap();
         let state = Arc::new(HeartbeatState::new());
         state.set_phase(Phase::Parse);
-        state.record_traffic(7, 5);
+        state.record_traffic(7, 5, 2);
         let mute = Arc::new(AtomicBool::new(false));
         let sender = HeartbeatSender::spawn(
             addr,
@@ -517,7 +530,7 @@ mod tests {
             if let Some(hb) = snap[1].last {
                 assert_eq!(hb.rank, 1);
                 assert_eq!(hb.phase, Phase::Parse);
-                assert_eq!((hb.frames_sent, hb.frames_recv), (7, 5));
+                assert_eq!((hb.frames_sent, hb.frames_recv, hb.retries), (7, 5, 2));
                 break;
             }
             assert!(Instant::now() < deadline, "no heartbeat arrived");

@@ -43,7 +43,7 @@ use std::time::{Duration, Instant};
 
 use crate::error::{NetError, NetResult};
 use crate::frame::{encode_frame, FrameDecoder, FrameKind};
-use crate::transport::{NetStats, NetTuning, Rank, TermDetector, Transport};
+use crate::transport::{NetNote, NetStats, NetTuning, Rank, TermDetector, Transport};
 
 /// A send (or flush) slower than this counts as one backpressure stall.
 const STALL_THRESHOLD: Duration = Duration::from_millis(1);
@@ -392,6 +392,11 @@ impl TcpTransport {
                     self.stats.retries += 1;
                     let salt = ((me as u64) << 32) | dest as u64;
                     let delay = self.tuning.backoff(attempt, salt);
+                    self.stats.note(NetNote::Retry {
+                        dest,
+                        attempt,
+                        delay_us: delay.as_micros() as u64,
+                    });
                     std::thread::sleep(delay);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -440,7 +445,13 @@ impl TcpTransport {
                     attempt += 1;
                     self.stats.retries += 1;
                     let salt = ((me as u64) << 32) | dest as u64 | 1 << 63;
-                    std::thread::sleep(self.tuning.backoff(attempt, salt));
+                    let delay = self.tuning.backoff(attempt, salt);
+                    self.stats.note(NetNote::Retry {
+                        dest,
+                        attempt,
+                        delay_us: delay.as_micros() as u64,
+                    });
+                    std::thread::sleep(delay);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => {

@@ -110,6 +110,36 @@ pub struct PeerStats {
     pub bytes_recv: u64,
 }
 
+/// Cap on the [`NetStats::notes`] buffer: a run melting down in a retry
+/// storm must not grow the note log without bound.
+pub const NOTES_CAP: usize = 4096;
+
+/// A noteworthy transport incident, kept for the flight recorder.
+///
+/// Transports sit below [`crate::NetFabric`] and have no trace sink of
+/// their own, so they append notes here; the fabric drains them with
+/// [`NetStats::take_notes`] at its service points and re-records them as
+/// wall-clock trace instants. Plain counters (`retries`,
+/// `injected_faults`) are unaffected — notes are the per-incident detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetNote {
+    /// A send stalled and backed off before retrying.
+    Retry {
+        /// Destination rank of the stalled frame.
+        dest: Rank,
+        /// 1-based retry attempt.
+        attempt: u32,
+        /// Backoff slept before the retry, in microseconds.
+        delay_us: u64,
+    },
+    /// A chaos fault was injected (name from the chaos fault vocabulary:
+    /// `drop`/`dup`/`delay`/`truncate`/`die`/`freeze`/`corrupt`).
+    Fault {
+        /// Static fault name.
+        kind: &'static str,
+    },
+}
+
 /// Transport-level counters, folded into the metrics registry at the end
 /// of a run (SimReport-style export from real processes).
 #[derive(Debug, Default, Clone)]
@@ -126,6 +156,11 @@ pub struct NetStats {
     pub retries: u64,
     /// Chaos faults injected by a wrapping [`crate::ChaosTransport`].
     pub injected_faults: u64,
+    /// Incident notes awaiting pickup by the fabric's flight recorder
+    /// (capped at [`NOTES_CAP`]; overflow counted in `notes_dropped`).
+    pub notes: Vec<NetNote>,
+    /// Notes discarded because the buffer was full.
+    pub notes_dropped: u64,
 }
 
 impl NetStats {
@@ -152,6 +187,21 @@ impl NetStats {
         self.peers.iter().map(|p| p.bytes_sent).sum()
     }
 
+    /// Appends an incident note, dropping (and counting) it when the
+    /// buffer already holds [`NOTES_CAP`] entries.
+    pub fn note(&mut self, note: NetNote) {
+        if self.notes.len() < NOTES_CAP {
+            self.notes.push(note);
+        } else {
+            self.notes_dropped += 1;
+        }
+    }
+
+    /// Drains the pending incident notes (oldest first).
+    pub fn take_notes(&mut self) -> Vec<NetNote> {
+        std::mem::take(&mut self.notes)
+    }
+
     /// Folds these counters into `m`, namespaced per rank so per-rank
     /// registries merge without collisions on the launcher.
     pub fn fold_into(&self, me: Rank, m: &mut MetricsRegistry) {
@@ -169,7 +219,14 @@ impl NetStats {
         m.inc("net.injected_faults", self.injected_faults);
         m.inc(&format!("net.rank{me}.bytes_sent"), self.bytes_sent());
         m.inc(&format!("net.rank{me}.frames_sent"), self.frames_sent());
+        m.inc(
+            &format!("net.rank{me}.bytes_recv"),
+            self.peers.iter().map(|p| p.bytes_recv).sum(),
+        );
+        m.inc(&format!("net.rank{me}.frames_recv"), self.frames_recv());
         m.inc(&format!("net.rank{me}.send_stalls"), self.send_stalls);
+        m.inc(&format!("net.rank{me}.retries"), self.retries);
+        m.inc(&format!("net.rank{me}.injected_faults"), self.injected_faults);
         for (peer, p) in self.peers.iter().enumerate() {
             if p.frames_sent > 0 {
                 m.inc(&format!("net.rank{me}.to{peer}.frames"), p.frames_sent);
@@ -326,6 +383,22 @@ mod tests {
         s.peers[1].bytes_sent = 100;
         assert_eq!(s.frames_sent(), 5);
         assert_eq!(s.bytes_sent(), 100);
+    }
+
+    #[test]
+    fn notes_are_capped_and_drain_in_order() {
+        let mut s = NetStats::new(2);
+        for i in 0..(NOTES_CAP as u64 + 10) {
+            s.note(NetNote::Retry { dest: 1, attempt: 1, delay_us: i });
+        }
+        assert_eq!(s.notes.len(), NOTES_CAP);
+        assert_eq!(s.notes_dropped, 10);
+        let drained = s.take_notes();
+        assert_eq!(drained.len(), NOTES_CAP);
+        assert_eq!(drained[0], NetNote::Retry { dest: 1, attempt: 1, delay_us: 0 });
+        assert!(s.notes.is_empty(), "drain leaves the buffer empty");
+        s.note(NetNote::Fault { kind: "drop" });
+        assert_eq!(s.take_notes(), vec![NetNote::Fault { kind: "drop" }]);
     }
 
     #[test]

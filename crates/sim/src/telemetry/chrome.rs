@@ -111,6 +111,16 @@ pub fn chrome_trace(events: &[Event], pes_per_node: usize) -> String {
             EventKind::NodeMem { node: n, bytes } => {
                 w.counter("node_mem", n, e.pe, ts, &[("bytes", Arg::U(bytes))]);
             }
+            EventKind::NetRetry { dst, attempt, delay_us } => {
+                w.instant(e, node, ts, &[
+                    ("dst", Arg::U(dst as u64)),
+                    ("attempt", Arg::U(attempt as u64)),
+                    ("delay_us", Arg::U(delay_us)),
+                ]);
+            }
+            EventKind::NetFault { kind } => {
+                w.instant(e, node, ts, &[("fault", Arg::S(EventKind::fault_name(kind)))]);
+            }
             EventKind::FlowSend { flow, channel, dst } => {
                 w.flow('s', flow, node, e.pe, ts, &[
                     ("channel", Arg::U(channel as u64)),
@@ -152,6 +162,8 @@ enum Arg {
     U(u64),
     F(f64),
     B(bool),
+    /// A literal string value (must not need JSON escaping).
+    S(&'static str),
 }
 
 struct Writer {
@@ -188,6 +200,11 @@ impl Writer {
                 Arg::U(n) => self.out.push_str(&n.to_string()),
                 Arg::F(f) => self.out.push_str(&fmt_num(*f)),
                 Arg::B(b) => self.out.push_str(if *b { "true" } else { "false" }),
+                Arg::S(s) => {
+                    self.out.push('"');
+                    self.out.push_str(s);
+                    self.out.push('"');
+                }
             }
         }
         self.out.push('}');

@@ -1,0 +1,296 @@
+//! Compact binary encoding for [`Event`] streams.
+//!
+//! The distributed runtime gathers every rank's flight-recorder contents
+//! onto rank 0 (alongside the metrics JSON) before the merged Chrome trace
+//! is written. Traces can run to a million events, so they ride the wire
+//! in this fixed little-endian layout rather than JSON:
+//!
+//! ```text
+//!   per event:  [ts f64 LE][pe u32 LE][kind u8][variant fields ...]
+//! ```
+//!
+//! Field order within a variant matches declaration order in
+//! [`EventKind`]; `bool` is one byte (0/1). The format is internal to one
+//! run — encoder and decoder always come from the same binary — so there
+//! is no version header, but the decoder still rejects truncated or
+//! unknown input with a typed error instead of panicking (gather frames
+//! cross a real wire and chaos testing corrupts them on purpose).
+
+use super::event::{Event, EventKind};
+
+/// Encodes `events` into the wire layout described in the module docs.
+pub fn encode_events(events: &[Event]) -> Vec<u8> {
+    // FlowRecv is the largest variant (13 + 69 bytes); most are smaller.
+    let mut out = Vec::with_capacity(events.len() * 32);
+    for e in events {
+        out.extend_from_slice(&e.ts.to_le_bytes());
+        out.extend_from_slice(&e.pe.to_le_bytes());
+        encode_kind(&e.kind, &mut out);
+    }
+    out
+}
+
+/// Decodes a byte stream produced by [`encode_events`].
+pub fn decode_events(bytes: &[u8]) -> Result<Vec<Event>, String> {
+    let mut c = Cursor { buf: bytes, at: 0 };
+    let mut out = Vec::new();
+    while c.at < c.buf.len() {
+        let ts = c.f64()?;
+        let pe = c.u32()?;
+        let kind = decode_kind(&mut c)?;
+        out.push(Event { ts, pe, kind });
+    }
+    Ok(out)
+}
+
+fn encode_kind(kind: &EventKind, out: &mut Vec<u8>) {
+    match *kind {
+        EventKind::MsgSend { dst, tag, bytes } => {
+            out.push(0);
+            out.extend_from_slice(&dst.to_le_bytes());
+            out.extend_from_slice(&tag.to_le_bytes());
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        EventKind::MsgDeliver { src, tag, bytes } => {
+            out.push(1);
+            out.extend_from_slice(&src.to_le_bytes());
+            out.extend_from_slice(&tag.to_le_bytes());
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        EventKind::PutFlush { hop, bytes, fill_pct } => {
+            out.push(2);
+            out.extend_from_slice(&hop.to_le_bytes());
+            out.extend_from_slice(&bytes.to_le_bytes());
+            out.push(fill_pct);
+        }
+        EventKind::L1Drain { packets } => {
+            out.push(3);
+            out.extend_from_slice(&packets.to_le_bytes());
+        }
+        EventKind::L2Ship { dst, records, fill_pct, heavy } => {
+            out.push(4);
+            out.extend_from_slice(&dst.to_le_bytes());
+            out.extend_from_slice(&records.to_le_bytes());
+            out.push(fill_pct);
+            out.push(heavy as u8);
+        }
+        EventKind::L3Flush { occupancy, cap } => {
+            out.push(5);
+            out.extend_from_slice(&occupancy.to_le_bytes());
+            out.extend_from_slice(&cap.to_le_bytes());
+        }
+        EventKind::BarrierEnter => out.push(6),
+        EventKind::BarrierExit { waited_s } => {
+            out.push(7);
+            out.extend_from_slice(&waited_s.to_le_bytes());
+        }
+        EventKind::Phase { phase } => {
+            out.push(8);
+            out.extend_from_slice(&phase.to_le_bytes());
+        }
+        EventKind::MemAlloc { bytes, now } => {
+            out.push(9);
+            out.extend_from_slice(&bytes.to_le_bytes());
+            out.extend_from_slice(&now.to_le_bytes());
+        }
+        EventKind::MemFree { bytes, now } => {
+            out.push(10);
+            out.extend_from_slice(&bytes.to_le_bytes());
+            out.extend_from_slice(&now.to_le_bytes());
+        }
+        EventKind::Oom { bytes } => {
+            out.push(11);
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        EventKind::QueueDepth { depth } => {
+            out.push(12);
+            out.extend_from_slice(&depth.to_le_bytes());
+        }
+        EventKind::NodeMem { node, bytes } => {
+            out.push(13);
+            out.extend_from_slice(&node.to_le_bytes());
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        EventKind::FlowSend { flow, channel, dst } => {
+            out.push(14);
+            out.extend_from_slice(&flow.to_le_bytes());
+            out.push(channel);
+            out.extend_from_slice(&dst.to_le_bytes());
+        }
+        EventKind::FlowRecv { flow, channel, src, l3_s, l2_s, l1_s, l0_s, net_s, drain_s, e2e_s } => {
+            out.push(15);
+            out.extend_from_slice(&flow.to_le_bytes());
+            out.push(channel);
+            out.extend_from_slice(&src.to_le_bytes());
+            for v in [l3_s, l2_s, l1_s, l0_s, net_s, drain_s, e2e_s] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        EventKind::NetRetry { dst, attempt, delay_us } => {
+            out.push(16);
+            out.extend_from_slice(&dst.to_le_bytes());
+            out.extend_from_slice(&attempt.to_le_bytes());
+            out.extend_from_slice(&delay_us.to_le_bytes());
+        }
+        EventKind::NetFault { kind } => {
+            out.push(17);
+            out.push(kind);
+        }
+    }
+}
+
+fn decode_kind(c: &mut Cursor<'_>) -> Result<EventKind, String> {
+    let tag = c.u8()?;
+    Ok(match tag {
+        0 => EventKind::MsgSend { dst: c.u32()?, tag: c.u32()?, bytes: c.u32()? },
+        1 => EventKind::MsgDeliver { src: c.u32()?, tag: c.u32()?, bytes: c.u32()? },
+        2 => EventKind::PutFlush { hop: c.u32()?, bytes: c.u32()?, fill_pct: c.u8()? },
+        3 => EventKind::L1Drain { packets: c.u32()? },
+        4 => EventKind::L2Ship {
+            dst: c.u32()?,
+            records: c.u32()?,
+            fill_pct: c.u8()?,
+            heavy: c.u8()? != 0,
+        },
+        5 => EventKind::L3Flush { occupancy: c.u32()?, cap: c.u32()? },
+        6 => EventKind::BarrierEnter,
+        7 => EventKind::BarrierExit { waited_s: c.f64()? },
+        8 => EventKind::Phase { phase: c.u32()? },
+        9 => EventKind::MemAlloc { bytes: c.u64()?, now: c.u64()? },
+        10 => EventKind::MemFree { bytes: c.u64()?, now: c.u64()? },
+        11 => EventKind::Oom { bytes: c.u64()? },
+        12 => EventKind::QueueDepth { depth: c.u32()? },
+        13 => EventKind::NodeMem { node: c.u32()?, bytes: c.u64()? },
+        14 => EventKind::FlowSend { flow: c.u64()?, channel: c.u8()?, dst: c.u32()? },
+        15 => EventKind::FlowRecv {
+            flow: c.u64()?,
+            channel: c.u8()?,
+            src: c.u32()?,
+            l3_s: c.f64()?,
+            l2_s: c.f64()?,
+            l1_s: c.f64()?,
+            l0_s: c.f64()?,
+            net_s: c.f64()?,
+            drain_s: c.f64()?,
+            e2e_s: c.f64()?,
+        },
+        16 => EventKind::NetRetry { dst: c.u32()?, attempt: c.u32()?, delay_us: c.u64()? },
+        17 => EventKind::NetFault { kind: c.u8()? },
+        other => return Err(format!("unknown event tag {other} at byte {}", c.at - 1)),
+    })
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        let end = self.at.checked_add(N).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            format!("truncated event stream at byte {} (need {N} more)", self.at)
+        })?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.at..end]);
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_of_each() -> Vec<Event> {
+        let kinds = vec![
+            EventKind::MsgSend { dst: 3, tag: 0xC0, bytes: 512 },
+            EventKind::MsgDeliver { src: 1, tag: 0xC0, bytes: 512 },
+            EventKind::PutFlush { hop: 2, bytes: 4096, fill_pct: 97 },
+            EventKind::L1Drain { packets: 5 },
+            EventKind::L2Ship { dst: 0, records: 32, fill_pct: 100, heavy: true },
+            EventKind::L3Flush { occupancy: 9_000, cap: 10_000 },
+            EventKind::BarrierEnter,
+            EventKind::BarrierExit { waited_s: 0.0125 },
+            EventKind::Phase { phase: 2 },
+            EventKind::MemAlloc { bytes: 1 << 33, now: 1 << 34 },
+            EventKind::MemFree { bytes: 1 << 33, now: 1 << 33 },
+            EventKind::Oom { bytes: u64::MAX },
+            EventKind::QueueDepth { depth: 17 },
+            EventKind::NodeMem { node: 1, bytes: 123_456_789 },
+            EventKind::FlowSend { flow: (7u64 << 40) | 9, channel: 1, dst: 3 },
+            EventKind::FlowRecv {
+                flow: (7u64 << 40) | 9,
+                channel: 1,
+                src: 7,
+                l3_s: 1e-3,
+                l2_s: 2e-3,
+                l1_s: 0.0,
+                l0_s: 3e-4,
+                net_s: 5e-4,
+                drain_s: 1e-5,
+                e2e_s: 3.81e-3,
+            },
+            EventKind::NetRetry { dst: 2, attempt: 4, delay_us: 40_000 },
+            EventKind::NetFault { kind: EventKind::fault_tag("drop") },
+        ];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| Event { ts: i as f64 * 0.25, pe: (i % 4) as u32, kind })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_variant() {
+        let events = one_of_each();
+        let bytes = encode_events(&events);
+        assert_eq!(decode_events(&bytes).expect("decodes"), events);
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        assert!(encode_events(&[]).is_empty());
+        assert_eq!(decode_events(&[]).expect("decodes"), Vec::new());
+    }
+
+    #[test]
+    fn truncated_stream_is_a_typed_error() {
+        let bytes = encode_events(&one_of_each());
+        let err = decode_events(&bytes[..bytes.len() - 3]).expect_err("truncated");
+        assert!(err.contains("truncated"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_tag_is_a_typed_error() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1.0f64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(0xEE);
+        let err = decode_events(&bytes).expect_err("unknown tag");
+        assert!(err.contains("unknown event tag"), "got: {err}");
+    }
+
+    #[test]
+    fn fault_tags_roundtrip_through_names() {
+        for name in ["drop", "dup", "delay", "truncate", "die", "freeze", "corrupt"] {
+            assert_eq!(EventKind::fault_name(EventKind::fault_tag(name)), name);
+        }
+        assert_eq!(EventKind::fault_name(EventKind::fault_tag("???")), "unknown");
+    }
+}

@@ -125,6 +125,22 @@ pub enum EventKind {
         /// Final destination PE.
         dst: u32,
     },
+    /// A wire send stalled and backed off before retrying (real transports
+    /// only — the simulator's wire never blocks).
+    NetRetry {
+        /// Destination rank the stalled frame was headed to.
+        dst: u32,
+        /// 1-based retry attempt for this stall.
+        attempt: u32,
+        /// Jittered backoff slept before the retry, in microseconds.
+        delay_us: u64,
+    },
+    /// The chaos layer injected a fault (see
+    /// [`EventKind::fault_name`] for the `kind` encoding).
+    NetFault {
+        /// Fault kind tag — stable small integer so the event stays `Copy`.
+        kind: u8,
+    },
     /// A sampled causal flow closed at its destination: the packet's
     /// records were accumulated (the flow-arrow end, `ph:"f"`). Stage
     /// residencies telescope: they are non-negative and sum to `e2e_s`.
@@ -170,8 +186,39 @@ impl EventKind {
             EventKind::Oom { .. } => "oom",
             EventKind::QueueDepth { .. } => "queue_depth",
             EventKind::NodeMem { .. } => "node_mem",
+            EventKind::NetRetry { .. } => "net_retry",
+            EventKind::NetFault { .. } => "net_fault",
             EventKind::FlowSend { .. } => "flow_send",
             EventKind::FlowRecv { .. } => "flow_recv",
+        }
+    }
+
+    /// Encodes a chaos fault name as the stable tag carried by
+    /// [`EventKind::NetFault`]. Unknown names map to the reserved tag 0.
+    pub fn fault_tag(name: &str) -> u8 {
+        match name {
+            "drop" => 1,
+            "dup" => 2,
+            "delay" => 3,
+            "truncate" => 4,
+            "die" => 5,
+            "freeze" => 6,
+            "corrupt" => 7,
+            _ => 0,
+        }
+    }
+
+    /// Decodes a [`EventKind::NetFault`] tag back to the fault name.
+    pub fn fault_name(kind: u8) -> &'static str {
+        match kind {
+            1 => "drop",
+            2 => "dup",
+            3 => "delay",
+            4 => "truncate",
+            5 => "die",
+            6 => "freeze",
+            7 => "corrupt",
+            _ => "unknown",
         }
     }
 }

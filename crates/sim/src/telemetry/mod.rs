@@ -18,6 +18,7 @@
 //! traces and metrics JSON, preserving the simulator's core invariant.
 
 pub mod chrome;
+pub mod codec;
 pub mod event;
 pub mod flow;
 pub mod json;
@@ -25,6 +26,7 @@ pub mod metrics;
 pub mod ring;
 
 pub use chrome::chrome_trace;
+pub use codec::{decode_events, encode_events};
 pub use event::{Event, EventKind};
 pub use flow::{FlowSampler, FlowTag};
 pub use json::JsonValue;

@@ -110,7 +110,7 @@ fn run_ranks_chaos<W: KmerWord + RadixKey + Send>(
                 let chaos = chaos_for(rank);
                 let slot = slot.take();
                 s.spawn(move || {
-                    let opts = RunOpts { tuning: tuning.clone(), monitor: None };
+                    let opts = RunOpts { tuning: tuning.clone(), ..RunOpts::default() };
                     match slot {
                         Some(lo) => run_rank_opts::<W, _>(
                             reads,
