@@ -1,0 +1,255 @@
+//! Critical path through the sampled flow graph.
+//!
+//! Every `FlowRecv` closes one sampled message and carries its six
+//! telescoping stage residencies (l3/l2/l1/l0/net/drain, summing to
+//! `e2e_s`), so each close defines a **segment**: the interval
+//! `[close − e2e, close]` on which that message was in flight through
+//! the cascade. A segment *depends on* an earlier one when the earlier
+//! message landed on the node that originated it before it opened —
+//! receive-before-send along the same rank is the only cross-rank
+//! happens-before edge the trace records.
+//!
+//! The critical path is the dependency-respecting chain with the
+//! largest span. Time inside chained segments is attributed to the
+//! conveyor stages; the gaps between them (the origin rank was doing
+//! something other than shipping this sample — parsing, sorting,
+//! counting) are attributed to **compute**. Stage sums plus compute
+//! telescope exactly to the chain span, by construction: each segment
+//! contributes `close − open = Σ stages` and each gap contributes
+//! itself.
+
+use dakc_conveyors::Stage;
+use dakc_sim::telemetry::{EventKind, ParsedTrace};
+
+/// One sampled message's life as an interval, in node coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Flow id (pairs the send and recv arrows).
+    pub flow: u64,
+    /// Application channel (NORMAL/HEAVY/SINGLE).
+    pub channel: u8,
+    /// Node (rank / process track) that opened the flow.
+    pub src_node: u32,
+    /// Node the flow landed on.
+    pub dst_node: u32,
+    /// When the first k-mer of the sampled packet entered L3 (seconds).
+    pub open: f64,
+    /// When its records were accumulated at the destination (seconds).
+    pub close: f64,
+    /// The six stage residencies, in [`Stage::ALL`] order.
+    pub stages: [f64; 6],
+}
+
+/// The longest dependency-respecting chain of segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// The chain, earliest first.
+    pub segments: Vec<Segment>,
+    /// Total residency per stage along the chain ([`Stage::ALL`] order).
+    pub stage_s: [f64; 6],
+    /// Total gap time between chained segments (compute on the relay
+    /// rank between receiving one sample and opening the next).
+    pub compute_s: f64,
+    /// Chain span: last close − first open. Always equals
+    /// `stage_s.iter().sum() + compute_s` up to float rounding.
+    pub span_s: f64,
+}
+
+impl CriticalPath {
+    /// Number of message hops on the path.
+    pub fn hops(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// `Σ stage_s + compute_s` — the telescoping check's left-hand side.
+    pub fn accounted_s(&self) -> f64 {
+        self.stage_s.iter().sum::<f64>() + self.compute_s
+    }
+}
+
+/// Extracts every closed flow from a trace as a [`Segment`], sorted by
+/// `(close, open, flow)` so downstream analysis is deterministic.
+pub fn segments(trace: &ParsedTrace) -> Vec<Segment> {
+    let mut segs: Vec<Segment> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::FlowRecv {
+                flow,
+                channel,
+                src,
+                l3_s,
+                l2_s,
+                l1_s,
+                l0_s,
+                net_s,
+                drain_s,
+                e2e_s,
+            } => Some(Segment {
+                flow,
+                channel,
+                src_node: trace.node_of(src),
+                dst_node: trace.node_of(e.pe),
+                open: e.ts - e2e_s,
+                close: e.ts,
+                stages: [l3_s, l2_s, l1_s, l0_s, net_s, drain_s],
+            }),
+            _ => None,
+        })
+        .collect();
+    segs.sort_by(|a, b| {
+        a.close
+            .total_cmp(&b.close)
+            .then(a.open.total_cmp(&b.open))
+            .then(a.flow.cmp(&b.flow))
+    });
+    segs
+}
+
+/// Finds the chain with the largest span via DP over close-sorted
+/// segments: `B` may follow `A` when `A.close ≤ B.open` and `A` landed
+/// on the node that opened `B`. `None` when the trace closed no flows.
+pub fn critical_path(segs: &[Segment]) -> Option<CriticalPath> {
+    if segs.is_empty() {
+        return None;
+    }
+    // earliest[i]: start time of the longest chain ending at segment i;
+    // prev[i]: its predecessor. O(n²) over the *sampled* flows (1-in-64
+    // packets by default), which stays small even for long runs.
+    let n = segs.len();
+    let mut earliest: Vec<f64> = segs.iter().map(|s| s.open).collect();
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    for i in 0..n {
+        for j in 0..i {
+            if segs[j].close <= segs[i].open
+                && segs[j].dst_node == segs[i].src_node
+                && earliest[j] < earliest[i]
+            {
+                earliest[i] = earliest[j];
+                prev[i] = Some(j);
+            }
+        }
+    }
+    // Widest span wins; ties break toward the earlier close (stable,
+    // since segments are close-sorted).
+    let mut best = 0;
+    for i in 1..n {
+        if segs[i].close - earliest[i] > segs[best].close - earliest[best] {
+            best = i;
+        }
+    }
+    let mut chain = Vec::new();
+    let mut cur = Some(best);
+    while let Some(i) = cur {
+        chain.push(segs[i]);
+        cur = prev[i];
+    }
+    chain.reverse();
+
+    let mut stage_s = [0.0; 6];
+    let mut compute_s = 0.0;
+    for (i, s) in chain.iter().enumerate() {
+        for (acc, v) in stage_s.iter_mut().zip(s.stages) {
+            *acc += v;
+        }
+        if i > 0 {
+            compute_s += s.open - chain[i - 1].close;
+        }
+    }
+    let span_s = chain.last().unwrap().close - chain[0].open;
+    Some(CriticalPath { segments: chain, stage_s, compute_s, span_s })
+}
+
+/// Stage names in [`Segment::stages`] order, shared with the conveyor's
+/// metrics keys (`flow.stage_s.<name>`).
+pub fn stage_names() -> [&'static str; 6] {
+    let mut out = [""; 6];
+    for (slot, s) in out.iter_mut().zip(Stage::ALL) {
+        *slot = s.name();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dakc_sim::telemetry::Event;
+
+    fn recv(ts: f64, pe: u32, src: u32, flow: u64, e2e: f64) -> Event {
+        // Split e2e across the stages unevenly so per-stage sums are
+        // distinguishable: half net, the rest spread over the others.
+        let part = e2e / 10.0;
+        Event {
+            ts,
+            pe,
+            kind: EventKind::FlowRecv {
+                flow,
+                channel: 0,
+                src,
+                l3_s: part,
+                l2_s: part,
+                l1_s: part,
+                l0_s: part,
+                net_s: 5.0 * part,
+                drain_s: part,
+                e2e_s: e2e,
+            },
+        }
+    }
+
+    fn trace(events: Vec<Event>) -> ParsedTrace {
+        ParsedTrace { events, ..ParsedTrace::default() }
+    }
+
+    #[test]
+    fn empty_trace_has_no_path() {
+        assert!(critical_path(&segments(&trace(vec![]))).is_none());
+    }
+
+    #[test]
+    fn single_flow_path_is_its_own_span() {
+        let t = trace(vec![recv(1.0, 1, 0, 7, 0.4)]);
+        let p = critical_path(&segments(&t)).unwrap();
+        assert_eq!(p.hops(), 1);
+        assert!((p.span_s - 0.4).abs() < 1e-12);
+        assert!((p.accounted_s() - p.span_s).abs() < 1e-9);
+        assert_eq!(p.compute_s, 0.0);
+    }
+
+    #[test]
+    fn chains_relay_through_matching_node_and_telescopes() {
+        // Flow 1: node0 → node1 over [0.1, 0.5]. Flow 2: node1 → node2
+        // over [0.7, 1.0] (node1 computed for 0.2 s between them).
+        // Flow 3: node0 → node2 over [0.0, 0.3] — wider start but no
+        // chain; the two-hop chain spans 0.9 s and must win.
+        let t = trace(vec![
+            recv(0.3, 2, 0, 3, 0.3),
+            recv(0.5, 1, 0, 1, 0.4),
+            recv(1.0, 2, 1, 2, 0.3),
+        ]);
+        let p = critical_path(&segments(&t)).unwrap();
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.segments[0].flow, 1);
+        assert_eq!(p.segments[1].flow, 2);
+        assert!((p.span_s - 0.9).abs() < 1e-12);
+        assert!((p.compute_s - 0.2).abs() < 1e-12);
+        // Telescoping: stages + compute == span exactly.
+        assert!((p.accounted_s() - p.span_s).abs() < 1e-9, "{p:?}");
+        // Net got half of each flow's e2e by construction.
+        assert!((p.stage_s[4] - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn does_not_chain_through_mismatched_nodes() {
+        // Second flow originates on node 2, but the first landed on
+        // node 1 — no edge, so the best chain is a single hop.
+        let t = trace(vec![recv(0.5, 1, 0, 1, 0.4), recv(1.0, 3, 2, 2, 0.3)]);
+        let p = critical_path(&segments(&t)).unwrap();
+        assert_eq!(p.hops(), 1);
+    }
+
+    #[test]
+    fn stage_names_match_conveyor_order() {
+        assert_eq!(stage_names(), ["l3", "l2", "l1", "l0", "net", "drain"]);
+    }
+}

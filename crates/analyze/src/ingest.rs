@@ -1,0 +1,102 @@
+//! Input classification: one loader for every artifact a run writes.
+//!
+//! `dakc analyze` accepts whatever telemetry file is at hand and decides
+//! what it is from its shape, not its name: a Chrome trace has a
+//! top-level `traceEvents` array, a bench artifact is schema-versioned
+//! (see [`dakc_bench::artifact::validate`]), and a metrics JSON dump has
+//! top-level `counters`/`histograms` objects. Anything else is an error
+//! naming what was tried.
+
+use std::path::Path;
+
+use dakc_sim::telemetry::json::{parse, JsonValue};
+use dakc_sim::telemetry::{read_chrome_trace, MetricsRegistry, ParsedTrace};
+
+/// One classified input file.
+pub enum Input {
+    /// A Chrome trace-event document (`--trace` output, sim or launch).
+    Trace(ParsedTrace),
+    /// A metrics registry dump (`--metrics` output).
+    Metrics(MetricsRegistry),
+    /// A schema-versioned bench artifact (`results/*.json`), kept as
+    /// parsed JSON plus the raw body for the compare machinery.
+    Artifact {
+        /// Harness name from the artifact header.
+        harness: String,
+        /// Parsed document.
+        doc: JsonValue,
+        /// Raw body, for [`dakc_bench::compare::compare_bodies`].
+        body: String,
+    },
+}
+
+impl Input {
+    /// Short human label for progress messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Input::Trace(_) => "trace",
+            Input::Metrics(_) => "metrics",
+            Input::Artifact { .. } => "artifact",
+        }
+    }
+}
+
+/// Classifies a JSON body by shape.
+pub fn classify(body: &str) -> Result<Input, String> {
+    let doc = parse(body)?;
+    if doc.get("traceEvents").is_some() {
+        return read_chrome_trace(body).map(Input::Trace);
+    }
+    if doc.get("schema_version").is_some() {
+        let harness = dakc_bench::artifact::validate(body)?;
+        return Ok(Input::Artifact { harness, doc, body: body.to_string() });
+    }
+    if doc.get("counters").is_some() && doc.get("histograms").is_some() {
+        return MetricsRegistry::from_json(body).map(Input::Metrics);
+    }
+    Err("not a trace (traceEvents), bench artifact (schema_version) or metrics dump (counters)"
+        .into())
+}
+
+/// Reads and classifies one file.
+pub fn load(path: &Path) -> Result<Input, String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    classify(&body).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dakc_sim::telemetry::{chrome_trace, Event, EventKind};
+
+    #[test]
+    fn classifies_all_three_shapes() {
+        let events = [Event {
+            ts: 1.0,
+            pe: 0,
+            kind: EventKind::MsgSend { dst: 1, tag: 7, bytes: 64 },
+        }];
+        let trace = chrome_trace(&events, 1);
+        assert!(matches!(classify(&trace), Ok(Input::Trace(_))));
+
+        let mut m = MetricsRegistry::new();
+        m.inc("runs", 1);
+        assert!(matches!(classify(&m.to_json()), Ok(Input::Metrics(_))));
+
+        let artifact = "{\"schema_version\":1,\"harness\":\"h\",\"params\":{\"scale_shift\":12,\
+                        \"pes_per_node\":6,\"seed\":42,\"quick\":true},\
+                        \"rows\":[{\"Nodes\":\"4\"}],\
+                        \"metrics\":{\"counters\":{},\"histograms\":{}}}";
+        match classify(artifact) {
+            Ok(Input::Artifact { harness, .. }) => assert_eq!(harness, "h"),
+            other => panic!("expected artifact, got {:?}", other.map(|i| i.kind())),
+        }
+    }
+
+    #[test]
+    fn rejects_unrecognized_json_and_garbage() {
+        assert!(classify("{\"x\":1}").is_err());
+        assert!(classify("not json at all").is_err());
+    }
+}

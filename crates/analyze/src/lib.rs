@@ -1,0 +1,43 @@
+//! # dakc-analyze — post-run trace analytics
+//!
+//! The telemetry layer (`dakc-sim::telemetry`) records what happened;
+//! this crate explains it. It ingests the artifacts a run already writes
+//! — Chrome trace-event JSON from `--trace`, metrics JSON from
+//! `--metrics`, schema-versioned bench artifacts under `results/` — and
+//! answers the three questions the paper's evaluation keeps returning to:
+//!
+//! * **Where did the time go?** [`critical`] chases the sampled flow
+//!   arrows (`FlowSend` → `FlowRecv`) across ranks and reports the
+//!   longest dependency-respecting chain, with every second attributed
+//!   to one of the telescoping conveyor stages
+//!   ([`dakc_conveyors::Stage`]: l3/l2/l1/l0/net/drain) or to compute
+//!   gaps between chained messages. Stage times plus compute telescope
+//!   exactly to the chain's end-to-end span, by construction.
+//! * **Did communication hide behind compute?** [`overlap`] builds
+//!   per-rank comm windows from flow net-stage residencies, intersects
+//!   them with the rank's non-barrier activity, and reports the overlap
+//!   fraction in `[0, 1]` plus a load-imbalance/straggler summary —
+//!   the asynchrony claim of the paper, measured on a real artifact.
+//! * **Who talked to whom?** [`matrix`] assembles the full P×P
+//!   communication matrix from per-peer transport counters (trace
+//!   metadata or metrics JSON) or from `MsgSend` events, rendered as a
+//!   terminal heatmap and exported as a bench-schema artifact so
+//!   [`dakc_bench::compare`] can diff two runs.
+//!
+//! Everything is deterministic: the same artifact analyzes to the same
+//! report, byte for byte, so re-analysis is diffable.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod critical;
+pub mod ingest;
+pub mod matrix;
+pub mod overlap;
+pub mod report;
+
+pub use critical::{critical_path, segments, CriticalPath, Segment};
+pub use ingest::{classify, load, Input};
+pub use matrix::CommMatrix;
+pub use overlap::{rank_overlap, LoadReport, RankActivity};
+pub use report::{analyze, diff_bodies, Analysis};

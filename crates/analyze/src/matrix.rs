@@ -1,0 +1,302 @@
+//! The P×P communication matrix: who sent how much to whom.
+//!
+//! Three sources, in order of fidelity:
+//!
+//! 1. **Trace metadata** — launch traces embed the transport's exact
+//!    per-peer counters as a top-level `"dakc"` object (see
+//!    [`dakc_sim::telemetry::chrome_trace_with`]); this covers every
+//!    frame, not just sampled ones.
+//! 2. **Metrics JSON** — the gathered `net.rank<i>.to<j>.bytes_sent` /
+//!    `frames_sent` counters from `--metrics` output.
+//! 3. **Trace events** — summing `MsgSend` instants, mapping PEs to
+//!    nodes; exact for simulator traces (every message is an event),
+//!    the only option for traces with no metadata.
+//!
+//! The matrix renders as a terminal heatmap (rows = senders) and
+//! round-trips through metrics counters so it lands in the analysis
+//! artifact and diffs across runs.
+
+use dakc_bench::fmt_bytes;
+use dakc_sim::telemetry::json::JsonValue;
+use dakc_sim::telemetry::{EventKind, MetricsRegistry, ParsedTrace};
+
+/// Dense row-major P×P traffic matrix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommMatrix {
+    /// Number of ranks (rows == columns).
+    pub n: usize,
+    /// Bytes sent, `bytes[src * n + dst]`.
+    pub bytes: Vec<u64>,
+    /// Frames (or messages) sent, same layout.
+    pub frames: Vec<u64>,
+}
+
+impl CommMatrix {
+    /// An all-zero P×P matrix.
+    pub fn zero(n: usize) -> Self {
+        Self { n, bytes: vec![0; n * n], frames: vec![0; n * n] }
+    }
+
+    /// Adds one transfer, growing the matrix if a rank id exceeds it.
+    pub fn add(&mut self, src: usize, dst: usize, bytes: u64, frames: u64) {
+        let need = src.max(dst) + 1;
+        if need > self.n {
+            self.grow(need);
+        }
+        self.bytes[src * self.n + dst] += bytes;
+        self.frames[src * self.n + dst] += frames;
+    }
+
+    fn grow(&mut self, n: usize) {
+        let mut next = Self::zero(n);
+        for s in 0..self.n {
+            for d in 0..self.n {
+                next.bytes[s * n + d] = self.bytes[s * self.n + d];
+                next.frames[s * n + d] = self.frames[s * self.n + d];
+            }
+        }
+        *self = next;
+    }
+
+    /// Bytes sent from `src` to `dst` (0 outside the matrix).
+    pub fn bytes_at(&self, src: usize, dst: usize) -> u64 {
+        if src < self.n && dst < self.n {
+            self.bytes[src * self.n + dst]
+        } else {
+            0
+        }
+    }
+
+    /// Total bytes across all pairs.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// True when no traffic was recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0 || self.total_bytes() == 0 && self.frames.iter().all(|&f| f == 0)
+    }
+
+    /// Builds the matrix from a trace: embedded metadata when present,
+    /// otherwise summed `MsgSend` events (PEs mapped to nodes).
+    pub fn from_trace(trace: &ParsedTrace) -> Self {
+        if let Some(meta) = &trace.dakc {
+            if let Some(m) = Self::from_dakc_meta(meta) {
+                return m;
+            }
+        }
+        let mut m = Self::zero(trace.nodes());
+        for e in &trace.events {
+            if let EventKind::MsgSend { dst, bytes, .. } = e.kind {
+                m.add(
+                    trace.node_of(e.pe) as usize,
+                    trace.node_of(dst) as usize,
+                    bytes as u64,
+                    1,
+                );
+            }
+        }
+        m
+    }
+
+    /// Decodes the `"dakc"` trace-metadata object:
+    /// `{"ranks":N,"bytes_sent":[[..]],"frames_sent":[[..]]}`.
+    pub fn from_dakc_meta(meta: &JsonValue) -> Option<Self> {
+        let n = meta.get("ranks").and_then(JsonValue::as_f64)? as usize;
+        let mut m = Self::zero(n);
+        let grid = |key: &str| -> Option<Vec<Vec<u64>>> {
+            meta.get(key).and_then(JsonValue::as_arr).map(|rows| {
+                rows.iter()
+                    .map(|r| {
+                        r.as_arr()
+                            .map(|cells| {
+                                cells.iter().filter_map(JsonValue::as_f64).map(|v| v as u64).collect()
+                            })
+                            .unwrap_or_default()
+                    })
+                    .collect()
+            })
+        };
+        let bytes = grid("bytes_sent")?;
+        let frames = grid("frames_sent").unwrap_or_default();
+        for (s, row) in bytes.iter().enumerate().take(n) {
+            for (d, &v) in row.iter().enumerate().take(n) {
+                m.bytes[s * n + d] = v;
+            }
+        }
+        for (s, row) in frames.iter().enumerate().take(n) {
+            for (d, &v) in row.iter().enumerate().take(n) {
+                m.frames[s * n + d] = v;
+            }
+        }
+        Some(m)
+    }
+
+    /// Builds the matrix from gathered per-peer transport counters
+    /// (`net.rank<i>.to<j>.bytes_sent` / `frames_sent`).
+    pub fn from_metrics(m: &MetricsRegistry) -> Self {
+        let mut out = Self::default();
+        for (name, v) in m.counters() {
+            let Some((src, dst, field)) = parse_peer_counter(name) else {
+                continue;
+            };
+            match field {
+                "bytes_sent" => out.add(src, dst, v, 0),
+                "frames_sent" => out.add(src, dst, 0, v),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Renders the matrix back into per-peer counters, so the analysis
+    /// artifact carries it in compare-able form.
+    pub fn to_metrics(&self, m: &mut MetricsRegistry) {
+        for s in 0..self.n {
+            for d in 0..self.n {
+                m.inc(&format!("net.rank{s}.to{d}.bytes_sent"), self.bytes[s * self.n + d]);
+                m.inc(&format!("net.rank{s}.to{d}.frames_sent"), self.frames[s * self.n + d]);
+            }
+        }
+    }
+
+    /// Serializes as the `"dakc"` trace-metadata object.
+    pub fn to_dakc_meta(&self) -> String {
+        let grid = |v: &[u64]| {
+            let rows: Vec<String> = (0..self.n)
+                .map(|s| {
+                    let cells: Vec<String> =
+                        (0..self.n).map(|d| v[s * self.n + d].to_string()).collect();
+                    format!("[{}]", cells.join(","))
+                })
+                .collect();
+            format!("[{}]", rows.join(","))
+        };
+        format!(
+            "{{\"ranks\":{},\"bytes_sent\":{},\"frames_sent\":{}}}",
+            self.n,
+            grid(&self.bytes),
+            grid(&self.frames)
+        )
+    }
+
+    /// Terminal heatmap: one row per sender, shaded by bytes relative
+    /// to the hottest cell, with per-row totals.
+    pub fn render(&self) -> String {
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let max = self.bytes.iter().copied().max().unwrap_or(0);
+        let mut out = String::new();
+        out.push_str("      ");
+        for d in 0..self.n {
+            out.push_str(&format!("{:>3}", d % 1000));
+        }
+        out.push_str("   bytes out\n");
+        for s in 0..self.n {
+            out.push_str(&format!("  r{s:<3} "));
+            let mut row_total = 0u64;
+            for d in 0..self.n {
+                let b = self.bytes[s * self.n + d];
+                row_total += b;
+                let shade = if max == 0 || b == 0 {
+                    SHADES[0]
+                } else {
+                    // Linear bucket over (0, max]: non-zero never rounds
+                    // down to blank, the hottest cell always gets '@'.
+                    let i = 1 + (b * (SHADES.len() as u64 - 2) / max) as usize;
+                    SHADES[i.min(SHADES.len() - 1)]
+                };
+                out.push_str(&format!(" {} ", shade as char));
+            }
+            out.push_str(&format!("  {}\n", fmt_bytes(row_total)));
+        }
+        out
+    }
+}
+
+/// Parses `net.rank<i>.to<j>.<field>` counter names.
+fn parse_peer_counter(name: &str) -> Option<(usize, usize, &str)> {
+    let rest = name.strip_prefix("net.rank")?;
+    let dot = rest.find('.')?;
+    let src: usize = rest[..dot].parse().ok()?;
+    let rest = rest[dot + 1..].strip_prefix("to")?;
+    let dot = rest.find('.')?;
+    let dst: usize = rest[..dot].parse().ok()?;
+    Some((src, dst, &rest[dot + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dakc_sim::telemetry::json::parse;
+    use dakc_sim::telemetry::Event;
+
+    #[test]
+    fn from_events_maps_pes_to_nodes() {
+        // 2 PEs per node: PEs 0,1 → node 0; PEs 2,3 → node 1.
+        let t = ParsedTrace {
+            events: vec![
+                Event { ts: 0.1, pe: 0, kind: EventKind::MsgSend { dst: 2, tag: 1, bytes: 100 } },
+                Event { ts: 0.2, pe: 1, kind: EventKind::MsgSend { dst: 3, tag: 1, bytes: 50 } },
+                Event { ts: 0.3, pe: 3, kind: EventKind::MsgSend { dst: 0, tag: 1, bytes: 10 } },
+            ],
+            pe_node: vec![(0, 0), (1, 0), (2, 1), (3, 1)],
+            ..ParsedTrace::default()
+        };
+        let m = CommMatrix::from_trace(&t);
+        assert_eq!(m.n, 2);
+        assert_eq!(m.bytes_at(0, 1), 150);
+        assert_eq!(m.bytes_at(1, 0), 10);
+        assert_eq!(m.bytes_at(0, 0), 0);
+        assert_eq!(m.frames[1], 2);
+    }
+
+    #[test]
+    fn meta_and_metrics_round_trip() {
+        let mut m = CommMatrix::zero(3);
+        m.add(0, 1, 500, 2);
+        m.add(2, 0, 80, 1);
+        // Through dakc-meta JSON.
+        let meta = parse(&m.to_dakc_meta()).unwrap();
+        assert_eq!(CommMatrix::from_dakc_meta(&meta).unwrap(), m);
+        // Through metrics counters (full matrix: zeros materialize too).
+        let mut reg = MetricsRegistry::new();
+        m.to_metrics(&mut reg);
+        assert_eq!(CommMatrix::from_metrics(&reg), m);
+        assert_eq!(reg.counter("net.rank0.to1.bytes_sent"), 500);
+        assert_eq!(reg.counter("net.rank1.to2.bytes_sent"), 0);
+    }
+
+    #[test]
+    fn meta_takes_priority_over_events() {
+        let meta = parse("{\"ranks\":2,\"bytes_sent\":[[0,9],[9,0]],\"frames_sent\":[[0,1],[1,0]]}")
+            .unwrap();
+        let t = ParsedTrace {
+            events: vec![Event {
+                ts: 0.1,
+                pe: 0,
+                kind: EventKind::MsgSend { dst: 1, tag: 1, bytes: 12345 },
+            }],
+            dakc: Some(meta),
+            ..ParsedTrace::default()
+        };
+        let m = CommMatrix::from_trace(&t);
+        assert_eq!(m.bytes_at(0, 1), 9);
+    }
+
+    #[test]
+    fn render_is_square_and_shades_hot_cells() {
+        let mut m = CommMatrix::zero(2);
+        m.add(0, 1, 1 << 20, 1);
+        let r = m.render();
+        assert_eq!(r.lines().count(), 3);
+        assert!(r.contains('@'), "{r}");
+        assert!(r.contains("1.00MiB"), "{r}");
+    }
+
+    #[test]
+    fn peer_counter_parsing() {
+        assert_eq!(parse_peer_counter("net.rank0.to12.bytes_sent"), Some((0, 12, "bytes_sent")));
+        assert_eq!(parse_peer_counter("net.rank3.frames_sent"), None);
+        assert_eq!(parse_peer_counter("flow.stage_s.net"), None);
+    }
+}

@@ -1,0 +1,335 @@
+//! Per-rank load balance and compute↔comm overlap.
+//!
+//! The paper's central claim is that the conveyor cascade keeps
+//! communication *hidden*: the wire is busy while PEs keep parsing and
+//! counting, instead of the bulk-synchronous exchange-then-compute
+//! rhythm. This module measures that on a recorded trace:
+//!
+//! * A rank's **comm windows** are the net-stage residencies of the
+//!   flows it originated — `[close − drain − net, close − drain]` per
+//!   `FlowRecv`, i.e. the span its sampled packets were on the wire.
+//! * A rank's **compute windows** are its active span minus the periods
+//!   when *every* PE on the rank sat inside a barrier.
+//! * The **overlap fraction** is `|comm ∩ compute| / |comm|` — 1.0 when
+//!   every wire second was hidden behind compute, 0.0 when the rank
+//!   stopped dead for every transfer. Ranks that sent nothing report
+//!   1.0 (no exposed communication). Always in `[0, 1]`.
+//!
+//! The same sweep yields the load report: per-rank busy time (active
+//! span minus whole-rank barrier idle), the straggler (max busy), and
+//! the imbalance factor `max/mean` the paper's scaling sections track.
+
+use std::collections::BTreeMap;
+
+use dakc_sim::telemetry::{EventKind, ParsedTrace};
+
+/// Sorted, disjoint half-open intervals in seconds.
+type Intervals = Vec<(f64, f64)>;
+
+/// Merges possibly-overlapping intervals into sorted disjoint form.
+fn union(mut v: Intervals) -> Intervals {
+    v.retain(|&(a, b)| b > a);
+    v.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let mut out: Intervals = Vec::with_capacity(v.len());
+    for (a, b) in v {
+        match out.last_mut() {
+            Some(last) if a <= last.1 => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Intersection of two sorted disjoint interval sets.
+fn intersect(a: &[(f64, f64)], b: &[(f64, f64)]) -> Intervals {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            out.push((lo, hi));
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// `a \ b` for sorted disjoint interval sets.
+fn subtract(a: &[(f64, f64)], b: &[(f64, f64)]) -> Intervals {
+    let mut out = Vec::new();
+    for &(mut lo, hi) in a {
+        for &(blo, bhi) in b {
+            if bhi <= lo || blo >= hi {
+                continue;
+            }
+            if blo > lo {
+                out.push((lo, blo));
+            }
+            lo = lo.max(bhi);
+            if lo >= hi {
+                break;
+            }
+        }
+        if hi > lo {
+            out.push((lo, hi));
+        }
+    }
+    out
+}
+
+fn total(v: &[(f64, f64)]) -> f64 {
+    // + 0.0 because the empty f64 sum is -0.0, which fmt_secs would
+    // render with its sign.
+    v.iter().map(|&(a, b)| b - a).sum::<f64>() + 0.0
+}
+
+/// One rank's activity summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankActivity {
+    /// Node (process track) id.
+    pub node: u32,
+    /// First event → last event on the rank, seconds.
+    pub span_s: f64,
+    /// Time the whole rank was parked in barriers.
+    pub barrier_s: f64,
+    /// Busy time: `span − barrier` (what load balance compares).
+    pub busy_s: f64,
+    /// Total wire time of flows this rank originated.
+    pub comm_s: f64,
+    /// Wire time that coincided with compute.
+    pub overlap_s: f64,
+    /// `overlap_s / comm_s`, in `[0, 1]`; 1.0 when `comm_s == 0`.
+    pub overlap: f64,
+}
+
+/// Whole-run load/overlap report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Per-rank activity, ascending node id.
+    pub ranks: Vec<RankActivity>,
+    /// `max busy / mean busy` (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Node id with the most busy time.
+    pub straggler: u32,
+}
+
+/// Computes the per-rank activity and overlap report for a trace.
+pub fn rank_overlap(trace: &ParsedTrace) -> LoadReport {
+    // Bucket events by node; within a node, track per-PE barrier state.
+    let mut span: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
+    let mut barriers: BTreeMap<u32, BTreeMap<u32, Intervals>> = BTreeMap::new();
+    let mut open_barrier: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut comm: BTreeMap<u32, Intervals> = BTreeMap::new();
+    let mut pes_seen: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+
+    for e in &trace.events {
+        let node = trace.node_of(e.pe);
+        let s = span.entry(node).or_insert((e.ts, e.ts));
+        s.0 = s.0.min(e.ts);
+        s.1 = s.1.max(e.ts);
+        let pes = pes_seen.entry(node).or_default();
+        if !pes.contains(&e.pe) {
+            pes.push(e.pe);
+        }
+        match e.kind {
+            EventKind::BarrierEnter => {
+                open_barrier.insert(e.pe, e.ts);
+            }
+            EventKind::BarrierExit { .. } => {
+                if let Some(start) = open_barrier.remove(&e.pe) {
+                    barriers
+                        .entry(node)
+                        .or_default()
+                        .entry(e.pe)
+                        .or_default()
+                        .push((start, e.ts));
+                }
+            }
+            EventKind::FlowRecv { src, net_s, drain_s, .. } => {
+                // Attribute wire time to the *originating* rank: that is
+                // whose asynchrony hides (or fails to hide) it.
+                let origin = trace.node_of(src);
+                let close = e.ts - drain_s;
+                comm.entry(origin).or_default().push((close - net_s, close));
+            }
+            _ => {}
+        }
+    }
+
+    let mut ranks = Vec::new();
+    for (&node, &(lo, hi)) in &span {
+        let active = vec![(lo, hi)];
+        // The rank is idle only while EVERY PE it hosts is in a barrier:
+        // intersect the per-PE barrier unions across the node's PEs.
+        let idle = match barriers.get(&node) {
+            Some(per_pe) if per_pe.len() == pes_seen[&node].len() => {
+                let mut iter = per_pe.values().map(|v| union(v.clone()));
+                let first = iter.next().unwrap_or_default();
+                iter.fold(first, |acc, next| intersect(&acc, &next))
+            }
+            // A PE with no barrier intervals keeps the rank busy
+            // throughout, so there is no whole-rank idle time.
+            _ => Vec::new(),
+        };
+        let compute = subtract(&active, &idle);
+        let comm_iv = union(comm.remove(&node).unwrap_or_default());
+        let comm_s = total(&comm_iv);
+        let overlap_s = total(&intersect(&comm_iv, &compute));
+        let overlap = if comm_s > 0.0 {
+            (overlap_s / comm_s).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let barrier_s = total(&idle);
+        ranks.push(RankActivity {
+            node,
+            span_s: hi - lo,
+            barrier_s,
+            busy_s: (hi - lo) - barrier_s,
+            comm_s,
+            overlap_s,
+            overlap,
+        });
+    }
+
+    let (mut imbalance, mut straggler) = (1.0, 0);
+    if !ranks.is_empty() {
+        let mean = ranks.iter().map(|r| r.busy_s).sum::<f64>() / ranks.len() as f64;
+        let max = ranks
+            .iter()
+            .max_by(|a, b| a.busy_s.total_cmp(&b.busy_s).then(b.node.cmp(&a.node)))
+            .unwrap();
+        straggler = max.node;
+        if mean > 0.0 {
+            imbalance = max.busy_s / mean;
+        }
+    }
+    LoadReport { ranks, imbalance, straggler }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dakc_sim::telemetry::Event;
+
+    fn ev(ts: f64, pe: u32, kind: EventKind) -> Event {
+        Event { ts, pe, kind }
+    }
+
+    fn flow_recv(ts: f64, pe: u32, src: u32, net_s: f64, drain_s: f64) -> Event {
+        ev(ts, pe, EventKind::FlowRecv {
+            flow: 1,
+            channel: 0,
+            src,
+            l3_s: 0.0,
+            l2_s: 0.0,
+            l1_s: 0.0,
+            l0_s: 0.0,
+            net_s,
+            drain_s,
+            e2e_s: net_s + drain_s,
+        })
+    }
+
+    #[test]
+    fn interval_algebra() {
+        let u = union(vec![(2.0, 3.0), (0.0, 1.0), (0.5, 1.5)]);
+        assert_eq!(u, vec![(0.0, 1.5), (2.0, 3.0)]);
+        assert_eq!(intersect(&u, &[(1.0, 2.5)]), vec![(1.0, 1.5), (2.0, 2.5)]);
+        assert_eq!(
+            subtract(&[(0.0, 4.0)], &[(1.0, 2.0), (3.0, 5.0)]),
+            vec![(0.0, 1.0), (2.0, 3.0)]
+        );
+        assert!((total(&u) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_hidden_comm_scores_one() {
+        // Rank 0 computes over [0, 1] with no barriers; its flow is on
+        // the wire [0.4, 0.6] — fully overlapped.
+        let t = ParsedTrace {
+            events: vec![
+                ev(0.0, 0, EventKind::Phase { phase: 1 }),
+                flow_recv(0.65, 1, 0, 0.2, 0.05),
+                ev(1.0, 0, EventKind::Phase { phase: 3 }),
+                ev(1.0, 1, EventKind::Phase { phase: 3 }),
+            ],
+            ..ParsedTrace::default()
+        };
+        let r = rank_overlap(&t);
+        let r0 = r.ranks.iter().find(|r| r.node == 0).unwrap();
+        assert!((r0.overlap - 1.0).abs() < 1e-12, "{r0:?}");
+        assert!((r0.comm_s - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_during_whole_rank_barrier_is_exposed() {
+        // Rank 0's only PE sits in a barrier [0.3, 0.7]; its flow rides
+        // the wire [0.4, 0.6] — zero overlap.
+        let t = ParsedTrace {
+            events: vec![
+                ev(0.0, 0, EventKind::Phase { phase: 1 }),
+                ev(0.3, 0, EventKind::BarrierEnter),
+                flow_recv(0.65, 1, 0, 0.2, 0.05),
+                ev(0.7, 0, EventKind::BarrierExit { waited_s: 0.4 }),
+                ev(1.0, 0, EventKind::Phase { phase: 3 }),
+                ev(1.0, 1, EventKind::Phase { phase: 3 }),
+            ],
+            ..ParsedTrace::default()
+        };
+        let r = rank_overlap(&t);
+        let r0 = r.ranks.iter().find(|r| r.node == 0).unwrap();
+        assert!(r0.overlap.abs() < 1e-12, "{r0:?}");
+        assert!((r0.barrier_s - 0.4).abs() < 1e-12);
+        // Fractions stay in range on every rank, silent or not.
+        for r in &r.ranks {
+            assert!((0.0..=1.0).contains(&r.overlap));
+        }
+    }
+
+    #[test]
+    fn multi_pe_rank_idles_only_when_all_pes_barrier() {
+        // PEs 0 and 1 share node 0 (pe_node map). PE 0 barriers
+        // [0.2, 0.8], PE 1 barriers [0.4, 0.6]: whole-rank idle is only
+        // the intersection [0.4, 0.6].
+        let t = ParsedTrace {
+            events: vec![
+                ev(0.0, 0, EventKind::Phase { phase: 1 }),
+                ev(0.0, 1, EventKind::Phase { phase: 1 }),
+                ev(0.2, 0, EventKind::BarrierEnter),
+                ev(0.4, 1, EventKind::BarrierEnter),
+                ev(0.6, 1, EventKind::BarrierExit { waited_s: 0.2 }),
+                ev(0.8, 0, EventKind::BarrierExit { waited_s: 0.6 }),
+                ev(1.0, 0, EventKind::Phase { phase: 3 }),
+                ev(1.0, 1, EventKind::Phase { phase: 3 }),
+            ],
+            pe_node: vec![(0, 0), (1, 0)],
+            ..ParsedTrace::default()
+        };
+        let r = rank_overlap(&t);
+        assert_eq!(r.ranks.len(), 1);
+        assert!((r.ranks[0].barrier_s - 0.2).abs() < 1e-12, "{:?}", r.ranks[0]);
+        assert!((r.ranks[0].busy_s - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_and_imbalance() {
+        let t = ParsedTrace {
+            events: vec![
+                ev(0.0, 0, EventKind::Phase { phase: 1 }),
+                ev(1.0, 0, EventKind::Phase { phase: 3 }),
+                ev(0.0, 1, EventKind::Phase { phase: 1 }),
+                ev(3.0, 1, EventKind::Phase { phase: 3 }),
+            ],
+            ..ParsedTrace::default()
+        };
+        let r = rank_overlap(&t);
+        assert_eq!(r.straggler, 1);
+        assert!((r.imbalance - 1.5).abs() < 1e-12, "{}", r.imbalance);
+    }
+}

@@ -1,0 +1,362 @@
+//! Assembles the full analysis, renders it, and diffs two runs.
+//!
+//! [`analyze`] is the pure core: trace in, [`Analysis`] out, no I/O —
+//! identical traces produce identical analyses, so re-analysis is
+//! byte-for-byte reproducible. [`Analysis::render`] is the terminal
+//! report; [`Analysis::artifact`] exports the same numbers as a
+//! bench-schema artifact (harness `analyze`) whose duration rows feed
+//! [`dakc_bench::compare`], which is what [`diff_bodies`] drives for
+//! `dakc analyze --diff A B`.
+
+use dakc_bench::compare::{compare_bodies, CompareReport};
+use dakc_bench::{fmt_secs, Artifact, BenchArgs, Table};
+use dakc_sim::telemetry::json::{parse, JsonValue};
+use dakc_sim::telemetry::{EventKind, ParsedTrace};
+
+use crate::critical::{critical_path, segments, stage_names, CriticalPath};
+use crate::matrix::CommMatrix;
+use dakc_bench::fmt_bytes;
+use crate::overlap::{rank_overlap, LoadReport};
+
+/// Everything `dakc analyze` reports about one trace.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Ranks (process tracks) in the trace.
+    pub nodes: usize,
+    /// Decoded events.
+    pub events: usize,
+    /// Trace rows the reader did not recognize.
+    pub skipped: usize,
+    /// Whole-run span: last event − first event, seconds.
+    pub e2e_s: f64,
+    /// Named phase wall-clock durations (slowest rank), ascending id.
+    pub phases: Vec<(String, f64)>,
+    /// Critical path, when the trace closed any flows.
+    pub critical: Option<CriticalPath>,
+    /// Per-rank load and overlap.
+    pub load: LoadReport,
+    /// P×P traffic matrix.
+    pub matrix: CommMatrix,
+}
+
+/// Phase names matching `dakc_net::supervisor::Phase` — used only when
+/// every observed id fits the distributed runtime's numbering, so
+/// simulator phase counters keep neutral `phase<N>` labels.
+const NET_PHASES: [&str; 5] = ["setup", "parse", "drain", "count", "gather"];
+
+fn phase_durations(trace: &ParsedTrace) -> Vec<(String, f64)> {
+    // Per node: sort its Phase marks by time; each phase runs to the
+    // next mark (or the node's last event). Report the slowest rank's
+    // wall-clock per phase — that is what gates the run.
+    let mut per_node: std::collections::BTreeMap<u32, Vec<(f64, u32)>> = Default::default();
+    let mut node_end: std::collections::BTreeMap<u32, f64> = Default::default();
+    for e in &trace.events {
+        let node = trace.node_of(e.pe);
+        let end = node_end.entry(node).or_insert(e.ts);
+        *end = end.max(e.ts);
+        if let EventKind::Phase { phase } = e.kind {
+            per_node.entry(node).or_default().push((e.ts, phase));
+        }
+    }
+    let mut dur: std::collections::BTreeMap<u32, f64> = Default::default();
+    for (node, mut marks) in per_node {
+        marks.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for i in 0..marks.len() {
+            let end = marks.get(i + 1).map_or(node_end[&node], |m| m.0);
+            let d = dur.entry(marks[i].1).or_insert(0.0);
+            *d = d.max(end - marks[i].0);
+        }
+    }
+    let named = dur.keys().all(|&id| (1..=4).contains(&id));
+    dur.into_iter()
+        .map(|(id, d)| {
+            let name = if named {
+                NET_PHASES[id as usize].to_string()
+            } else {
+                format!("phase{id}")
+            };
+            (name, d)
+        })
+        .collect()
+}
+
+/// Runs the whole analysis over one parsed trace.
+pub fn analyze(trace: &ParsedTrace) -> Analysis {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for e in &trace.events {
+        lo = lo.min(e.ts);
+        hi = hi.max(e.ts);
+    }
+    Analysis {
+        nodes: trace.nodes(),
+        events: trace.events.len(),
+        skipped: trace.skipped,
+        e2e_s: if hi > lo { hi - lo } else { 0.0 },
+        phases: phase_durations(trace),
+        critical: critical_path(&segments(trace)),
+        load: rank_overlap(trace),
+        matrix: CommMatrix::from_trace(trace),
+    }
+}
+
+impl Analysis {
+    /// The terminal report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run: {} rank(s), {} events ({} unrecognized rows), span {}\n",
+            self.nodes,
+            self.events,
+            self.skipped,
+            fmt_secs(self.e2e_s)
+        ));
+        if !self.phases.is_empty() {
+            out.push_str("phases (slowest rank):\n");
+            for (name, d) in &self.phases {
+                out.push_str(&format!("  {name:<8} {}\n", fmt_secs(*d)));
+            }
+        }
+        match &self.critical {
+            Some(p) => {
+                out.push_str(&format!(
+                    "critical path: {} hop(s), span {}\n",
+                    p.hops(),
+                    fmt_secs(p.span_s)
+                ));
+                for (name, t) in stage_names().iter().zip(p.stage_s) {
+                    out.push_str(&format!("  {name:<8} {}\n", fmt_secs(t)));
+                }
+                out.push_str(&format!("  {:<8} {}\n", "compute", fmt_secs(p.compute_s)));
+                out.push_str(&format!(
+                    "  telescoping: stages+compute {} vs span {}\n",
+                    fmt_secs(p.accounted_s()),
+                    fmt_secs(p.span_s)
+                ));
+            }
+            None => out.push_str("critical path: no sampled flows in trace\n"),
+        }
+        if !self.load.ranks.is_empty() {
+            out.push_str(&format!(
+                "load: imbalance {:.2}x, straggler rank {}\n",
+                self.load.imbalance, self.load.straggler
+            ));
+            out.push_str(&format!(
+                "  {:<5} {:>10} {:>10} {:>10} {:>9}\n",
+                "rank", "busy", "barrier", "comm", "overlap"
+            ));
+            for r in &self.load.ranks {
+                out.push_str(&format!(
+                    "  {:<5} {:>10} {:>10} {:>10} {:>8.1}%{}\n",
+                    r.node,
+                    fmt_secs(r.busy_s),
+                    fmt_secs(r.barrier_s),
+                    fmt_secs(r.comm_s),
+                    r.overlap * 100.0,
+                    if r.node == self.load.straggler { "  <- straggler" } else { "" }
+                ));
+            }
+        }
+        if !self.matrix.is_empty() {
+            out.push_str(&format!(
+                "comm matrix ({} ranks, {} total):\n",
+                self.matrix.n,
+                fmt_bytes(self.matrix.total_bytes())
+            ));
+            out.push_str(&self.matrix.render());
+        }
+        out
+    }
+
+    /// Exports the analysis as a bench-schema artifact (harness
+    /// `analyze`): duration rows for the compare gate, counters for
+    /// everything else (overlap in basis points, the comm matrix as
+    /// per-peer byte/frame counters).
+    pub fn artifact(&self) -> Artifact {
+        // Stamped with default params: a trace does not carry the
+        // generating run's scale shift, and a constant stamp is what
+        // lets two analyze artifacts pass the compare param gate.
+        let mut a = Artifact::new("analyze", &BenchArgs::default());
+        let mut t = Table::new(&["Quantity", "Time"]);
+        t.row(vec!["span".into(), fmt_secs(self.e2e_s)]);
+        if let Some(p) = &self.critical {
+            t.row(vec!["critical.span".into(), fmt_secs(p.span_s)]);
+            for (name, v) in stage_names().iter().zip(p.stage_s) {
+                t.row(vec![format!("critical.{name}"), fmt_secs(v)]);
+            }
+            t.row(vec!["critical.compute".into(), fmt_secs(p.compute_s)]);
+        }
+        for (name, d) in &self.phases {
+            t.row(vec![format!("phase.{name}"), fmt_secs(*d)]);
+        }
+        a.table(&t);
+        let mut r = Table::new(&["Rank", "Busy", "Comm"]);
+        for rank in &self.load.ranks {
+            r.row(vec![
+                rank.node.to_string(),
+                fmt_secs(rank.busy_s),
+                fmt_secs(rank.comm_s),
+            ]);
+        }
+        a.table(&r);
+        let m = a.metrics();
+        m.inc("analyze.ranks", self.nodes as u64);
+        m.inc("analyze.events", self.events as u64);
+        m.inc("analyze.skipped", self.skipped as u64);
+        if let Some(p) = &self.critical {
+            m.inc("analyze.critical.hops", p.hops() as u64);
+        }
+        for rank in &self.load.ranks {
+            m.inc(
+                &format!("analyze.rank{}.overlap_bp", rank.node),
+                (rank.overlap * 10_000.0).round() as u64,
+            );
+        }
+        m.inc("analyze.imbalance_bp", (self.load.imbalance * 10_000.0).round() as u64);
+        self.matrix.to_metrics(m);
+        a
+    }
+}
+
+fn counters(doc: &JsonValue) -> Vec<(String, u64)> {
+    doc.get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(JsonValue::as_obj)
+        .map(|obj| {
+            obj.iter()
+                .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f as u64)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Diffs two `analyze` artifacts: duration cells through the bench
+/// compare gate, analysis counters (overlap, traffic) as explicit
+/// before → after lines. Returns the rendered report and whether any
+/// duration regressed past `threshold`.
+pub fn diff_bodies(baseline: &str, current: &str, threshold: f64) -> Result<(String, bool), String> {
+    let mut rep = CompareReport::default();
+    compare_bodies("analyze", baseline, current, &mut rep)?;
+    let mut out = rep.render(threshold);
+    let (b, c) = (parse(baseline)?, parse(current)?);
+    let (bc, cc) = (counters(&b), counters(&c));
+    let lookup = |set: &[(String, u64)], k: &str| {
+        set.iter().find(|(n, _)| n == k).map(|&(_, v)| v)
+    };
+    let mut lines = Vec::new();
+    for (name, cur) in &cc {
+        let interesting = name.ends_with(".overlap_bp")
+            || name.ends_with(".bytes_sent")
+            || *name == "analyze.imbalance_bp";
+        if !interesting {
+            continue;
+        }
+        let base = lookup(&bc, name);
+        if base != Some(*cur) {
+            let base_str = base.map_or("-".into(), |v| v.to_string());
+            lines.push(format!("  {name}: {base_str} -> {cur}\n"));
+        }
+    }
+    if !lines.is_empty() {
+        out.push_str("counter deltas:\n");
+        for l in lines {
+            out.push_str(&l);
+        }
+    }
+    let regressed = !rep.regressions(threshold).is_empty();
+    Ok((out, regressed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dakc_sim::telemetry::Event;
+
+    fn sample_trace() -> ParsedTrace {
+        let ev = |ts: f64, pe: u32, kind: EventKind| Event { ts, pe, kind };
+        ParsedTrace {
+            events: vec![
+                ev(0.0, 0, EventKind::Phase { phase: 1 }),
+                ev(0.0, 1, EventKind::Phase { phase: 1 }),
+                ev(0.1, 0, EventKind::MsgSend { dst: 1, tag: 9, bytes: 256 }),
+                ev(
+                    0.5,
+                    1,
+                    EventKind::FlowRecv {
+                        flow: 4,
+                        channel: 0,
+                        src: 0,
+                        l3_s: 0.05,
+                        l2_s: 0.05,
+                        l1_s: 0.05,
+                        l0_s: 0.05,
+                        net_s: 0.15,
+                        drain_s: 0.05,
+                        e2e_s: 0.4,
+                    },
+                ),
+                ev(0.8, 0, EventKind::Phase { phase: 2 }),
+                ev(0.8, 1, EventKind::Phase { phase: 2 }),
+                ev(1.0, 0, EventKind::Phase { phase: 3 }),
+                ev(1.0, 1, EventKind::Phase { phase: 3 }),
+            ],
+            ..ParsedTrace::default()
+        }
+    }
+
+    #[test]
+    fn analysis_is_deterministic_and_telescopes() {
+        let t = sample_trace();
+        let (a, b) = (analyze(&t), analyze(&t));
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.artifact().to_json(), b.artifact().to_json());
+        let p = a.critical.as_ref().unwrap();
+        assert!((p.accounted_s() - p.span_s).abs() < 1e-9);
+        for r in &a.load.ranks {
+            assert!((0.0..=1.0).contains(&r.overlap));
+        }
+        assert_eq!(a.matrix.bytes_at(0, 1), 256);
+    }
+
+    #[test]
+    fn distributed_phase_ids_get_names() {
+        let a = analyze(&sample_trace());
+        let names: Vec<&str> = a.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["parse", "drain", "count"]);
+    }
+
+    #[test]
+    fn sim_phase_ids_stay_neutral() {
+        let ev = |ts: f64, pe: u32, kind: EventKind| Event { ts, pe, kind };
+        let t = ParsedTrace {
+            events: vec![
+                ev(0.0, 0, EventKind::Phase { phase: 0 }),
+                ev(1.0, 0, EventKind::Phase { phase: 1 }),
+            ],
+            ..ParsedTrace::default()
+        };
+        let names: Vec<String> = analyze(&t).phases.into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["phase0", "phase1"]);
+    }
+
+    #[test]
+    fn artifact_validates_and_diffs_cleanly_against_itself() {
+        let body = analyze(&sample_trace()).artifact().to_json();
+        assert_eq!(dakc_bench::artifact::validate(&body).unwrap(), "analyze");
+        let (report, regressed) = diff_bodies(&body, &body, 1.5).unwrap();
+        assert!(!regressed, "{report}");
+        assert!(!report.contains("counter deltas"), "{report}");
+    }
+
+    #[test]
+    fn diff_flags_regression_and_counter_movement() {
+        let base = analyze(&sample_trace()).artifact().to_json();
+        // Slow the measured span 10x and shift an overlap counter.
+        let cur = base
+            .replace("\"Quantity\":\"span\",\"Time\":\"1.000s\"", "\"Quantity\":\"span\",\"Time\":\"10.000s\"")
+            .replace("\"analyze.rank0.overlap_bp\":10000", "\"analyze.rank0.overlap_bp\":5000");
+        assert_ne!(base, cur, "replacements must hit: {base}");
+        let (report, regressed) = diff_bodies(&base, &cur, 1.5).unwrap();
+        assert!(regressed, "{report}");
+        assert!(report.contains("analyze.rank0.overlap_bp: 10000 -> 5000"), "{report}");
+    }
+}

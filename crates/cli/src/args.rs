@@ -22,8 +22,26 @@ pub enum Command {
     Model(ModelArgs),
     /// `dakc compare <input> [-k N] [--nodes N] [--ppn N]`
     Compare(CompareArgs),
+    /// `dakc analyze <trace-or-results>... [--out PATH] [--diff] [--threshold X]`
+    Analyze(AnalyzeArgs),
     /// `dakc help`
     Help,
+}
+
+/// Arguments of `dakc analyze`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeArgs {
+    /// Telemetry files to analyze: Chrome traces (`--trace` output),
+    /// metrics JSON (`--metrics` output) or bench artifacts.
+    pub inputs: Vec<String>,
+    /// Write the analysis artifact here (default `results/analyze.json`
+    /// for the first trace input).
+    pub out: Option<String>,
+    /// Diff mode: the two inputs are baseline and current `analyze`
+    /// artifacts; explain the regression instead of analyzing.
+    pub diff: bool,
+    /// Slowdown ratio above which a diffed duration is a regression.
+    pub threshold: f64,
 }
 
 /// Arguments of `dakc compare`.
@@ -204,6 +222,8 @@ USAGE:
               [--trace-sample N] [--status]
   dakc model --dataset NAME [--nodes 32]
   dakc compare <reads> [-k 31] [--nodes 8] [--ppn 24]
+  dakc analyze <trace.json|metrics.json|results/*.json>... [--out PATH]
+  dakc analyze --diff baseline.json current.json [--threshold 1.5]
   dakc help
 
 Dataset names are Table V labels, e.g. \"Synthetic 24\" or \"SRR28206931\".";
@@ -513,6 +533,33 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
             a.input = input.ok_or("compare: missing input file")?;
             Ok(Command::Compare(a))
         }
+        "analyze" => {
+            let mut a = AnalyzeArgs { inputs: Vec::new(), out: None, diff: false, threshold: 1.5 };
+            let mut args = it;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--out" => a.out = Some(take_value(&mut args, "--out")?),
+                    "--diff" => a.diff = true,
+                    "--threshold" => {
+                        let t: f64 =
+                            parse_num(take_value(&mut args, "--threshold")?, "--threshold")?;
+                        if !t.is_finite() || t < 1.0 {
+                            return Err("analyze: --threshold must be a ratio >= 1.0".into());
+                        }
+                        a.threshold = t;
+                    }
+                    other if !other.starts_with('-') => a.inputs.push(other.to_string()),
+                    other => return Err(format!("analyze: unknown argument {other:?}")),
+                }
+            }
+            if a.inputs.is_empty() {
+                return Err("analyze: missing input file(s)".into());
+            }
+            if a.diff && a.inputs.len() != 2 {
+                return Err("analyze: --diff needs exactly two artifacts (baseline current)".into());
+            }
+            Ok(Command::Analyze(a))
+        }
         "help" | "-h" | "--help" => Ok(Command::Help),
         other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
     }
@@ -756,6 +803,30 @@ mod tests {
             panic!()
         };
         assert_eq!(w2.supervisor, None);
+    }
+
+    #[test]
+    fn parse_analyze() {
+        let Command::Analyze(a) =
+            parse_args(argv("analyze trace.json metrics.json --out results/a.json")).unwrap()
+        else {
+            panic!("not analyze")
+        };
+        assert_eq!(a.inputs, ["trace.json", "metrics.json"]);
+        assert_eq!(a.out.as_deref(), Some("results/a.json"));
+        assert!(!a.diff);
+        assert_eq!(a.threshold, 1.5);
+        let Command::Analyze(d) =
+            parse_args(argv("analyze --diff base.json cur.json --threshold 2.0")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(d.diff);
+        assert_eq!(d.threshold, 2.0);
+        assert!(parse_args(argv("analyze")).is_err());
+        assert!(parse_args(argv("analyze --diff one.json")).is_err());
+        assert!(parse_args(argv("analyze t.json --threshold 0.5")).is_err());
+        assert!(parse_args(argv("analyze t.json --frobnicate")).is_err());
     }
 
     #[test]

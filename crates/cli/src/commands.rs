@@ -17,12 +17,13 @@ use dakc_net::{
     ChaosConfig, ChaosTransport, HeartbeatSender, HeartbeatState, NetTuning, Supervisor,
     TcpTransport,
 };
-use dakc_sim::telemetry::{chrome_trace, metrics, Event, MetricsRegistry};
+use dakc_analyze::{CommMatrix, Input};
+use dakc_sim::telemetry::{chrome_trace, chrome_trace_with, metrics, Event, MetricsRegistry};
 use dakc_sim::{EventKind, MachineConfig, Timeline, TraceSink};
 use dakc_sort::RadixKey;
 
 use crate::args::{
-    Command, CompareArgs, CountArgs, GenerateArgs, LaunchArgs, ModelArgs, NetBackend,
+    AnalyzeArgs, Command, CompareArgs, CountArgs, GenerateArgs, LaunchArgs, ModelArgs, NetBackend,
     SimulateArgs, SpectrumArgs, WorkerArgs, USAGE,
 };
 
@@ -37,6 +38,7 @@ pub fn dispatch(cmd: Command) -> Result<(), String> {
         Command::Worker(a) => worker(a),
         Command::Model(a) => model(a),
         Command::Compare(a) => compare(a),
+        Command::Analyze(a) => analyze(a),
         Command::Help => {
             println!("{USAGE}");
             Ok(())
@@ -256,8 +258,13 @@ fn emit_net_run<W: KmerWord>(run: &NetRun<W>, a: &LaunchArgs) -> Result<(), Stri
     out.flush().map_err(|e| e.to_string())?;
     if let Some(path) = &a.trace {
         // `pes_per_node = 1` maps each rank to its own process track:
-        // pid = rank, all on rank 0's clock after alignment.
-        write_artifact(path, &chrome_trace(&run.trace, 1))?;
+        // pid = rank, all on rank 0's clock after alignment. The gathered
+        // per-peer transport counters ride along as trace metadata, so
+        // `dakc analyze` gets the exact P×P traffic matrix (every frame,
+        // not just sampled flows) from the trace file alone.
+        let matrix = CommMatrix::from_metrics(&run.metrics);
+        let meta = (!matrix.is_empty()).then(|| matrix.to_dakc_meta());
+        write_artifact(path, &chrome_trace_with(&run.trace, 1, meta.as_deref()))?;
         eprintln!("wrote trace: {path} ({} events, {} ranks merged)", run.trace.len(), run.ranks);
     }
     if let Some(path) = &a.metrics {
@@ -801,6 +808,67 @@ fn compare(a: CompareArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// `dakc analyze`: post-run trace analytics (critical path, overlap,
+/// comm matrix) or, with `--diff`, a regression explanation between two
+/// analysis artifacts.
+fn analyze(a: AnalyzeArgs) -> Result<(), String> {
+    if a.diff {
+        let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+        let (report, regressed) =
+            dakc_analyze::diff_bodies(&read(&a.inputs[0])?, &read(&a.inputs[1])?, a.threshold)?;
+        print!("{report}");
+        return if regressed {
+            Err(format!("analyze: regressions above {:.2}x", a.threshold))
+        } else {
+            Ok(())
+        };
+    }
+    let mut artifact_written = false;
+    for path in &a.inputs {
+        if a.inputs.len() > 1 {
+            println!("== {path}");
+        }
+        match dakc_analyze::load(std::path::Path::new(path))? {
+            Input::Trace(trace) => {
+                let analysis = dakc_analyze::analyze(&trace);
+                print!("{}", analysis.render());
+                // The first trace's analysis becomes the run artifact,
+                // diffable later with `analyze --diff`.
+                if !artifact_written {
+                    let art = analysis.artifact();
+                    match &a.out {
+                        Some(out) => {
+                            write_artifact(out, &art.to_json())?;
+                            eprintln!("wrote analysis artifact: {out}");
+                        }
+                        None => art.write_or_warn(),
+                    }
+                    artifact_written = true;
+                }
+            }
+            Input::Metrics(m) => {
+                let matrix = CommMatrix::from_metrics(&m);
+                if matrix.is_empty() {
+                    println!("metrics: no per-peer transport counters");
+                } else {
+                    println!("comm matrix ({} ranks):", matrix.n);
+                    print!("{}", matrix.render());
+                }
+                print_flow_latencies(&m);
+            }
+            Input::Artifact { harness, doc, .. } => {
+                let rows = doc
+                    .get("rows")
+                    .and_then(|r| r.as_arr())
+                    .map(<[_]>::len)
+                    .unwrap_or(0);
+                println!("bench artifact: harness {harness:?}, {rows} row(s), schema ok");
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -976,6 +1044,33 @@ mod tests {
         assert!(!t.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
         let m = json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
         assert!(m.get("histograms").and_then(|h| h.get("barrier.wait_s")).is_some());
+    }
+
+    #[test]
+    fn analyze_sim_trace_writes_diffable_artifact() {
+        let fq = tmp("an_obs.fastq");
+        std::fs::write(
+            &fq,
+            "@r\nACGTACGTACGGTTACAGGACCATGGACCAGT\n+\nIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIII\n",
+        )
+        .unwrap();
+        let trace = tmp("an_trace.json");
+        let run = |args: &[&str]| {
+            dispatch(parse_args(args.iter().map(|s| s.to_string()).collect()).unwrap()).unwrap()
+        };
+        run(&["dakc", "simulate", &fq, "-k", "11", "--nodes", "2", "--ppn", "2",
+              "--trace", &trace, "--trace-sample", "1"]);
+        let out = tmp("an_analysis.json");
+        run(&["dakc", "analyze", &trace, "--out", &out]);
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(dakc_bench::artifact::validate(&body).unwrap(), "analyze");
+        // Re-analysis is deterministic, so a self-diff is clean.
+        run(&["dakc", "analyze", "--diff", &out, &out]);
+        // Metrics input renders without error too.
+        let metrics = tmp("an_metrics.json");
+        run(&["dakc", "simulate", &fq, "-k", "11", "--nodes", "2", "--ppn", "2",
+              "--metrics", &metrics]);
+        run(&["dakc", "analyze", &metrics]);
     }
 
     #[test]

@@ -17,6 +17,11 @@ fn tmp(name: &str) -> PathBuf {
 }
 
 fn run(args: &[&str]) {
+    run_capture(args);
+}
+
+/// Like [`run`] but returns the command's stdout.
+fn run_capture(args: &[&str]) -> String {
     let out = Command::new(bin()).args(args).output().unwrap();
     assert!(
         out.status.success(),
@@ -24,6 +29,7 @@ fn run(args: &[&str]) {
         args,
         String::from_utf8_lossy(&out.stderr)
     );
+    String::from_utf8_lossy(&out.stdout).into_owned()
 }
 
 /// Generates a small synthetic dataset and returns its path.
@@ -193,6 +199,54 @@ fn launch_tcp_trace_merges_ranks_on_one_clock() {
     }
     assert!(finishes > 0, "no flow arrows in a --trace-sample 1 run");
     assert!(cross_rank > 0, "no cross-rank flow arrows among {finishes}");
+}
+
+#[test]
+fn launch_trace_feeds_analyze_end_to_end() {
+    use dakc_sim::telemetry::json::{self, JsonValue};
+    let fq = dataset();
+    let dist = tmp("analyzed.tsv");
+    let trace = tmp("analyze_trace.json");
+    run(&[
+        "launch", fq.to_str().unwrap(), "-k", "21", "--ranks", "4", "--backend", "tcp",
+        "--trace", trace.to_str().unwrap(), "--trace-sample", "1",
+        "-o", dist.to_str().unwrap(),
+    ]);
+
+    // Analyze the merged trace; the terminal report must cover all
+    // three headline analytics on a real 4-process run.
+    let art = tmp("analyze_art.json");
+    let report = run_capture(&["analyze", trace.to_str().unwrap(), "--out", art.to_str().unwrap()]);
+    assert!(report.contains("run: 4 rank(s)"), "{report}");
+    assert!(report.contains("critical path:"), "{report}");
+    assert!(report.contains("telescoping:"), "{report}");
+    assert!(report.contains("comm matrix (4 ranks"), "{report}");
+    assert!(report.contains("overlap"), "{report}");
+
+    // The exported artifact is schema-valid and carries a sane overlap
+    // fraction plus a full 4x4 traffic matrix.
+    let body = std::fs::read_to_string(&art).unwrap();
+    assert_eq!(dakc_bench::artifact::validate(&body).unwrap(), "analyze");
+    let doc = json::parse(&body).unwrap();
+    let counters = doc.get("metrics").and_then(|m| m.get("counters")).unwrap().clone();
+    let get = |k: &str| counters.get(k).and_then(JsonValue::as_f64);
+    for rank in 0..4 {
+        let bp = get(&format!("analyze.rank{rank}.overlap_bp"))
+            .unwrap_or_else(|| panic!("rank {rank} missing overlap counter:\n{body}"));
+        assert!((0.0..=10_000.0).contains(&bp), "rank {rank} overlap {bp} bp");
+    }
+    let off_diag: f64 = (0..4)
+        .flat_map(|s| (0..4).map(move |d| (s, d)))
+        .filter(|&(s, d)| s != d)
+        .filter_map(|(s, d)| get(&format!("net.rank{s}.to{d}.bytes_sent")))
+        .sum();
+    assert!(off_diag > 0.0, "no cross-rank traffic in exported matrix:\n{body}");
+
+    // Re-analysis is deterministic and the artifact self-diffs clean.
+    let art2 = tmp("analyze_art2.json");
+    run(&["analyze", trace.to_str().unwrap(), "--out", art2.to_str().unwrap()]);
+    assert_eq!(body, std::fs::read_to_string(&art2).unwrap(), "re-analysis changed the artifact");
+    run(&["analyze", "--diff", art.to_str().unwrap(), art2.to_str().unwrap()]);
 }
 
 #[test]

@@ -37,6 +37,44 @@ pub const PUSH_ITEM_OPS: u64 = 40;
 /// Software cost of processing one received record.
 pub const PROCESS_ITEM_OPS: u64 = 32;
 
+/// One stage of the telescoping aggregation cascade a sampled flow
+/// traverses (DESIGN.md §6): the per-stage residencies of a closed flow
+/// sum exactly to its end-to-end latency, in this order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// L3 heavy-hitter buffer wait.
+    L3,
+    /// L2 packet pack wait.
+    L2,
+    /// L1 actor staging.
+    L1,
+    /// L0 `PUT` buffer wait.
+    L0,
+    /// On the wire (or in the simulated transport).
+    Net,
+    /// Receiver drain queue.
+    Drain,
+}
+
+impl Stage {
+    /// Every stage, in telescoping order — the canonical stage vocabulary
+    /// shared by the flow metrics (`flow.stage_s.<name>`), the Chrome
+    /// trace `flow_recv` args (`<name>_s`), and the trace analyzer.
+    pub const ALL: [Stage; 6] = [Stage::L3, Stage::L2, Stage::L1, Stage::L0, Stage::Net, Stage::Drain];
+
+    /// Stable lower-case name used in metric keys and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::L3 => "l3",
+            Stage::L2 => "l2",
+            Stage::L1 => "l1",
+            Stage::L0 => "l0",
+            Stage::Net => "net",
+            Stage::Drain => "drain",
+        }
+    }
+}
+
 /// How a channel frames its records on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChannelKind {
@@ -377,12 +415,10 @@ impl Conveyor {
         let m = ctx.metrics();
         m.inc("flow.closed", 1);
         m.observe(&format!("flow.e2e_s.{name}"), LATENCY_BOUNDS, e2e_s);
-        m.observe("flow.stage_s.l3", LATENCY_BOUNDS, l3_s);
-        m.observe("flow.stage_s.l2", LATENCY_BOUNDS, l2_s);
-        m.observe("flow.stage_s.l1", LATENCY_BOUNDS, l1_s);
-        m.observe("flow.stage_s.l0", LATENCY_BOUNDS, l0_s);
-        m.observe("flow.stage_s.net", LATENCY_BOUNDS, net_s);
-        m.observe("flow.stage_s.drain", LATENCY_BOUNDS, drain_s);
+        let residencies = [l3_s, l2_s, l1_s, l0_s, net_s, drain_s];
+        for (stage, t) in Stage::ALL.iter().zip(residencies) {
+            m.observe(&format!("flow.stage_s.{}", stage.name()), LATENCY_BOUNDS, t);
+        }
         let (flow, channel, src) = (tag.flow, tag.channel, tag.src);
         ctx.trace(|| EventKind::FlowRecv {
             flow,

@@ -33,6 +33,6 @@ pub mod fabric;
 pub mod topo;
 
 pub use actor::{Actor, ActorConfig};
-pub use conveyor::{ChannelKind, ConvStats, Conveyor, ConveyorConfig};
+pub use conveyor::{ChannelKind, ConvStats, Conveyor, ConveyorConfig, Stage};
 pub use fabric::Fabric;
 pub use topo::{Protocol, Topology};

@@ -274,6 +274,69 @@ mod tests {
         assert!((aligned1 - start.elapsed().as_secs_f64()).abs() < 50e-3);
     }
 
+    /// Runs the 2-rank loopback exchange with rank 1's clock shifted by
+    /// `skew` seconds relative to rank 0, returning rank 1's estimate.
+    fn loopback_offset_with_skew(skew: f64, pings: u32) -> f64 {
+        let start = Instant::now();
+        let mut mesh = Loopback::mesh(2);
+        let r1 = mesh.pop().unwrap();
+        let r0 = mesh.pop().unwrap();
+        let h0 = std::thread::spawn(move || {
+            let mut t = r0;
+            sync_offset(&mut t, || start.elapsed().as_secs_f64(), pings, Duration::from_secs(10))
+        });
+        let h1 = std::thread::spawn(move || {
+            let mut t = r1;
+            sync_offset(
+                &mut t,
+                move || start.elapsed().as_secs_f64() + skew,
+                pings,
+                Duration::from_secs(10),
+            )
+        });
+        assert_eq!(h0.join().unwrap().expect("rank 0 syncs"), 0.0);
+        h1.join().unwrap().expect("rank 1 syncs")
+    }
+
+    #[test]
+    fn loopback_exchange_recovers_negative_skew() {
+        // Rank 1's clock runs 100 s *behind* rank 0 (spawn skew can go
+        // either way); the offset (rank 0 minus rank 1) must come out
+        // near +100 s — the mirror of the positive-skew test above.
+        let off1 = loopback_offset_with_skew(-100.0, DEFAULT_PINGS);
+        assert!((off1 - 100.0).abs() < 50e-3, "estimated {off1}, wanted ≈ +100");
+    }
+
+    #[test]
+    fn loopback_exchange_resolves_sub_millisecond_skew() {
+        // A 500 µs skew is the same order as scheduler noise, so this is
+        // the regime where the min-delay filter earns its keep: loopback
+        // round trips are single-digit µs, and the best of 16 pings must
+        // recover the offset to well under the skew itself.
+        let skew = 500e-6;
+        let off1 = loopback_offset_with_skew(skew, 16);
+        assert!(
+            (off1 + skew).abs() < 250e-6,
+            "estimated {off1}, wanted ≈ {:.0} µs",
+            -skew * 1e6
+        );
+    }
+
+    #[test]
+    fn synthetic_negative_and_tiny_offsets_are_exact() {
+        // Deterministic counterpart of the loopback tests: with symmetric
+        // paths the estimator is exact for skew of either sign and any
+        // magnitude, down to microseconds.
+        for theta in [-100.0, -1e-3, -250e-6, 250e-6, 1e-3] {
+            let samples = vec![
+                sample(0.0, theta, 5e-3, 1e-3), // asymmetric decoy
+                sample(1.0, theta, 40e-6, 40e-6), // clean fast round
+            ];
+            let est = estimate_offset(&samples).unwrap();
+            assert!((est - theta).abs() < 1e-12, "theta={theta}: est={est}");
+        }
+    }
+
     #[test]
     fn single_rank_skips_the_exchange() {
         let mut t = Loopback::mesh(1).pop().unwrap();

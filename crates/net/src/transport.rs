@@ -227,11 +227,13 @@ impl NetStats {
         m.inc(&format!("net.rank{me}.send_stalls"), self.send_stalls);
         m.inc(&format!("net.rank{me}.retries"), self.retries);
         m.inc(&format!("net.rank{me}.injected_faults"), self.injected_faults);
+        // Per-peer communication matrix row: every peer gets an entry,
+        // zeros included, so the gather-merged registry always carries the
+        // full P×P matrix (`dakc analyze` and `--metrics` read it to spot
+        // skew without reconstructing it from trace events).
         for (peer, p) in self.peers.iter().enumerate() {
-            if p.frames_sent > 0 {
-                m.inc(&format!("net.rank{me}.to{peer}.frames"), p.frames_sent);
-                m.inc(&format!("net.rank{me}.to{peer}.bytes"), p.bytes_sent);
-            }
+            m.inc(&format!("net.rank{me}.to{peer}.frames_sent"), p.frames_sent);
+            m.inc(&format!("net.rank{me}.to{peer}.bytes_sent"), p.bytes_sent);
         }
     }
 }
@@ -373,6 +375,24 @@ mod tests {
         assert!(!d.decide(2, 2));
         assert!(!d.decide(4, 4), "totals moved: not quiescent yet");
         assert!(d.decide(4, 4));
+    }
+
+    #[test]
+    fn fold_into_exports_full_peer_matrix_row() {
+        let mut s = NetStats::new(3);
+        s.peers[1].frames_sent = 4;
+        s.peers[1].bytes_sent = 400;
+        let mut m = MetricsRegistry::new();
+        s.fold_into(2, &mut m);
+        assert_eq!(m.counter("net.rank2.to1.frames_sent"), 4);
+        assert_eq!(m.counter("net.rank2.to1.bytes_sent"), 400);
+        // Zero cells are still materialized: the matrix row is complete.
+        let names: Vec<&str> = m.counters().map(|(n, _)| n).collect();
+        for peer in 0..3 {
+            assert!(names.contains(&format!("net.rank2.to{peer}.bytes_sent").as_str()));
+            assert!(names.contains(&format!("net.rank2.to{peer}.frames_sent").as_str()));
+        }
+        assert_eq!(m.counter("net.rank2.to0.frames_sent"), 0);
     }
 
     #[test]

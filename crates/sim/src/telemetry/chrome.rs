@@ -13,6 +13,7 @@
 //! traces.
 
 use super::event::{Event, EventKind};
+use super::json::escape;
 use super::metrics::fmt_num;
 
 /// Microseconds per second — trace-event timestamps are in µs.
@@ -24,6 +25,17 @@ const US: f64 = 1e6;
 /// the machine's PEs-per-node for the simulator or the thread count for a
 /// single-node threaded run.
 pub fn chrome_trace(events: &[Event], pes_per_node: usize) -> String {
+    chrome_trace_with(events, pes_per_node, None)
+}
+
+/// [`chrome_trace`] with an optional extra top-level `"dakc"` object.
+///
+/// `dakc_meta`, when present, must be a pre-rendered JSON value; it is
+/// embedded verbatim as `{"traceEvents":[...],"dakc":<meta>}`. Perfetto
+/// ignores unknown top-level keys, so the trace stays loadable while
+/// carrying run metadata (rank count, per-peer traffic counters) for
+/// post-run analysis.
+pub fn chrome_trace_with(events: &[Event], pes_per_node: usize, dakc_meta: Option<&str>) -> String {
     let ppn = pes_per_node.max(1) as u32;
     let mut w = Writer::new();
 
@@ -154,7 +166,7 @@ pub fn chrome_trace(events: &[Event], pes_per_node: usize) -> String {
         }
     }
 
-    w.finish()
+    w.finish(dakc_meta)
 }
 
 /// An argument value in a trace event's `args` object.
@@ -162,7 +174,7 @@ enum Arg {
     U(u64),
     F(f64),
     B(bool),
-    /// A literal string value (must not need JSON escaping).
+    /// A literal string value (JSON-escaped on write).
     S(&'static str),
 }
 
@@ -194,7 +206,7 @@ impl Writer {
                 self.out.push(',');
             }
             self.out.push('"');
-            self.out.push_str(k);
+            self.out.push_str(&escape(k));
             self.out.push_str("\":");
             match v {
                 Arg::U(n) => self.out.push_str(&n.to_string()),
@@ -202,7 +214,7 @@ impl Writer {
                 Arg::B(b) => self.out.push_str(if *b { "true" } else { "false" }),
                 Arg::S(s) => {
                     self.out.push('"');
-                    self.out.push_str(s);
+                    self.out.push_str(&escape(s));
                     self.out.push('"');
                 }
             }
@@ -213,7 +225,9 @@ impl Writer {
     fn meta(&mut self, what: &str, pid: u32, tid: u32, name: &str) {
         self.sep();
         self.out.push_str(&format!(
-            "{{\"name\":\"{what}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+            "{{\"name\":\"{}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            escape(what),
+            escape(name)
         ));
     }
 
@@ -221,7 +235,7 @@ impl Writer {
         self.sep();
         self.out.push_str(&format!(
             "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{},\"ts\":{},",
-            e.kind.name(),
+            escape(e.kind.name()),
             e.pe,
             fmt_num(ts)
         ));
@@ -232,7 +246,8 @@ impl Writer {
     fn slice(&mut self, ph: char, name: &str, pid: u32, tid: u32, ts: f64, args: &[(&str, Arg)]) {
         self.sep();
         self.out.push_str(&format!(
-            "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},",
+            "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},",
+            escape(name),
             fmt_num(ts)
         ));
         self.args(args);
@@ -256,15 +271,21 @@ impl Writer {
     fn counter(&mut self, name: &str, pid: u32, tid: u32, ts: f64, args: &[(&str, Arg)]) {
         self.sep();
         self.out.push_str(&format!(
-            "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},",
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},",
+            escape(name),
             fmt_num(ts)
         ));
         self.args(args);
         self.out.push('}');
     }
 
-    fn finish(mut self) -> String {
-        self.out.push_str("\n]}\n");
+    fn finish(mut self, dakc_meta: Option<&str>) -> String {
+        self.out.push_str("\n]");
+        if let Some(meta) = dakc_meta {
+            self.out.push_str(",\"dakc\":");
+            self.out.push_str(meta);
+        }
+        self.out.push_str("}\n");
         self.out
     }
 }
@@ -273,6 +294,7 @@ impl Writer {
 mod tests {
     use super::*;
     use crate::telemetry::json::parse;
+    use proptest::prelude::*;
 
     fn sample_events() -> Vec<Event> {
         vec![
@@ -387,5 +409,108 @@ mod tests {
     fn export_is_deterministic() {
         let ev = sample_events();
         assert_eq!(chrome_trace(&ev, 2), chrome_trace(&ev, 2));
+    }
+
+    #[test]
+    fn names_and_string_args_are_json_escaped() {
+        // No current event kind carries a user string, but the writer must
+        // not depend on that: a name with quotes, backslashes or control
+        // characters still yields a parseable document.
+        let mut w = Writer::new();
+        w.meta("process_name", 0, 0, "evil \"node\"\\\n");
+        w.slice('B', "a \"slice\"", 0, 0, 0.0, &[("s", Arg::S("tab\there"))]);
+        w.counter("c\\d", 0, 0, 1.0, &[("v", Arg::U(1))]);
+        let doc = parse(&w.finish(None)).expect("escaped output parses");
+        let rows = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert_eq!(
+            rows[0].get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()),
+            Some("evil \"node\"\\\n")
+        );
+        assert_eq!(rows[1].get("name").and_then(|n| n.as_str()), Some("a \"slice\""));
+        assert_eq!(
+            rows[1].get("args").and_then(|a| a.get("s")).and_then(|s| s.as_str()),
+            Some("tab\there")
+        );
+        assert_eq!(rows[2].get("name").and_then(|n| n.as_str()), Some("c\\d"));
+    }
+
+    #[test]
+    fn dakc_meta_is_embedded_as_top_level_key() {
+        let trace = chrome_trace_with(&sample_events(), 2, Some("{\"ranks\":3}"));
+        let doc = parse(&trace).expect("valid JSON");
+        assert_eq!(
+            doc.get("dakc").and_then(|d| d.get("ranks")).and_then(|r| r.as_f64()),
+            Some(3.0)
+        );
+        assert!(doc.get("traceEvents").is_some());
+        // Without meta the key is absent entirely.
+        assert!(parse(&chrome_trace(&sample_events(), 2)).unwrap().get("dakc").is_none());
+    }
+
+    /// Builds one event of any kind from fuzz inputs, covering every
+    /// `EventKind` variant (selector modulo the variant count).
+    fn fuzz_event(sel: u8, a: u32, b: u64, f: f64) -> Event {
+        let pe = a % 7;
+        let kind = match sel % 18 {
+            0 => EventKind::MsgSend { dst: a % 5, tag: a, bytes: b as u32 },
+            1 => EventKind::MsgDeliver { src: a % 5, tag: a, bytes: b as u32 },
+            2 => EventKind::PutFlush { hop: a % 5, bytes: b as u32, fill_pct: (a % 101) as u8 },
+            3 => EventKind::L1Drain { packets: b as u32 },
+            4 => EventKind::L2Ship {
+                dst: a % 5,
+                records: b as u32,
+                fill_pct: (a % 101) as u8,
+                heavy: b.is_multiple_of(2),
+            },
+            5 => EventKind::L3Flush { occupancy: b as u32, cap: (b as u32).wrapping_add(1) },
+            6 => EventKind::BarrierEnter,
+            7 => EventKind::BarrierExit { waited_s: f },
+            8 => EventKind::Phase { phase: a },
+            9 => EventKind::MemAlloc { bytes: b, now: b },
+            10 => EventKind::MemFree { bytes: b, now: b },
+            11 => EventKind::Oom { bytes: b },
+            12 => EventKind::QueueDepth { depth: b as u32 },
+            13 => EventKind::NodeMem { node: a % 4, bytes: b },
+            14 => EventKind::NetRetry { dst: a % 5, attempt: a, delay_us: b },
+            15 => EventKind::NetFault { kind: (b % 9) as u8 },
+            16 => EventKind::FlowSend { flow: b, channel: (a % 3) as u8, dst: a % 5 },
+            _ => EventKind::FlowRecv {
+                flow: b,
+                channel: (a % 3) as u8,
+                src: a % 5,
+                l3_s: f,
+                l2_s: f * 0.5,
+                l1_s: 0.0,
+                l0_s: f * 0.25,
+                net_s: f * 2.0,
+                drain_s: f * 0.125,
+                e2e_s: f * 3.875,
+            },
+        };
+        Event { ts: f.abs(), pe, kind }
+    }
+
+    proptest! {
+        // Satellite invariant: every generated trace is valid JSON — any
+        // event mix, any `f64` magnitude, every variant incl. string args.
+        #[test]
+        fn generated_traces_parse_as_json(
+            raw in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u64>(), any::<u64>()), 1..60),
+            ppn in 1usize..5,
+        ) {
+            let events: Vec<Event> = raw
+                .iter()
+                .map(|&(sel, a, b, fbits)| {
+                    // Map arbitrary bits onto a finite f64 spanning many
+                    // magnitudes (1e-12 .. 1e6 seconds).
+                    let f = (fbits % 1_000_000_000_000_000_000) as f64 * 1e-12;
+                    fuzz_event(sel, a, b, f)
+                })
+                .collect();
+            let trace = chrome_trace(&events, ppn);
+            let doc = parse(&trace).expect("generated trace parses");
+            let rows = doc.get("traceEvents").and_then(|e| e.as_arr()).expect("array");
+            prop_assert!(rows.len() >= events.len(), "metadata + one row per event");
+        }
     }
 }

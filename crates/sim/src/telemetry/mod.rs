@@ -23,12 +23,14 @@ pub mod event;
 pub mod flow;
 pub mod json;
 pub mod metrics;
+pub mod reader;
 pub mod ring;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_with};
 pub use codec::{decode_events, encode_events};
 pub use event::{Event, EventKind};
 pub use flow::{FlowSampler, FlowTag};
 pub use json::JsonValue;
 pub use metrics::{Histogram, MetricsRegistry};
+pub use reader::{read_chrome_trace, ParsedTrace};
 pub use ring::TraceSink;

@@ -1,0 +1,115 @@
+//! Analyzer integration tests: `dakc-analyze` over real trace artifacts
+//! from both engines. The acceptance criteria of the analytics
+//! subsystem, asserted end to end:
+//!
+//! * the critical path's stage times (plus compute gaps) telescope to
+//!   its measured end-to-end span,
+//! * every rank's compute↔comm overlap fraction lands in `[0, 1]`,
+//! * the communication matrix is full P×P with real traffic in it,
+//! * re-analyzing the same artifact is deterministic, byte for byte.
+
+use dakc::{count_kmers_loopback_opts, count_kmers_sim_traced, DakcConfig, RunOpts};
+use dakc_analyze::{analyze, diff_bodies, CommMatrix, Input};
+use dakc_io::datasets::synthetic;
+use dakc_sim::telemetry::{chrome_trace, chrome_trace_with, read_chrome_trace, TraceSink};
+use dakc_sim::MachineConfig;
+
+/// A simulated 2-node run exported exactly as `dakc simulate --trace`
+/// writes it (full-rate flow tagging so the critical path has material).
+fn sim_trace_doc() -> String {
+    let reads = synthetic(21).scaled(14).generate(7);
+    let machine = MachineConfig::test_machine(2, 3);
+    let cfg = DakcConfig::scaled_defaults(15).with_l3().with_trace_sample(1);
+    let mut sink = TraceSink::ring_default();
+    let run = count_kmers_sim_traced::<u64>(&reads, &cfg, &machine, &mut sink).unwrap();
+    assert!(!run.counts.is_empty());
+    chrome_trace(&sink.events(), 3)
+}
+
+/// A real 3-rank loopback run exported exactly as `dakc launch --trace`
+/// writes it: merged wall-clock events plus the gathered per-peer
+/// traffic counters as trace metadata.
+fn launch_trace_doc() -> String {
+    let reads = synthetic(21).scaled(14).generate(7);
+    let cfg = DakcConfig::scaled_defaults(15).with_trace_sample(1);
+    let opts = RunOpts { trace: true, ..RunOpts::default() };
+    let run = count_kmers_loopback_opts::<u64>(&reads, &cfg, 3, &opts).unwrap();
+    assert!(!run.trace.is_empty(), "traced run produced no events");
+    let matrix = CommMatrix::from_metrics(&run.metrics);
+    assert!(!matrix.is_empty(), "per-peer counters missing from gathered metrics");
+    chrome_trace_with(&run.trace, 1, Some(&matrix.to_dakc_meta()))
+}
+
+fn assert_analysis_invariants(doc: &str, ranks: usize) {
+    let trace = read_chrome_trace(doc).unwrap();
+    let a = analyze(&trace);
+    assert_eq!(a.nodes, ranks);
+
+    // Critical path exists and telescopes: Σ stages + compute == span.
+    let p = a.critical.as_ref().expect("flow-traced run must yield a critical path");
+    assert!(p.hops() >= 1);
+    assert!(p.span_s > 0.0);
+    assert!(
+        (p.accounted_s() - p.span_s).abs() < 1e-6 * p.span_s.max(1.0),
+        "stages+compute {} != span {}",
+        p.accounted_s(),
+        p.span_s
+    );
+    // The path cannot be longer than the run itself.
+    assert!(p.span_s <= a.e2e_s + 1e-9, "path {} > run span {}", p.span_s, a.e2e_s);
+
+    // Overlap fraction is a fraction, on every rank.
+    assert_eq!(a.load.ranks.len(), ranks);
+    for r in &a.load.ranks {
+        assert!((0.0..=1.0).contains(&r.overlap), "rank {}: overlap {}", r.node, r.overlap);
+        assert!(r.busy_s >= 0.0 && r.comm_s >= 0.0);
+    }
+
+    // Full P×P matrix with traffic somewhere off the diagonal.
+    assert_eq!(a.matrix.n, ranks);
+    assert_eq!(a.matrix.bytes.len(), ranks * ranks);
+    let off_diag: u64 = (0..ranks)
+        .flat_map(|s| (0..ranks).map(move |d| (s, d)))
+        .filter(|&(s, d)| s != d)
+        .map(|(s, d)| a.matrix.bytes_at(s, d))
+        .sum();
+    assert!(off_diag > 0, "no cross-rank traffic in matrix");
+
+    // Deterministic re-analysis: same report, same artifact bytes.
+    let b = analyze(&read_chrome_trace(doc).unwrap());
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.artifact().to_json(), b.artifact().to_json());
+}
+
+#[test]
+fn analyzes_simulated_trace_artifact() {
+    assert_analysis_invariants(&sim_trace_doc(), 2);
+}
+
+#[test]
+fn analyzes_real_loopback_launch_trace() {
+    assert_analysis_invariants(&launch_trace_doc(), 3);
+}
+
+#[test]
+fn launch_trace_matrix_comes_from_exact_metadata() {
+    let doc = launch_trace_doc();
+    let trace = read_chrome_trace(&doc).unwrap();
+    let meta = trace.dakc.as_ref().expect("launch trace must embed dakc metadata");
+    let exact = CommMatrix::from_dakc_meta(meta).unwrap();
+    assert_eq!(analyze(&trace).matrix, exact);
+    assert_eq!(exact.n, 3);
+}
+
+#[test]
+fn sim_artifact_self_diff_is_clean_and_classifier_agrees() {
+    let doc = sim_trace_doc();
+    match dakc_analyze::classify(&doc).unwrap() {
+        Input::Trace(t) => {
+            let body = analyze(&t).artifact().to_json();
+            let (report, regressed) = diff_bodies(&body, &body, 1.1).unwrap();
+            assert!(!regressed, "{report}");
+        }
+        other => panic!("trace classified as {}", other.kind()),
+    }
+}
