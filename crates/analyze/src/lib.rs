@@ -40,4 +40,4 @@ pub use critical::{critical_path, segments, CriticalPath, Segment};
 pub use ingest::{classify, load, Input};
 pub use matrix::CommMatrix;
 pub use overlap::{rank_overlap, LoadReport, RankActivity};
-pub use report::{analyze, diff_bodies, Analysis};
+pub use report::{analyze, diff_bodies, metrics_artifact, Analysis};

@@ -217,6 +217,30 @@ impl Analysis {
     }
 }
 
+/// Exports a metrics dump (`--metrics` output of a launch or count run)
+/// as an `analyze`-harness artifact, so two runs' metrics — say a
+/// `--superkmer` run against a baseline — are diffable with
+/// `analyze --diff`. Transport totals, the per-peer comm matrix
+/// (`net.rank<i>.to<j>.bytes_sent`, the [`crate::matrix::CommMatrix`]
+/// wire form) and the `net.superkmer.*` compression counters all ride
+/// along, which is what makes the bytes-on-wire delta visible.
+pub fn metrics_artifact(m: &dakc_sim::telemetry::MetricsRegistry) -> Artifact {
+    let mut a = Artifact::new("analyze", &BenchArgs::default());
+    // The schema requires a row; a constant identity row keeps two
+    // metrics artifacts matching in the compare gate (no duration
+    // cells), leaving the counters to carry all the data.
+    let mut t = Table::new(&["Source"]);
+    t.row(vec!["metrics".into()]);
+    a.table(&t);
+    let out = a.metrics();
+    for (name, v) in m.counters() {
+        if name.starts_with("net.") || name.starts_with("agg.") || name.starts_with("run.") {
+            out.inc(name, v);
+        }
+    }
+    a
+}
+
 fn counters(doc: &JsonValue) -> Vec<(String, u64)> {
     doc.get("metrics")
         .and_then(|m| m.get("counters"))
@@ -246,6 +270,7 @@ pub fn diff_bodies(baseline: &str, current: &str, threshold: f64) -> Result<(Str
     for (name, cur) in &cc {
         let interesting = name.ends_with(".overlap_bp")
             || name.ends_with(".bytes_sent")
+            || name.starts_with("net.superkmer.")
             || *name == "analyze.imbalance_bp";
         if !interesting {
             continue;
@@ -345,6 +370,29 @@ mod tests {
         let (report, regressed) = diff_bodies(&body, &body, 1.5).unwrap();
         assert!(!regressed, "{report}");
         assert!(!report.contains("counter deltas"), "{report}");
+    }
+
+    #[test]
+    fn metrics_artifact_diff_surfaces_superkmer_compression() {
+        let mut base = dakc_sim::telemetry::MetricsRegistry::new();
+        base.inc("net.bytes_sent", 4000);
+        base.inc("net.rank0.to1.bytes_sent", 4000);
+        base.inc("flow.opened", 9); // not a transport counter: must not diff
+        let mut cur = dakc_sim::telemetry::MetricsRegistry::new();
+        cur.inc("net.bytes_sent", 1000);
+        cur.inc("net.rank0.to1.bytes_sent", 1000);
+        cur.inc("net.superkmer.spans", 7);
+        cur.inc("net.superkmer.bases_saved", 3000);
+        let b = metrics_artifact(&base).to_json();
+        let c = metrics_artifact(&cur).to_json();
+        assert_eq!(dakc_bench::artifact::validate(&b).unwrap(), "analyze");
+        let (report, regressed) = diff_bodies(&b, &c, 1.5).unwrap();
+        assert!(!regressed, "{report}");
+        assert!(report.contains("net.bytes_sent: 4000 -> 1000"), "{report}");
+        assert!(report.contains("net.rank0.to1.bytes_sent: 4000 -> 1000"), "{report}");
+        assert!(report.contains("net.superkmer.spans: - -> 7"), "{report}");
+        assert!(report.contains("net.superkmer.bases_saved: - -> 3000"), "{report}");
+        assert!(!report.contains("flow.opened"), "{report}");
     }
 
     #[test]

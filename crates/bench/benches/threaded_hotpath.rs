@@ -5,7 +5,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dakc::{count_kmers_threaded_opts, ThreadedOpts};
 use dakc_io::{generate_genome, simulate_reads, GenomeSpec, ReadSimConfig};
-use dakc_kmer::{extract_into, kmers_of_read, CanonicalMode, KmerCount, KmerWord};
+use dakc_kmer::{
+    extract_into, kmers_of_read, minimizer_of, super_kmers, CanonicalMode, KmerCount, KmerWord,
+};
 use dakc_sort::{accumulate, distinct_runs_estimate, hybrid_sort, hybrid_sort_from, RadixKey};
 
 fn reads(n: usize) -> dakc_io::ReadSet {
@@ -90,6 +92,46 @@ fn bench_route_batch(c: &mut Criterion) {
     g.finish();
 }
 
+/// Per-k-mer minimizer maintenance: the reference O(k·m) full-window
+/// rescan (`minimizer_of`, one call per k-mer position) vs the
+/// monotonic-deque rolling window behind `super_kmers` (amortized O(1)
+/// per base) — the path the super-k-mer producers and the KMC3 baseline
+/// binning run on.
+fn bench_minimizer(c: &mut Criterion) {
+    let rs = reads(2_000);
+    let bases = rs.total_bases() as u64;
+    let (k, m) = (31usize, 7usize);
+    let mut g = c.benchmark_group("minimizer");
+    g.throughput(Throughput::Bytes(bases));
+    g.bench_function("rescan_per_kmer", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in rs.iter() {
+                for at in 0..r.len().saturating_sub(k - 1) {
+                    if let Some(mz) = minimizer_of(r, at, k, m) {
+                        acc ^= mz;
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("rolling_window", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in rs.iter() {
+                for sk in super_kmers(r, k, m) {
+                    // One emit per super-k-mer covers len - k + 1 k-mer
+                    // positions; fold both in so the work is comparable.
+                    acc ^= sk.minimizer.wrapping_mul((sk.len - k + 1) as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
 /// Phase 2 on one owner's partition: one monolithic sort + accumulate vs
 /// the engine's pre-partitioned form (scatter by top radix byte, sort each
 /// cache-resident bucket from the next level down, fused accumulate).
@@ -150,5 +192,5 @@ fn bench_phase2(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_extract_paths, bench_route_batch, bench_phase2);
+criterion_group!(benches, bench_extract_paths, bench_route_batch, bench_minimizer, bench_phase2);
 criterion_main!(benches);

@@ -4,13 +4,16 @@
 //! `Transport` protocol `dakc launch` drives over TCP, minus socket
 //! syscalls) at ranks ∈ {1, 2, 4, 8} and records wall-clock throughput
 //! plus the transport's own byte accounting: total frames, per-rank send
-//! volume, and termination-detection rounds. Output is checked against
-//! the serial baseline every run — this harness doubles as a correctness
-//! sweep.
+//! volume, and termination-detection rounds — for both wire encodings:
+//! per-k-mer words (default) and minimizer-routed super-k-mer spans
+//! (`--superkmer`, L2.5), plus a minimizer-length sweep at the widest
+//! rank count. Output is checked against the serial baseline every run —
+//! this harness doubles as a correctness sweep.
 
-use dakc::{count_kmers_loopback, DakcConfig};
+use dakc::{count_kmers_loopback, DakcConfig, NetRun};
 use dakc_baselines::count_kmers_serial;
 use dakc_bench::{fmt_bytes, fmt_secs, BenchArgs, Table};
+use dakc_kmer::KmerCount;
 
 fn main() {
     let args = BenchArgs::from_env();
@@ -32,9 +35,11 @@ fn main() {
     );
 
     let rank_counts: Vec<usize> = if args.quick { vec![1, 4] } else { vec![1, 2, 4, 8] };
+    let sweep_ranks = *rank_counts.last().unwrap();
     let mut art = dakc_bench::Artifact::new("ext_net_scaling", &args);
     let mut t = Table::new(&[
         "ranks",
+        "encoding",
         "wall",
         "kmers/s",
         "frames",
@@ -42,15 +47,18 @@ fn main() {
         "max rank bytes",
         "term rounds",
     ]);
-    for ranks in rank_counts {
-        let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks).expect("loopback run");
-        assert_eq!(run.counts, want, "loopback ranks={ranks} diverged from serial");
+
+    let check = |run: &NetRun<u64>, want: &[KmerCount<u64>], what: &str| {
+        assert_eq!(run.counts, *want, "{what} diverged from serial");
+    };
+    let row = |t: &mut Table, run: &NetRun<u64>, ranks: usize, encoding: &str| {
         let m = &run.metrics;
         let per_rank: Vec<u64> = (0..ranks)
             .map(|r| m.counter(&format!("net.rank{r}.bytes_sent")))
             .collect();
         t.row(vec![
             ranks.to_string(),
+            encoding.to_string(),
             fmt_secs(run.elapsed_s),
             format!("{:.2e}", total_kmers as f64 / run.elapsed_s.max(1e-9)),
             m.counter("net.frames_sent").to_string(),
@@ -58,8 +66,44 @@ fn main() {
             fmt_bytes(per_rank.iter().copied().max().unwrap_or(0)),
             m.counter("net.term_rounds").to_string(),
         ]);
-        art.metrics().merge(m);
+    };
+
+    // Scaling sweep: per-k-mer words vs super-k-mer spans (m = 7) at
+    // every rank count. L3 is off in span mode (spans bypass it).
+    let sk7 = DakcConfig::scaled_defaults(k).with_superkmer(7);
+    for &ranks in &rank_counts {
+        let words = count_kmers_loopback::<u64>(&reads, &cfg, ranks).expect("loopback run");
+        check(&words, &want, &format!("words ranks={ranks}"));
+        row(&mut t, &words, ranks, "words");
+        art.metrics().merge(&words.metrics);
+
+        let spans = count_kmers_loopback::<u64>(&reads, &sk7, ranks).expect("superkmer run");
+        check(&spans, &want, &format!("superkmer ranks={ranks}"));
+        row(&mut t, &spans, ranks, "sk m=7");
+        art.metrics().merge(&spans.metrics);
+
+        let (wb, sb) = (
+            words.metrics.counter("net.bytes_sent"),
+            spans.metrics.counter("net.bytes_sent"),
+        );
+        println!(
+            "ranks={ranks}: bytes on wire {} -> {} ({:.2}x reduction)",
+            fmt_bytes(wb),
+            fmt_bytes(sb),
+            wb as f64 / sb.max(1) as f64
+        );
     }
+
+    // Minimizer-length sweep at the widest rank count: shorter m means
+    // longer spans (fewer length prefixes, better packing) but a
+    // coarser ownership split; longer m the reverse.
+    for m_len in [5usize, 9, 11] {
+        let cfg_m = DakcConfig::scaled_defaults(k).with_superkmer(m_len);
+        let run = count_kmers_loopback::<u64>(&reads, &cfg_m, sweep_ranks).expect("m sweep run");
+        check(&run, &want, &format!("superkmer m={m_len} ranks={sweep_ranks}"));
+        row(&mut t, &run, sweep_ranks, &format!("sk m={m_len}"));
+    }
+
     t.print();
     art.table(&t);
     art.write_or_warn();
@@ -67,6 +111,8 @@ fn main() {
         "expected shape: total net bytes are ~flat across ranks (every k-mer\n\
          crosses the wire once; only the self-delivery share shrinks), while\n\
          per-rank send volume drops ~1/ranks. Termination rounds grow mildly\n\
-         with ranks — each round is one all-to-all counter exchange."
+         with ranks. The sk rows ship each base once (2 bits) instead of once\n\
+         per covering k-mer (a full word), so their net bytes sit several-fold\n\
+         below the words rows at the same rank count, throughput a bit above."
     );
 }

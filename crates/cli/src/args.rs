@@ -82,6 +82,11 @@ pub struct CountArgs {
     pub trace_sample: Option<u32>,
     /// Words per route-lane batch (engine default if absent).
     pub route_batch: Option<usize>,
+    /// Super-k-mer span routing (L2.5).
+    pub superkmer: bool,
+    /// Minimizer length for `--superkmer` (default
+    /// [`dakc::DEFAULT_MINIMIZER_LEN`]).
+    pub minimizer_len: Option<usize>,
 }
 
 /// Transport backend of `dakc launch`.
@@ -130,6 +135,11 @@ pub struct LaunchArgs {
     pub trace_sample: Option<u32>,
     /// Render the live per-rank status table while the job runs.
     pub status: bool,
+    /// Super-k-mer span routing (L2.5).
+    pub superkmer: bool,
+    /// Minimizer length for `--superkmer` (default
+    /// [`dakc::DEFAULT_MINIMIZER_LEN`]).
+    pub minimizer_len: Option<usize>,
 }
 
 /// Arguments of the hidden `dakc worker` subcommand: one rank of a TCP
@@ -191,6 +201,11 @@ pub struct SimulateArgs {
     pub trace_sample: Option<u32>,
     /// Render the per-PE utilization timeline after the run.
     pub timeline: bool,
+    /// Super-k-mer span routing (L2.5).
+    pub superkmer: bool,
+    /// Minimizer length for `--superkmer` (default
+    /// [`dakc::DEFAULT_MINIMIZER_LEN`]).
+    pub minimizer_len: Option<usize>,
 }
 
 /// Arguments of `dakc model`.
@@ -209,17 +224,19 @@ dakc — distributed asynchronous k-mer counting
 USAGE:
   dakc count <reads.fasta|fastq> [-k 31] [--threads 8] [--canonical]
              [--l3 C3] [--min-count 1] [-o counts.tsv] [--route-batch N]
+             [--superkmer] [--minimizer-len 7]
              [--trace trace.json] [--metrics metrics.json] [--trace-sample N]
   dakc generate --dataset NAME [--scale-shift 12] [--seed 42] [-o out.fastq]
   dakc spectrum <counts.tsv> [--max 100]
   dakc simulate <reads> [-k 31] [--nodes 8] [--ppn 24] [--protocol 1d|2d|3d] [--l3]
+                [--superkmer] [--minimizer-len 7]
                 [--trace trace.json] [--metrics metrics.json] [--timeline]
                 [--trace-sample N]
   dakc launch <reads> [--ranks 4] [--backend tcp|loopback] [-k 31]
               [--canonical] [--l3 C3] [--min-count 1] [-o counts.tsv]
               [--metrics metrics.json] [--net-timeout SECS] [--net-retries N]
               [--chaos-seed N] [--chaos-profile SPEC] [--trace trace.json]
-              [--trace-sample N] [--status]
+              [--trace-sample N] [--status] [--superkmer] [--minimizer-len 7]
   dakc model --dataset NAME [--nodes 32]
   dakc compare <reads> [-k 31] [--nodes 8] [--ppn 24]
   dakc analyze <trace.json|metrics.json|results/*.json>... [--out PATH]
@@ -234,6 +251,26 @@ fn take_value(args: &mut std::vec::IntoIter<String>, flag: &str) -> Result<Strin
 
 fn parse_num<T: std::str::FromStr>(v: String, flag: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("{flag}: invalid value {v:?}"))
+}
+
+/// Validates the `--superkmer`/`--minimizer-len` pair once `k` is known.
+fn check_superkmer(
+    sub: &str,
+    superkmer: bool,
+    minimizer_len: Option<usize>,
+    k: usize,
+) -> Result<(), String> {
+    match (superkmer, minimizer_len) {
+        (false, Some(_)) => Err(format!("{sub}: --minimizer-len requires --superkmer")),
+        (true, Some(m)) if m < 1 || m > k.min(32) => Err(format!(
+            "{sub}: --minimizer-len {m} must be in 1..=min(k = {k}, 32)"
+        )),
+        (true, None) if k < dakc::DEFAULT_MINIMIZER_LEN => Err(format!(
+            "{sub}: default minimizer length {} exceeds k = {k}; pass --minimizer-len",
+            dakc::DEFAULT_MINIMIZER_LEN
+        )),
+        _ => Ok(()),
+    }
 }
 
 /// Parses `argv` (including the program name at index 0).
@@ -256,6 +293,8 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 metrics: None,
                 trace_sample: None,
                 route_batch: None,
+                superkmer: false,
+                minimizer_len: None,
             };
             let mut rest: Vec<String> = it.collect();
             let mut args = std::mem::take(&mut rest).into_iter();
@@ -286,6 +325,13 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                             "--route-batch",
                         )?)
                     }
+                    "--superkmer" => a.superkmer = true,
+                    "--minimizer-len" => {
+                        a.minimizer_len = Some(parse_num(
+                            take_value(&mut args, "--minimizer-len")?,
+                            "--minimizer-len",
+                        )?)
+                    }
                     other if !other.starts_with('-') && input.is_none() => {
                         input = Some(other.to_string())
                     }
@@ -296,6 +342,7 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
             if a.k == 0 || a.k > 64 {
                 return Err("count: k must be in 1..=64".into());
             }
+            check_superkmer("count", a.superkmer, a.minimizer_len, a.k)?;
             Ok(Command::Count(a))
         }
         "generate" => {
@@ -354,6 +401,8 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 metrics: None,
                 trace_sample: None,
                 timeline: false,
+                superkmer: false,
+                minimizer_len: None,
             };
             let mut args = it;
             while let Some(arg) = args.next() {
@@ -371,6 +420,13 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                         )?)
                     }
                     "--timeline" => a.timeline = true,
+                    "--superkmer" => a.superkmer = true,
+                    "--minimizer-len" => {
+                        a.minimizer_len = Some(parse_num(
+                            take_value(&mut args, "--minimizer-len")?,
+                            "--minimizer-len",
+                        )?)
+                    }
                     "--protocol" => {
                         a.protocol = match take_value(&mut args, "--protocol")?.as_str() {
                             "1d" | "1D" => Protocol::OneD,
@@ -386,6 +442,7 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 }
             }
             a.input = input.ok_or("simulate: missing input file")?;
+            check_superkmer("simulate", a.superkmer, a.minimizer_len, a.k)?;
             Ok(Command::Simulate(a))
         }
         "launch" | "worker" => {
@@ -408,6 +465,8 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 trace: None,
                 trace_sample: None,
                 status: false,
+                superkmer: false,
+                minimizer_len: None,
             };
             let mut rank = None;
             let mut rendezvous = None;
@@ -463,6 +522,13 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                         )?)
                     }
                     "--status" => a.status = true,
+                    "--superkmer" => a.superkmer = true,
+                    "--minimizer-len" => {
+                        a.minimizer_len = Some(parse_num(
+                            take_value(&mut args, "--minimizer-len")?,
+                            "--minimizer-len",
+                        )?)
+                    }
                     "--rank" if hidden => {
                         rank = Some(parse_num(take_value(&mut args, "--rank")?, "--rank")?)
                     }
@@ -485,6 +551,7 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
             if a.ranks == 0 {
                 return Err(format!("{sub}: --ranks must be at least 1"));
             }
+            check_superkmer(&sub, a.superkmer, a.minimizer_len, a.k)?;
             if hidden {
                 let rank = rank.ok_or("worker: --rank is required")?;
                 if rank >= a.ranks {
@@ -674,6 +741,49 @@ mod tests {
         let Command::Count(b) = parse_args(argv("count r.fq")).unwrap() else { panic!() };
         assert_eq!(b.route_batch, None);
         assert!(parse_args(argv("count r.fq --route-batch lots")).is_err());
+    }
+
+    #[test]
+    fn parse_superkmer_flags() {
+        let Command::Count(a) =
+            parse_args(argv("count r.fq -k 21 --superkmer --minimizer-len 9")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(a.superkmer);
+        assert_eq!(a.minimizer_len, Some(9));
+        let Command::Count(b) = parse_args(argv("count r.fq --superkmer")).unwrap() else {
+            panic!()
+        };
+        assert!(b.superkmer && b.minimizer_len.is_none());
+        let Command::Launch(l) =
+            parse_args(argv("launch r.fq --ranks 2 --superkmer --minimizer-len 5")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(l.superkmer);
+        assert_eq!(l.minimizer_len, Some(5));
+        let Command::Simulate(s) = parse_args(argv("simulate r.fq --superkmer")).unwrap() else {
+            panic!()
+        };
+        assert!(s.superkmer);
+        // The worker inherits the job's flags from the launcher.
+        let Command::Worker(w) = parse_args(argv(
+            "worker r.fq --rank 0 --ranks 2 --rendezvous /tmp/rv --superkmer --minimizer-len 11",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert!(w.job.superkmer);
+        assert_eq!(w.job.minimizer_len, Some(11));
+        // --minimizer-len without --superkmer is a mistake, not a no-op.
+        assert!(parse_args(argv("count r.fq --minimizer-len 7")).is_err());
+        // m must fit the k-mer window.
+        assert!(parse_args(argv("count r.fq -k 21 --superkmer --minimizer-len 22")).is_err());
+        assert!(parse_args(argv("count r.fq -k 21 --superkmer --minimizer-len 0")).is_err());
+        // Default m = 7 needs k >= 7.
+        assert!(parse_args(argv("count r.fq -k 5 --superkmer")).is_err());
+        assert!(parse_args(argv("count r.fq -k 5 --superkmer --minimizer-len 3")).is_ok());
     }
 
     #[test]

@@ -171,6 +171,7 @@ fn count(a: CountArgs) -> Result<(), String> {
         // requested; `--trace-sample 1` opts into full-rate tagging.
         trace_sample: a.trace_sample.or(want_trace.then_some(64)),
         route_batch: a.route_batch.unwrap_or(ThreadedOpts::default().route_batch),
+        superkmer: a.superkmer.then(|| a.minimizer_len.unwrap_or(dakc::DEFAULT_MINIMIZER_LEN)),
     };
     let mut out = out_writer(&a.output)?;
     let (written, elapsed, distinct, events) = if a.k <= 32 {
@@ -233,6 +234,9 @@ fn net_config(a: &LaunchArgs) -> DakcConfig {
     // sampling rate — flow sidecars are part of the wire format.
     if let Some(n) = a.trace_sample.or(a.trace.is_some().then_some(64)) {
         cfg = cfg.with_trace_sample(n);
+    }
+    if a.superkmer {
+        cfg = cfg.with_superkmer(a.minimizer_len.unwrap_or(dakc::DEFAULT_MINIMIZER_LEN));
     }
     cfg
 }
@@ -503,6 +507,14 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
                 if let Some(c3) = a.l3 {
                     cmd.args(["--l3", &c3.to_string()]);
                 }
+                // Routing keys change under --superkmer, so like tracing
+                // it must be collective: every rank gets the same flags.
+                if a.superkmer {
+                    cmd.arg("--superkmer");
+                }
+                if let Some(m) = a.minimizer_len {
+                    cmd.args(["--minimizer-len", &m.to_string()]);
+                }
                 if let Some(t) = a.net_timeout {
                     cmd.args(["--net-timeout", &t.to_string()]);
                 }
@@ -696,6 +708,9 @@ fn simulate(a: SimulateArgs) -> Result<(), String> {
     if let Some(n) = a.trace_sample.or(want_telemetry.then_some(64)) {
         cfg = cfg.with_trace_sample(n);
     }
+    if a.superkmer {
+        cfg = cfg.with_superkmer(a.minimizer_len.unwrap_or(dakc::DEFAULT_MINIMIZER_LEN));
+    }
     let mut sink = if a.trace.is_some() {
         TraceSink::ring_default()
     } else {
@@ -854,7 +869,28 @@ fn analyze(a: AnalyzeArgs) -> Result<(), String> {
                     println!("comm matrix ({} ranks):", matrix.n);
                     print!("{}", matrix.render());
                 }
+                let spans = m.counter("net.superkmer.spans");
+                if spans > 0 {
+                    let wire = m.counter("net.superkmer.bytes_sent");
+                    let saved = m.counter("net.superkmer.bases_saved");
+                    println!(
+                        "super-k-mer compression: {spans} spans, {wire} span B on wire, {saved} bases saved vs per-k-mer words"
+                    );
+                }
                 print_flow_latencies(&m);
+                // A metrics dump exports as an analyze artifact too, so a
+                // --superkmer run and a baseline run diff with --diff.
+                if !artifact_written {
+                    let art = dakc_analyze::metrics_artifact(&m);
+                    match &a.out {
+                        Some(out) => {
+                            write_artifact(out, &art.to_json())?;
+                            eprintln!("wrote analysis artifact: {out}");
+                        }
+                        None => art.write_or_warn(),
+                    }
+                    artifact_written = true;
+                }
             }
             Input::Artifact { harness, doc, .. } => {
                 let rows = doc
@@ -1066,11 +1102,15 @@ mod tests {
         assert_eq!(dakc_bench::artifact::validate(&body).unwrap(), "analyze");
         // Re-analysis is deterministic, so a self-diff is clean.
         run(&["dakc", "analyze", "--diff", &out, &out]);
-        // Metrics input renders without error too.
+        // Metrics input renders and exports a diffable artifact too.
         let metrics = tmp("an_metrics.json");
         run(&["dakc", "simulate", &fq, "-k", "11", "--nodes", "2", "--ppn", "2",
               "--metrics", &metrics]);
-        run(&["dakc", "analyze", &metrics]);
+        let mout = tmp("an_metrics_art.json");
+        run(&["dakc", "analyze", &metrics, "--out", &mout]);
+        let mbody = std::fs::read_to_string(&mout).unwrap();
+        assert_eq!(dakc_bench::artifact::validate(&mbody).unwrap(), "analyze");
+        run(&["dakc", "analyze", "--diff", &mout, &mout]);
     }
 
     #[test]

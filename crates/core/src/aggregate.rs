@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 
 use dakc_conveyors::{Actor, ActorConfig, ConvStats, ConveyorConfig, Fabric};
-use dakc_kmer::{owner_pe, KmerWord};
+use dakc_kmer::{owner_pe, pack_span, packed_span_bytes, unpack_spans, KmerWord, SpanDecodeError};
 use dakc_sim::telemetry::metrics::PCT_BOUNDS;
 use dakc_sim::{EventKind, FlowSampler, FlowTag, PeId};
 use dakc_sort::{accumulate, hybrid_sort, RadixKey};
@@ -31,6 +31,8 @@ pub const CH_NORMAL: u8 = 0;
 pub const CH_HEAVY: u8 = 1;
 /// Channel id for single unpacked k-mers (L2 disabled).
 pub const CH_SINGLE: u8 = 2;
+/// Channel id for packed super-k-mer spans (L2.5, `--superkmer`).
+pub const CH_SUPER: u8 = 3;
 
 /// What a PE has received so far: the owner-side `T` array of
 /// Algorithm 3/4, split into plain k-mers and pre-accumulated pairs.
@@ -67,6 +69,15 @@ pub struct AggStats {
     pub heavy_packets: u64,
     /// SINGLE packets sent (L2 disabled).
     pub single_packets: u64,
+    /// SUPER span packets sent (`--superkmer`).
+    pub super_packets: u64,
+    /// Super-k-mer span records shipped.
+    pub spans_shipped: u64,
+    /// Span payload bytes shipped (length prefixes included).
+    pub span_wire_bytes: u64,
+    /// Bases the per-k-mer format would have shipped minus the bases the
+    /// spans actually carried: `Σ (kmers·k − len)` over shipped spans.
+    pub span_bases_saved: u64,
 }
 
 /// The per-PE sender-side aggregation state.
@@ -79,6 +90,9 @@ pub struct Aggregator<W> {
     l3: Vec<W>,
     l2n: HashMap<PeId, Vec<W>>,
     l2h: HashMap<PeId, Vec<(W, u32)>>,
+    /// Per-destination encoded span buffers (L2.5, `--superkmer`): packed
+    /// wire records accumulate here until the packet budget fills.
+    l2s: HashMap<PeId, Vec<u8>>,
     stats: AggStats,
     word_bytes: usize,
     /// Deterministic 1-in-N flow sampler (disabled unless
@@ -88,6 +102,11 @@ pub struct Aggregator<W> {
     fl2n: HashMap<PeId, FlowTag>,
     /// Open flow per HEAVY L2 destination buffer (sampled opens only).
     fl2h: HashMap<PeId, FlowTag>,
+    /// Open flow per SUPER span destination buffer (sampled opens only).
+    fl2s: HashMap<PeId, FlowTag>,
+    /// First span-decode failure observed while servicing arrivals; the
+    /// engines surface it as a typed wire error instead of a panic.
+    decode_err: Option<SpanDecodeError>,
     /// Virtual time the current L3 batch opened (first k-mer pushed);
     /// flows opened while it accumulates inherit it as their `t_open`.
     l3_open: Option<f64>,
@@ -103,7 +122,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
                 protocol: cfg.protocol,
                 c0_bytes: cfg.c0_bytes,
                 channels: cfg.channels::<W>(),
-                channel_names: vec!["normal", "heavy", "single"],
+                channel_names: vec!["normal", "heavy", "single", "super"],
             },
         };
         let actor = Actor::new(actor_cfg, ctx);
@@ -119,11 +138,14 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
             l3: Vec::new(),
             l2n: HashMap::new(),
             l2h: HashMap::new(),
+            l2s: HashMap::new(),
             stats: AggStats::default(),
             word_bytes,
             sampler,
             fl2n: HashMap::new(),
             fl2h: HashMap::new(),
+            fl2s: HashMap::new(),
+            decode_err: None,
             l3_open: None,
         }
     }
@@ -153,6 +175,66 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
         } else {
             self.add_to_l2(ctx, kmer, 1);
         }
+    }
+
+    /// L2.5 `AsyncAdd`: route one super-k-mer span toward the owner of
+    /// its minimizer. Every k-mer the span carries belongs to that owner
+    /// (the minimizer is a pure function of k-mer content), so the owner
+    /// partition stays disjoint and phase 2 is unchanged.
+    ///
+    /// Bypasses L3 — pre-accumulation is per-k-mer, and expanding spans
+    /// locally just to re-compress them would forfeit the wire savings.
+    pub fn async_add_span<F: Fabric>(&mut self, ctx: &mut F, minimizer: u64, span: &[u8]) {
+        debug_assert!(self.cfg.superkmer);
+        let kmers = (span.len() + 1 - self.cfg.k) as u64;
+        let saved = kmers * self.cfg.k as u64 - span.len() as u64;
+        self.stats.kmers_added += kmers;
+        self.stats.spans_shipped += 1;
+        self.stats.span_bases_saved += saved;
+        ctx.metrics().inc("net.superkmer.spans", 1);
+        ctx.metrics().inc("net.superkmer.bases_saved", saved);
+        let dst = owner_pe(minimizer, self.num_pes);
+        let budget = self.cfg.super_payload::<W>();
+        let record = packed_span_bytes(span.len());
+        if self.l2s.get(&dst).is_some_and(|buf| buf.len() + record > budget) {
+            self.ship_super(ctx, dst);
+        }
+        if self.sampler.enabled() && !self.l2s.contains_key(&dst) {
+            if let Some(tag) = self.open_flow(ctx, CH_SUPER) {
+                self.fl2s.insert(dst, tag);
+            }
+        }
+        let buf = self.l2s.entry(dst).or_default();
+        pack_span(buf, span);
+        ctx.charge_ops(span.len() as u64 / 8 + 1);
+        if buf.len() >= budget {
+            self.ship_super(ctx, dst);
+        }
+    }
+
+    /// Encodes and sends one SUPER span packet for `dst`.
+    fn ship_super<F: Fabric>(&mut self, ctx: &mut F, dst: PeId) {
+        let Some(payload) = self.l2s.remove(&dst) else {
+            return;
+        };
+        if payload.is_empty() {
+            return;
+        }
+        ctx.charge_ops(payload.len() as u64 / 8 + 1);
+        self.stats.super_packets += 1;
+        self.stats.span_wire_bytes += payload.len() as u64;
+        let budget = self.cfg.super_payload::<W>().max(1);
+        let fill_pct = ((payload.len() * 100) / budget).min(100) as u8;
+        ctx.metrics().observe("l2.packet_fill_pct", PCT_BOUNDS, fill_pct as f64);
+        ctx.metrics().inc("net.superkmer.bytes_sent", payload.len() as u64);
+        ctx.trace(|| EventKind::L2Ship {
+            dst: dst as u32,
+            records: payload.len() as u32,
+            fill_pct,
+            heavy: false,
+        });
+        let flow = Self::stamp_ship(ctx, self.fl2s.remove(&dst), dst);
+        self.actor.send_flow(ctx, dst, CH_SUPER, &payload, flow);
     }
 
     /// Sorts and accumulates the L3 buffer, then forwards the results
@@ -327,15 +409,34 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
     pub fn progress<F: Fabric>(&mut self, ctx: &mut F, store: &mut ReceiveStore<W>) -> u64 {
         let before = self.actor.conveyor_stats();
         let word_bytes = self.word_bytes;
+        let (k, canonical) = (self.cfg.k, self.cfg.canonical == dakc_kmer::CanonicalMode::Canonical);
+        let decode_err = &mut self.decode_err;
         let mut decoded_ops = 0u64;
+        let mut expanded_kmers = 0u64;
         {
             let mut handler = |channel: u8, payload: &[u8]| {
-                decode_packet(channel, payload, word_bytes, store);
+                if channel == CH_SUPER {
+                    // Fallible by design: a corrupt span stream latches a
+                    // typed error for the engine instead of panicking.
+                    match unpack_spans(payload, k, canonical, &mut store.plain) {
+                        Ok(sum) => expanded_kmers += sum.kmers,
+                        Err(e) => {
+                            if decode_err.is_none() {
+                                *decode_err = Some(e);
+                            }
+                        }
+                    }
+                } else {
+                    decode_packet(channel, payload, word_bytes, store);
+                }
                 decoded_ops += payload.len() as u64 / 8 + 1;
             };
             self.actor.progress(ctx, &mut handler);
         }
         ctx.charge_ops(decoded_ops);
+        if expanded_kmers > 0 {
+            costs::charge_span_expand(ctx, expanded_kmers, word_bytes as u64);
+        }
         let after = self.actor.conveyor_stats();
         (after.items_delivered - before.items_delivered)
             + (after.items_forwarded - before.items_forwarded)
@@ -359,7 +460,27 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
         for dst in normal_dsts {
             self.ship_normal(ctx, dst);
         }
+        let mut super_dsts: Vec<PeId> = self.l2s.keys().copied().collect();
+        super_dsts.sort_unstable();
+        for dst in super_dsts {
+            self.ship_super(ctx, dst);
+        }
         self.actor.begin_drain(ctx);
+    }
+
+    /// The first span-decode failure observed while servicing arrivals,
+    /// if any — cleared by the take.
+    pub fn take_decode_error(&mut self) -> Option<SpanDecodeError> {
+        self.decode_err.take()
+    }
+
+    /// Test hook: latches a decode error exactly as servicing a corrupt
+    /// `CH_SUPER` payload would (first error wins).
+    #[cfg(test)]
+    pub(crate) fn inject_decode_error(&mut self, e: SpanDecodeError) {
+        if self.decode_err.is_none() {
+            self.decode_err = Some(e);
+        }
     }
 
     /// Releases registered buffer memory.

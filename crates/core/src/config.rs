@@ -39,7 +39,22 @@ pub struct DakcConfig {
     /// the hot path then pays a single `Option` check per packet open);
     /// `Some(1)` tags every packet.
     pub trace_sample: Option<u32>,
+    /// Super-k-mer wire encoding (L2.5): route whole minimizer spans
+    /// instead of per-k-mer words and expand them at the destination.
+    /// Cuts bytes-on-wire ~`k/…`-fold because overlapping k-mers ship
+    /// their shared bases once. Off by default — the default wire format
+    /// stays bit-identical to the per-k-mer cascade. Implies the L3
+    /// pre-accumulation layer is bypassed (it is per-k-mer).
+    pub superkmer: bool,
+    /// Minimizer length `m` for super-k-mer decomposition (KMC2-style;
+    /// must satisfy `1 <= m <= min(k, 32)`). Smaller `m` gives longer
+    /// spans (better compression) but skews owner load; the default 7
+    /// tracks the related work's sweet spot for k≈31.
+    pub minimizer_len: usize,
 }
+
+/// Default minimizer length for `--superkmer` runs.
+pub const DEFAULT_MINIMIZER_LEN: usize = 7;
 
 impl DakcConfig {
     /// The paper's production parameters (Table III) for a given `k`.
@@ -56,6 +71,8 @@ impl DakcConfig {
             canonical: CanonicalMode::Forward,
             batch_reads: 64,
             trace_sample: None,
+            superkmer: false,
+            minimizer_len: DEFAULT_MINIMIZER_LEN,
         }
     }
 
@@ -86,6 +103,13 @@ impl DakcConfig {
         self
     }
 
+    /// Enables super-k-mer span encoding with minimizer length `m`.
+    pub fn with_superkmer(mut self, m: usize) -> Self {
+        self.superkmer = true;
+        self.minimizer_len = m;
+        self
+    }
+
     /// Disables the application-specific layers (Fig 12's "L0–L1" mode).
     pub fn l0_l1_only(mut self) -> Self {
         self.enable_l2 = false;
@@ -112,6 +136,16 @@ impl DakcConfig {
         assert!(self.c0_bytes >= 64, "C0 too small to hold one packet");
         assert!(self.c1_packets >= 1);
         assert!(self.batch_reads >= 1);
+        if self.superkmer {
+            assert!(
+                self.minimizer_len >= 1
+                    && self.minimizer_len <= self.k
+                    && self.minimizer_len <= 32,
+                "minimizer length m = {} must satisfy 1 <= m <= min(k = {}, 32)",
+                self.minimizer_len,
+                self.k
+            );
+        }
     }
 
     /// Bytes of one k-mer word on the wire for width `W`.
@@ -136,15 +170,26 @@ impl DakcConfig {
         self.kmer_bytes::<W>()
     }
 
+    /// Maximum payload of the SUPER span channel: sized to the NORMAL
+    /// packet budget so L0 buffer dynamics stay comparable, but never
+    /// below one maximally packed span record.
+    pub fn super_payload<W: dakc_kmer::KmerWord>(&self) -> usize {
+        self.normal_payload::<W>().max(dakc_kmer::packed_span_bytes(2 * self.k))
+    }
+
     /// Channel framing table for the conveyor, indexed by
     /// [`crate::aggregate::CH_NORMAL`], [`crate::aggregate::CH_HEAVY`],
-    /// [`crate::aggregate::CH_SINGLE`].
+    /// [`crate::aggregate::CH_SINGLE`], [`crate::aggregate::CH_SUPER`].
+    /// The SUPER entry exists unconditionally — channel-table size never
+    /// reaches the wire, only pushed records do, so the default mode's
+    /// wire bytes are unchanged by its presence.
     pub fn channels<W: dakc_kmer::KmerWord>(&self) -> Vec<dakc_conveyors::ChannelKind> {
         use dakc_conveyors::ChannelKind;
         vec![
             ChannelKind::Variable,
             ChannelKind::Variable,
             ChannelKind::Fixed(self.single_payload::<W>()),
+            ChannelKind::Variable,
         ]
     }
 
@@ -159,7 +204,12 @@ impl DakcConfig {
             0
         };
         let l3 = if self.enable_l3 { self.c3 as u64 * w } else { 0 };
-        l2 + l3
+        let l25 = if self.superkmer {
+            num_pes as u64 * self.super_payload::<W>() as u64
+        } else {
+            0
+        };
+        l2 + l3 + l25
     }
 }
 

@@ -27,6 +27,23 @@ pub fn charge_parse_traffic<F: Fabric>(ctx: &mut F, input_bytes: u64, kmers: u64
     ctx.charge_mem(input_bytes + kmers * word_bytes);
 }
 
+/// Charges the super-k-mer parse path (`--superkmer`): the rolling
+/// minimizer scan is O(1)/base (deque ops amortize), and the producer
+/// streams the read once while writing only the packed span bytes — not a
+/// full word per k-mer. The wire savings are measured, not charged (spans
+/// cross the simulated NIC as real `send`s); this covers the producer-
+/// side memory traffic asymmetry vs [`charge_parse_traffic`].
+pub fn charge_span_traffic<F: Fabric>(ctx: &mut F, input_bytes: u64, span_bytes: u64) {
+    ctx.charge_mem(input_bytes + span_bytes);
+}
+
+/// Charges the owner-side expansion of received spans back into `kmers`
+/// words of `word_bytes`: one op and one word write per k-mer.
+pub fn charge_span_expand<F: Fabric>(ctx: &mut F, kmers: u64, word_bytes: u64) {
+    ctx.charge_ops(kmers);
+    ctx.charge_mem(kmers * word_bytes);
+}
+
 /// Charges an LSD radix sort of `n` keys of `key_bytes` bytes: one op per
 /// key byte (Eq 12) and one full array stream per byte-pass (Eq 13's
 /// worst case). This is the *model's* assumption; engines that actually

@@ -36,7 +36,9 @@ use std::time::Instant;
 
 use dakc_conveyors::Fabric;
 use dakc_io::ReadSet;
-use dakc_kmer::{counts::merge_sorted_counts, kmers_of_read, KmerCount, KmerWord};
+use dakc_kmer::{
+    counts::merge_sorted_counts, for_each_span, kmers_of_read, CanonicalMode, KmerCount, KmerWord,
+};
 use dakc_net::{
     HeartbeatState, Loopback, NetError, NetFabric, NetResult, NetTuning, Phase, Transport,
     DEFAULT_PINGS,
@@ -152,15 +154,26 @@ where
     fab.trace(|| EventKind::Phase { phase: Phase::Parse as u32 });
     let range = reads.pe_range(rank, n);
     let mut cursor = range.start;
+    let canonical = cfg.canonical == CanonicalMode::Canonical;
     while cursor < range.end {
         let end = (cursor + cfg.batch_reads).min(range.end);
-        for i in cursor..end {
-            for w in kmers_of_read::<W>(reads.get(i), cfg.k, cfg.canonical) {
-                agg.async_add(&mut fab, w);
+        if cfg.superkmer {
+            // L2.5: route whole minimizer spans; the owner expands them.
+            for i in cursor..end {
+                for_each_span(reads.get(i), cfg.k, cfg.minimizer_len, canonical, |mz, span| {
+                    agg.async_add_span(&mut fab, mz, span);
+                });
+            }
+        } else {
+            for i in cursor..end {
+                for w in kmers_of_read::<W>(reads.get(i), cfg.k, cfg.canonical) {
+                    agg.async_add(&mut fab, w);
+                }
             }
         }
         cursor = end;
         agg.progress(&mut fab, &mut store);
+        take_span_error(&mut agg, rank)?;
         fab.check()?;
         {
             let s = fab.transport_mut().stats();
@@ -186,6 +199,7 @@ where
     let mut last_movement = Instant::now();
     loop {
         let processed = agg.progress(&mut fab, &mut store);
+        take_span_error(&mut agg, rank)?;
         fab.check()?;
         if processed > 0 {
             continue;
@@ -237,6 +251,14 @@ where
         m.inc("agg.kmers_added", agg_stats.kmers_added);
         m.inc("agg.l3_flushes", agg_stats.l3_flushes);
         m.inc("agg.heavy_pairs", agg_stats.heavy_pairs);
+        if cfg.superkmer {
+            // Only in span mode, so the default mode's metrics JSON (and
+            // therefore its gather frames) is byte-for-byte unchanged.
+            m.inc("agg.super_packets", agg_stats.super_packets);
+            m.inc("agg.spans_shipped", agg_stats.spans_shipped);
+            m.inc("agg.span_wire_bytes", agg_stats.span_wire_bytes);
+            m.inc("agg.span_bases_saved", agg_stats.span_bases_saved);
+        }
         m.inc("conv.items_pushed", conv.items_pushed);
         m.inc("conv.items_delivered", conv.items_delivered);
         m.inc("conv.items_forwarded", conv.items_forwarded);
@@ -268,6 +290,24 @@ where
                 trace,
             }))
         }
+    }
+}
+
+/// Surfaces a latched span-decode failure as a typed wire error: a span
+/// record that fails to unpack means some peer's stream corrupted in a
+/// way that framing alone could not catch. The source rank of the bad
+/// record is not recoverable post-hoc, so the error names the receiving
+/// rank and says so.
+fn take_span_error<W: KmerWord + RadixKey>(
+    agg: &mut Aggregator<W>,
+    rank: usize,
+) -> NetResult<()> {
+    match agg.take_decode_error() {
+        None => Ok(()),
+        Some(e) => Err(NetError::CorruptFrame {
+            rank,
+            detail: format!("super-k-mer span received on this rank failed to decode: {e}"),
+        }),
     }
 }
 
@@ -571,6 +611,42 @@ mod tests {
             assert_eq!(run.ranks, ranks);
             assert!(run.metrics.counter("net.term_rounds") >= 2 * ranks as u64);
         }
+    }
+
+    #[test]
+    fn loopback_superkmer_matches_reference() {
+        let reads = tiny_reads();
+        let cfg = DakcConfig::scaled_defaults(5).with_superkmer(3);
+        for ranks in [1, 2, 3] {
+            let run = count_kmers_loopback::<u64>(&reads, &cfg, ranks).unwrap();
+            assert_eq!(
+                run.counts,
+                reference_counts(&reads, 5, cfg.canonical),
+                "ranks={ranks}"
+            );
+            assert!(run.metrics.counter("agg.spans_shipped") > 0, "ranks={ranks}");
+            assert!(run.metrics.counter("net.superkmer.spans") > 0, "ranks={ranks}");
+        }
+    }
+
+    // The aggregator's latched span-decode failure must come out of the
+    // run loop as a typed CorruptFrame naming this rank — the "corrupt
+    // super frame never panics or miscounts" contract.
+    #[test]
+    fn span_decode_error_surfaces_as_corrupt_frame() {
+        let mut fab = NetFabric::new(Loopback::mesh(1).remove(0));
+        let cfg = DakcConfig::scaled_defaults(5).with_superkmer(3);
+        let mut agg = Aggregator::<u64>::new(cfg, &mut fab);
+        assert!(take_span_error(&mut agg, 1).is_ok(), "no error latched yet");
+        agg.inject_decode_error(dakc_kmer::SpanDecodeError::TooShort { len: 2, k: 5 });
+        match take_span_error(&mut agg, 1) {
+            Err(NetError::CorruptFrame { rank, detail }) => {
+                assert_eq!(rank, 1);
+                assert!(detail.contains("failed to decode"), "{detail}");
+            }
+            other => panic!("expected CorruptFrame, got {other:?}"),
+        }
+        assert!(take_span_error(&mut agg, 1).is_ok(), "take must clear the latch");
     }
 
     #[test]

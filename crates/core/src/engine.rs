@@ -36,6 +36,10 @@ impl<W: KmerWord> DakcRun<W> {
             t.normal_packets += p.agg.normal_packets;
             t.heavy_packets += p.agg.heavy_packets;
             t.single_packets += p.agg.single_packets;
+            t.super_packets += p.agg.super_packets;
+            t.spans_shipped += p.agg.spans_shipped;
+            t.span_wire_bytes += p.agg.span_wire_bytes;
+            t.span_bases_saved += p.agg.span_bases_saved;
         }
         t
     }
@@ -166,6 +170,18 @@ mod tests {
         let machine = MachineConfig::test_machine(2, 2);
         let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
         assert_eq!(run.counts, reference_counts(&reads, 4));
+    }
+
+    #[test]
+    fn superkmer_mode_matches_reference() {
+        let reads = tiny_reads();
+        let cfg = DakcConfig::scaled_defaults(4).with_superkmer(3);
+        let machine = MachineConfig::test_machine(2, 2);
+        let run = count_kmers_sim::<u64>(&reads, &cfg, &machine).unwrap();
+        assert_eq!(run.counts, reference_counts(&reads, 4));
+        let agg = run.total_agg();
+        assert!(agg.spans_shipped > 0, "span path must carry the data");
+        assert!(agg.span_bases_saved > 0, "overlapping k-mers share bases");
     }
 
     #[test]

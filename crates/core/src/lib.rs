@@ -56,7 +56,7 @@ pub mod threaded;
 pub use aggregate::{
     decode_packet, encode_heavy_packet, encode_normal_packet, Aggregator, ReceiveStore,
 };
-pub use config::DakcConfig;
+pub use config::{DakcConfig, DEFAULT_MINIMIZER_LEN};
 pub use distributed::{
     count_kmers_loopback, count_kmers_loopback_opts, run_rank, run_rank_opts, NetRun, RunOpts,
 };

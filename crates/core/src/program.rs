@@ -20,7 +20,8 @@ use std::sync::Arc;
 
 use dakc_io::ReadSet;
 use dakc_kmer::{
-    counts::merge_sorted_counts, kmers_of_read, KmerCount, KmerWord,
+    counts::merge_sorted_counts, for_each_span, kmers_of_read, packed_span_bytes, CanonicalMode,
+    KmerCount, KmerWord,
 };
 use dakc_sim::{Ctx, Program, Step};
 use dakc_sort::{accumulate, accumulate_weighted, hybrid_sort, lsd_radix_sort_by, RadixKey};
@@ -96,6 +97,25 @@ impl<W: KmerWord + RadixKey> DakcPeProgram<W> {
         let end = (self.cursor + self.cfg.batch_reads).min(self.range.end);
         let mut kmers = 0u64;
         let mut bases = 0u64;
+        if self.cfg.superkmer {
+            // L2.5: decompose into minimizer spans and route whole spans.
+            let (k, m) = (self.cfg.k, self.cfg.minimizer_len);
+            let canonical = self.cfg.canonical == CanonicalMode::Canonical;
+            let mut span_bytes = 0u64;
+            for i in self.cursor..end {
+                let read = self.reads.get(i);
+                bases += read.len() as u64;
+                for_each_span(read, k, m, canonical, |minimizer, span| {
+                    kmers += (span.len() + 1 - k) as u64;
+                    span_bytes += packed_span_bytes(span.len()) as u64;
+                    agg.async_add_span(ctx, minimizer, span);
+                });
+            }
+            self.cursor = end;
+            costs::charge_parse(ctx, kmers);
+            costs::charge_span_traffic(ctx, bases, span_bytes);
+            return self.cursor == self.range.end;
+        }
         for i in self.cursor..end {
             let read = self.reads.get(i);
             bases += read.len() as u64;
@@ -168,10 +188,12 @@ impl<W: KmerWord + RadixKey> Program for DakcPeProgram<W> {
                 let done = self.parse_batch(ctx);
                 // Fine-grained asynchrony: service the network between
                 // batches, exactly like the conveyor progress loop.
-                self.agg
-                    .as_mut()
-                    .expect("created")
-                    .progress(ctx, &mut self.store);
+                let agg = self.agg.as_mut().expect("created");
+                agg.progress(ctx, &mut self.store);
+                if let Some(e) = agg.take_decode_error() {
+                    // The simulator's in-process wire cannot corrupt.
+                    panic!("span decode failed on a lossless wire: {e}");
+                }
                 if done {
                     self.agg.as_mut().expect("created").flush(ctx);
                     self.state = State::Drain;
@@ -181,11 +203,11 @@ impl<W: KmerWord + RadixKey> Program for DakcPeProgram<W> {
                 }
             }
             State::Drain => {
-                let processed = self
-                    .agg
-                    .as_mut()
-                    .expect("created")
-                    .progress(ctx, &mut self.store);
+                let agg = self.agg.as_mut().expect("created");
+                let processed = agg.progress(ctx, &mut self.store);
+                if let Some(e) = agg.take_decode_error() {
+                    panic!("span decode failed on a lossless wire: {e}");
+                }
                 if processed > 0 || ctx.has_ready() {
                     Step::Barrier
                 } else {

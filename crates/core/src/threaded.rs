@@ -35,7 +35,8 @@ use std::time::{Duration, Instant};
 
 use dakc_io::ReadSet;
 use dakc_kmer::{
-    counts::merge_sorted_counts, extract_into, owner_pe, CanonicalMode, KmerCount, KmerWord,
+    counts::merge_sorted_counts, extract_into, for_each_span, owner_pe, pack_span, unpack_spans,
+    CanonicalMode, KmerCount, KmerWord,
 };
 use dakc_sim::telemetry::Event;
 use dakc_sim::{EventKind, FlowSampler};
@@ -78,6 +79,15 @@ pub struct ThreadedOpts {
     /// off more often (more channel sends, fresher flow samples); larger
     /// batches amortize the per-batch partition-and-send cost.
     pub route_batch: usize,
+    /// Super-k-mer span routing (L2.5) with the given minimizer length
+    /// `m`: producers decompose reads into minimizer spans, route each
+    /// packed span to `owner(minimizer)`, and owners expand spans back
+    /// into k-mer words before phase 2. Ownership by minimizer is still a
+    /// disjoint partition (a k-mer's minimizer is a pure function of the
+    /// k-mer), so the final cross-thread merge is unchanged. `l3_buffer`
+    /// is bypassed in this mode — L3 pre-accumulation is per-k-mer and
+    /// the producer never materializes individual k-mers.
+    pub superkmer: Option<usize>,
 }
 
 impl Default for ThreadedOpts {
@@ -86,6 +96,7 @@ impl Default for ThreadedOpts {
             trace: false,
             trace_sample: None,
             route_batch: DEFAULT_ROUTE_BATCH,
+            superkmer: None,
         }
     }
 }
@@ -169,8 +180,15 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
     let trace = opts.trace;
     let trace_sample = opts.trace_sample;
     let route_batch = opts.route_batch.max(1);
+    let superkmer = opts.superkmer;
     assert!(threads >= 1);
     assert!((1..=W::MAX_K).contains(&k), "k out of range");
+    if let Some(m) = superkmer {
+        assert!(
+            m >= 1 && m <= k && m <= 32,
+            "minimizer length m = {m} must satisfy 1 <= m <= min(k = {k}, 32)"
+        );
+    }
     let start = Instant::now();
 
     // One SPSC lane per (producer, owner) pair, for word batches and for
@@ -186,6 +204,11 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
         (0..threads).map(|_| Vec::with_capacity(threads)).collect();
     let mut pair_rxs: Vec<Vec<Receiver<PairBatch<W>>>> =
         (0..threads).map(|_| Vec::with_capacity(threads)).collect();
+    // Span lanes (superkmer mode only): packed-span byte batches.
+    let mut span_txs: Vec<Vec<Sender<Vec<u8>>>> =
+        (0..threads).map(|_| Vec::with_capacity(threads)).collect();
+    let mut span_rxs: Vec<Vec<Receiver<Vec<u8>>>> =
+        (0..threads).map(|_| Vec::with_capacity(threads)).collect();
     for p in 0..threads {
         for o in 0..threads {
             let (tx, rx) = channel();
@@ -194,6 +217,9 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
             let (tx, rx) = channel();
             pair_txs[p].push(tx);
             pair_rxs[o].push(rx);
+            let (tx, rx) = channel();
+            span_txs[p].push(tx);
+            span_rxs[o].push(rx);
         }
     }
     // Staged-words gauge per owner (the memcpy-engine analogue of the
@@ -208,8 +234,9 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
         let lanes = word_txs
             .into_iter()
             .zip(word_rxs)
-            .zip(pair_txs.into_iter().zip(pair_rxs));
-        for (t, ((wtx, wrx), (ptx, prx))) in lanes.enumerate() {
+            .zip(pair_txs.into_iter().zip(pair_rxs))
+            .zip(span_txs.into_iter().zip(span_rxs));
+        for (t, (((wtx, wrx), (ptx, prx)), (stx, srx))) in lanes.enumerate() {
             let staged = &staged;
             let phase_barrier = &phase_barrier;
             let outputs = &outputs;
@@ -338,66 +365,106 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
                     l3.clear();
                 };
 
-                match l3_buffer {
-                    None => {
-                        for i in reads.pe_range(t, threads) {
-                            extract_into::<W>(reads.get(i), k, canonical, |w| {
-                                let owner = owner_pe(w, threads);
-                                open_flow(owner, &route, &mut route_flow, &mut sampler);
-                                route[owner].push(w);
-                                if route[owner].len() >= route_batch {
-                                    flush_owner(owner, &mut route, &mut route_flow, &mut ev);
-                                }
-                            });
-                        }
-                    }
-                    Some(c3) => {
-                        for i in reads.pe_range(t, threads) {
-                            extract_into::<W>(reads.get(i), k, canonical, |w| {
-                                l3.push(w);
-                                if l3.len() >= c3 {
-                                    drain_l3(
-                                        &mut l3,
-                                        &mut l3_acc,
-                                        &mut route,
-                                        &mut pair_route,
-                                        &mut route_flow,
-                                        &mut sampler,
-                                        &mut ev,
-                                    );
-                                }
-                            });
-                        }
-                        if !l3.is_empty() {
-                            drain_l3(
-                                &mut l3,
-                                &mut l3_acc,
-                                &mut route,
-                                &mut pair_route,
-                                &mut route_flow,
-                                &mut sampler,
-                                &mut ev,
-                            );
-                        }
-                    }
-                }
-                for owner in 0..threads {
-                    flush_owner(owner, &mut route, &mut route_flow, &mut ev);
-                    if !pair_route[owner].is_empty() {
-                        record(&mut ev, EventKind::MsgSend {
-                            dst: owner as u32,
-                            tag: 1,
-                            bytes: (pair_route[owner].len() * (word_bytes + 4)) as u32,
+                if let Some(m) = superkmer {
+                    // L2.5: decompose into minimizer spans, pack each span
+                    // into its owner's byte buffer, hand whole buffers down
+                    // the span lane. No per-k-mer word is ever produced on
+                    // this side; `l3_buffer` is bypassed (per-k-mer).
+                    let span_budget = (route_batch * word_bytes).max(64);
+                    let mut span_bufs: Vec<Vec<u8>> = vec![Vec::new(); threads];
+                    let canon = canonical == CanonicalMode::Canonical;
+                    for i in reads.pe_range(t, threads) {
+                        for_each_span(reads.get(i), k, m, canon, |mz, span| {
+                            let owner = owner_pe(mz, threads);
+                            let buf = &mut span_bufs[owner];
+                            pack_span(buf, span);
+                            if buf.len() >= span_budget {
+                                record(&mut ev, EventKind::MsgSend {
+                                    dst: owner as u32,
+                                    tag: 2,
+                                    bytes: buf.len() as u32,
+                                });
+                                stx[owner]
+                                    .send(std::mem::take(buf))
+                                    .expect("owner holds its receivers past the barrier");
+                            }
                         });
-                        ptx[owner]
-                            .send(std::mem::take(&mut pair_route[owner]))
-                            .expect("owner holds its receivers past the barrier");
+                    }
+                    for (owner, buf) in span_bufs.iter_mut().enumerate() {
+                        if !buf.is_empty() {
+                            record(&mut ev, EventKind::MsgSend {
+                                dst: owner as u32,
+                                tag: 2,
+                                bytes: buf.len() as u32,
+                            });
+                            stx[owner]
+                                .send(std::mem::take(buf))
+                                .expect("owner holds its receivers past the barrier");
+                        }
+                    }
+                } else {
+                    match l3_buffer {
+                        None => {
+                            for i in reads.pe_range(t, threads) {
+                                extract_into::<W>(reads.get(i), k, canonical, |w| {
+                                    let owner = owner_pe(w, threads);
+                                    open_flow(owner, &route, &mut route_flow, &mut sampler);
+                                    route[owner].push(w);
+                                    if route[owner].len() >= route_batch {
+                                        flush_owner(owner, &mut route, &mut route_flow, &mut ev);
+                                    }
+                                });
+                            }
+                        }
+                        Some(c3) => {
+                            for i in reads.pe_range(t, threads) {
+                                extract_into::<W>(reads.get(i), k, canonical, |w| {
+                                    l3.push(w);
+                                    if l3.len() >= c3 {
+                                        drain_l3(
+                                            &mut l3,
+                                            &mut l3_acc,
+                                            &mut route,
+                                            &mut pair_route,
+                                            &mut route_flow,
+                                            &mut sampler,
+                                            &mut ev,
+                                        );
+                                    }
+                                });
+                            }
+                            if !l3.is_empty() {
+                                drain_l3(
+                                    &mut l3,
+                                    &mut l3_acc,
+                                    &mut route,
+                                    &mut pair_route,
+                                    &mut route_flow,
+                                    &mut sampler,
+                                    &mut ev,
+                                );
+                            }
+                        }
+                    }
+                    for owner in 0..threads {
+                        flush_owner(owner, &mut route, &mut route_flow, &mut ev);
+                        if !pair_route[owner].is_empty() {
+                            record(&mut ev, EventKind::MsgSend {
+                                dst: owner as u32,
+                                tag: 1,
+                                bytes: (pair_route[owner].len() * (word_bytes + 4)) as u32,
+                            });
+                            ptx[owner]
+                                .send(std::mem::take(&mut pair_route[owner]))
+                                .expect("owner holds its receivers past the barrier");
+                        }
                     }
                 }
                 // Hang up the lanes: every batch is in flight before the
                 // barrier, so phase 2's drains observe complete channels.
                 drop(wtx);
                 drop(ptx);
+                drop(stx);
 
                 // --- GLOBAL BARRIER (paper's phase boundary) ---
                 record(&mut ev, EventKind::BarrierEnter);
@@ -478,6 +545,22 @@ pub fn count_kmers_threaded_opts<W: KmerWord + RadixKey>(
                             hybrid_sort_from(&mut mine[lo..hi], bucket_level - 1);
                         }
                     }
+                }
+
+                // Span lanes replace the word lanes in superkmer mode: the
+                // word drain above saw nothing, so expand the received
+                // spans into k-mer words here and sort the whole partition
+                // (spans arrive unscattered — there is no top-byte
+                // pre-partition to exploit).
+                if superkmer.is_some() {
+                    let canon = canonical == CanonicalMode::Canonical;
+                    for rx in &srx {
+                        for buf in rx.try_iter() {
+                            unpack_spans(&buf, k, canon, &mut mine)
+                                .expect("in-process span lanes are lossless");
+                        }
+                    }
+                    hybrid_sort(&mut mine);
                 }
 
                 // Fused accumulate: fold the sorted partition straight
@@ -590,6 +673,19 @@ mod tests {
         let want = reference(&reads, 15, CanonicalMode::Forward);
         let run = count_kmers_threaded::<u64>(&reads, 15, CanonicalMode::Forward, 4, Some(512));
         assert_eq!(run.counts, want);
+    }
+
+    #[test]
+    fn superkmer_mode_matches_reference() {
+        let reads = random_reads(300, 80, 5);
+        for mode in [CanonicalMode::Forward, CanonicalMode::Canonical] {
+            let want = reference(&reads, 21, mode);
+            for t in [1, 2, 4] {
+                let opts = ThreadedOpts { superkmer: Some(7), ..ThreadedOpts::default() };
+                let run = count_kmers_threaded_opts::<u64>(&reads, 21, mode, t, None, &opts);
+                assert_eq!(run.counts, want, "threads = {t}, mode = {mode:?}");
+            }
+        }
     }
 
     #[test]

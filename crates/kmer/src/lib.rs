@@ -40,5 +40,9 @@ pub use encode::{complement_code, decode_base, encode_base, is_dna_base};
 pub use extract::{extract_into, kmers_of_read, CanonicalMode, KmerIter};
 pub use hash::{owner_pe, splitmix64};
 pub use kmer::{Kmer128, Kmer64, KmerWord};
-pub use minimizer::{minimizer_of, super_kmers, SuperKmer};
+pub use minimizer::{
+    for_each_span, minimizer_of, minimizer_of_mode, pack_span, packed_span_bytes, super_kmers,
+    super_kmers_mode, unpack_spans, MinimizerWindow, SpanDecodeError, SpanSummary, SuperKmer,
+    SPAN_MAX_BASES,
+};
 pub use spectrum::{analyze as analyze_spectrum, SpectrumSummary};

@@ -1,4 +1,4 @@
-//! Minimizers and super-k-mers.
+//! Minimizers, super-k-mers, and the packed span wire codec.
 //!
 //! The KMC3-style shared-memory baseline (paper §II-A, [27], [32]) bins
 //! k-mers by *minimizer*: the m-mer of a k-mer that is smallest under a
@@ -10,6 +10,20 @@
 //! We order m-mers by [`KmerWord::hash64`] rather than lexicographically:
 //! hashed orderings avoid the pathological `AAA…` minimizer skew noted in
 //! the minimizer literature.
+//!
+//! Extraction is a rolling scan: m-mers enter a [`MinimizerWindow`]
+//! (monotonic deque) as the read streams by, so each base costs O(1)
+//! amortized instead of the O(k·m) full-window rescan a naive
+//! per-position [`minimizer_of`] incurs. `minimizer_of` is kept as the
+//! reference oracle the rolling path is tested against.
+//!
+//! In canonical mode the minimizer of an m-mer window is its *canonical*
+//! form (min of the m-mer and its reverse complement): a k-mer and its
+//! reverse complement then select the same minimizer m-mer, so routing by
+//! minimizer is strand-symmetric — required for canonical counting to
+//! partition k-mers disjointly across owners.
+
+use std::collections::VecDeque;
 
 use crate::encode::ENCODE_TABLE;
 use crate::kmer::KmerWord;
@@ -17,7 +31,8 @@ use crate::kmer::KmerWord;
 /// A maximal run of k-mers of one read sharing a single minimizer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SuperKmer {
-    /// The shared minimizer (an m-mer packed in a `u64`).
+    /// The shared minimizer (an m-mer packed in a `u64`; the canonical
+    /// m-mer when extracted in canonical mode).
     pub minimizer: u64,
     /// Byte offset of the super-k-mer within the read.
     pub start: usize,
@@ -26,81 +41,370 @@ pub struct SuperKmer {
     pub len: usize,
 }
 
+fn check_km(k: usize, m: usize) {
+    assert!(m >= 1 && m <= k && m <= 32 && k <= 64, "need 1 <= m <= k, m <= 32, k <= 64");
+}
+
 /// Returns the minimizer (m-mer minimal under hashed order) of the k-mer
 /// starting at `seq[at..at + k]`.
+///
+/// Reference implementation: rescans the whole window (O(k·m)). The
+/// engines use the rolling [`MinimizerWindow`] path via [`super_kmers`];
+/// this stays as the oracle it is tested against.
 ///
 /// Returns `None` if the window contains a non-ACGT byte or is out of
 /// bounds.
 pub fn minimizer_of(seq: &[u8], at: usize, k: usize, m: usize) -> Option<u64> {
-    assert!(m >= 1 && m <= k && k <= 32, "need 1 <= m <= k <= 32");
+    minimizer_of_mode(seq, at, k, m, false)
+}
+
+/// [`minimizer_of`] with a canonical switch: when `canonical` is set the
+/// ordering key and the returned minimizer are the canonical form of each
+/// m-mer, making the choice strand-symmetric.
+pub fn minimizer_of_mode(seq: &[u8], at: usize, k: usize, m: usize, canonical: bool) -> Option<u64> {
+    check_km(k, m);
     let window = seq.get(at..at + k)?;
     let mut best: Option<(u64, u64)> = None; // (hash, mmer)
-    let mut word = 0u64;
+    let mut fwd = 0u64;
+    let mut rc = 0u64;
     let mut filled = 0usize;
     for &b in window {
         let code = ENCODE_TABLE[b as usize];
         if code == crate::encode::INVALID_CODE {
             return None;
         }
-        word = word.push_base(m, code);
+        fwd = fwd.push_base(m, code);
+        rc = rc.push_base_rc(m, code);
         filled = (filled + 1).min(m);
         if filled == m {
-            let h = word.hash64();
+            let mmer = if canonical { fwd.min(rc) } else { fwd };
+            let h = mmer.hash64();
             if best.is_none_or(|(bh, _)| h < bh) {
-                best = Some((h, word));
+                best = Some((h, mmer));
             }
         }
     }
     best.map(|(_, w)| w)
 }
 
-/// Decomposes a read into super-k-mers.
+/// One m-mer staged in the rolling window.
+#[derive(Debug, Clone, Copy)]
+struct MinEntry {
+    /// Start offset of the m-mer within the read.
+    start: usize,
+    /// Ordering key (`hash64` of the m-mer).
+    key: u64,
+    /// The m-mer itself (canonical form in canonical mode).
+    mmer: u64,
+}
+
+/// Rolling window minimum over m-mer hash keys: a monotonic deque holding
+/// the ascending-minima candidates of the last `k - m + 1` m-mers, so the
+/// per-k-mer minimizer query is O(1) amortized.
+///
+/// Ties on the hash key keep the leftmost m-mer, matching
+/// [`minimizer_of`]'s strict-less scan.
+#[derive(Debug, Default)]
+pub struct MinimizerWindow {
+    deque: VecDeque<MinEntry>,
+}
+
+impl MinimizerWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all staged m-mers (call between reads / ACGT runs).
+    pub fn clear(&mut self) {
+        self.deque.clear();
+    }
+
+    /// Stages the m-mer starting at `start` with ordering key `key`.
+    /// Starts must be pushed in strictly increasing order.
+    #[inline]
+    pub fn push(&mut self, start: usize, mmer: u64, key: u64) {
+        while self.deque.back().is_some_and(|e| e.key > key) {
+            self.deque.pop_back();
+        }
+        self.deque.push_back(MinEntry { start, key, mmer });
+    }
+
+    /// Evicts m-mers starting before `start` (they left the window).
+    #[inline]
+    pub fn evict_before(&mut self, start: usize) {
+        while self.deque.front().is_some_and(|e| e.start < start) {
+            self.deque.pop_front();
+        }
+    }
+
+    /// Current window minimum as `(mmer, key)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    #[inline]
+    pub fn min(&self) -> (u64, u64) {
+        let e = self.deque.front().expect("minimizer window is empty");
+        (e.mmer, e.key)
+    }
+}
+
+/// Decomposes a read into super-k-mers (forward-strand minimizers).
 ///
 /// Non-ACGT bytes split the read: no super-k-mer spans them. The union of
 /// k-mers carried by the returned super-k-mers is exactly the set of k-mers
 /// [`crate::kmers_of_read`] yields for the read.
 pub fn super_kmers(seq: &[u8], k: usize, m: usize) -> Vec<SuperKmer> {
-    assert!(m >= 1 && m <= k && k <= 32, "need 1 <= m <= k <= 32");
+    super_kmers_mode(seq, k, m, false)
+}
+
+/// [`super_kmers`] with a canonical switch (see [`minimizer_of_mode`]).
+pub fn super_kmers_mode(seq: &[u8], k: usize, m: usize, canonical: bool) -> Vec<SuperKmer> {
     let mut out = Vec::new();
-    // Split into maximal ACGT runs first, then scan each run.
+    for_each_acgt_run(seq, k, |lo, hi| {
+        scan_run(seq, lo, hi, k, m, canonical, |minimizer, start, len| {
+            out.push(SuperKmer { minimizer, start, len });
+        });
+    });
+    out
+}
+
+/// Streams a read's super-k-mer spans to `f` as
+/// `(minimizer, span bases)`, splitting any span longer than
+/// [`SPAN_MAX_BASES`] into overlapping chunks (overlap `k - 1`, same
+/// minimizer) so every span fits the wire codec's u16 length prefix.
+///
+/// This is the producer hot path: no allocation, O(1) amortized per base.
+pub fn for_each_span<'a>(
+    seq: &'a [u8],
+    k: usize,
+    m: usize,
+    canonical: bool,
+    mut f: impl FnMut(u64, &'a [u8]),
+) {
+    for_each_acgt_run(seq, k, |lo, hi| {
+        scan_run(seq, lo, hi, k, m, canonical, |minimizer, start, len| {
+            let mut at = start;
+            let end = start + len;
+            loop {
+                let take = (end - at).min(SPAN_MAX_BASES);
+                f(minimizer, &seq[at..at + take]);
+                if at + take == end {
+                    break;
+                }
+                // Overlap k-1 bases so the chunk boundary loses no k-mer.
+                at = at + take - (k - 1);
+            }
+        });
+    });
+}
+
+/// Calls `f(lo, hi)` for every maximal ACGT run of `seq` at least `k`
+/// bases long.
+fn for_each_acgt_run(seq: &[u8], k: usize, mut f: impl FnMut(usize, usize)) {
     let mut run_start = 0usize;
-    let mut i = 0usize;
-    while i <= seq.len() {
+    for i in 0..=seq.len() {
         let at_end = i == seq.len();
         let invalid = !at_end && ENCODE_TABLE[seq[i] as usize] == crate::encode::INVALID_CODE;
         if at_end || invalid {
             if i - run_start >= k {
-                scan_run(seq, run_start, i, k, m, &mut out);
+                f(run_start, i);
             }
             run_start = i + 1;
         }
-        i += 1;
     }
-    out
 }
 
-/// Scans one ACGT run `seq[lo..hi]`, appending its super-k-mers.
-fn scan_run(seq: &[u8], lo: usize, hi: usize, k: usize, m: usize, out: &mut Vec<SuperKmer>) {
-    let mut cur_min = minimizer_of(seq, lo, k, m).expect("run is pure ACGT");
-    let mut sk_start = lo;
-    for pos in lo + 1..=hi - k {
-        let mz = minimizer_of(seq, pos, k, m).expect("run is pure ACGT");
-        if mz != cur_min {
-            out.push(SuperKmer {
-                minimizer: cur_min,
-                start: sk_start,
-                // The previous k-mer (at pos-1) is the last sharing cur_min.
-                len: (pos - 1) - sk_start + k,
-            });
-            cur_min = mz;
-            sk_start = pos;
+/// Scans one pure-ACGT run `seq[lo..hi]` with the rolling window,
+/// emitting `(minimizer, start, len)` per super-k-mer.
+fn scan_run(
+    seq: &[u8],
+    lo: usize,
+    hi: usize,
+    k: usize,
+    m: usize,
+    canonical: bool,
+    mut emit: impl FnMut(u64, usize, usize),
+) {
+    check_km(k, m);
+    let mut win = MinimizerWindow::new();
+    let mut fwd = 0u64;
+    let mut rc = 0u64;
+    // (current minimizer, span start).
+    let mut cur: Option<(u64, usize)> = None;
+    for i in lo..hi {
+        let code = ENCODE_TABLE[seq[i] as usize];
+        debug_assert!(code != crate::encode::INVALID_CODE, "run is pure ACGT");
+        fwd = fwd.push_base(m, code);
+        rc = rc.push_base_rc(m, code);
+        if i + 1 >= lo + m {
+            let mmer = if canonical { fwd.min(rc) } else { fwd };
+            win.push(i + 1 - m, mmer, mmer.hash64());
+        }
+        if i + 1 >= lo + k {
+            let p = i + 1 - k; // k-mer start
+            win.evict_before(p);
+            let (mz, _) = win.min();
+            match cur {
+                Some((cm, _)) if cm == mz => {}
+                Some((cm, st)) => {
+                    // The previous k-mer (at p-1) is the last sharing cm.
+                    emit(cm, st, (p - 1) - st + k);
+                    cur = Some((mz, p));
+                }
+                None => cur = Some((mz, p)),
+            }
         }
     }
-    out.push(SuperKmer {
-        minimizer: cur_min,
-        start: sk_start,
-        len: hi - sk_start,
-    });
+    if let Some((cm, st)) = cur {
+        emit(cm, st, hi - st);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed span wire codec.
+// ---------------------------------------------------------------------
+
+/// Longest span one wire record can carry (u16 length prefix).
+pub const SPAN_MAX_BASES: usize = u16::MAX as usize;
+
+/// Wire size of a packed span of `len` bases: 2-byte length prefix plus
+/// 2-bit-packed bases.
+pub fn packed_span_bytes(len: usize) -> usize {
+    2 + len.div_ceil(4)
+}
+
+/// A malformed packed-span stream. Corruption on the wire must surface as
+/// one of these — never a panic or a silent wrong expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanDecodeError {
+    /// The buffer ended inside a record's 2-byte length prefix.
+    TruncatedHeader {
+        /// Bytes left in the buffer (0 or 1).
+        have: usize,
+    },
+    /// The buffer ended inside a record's packed bases.
+    TruncatedBases {
+        /// Packed bytes the length prefix announced.
+        need: usize,
+        /// Packed bytes actually present.
+        have: usize,
+    },
+    /// A record shorter than one k-mer (including a zero length, which
+    /// would otherwise stall a decode loop).
+    TooShort {
+        /// Announced span length in bases.
+        len: usize,
+        /// The k it must at least reach.
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for SpanDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TruncatedHeader { have } => {
+                write!(f, "span record truncated in its length prefix ({have} of 2 bytes)")
+            }
+            Self::TruncatedBases { need, have } => {
+                write!(f, "span record truncated in its bases ({have} of {need} packed bytes)")
+            }
+            Self::TooShort { len, k } => {
+                write!(f, "span of {len} bases cannot carry a k={k} k-mer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpanDecodeError {}
+
+/// Appends one span record — `[len: u16 LE][2-bit packed bases]` — to
+/// `out`. Bases pack little-endian within each byte (base `j` occupies
+/// bits `2·(j mod 4)` of byte `j / 4`).
+///
+/// # Panics
+///
+/// Panics if the span is empty, longer than [`SPAN_MAX_BASES`], or (debug
+/// only) contains a non-ACGT byte — producers only pack pure-ACGT runs.
+pub fn pack_span(out: &mut Vec<u8>, bases: &[u8]) {
+    assert!(!bases.is_empty() && bases.len() <= SPAN_MAX_BASES);
+    out.extend_from_slice(&(bases.len() as u16).to_le_bytes());
+    let mut acc = 0u8;
+    for (j, &b) in bases.iter().enumerate() {
+        let code = ENCODE_TABLE[b as usize];
+        debug_assert!(code != crate::encode::INVALID_CODE, "span bases must be ACGT");
+        acc |= code << ((j % 4) * 2);
+        if j % 4 == 3 {
+            out.push(acc);
+            acc = 0;
+        }
+    }
+    if !bases.len().is_multiple_of(4) {
+        out.push(acc);
+    }
+}
+
+/// Totals of one packed-span buffer expansion.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Span records decoded.
+    pub spans: u64,
+    /// K-mers expanded out of them.
+    pub kmers: u64,
+    /// Bases the spans carried.
+    pub bases: u64,
+}
+
+/// Expands a concatenation of packed span records back into k-mer words,
+/// appending to `out` (canonical form when `canonical` is set — the exact
+/// words [`crate::kmers_of_read`] would yield for each span).
+///
+/// Fallible by design: a truncated or bit-flipped buffer yields a typed
+/// [`SpanDecodeError`], never a panic or a silent wrong expansion.
+pub fn unpack_spans<W: KmerWord>(
+    buf: &[u8],
+    k: usize,
+    canonical: bool,
+    out: &mut Vec<W>,
+) -> Result<SpanSummary, SpanDecodeError> {
+    let mut sum = SpanSummary::default();
+    let mut at = 0usize;
+    while at < buf.len() {
+        if buf.len() - at < 2 {
+            return Err(SpanDecodeError::TruncatedHeader { have: buf.len() - at });
+        }
+        let len = u16::from_le_bytes([buf[at], buf[at + 1]]) as usize;
+        at += 2;
+        if len < k {
+            return Err(SpanDecodeError::TooShort { len, k });
+        }
+        let need = len.div_ceil(4);
+        let have = buf.len() - at;
+        if have < need {
+            return Err(SpanDecodeError::TruncatedBases { need, have });
+        }
+        let packed = &buf[at..at + need];
+        at += need;
+        let mut fwd = W::default();
+        let mut rc = W::default();
+        for j in 0..len {
+            let code = (packed[j / 4] >> ((j % 4) * 2)) & 0b11;
+            fwd = fwd.push_base(k, code);
+            if canonical {
+                rc = rc.push_base_rc(k, code);
+                if j + 1 >= k {
+                    out.push(fwd.min(rc));
+                }
+            } else if j + 1 >= k {
+                out.push(fwd);
+            }
+        }
+        sum.spans += 1;
+        sum.kmers += (len - k + 1) as u64;
+        sum.bases += len as u64;
+    }
+    Ok(sum)
 }
 
 #[cfg(test)]
@@ -188,5 +492,151 @@ mod tests {
         assert_eq!(sks.len(), 1);
         assert_eq!(sks[0].start, 0);
         assert_eq!(sks[0].len, 5);
+    }
+
+    /// Deterministic pseudo-random ACGT+N sequence for oracle sweeps.
+    fn noisy_seq(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                match x % 37 {
+                    0 => b'N',
+                    r => b"ACGT"[(r % 4) as usize],
+                }
+            })
+            .collect()
+    }
+
+    // The rolling-window path must agree with the per-position rescan
+    // oracle on every k-mer's minimizer, both modes, k beyond 32.
+    #[test]
+    fn rolling_matches_rescan_oracle() {
+        for seed in 1..6u64 {
+            let seq = noisy_seq(300, seed);
+            for &(k, m) in &[(5usize, 2usize), (9, 4), (15, 7), (31, 7), (33, 9), (51, 15)] {
+                for canonical in [false, true] {
+                    let sks = super_kmers_mode(&seq, k, m, canonical);
+                    for sk in &sks {
+                        for p in sk.start..=sk.start + sk.len - k {
+                            assert_eq!(
+                                minimizer_of_mode(&seq, p, k, m, canonical),
+                                Some(sk.minimizer),
+                                "seed={seed} k={k} m={m} canonical={canonical} p={p}"
+                            );
+                        }
+                    }
+                    // Coverage: spans tile the extractable k-mers exactly.
+                    let total: usize = sks.iter().map(|sk| sk.len - k + 1).sum();
+                    let direct = if k <= 32 {
+                        kmers_of_read::<Kmer64>(&seq, k, CanonicalMode::Forward).count()
+                    } else {
+                        kmers_of_read::<u128>(&seq, k, CanonicalMode::Forward).count()
+                    };
+                    assert_eq!(total, direct, "seed={seed} k={k} m={m}");
+                }
+            }
+        }
+    }
+
+    // A k-mer and its reverse complement must select the same canonical
+    // minimizer — the invariant that makes minimizer routing valid for
+    // canonical counting.
+    #[test]
+    fn canonical_minimizer_is_strand_symmetric() {
+        for seed in 1..8u64 {
+            let seq: Vec<u8> = noisy_seq(64, seed).into_iter().filter(|&b| b != b'N').collect();
+            let (k, m) = (11usize, 5usize);
+            if seq.len() < k {
+                continue;
+            }
+            let rc: Vec<u8> = seq
+                .iter()
+                .rev()
+                .map(|&b| match b {
+                    b'A' => b'T',
+                    b'C' => b'G',
+                    b'G' => b'C',
+                    _ => b'A',
+                })
+                .collect();
+            for p in 0..=seq.len() - k {
+                let fwd_mz = minimizer_of_mode(&seq, p, k, m, true);
+                let rc_mz = minimizer_of_mode(&rc, seq.len() - k - p, k, m, true);
+                assert_eq!(fwd_mz, rc_mz, "seed={seed} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrips_kmers() {
+        let seq = b"ACGTACGGTTACGGATTACAGGCATTGACCAT";
+        for &(k, m) in &[(5usize, 2usize), (9, 4), (13, 7)] {
+            for canonical in [false, true] {
+                let mode =
+                    if canonical { CanonicalMode::Canonical } else { CanonicalMode::Forward };
+                let mut buf = Vec::new();
+                for_each_span(seq, k, m, canonical, |_, span| pack_span(&mut buf, span));
+                let mut got: Vec<u64> = Vec::new();
+                let sum = unpack_spans(&buf, k, canonical, &mut got).unwrap();
+                got.sort_unstable();
+                let mut want: Vec<u64> = kmers_of_read::<Kmer64>(seq, k, mode).collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "k={k} m={m} canonical={canonical}");
+                assert_eq!(sum.kmers as usize, want.len());
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_rejects_malformed_buffers() {
+        let mut buf = Vec::new();
+        pack_span(&mut buf, b"ACGTACG");
+        let mut out: Vec<u64> = Vec::new();
+        // Truncated header.
+        assert_eq!(
+            unpack_spans::<u64>(&buf[..1], 5, false, &mut out),
+            Err(SpanDecodeError::TruncatedHeader { have: 1 })
+        );
+        // Truncated bases.
+        assert_eq!(
+            unpack_spans::<u64>(&buf[..3], 5, false, &mut out),
+            Err(SpanDecodeError::TruncatedBases { need: 2, have: 1 })
+        );
+        // Span shorter than k (also catches a zeroed length prefix).
+        assert_eq!(
+            unpack_spans::<u64>(&buf, 8, false, &mut out),
+            Err(SpanDecodeError::TooShort { len: 7, k: 8 })
+        );
+        let zero = [0u8, 0u8];
+        assert_eq!(
+            unpack_spans::<u64>(&zero, 5, false, &mut out),
+            Err(SpanDecodeError::TooShort { len: 0, k: 5 })
+        );
+    }
+
+    #[test]
+    fn long_spans_split_at_wire_cap_without_losing_kmers() {
+        // A poly-A read long enough to exceed the u16 record cap is one
+        // super-k-mer; for_each_span must chunk it with k-1 overlap so the
+        // expanded k-mer multiset is unchanged.
+        let k = 9;
+        let m = 4;
+        let seq = vec![b'A'; SPAN_MAX_BASES + 1000];
+        let mut buf = Vec::new();
+        let mut chunks = 0usize;
+        for_each_span(&seq, k, m, false, |_, span| {
+            assert!(span.len() <= SPAN_MAX_BASES);
+            chunks += 1;
+            pack_span(&mut buf, span);
+        });
+        assert!(chunks >= 2, "cap never split the span");
+        let mut got: Vec<u64> = Vec::new();
+        let sum = unpack_spans(&buf, k, false, &mut got).unwrap();
+        assert_eq!(sum.kmers as usize, seq.len() - k + 1);
+        assert_eq!(got.len(), seq.len() - k + 1);
+        assert!(got.iter().all(|&w| w == 0), "poly-A k-mers pack to zero");
     }
 }

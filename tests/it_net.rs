@@ -455,6 +455,255 @@ fn chaos_die_fast_fails_peers_naming_the_dead_rank() {
 // panic, an unbounded allocation, or a hang.
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// Wire bit-identity golden: with super-k-mer encoding off, the cascade's
+// data-frame stream per directed (src, dst) pair must stay byte-for-byte
+// what PR 7 shipped. The golden digests below were captured from the
+// unmodified PR 7 tree; any change to packet contents, record order, or
+// ship thresholds in the default path trips this test.
+// ---------------------------------------------------------------------
+
+/// FNV-1a over a frame stream, length-delimited so frame boundaries are
+/// part of the digest.
+fn fnv_frame(mut h: u64, frame: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for b in (frame.len() as u32).to_le_bytes().into_iter().chain(frame.iter().copied()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Transport wrapper that digests every data frame per directed pair.
+///
+/// The single gather frame carrying the metrics-JSON registry is skipped:
+/// it embeds timing-dependent counters (`net.term_rounds`, stalls) and is
+/// the one payload that is legitimately nondeterministic. Everything else
+/// — cascade packets, gather headers, HEAVY result chunks — depends only
+/// on the sender's own deterministic parse, so a chained digest per
+/// (src, dst) pair pins the wire bytes exactly.
+struct DigestTransport<T> {
+    inner: T,
+    digests: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
+}
+
+impl<T: dakc_net::Transport> dakc_net::Transport for DigestTransport<T> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+    fn num_ranks(&self) -> usize {
+        self.inner.num_ranks()
+    }
+    fn send(&mut self, dest: usize, frame: &[u8]) -> NetResult<()> {
+        let json = frame.first() == Some(&b'{') && frame.last() == Some(&b'}');
+        if !json {
+            let n = self.inner.num_ranks();
+            let mut d = self.digests.lock().unwrap();
+            let slot = &mut d[self.inner.rank() * n + dest];
+            *slot = fnv_frame(if *slot == 0 { FNV_OFFSET } else { *slot }, frame);
+        }
+        self.inner.send(dest, frame)
+    }
+    fn try_recv(&mut self) -> NetResult<Option<(usize, Vec<u8>)>> {
+        self.inner.try_recv()
+    }
+    fn flush(&mut self) -> NetResult<()> {
+        self.inner.flush()
+    }
+    fn barrier(&mut self) -> NetResult<()> {
+        self.inner.barrier()
+    }
+    fn termination_round(&mut self) -> NetResult<bool> {
+        self.inner.termination_round()
+    }
+    fn stats(&self) -> &dakc_net::NetStats {
+        self.inner.stats()
+    }
+    fn stats_mut(&mut self) -> &mut dakc_net::NetStats {
+        self.inner.stats_mut()
+    }
+    fn last_global_totals(&self) -> Option<(u64, u64)> {
+        self.inner.last_global_totals()
+    }
+    fn first_dead_peer(&self) -> Option<usize> {
+        self.inner.first_dead_peer()
+    }
+    fn peer_dead(&self, rank: usize) -> bool {
+        self.inner.peer_dead(rank)
+    }
+}
+
+/// Runs a digest-wrapped mesh (loopback or in-process TCP) and returns
+/// `(counts, per-pair digests)`.
+fn run_digest_mesh(
+    reads: &ReadSet,
+    cfg: &DakcConfig,
+    ranks: usize,
+    tcp: bool,
+    tag: &str,
+) -> (Vec<KmerCount<u64>>, Vec<u64>) {
+    let digests = std::sync::Arc::new(std::sync::Mutex::new(vec![0u64; ranks * ranks]));
+    let dir = std::env::temp_dir().join(format!("dakc-it-digest-{}-{tag}", std::process::id()));
+    if tcp {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut loop_mesh: Vec<Option<Loopback>> = if tcp {
+        (0..ranks).map(|_| None).collect()
+    } else {
+        Loopback::mesh(ranks).into_iter().map(Some).collect()
+    };
+    let run = std::thread::scope(|s| {
+        let handles: Vec<_> = loop_mesh
+            .iter_mut()
+            .enumerate()
+            .map(|(rank, slot)| {
+                let dir = dir.clone();
+                let digests = digests.clone();
+                let slot = slot.take();
+                s.spawn(move || match slot {
+                    Some(lo) => {
+                        run_rank::<u64, _>(reads, cfg, DigestTransport { inner: lo, digests })
+                            .unwrap()
+                    }
+                    None => {
+                        let t = TcpTransport::rendezvous(rank, ranks, &dir, cfg.c0_bytes).unwrap();
+                        run_rank::<u64, _>(reads, cfg, DigestTransport { inner: t, digests })
+                            .unwrap()
+                    }
+                })
+            })
+            .collect();
+        let mut out = None;
+        for h in handles {
+            if let Some(r) = h.join().expect("rank thread panicked") {
+                out = Some(r);
+            }
+        }
+        out.expect("rank 0 result")
+    });
+    if tcp {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let d = digests.lock().unwrap().clone();
+    (run.counts, d)
+}
+
+#[test]
+fn default_mode_wire_digest_matches_pr7_golden() {
+    // Captured from the unmodified PR 7 tree (workload(31), k=31,
+    // scaled_defaults + L3, 3 ranks). Row-major [src * ranks + dst].
+    const GOLDEN: [u64; 9] = [
+        12694026684392949695,
+        16696218413624755691,
+        6956128918343755458,
+        438335224893881240,
+        14154194250041189132,
+        16480700137519909968,
+        8345637009309515526,
+        444341173696052613,
+        5555719435282938632,
+    ];
+    let reads = workload(31);
+    let cfg = DakcConfig::scaled_defaults(31).with_l3();
+    let want = reference::<u64>(&reads, 31, cfg.canonical);
+    let (counts, loop_digest) = run_digest_mesh(&reads, &cfg, 3, false, "loop");
+    assert_eq!(counts, want, "digest wrapper changed the loopback result");
+    let (tcp_counts, tcp_digest) = run_digest_mesh(&reads, &cfg, 3, true, "tcp");
+    assert_eq!(tcp_counts, want, "digest wrapper changed the tcp result");
+    assert_eq!(
+        loop_digest, tcp_digest,
+        "loopback and TCP must ship identical per-pair data-frame streams"
+    );
+    assert_eq!(loop_digest.as_slice(), GOLDEN, "wire bytes diverged from the PR 7 golden");
+}
+
+// ---------------------------------------------------------------------
+// Super-k-mer mode (tentpole): with `--superkmer` on, minimizer routing
+// changes every wire payload but the merged histogram must stay
+// bit-identical to the serial reference — across rank counts, both word
+// widths, and both strand modes. And corruption of span payloads must
+// surface as typed errors, never a panic or silently wrong counts.
+// ---------------------------------------------------------------------
+
+fn check_superkmer_identity<W: KmerWord + RadixKey>(
+    reads: &ReadSet,
+    k: usize,
+    mode: CanonicalMode,
+) {
+    let mut off = DakcConfig::scaled_defaults(k);
+    off.canonical = mode;
+    let on = off.clone().with_superkmer(7);
+    let want = reference::<W>(reads, k, mode);
+    for ranks in [1usize, 2, 4] {
+        let off_run = count_kmers_loopback::<W>(reads, &off, ranks).unwrap();
+        assert_eq!(off_run.counts, want, "off: k={k} mode={mode:?} ranks={ranks}");
+        let on_run = count_kmers_loopback::<W>(reads, &on, ranks).unwrap();
+        assert_eq!(on_run.counts, want, "on: k={k} mode={mode:?} ranks={ranks}");
+        assert!(
+            on_run.metrics.counter("net.superkmer.spans") > 0,
+            "k={k} mode={mode:?} ranks={ranks}: span path not exercised"
+        );
+    }
+}
+
+#[test]
+fn superkmer_on_off_bit_identical_across_ranks_k_and_modes() {
+    let reads = workload(31);
+    for mode in [CanonicalMode::Forward, CanonicalMode::Canonical] {
+        check_superkmer_identity::<u64>(&reads, 15, mode);
+        check_superkmer_identity::<u64>(&reads, 31, mode);
+        check_superkmer_identity::<u128>(&reads, 33, mode);
+    }
+}
+
+#[test]
+fn tcp_superkmer_matches_serial_and_counts_compression() {
+    let reads = workload(32);
+    let mut cfg = DakcConfig::scaled_defaults(31).with_superkmer(7);
+    cfg.canonical = CanonicalMode::Canonical;
+    let want = reference::<u64>(&reads, 31, cfg.canonical);
+    let run = count_kmers_tcp_threads::<u64>(&reads, &cfg, 3, "superkmer");
+    assert_eq!(run.counts, want);
+    assert!(run.metrics.counter("net.superkmer.spans") > 0);
+    assert!(run.metrics.counter("net.superkmer.bytes_sent") > 0);
+    assert!(run.metrics.counter("agg.span_bases_saved") > 0);
+}
+
+// Truncation chaos replaces whole frames with garbage bytes while span
+// frames are in flight over real sockets: every rank must come back
+// with a typed error (the victim a frame-decode error, peers a typed
+// timeout/abort) or — if it did finish — the exact reference counts.
+// A panic anywhere fails the thread join.
+#[test]
+fn chaos_truncate_on_superkmer_frames_fails_typed_never_silent() {
+    let reads = workload(33);
+    let cfg = DakcConfig::scaled_defaults(15).with_superkmer(7);
+    let want = reference::<u64>(&reads, 15, cfg.canonical);
+    let tuning = NetTuning::default().with_timeout(Duration::from_secs(10));
+    let results = run_ranks_chaos::<u64>(
+        &reads, &cfg, 3, "sk-trunc", Some("truncate=1000"), 7, tuning, true,
+    );
+    let mut errs = Vec::new();
+    for (rank, r) in results.iter().enumerate() {
+        match r {
+            Ok(Some(run)) => {
+                assert_eq!(run.counts, want, "rank {rank}: silently wrong counts");
+            }
+            Ok(None) => {}
+            Err(e) => errs.push(format!("rank {rank}: {e}")),
+        }
+    }
+    assert!(
+        results.iter().any(|r| matches!(
+            r,
+            Err(NetError::CorruptFrame { .. } | NetError::OversizedFrame { .. })
+        )),
+        "no rank surfaced a typed frame-decode error: {errs:?}"
+    );
+}
+
 fn kind_of(tag: u8) -> FrameKind {
     FrameKind::from_u8(tag).expect("valid tag")
 }
@@ -540,5 +789,48 @@ proptest! {
                 }
             }
         }
+    }
+
+    // One level up from frames: a CH_SUPER payload that frames cleanly
+    // but carries truncated or bit-flipped span records. The span codec
+    // must return a typed `SpanDecodeError` or decode to a bounded
+    // number of k-mers (every 2-bit pattern is a valid base, so a flip
+    // in the bases decodes — the aggregator's counts then differ from
+    // the sender's and the termination protocol stalls typed) — never
+    // panic.
+    #[test]
+    fn corrupted_span_payload_decodes_typed(
+        seqs in prop::collection::vec(
+            prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 15..120),
+            1..6),
+        cut_raw in any::<u32>(),
+        flip_raw in any::<u32>(),
+    ) {
+        let k = 15;
+        let mut buf = Vec::new();
+        for s in &seqs {
+            dakc_kmer::for_each_span(s, k, 7, false, |_mz, span| {
+                dakc_kmer::pack_span(&mut buf, span);
+            });
+        }
+        let mut clean: Vec<u64> = Vec::new();
+        dakc_kmer::unpack_spans(&buf, k, false, &mut clean).expect("clean stream decodes");
+        prop_assert!(!clean.is_empty());
+        // Truncate anywhere: a prefix of records decodes, the torn
+        // record (if the cut is mid-record) is a typed error.
+        let cut = cut_raw as usize % buf.len();
+        let mut got: Vec<u64> = Vec::new();
+        let _typed: Result<_, dakc_kmer::SpanDecodeError> =
+            dakc_kmer::unpack_spans(&buf[..cut], k, false, &mut got);
+        prop_assert!(got.len() <= clean.len());
+        prop_assert_eq!(&got[..], &clean[..got.len()]);
+        // Flip one bit anywhere: typed error or bounded decode.
+        let mut flipped = buf.clone();
+        let at = flip_raw as usize % (buf.len() * 8);
+        flipped[at / 8] ^= 1 << (at % 8);
+        let mut got: Vec<u64> = Vec::new();
+        let _typed: Result<_, dakc_kmer::SpanDecodeError> =
+            dakc_kmer::unpack_spans(&flipped, k, false, &mut got);
+        prop_assert!(got.len() <= flipped.len() * 4);
     }
 }

@@ -5,7 +5,9 @@
 use dakc::{count_kmers_sim, count_kmers_threaded, count_kmers_threaded_opts, DakcConfig, ThreadedOpts};
 use dakc_baselines::{count_kmers_bsp_sim, count_kmers_serial, BspConfig};
 use dakc_io::ReadSet;
-use dakc_kmer::CanonicalMode;
+use dakc_kmer::{
+    for_each_span, kmers_of_read, pack_span, unpack_spans, CanonicalMode, SPAN_MAX_BASES,
+};
 use dakc_sim::MachineConfig;
 use proptest::prelude::*;
 
@@ -103,4 +105,78 @@ proptest! {
             prop_assert_eq!(&got.counts, &want, "k=33 threads={}", threads);
         }
     }
+
+    // Super-k-mer routing (minimizer ownership, packed span lanes, owner-
+    // side expansion) must be invisible in the output: bit-identical to
+    // the serial reference for every thread shape, word width, and
+    // strand mode. The N-bearing strategy exercises non-ACGT breaks.
+    #[test]
+    fn threaded_superkmer_bit_identical_across_shapes(
+        reads in read_set_strategy(),
+        canonical in any::<bool>(),
+    ) {
+        let mode = if canonical { CanonicalMode::Canonical } else { CanonicalMode::Forward };
+        let opts = ThreadedOpts { superkmer: Some(7), ..ThreadedOpts::default() };
+        for k in [15usize, 31] {
+            let want = count_kmers_serial::<u64>(&reads, k, mode, false).counts;
+            for threads in [1usize, 2, 4] {
+                let got = count_kmers_threaded_opts::<u64>(&reads, k, mode, threads, None, &opts);
+                prop_assert_eq!(&got.counts, &want, "k={} threads={}", k, threads);
+            }
+        }
+        let want = count_kmers_serial::<u128>(&reads, 33, mode, false).counts;
+        for threads in [1usize, 2, 4] {
+            let got = count_kmers_threaded_opts::<u128>(&reads, 33, mode, threads, None, &opts);
+            prop_assert_eq!(&got.counts, &want, "k=33 threads={}", threads);
+        }
+    }
+}
+
+// Span wire codec: decomposing a read into super-k-mer spans, packing
+// them, and unpacking must reproduce exactly the k-mer multiset of the
+// read — non-ACGT bytes break spans but lose no flanking k-mers.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn span_codec_round_trips(
+        reads in read_set_strategy(),
+        k in 5usize..12,
+        m in 1usize..5,
+        canonical in any::<bool>(),
+    ) {
+        let mode = if canonical { CanonicalMode::Canonical } else { CanonicalMode::Forward };
+        for r in reads.iter() {
+            let mut want: Vec<u64> = kmers_of_read::<u64>(r, k, mode).collect();
+            want.sort_unstable();
+            let mut buf = Vec::new();
+            for_each_span(r, k, m, canonical, |_mz, span| pack_span(&mut buf, span));
+            let mut got: Vec<u64> = Vec::new();
+            unpack_spans(&buf, k, canonical, &mut got).expect("pack -> unpack is lossless");
+            got.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+// A span longer than the u16 length prefix must split into overlapping
+// records (overlap k-1) that still expand to the exact k-mer multiset —
+// on the u128 word path.
+#[test]
+fn span_codec_splits_at_u16_boundary_u128() {
+    let k = 33;
+    let read = vec![b'A'; SPAN_MAX_BASES + 5_000]; // one poly-A super-k-mer
+    let mut buf = Vec::new();
+    let mut spans = 0usize;
+    for_each_span(&read, k, 7, false, |_mz, span| {
+        assert!(span.len() <= SPAN_MAX_BASES);
+        spans += 1;
+        pack_span(&mut buf, span);
+    });
+    assert!(spans >= 2, "span must split at the u16 boundary, got {spans} record(s)");
+    let mut got: Vec<u128> = Vec::new();
+    let sum = unpack_spans(&buf, k, false, &mut got).unwrap();
+    let want: Vec<u128> = kmers_of_read::<u128>(&read, k, CanonicalMode::Forward).collect();
+    assert_eq!(got, want);
+    assert_eq!(sum.kmers as usize, want.len());
 }
