@@ -1,0 +1,138 @@
+//! Extension — query-service throughput and latency (loopback mesh).
+//!
+//! Builds the sharded on-disk index format from a counted dataset, goes
+//! resident with `dakc-serve`'s loopback cluster (the same server loop
+//! and wire frames `dakc serve` runs over TCP, minus socket syscalls),
+//! and drives batched point lookups through the query client at
+//! ranks × batch-size. Each cell reports aggregate lookups/s plus the
+//! client's flow-traced per-query latency percentiles (p50/p95/p99) —
+//! the wall and latency columns are duration cells, so the CI
+//! bench-compare gate watches them for regressions.
+
+use std::time::Instant;
+
+use dakc::DakcConfig;
+use dakc_baselines::count_kmers_serial;
+use dakc_bench::{fmt_secs, BenchArgs, Table};
+use dakc_net::NetTuning;
+use dakc_serve::{build_shards, start_cluster, LookupResult};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    args.banner(
+        "Extension — sharded query service throughput (loopback serve mesh)",
+        "tentpole: dakc-serve resident lookups over the dakc-net transport",
+    );
+
+    let (spec, reads) = dakc_bench::load_dataset("Synthetic 24", &args);
+    let k = 31;
+    let cfg = DakcConfig::scaled_defaults(k);
+    let truth = count_kmers_serial::<u64>(&reads, k, cfg.canonical, false).counts;
+    let keys: Vec<u64> = truth.iter().map(|c| c.kmer).collect();
+    println!(
+        "dataset: {} ({} reads, {} distinct k-mers, k = {k})\n",
+        spec.name,
+        reads.len(),
+        keys.len()
+    );
+
+    let rank_counts: Vec<usize> = if args.quick { vec![4] } else { vec![1, 2, 4] };
+    let batches: Vec<usize> = if args.quick {
+        vec![256, 1024, 4096]
+    } else {
+        vec![64, 256, 1024, 4096]
+    };
+    // Keys per cell: enough round trips for stable percentiles, cycled
+    // over the distinct-k-mer universe so every shard stays warm.
+    let target: usize = if args.quick { 1 << 18 } else { 1 << 19 };
+
+    let mut art = dakc_bench::Artifact::new("ext_serve_qps", &args);
+    let mut t = Table::new(&["ranks", "batch", "lookups", "wall", "lookups/s", "p50", "p95", "p99"]);
+    // The artifact's table drops the run-variable lookups/s column: row
+    // identity in the compare gate is the non-duration cells, so only
+    // deterministic cells (ranks/batch/lookups) may sit beside the gated
+    // wall and latency durations. Throughput still lands in the artifact
+    // as `serve.qps.*` metrics counters.
+    let mut gated = Table::new(&["ranks", "batch", "lookups", "wall", "p50", "p95", "p99"]);
+
+    for &ranks in &rank_counts {
+        for &batch in &batches {
+            let shards =
+                build_shards::<u64>(&reads, &cfg, ranks).expect("shard build");
+            let mut cluster =
+                start_cluster::<u64>(shards, NetTuning::default(), None).expect("cluster start");
+
+            // One warm-up batch outside the clock (thread spin-up, first
+            // allocation of the reply path).
+            let warm = cluster.client.lookup_batch(&keys[..batch.min(keys.len())]);
+            assert!(warm.expect("warm-up batch").complete(), "warm-up lost a shard");
+
+            let mut done = 0usize;
+            let mut hits = 0u64;
+            let t0 = Instant::now();
+            while done < target {
+                let lo = done % keys.len();
+                let hi = (lo + batch).min(keys.len());
+                let chunk = &keys[lo..hi];
+                let outcome = cluster.client.lookup_batch(chunk).expect("lookup batch");
+                assert!(outcome.complete(), "lost a shard mid-bench");
+                hits += outcome
+                    .results
+                    .iter()
+                    .filter(|r| matches!(r, LookupResult::Count(c) if *c > 0))
+                    .count() as u64;
+                done += chunk.len();
+            }
+            let wall = t0.elapsed().as_secs_f64();
+            assert_eq!(hits, done as u64, "every truth key must hit its shard");
+
+            let qps = done as f64 / wall.max(1e-9);
+            let q = |p: f64| {
+                cluster
+                    .client
+                    .metrics()
+                    .histogram("flow.serve.lookup_s")
+                    .and_then(|h| h.quantile(p))
+                    .unwrap_or(0.0)
+            };
+            let (p50, p95, p99) = (q(0.50), q(0.95), q(0.99));
+            t.row(vec![
+                ranks.to_string(),
+                batch.to_string(),
+                done.to_string(),
+                fmt_secs(wall),
+                format!("{qps:.2e}"),
+                fmt_secs(p50),
+                fmt_secs(p95),
+                fmt_secs(p99),
+            ]);
+            gated.row(vec![
+                ranks.to_string(),
+                batch.to_string(),
+                done.to_string(),
+                fmt_secs(wall),
+                fmt_secs(p50),
+                fmt_secs(p95),
+                fmt_secs(p99),
+            ]);
+            let m = art.metrics();
+            m.inc(&format!("serve.qps.r{ranks}.b{batch}"), qps as u64);
+            let (metrics, outcomes) = cluster.shutdown().expect("clean shutdown");
+            for o in outcomes {
+                o.expect("server ended cleanly");
+            }
+            art.metrics().merge(&metrics);
+        }
+    }
+
+    t.print();
+    art.table(&gated);
+    art.write_or_warn();
+    println!(
+        "expected shape: lookups/s grows with batch size (one frame per\n\
+         owner amortizes over more keys) and with ranks (servers answer in\n\
+         parallel); per-query p50 tracks the batch round trip, so bigger\n\
+         batches trade latency for throughput. The 4-rank, batch ≥ 1024\n\
+         cells should clear 1e6 aggregate lookups/s on a laptop-class host."
+    );
+}

@@ -1,5 +1,7 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
 
+use std::time::Duration;
+
 use dakc_conveyors::Protocol;
 
 /// A parsed invocation.
@@ -24,8 +26,90 @@ pub enum Command {
     Compare(CompareArgs),
     /// `dakc analyze <trace-or-results>... [--out PATH] [--diff] [--threshold X]`
     Analyze(AnalyzeArgs),
+    /// `dakc serve <input> [--ranks N] [--dir DIR]` — stand the counted
+    /// table up as a resident sharded query service.
+    Serve(ServeArgs),
+    /// `dakc serve-worker <input> --rank I ...` (hidden; spawned by
+    /// `serve`, one server rank each).
+    ServeWorker(ServeWorkerArgs),
+    /// `dakc query <keys.tsv> [--dir DIR | --serve-reads <input>]` — look
+    /// keys up against a serve mesh.
+    Query(QueryArgs),
     /// `dakc help`
     Help,
+}
+
+/// Arguments of `dakc serve` (and, with rank identity added, of the
+/// hidden `dakc serve-worker`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Input FASTA/FASTQ path to count and serve.
+    pub input: String,
+    /// k-mer length.
+    pub k: usize,
+    /// Number of server ranks (the query client joins as one more).
+    pub ranks: usize,
+    /// Canonical (strand-neutral) counting.
+    pub canonical: bool,
+    /// Service directory: rendezvous files and shard files live here.
+    pub dir: String,
+    /// Transport deadlines (connection setup and collective waits).
+    pub net_timeout: Option<Duration>,
+    /// Worker → supervisor heartbeat period (default 100ms).
+    pub heartbeat_interval: Option<Duration>,
+    /// Live `--status` redraw period (default 500ms).
+    pub status_interval: Option<Duration>,
+    /// Render the live per-rank status table while serving.
+    pub status: bool,
+    /// Chaos fault-injection RNG seed (only meaningful with a profile).
+    pub chaos_seed: Option<u64>,
+    /// Chaos fault-injection profile applied to the serve loop's
+    /// transport, e.g. `die:2@200`.
+    pub chaos_profile: Option<String>,
+}
+
+/// Arguments of the hidden `dakc serve-worker` subcommand: one server
+/// rank of a TCP serve mesh. `serve` spawns these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeWorkerArgs {
+    /// This process's server rank.
+    pub rank: usize,
+    /// The launcher's supervisor address to heartbeat to (`host:port`).
+    pub supervisor: Option<String>,
+    /// The serve parameters, identical on every rank.
+    pub job: ServeArgs,
+}
+
+/// Arguments of `dakc query`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryArgs {
+    /// Keys file: TSV whose first column is a k-mer (the output of
+    /// `dakc count` works directly).
+    pub keys: String,
+    /// k-mer length (must match the service's).
+    pub k: usize,
+    /// Number of server ranks in the mesh.
+    pub ranks: usize,
+    /// Service directory of a running `dakc serve` to join (TCP mode).
+    pub dir: Option<String>,
+    /// Loopback mode: count these reads into an in-process cluster and
+    /// query that instead of joining a TCP service.
+    pub serve_reads: Option<String>,
+    /// Canonical counting for `--serve-reads`.
+    pub canonical: bool,
+    /// Keys per lookup batch.
+    pub batch: usize,
+    /// Output TSV path (stdout if absent).
+    pub output: Option<String>,
+    /// Write the client metrics registry (lookup latency histograms) as
+    /// JSON to this path.
+    pub metrics: Option<String>,
+    /// Also fetch and print the merged count spectrum up to this bucket.
+    pub histogram: Option<u32>,
+    /// Also fetch and print the global top-N records.
+    pub top: Option<usize>,
+    /// Transport deadlines (connection setup and collective waits).
+    pub net_timeout: Option<Duration>,
 }
 
 /// Arguments of `dakc analyze`.
@@ -72,6 +156,9 @@ pub struct CountArgs {
     pub l3: Option<usize>,
     /// Output TSV path (stdout if absent).
     pub output: Option<String>,
+    /// Also persist the final sorted table in the shard wire format
+    /// (the serve index builder's input) at this path.
+    pub output_shard: Option<String>,
     /// Minimum count to report.
     pub min_count: u32,
     /// Write a Chrome trace-event JSON of the run to this path.
@@ -120,11 +207,16 @@ pub struct LaunchArgs {
     pub output: Option<String>,
     /// Write the merged metrics registry as JSON to this path.
     pub metrics: Option<String>,
-    /// Transport deadline in seconds (connection setup and collective
-    /// waits); the tuned default when absent.
-    pub net_timeout: Option<f64>,
+    /// Transport deadline (connection setup and collective waits);
+    /// the tuned default when absent. Accepts `500ms`, `5s`, or bare
+    /// seconds.
+    pub net_timeout: Option<Duration>,
     /// Retry budget for transient send stalls.
     pub net_retries: Option<u32>,
+    /// Worker → supervisor heartbeat period (default 100ms).
+    pub heartbeat_interval: Option<Duration>,
+    /// Live `--status` redraw period (default 500ms).
+    pub status_interval: Option<Duration>,
     /// Chaos fault-injection RNG seed (only meaningful with a profile).
     pub chaos_seed: Option<u64>,
     /// Chaos fault-injection profile, e.g. `drop=5,die:2@200`.
@@ -224,6 +316,7 @@ dakc — distributed asynchronous k-mer counting
 USAGE:
   dakc count <reads.fasta|fastq> [-k 31] [--threads 8] [--canonical]
              [--l3 C3] [--min-count 1] [-o counts.tsv] [--route-batch N]
+             [--output-shard table.dakshard]
              [--superkmer] [--minimizer-len 7]
              [--trace trace.json] [--metrics metrics.json] [--trace-sample N]
   dakc generate --dataset NAME [--scale-shift 12] [--seed 42] [-o out.fastq]
@@ -234,9 +327,17 @@ USAGE:
                 [--trace-sample N]
   dakc launch <reads> [--ranks 4] [--backend tcp|loopback] [-k 31]
               [--canonical] [--l3 C3] [--min-count 1] [-o counts.tsv]
-              [--metrics metrics.json] [--net-timeout SECS] [--net-retries N]
+              [--metrics metrics.json] [--net-timeout 5s|500ms] [--net-retries N]
+              [--heartbeat-interval 100ms] [--status-interval 500ms]
               [--chaos-seed N] [--chaos-profile SPEC] [--trace trace.json]
               [--trace-sample N] [--status] [--superkmer] [--minimizer-len 7]
+  dakc serve <reads> --dir DIR [--ranks 4] [-k 31] [--canonical]
+             [--net-timeout 30s] [--heartbeat-interval 100ms]
+             [--status-interval 500ms] [--status]
+             [--chaos-seed N] [--chaos-profile SPEC]
+  dakc query <keys.tsv> (--dir DIR | --serve-reads <reads>) [--ranks 4] [-k 31]
+             [--canonical] [--batch 1024] [-o answers.tsv] [--metrics m.json]
+             [--histogram 16] [--top 10] [--net-timeout 5s]
   dakc model --dataset NAME [--nodes 32]
   dakc compare <reads> [-k 31] [--nodes 8] [--ppn 24]
   dakc analyze <trace.json|metrics.json|results/*.json>... [--out PATH]
@@ -251,6 +352,36 @@ fn take_value(args: &mut std::vec::IntoIter<String>, flag: &str) -> Result<Strin
 
 fn parse_num<T: std::str::FromStr>(v: String, flag: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("{flag}: invalid value {v:?}"))
+}
+
+/// Parses a humane duration: `500ms`, `5s`, `2.5s`, `1m` — or a bare
+/// number, kept meaning seconds for compatibility. Must be positive.
+pub fn parse_duration(v: &str, flag: &str) -> Result<Duration, String> {
+    let (num, scale) = if let Some(n) = v.strip_suffix("ms") {
+        (n, 1e-3)
+    } else if let Some(n) = v.strip_suffix('s').filter(|n| !n.ends_with('m')) {
+        (n, 1.0)
+    } else if let Some(n) = v.strip_suffix('m') {
+        (n, 60.0)
+    } else {
+        (v, 1.0)
+    };
+    let secs: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("{flag}: invalid duration {v:?} (try 500ms, 5s, or bare seconds)"))?;
+    let secs = secs * scale;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("{flag}: duration must be positive, got {v:?}"));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+fn take_duration(
+    args: &mut std::vec::IntoIter<String>,
+    flag: &str,
+) -> Result<Duration, String> {
+    parse_duration(&take_value(args, flag)?, flag)
 }
 
 /// Validates the `--superkmer`/`--minimizer-len` pair once `k` is known.
@@ -289,6 +420,7 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 l3: None,
                 output: None,
                 min_count: 1,
+                output_shard: None,
                 trace: None,
                 metrics: None,
                 trace_sample: None,
@@ -307,6 +439,9 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                     "--canonical" => a.canonical = true,
                     "--l3" => a.l3 = Some(parse_num(take_value(&mut args, "--l3")?, "--l3")?),
                     "-o" | "--output" => a.output = Some(take_value(&mut args, "-o")?),
+                    "--output-shard" => {
+                        a.output_shard = Some(take_value(&mut args, "--output-shard")?)
+                    }
                     "--min-count" => {
                         a.min_count =
                             parse_num(take_value(&mut args, "--min-count")?, "--min-count")?
@@ -460,6 +595,8 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 metrics: None,
                 net_timeout: None,
                 net_retries: None,
+                heartbeat_interval: None,
+                status_interval: None,
                 chaos_seed: None,
                 chaos_profile: None,
                 trace: None,
@@ -492,18 +629,20 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                     "-o" | "--output" => a.output = Some(take_value(&mut args, "-o")?),
                     "--metrics" => a.metrics = Some(take_value(&mut args, "--metrics")?),
                     "--net-timeout" => {
-                        let secs: f64 =
-                            parse_num(take_value(&mut args, "--net-timeout")?, "--net-timeout")?;
-                        if !secs.is_finite() || secs <= 0.0 {
-                            return Err(format!("{sub}: --net-timeout must be positive seconds"));
-                        }
-                        a.net_timeout = Some(secs);
+                        a.net_timeout = Some(take_duration(&mut args, "--net-timeout")?)
                     }
                     "--net-retries" => {
                         a.net_retries = Some(parse_num(
                             take_value(&mut args, "--net-retries")?,
                             "--net-retries",
                         )?)
+                    }
+                    "--heartbeat-interval" => {
+                        a.heartbeat_interval =
+                            Some(take_duration(&mut args, "--heartbeat-interval")?)
+                    }
+                    "--status-interval" => {
+                        a.status_interval = Some(take_duration(&mut args, "--status-interval")?)
                     }
                     "--chaos-seed" => {
                         a.chaos_seed = Some(parse_num(
@@ -566,6 +705,153 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
             } else {
                 Ok(Command::Launch(a))
             }
+        }
+        "serve" | "serve-worker" => {
+            let hidden = sub == "serve-worker";
+            let mut input = None;
+            let mut a = ServeArgs {
+                input: String::new(),
+                k: 31,
+                ranks: 4,
+                canonical: false,
+                dir: String::new(),
+                net_timeout: None,
+                heartbeat_interval: None,
+                status_interval: None,
+                status: false,
+                chaos_seed: None,
+                chaos_profile: None,
+            };
+            let mut rank = None;
+            let mut supervisor = None;
+            let mut args = it;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "-k" => a.k = parse_num(take_value(&mut args, "-k")?, "-k")?,
+                    "--ranks" => a.ranks = parse_num(take_value(&mut args, "--ranks")?, "--ranks")?,
+                    "--canonical" => a.canonical = true,
+                    "--dir" => a.dir = take_value(&mut args, "--dir")?,
+                    "--net-timeout" => {
+                        a.net_timeout = Some(take_duration(&mut args, "--net-timeout")?)
+                    }
+                    "--heartbeat-interval" => {
+                        a.heartbeat_interval =
+                            Some(take_duration(&mut args, "--heartbeat-interval")?)
+                    }
+                    "--status-interval" => {
+                        a.status_interval = Some(take_duration(&mut args, "--status-interval")?)
+                    }
+                    "--status" => a.status = true,
+                    "--chaos-seed" => {
+                        a.chaos_seed = Some(parse_num(
+                            take_value(&mut args, "--chaos-seed")?,
+                            "--chaos-seed",
+                        )?)
+                    }
+                    "--chaos-profile" => {
+                        a.chaos_profile = Some(take_value(&mut args, "--chaos-profile")?)
+                    }
+                    "--rank" if hidden => {
+                        rank = Some(parse_num(take_value(&mut args, "--rank")?, "--rank")?)
+                    }
+                    "--supervisor" if hidden => {
+                        supervisor = Some(take_value(&mut args, "--supervisor")?)
+                    }
+                    other if !other.starts_with('-') && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(format!("{sub}: unknown argument {other:?}")),
+                }
+            }
+            a.input = input.ok_or_else(|| format!("{sub}: missing input file"))?;
+            if a.k == 0 || a.k > 64 {
+                return Err(format!("{sub}: k must be in 1..=64"));
+            }
+            if a.ranks == 0 {
+                return Err(format!("{sub}: --ranks must be at least 1"));
+            }
+            if a.dir.is_empty() {
+                return Err(format!("{sub}: --dir is required (shard + rendezvous directory)"));
+            }
+            if hidden {
+                let rank = rank.ok_or("serve-worker: --rank is required")?;
+                if rank >= a.ranks {
+                    return Err(format!(
+                        "serve-worker: rank {rank} out of range 0..{}",
+                        a.ranks
+                    ));
+                }
+                Ok(Command::ServeWorker(ServeWorkerArgs { rank, supervisor, job: a }))
+            } else {
+                Ok(Command::Serve(a))
+            }
+        }
+        "query" => {
+            let mut keys = None;
+            let mut a = QueryArgs {
+                keys: String::new(),
+                k: 31,
+                ranks: 4,
+                dir: None,
+                serve_reads: None,
+                canonical: false,
+                batch: 1024,
+                output: None,
+                metrics: None,
+                histogram: None,
+                top: None,
+                net_timeout: None,
+            };
+            let mut args = it;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "-k" => a.k = parse_num(take_value(&mut args, "-k")?, "-k")?,
+                    "--ranks" => a.ranks = parse_num(take_value(&mut args, "--ranks")?, "--ranks")?,
+                    "--dir" => a.dir = Some(take_value(&mut args, "--dir")?),
+                    "--serve-reads" => {
+                        a.serve_reads = Some(take_value(&mut args, "--serve-reads")?)
+                    }
+                    "--canonical" => a.canonical = true,
+                    "--batch" => a.batch = parse_num(take_value(&mut args, "--batch")?, "--batch")?,
+                    "-o" | "--output" => a.output = Some(take_value(&mut args, "-o")?),
+                    "--metrics" => a.metrics = Some(take_value(&mut args, "--metrics")?),
+                    "--histogram" => {
+                        a.histogram =
+                            Some(parse_num(take_value(&mut args, "--histogram")?, "--histogram")?)
+                    }
+                    "--top" => a.top = Some(parse_num(take_value(&mut args, "--top")?, "--top")?),
+                    "--net-timeout" => {
+                        a.net_timeout = Some(take_duration(&mut args, "--net-timeout")?)
+                    }
+                    other if !other.starts_with('-') && keys.is_none() => {
+                        keys = Some(other.to_string())
+                    }
+                    other => return Err(format!("query: unknown argument {other:?}")),
+                }
+            }
+            a.keys = keys.ok_or("query: missing keys file (TSV, first column = k-mer)")?;
+            if a.k == 0 || a.k > 64 {
+                return Err("query: k must be in 1..=64".into());
+            }
+            if a.ranks == 0 {
+                return Err("query: --ranks must be at least 1".into());
+            }
+            if a.batch == 0 {
+                return Err("query: --batch must be at least 1".into());
+            }
+            match (&a.dir, &a.serve_reads) {
+                (Some(_), Some(_)) => {
+                    return Err("query: --dir and --serve-reads are mutually exclusive".into())
+                }
+                (None, None) => {
+                    return Err(
+                        "query: need --dir DIR (join a running serve) or --serve-reads READS (in-process loopback)"
+                            .into(),
+                    )
+                }
+                _ => {}
+            }
+            Ok(Command::Query(a))
         }
         "model" => {
             let mut a = ModelArgs { dataset: String::new(), nodes: 32 };
@@ -857,7 +1143,7 @@ mod tests {
         ))
         .unwrap();
         let Command::Launch(a) = cmd else { panic!("not launch") };
-        assert_eq!(a.net_timeout, Some(2.5));
+        assert_eq!(a.net_timeout, Some(Duration::from_millis(2500)));
         assert_eq!(a.net_retries, Some(3));
         assert_eq!(a.chaos_seed, Some(42));
         assert_eq!(a.chaos_profile.as_deref(), Some("drop=5,die:2@100"));
@@ -906,7 +1192,7 @@ mod tests {
         .unwrap();
         let Command::Worker(w) = cmd else { panic!("not worker") };
         assert_eq!(w.supervisor.as_deref(), Some("127.0.0.1:7070"));
-        assert_eq!(w.job.net_timeout, Some(3.0));
+        assert_eq!(w.job.net_timeout, Some(Duration::from_secs(3)));
         let Command::Worker(w2) =
             parse_args(argv("worker in.fq --rank 0 --ranks 2 --rendezvous /tmp/rv")).unwrap()
         else {
@@ -937,6 +1223,103 @@ mod tests {
         assert!(parse_args(argv("analyze --diff one.json")).is_err());
         assert!(parse_args(argv("analyze t.json --threshold 0.5")).is_err());
         assert!(parse_args(argv("analyze t.json --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parse_durations() {
+        assert_eq!(parse_duration("500ms", "-t").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("5s", "-t").unwrap(), Duration::from_secs(5));
+        assert_eq!(parse_duration("2.5s", "-t").unwrap(), Duration::from_millis(2500));
+        assert_eq!(parse_duration("1m", "-t").unwrap(), Duration::from_secs(60));
+        // Bare numbers keep meaning seconds.
+        assert_eq!(parse_duration("3", "-t").unwrap(), Duration::from_secs(3));
+        assert_eq!(parse_duration("0.25", "-t").unwrap(), Duration::from_millis(250));
+        for bad in ["", "ms", "fast", "-1s", "0", "0ms", "1h"] {
+            assert!(parse_duration(bad, "-t").is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_launch_duration_flags() {
+        let cmd = parse_args(argv(
+            "launch in.fq --net-timeout 500ms --heartbeat-interval 50ms --status-interval 2s",
+        ))
+        .unwrap();
+        let Command::Launch(a) = cmd else { panic!("not launch") };
+        assert_eq!(a.net_timeout, Some(Duration::from_millis(500)));
+        assert_eq!(a.heartbeat_interval, Some(Duration::from_millis(50)));
+        assert_eq!(a.status_interval, Some(Duration::from_secs(2)));
+        assert!(parse_args(argv("launch in.fq --net-timeout 0")).is_err());
+        assert!(parse_args(argv("launch in.fq --net-timeout -1")).is_err());
+        assert!(parse_args(argv("launch in.fq --heartbeat-interval soon")).is_err());
+    }
+
+    #[test]
+    fn parse_count_output_shard() {
+        let Command::Count(a) =
+            parse_args(argv("count r.fq -k 21 --output-shard t.dakshard")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.output_shard.as_deref(), Some("t.dakshard"));
+        let Command::Count(b) = parse_args(argv("count r.fq")).unwrap() else { panic!() };
+        assert_eq!(b.output_shard, None);
+    }
+
+    #[test]
+    fn parse_serve_and_worker() {
+        let cmd = parse_args(argv(
+            "serve in.fq --dir /tmp/sv --ranks 4 -k 21 --canonical --net-timeout 10s --status",
+        ))
+        .unwrap();
+        let Command::Serve(a) = cmd else { panic!("not serve") };
+        assert_eq!(a.input, "in.fq");
+        assert_eq!(a.dir, "/tmp/sv");
+        assert_eq!(a.ranks, 4);
+        assert_eq!(a.k, 21);
+        assert!(a.canonical && a.status);
+        assert_eq!(a.net_timeout, Some(Duration::from_secs(10)));
+        // --dir is mandatory; rank identity is worker-only.
+        assert!(parse_args(argv("serve in.fq")).is_err());
+        assert!(parse_args(argv("serve in.fq --dir /tmp/sv --rank 0")).is_err());
+        let Command::ServeWorker(w) = parse_args(argv(
+            "serve-worker in.fq --dir /tmp/sv --ranks 4 --rank 2 --supervisor 127.0.0.1:9 --chaos-profile die:2@50",
+        ))
+        .unwrap() else {
+            panic!("not serve-worker")
+        };
+        assert_eq!(w.rank, 2);
+        assert_eq!(w.supervisor.as_deref(), Some("127.0.0.1:9"));
+        assert_eq!(w.job.chaos_profile.as_deref(), Some("die:2@50"));
+        assert!(parse_args(argv("serve-worker in.fq --dir /tmp/sv --ranks 4")).is_err());
+        assert!(parse_args(argv("serve-worker in.fq --dir /tmp/sv --ranks 4 --rank 4")).is_err());
+    }
+
+    #[test]
+    fn parse_query() {
+        let cmd = parse_args(argv(
+            "query keys.tsv --dir /tmp/sv --ranks 4 -k 21 --batch 2048 -o out.tsv --metrics m.json --histogram 8 --top 5",
+        ))
+        .unwrap();
+        let Command::Query(a) = cmd else { panic!("not query") };
+        assert_eq!(a.keys, "keys.tsv");
+        assert_eq!(a.dir.as_deref(), Some("/tmp/sv"));
+        assert_eq!(a.batch, 2048);
+        assert_eq!(a.histogram, Some(8));
+        assert_eq!(a.top, Some(5));
+        let Command::Query(b) =
+            parse_args(argv("query keys.tsv --serve-reads in.fq --canonical")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(b.serve_reads.as_deref(), Some("in.fq"));
+        assert!(b.canonical);
+        assert_eq!(b.batch, 1024);
+        // One of --dir / --serve-reads, not both, not neither.
+        assert!(parse_args(argv("query keys.tsv")).is_err());
+        assert!(parse_args(argv("query keys.tsv --dir d --serve-reads r.fq")).is_err());
+        assert!(parse_args(argv("query keys.tsv --dir d --batch 0")).is_err());
+        assert!(parse_args(argv("query --dir d")).is_err());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::args::{
     AnalyzeArgs, Command, CompareArgs, CountArgs, GenerateArgs, LaunchArgs, ModelArgs, NetBackend,
     SimulateArgs, SpectrumArgs, WorkerArgs, USAGE,
 };
+use crate::serve_cmd;
 
 /// Runs a parsed command.
 pub fn dispatch(cmd: Command) -> Result<(), String> {
@@ -39,6 +40,9 @@ pub fn dispatch(cmd: Command) -> Result<(), String> {
         Command::Model(a) => model(a),
         Command::Compare(a) => compare(a),
         Command::Analyze(a) => analyze(a),
+        Command::Serve(a) => serve_cmd::serve(a),
+        Command::ServeWorker(a) => serve_cmd::serve_worker(a),
+        Command::Query(a) => serve_cmd::query(a),
         Command::Help => {
             println!("{USAGE}");
             Ok(())
@@ -66,7 +70,7 @@ pub fn load_reads(path: &str) -> Result<ReadSet, String> {
     Ok(rs)
 }
 
-fn out_writer(path: &Option<String>) -> Result<Box<dyn Write>, String> {
+pub(crate) fn out_writer(path: &Option<String>) -> Result<Box<dyn Write>, String> {
     Ok(match path {
         Some(p) => Box::new(BufWriter::new(
             File::create(p).map_err(|e| format!("{p}: {e}"))?,
@@ -134,7 +138,7 @@ fn metrics_from_events(events: &[Event]) -> MetricsRegistry {
 
 /// Prints a p50/p95/p99/max table of every `flow.*` latency histogram in
 /// the registry (the output of `--metrics` with flow tracing on).
-fn print_flow_latencies(m: &MetricsRegistry) {
+pub(crate) fn print_flow_latencies(m: &MetricsRegistry) {
     let mut rows: Vec<(&str, &metrics::Histogram)> =
         m.histograms().filter(|(n, _)| n.starts_with("flow.")).collect();
     if rows.is_empty() {
@@ -157,6 +161,20 @@ fn print_flow_latencies(m: &MetricsRegistry) {
     }
 }
 
+/// Persists a counted table as a 1-of-1 shard file — the serve index
+/// builder's wire format, loadable by `Shard::load` or served directly.
+fn write_count_shard<W: KmerWord>(
+    path: &str,
+    counts: &[dakc_kmer::KmerCount<W>],
+    k: usize,
+    canonical: bool,
+) -> Result<(), String> {
+    dakc_serve::write_shard(std::path::Path::new(path), counts, k, canonical, 0, 1)
+        .map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("wrote shard: {path} ({} records)", counts.len());
+    Ok(())
+}
+
 fn count(a: CountArgs) -> Result<(), String> {
     let reads = load_reads(&a.input)?;
     let mode = if a.canonical {
@@ -176,6 +194,9 @@ fn count(a: CountArgs) -> Result<(), String> {
     let mut out = out_writer(&a.output)?;
     let (written, elapsed, distinct, events) = if a.k <= 32 {
         let run = count_kmers_threaded_opts::<u64>(&reads, a.k, mode, a.threads, a.l3, &opts);
+        if let Some(path) = &a.output_shard {
+            write_count_shard(path, &run.counts, a.k, a.canonical)?;
+        }
         (
             write_counts(&mut *out, &run.counts, a.k, a.min_count)?,
             run.elapsed,
@@ -184,6 +205,9 @@ fn count(a: CountArgs) -> Result<(), String> {
         )
     } else {
         let run = count_kmers_threaded_opts::<u128>(&reads, a.k, mode, a.threads, a.l3, &opts);
+        if let Some(path) = &a.output_shard {
+            write_count_shard(path, &run.counts, a.k, a.canonical)?;
+        }
         (
             write_counts(&mut *out, &run.counts, a.k, a.min_count)?,
             run.elapsed,
@@ -245,8 +269,8 @@ fn net_config(a: &LaunchArgs) -> DakcConfig {
 /// derived from `--net-timeout` / `--net-retries`.
 fn net_tuning(a: &LaunchArgs) -> NetTuning {
     let mut t = NetTuning::default();
-    if let Some(secs) = a.net_timeout {
-        t = t.with_timeout(Duration::from_secs_f64(secs));
+    if let Some(d) = a.net_timeout {
+        t = t.with_timeout(d);
     }
     if let Some(r) = a.net_retries {
         t = t.with_retries(r);
@@ -327,7 +351,7 @@ fn print_net_rank_table(m: &MetricsRegistry, ranks: usize) {
 /// Removes the file-rendezvous directory on drop, so every exit from
 /// `launch` — spawn failure, supervisor teardown, clean finish — leaves
 /// no stale `rank*.addr` files behind.
-struct DirGuard(std::path::PathBuf);
+pub(crate) struct DirGuard(pub(crate) std::path::PathBuf);
 
 impl Drop for DirGuard {
     fn drop(&mut self) {
@@ -336,7 +360,7 @@ impl Drop for DirGuard {
 }
 
 /// Kills and reaps every still-running worker.
-fn teardown(children: &mut [Option<std::process::Child>]) {
+pub(crate) fn teardown(children: &mut [Option<std::process::Child>]) {
     for child in children.iter_mut().flatten() {
         let _ = child.kill();
     }
@@ -375,12 +399,12 @@ fn status_table(sup: &Supervisor, launched: Instant) -> String {
     out
 }
 
-fn supervise(
+pub(crate) fn supervise(
     sup: &Supervisor,
     children: &mut [Option<std::process::Child>],
     tuning: &NetTuning,
     launched: Instant,
-    status: bool,
+    status: Option<Duration>,
 ) -> Result<(), String> {
     // Fire before the workers' own collective deadline so a frozen rank
     // is blamed by name rather than as a generic peer timeout; floor
@@ -389,20 +413,22 @@ fn supervise(
     let mut exits: Vec<(usize, std::process::ExitStatus)> = Vec::new();
     // Live status: redraw in place on a terminal (cursor-up + clear),
     // append plain frames when stderr is piped to a file.
-    let redraw_in_place = status && std::io::stderr().is_terminal();
+    let redraw_in_place = status.is_some() && std::io::stderr().is_terminal();
     let mut status_lines = 0usize;
     let mut next_status = Instant::now();
     loop {
-        if status && Instant::now() >= next_status {
-            let table = status_table(sup, launched);
-            let mut err = std::io::stderr().lock();
-            if redraw_in_place && status_lines > 0 {
-                let _ = write!(err, "\x1b[{status_lines}A\x1b[0J");
+        if let Some(period) = status {
+            if Instant::now() >= next_status {
+                let table = status_table(sup, launched);
+                let mut err = std::io::stderr().lock();
+                if redraw_in_place && status_lines > 0 {
+                    let _ = write!(err, "\x1b[{status_lines}A\x1b[0J");
+                }
+                let _ = write!(err, "{table}");
+                let _ = err.flush();
+                status_lines = table.lines().count();
+                next_status = Instant::now() + period;
             }
-            let _ = write!(err, "{table}");
-            let _ = err.flush();
-            status_lines = table.lines().count();
-            next_status = Instant::now() + Duration::from_millis(500);
         }
         for (rank, slot) in children.iter_mut().enumerate() {
             if let Some(child) = slot {
@@ -516,10 +542,13 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
                     cmd.args(["--minimizer-len", &m.to_string()]);
                 }
                 if let Some(t) = a.net_timeout {
-                    cmd.args(["--net-timeout", &t.to_string()]);
+                    cmd.args(["--net-timeout", &format!("{}ms", t.as_millis().max(1))]);
                 }
                 if let Some(r) = a.net_retries {
                     cmd.args(["--net-retries", &r.to_string()]);
+                }
+                if let Some(h) = a.heartbeat_interval {
+                    cmd.args(["--heartbeat-interval", &format!("{}ms", h.as_millis().max(1))]);
                 }
                 if let Some(s) = a.chaos_seed {
                     cmd.args(["--chaos-seed", &s.to_string()]);
@@ -554,7 +583,10 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
                     }
                 }
             }
-            supervise(&sup, &mut children, &tuning, launched, a.status)
+            let status = a
+                .status
+                .then(|| a.status_interval.unwrap_or(Duration::from_millis(500)));
+            supervise(&sup, &mut children, &tuning, launched, status)
         }
     }
 }
@@ -580,7 +612,7 @@ fn worker(w: WorkerArgs) -> Result<(), String> {
                     addr,
                     rank,
                     Arc::clone(&monitor),
-                    Duration::from_millis(100),
+                    a.heartbeat_interval.unwrap_or(Duration::from_millis(100)),
                     Arc::clone(&mute),
                 )
                 .map_err(|e| format!("rank {rank}: supervisor dial: {e}"))?,
@@ -877,6 +909,14 @@ fn analyze(a: AnalyzeArgs) -> Result<(), String> {
                         "super-k-mer compression: {spans} spans, {wire} span B on wire, {saved} bases saved vs per-k-mer words"
                     );
                 }
+                let lookups = m.counter("serve.lookups");
+                if lookups > 0 {
+                    println!(
+                        "query service: {lookups} lookup(s) in {} batch(es), {} server(s) lost",
+                        m.counter("serve.batches"),
+                        m.counter("serve.servers_lost"),
+                    );
+                }
                 print_flow_latencies(&m);
                 // A metrics dump exports as an analyze artifact too, so a
                 // --superkmer run and a baseline run diff with --diff.
@@ -1111,6 +1151,66 @@ mod tests {
         let mbody = std::fs::read_to_string(&mout).unwrap();
         assert_eq!(dakc_bench::artifact::validate(&mbody).unwrap(), "analyze");
         run(&["dakc", "analyze", "--diff", &mout, &mout]);
+    }
+
+    #[test]
+    fn count_output_shard_round_trips() {
+        let fq = tmp("shard.fastq");
+        std::fs::write(
+            &fq,
+            "@r\nACGTACGTACGGTTACAGGACCATGGACCAGT\n+\nIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIII\n",
+        )
+        .unwrap();
+        let tsv = tmp("shard.tsv");
+        let shard = tmp("shard.dakshard");
+        dispatch(
+            parse_args(
+                ["dakc", "count", &fq, "-k", "11", "-o", &tsv, "--output-shard", &shard]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // The persisted shard loads through the validated loader and
+        // agrees record-for-record with the TSV the same run wrote.
+        let s = dakc_serve::Shard::<u64>::load(std::path::Path::new(&shard)).unwrap();
+        let body = std::fs::read_to_string(&tsv).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(s.len(), lines.len());
+        for (line, (kmer, count)) in lines.iter().zip(s.iter()) {
+            let (ks, cs) = line.split_once('\t').unwrap();
+            assert_eq!(ks, kmer.to_dna_string(11));
+            assert_eq!(cs.parse::<u32>().unwrap(), count);
+            assert_eq!(s.get(kmer), Some(count));
+        }
+        assert_eq!(s.meta().k, 11);
+        assert!(!s.meta().canonical);
+    }
+
+    #[test]
+    fn query_loopback_matches_count() {
+        let fq = tmp("q.fastq");
+        std::fs::write(
+            &fq,
+            "@r\nACGTACGTACGGTTACAGGACCATGGACCAGTAACCGGTT\n+\nIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIII\n",
+        )
+        .unwrap();
+        let tsv = tmp("q_count.tsv");
+        let ans = tmp("q_answers.tsv");
+        let run = |args: &[&str]| {
+            dispatch(parse_args(args.iter().map(|s| s.to_string()).collect()).unwrap()).unwrap()
+        };
+        run(&["dakc", "count", &fq, "-k", "13", "-o", &tsv]);
+        // Query the count's own keys against a 3-shard loopback service:
+        // the answers must reproduce the counts file byte-for-byte.
+        run(&["dakc", "query", &tsv, "-k", "13", "--ranks", "3", "--serve-reads", &fq,
+              "-o", &ans, "--batch", "7"]);
+        assert_eq!(
+            std::fs::read_to_string(&tsv).unwrap(),
+            std::fs::read_to_string(&ans).unwrap()
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve_cmd;
 
 pub use args::{parse_args, Command};
 

@@ -130,11 +130,72 @@ where
     W: KmerWord + RadixKey,
     T: Transport,
 {
-    cfg.validate::<W>();
     let started = Instant::now();
+    let word_bytes = cfg.kmer_bytes::<W>();
+    let n = transport.num_ranks();
+    let Partition { transport, counts, metrics, trace } =
+        count_partition(reads, cfg, transport, opts)?;
+
+    opts.set_phase(Phase::Gather);
+    let result = gather(transport, counts, metrics, trace, word_bytes, opts)?;
+    opts.set_phase(Phase::Done);
+    match result {
+        None => Ok(None),
+        Some((mut transport, counts, metrics, mut trace)) => {
+            transport.barrier()?;
+            // One timeline: stable sort keeps each rank's recording order
+            // among equal (clock-aligned) timestamps.
+            trace.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+            Ok(Some(NetRun {
+                counts,
+                metrics,
+                elapsed_s: started.elapsed().as_secs_f64(),
+                ranks: n,
+                trace,
+            }))
+        }
+    }
+}
+
+/// One rank's quiescent share of a distributed count, before any gather:
+/// the owner-partitioned sorted `{kmer, count}` run this rank is
+/// responsible for, the transport handed back for further collectives,
+/// and the rank's metrics/trace so far. This is the hand-off point
+/// between counting and whatever comes next — [`run_rank_opts`] streams
+/// it to rank 0, `dakc serve` writes it to a shard file and stays
+/// resident answering queries.
+#[derive(Debug)]
+pub struct Partition<W, T> {
+    /// The transport, post-quiescence: the termination protocol is done
+    /// but no final barrier has run, so the caller can keep using it.
+    pub transport: T,
+    /// This rank's owned `{kmer, count}` table, sorted by k-mer.
+    pub counts: Vec<KmerCount<W>>,
+    /// Cascade and transport telemetry folded so far.
+    pub metrics: MetricsRegistry,
+    /// Flight-recorder events (empty unless [`RunOpts::trace`]).
+    pub trace: Vec<Event>,
+}
+
+/// Runs the Parse → Drain → Count phases of one rank and stops at the
+/// quiescent hand-off instead of gathering: the factored-out front half
+/// of [`run_rank_opts`], and the build phase of `dakc serve`. Collective
+/// across the job's ranks (drain runs four-counter termination rounds),
+/// but the transport comes back alive — a resident service can keep
+/// exchanging frames on it indefinitely.
+pub fn count_partition<W, T>(
+    reads: &ReadSet,
+    cfg: &DakcConfig,
+    transport: T,
+    opts: &RunOpts,
+) -> NetResult<Partition<W, T>>
+where
+    W: KmerWord + RadixKey,
+    T: Transport,
+{
+    cfg.validate::<W>();
     let rank = transport.rank();
     let n = transport.num_ranks();
-    let word_bytes = cfg.kmer_bytes::<W>();
     let mut fab = NetFabric::new(transport);
     if opts.trace {
         // Order matters: the wire format switches with tracing, and the
@@ -271,26 +332,7 @@ where
     fab.check()?;
     fab.trace(|| EventKind::Phase { phase: Phase::Gather as u32 });
     let (transport, metrics, trace) = fab.finish();
-
-    opts.set_phase(Phase::Gather);
-    let result = gather(transport, counts, metrics, trace, word_bytes, opts)?;
-    opts.set_phase(Phase::Done);
-    match result {
-        None => Ok(None),
-        Some((mut transport, counts, metrics, mut trace)) => {
-            transport.barrier()?;
-            // One timeline: stable sort keeps each rank's recording order
-            // among equal (clock-aligned) timestamps.
-            trace.sort_by(|a, b| a.ts.total_cmp(&b.ts));
-            Ok(Some(NetRun {
-                counts,
-                metrics,
-                elapsed_s: started.elapsed().as_secs_f64(),
-                ranks: n,
-                trace,
-            }))
-        }
-    }
+    Ok(Partition { transport, counts, metrics, trace })
 }
 
 /// Surfaces a latched span-decode failure as a typed wire error: a span

@@ -29,6 +29,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::error::{NetError, NetResult};
+use crate::frame::FrameKind;
 use crate::transport::{NetNote, NetStats, Rank, Transport};
 
 /// SplitMix64: the tiny, high-quality mixer used for all chaos and
@@ -355,6 +356,18 @@ impl<T: Transport> Transport for ChaosTransport<T> {
             return Ok(());
         }
         self.inner.send(dest, frame)
+    }
+
+    fn send_kind(&mut self, dest: Rank, kind: FrameKind, frame: &[u8]) -> NetResult<()> {
+        if self.cfg.is_off() {
+            self.tick()?;
+            return self.inner.send_kind(dest, kind, frame);
+        }
+        // Under active chaos the frame goes through the full fault
+        // pipeline, which only knows plain data sends; the wire tag is
+        // transport-level classification and receivers key on the
+        // payload's own opcode, so downgrading to `Data` is harmless.
+        self.send(dest, frame)
     }
 
     fn try_recv(&mut self) -> NetResult<Option<(Rank, Vec<u8>)>> {

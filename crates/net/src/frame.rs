@@ -34,6 +34,12 @@ pub enum FrameKind {
     /// Worker liveness beacon to the launch supervisor
     /// ([`crate::supervisor::Heartbeat`] wire format).
     Heartbeat,
+    /// A serve-mode request (point/batched lookup, histogram, top-N).
+    /// The payload's leading opcode byte belongs to the serve wire
+    /// protocol; the framing layer does not interpret it.
+    Query,
+    /// A serve-mode response paired to an earlier [`FrameKind::Query`].
+    Reply,
 }
 
 impl FrameKind {
@@ -44,6 +50,8 @@ impl FrameKind {
             FrameKind::Barrier => 1,
             FrameKind::Term => 2,
             FrameKind::Heartbeat => 3,
+            FrameKind::Query => 4,
+            FrameKind::Reply => 5,
         }
     }
 
@@ -54,6 +62,8 @@ impl FrameKind {
             1 => Some(FrameKind::Barrier),
             2 => Some(FrameKind::Term),
             3 => Some(FrameKind::Heartbeat),
+            4 => Some(FrameKind::Query),
+            5 => Some(FrameKind::Reply),
             _ => None,
         }
     }
@@ -266,7 +276,7 @@ mod tests {
         #[test]
         fn split_read_roundtrip(
             frames in prop::collection::vec(
-                (0u8..4, prop::collection::vec(any::<u8>(), 0..300)),
+                (0u8..6, prop::collection::vec(any::<u8>(), 0..300)),
                 1..20,
             ),
             splits in prop::collection::vec(1usize..97, 1..40),

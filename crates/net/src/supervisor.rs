@@ -42,6 +42,9 @@ pub enum Phase {
     /// Exited on an error; the heartbeat's `blame` field names the rank
     /// its typed error points at (an obituary).
     Failed = 6,
+    /// Resident in a `dakc serve` request loop — the heartbeat doubles
+    /// as the service health check.
+    Serve = 7,
 }
 
 impl Phase {
@@ -55,6 +58,7 @@ impl Phase {
             4 => Some(Phase::Gather),
             5 => Some(Phase::Done),
             6 => Some(Phase::Failed),
+            7 => Some(Phase::Serve),
             _ => None,
         }
     }
@@ -69,6 +73,7 @@ impl Phase {
             Phase::Gather => "gather",
             Phase::Done => "done",
             Phase::Failed => "failed",
+            Phase::Serve => "serve",
         }
     }
 }
@@ -501,10 +506,11 @@ mod tests {
             Phase::Gather,
             Phase::Done,
             Phase::Failed,
+            Phase::Serve,
         ] {
             assert_eq!(Phase::from_u8(p as u8), Some(p));
         }
-        assert_eq!(Phase::from_u8(7), None);
+        assert_eq!(Phase::from_u8(8), None);
     }
 
     #[test]

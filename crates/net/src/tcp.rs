@@ -485,7 +485,12 @@ impl TcpTransport {
                 }
             }
             Event::Frame { src, kind, payload } => match kind {
-                FrameKind::Data => {
+                // Query/Reply frames are serve-protocol application
+                // payloads: delivered through `try_recv` exactly like
+                // data (the payload's opcode byte disambiguates), and
+                // counted as received only when the application pulls
+                // them, as the four-counter protocol requires.
+                FrameKind::Data | FrameKind::Query | FrameKind::Reply => {
                     self.pending.push_back((src, payload));
                     Ok(())
                 }
@@ -636,6 +641,17 @@ impl Transport for TcpTransport {
             Ok(())
         } else {
             self.write_frame(dest, FrameKind::Data, frame)
+        }
+    }
+
+    fn send_kind(&mut self, dest: Rank, kind: FrameKind, frame: &[u8]) -> NetResult<()> {
+        self.stats.peers[dest].frames_sent += 1;
+        self.stats.peers[dest].bytes_sent += frame.len() as u64;
+        if dest == self.rank {
+            self.pending.push_back((self.rank, frame.to_vec()));
+            Ok(())
+        } else {
+            self.write_frame(dest, kind, frame)
         }
     }
 

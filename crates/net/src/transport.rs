@@ -32,6 +32,7 @@ use std::time::Duration;
 use dakc_sim::telemetry::MetricsRegistry;
 
 use crate::error::NetResult;
+use crate::frame::FrameKind;
 
 /// Rank id within a job (dense, `0..num_ranks`).
 pub type Rank = usize;
@@ -264,6 +265,18 @@ pub trait Transport: Send {
     /// Queues one data frame for `dest` (self-sends allowed). Nonblocking:
     /// bytes may sit in the per-peer send buffer until [`Transport::flush`].
     fn send(&mut self, dest: Rank, frame: &[u8]) -> NetResult<()>;
+
+    /// Queues one frame tagged with an application-level `kind`
+    /// ([`FrameKind::Query`] / [`FrameKind::Reply`] for the serve
+    /// protocol). Backends with a framing layer put the tag on the wire;
+    /// in-process backends have no frame header and deliver the payload
+    /// as a plain data frame — receivers must therefore key on the
+    /// payload's own opcode, with the wire tag as transport-level
+    /// classification only. Counts as a data frame in the four-counter
+    /// totals either way.
+    fn send_kind(&mut self, dest: Rank, _kind: FrameKind, frame: &[u8]) -> NetResult<()> {
+        self.send(dest, frame)
+    }
 
     /// Pulls the next arrived data frame, if any. Frames from one peer
     /// arrive in send order; no order holds across peers. Surfaces a

@@ -1,0 +1,153 @@
+//! The resident server runtime: one rank's request loop over its shard.
+//!
+//! The serve mesh has `S + 1` ranks: servers `0..S` (each holding the
+//! shard its rank owns under the count-time `owner_pe` hash) and the
+//! client frontend as the last rank. Unlike the count path, the loop
+//! never runs termination rounds — quiescence is the *opposite* of what
+//! a service wants — which is exactly why [`dakc::count_partition`]
+//! hands the transport back alive. Liveness is the supervisor's job: the
+//! worker's heartbeat thread keeps beating while this loop spins, so a
+//! hung server surfaces at the launcher as a stale rank, and the phase
+//! it reports is [`Phase::Serve`].
+//!
+//! Exit conditions: a client SHUTDOWN (clean, returns stats), the client
+//! disconnecting (clean — the session is over), or a typed transport
+//! error (propagated so the worker can file an obituary).
+//!
+//! [`Phase::Serve`]: dakc_net::Phase::Serve
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dakc_kmer::KmerWord;
+use dakc_net::{FrameKind, HeartbeatState, Phase, Transport};
+
+use crate::error::{ServeError, ServeResult};
+use crate::shard::Shard;
+use crate::wire::{
+    decode_request, encode_ready, encode_response, Ready, Request, Response,
+};
+
+/// How long the request loop sleeps when the mesh is idle.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// How often idle-loop traffic totals are pushed to the heartbeat state.
+const MONITOR_PERIOD: Duration = Duration::from_millis(100);
+
+/// Server-side options.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOpts {
+    /// When set, the request loop publishes [`Phase::Serve`] and traffic
+    /// totals here for the worker's heartbeat sender.
+    pub monitor: Option<Arc<HeartbeatState>>,
+}
+
+/// What one serve session handled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered (lookup batches, histograms, top-Ns).
+    pub requests: u64,
+    /// Individual keys looked up.
+    pub lookups: u64,
+    /// Lookups that found their key.
+    pub hits: u64,
+}
+
+/// Runs one rank's request loop until shutdown, answering queries
+/// against `shard`. `transport` must be an `S + 1`-rank mesh with this
+/// endpoint at a server rank (`rank < num_ranks - 1`); the last rank is
+/// the client. Announces READY, then serves until the client says
+/// SHUTDOWN or disconnects.
+pub fn serve_shard<W, T>(
+    shard: &Shard<W>,
+    mut transport: T,
+    opts: &ServeOpts,
+) -> ServeResult<ServeStats>
+where
+    W: KmerWord,
+    T: Transport,
+{
+    let me = transport.rank();
+    let n = transport.num_ranks();
+    let client = n - 1;
+    assert!(me < client, "serve_shard must run on a server rank, not the client");
+    if let Some(m) = &opts.monitor {
+        m.set_phase(Phase::Serve);
+    }
+    let word_bytes = shard.meta().word_bytes as usize;
+    let hello = Ready {
+        rank: me as u32,
+        k: shard.meta().k,
+        word_bytes: shard.meta().word_bytes,
+        canonical: shard.meta().canonical,
+        n_records: shard.meta().n_records,
+    };
+    transport.send_kind(client, FrameKind::Reply, &encode_ready(&hello))?;
+    transport.flush()?;
+
+    let mut stats = ServeStats::default();
+    let mut last_monitor = Instant::now();
+    loop {
+        let frame = transport.try_recv()?;
+        let Some((src, bytes)) = frame else {
+            if transport.peer_dead(client) {
+                // The client is gone: the session is over. Not an error —
+                // a one-shot client that exits after its queries is the
+                // normal end of a serve session.
+                break;
+            }
+            if let Some(m) = &opts.monitor {
+                if last_monitor.elapsed() >= MONITOR_PERIOD {
+                    let s = transport.stats();
+                    m.record_traffic(s.frames_sent(), s.frames_recv(), s.retries);
+                    last_monitor = Instant::now();
+                }
+            }
+            std::thread::sleep(IDLE_SLEEP);
+            continue;
+        };
+        if src != client {
+            // Server peers never originate requests; their frames would
+            // be protocol confusion. Tolerate nothing.
+            return Err(ServeError::Wire {
+                from: src,
+                detail: "request from a non-client rank".to_string(),
+            });
+        }
+        let reply = match decode_request::<W>(src, &bytes, word_bytes)? {
+            Request::Shutdown => break,
+            Request::Lookup { id, keys } => {
+                stats.lookups += keys.len() as u64;
+                let counts: Vec<u32> = keys
+                    .iter()
+                    .map(|&k| {
+                        let c = shard.get(k).unwrap_or(0);
+                        if c > 0 {
+                            stats.hits += 1;
+                        }
+                        c
+                    })
+                    .collect();
+                Response::Lookup { id, counts }
+            }
+            Request::Histogram { id, max } => {
+                // Bound the reply size: a hostile max must not allocate
+                // gigabytes of buckets.
+                let max = max.min(1 << 20);
+                Response::Histogram { id, buckets: shard.spectrum(max) }
+            }
+            Request::TopN { id, n } => {
+                Response::TopN { id, records: shard.top_n(n as usize) }
+            }
+        };
+        stats.requests += 1;
+        transport.send_kind(client, FrameKind::Reply, &encode_response(&reply, word_bytes))?;
+        transport.flush()?;
+    }
+    if let Some(m) = &opts.monitor {
+        let s = transport.stats();
+        m.record_traffic(s.frames_sent(), s.frames_recv(), s.retries);
+        m.set_phase(Phase::Done);
+    }
+    Ok(stats)
+}
