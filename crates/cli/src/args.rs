@@ -66,6 +66,10 @@ pub struct ServeArgs {
     /// Chaos fault-injection profile applied to the serve loop's
     /// transport, e.g. `die:2@200`.
     pub chaos_profile: Option<String>,
+    /// Replication factor: each owner's shard is also loaded by its
+    /// `replicas - 1` successor ranks, and the query client fails a
+    /// dead holder's requests over to the next copy. Default 1 (off).
+    pub replicas: usize,
 }
 
 /// Arguments of the hidden `dakc serve-worker` subcommand: one server
@@ -232,6 +236,12 @@ pub struct LaunchArgs {
     /// Minimizer length for `--superkmer` (default
     /// [`dakc::DEFAULT_MINIMIZER_LEN`]).
     pub minimizer_len: Option<usize>,
+    /// Survive rank death: retain listeners, tag frames with
+    /// incarnations, and respawn + replay a dead rank instead of
+    /// tearing the job down. TCP backend only; exclusive with `--trace`.
+    pub recover: bool,
+    /// Respawn budget under `--recover` (default 3).
+    pub max_respawns: Option<u32>,
 }
 
 /// Arguments of the hidden `dakc worker` subcommand: one rank of a TCP
@@ -240,6 +250,9 @@ pub struct LaunchArgs {
 pub struct WorkerArgs {
     /// This process's rank.
     pub rank: usize,
+    /// This process's incarnation: 0 for an original spawn, `i` for the
+    /// `i`-th respawn after a recovered death (`--recover` only).
+    pub epoch: u32,
     /// Rendezvous directory where all ranks publish `rank<i>.addr`.
     pub rendezvous: String,
     /// The launcher's supervisor address to heartbeat to (`host:port`).
@@ -331,9 +344,10 @@ USAGE:
               [--heartbeat-interval 100ms] [--status-interval 500ms]
               [--chaos-seed N] [--chaos-profile SPEC] [--trace trace.json]
               [--trace-sample N] [--status] [--superkmer] [--minimizer-len 7]
+              [--recover] [--max-respawns 3]
   dakc serve <reads> --dir DIR [--ranks 4] [-k 31] [--canonical]
              [--net-timeout 30s] [--heartbeat-interval 100ms]
-             [--status-interval 500ms] [--status]
+             [--status-interval 500ms] [--status] [--replicas 1]
              [--chaos-seed N] [--chaos-profile SPEC]
   dakc query <keys.tsv> (--dir DIR | --serve-reads <reads>) [--ranks 4] [-k 31]
              [--canonical] [--batch 1024] [-o answers.tsv] [--metrics m.json]
@@ -604,10 +618,13 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 status: false,
                 superkmer: false,
                 minimizer_len: None,
+                recover: false,
+                max_respawns: None,
             };
             let mut rank = None;
             let mut rendezvous = None;
             let mut supervisor = None;
+            let mut epoch = 0u32;
             let mut args = it;
             while let Some(arg) = args.next() {
                 match arg.as_str() {
@@ -668,6 +685,16 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                             "--minimizer-len",
                         )?)
                     }
+                    "--recover" => a.recover = true,
+                    "--max-respawns" => {
+                        a.max_respawns = Some(parse_num(
+                            take_value(&mut args, "--max-respawns")?,
+                            "--max-respawns",
+                        )?)
+                    }
+                    "--epoch" if hidden => {
+                        epoch = parse_num(take_value(&mut args, "--epoch")?, "--epoch")?
+                    }
                     "--rank" if hidden => {
                         rank = Some(parse_num(take_value(&mut args, "--rank")?, "--rank")?)
                     }
@@ -691,6 +718,22 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 return Err(format!("{sub}: --ranks must be at least 1"));
             }
             check_superkmer(&sub, a.superkmer, a.minimizer_len, a.k)?;
+            if a.recover {
+                if a.trace.is_some() {
+                    return Err(format!(
+                        "{sub}: --recover and --trace are mutually exclusive \
+                         (the flight recorder cannot splice respawned-rank timelines)"
+                    ));
+                }
+                if a.backend == NetBackend::Loopback {
+                    return Err(format!(
+                        "{sub}: --recover requires the tcp backend \
+                         (loopback ranks share one process and cannot be respawned)"
+                    ));
+                }
+            } else if a.max_respawns.is_some() {
+                return Err(format!("{sub}: --max-respawns requires --recover"));
+            }
             if hidden {
                 let rank = rank.ok_or("worker: --rank is required")?;
                 if rank >= a.ranks {
@@ -700,6 +743,7 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                     rank,
                     rendezvous: rendezvous.ok_or("worker: --rendezvous is required")?,
                     supervisor,
+                    epoch,
                     job: a,
                 }))
             } else {
@@ -721,6 +765,7 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                 status: false,
                 chaos_seed: None,
                 chaos_profile: None,
+                replicas: 1,
             };
             let mut rank = None;
             let mut supervisor = None;
@@ -751,6 +796,9 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
                     "--chaos-profile" => {
                         a.chaos_profile = Some(take_value(&mut args, "--chaos-profile")?)
                     }
+                    "--replicas" => {
+                        a.replicas = parse_num(take_value(&mut args, "--replicas")?, "--replicas")?
+                    }
                     "--rank" if hidden => {
                         rank = Some(parse_num(take_value(&mut args, "--rank")?, "--rank")?)
                     }
@@ -769,6 +817,12 @@ pub fn parse_args(argv: Vec<String>) -> Result<Command, String> {
             }
             if a.ranks == 0 {
                 return Err(format!("{sub}: --ranks must be at least 1"));
+            }
+            if a.replicas == 0 || a.replicas > a.ranks {
+                return Err(format!(
+                    "{sub}: --replicas must be in 1..={} (the server count)",
+                    a.ranks
+                ));
             }
             if a.dir.is_empty() {
                 return Err(format!("{sub}: --dir is required (shard + rendezvous directory)"));
@@ -1157,6 +1211,52 @@ mod tests {
         assert!(parse_args(argv("launch in.fq --net-retries many")).is_err());
         // The supervisor address is wired by `launch`, not user-settable.
         assert!(parse_args(argv("launch in.fq --supervisor 127.0.0.1:9")).is_err());
+    }
+
+    #[test]
+    fn parse_launch_recover_flags() {
+        let cmd = parse_args(argv("launch in.fq --ranks 4 --backend tcp --recover --max-respawns 5"))
+            .unwrap();
+        let Command::Launch(a) = cmd else { panic!("not launch") };
+        assert!(a.recover);
+        assert_eq!(a.max_respawns, Some(5));
+        let Command::Launch(b) = parse_args(argv("launch in.fq")).unwrap() else { panic!() };
+        assert!(!b.recover);
+        assert_eq!(b.max_respawns, None);
+        // A respawn budget without the policy is a contradiction.
+        assert!(parse_args(argv("launch in.fq --max-respawns 2")).is_err());
+        // The flight recorder cannot splice respawned-rank timelines.
+        assert!(parse_args(argv("launch in.fq --recover --trace t.json")).is_err());
+        // Loopback ranks share one process: nothing to respawn.
+        assert!(parse_args(argv("launch in.fq --backend loopback --recover")).is_err());
+        // `--epoch` is wired by the launcher, not user-settable.
+        assert!(parse_args(argv("launch in.fq --recover --epoch 1")).is_err());
+        // The worker receives the forwarded recovery flags.
+        let Command::Worker(w) = parse_args(argv(
+            "worker in.fq --rank 0 --ranks 2 --rendezvous /tmp/rv --recover --epoch 3",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert!(w.job.recover);
+        assert_eq!(w.epoch, 3);
+    }
+
+    #[test]
+    fn parse_serve_replicas() {
+        let Command::Serve(a) =
+            parse_args(argv("serve in.fq --ranks 4 --replicas 2 --dir /tmp/svc")).unwrap()
+        else {
+            panic!("not serve")
+        };
+        assert_eq!(a.replicas, 2);
+        let Command::Serve(b) = parse_args(argv("serve in.fq --dir /tmp/svc")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(b.replicas, 1);
+        assert!(parse_args(argv("serve in.fq --dir /tmp/svc --replicas 0")).is_err());
+        // More replicas than ranks would wrap a shard back onto its owner.
+        assert!(parse_args(argv("serve in.fq --ranks 3 --replicas 4 --dir /tmp/svc")).is_err());
     }
 
     #[test]

@@ -399,18 +399,82 @@ fn status_table(sup: &Supervisor, launched: Instant) -> String {
     out
 }
 
+/// Respawn policy of a `--recover` launch: how to rebuild a dead rank's
+/// worker process, and how many times the launcher may do so before it
+/// gives up and tears the job down like a plain launch.
+pub(crate) struct RespawnPolicy<'a> {
+    /// Rendezvous directory; the `Recover` control frame is broadcast to
+    /// the surviving ranks' listeners registered here.
+    pub dir: std::path::PathBuf,
+    /// Total rank count of the job.
+    pub ranks: usize,
+    /// Total respawns allowed across all ranks (default 3).
+    pub budget: u32,
+    /// Backoff schedule between a verdict and its respawn.
+    pub tuning: NetTuning,
+    /// Spawns a replacement worker for `(rank, incarnation)`.
+    #[allow(clippy::type_complexity)]
+    pub spawn: Box<dyn Fn(usize, u32) -> std::io::Result<std::process::Child> + 'a>,
+}
+
+/// One respawn: kill whatever is left of the rank's old process, clear
+/// its recorded exit and obituary, broadcast `Recover{rank, epoch}` to
+/// the survivors, back off briefly, then spawn the replacement with the
+/// new incarnation. Broadcasting before spawning matters: survivors must
+/// refresh their pending-death deadlines (and learn the epoch) before
+/// the replacement starts dialing them.
+fn respawn_rank(
+    rank: usize,
+    sup: &mut Supervisor,
+    children: &mut [Option<std::process::Child>],
+    exits: &mut Vec<(usize, std::process::ExitStatus)>,
+    incarnations: &mut [u32],
+    respawns_used: &mut u32,
+    pol: &RespawnPolicy<'_>,
+) -> Result<(), String> {
+    if let Some(mut child) = children[rank].take() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    exits.retain(|&(r, _)| r != rank);
+    incarnations[rank] += 1;
+    let inc = incarnations[rank];
+    *respawns_used += 1;
+    sup.expect_respawn(rank, inc);
+    let notified = dakc_net::announce_recovery(&pol.dir, pol.ranks, rank, inc);
+    eprintln!(
+        "recover: rank {rank} down; notified {notified} peer(s), respawning as \
+         incarnation {inc} (respawn {respawns_used}/{})",
+        pol.budget
+    );
+    std::thread::sleep(pol.tuning.backoff(inc, rank as u64));
+    match (pol.spawn)(rank, inc) {
+        Ok(child) => {
+            children[rank] = Some(child);
+            Ok(())
+        }
+        Err(e) => {
+            teardown(children);
+            Err(format!("recover: respawn rank {rank}: {e}"))
+        }
+    }
+}
+
 pub(crate) fn supervise(
-    sup: &Supervisor,
+    sup: &mut Supervisor,
     children: &mut [Option<std::process::Child>],
     tuning: &NetTuning,
     launched: Instant,
     status: Option<Duration>,
+    respawn: Option<RespawnPolicy<'_>>,
 ) -> Result<(), String> {
     // Fire before the workers' own collective deadline so a frozen rank
     // is blamed by name rather than as a generic peer timeout; floor
     // covers spawn + rendezvous before the first heartbeat lands.
     let stale_limit = (tuning.collective_timeout / 2).max(Duration::from_millis(1500));
     let mut exits: Vec<(usize, std::process::ExitStatus)> = Vec::new();
+    let mut incarnations = vec![0u32; children.len()];
+    let mut respawns_used = 0u32;
     // Live status: redraw in place on a terminal (cursor-up + clear),
     // append plain frames when stderr is piped to a file.
     let redraw_in_place = status.is_some() && std::io::stderr().is_terminal();
@@ -448,7 +512,6 @@ pub(crate) fn supervise(
         let failed: Vec<usize> =
             exits.iter().filter(|(_, s)| !s.success()).map(|&(r, _)| r).collect();
         if !failed.is_empty() {
-            teardown(children);
             // Failing workers file obituaries naming the rank their typed
             // error points at; give in-flight ones a moment to land, then
             // let the majority verdict pick the root cause out of the
@@ -465,6 +528,35 @@ pub(crate) fn supervise(
                     .min_by_key(|&r| snap.get(r).and_then(|h| h.last_beat))
                     .expect("nonempty failures")
             });
+            if let Some(pol) = &respawn {
+                // Every implicated rank is rebuilt this round: the blamed
+                // root cause (which may still be running if only its
+                // victims have exited so far) plus every rank that exited
+                // nonzero. Respawning clears each rank's obituary, so the
+                // next verdict is computed from fresh evidence only.
+                let mut todo = failed.clone();
+                if !todo.contains(&rank) {
+                    todo.push(rank);
+                }
+                todo.sort_unstable();
+                todo.dedup();
+                if respawns_used + todo.len() as u32 <= pol.budget {
+                    for r in todo {
+                        respawn_rank(
+                            r,
+                            sup,
+                            children,
+                            &mut exits,
+                            &mut incarnations,
+                            &mut respawns_used,
+                            pol,
+                        )?;
+                    }
+                    continue;
+                }
+                eprintln!("recover: respawn budget ({}) exhausted", pol.budget);
+            }
+            teardown(children);
             let verdict = match exits.iter().find(|&&(r, _)| r == rank) {
                 Some(&(_, status)) => format!("rank {rank} failed with {status}"),
                 None => format!("rank {rank} took down {} peer(s)", failed.len()),
@@ -484,6 +576,23 @@ pub(crate) fn supervise(
             (age > stale_limit).then_some((rank, age))
         });
         if let Some((rank, age)) = stale {
+            if let Some(pol) = &respawn {
+                // A hung rank is as dead as a crashed one: kill what is
+                // left of it and rebuild, budget permitting.
+                if respawns_used < pol.budget {
+                    respawn_rank(
+                        rank,
+                        sup,
+                        children,
+                        &mut exits,
+                        &mut incarnations,
+                        &mut respawns_used,
+                        pol,
+                    )?;
+                    continue;
+                }
+                eprintln!("recover: respawn budget ({}) exhausted", pol.budget);
+            }
             teardown(children);
             eprint!("{}", sup.report(stale_limit));
             return Err(format!(
@@ -514,10 +623,14 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
             let dir = std::env::temp_dir().join(format!("dakc-rendezvous-{}", std::process::id()));
             std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
             let _guard = DirGuard(dir.clone());
-            let (sup, sup_addr) = Supervisor::bind(a.ranks).map_err(|e| format!("supervisor: {e}"))?;
+            let (mut sup, sup_addr) =
+                Supervisor::bind(a.ranks).map_err(|e| format!("supervisor: {e}"))?;
             let launched = Instant::now();
             let mut children: Vec<Option<std::process::Child>> = Vec::new();
-            for rank in 0..a.ranks {
+            // One builder serves both the initial spawns (epoch 0) and any
+            // `--recover` respawns (epoch = incarnation), so a replacement
+            // rank runs under exactly the flags its predecessor had.
+            let mk_cmd = |rank: usize, epoch: u32| {
                 let mut cmd = std::process::Command::new(&exe);
                 cmd.arg("worker")
                     .arg(&a.input)
@@ -527,6 +640,9 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
                     .args(["--supervisor", &sup_addr.to_string()])
                     .args(["-k", &a.k.to_string()])
                     .args(["--min-count", &a.min_count.to_string()]);
+                if a.recover {
+                    cmd.arg("--recover").args(["--epoch", &epoch.to_string()]);
+                }
                 if a.canonical {
                     cmd.arg("--canonical");
                 }
@@ -575,7 +691,10 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
                         cmd.args(["--metrics", m]);
                     }
                 }
-                match cmd.spawn() {
+                cmd
+            };
+            for rank in 0..a.ranks {
+                match mk_cmd(rank, 0).spawn() {
                     Ok(child) => children.push(Some(child)),
                     Err(e) => {
                         teardown(&mut children);
@@ -586,7 +705,14 @@ fn launch(a: LaunchArgs) -> Result<(), String> {
             let status = a
                 .status
                 .then(|| a.status_interval.unwrap_or(Duration::from_millis(500)));
-            supervise(&sup, &mut children, &tuning, launched, status)
+            let respawn = a.recover.then(|| RespawnPolicy {
+                dir: dir.clone(),
+                ranks: a.ranks,
+                budget: a.max_respawns.unwrap_or(3),
+                tuning: tuning.clone(),
+                spawn: Box::new(|rank, inc| mk_cmd(rank, inc).spawn()),
+            });
+            supervise(&mut sup, &mut children, &tuning, launched, status, respawn)
         }
     }
 }
@@ -600,6 +726,10 @@ fn worker(w: WorkerArgs) -> Result<(), String> {
     // which is exactly the hang signature the supervisor must catch.
     let mute = Arc::new(AtomicBool::new(false));
     let monitor = Arc::new(HeartbeatState::new());
+    // Respawned workers beat under their own incarnation so the
+    // supervisor can tell the replacement's heartbeats (and obituaries)
+    // from the dead predecessor's.
+    monitor.set_incarnation(w.epoch);
     let mut sup_addr = None;
     let _hb = match &w.supervisor {
         Some(addr) => {
@@ -626,30 +756,53 @@ fn worker(w: WorkerArgs) -> Result<(), String> {
     // the typed error names the rank at fault (ourselves for an injected
     // death, the peer for a disconnect), and the launcher tallies those
     // verdicts to blame the root cause rather than the first victim.
+    let epoch = w.epoch;
     let fail = move |e: dakc_net::NetError| {
         if let Some(addr) = sup_addr {
-            let _ = dakc_net::send_obituary(addr, rank, e.rank());
+            let _ = dakc_net::send_obituary_inc(addr, rank, e.rank(), epoch);
         }
         format!("rank {rank}: {e}")
     };
-    let transport = TcpTransport::rendezvous_tuned(
-        rank,
-        a.ranks,
-        std::path::Path::new(&w.rendezvous),
-        cfg.c0_bytes,
-        tuning.clone(),
-    )
+    // Under `--recover` the transport keeps its listener after the mesh
+    // is up, tags control frames with this incarnation, and survives
+    // peer death; without it the plain rendezvous keeps PR-compatible
+    // wire bytes.
+    let transport = if a.recover {
+        TcpTransport::rendezvous_recover(
+            rank,
+            a.ranks,
+            std::path::Path::new(&w.rendezvous),
+            cfg.c0_bytes,
+            tuning.clone(),
+            w.epoch,
+        )
+    } else {
+        TcpTransport::rendezvous_tuned(
+            rank,
+            a.ranks,
+            std::path::Path::new(&w.rendezvous),
+            cfg.c0_bytes,
+            tuning.clone(),
+        )
+    }
     .map_err(fail)?;
     // Chaos wrapping is unconditional: with no profile the config is off
     // and the wrapper is pure delegation (verified bit-identical in
-    // tests), so real runs pay nothing for the capability.
+    // tests), so real runs pay nothing for the capability. Scripted
+    // faults are epoch-gated: a respawned rank must not re-run the death
+    // that killed its previous life.
     let chaos = match &a.chaos_profile {
-        Some(p) => ChaosConfig::parse(p, a.chaos_seed.unwrap_or(0), rank)
+        Some(p) => ChaosConfig::parse_for_epoch(p, a.chaos_seed.unwrap_or(0), rank, w.epoch)
             .map_err(|e| format!("rank {rank}: --chaos-profile: {e}"))?,
         None => ChaosConfig::off(),
     };
     let transport = ChaosTransport::new(transport, chaos).with_freeze_flag(Arc::clone(&mute));
-    let opts = RunOpts { tuning, monitor: Some(Arc::clone(&monitor)), trace: a.trace.is_some() };
+    let opts = RunOpts {
+        tuning,
+        monitor: Some(Arc::clone(&monitor)),
+        trace: a.trace.is_some(),
+        recover: a.recover,
+    };
     if a.k <= 32 {
         if let Some(run) = run_rank_opts::<u64, _>(&reads, &cfg, transport, &opts).map_err(fail)? {
             emit_net_run(&run, a)?;

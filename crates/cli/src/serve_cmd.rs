@@ -27,7 +27,7 @@ use dakc_net::{
     TcpTransport, Transport,
 };
 use dakc_serve::{
-    build_shards, serve_shard, shard_path, start_cluster, write_shard, LookupResult, QueryClient,
+    build_shards, serve_shards, shard_path, start_cluster, write_shard, LookupResult, QueryClient,
     ServeOpts, Shard,
 };
 use dakc_sim::telemetry::MetricsRegistry;
@@ -85,7 +85,8 @@ pub fn serve(a: ServeArgs) -> Result<(), String> {
     }
     let tuning = net_tuning(a.net_timeout);
     let exe = std::env::current_exe().map_err(|e| e.to_string())?;
-    let (sup, sup_addr) = Supervisor::bind(a.ranks).map_err(|e| format!("supervisor: {e}"))?;
+    let (mut sup, sup_addr) =
+        Supervisor::bind(a.ranks).map_err(|e| format!("supervisor: {e}"))?;
     let launched = Instant::now();
     let mut children: Vec<Option<std::process::Child>> = Vec::new();
     for rank in 0..a.ranks {
@@ -112,6 +113,9 @@ pub fn serve(a: ServeArgs) -> Result<(), String> {
         if let Some(p) = &a.chaos_profile {
             cmd.args(["--chaos-profile", p]);
         }
+        if a.replicas > 1 {
+            cmd.args(["--replicas", &a.replicas.to_string()]);
+        }
         match cmd.spawn() {
             Ok(child) => children.push(Some(child)),
             Err(e) => {
@@ -121,12 +125,17 @@ pub fn serve(a: ServeArgs) -> Result<(), String> {
         }
     }
     eprintln!(
-        "serve: {} rank(s) counting {} (k = {}{}) into {}",
+        "serve: {} rank(s) counting {} (k = {}{}) into {}{}",
         a.ranks,
         a.input,
         a.k,
         if a.canonical { ", canonical" } else { "" },
         a.dir,
+        if a.replicas > 1 {
+            format!(", {} replica(s) per shard", a.replicas)
+        } else {
+            String::new()
+        },
     );
     eprintln!(
         "serve: query with: dakc query KEYS.tsv --dir {} --ranks {} -k {}",
@@ -135,7 +144,7 @@ pub fn serve(a: ServeArgs) -> Result<(), String> {
     let status = a
         .status
         .then(|| a.status_interval.unwrap_or(Duration::from_millis(500)));
-    supervise(&sup, &mut children, &tuning, launched, status)
+    supervise(&mut sup, &mut children, &tuning, launched, status, None)
 }
 
 /// One server rank of a TCP serve mesh (the hidden `serve-worker`
@@ -228,27 +237,44 @@ fn worker_run<W: KmerWord + RadixKey + Send>(
         tuning: tuning.clone(),
         monitor: Some(Arc::clone(&monitor)),
         trace: false,
+        recover: false,
     };
     let Partition { transport, counts, .. } =
         count_partition::<W, _>(reads, cfg, build, &opts).map_err(fail_net)?;
-    // Sync before tearing the build mesh down, so no rank drops its
-    // endpoints while a peer is still finishing the hand-off.
     let mut build = transport;
-    build.barrier().map_err(fail_net)?;
-    drop(build);
 
-    // Phase 2: persist the shard and reload it through the validated
-    // loader — the serving index is always the on-disk artifact, never
-    // the in-memory table it was written from.
+    // Phase 2: persist the shard, then barrier on the build mesh. The
+    // barrier both syncs the teardown (no rank drops its endpoints while
+    // a peer is still finishing the hand-off) and — because it runs
+    // *after* the write — guarantees every shard file exists before any
+    // rank starts loading its replica set from the shared directory.
     let canonical = cfg.canonical == CanonicalMode::Canonical;
-    let spath = shard_path(&dir.join("shards"), rank, a.ranks);
+    let shards_dir = dir.join("shards");
+    let spath = shard_path(&shards_dir, rank, a.ranks);
     write_shard(&spath, &counts, a.k, canonical, rank, a.ranks).map_err(fail_serve)?;
     drop(counts);
-    let shard = Shard::<W>::load(&spath).map_err(fail_serve)?;
+    build.barrier().map_err(fail_net)?;
+    drop(build);
+    // Reload through the validated loader — the serving index is always
+    // the on-disk artifact, never the in-memory table it was written
+    // from. Under `--replicas R` this rank also loads the shards of its
+    // R-1 predecessor owners, so every shard is held by its owner and
+    // the owner's R-1 successors.
+    let held: Vec<Shard<W>> = (0..a.replicas)
+        .map(|j| {
+            let owner = (rank + a.ranks - j) % a.ranks;
+            Shard::<W>::load(&shard_path(&shards_dir, owner, a.ranks)).map_err(fail_serve)
+        })
+        .collect::<Result<_, _>>()?;
     eprintln!(
-        "rank {rank}: shard ready: {} ({} records), joining serve mesh",
+        "rank {rank}: shard ready: {} ({} records{}), joining serve mesh",
         spath.display(),
-        shard.len()
+        held[0].len(),
+        if a.replicas > 1 {
+            format!(" + {} replica shard(s)", a.replicas - 1)
+        } else {
+            String::new()
+        },
     );
 
     // Phase 3: go resident. The serve mesh has one extra rank (the
@@ -265,7 +291,8 @@ fn worker_run<W: KmerWord + RadixKey + Send>(
     )
     .map_err(fail_net)?;
     let st = ChaosTransport::new(st, chaos).with_freeze_flag(mute);
-    let stats = serve_shard(&shard, st, &ServeOpts { monitor: Some(monitor) }).map_err(fail_serve)?;
+    let stats =
+        serve_shards(&held, st, &ServeOpts { monitor: Some(monitor) }).map_err(fail_serve)?;
     eprintln!(
         "rank {rank}: session over: {} request(s), {} lookup(s), {} hit(s)",
         stats.requests, stats.lookups, stats.hits
@@ -465,8 +492,9 @@ fn print_query_counters(m: &MetricsRegistry) {
         return;
     }
     eprintln!(
-        "query counters: {lookups} lookup(s), {} batch(es), {} server(s) lost",
+        "query counters: {lookups} lookup(s), {} batch(es), {} server(s) lost, {} failover(s)",
         m.counter("serve.batches"),
         m.counter("serve.servers_lost"),
+        m.counter("serve.failovers"),
     );
 }

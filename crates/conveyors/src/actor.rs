@@ -126,9 +126,23 @@ impl Actor {
     }
 
     /// Polls and processes arrivals (delivery + relaying), exactly like
-    /// the actor runtime's background progress loop.
-    pub fn progress<F: Fabric>(&mut self, ctx: &mut F, deliver: &mut dyn FnMut(u8, &[u8])) {
+    /// the actor runtime's background progress loop. `deliver` receives
+    /// `(src, channel, payload)` — see [`Conveyor::progress`] for the
+    /// relay caveat on `src`.
+    pub fn progress<F: Fabric>(&mut self, ctx: &mut F, deliver: &mut dyn FnMut(PeId, u8, &[u8])) {
         self.conveyor.progress(ctx, deliver);
+    }
+
+    /// Drops every staged and conveyor-buffered record addressed to
+    /// `dst`, returning how many were discarded. Recovery replay hook:
+    /// see [`Conveyor::purge_dest`]. The arena bytes of purged staged
+    /// packets are left in place (offsets of surviving packets must not
+    /// move); they are reclaimed by the next L1 drain.
+    pub fn purge_dest<F: Fabric>(&mut self, ctx: &mut F, dst: PeId) -> u64 {
+        let before = self.staged.len();
+        self.staged.retain(|s| s.dst != dst);
+        let staged_dropped = (before - self.staged.len()) as u64;
+        staged_dropped + self.conveyor.purge_dest(ctx, dst)
     }
 
     /// Flushes L1 and L0 and enters draining mode (call once the

@@ -139,6 +139,10 @@ pub struct ConvStats {
     pub puts: u64,
     /// Application payload bytes pushed (headers excluded).
     pub payload_bytes_pushed: u64,
+    /// Records dropped from local send buffers by
+    /// [`Conveyor::purge_dest`] (rank-recovery replay: buffered records
+    /// for a dead rank are discarded, then regenerated from input).
+    pub items_purged: u64,
 }
 
 /// One L0 send buffer: wire bytes plus the out-of-band flow sidecar.
@@ -318,11 +322,86 @@ impl Conveyor {
         });
     }
 
+    /// Drops every locally buffered record whose *final destination* is
+    /// `dst`, returning how many were discarded. The recovery replay hook:
+    /// when a rank dies and is respawned, its un-shipped records are
+    /// purged here and regenerated from the input instead (shipping them
+    /// to the replacement would double-count the replayed keys). Under 1D
+    /// the whole per-destination buffer is removed; under routed protocols
+    /// the next-hop buffer is filtered record by record.
+    pub fn purge_dest<F: Fabric>(&mut self, ctx: &mut F, dst: PeId) -> u64 {
+        let hop = if dst == self.me { self.me } else { self.topo.next_hop(self.me, dst) };
+        let Some(buf) = self.out.remove(&hop) else {
+            return 0;
+        };
+        let dropped = if self.header_bytes() == 0 {
+            // 1D: one buffer per final destination — drop it whole.
+            buf.records as u64
+        } else {
+            let (kept, dropped) = self.filter_buffer(buf, dst);
+            if kept.records > 0 {
+                self.out.insert(hop, kept);
+            }
+            dropped
+        };
+        ctx.charge_ops(dropped);
+        self.stats.items_purged += dropped;
+        dropped
+    }
+
+    /// Re-encodes `buf` without the records addressed to `dst`, keeping
+    /// the flow sidecar's ordinals consistent. Routed protocols only.
+    fn filter_buffer(&self, buf: OutBuf, dst: PeId) -> (OutBuf, u64) {
+        let bytes = &buf.bytes;
+        let mut kept = OutBuf::default();
+        let mut dropped = 0u64;
+        let mut at = 0usize;
+        let mut flow_at = 0usize;
+        let mut ordinal = 0u32;
+        while at < bytes.len() {
+            let rec_start = at;
+            let final_dst =
+                u32::from_le_bytes(bytes[at..at + 4].try_into().expect("header")) as PeId;
+            at += 4;
+            let channel = bytes[at];
+            at += 1;
+            let size = match self.cfg.channels[channel as usize] {
+                ChannelKind::Fixed(sz) => sz,
+                ChannelKind::Variable => {
+                    let len = u16::from_le_bytes(bytes[at..at + 2].try_into().expect("len prefix"));
+                    at += 2;
+                    len as usize
+                }
+            };
+            at += size;
+            let flow = match buf.flows.get(flow_at) {
+                Some(&(ord, tag)) if ord == ordinal => {
+                    flow_at += 1;
+                    Some(tag)
+                }
+                _ => None,
+            };
+            ordinal += 1;
+            if final_dst == dst {
+                dropped += 1;
+            } else {
+                if let Some(tag) = flow {
+                    kept.flows.push((kept.records, tag));
+                }
+                kept.bytes.extend_from_slice(&bytes[rec_start..at]);
+                kept.records += 1;
+            }
+        }
+        (kept, dropped)
+    }
+
     /// Polls the transport and processes every arrived buffer: records for
-    /// this PE are handed to `deliver(channel, payload)`; others are
-    /// relayed. In draining mode all partially filled buffers are flushed
-    /// afterwards so quiescence can be reached.
-    pub fn progress<F: Fabric>(&mut self, ctx: &mut F, deliver: &mut dyn FnMut(u8, &[u8])) {
+    /// this PE are handed to `deliver(src, channel, payload)`; others are
+    /// relayed. `src` is the transport-level sender of the carrying
+    /// buffer — under 1D that is the record's producer; under routed
+    /// protocols it is the last relay hop. In draining mode all partially
+    /// filled buffers are flushed afterwards so quiescence can be reached.
+    pub fn progress<F: Fabric>(&mut self, ctx: &mut F, deliver: &mut dyn FnMut(PeId, u8, &[u8])) {
         let msgs = ctx.poll();
         for msg in msgs {
             debug_assert_eq!(msg.tag, CONVEYOR_TAG);
@@ -337,7 +416,7 @@ impl Conveyor {
         &mut self,
         ctx: &mut F,
         msg: &Msg,
-        deliver: &mut dyn FnMut(u8, &[u8]),
+        deliver: &mut dyn FnMut(PeId, u8, &[u8]),
     ) {
         let bytes = &msg.payload;
         let hdr = self.header_bytes();
@@ -381,7 +460,7 @@ impl Conveyor {
                 if let Some(tag) = flow {
                     self.close_flow(ctx, msg.arrival, &tag);
                 }
-                deliver(channel, payload);
+                deliver(msg.src, channel, payload);
             } else {
                 self.stats.items_forwarded += 1;
                 let payload = payload.to_vec();

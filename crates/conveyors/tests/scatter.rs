@@ -33,7 +33,7 @@ impl Scatter {
         let actor = self.actor.as_mut().expect("created");
         let before = actor.conveyor_stats();
         let recv = self.received.clone();
-        let mut handler = |_chan: u8, payload: &[u8]| {
+        let mut handler = |_src: dakc_sim::PeId, _chan: u8, payload: &[u8]| {
             recv.borrow_mut()
                 .push(u64::from_le_bytes(payload.try_into().expect("8B")));
         };
@@ -283,7 +283,7 @@ fn conveyor_without_actor_layer_works() {
                 return Step::Barrier;
             }
             let got = self.got.clone();
-            let mut h = |_c: u8, p: &[u8]| {
+            let mut h = |_src: dakc_sim::PeId, _c: u8, p: &[u8]| {
                 got.borrow_mut().push(u64::from_le_bytes(p.try_into().expect("8B")));
             };
             let before = conv.stats().items_delivered;

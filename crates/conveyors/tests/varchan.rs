@@ -57,7 +57,7 @@ impl Program for Fuzz {
         }
         let recv = self.recv.clone();
         let mut handler =
-            |chan: u8, payload: &[u8]| recv.borrow_mut().push((chan, payload.to_vec()));
+            |_src: dakc_sim::PeId, chan: u8, payload: &[u8]| recv.borrow_mut().push((chan, payload.to_vec()));
         let actor = self.actor.as_mut().expect("created");
         if !self.drained {
             let batch = 8.min(self.items.len() - self.cursor);

@@ -36,18 +36,95 @@ pub const CH_SUPER: u8 = 3;
 
 /// What a PE has received so far: the owner-side `T` array of
 /// Algorithm 3/4, split into plain k-mers and pre-accumulated pairs.
+///
+/// With [`ReceiveStore::track_sources`] on (rank recovery), every
+/// delivery batch is indexed by its source rank so that a dead rank's
+/// contributions can be [`ReceiveStore::purge_source`]d and re-received
+/// from its replacement. The index is a segment list (one entry per
+/// contiguous same-source delivery run), not a per-record tag, so the
+/// tracking overhead is proportional to packets, not k-mers.
 #[derive(Debug, Clone, Default)]
 pub struct ReceiveStore<W> {
     /// Individual k-mer occurrences (count 1 each).
     pub plain: Vec<W>,
     /// Pre-accumulated heavy-hitter deliveries.
     pub pairs: Vec<(W, u32)>,
+    /// `(src, plain watermark, pairs watermark)` after each delivery run,
+    /// recorded only while tracking.
+    segs: Vec<(PeId, usize, usize)>,
+    track: bool,
 }
 
 impl<W> ReceiveStore<W> {
     /// Total occurrences represented.
     pub fn total_occurrences(&self) -> u64 {
         self.plain.len() as u64 + self.pairs.iter().map(|&(_, c)| c as u64).sum::<u64>()
+    }
+
+    /// Turns on source tracking (call before any records arrive).
+    pub fn track_sources(&mut self) {
+        assert!(
+            self.plain.is_empty() && self.pairs.is_empty(),
+            "source tracking must start before the first delivery"
+        );
+        self.track = true;
+    }
+
+    /// Records that everything appended since the last note came from
+    /// `src`. Called by the delivery path after each decoded packet.
+    pub fn note_delivery(&mut self, src: PeId) {
+        if !self.track {
+            return;
+        }
+        let (p, q) = (self.plain.len(), self.pairs.len());
+        let (lp, lq) = self.segs.last().map(|&(_, a, b)| (a, b)).unwrap_or((0, 0));
+        if (p, q) == (lp, lq) {
+            return; // nothing appended by this delivery
+        }
+        match self.segs.last_mut() {
+            // Extend a same-source run instead of growing the index.
+            Some(seg) if seg.0 == src => {
+                seg.1 = p;
+                seg.2 = q;
+            }
+            _ => self.segs.push((src, p, q)),
+        }
+    }
+
+    /// Drops every record delivered by `src`, returning how many
+    /// occurrences were discarded. Requires source tracking; the caller
+    /// re-receives the purged content from the rank's replacement.
+    pub fn purge_source(&mut self, src: PeId) -> u64
+    where
+        W: Copy,
+    {
+        assert!(self.track, "purge_source requires track_sources");
+        let mut plain = Vec::with_capacity(self.plain.len());
+        let mut pairs = Vec::with_capacity(self.pairs.len());
+        let mut segs = Vec::with_capacity(self.segs.len());
+        let (mut pp, mut qq) = (0usize, 0usize);
+        let mut purged = 0u64;
+        for &(s, pe, qe) in &self.segs {
+            if s == src {
+                purged += (pe - pp) as u64;
+                purged += self.pairs[qq..qe].iter().map(|&(_, c)| c as u64).sum::<u64>();
+            } else {
+                plain.extend_from_slice(&self.plain[pp..pe]);
+                pairs.extend_from_slice(&self.pairs[qq..qe]);
+                segs.push((s, plain.len(), pairs.len()));
+            }
+            pp = pe;
+            qq = qe;
+        }
+        assert_eq!(
+            (pp, qq),
+            (self.plain.len(), self.pairs.len()),
+            "untracked records in a source-tracked store"
+        );
+        self.plain = plain;
+        self.pairs = pairs;
+        self.segs = segs;
+        purged
     }
 }
 
@@ -414,7 +491,7 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
         let mut decoded_ops = 0u64;
         let mut expanded_kmers = 0u64;
         {
-            let mut handler = |channel: u8, payload: &[u8]| {
+            let mut handler = |src: PeId, channel: u8, payload: &[u8]| {
                 if channel == CH_SUPER {
                     // Fallible by design: a corrupt span stream latches a
                     // typed error for the engine instead of panicking.
@@ -429,6 +506,8 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
                 } else {
                     decode_packet(channel, payload, word_bytes, store);
                 }
+                // No-op unless the store tracks sources (rank recovery).
+                store.note_delivery(src);
                 decoded_ops += payload.len() as u64 / 8 + 1;
             };
             self.actor.progress(ctx, &mut handler);
@@ -466,6 +545,38 @@ impl<W: KmerWord + RadixKey> Aggregator<W> {
             self.ship_super(ctx, dst);
         }
         self.actor.begin_drain(ctx);
+    }
+
+    /// Drops every not-yet-shipped record destined for `dead` from every
+    /// cascade level (L3 k-mers it owns, its L2 packet buffers, L1 staged
+    /// packets, L0 send buffers), returning how many k-mer occurrences
+    /// were discarded. Recovery replay: shipping this content to the
+    /// rank's replacement would double-count it against the
+    /// deterministically re-extracted replay, so it is purged first.
+    pub fn purge_dest<F: Fabric>(&mut self, ctx: &mut F, dead: PeId) -> u64 {
+        let n = self.num_pes;
+        let before = self.l3.len();
+        self.l3.retain(|&w| owner_pe(w, n) != dead);
+        let mut purged = (before - self.l3.len()) as u64;
+        if let Some(buf) = self.l2n.remove(&dead) {
+            purged += buf.len() as u64;
+        }
+        if let Some(buf) = self.l2h.remove(&dead) {
+            purged += buf.iter().map(|&(_, c)| c as u64).sum::<u64>();
+        }
+        if let Some(buf) = self.l2s.remove(&dead) {
+            // Span buffers are already encoded; count k-mers per record.
+            let canonical = self.cfg.canonical == dakc_kmer::CanonicalMode::Canonical;
+            if let Ok(sum) = unpack_spans(&buf, self.cfg.k, canonical, &mut Vec::<W>::new()) {
+                purged += sum.kmers; // locally packed: decode cannot fail
+            }
+        }
+        // Open flow tags for the purged buffers die with them.
+        self.fl2n.remove(&dead);
+        self.fl2h.remove(&dead);
+        self.fl2s.remove(&dead);
+        self.actor.purge_dest(ctx, dead);
+        purged
     }
 
     /// The first span-decode failure observed while servicing arrivals,

@@ -70,6 +70,14 @@ pub struct RunOpts {
     /// the per-rank trace gather. Collective — every rank of a job must
     /// agree (the launcher forwards `--trace` to all workers).
     pub trace: bool,
+    /// Rank-death recovery: arms the transport's recovery mode during
+    /// Parse and Drain, and on a completed respawn purges the dead
+    /// incarnation's contributions and replays this rank's parsed input
+    /// owner-filtered toward the replacement. Collective, and requires a
+    /// transport built in recovery mode (see
+    /// `TcpTransport::rendezvous_recover`); on any other transport the
+    /// flag is inert. Mutually exclusive with [`RunOpts::trace`].
+    pub recover: bool,
 }
 
 impl RunOpts {
@@ -207,6 +215,12 @@ where
     }
     let mut agg = Aggregator::<W>::new(cfg.clone(), &mut fab);
     let mut store = ReceiveStore::<W>::default();
+    let recover = opts.recover && n > 1;
+    if recover {
+        assert!(!opts.trace, "recovery and tracing are mutually exclusive");
+        store.track_sources();
+        fab.transport_mut().arm_recovery(true);
+    }
 
     // Parse: AsyncAdd every k-mer of this rank's slice, servicing arrivals
     // between batches so receive-side work overlaps parsing. Wire failures
@@ -236,6 +250,9 @@ where
         agg.progress(&mut fab, &mut store);
         take_span_error(&mut agg, rank)?;
         fab.check()?;
+        if recover {
+            service_recovery(&mut fab, &mut agg, &mut store, reads, cfg, range.start..cursor)?;
+        }
         {
             let s = fab.transport_mut().stats();
             opts.record_traffic(s.frames_sent(), s.frames_recv(), s.retries);
@@ -262,6 +279,25 @@ where
         let processed = agg.progress(&mut fab, &mut store);
         take_span_error(&mut agg, rank)?;
         fab.check()?;
+        if recover {
+            if service_recovery(&mut fab, &mut agg, &mut store, reads, cfg, range.clone())? {
+                // The replay re-enqueued content while the cascade was
+                // already draining: flush the partial buffers it left and
+                // restart the stall clock for the fresh epoch.
+                agg.flush(&mut fab);
+                last_movement = Instant::now();
+                continue;
+            }
+            if fab.transport_mut().recovery_pending() {
+                // A peer is dead awaiting respawn: rounds cannot complete
+                // and totals legitimately freeze. Hold the stall detector
+                // (the transport's own recovery deadline is the backstop)
+                // and don't spin hot.
+                last_movement = Instant::now();
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                continue;
+            }
+        }
         if processed > 0 {
             continue;
         }
@@ -287,11 +323,22 @@ where
         }
     }
 
+    // Quiescence reached: the recovery window closes here. A rank death
+    // from now on (Count/Gather) is fatal as before — there is no replay
+    // story for a partially gathered result.
+    if recover {
+        assert!(
+            !fab.transport_mut().recovery_pending(),
+            "quiescent with a recovery pending"
+        );
+        fab.transport_mut().arm_recovery(false);
+    }
+
     // Phase 2 on the quiescent store: identical sorts and merge to the
     // simulator engine's count phase.
     opts.set_phase(Phase::Count);
     fab.trace(|| EventKind::Phase { phase: Phase::Count as u32 });
-    let ReceiveStore { mut plain, mut pairs } = store;
+    let ReceiveStore { mut plain, mut pairs, .. } = store;
     hybrid_sort(&mut plain);
     let plain_counts: Vec<KmerCount<W>> = accumulate(&plain)
         .into_iter()
@@ -333,6 +380,72 @@ where
     fab.trace(|| EventKind::Phase { phase: Phase::Gather as u32 });
     let (transport, metrics, trace) = fab.finish();
     Ok(Partition { transport, counts, metrics, trace })
+}
+
+/// Drives the transport's rank-recovery machinery for one step and, when
+/// a respawned peer has fully reconnected, repairs this rank's state:
+///
+/// 1. Every record the dead incarnation delivered is purged from the
+///    receive store (the replacement re-runs its whole phase 1, so they
+///    will all be re-received).
+/// 2. Every not-yet-shipped record destined for the dead rank is purged
+///    from the cascade buffers (the replay below regenerates them;
+///    shipping both copies would double-count).
+/// 3. This rank's parsed input prefix is deterministically re-extracted,
+///    routing *only* k-mers (or spans) owned by the recovered rank back
+///    through the ordinary cascade — CH_SUPER included.
+///
+/// Determinism argument: the replayed multiset is a pure function of the
+/// input partition and the owner hash, and steps 1–2 remove exactly the
+/// two places a stale copy could hide (received-from-dead, buffered-for-
+/// dead), so after replay every k-mer owned by the recovered rank from
+/// this rank's prefix is in flight exactly once. Returns whether a
+/// recovery completed.
+fn service_recovery<W, T>(
+    fab: &mut NetFabric<T>,
+    agg: &mut Aggregator<W>,
+    store: &mut ReceiveStore<W>,
+    reads: &ReadSet,
+    cfg: &DakcConfig,
+    parsed: std::ops::Range<usize>,
+) -> NetResult<bool>
+where
+    W: KmerWord + RadixKey,
+    T: Transport,
+{
+    let Some(rec) = fab.transport_mut().poll_recovery()? else {
+        return Ok(false);
+    };
+    let dead = rec.rank;
+    let n = fab.transport_mut().num_ranks();
+    let purged_recv = store.purge_source(dead);
+    let purged_sent = agg.purge_dest(fab, dead);
+    let canonical = cfg.canonical == CanonicalMode::Canonical;
+    let mut replayed = 0u64;
+    for i in parsed {
+        if cfg.superkmer {
+            for_each_span(reads.get(i), cfg.k, cfg.minimizer_len, canonical, |mz, span| {
+                if dakc_kmer::owner_pe(mz, n) == dead {
+                    replayed += (span.len() + 1 - cfg.k) as u64;
+                    agg.async_add_span(fab, mz, span);
+                }
+            });
+        } else {
+            for w in kmers_of_read::<W>(reads.get(i), cfg.k, cfg.canonical) {
+                if dakc_kmer::owner_pe(w, n) == dead {
+                    replayed += 1;
+                    agg.async_add(fab, w);
+                }
+            }
+        }
+    }
+    // Recovery-only counters: absent from any run that never recovered,
+    // keeping the default metrics export byte-stable.
+    let m = fab.metrics();
+    m.inc("net.replayed_kmers", replayed);
+    m.inc("net.purged_recv_occurrences", purged_recv);
+    m.inc("net.purged_sent_occurrences", purged_sent);
+    Ok(true)
 }
 
 /// Surfaces a latched span-decode failure as a typed wire error: a span

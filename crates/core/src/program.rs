@@ -138,7 +138,7 @@ impl<W: KmerWord + RadixKey> DakcPeProgram<W> {
         let store = std::mem::take(&mut self.store);
         let received_occurrences = store.total_occurrences();
         let received_records = (store.plain.len() + store.pairs.len()) as u64;
-        let ReceiveStore { mut plain, mut pairs } = store;
+        let ReceiveStore { mut plain, mut pairs, .. } = store;
 
         // Sort + accumulate the plain stream (the bulk of the data).
         ctx.mem_alloc(plain.len() as u64 * word_bytes);

@@ -77,6 +77,16 @@ pub struct ChaosConfig {
     pub freeze_after_ops: Option<u64>,
     /// Poison a peer's stream at this operation count.
     pub corrupt_after_ops: Option<u64>,
+    /// Like `die_after_ops`, but declares the death restartable: a
+    /// `--recover` launch is expected to respawn this rank. The transport
+    /// behavior is identical to `die`; the separate term lets profiles
+    /// state intent and lets [`ChaosConfig::parse_for_epoch`] suppress
+    /// the fault in respawned incarnations.
+    pub die_restart_after_ops: Option<u64>,
+    /// Freeze at `(op, ms)`: stop progressing and heartbeating for `ms`
+    /// milliseconds (raising the freeze flag), then thaw and continue —
+    /// a transient hang rather than `freeze`'s permanent one. One-shot.
+    pub freeze_thaw: Option<(u64, u64)>,
 }
 
 impl ChaosConfig {
@@ -95,17 +105,62 @@ impl ChaosConfig {
             && self.die_after_ops.is_none()
             && self.freeze_after_ops.is_none()
             && self.corrupt_after_ops.is_none()
+            && self.die_restart_after_ops.is_none()
+            && self.freeze_thaw.is_none()
+    }
+
+    /// Whether this plan's scripted death is declared restartable
+    /// (`die-restart` rather than `die`).
+    pub fn restartable(&self) -> bool {
+        self.die_restart_after_ops.is_some()
     }
 
     /// Parses a job-wide profile string into the plan for `rank` (scripted
     /// terms addressed to other ranks are dropped).
     pub fn parse(profile: &str, seed: u64, rank: Rank) -> Result<Self, String> {
+        Self::parse_for_epoch(profile, seed, rank, 0)
+    }
+
+    /// [`ChaosConfig::parse`] for a specific incarnation: scripted rank
+    /// faults (`die`, `die-restart`, `freeze`, `freeze-thaw`, `corrupt`)
+    /// fire only in incarnation 0 — a respawned rank must not re-execute
+    /// the death that killed its previous life, or a `--recover` launch
+    /// would loop forever. Probabilistic wire faults stay active in every
+    /// incarnation.
+    pub fn parse_for_epoch(
+        profile: &str,
+        seed: u64,
+        rank: Rank,
+        epoch: u32,
+    ) -> Result<Self, String> {
         let mut cfg = Self { seed, ..Self::default() };
         cfg.delay_ops = 4;
         for term in profile.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(spec) = term.strip_prefix("freeze-thaw:") {
+                // freeze-thaw:R@N@D — rank R, operation N, thaw after D ms.
+                let mut parts = spec.splitn(3, '@');
+                let (r, op, ms) = match (parts.next(), parts.next(), parts.next()) {
+                    (Some(r), Some(op), Some(ms)) => (r, op, ms),
+                    _ => return Err(format!("chaos term {term:?}: expected freeze-thaw:RANK@OP@MS")),
+                };
+                let r: Rank = r
+                    .parse()
+                    .map_err(|e| format!("chaos term {term:?}: bad rank: {e}"))?;
+                let op: u64 = op
+                    .parse()
+                    .map_err(|e| format!("chaos term {term:?}: bad op count: {e}"))?;
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|e| format!("chaos term {term:?}: bad thaw delay: {e}"))?;
+                if r == rank && epoch == 0 {
+                    cfg.freeze_thaw = Some((op, ms));
+                }
+                continue;
+            }
             if let Some(spec) = term
-                .strip_prefix("die:")
-                .map(|s| ("die", s))
+                .strip_prefix("die-restart:")
+                .map(|s| ("die-restart", s))
+                .or_else(|| term.strip_prefix("die:").map(|s| ("die", s)))
                 .or_else(|| term.strip_prefix("freeze:").map(|s| ("freeze", s)))
                 .or_else(|| term.strip_prefix("corrupt:").map(|s| ("corrupt", s)))
             {
@@ -119,9 +174,10 @@ impl ChaosConfig {
                 let op: u64 = op
                     .parse()
                     .map_err(|e| format!("chaos term {term:?}: bad op count: {e}"))?;
-                if r == rank {
+                if r == rank && epoch == 0 {
                     match kind {
                         "die" => cfg.die_after_ops = Some(op),
+                        "die-restart" => cfg.die_restart_after_ops = Some(op),
                         "freeze" => cfg.freeze_after_ops = Some(op),
                         _ => cfg.corrupt_after_ops = Some(op),
                     }
@@ -174,6 +230,7 @@ pub struct ChaosTransport<T: Transport> {
     /// goes silent too.
     freeze_flag: Option<Arc<AtomicBool>>,
     corrupt_done: bool,
+    freeze_thaw_done: bool,
 }
 
 impl<T: Transport> ChaosTransport<T> {
@@ -189,6 +246,7 @@ impl<T: Transport> ChaosTransport<T> {
             log: Vec::new(),
             freeze_flag: None,
             corrupt_done: false,
+            freeze_thaw_done: false,
         }
     }
 
@@ -241,6 +299,33 @@ impl<T: Transport> ChaosTransport<T> {
                     rank: me,
                     detail: format!("die at operation {}", self.ops),
                 });
+            }
+        }
+        if let Some(at) = self.cfg.die_restart_after_ops {
+            if self.ops >= at {
+                // Same death as `die`; the term's intent is that a
+                // `--recover` launch respawns this rank.
+                self.note("die-restart");
+                return Err(NetError::Injected {
+                    rank: me,
+                    detail: format!("die-restart at operation {}", self.ops),
+                });
+            }
+        }
+        if let Some((at, ms)) = self.cfg.freeze_thaw {
+            if self.ops >= at && !self.freeze_thaw_done {
+                self.freeze_thaw_done = true;
+                self.note("freeze-thaw");
+                // Go silent (heartbeats included) for the scripted window,
+                // then resume — a transient hang the supervisor's staleness
+                // deadline may or may not catch, depending on tuning.
+                if let Some(flag) = &self.freeze_flag {
+                    flag.store(true, Ordering::SeqCst);
+                }
+                std::thread::sleep(Duration::from_millis(ms));
+                if let Some(flag) = &self.freeze_flag {
+                    flag.store(false, Ordering::SeqCst);
+                }
             }
         }
         if let Some(at) = self.cfg.freeze_after_ops {
@@ -426,6 +511,20 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         self.inner.send_corrupt(dest)
     }
 
+    // Recovery hooks delegate without ticking the ops clock: a `--recover`
+    // run must keep the same scripted-fault schedule as a plain run.
+    fn arm_recovery(&mut self, armed: bool) {
+        self.inner.arm_recovery(armed);
+    }
+
+    fn recovery_pending(&self) -> bool {
+        self.inner.recovery_pending()
+    }
+
+    fn poll_recovery(&mut self) -> NetResult<Option<crate::transport::Recovered>> {
+        self.inner.poll_recovery()
+    }
+
     fn diagnostics(&self) -> String {
         format!(
             "{}; chaos: ops={} injected={} delayed={}",
@@ -464,6 +563,45 @@ mod tests {
         let cfg1 = ChaosConfig::parse("drop=5,dup,delay=100,die:2@40,freeze:1@7", 9, 1).unwrap();
         assert_eq!(cfg1.die_after_ops, None);
         assert_eq!(cfg1.freeze_after_ops, Some(7));
+    }
+
+    #[test]
+    fn parse_die_restart_and_freeze_thaw() {
+        let cfg = ChaosConfig::parse("die-restart:2@40,freeze-thaw:1@7@50", 9, 2).unwrap();
+        assert_eq!(cfg.die_restart_after_ops, Some(40));
+        assert_eq!(cfg.die_after_ops, None, "die-restart is not die");
+        assert!(cfg.restartable());
+        assert_eq!(cfg.freeze_thaw, None, "freeze-thaw term addressed to rank 1");
+        let cfg1 = ChaosConfig::parse("die-restart:2@40,freeze-thaw:1@7@50", 9, 1).unwrap();
+        assert_eq!(cfg1.freeze_thaw, Some((7, 50)));
+        assert_eq!(cfg1.die_restart_after_ops, None);
+        assert!(!cfg1.restartable());
+        // Malformed variants are typed errors, not panics.
+        assert!(ChaosConfig::parse("die-restart:2", 0, 0).is_err());
+        assert!(ChaosConfig::parse("freeze-thaw:1@7", 0, 0).is_err());
+        assert!(ChaosConfig::parse("freeze-thaw:1@7@", 0, 0).is_err());
+    }
+
+    #[test]
+    fn respawned_epoch_suppresses_scripted_faults_only() {
+        // The exact profile a --recover launch forwards to every
+        // incarnation: the respawned rank must not re-run its own death,
+        // but probabilistic wire faults stay armed.
+        let profile = "drop=5,die:2@40,die-restart:2@41,freeze:2@42,freeze-thaw:2@7@50";
+        let first = ChaosConfig::parse_for_epoch(profile, 9, 2, 0).unwrap();
+        assert_eq!(first.die_after_ops, Some(40));
+        assert_eq!(first.die_restart_after_ops, Some(41));
+        assert_eq!(first.freeze_after_ops, Some(42));
+        assert_eq!(first.freeze_thaw, Some((7, 50)));
+        let respawned = ChaosConfig::parse_for_epoch(profile, 9, 2, 1).unwrap();
+        assert_eq!(respawned.die_after_ops, None);
+        assert_eq!(respawned.die_restart_after_ops, None);
+        assert_eq!(respawned.freeze_after_ops, None);
+        assert_eq!(respawned.freeze_thaw, None);
+        assert_eq!(respawned.drop_per_mille, 5, "wire faults survive the respawn");
+        assert!(!respawned.is_off());
+        // Epoch 0 parses identically through the plain entry point.
+        assert_eq!(first, ChaosConfig::parse(profile, 9, 2).unwrap());
     }
 
     #[test]

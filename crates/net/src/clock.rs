@@ -177,6 +177,8 @@ fn probe<T: Transport>(
                     ),
                 });
             }
+            // Infallible: the PONG_LEN check above fixes the frame size,
+            // so every fixed-range slice below is in bounds.
             let echoed_seq = u32::from_le_bytes(frame[1..5].try_into().unwrap());
             if echoed_seq != seq {
                 // A pong from an earlier (slow) round; ignore it — its

@@ -194,6 +194,8 @@ fn decode_flows(frame: Vec<u8>) -> Result<(FlowSidecar, Vec<u8>), String> {
     if frame.len() < 4 {
         return Err(format!("traced frame too short: {} bytes", frame.len()));
     }
+    // Infallible: the length check above guarantees 4 header bytes, and
+    // the `body` check below covers every fixed-size entry slice.
     let n = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
     let body = 4 + n * FLOW_ENTRY_LEN;
     if frame.len() < body {

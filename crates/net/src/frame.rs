@@ -40,6 +40,11 @@ pub enum FrameKind {
     Query,
     /// A serve-mode response paired to an earlier [`FrameKind::Query`].
     Reply,
+    /// Recovery announcement from the launch supervisor:
+    /// `[rank: u32 LE][incarnation: u32 LE]` — the named rank died and is
+    /// being respawned under the given incarnation number. Survivors mask
+    /// the rank until its new incarnation dials back in.
+    Recover,
 }
 
 impl FrameKind {
@@ -52,6 +57,7 @@ impl FrameKind {
             FrameKind::Heartbeat => 3,
             FrameKind::Query => 4,
             FrameKind::Reply => 5,
+            FrameKind::Recover => 6,
         }
     }
 
@@ -64,6 +70,7 @@ impl FrameKind {
             3 => Some(FrameKind::Heartbeat),
             4 => Some(FrameKind::Query),
             5 => Some(FrameKind::Reply),
+            6 => Some(FrameKind::Recover),
             _ => None,
         }
     }
@@ -276,7 +283,7 @@ mod tests {
         #[test]
         fn split_read_roundtrip(
             frames in prop::collection::vec(
-                (0u8..6, prop::collection::vec(any::<u8>(), 0..300)),
+                (0u8..7, prop::collection::vec(any::<u8>(), 0..300)),
                 1..20,
             ),
             splits in prop::collection::vec(1usize..97, 1..40),

@@ -52,8 +52,8 @@ pub use fabric::NetFabric;
 pub use frame::{encode_frame, FrameDecoder, FrameError, FrameKind, MAX_FRAME_LEN};
 pub use loopback::{Loopback, TimedBarrier};
 pub use supervisor::{
-    send_obituary, Heartbeat, HeartbeatSender, HeartbeatState, PeerHealth, Phase, Supervisor,
-    NO_BLAME,
+    send_obituary, send_obituary_inc, Heartbeat, HeartbeatSender, HeartbeatState, PeerHealth,
+    Phase, Supervisor, NO_BLAME,
 };
-pub use tcp::TcpTransport;
+pub use tcp::{announce_recovery, TcpTransport, RECOVER_HELLO};
 pub use transport::{NetNote, NetStats, NetTuning, PeerStats, Rank, TermDetector, Transport};

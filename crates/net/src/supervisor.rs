@@ -15,7 +15,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -82,10 +82,11 @@ impl Phase {
 pub const NO_BLAME: u32 = u32::MAX;
 
 /// One liveness beacon.
-/// Wire payload (41 bytes, little-endian):
+/// Wire payload (45 bytes, little-endian):
 /// `[rank u32][seq u64][phase u8][frames_sent u64][frames_recv u64]
-/// [retries u64][blame u32]`. Launcher and workers always run the same
-/// binary, so the layout can grow without a version field.
+/// [retries u64][blame u32][incarnation u32]`. Launcher and workers
+/// always run the same binary, so the layout can grow without a version
+/// field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Heartbeat {
     /// Sender's rank.
@@ -105,12 +106,18 @@ pub struct Heartbeat {
     /// typed error points at, or [`NO_BLAME`]. Ordinary beats carry
     /// [`NO_BLAME`].
     pub blame: u32,
+    /// The sender's incarnation (0 for the first spawn, bumped per
+    /// `--recover` respawn). The supervisor drops beats — including
+    /// obituaries — from incarnations older than the one it expects, so
+    /// a straggling obituary cannot re-convict a rank it already
+    /// respawned.
+    pub incarnation: u32,
 }
 
 impl Heartbeat {
-    /// Encodes the 41-byte wire payload.
-    pub fn encode(&self) -> [u8; 41] {
-        let mut out = [0u8; 41];
+    /// Encodes the 45-byte wire payload.
+    pub fn encode(&self) -> [u8; 45] {
+        let mut out = [0u8; 45];
         out[..4].copy_from_slice(&self.rank.to_le_bytes());
         out[4..12].copy_from_slice(&self.seq.to_le_bytes());
         out[12] = self.phase as u8;
@@ -118,13 +125,14 @@ impl Heartbeat {
         out[21..29].copy_from_slice(&self.frames_recv.to_le_bytes());
         out[29..37].copy_from_slice(&self.retries.to_le_bytes());
         out[37..41].copy_from_slice(&self.blame.to_le_bytes());
+        out[41..45].copy_from_slice(&self.incarnation.to_le_bytes());
         out
     }
 
     /// Decodes a wire payload.
     pub fn decode(payload: &[u8]) -> Result<Self, String> {
-        if payload.len() != 41 {
-            return Err(format!("heartbeat payload is {} bytes, want 41", payload.len()));
+        if payload.len() != 45 {
+            return Err(format!("heartbeat payload is {} bytes, want 45", payload.len()));
         }
         let u32le = |r: std::ops::Range<usize>| {
             u32::from_le_bytes(payload[r].try_into().expect("4 bytes"))
@@ -141,6 +149,7 @@ impl Heartbeat {
             frames_recv: u64le(21..29),
             retries: u64le(29..37),
             blame: u32le(37..41),
+            incarnation: u32le(41..45),
         })
     }
 }
@@ -151,6 +160,18 @@ impl Heartbeat {
 /// that cannot reach the supervisor still exits nonzero and is caught by
 /// the exit poll.
 pub fn send_obituary(addr: SocketAddr, rank: Rank, blame: Option<Rank>) -> std::io::Result<()> {
+    send_obituary_inc(addr, rank, blame, 0)
+}
+
+/// [`send_obituary`] from a specific incarnation (respawned workers file
+/// obituaries under their own epoch so the supervisor can tell a fresh
+/// failure from a stale one).
+pub fn send_obituary_inc(
+    addr: SocketAddr,
+    rank: Rank,
+    blame: Option<Rank>,
+    incarnation: u32,
+) -> std::io::Result<()> {
     let hb = Heartbeat {
         rank: rank as u32,
         seq: u64::MAX,
@@ -159,6 +180,7 @@ pub fn send_obituary(addr: SocketAddr, rank: Rank, blame: Option<Rank>) -> std::
         frames_recv: 0,
         retries: 0,
         blame: blame.map_or(NO_BLAME, |r| r as u32),
+        incarnation,
     };
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
@@ -175,6 +197,7 @@ pub struct HeartbeatState {
     frames_recv: AtomicU64,
     retries: AtomicU64,
     beats: AtomicU64,
+    incarnation: AtomicU32,
 }
 
 impl HeartbeatState {
@@ -203,6 +226,16 @@ impl HeartbeatState {
     /// How many heartbeats have been sent from this state.
     pub fn beats(&self) -> u64 {
         self.beats.load(Ordering::Relaxed)
+    }
+
+    /// Records this worker's incarnation (0 unless respawned).
+    pub fn set_incarnation(&self, inc: u32) {
+        self.incarnation.store(inc, Ordering::Relaxed);
+    }
+
+    /// The recorded incarnation.
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation.load(Ordering::Relaxed)
     }
 }
 
@@ -243,6 +276,7 @@ impl HeartbeatSender {
                             frames_recv: state.frames_recv.load(Ordering::Relaxed),
                             retries: state.retries.load(Ordering::Relaxed),
                             blame: NO_BLAME,
+                            incarnation: state.incarnation.load(Ordering::Relaxed),
                         };
                         seq += 1;
                         let wire = encode_frame(FrameKind::Heartbeat, &hb.encode());
@@ -275,6 +309,9 @@ pub struct PeerHealth {
     pub last_beat: Option<Instant>,
     /// The last heartbeat's contents.
     pub last: Option<Heartbeat>,
+    /// The lowest incarnation whose beats are still current; beats and
+    /// obituaries tagged with an older incarnation are dropped as stale.
+    pub expected_inc: u32,
 }
 
 /// The launcher-side monitor: accepts worker heartbeat connections and
@@ -324,6 +361,19 @@ impl Supervisor {
             Self { peers, stop, started: Instant::now(), accept_handle: Some(accept_handle) },
             addr,
         ))
+    }
+
+    /// Records that `rank` was respawned under `incarnation`: its sealed
+    /// obituary (if any) is cleared, its staleness clock restarts with a
+    /// fresh grace period, and any later beat or obituary from an older
+    /// incarnation is ignored.
+    pub fn expect_respawn(&mut self, rank: Rank, incarnation: u32) {
+        let mut peers = self.peers.lock().expect("supervisor peers");
+        if let Some(p) = peers.get_mut(rank) {
+            p.expected_inc = incarnation;
+            p.last = None;
+            p.last_beat = Some(Instant::now());
+        }
     }
 
     /// The rank whose last heartbeat is the stalest, with its silence
@@ -443,6 +493,13 @@ fn heartbeat_conn_loop(
                             if let Ok(hb) = Heartbeat::decode(&payload) {
                                 let mut peers = peers.lock().expect("supervisor peers");
                                 if let Some(p) = peers.get_mut(hb.rank as usize) {
+                                    // Beats from an incarnation the rank
+                                    // was already respawned past are
+                                    // stale — including the previous
+                                    // life's obituary.
+                                    if hb.incarnation < p.expected_inc {
+                                        continue;
+                                    }
                                     p.last_beat = Some(Instant::now());
                                     // An obituary is final: a straggling
                                     // regular beat from the sender thread
@@ -486,6 +543,7 @@ mod tests {
             frames_recv: 998,
             retries: 6,
             blame: NO_BLAME,
+            incarnation: 2,
         };
         assert_eq!(Heartbeat::decode(&hb.encode()).unwrap(), hb);
         assert!(Heartbeat::decode(&[0u8; 5]).is_err());
@@ -604,5 +662,72 @@ mod tests {
         std::thread::sleep(Duration::from_millis(60));
         drop(sender);
         assert_eq!(sup.blamed(), Some(2), "obituary erased by a late beat");
+    }
+
+    /// Waits until `n` ranks have a sealed obituary registered.
+    fn await_obituaries(sup: &Supervisor, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let done = sup
+                .snapshot()
+                .iter()
+                .filter(|p| p.last.is_some_and(|h| h.phase == Phase::Failed))
+                .count();
+            if done >= n {
+                return;
+            }
+            assert!(Instant::now() < deadline, "obituaries never arrived ({done}/{n})");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn tied_blame_votes_break_toward_lowest_rank() {
+        let (sup, addr) = Supervisor::bind(2).unwrap();
+        // Mutual accusation, one vote each: the verdict must still be
+        // deterministic, and the tie-break convicts the lowest rank.
+        send_obituary(addr, 0, Some(1)).unwrap();
+        send_obituary(addr, 1, Some(0)).unwrap();
+        await_obituaries(&sup, 2);
+        assert_eq!(sup.blamed(), Some(0), "ties must break toward the lowest rank");
+    }
+
+    #[test]
+    fn simultaneous_two_rank_death_convicts_deterministically() {
+        let (sup, addr) = Supervisor::bind(4).unwrap();
+        // Ranks 1 and 3 die at once, each blaming itself; each takes one
+        // victim down with it. Two-vote tie between 1 and 3 → rank 1.
+        send_obituary(addr, 1, Some(1)).unwrap();
+        send_obituary(addr, 0, Some(1)).unwrap();
+        send_obituary(addr, 3, Some(3)).unwrap();
+        send_obituary(addr, 2, Some(3)).unwrap();
+        await_obituaries(&sup, 4);
+        assert_eq!(sup.blamed(), Some(1));
+    }
+
+    #[test]
+    fn obituary_from_a_replaced_incarnation_is_ignored() {
+        let (mut sup, addr) = Supervisor::bind(2).unwrap();
+        // Rank 1's first life dies and is respawned as incarnation 1.
+        send_obituary(addr, 1, Some(1)).unwrap();
+        await_obituaries(&sup, 1);
+        assert_eq!(sup.blamed(), Some(1));
+        sup.expect_respawn(1, 1);
+        assert_eq!(sup.blamed(), None, "respawn must clear the sealed obituary");
+        assert!(sup.snapshot()[1].last_beat.is_some(), "staleness clock restarts");
+
+        // A straggling obituary from the dead incarnation 0 (e.g. its
+        // obituary thread losing the race with the respawn) is stale and
+        // must not re-convict the fresh incarnation...
+        send_obituary_inc(addr, 1, Some(1), 0).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(sup.blamed(), None, "stale-incarnation obituary resurrected the verdict");
+        assert!(sup.snapshot()[1].last.is_none());
+
+        // ...while the same obituary tagged with the current incarnation
+        // counts as a fresh failure.
+        send_obituary_inc(addr, 1, Some(1), 1).unwrap();
+        await_obituaries(&sup, 1);
+        assert_eq!(sup.blamed(), Some(1));
     }
 }

@@ -42,8 +42,8 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use crate::error::{NetError, NetResult};
-use crate::frame::{encode_frame, FrameDecoder, FrameKind};
-use crate::transport::{NetNote, NetStats, NetTuning, Rank, TermDetector, Transport};
+use crate::frame::{encode_frame, FrameDecoder, FrameKind, MAX_FRAME_LEN};
+use crate::transport::{NetNote, NetStats, NetTuning, Rank, Recovered, TermDetector, Transport};
 
 /// A send (or flush) slower than this counts as one backpressure stall.
 const STALL_THRESHOLD: Duration = Duration::from_millis(1);
@@ -52,12 +52,52 @@ const STALL_THRESHOLD: Duration = Duration::from_millis(1);
 /// peers. Bounds the latency of fast-fail detection during collectives.
 const PUMP_SLICE: Duration = Duration::from_millis(50);
 
+/// Hello rank tag for a supervisor recovery announcement: the connection
+/// is not a mesh peer dialing in but the launcher delivering one framed
+/// [`FrameKind::Recover`] and closing.
+pub const RECOVER_HELLO: u32 = u32::MAX;
+
+/// Announces a respawn to every surviving rank of a recovery-mode mesh:
+/// dials each `rank<i>.addr` published under `dir` (skipping `dead`
+/// itself), identifies as [`RECOVER_HELLO`], and delivers one typed
+/// [`FrameKind::Recover`] frame naming the dead rank and its new
+/// incarnation. Best-effort by design — a survivor that cannot be
+/// reached still learns of the respawn when the replacement dials it
+/// directly; the announcement's job is to refresh reconnect deadlines
+/// and pre-authorize the incarnation. Returns how many survivors were
+/// notified.
+pub fn announce_recovery(dir: &Path, n: usize, dead: Rank, incarnation: u32) -> usize {
+    let mut payload = [0u8; 8];
+    payload[..4].copy_from_slice(&(dead as u32).to_le_bytes());
+    payload[4..].copy_from_slice(&incarnation.to_le_bytes());
+    let frame = encode_frame(FrameKind::Recover, &payload);
+    let mut hello = [0u8; 8];
+    hello[..4].copy_from_slice(&RECOVER_HELLO.to_le_bytes());
+    hello[4..].copy_from_slice(&incarnation.to_le_bytes());
+    let mut notified = 0;
+    for peer in (0..n).filter(|&p| p != dead) {
+        let Ok(text) = std::fs::read_to_string(dir.join(format!("rank{peer}.addr"))) else {
+            continue;
+        };
+        let Ok(addr) = text.trim().parse::<std::net::SocketAddr>() else { continue };
+        let Ok(mut s) = TcpStream::connect(addr) else { continue };
+        if s.write_all(&hello).and_then(|()| s.write_all(&frame)).and_then(|()| s.flush()).is_ok()
+        {
+            notified += 1;
+        }
+    }
+    notified
+}
+
 /// One message from a reader thread.
 enum Event {
     /// A decoded frame from `src`.
     Frame {
         src: Rank,
         kind: FrameKind,
+        /// The incarnation tag from the recovery-mode frame envelope
+        /// (0 when the mesh runs without recovery).
+        inc: u32,
         payload: Vec<u8>,
     },
     /// `src`'s connection ended. `error` is `None` for a clean EOF (the
@@ -69,6 +109,54 @@ enum Event {
     },
 }
 
+/// A peer that died recoverably and is awaited back.
+struct PendingPeer {
+    rank: Rank,
+    since: Instant,
+}
+
+/// Recovery-mode state: present only on meshes built with
+/// [`TcpTransport::rendezvous_recover`]. While armed, a recoverable peer
+/// death is absorbed (sends masked, collectives abandoned) until the
+/// respawned incarnation dials the retained listener back; completing the
+/// reconnect voids the dead incarnation's frame totals and resets the
+/// collective round state on this rank.
+struct Recovery {
+    /// The rendezvous listener, retained past setup so respawned peers
+    /// (and the supervisor's announcements) can dial in.
+    listener: TcpListener,
+    /// Current incarnation: the highest epoch this rank has joined.
+    /// Frames carry it in their envelope; stale control frames are
+    /// discarded by it.
+    incarnation: u32,
+    /// Whether peer death is currently absorbed (armed during
+    /// parse/drain) or fatal as usual (setup, count, gather).
+    armed: bool,
+    /// Sends to these ranks are dropped (their replacement replays the
+    /// content).
+    masked: Vec<bool>,
+    /// Peers dead and awaited back.
+    pending: Vec<PendingPeer>,
+    /// Supervisor-announced incarnation per rank, if an announcement
+    /// arrived (refreshes the reconnect deadline).
+    announced: Vec<Option<u32>>,
+    /// Reconnect dials that arrived before this rank absorbed the
+    /// peer's death.
+    early: Vec<(Rank, u32, TcpStream)>,
+    /// Control frames from a future incarnation, replayed after the bump.
+    stash: Vec<Event>,
+    /// Frame totals voided from the four-counter accounting: traffic
+    /// exchanged with incarnations that no longer exist.
+    void_sent: u64,
+    void_recv: u64,
+    /// Per-peer totals already voided (so repeat recoveries void only the
+    /// delta).
+    sent_base: Vec<u64>,
+    recv_base: Vec<u64>,
+    buf_bytes: usize,
+    max_frame: usize,
+}
+
 /// One rank's TCP endpoint.
 pub struct TcpTransport {
     rank: Rank,
@@ -78,8 +166,9 @@ pub struct TcpTransport {
     writers: Vec<Option<BufWriter<TcpStream>>>,
     /// Shared inbox fed by one reader thread per peer.
     rx: mpsc::Receiver<Event>,
-    /// Keeps the channel open when there are no peers (single-rank jobs).
-    _tx: mpsc::Sender<Event>,
+    /// Sender half: keeps the channel open when there are no peers and
+    /// spawns readers for reconnected peers.
+    tx: mpsc::Sender<Event>,
     /// Self-sends and data frames that arrived during a collective wait.
     pending: VecDeque<(Rank, Vec<u8>)>,
     /// Why each gone peer's connection ended (`None` while alive).
@@ -93,6 +182,8 @@ pub struct TcpTransport {
     detector: TermDetector,
     stats: NetStats,
     tuning: NetTuning,
+    /// Present only on recovery-mode meshes.
+    recovery: Option<Recovery>,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -126,7 +217,7 @@ impl TcpTransport {
     ) -> NetResult<Self> {
         let listener = TcpListener::bind(addrs[rank])
             .map_err(|e| io_err(format!("rank {rank}: bind {}", addrs[rank]), None, &e))?;
-        Self::with_listener(rank, addrs, listener, buf_bytes, tuning)
+        Self::with_listener(rank, addrs, listener, buf_bytes, tuning, None)
     }
 
     /// Like [`TcpTransport::connect`], reading the address list from a
@@ -162,6 +253,39 @@ impl TcpTransport {
         dir: &Path,
         buf_bytes: usize,
         tuning: NetTuning,
+    ) -> NetResult<Self> {
+        Self::rendezvous_impl(rank, n, dir, buf_bytes, tuning, None)
+    }
+
+    /// [`TcpTransport::rendezvous_tuned`] in recovery mode: the rank
+    /// hello and every frame envelope carry an incarnation tag, the
+    /// rendezvous listener is retained so a respawned peer can dial back
+    /// in, and (once armed) a recoverable peer death is absorbed instead
+    /// of surfaced. `incarnation` 0 joins a fresh mesh; a positive
+    /// incarnation *rejoins* a running mesh after this rank was respawned
+    /// — it republishes its address and dials every surviving peer.
+    pub fn rendezvous_recover(
+        rank: Rank,
+        n: usize,
+        dir: &Path,
+        buf_bytes: usize,
+        tuning: NetTuning,
+        incarnation: u32,
+    ) -> NetResult<Self> {
+        if incarnation == 0 {
+            Self::rendezvous_impl(rank, n, dir, buf_bytes, tuning, Some(0))
+        } else {
+            Self::rejoin(rank, n, dir, buf_bytes, tuning, incarnation)
+        }
+    }
+
+    fn rendezvous_impl(
+        rank: Rank,
+        n: usize,
+        dir: &Path,
+        buf_bytes: usize,
+        tuning: NetTuning,
+        recover: Option<u32>,
     ) -> NetResult<Self> {
         let ctx = |what: &str| format!("rank {rank}: rendezvous {what}");
         let listener = TcpListener::bind("127.0.0.1:0")
@@ -206,7 +330,129 @@ impl TcpTransport {
             }
         }
         let addrs: Vec<SocketAddr> = addrs.into_iter().map(|a| a.expect("filled")).collect();
-        Self::with_listener(rank, &addrs, listener, buf_bytes, tuning)
+        Self::with_listener(rank, &addrs, listener, buf_bytes, tuning, recover)
+    }
+
+    /// Rejoins a running recovery-mode mesh after a respawn: republishes
+    /// this rank's address and dials *every* surviving peer (their
+    /// retained listeners accept via `poll_recovery`), identifying itself
+    /// with the new incarnation.
+    fn rejoin(
+        rank: Rank,
+        n: usize,
+        dir: &Path,
+        buf_bytes: usize,
+        tuning: NetTuning,
+        incarnation: u32,
+    ) -> NetResult<Self> {
+        let ctx = |what: &str| format!("rank {rank}: rejoin {what}");
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| io_err(ctx("bind"), None, &e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err(ctx("listener nonblocking"), None, &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| io_err(ctx("local_addr"), None, &e))?;
+        let tmp = dir.join(format!(".rank{rank}.addr.tmp"));
+        std::fs::write(&tmp, addr.to_string())
+            .map_err(|e| io_err(ctx("publish"), None, &e))?;
+        std::fs::rename(&tmp, dir.join(format!("rank{rank}.addr")))
+            .map_err(|e| io_err(ctx("publish"), None, &e))?;
+
+        let buf_bytes = buf_bytes.max(4 << 10);
+        let max_frame = (buf_bytes * 4).max(1 << 20);
+        let (tx, rx) = mpsc::channel();
+        let mut writers: Vec<Option<BufWriter<TcpStream>>> = (0..n).map(|_| None).collect();
+        for peer in (0..n).filter(|&p| p != rank) {
+            let start = Instant::now();
+            let mut attempt = 0u32;
+            let stream = loop {
+                // Re-read the peer's address each attempt: a peer that is
+                // itself mid-respawn republishes a new one.
+                let dialed = std::fs::read_to_string(dir.join(format!("rank{peer}.addr")))
+                    .ok()
+                    .and_then(|t| t.trim().parse::<SocketAddr>().ok())
+                    .map(TcpStream::connect);
+                match dialed {
+                    Some(Ok(s)) => break s,
+                    other => {
+                        if start.elapsed() > tuning.connect_timeout {
+                            let last = match other {
+                                Some(Err(e)) => e.to_string(),
+                                _ => "no published address".to_string(),
+                            };
+                            return Err(NetError::timeout(
+                                "connect",
+                                start.elapsed(),
+                                format!(
+                                    "rank {rank}: rejoin dialing rank {peer} \
+                                     ({attempt} retries, last error: {last})"
+                                ),
+                            ));
+                        }
+                        attempt += 1;
+                        let salt = ((rank as u64) << 32) | peer as u64;
+                        std::thread::sleep(tuning.backoff(attempt, salt));
+                    }
+                }
+            };
+            let peer_ctx = |what: &str| format!("rank {rank}: rejoin {what} to rank {peer}");
+            stream
+                .set_nodelay(true)
+                .map_err(|e| io_err(peer_ctx("nodelay"), Some(peer), &e))?;
+            stream
+                .set_write_timeout(Some(tuning.collective_timeout))
+                .map_err(|e| io_err(peer_ctx("write timeout"), Some(peer), &e))?;
+            let mut s = stream;
+            let mut hello = [0u8; 8];
+            hello[..4].copy_from_slice(&(rank as u32).to_le_bytes());
+            hello[4..].copy_from_slice(&incarnation.to_le_bytes());
+            s.write_all(&hello)
+                .and_then(|()| s.flush())
+                .map_err(|e| io_err(peer_ctx("hello"), Some(peer), &e))?;
+            let reader = s
+                .try_clone()
+                .map_err(|e| io_err(peer_ctx("clone stream"), Some(peer), &e))?;
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name(format!("dakc-net-r{rank}p{peer}"))
+                .spawn(move || reader_loop(peer, reader, tx, buf_bytes, max_frame, true))
+                .map_err(|e| io_err(peer_ctx("spawn reader"), None, &e))?;
+            writers[peer] = Some(BufWriter::with_capacity(buf_bytes, s));
+        }
+        Ok(Self {
+            rank,
+            n,
+            writers,
+            rx,
+            tx,
+            pending: VecDeque::new(),
+            gone: vec![None; n],
+            bar_seen: HashMap::new(),
+            term_seen: HashMap::new(),
+            epoch: 0,
+            round: 0,
+            detector: TermDetector::new(),
+            stats: NetStats::new(n),
+            tuning,
+            recovery: Some(Recovery {
+                listener,
+                incarnation,
+                armed: false,
+                masked: vec![false; n],
+                pending: Vec::new(),
+                announced: vec![None; n],
+                early: Vec::new(),
+                stash: Vec::new(),
+                void_sent: 0,
+                void_recv: 0,
+                sent_base: vec![0; n],
+                recv_base: vec![0; n],
+                buf_bytes,
+                max_frame,
+            }),
+        })
     }
 
     fn with_listener(
@@ -215,6 +461,7 @@ impl TcpTransport {
         listener: TcpListener,
         buf_bytes: usize,
         tuning: NetTuning,
+        recover: Option<u32>,
     ) -> NetResult<Self> {
         let n = addrs.len();
         assert!(rank < n, "rank {rank} out of range for {n} ranks");
@@ -253,8 +500,18 @@ impl TcpTransport {
                 .set_nodelay(true)
                 .map_err(|e| io_err(peer_ctx("nodelay"), Some(peer), &e))?;
             let mut s = stream;
-            s.write_all(&(rank as u32).to_le_bytes())
-                .and_then(|()| s.flush())
+            // In recovery mode the hello also carries this rank's
+            // incarnation; off, the 4-byte hello stays byte-identical.
+            let sent = match recover {
+                None => s.write_all(&(rank as u32).to_le_bytes()),
+                Some(inc) => {
+                    let mut hello = [0u8; 8];
+                    hello[..4].copy_from_slice(&(rank as u32).to_le_bytes());
+                    hello[4..].copy_from_slice(&inc.to_le_bytes());
+                    s.write_all(&hello)
+                }
+            };
+            sent.and_then(|()| s.flush())
                 .map_err(|e| io_err(peer_ctx("hello"), Some(peer), &e))?;
             streams[peer] = Some(s);
         }
@@ -282,14 +539,22 @@ impl TcpTransport {
                         .set_read_timeout(Some(Duration::from_secs(5)))
                         .map_err(|e| io_err(ctx("read timeout"), None, &e))?;
                     let mut stream = stream;
-                    let mut hello = [0u8; 4];
-                    stream
-                        .read_exact(&mut hello)
-                        .map_err(|e| io_err(ctx("hello"), None, &e))?;
+                    let src = if recover.is_none() {
+                        let mut hello = [0u8; 4];
+                        stream
+                            .read_exact(&mut hello)
+                            .map_err(|e| io_err(ctx("hello"), None, &e))?;
+                        u32::from_le_bytes(hello) as usize
+                    } else {
+                        let mut hello = [0u8; 8];
+                        stream
+                            .read_exact(&mut hello)
+                            .map_err(|e| io_err(ctx("hello"), None, &e))?;
+                        u32::from_le_bytes(hello[..4].try_into().expect("4 bytes")) as usize
+                    };
                     stream
                         .set_read_timeout(None)
                         .map_err(|e| io_err(ctx("read timeout"), None, &e))?;
-                    let src = u32::from_le_bytes(hello) as usize;
                     if src <= rank || src >= n || streams[src].is_some() {
                         return Err(NetError::Protocol {
                             detail: format!("rank {rank}: unexpected hello from rank {src}"),
@@ -333,9 +598,10 @@ impl TcpTransport {
                         .try_clone()
                         .map_err(|e| io_err(format!("rank {rank}: clone stream"), Some(peer), &e))?;
                     let tx = tx.clone();
+                    let epoch_env = recover.is_some();
                     std::thread::Builder::new()
                         .name(format!("dakc-net-r{rank}p{peer}"))
-                        .spawn(move || reader_loop(peer, reader, tx, buf_bytes, max_frame))
+                        .spawn(move || reader_loop(peer, reader, tx, buf_bytes, max_frame, epoch_env))
                         .map_err(|e| io_err(format!("rank {rank}: spawn reader"), None, &e))?;
                     writers.push(Some(BufWriter::with_capacity(buf_bytes, s)));
                 }
@@ -343,12 +609,28 @@ impl TcpTransport {
         }
         let mut stats = NetStats::new(n);
         stats.retries = setup_retries;
+        let recovery = recover.map(|incarnation| Recovery {
+            listener,
+            incarnation,
+            armed: false,
+            masked: vec![false; n],
+            pending: Vec::new(),
+            announced: vec![None; n],
+            early: Vec::new(),
+            stash: Vec::new(),
+            void_sent: 0,
+            void_recv: 0,
+            sent_base: vec![0; n],
+            recv_base: vec![0; n],
+            buf_bytes,
+            max_frame,
+        });
         Ok(Self {
             rank,
             n,
             writers,
             rx,
-            _tx: tx,
+            tx,
             pending: VecDeque::new(),
             gone: vec![None; n],
             bar_seen: HashMap::new(),
@@ -358,6 +640,7 @@ impl TcpTransport {
             detector: TermDetector::new(),
             stats,
             tuning,
+            recovery,
         })
     }
 
@@ -411,10 +694,40 @@ impl TcpTransport {
         Ok(())
     }
 
-    /// Encodes and writes one frame to a peer's buffered writer.
+    /// Encodes and writes one frame to a peer's buffered writer. In
+    /// recovery mode the payload is prefixed with this rank's incarnation
+    /// (the epoch envelope); off, the wire bytes are exactly
+    /// [`encode_frame`]'s.
     fn write_frame(&mut self, dest: Rank, kind: FrameKind, payload: &[u8]) -> NetResult<()> {
-        let wire = encode_frame(kind, payload);
+        let wire = match &self.recovery {
+            Some(r) => encode_frame_inc(kind, r.incarnation, payload),
+            None => encode_frame(kind, payload),
+        };
         self.write_wire(dest, &wire)
+    }
+
+    /// Whether `e` is a peer death this endpoint can absorb and recover
+    /// from (recovery armed and the error names the dead peer).
+    fn recoverable_send_err(&self, dest: Rank, e: &NetError) -> bool {
+        self.recovery.as_ref().is_some_and(|r| r.armed)
+            && matches!(e, NetError::PeerDisconnected { rank, .. } if *rank == dest)
+    }
+
+    /// Latches `src` as recoverably dead: its writer is dropped, sends to
+    /// it are masked, and [`TcpTransport::poll_recovery`] awaits its new
+    /// incarnation.
+    fn mark_recoverable_gone(&mut self, src: Rank, detail: String) {
+        if self.gone[src].is_none() {
+            self.gone[src] = Some(detail);
+        }
+        // Dropping the writer flushes best-effort into the dead socket
+        // and closes our side.
+        self.writers[src] = None;
+        let r = self.recovery.as_mut().expect("recovery mode");
+        if !r.masked[src] {
+            r.masked[src] = true;
+            r.pending.push(PendingPeer { rank: src, since: Instant::now() });
+        }
     }
 
     /// Flushes one peer's buffered writer with the same retry policy as
@@ -476,6 +789,18 @@ impl TcpTransport {
                     .as_ref()
                     .map(ToString::to_string)
                     .unwrap_or_else(|| "clean eof".to_string());
+                // While recovery is armed, a peer death (clean EOF from
+                // its dying sockets, or a reset) is absorbed: the rank is
+                // masked and awaited back instead of failing the run.
+                if self.recovery.as_ref().is_some_and(|r| r.armed)
+                    && matches!(
+                        error,
+                        None | Some(NetError::PeerDisconnected { .. })
+                    )
+                {
+                    self.mark_recoverable_gone(src, detail);
+                    return Ok(());
+                }
                 if self.gone[src].is_none() {
                     self.gone[src] = Some(detail);
                 }
@@ -484,7 +809,38 @@ impl TcpTransport {
                     None => Ok(()),
                 }
             }
-            Event::Frame { src, kind, payload } => match kind {
+            Event::Frame { src, kind, inc, payload } => {
+                // Stale-incarnation filtering applies to *control* frames
+                // only: a Barrier/Term contribution from a dead
+                // incarnation must not poison the reset round state, and
+                // one from a future incarnation (a respawned peer racing
+                // ahead) is stashed until this rank completes the same
+                // reconnect. Data frames pass regardless — survivor
+                // traffic sent before the local bump is still real data,
+                // and a dead incarnation's data is handled by the
+                // pending-purge plus the application-level replay.
+                if matches!(kind, FrameKind::Barrier | FrameKind::Term) {
+                    if let Some(r) = self.recovery.as_mut() {
+                        if inc < r.incarnation {
+                            self.stats.stale_frames += 1;
+                            return Ok(());
+                        }
+                        if inc > r.incarnation {
+                            r.stash.push(Event::Frame { src, kind, inc, payload });
+                            return Ok(());
+                        }
+                    }
+                }
+                self.absorb_frame(src, kind, payload)
+            }
+        }
+    }
+
+    /// Dispatches one already-envelope-stripped, incarnation-accepted
+    /// frame.
+    fn absorb_frame(&mut self, src: Rank, kind: FrameKind, payload: Vec<u8>) -> NetResult<()> {
+        {
+            match kind {
                 // Query/Reply frames are serve-protocol application
                 // payloads: delivered through `try_recv` exactly like
                 // data (the payload's opcode byte disambiguates), and
@@ -524,7 +880,12 @@ impl TcpTransport {
                 FrameKind::Heartbeat => Err(NetError::Protocol {
                     detail: format!("unexpected heartbeat frame on the data mesh from rank {src}"),
                 }),
-            },
+                // Recovery announcements arrive on the retained listener
+                // (see `poll_recovery`), never on a mesh socket.
+                FrameKind::Recover => Err(NetError::Protocol {
+                    detail: format!("unexpected recover frame on the data mesh from rank {src}"),
+                }),
+            }
         }
     }
 
@@ -548,6 +909,27 @@ impl TcpTransport {
         }
     }
 
+    /// Whether some dead-awaiting-respawn peer has not yet contributed to
+    /// termination round `round`. Such a round cannot complete until the
+    /// peer's replacement rejoins (which resets all round state), so the
+    /// caller bails back to `poll_recovery`. A dead peer that *did*
+    /// contribute does not block the round — its recorded total is as
+    /// good as a live peer's.
+    fn round_blocked_on_recovery(&self, round: u64) -> bool {
+        let Some(r) = self.recovery.as_ref() else {
+            return false;
+        };
+        if !r.armed {
+            return false;
+        }
+        r.pending.iter().any(|p| {
+            self.term_seen
+                .get(&round)
+                .and_then(|s| s.get(p.rank).copied().flatten())
+                .is_none()
+        })
+    }
+
     /// The first dead peer that has not contributed, per `contributed`.
     fn dead_straggler(&self, contributed: impl Fn(Rank) -> bool) -> Option<(Rank, &str)> {
         (0..self.n).find_map(|p| {
@@ -556,6 +938,140 @@ impl TcpTransport {
             }
             self.gone[p].as_deref().map(|d| (p, d))
         })
+    }
+
+    /// Accepts and classifies one connection on the retained recovery
+    /// listener: either the supervisor announcing a respawn (hello rank
+    /// [`RECOVER_HELLO`], one framed [`FrameKind::Recover`], then close)
+    /// or a respawned peer dialing back in (stashed in `early` until the
+    /// local side has absorbed that peer's death).
+    fn recovery_handle_conn(&mut self, stream: TcpStream) {
+        let Some(r) = self.recovery.as_mut() else { return };
+        // Announcement and reconnect hellos are both best-effort: a
+        // half-open or garbled dialer is dropped, never fatal — the
+        // reconnect deadline is the backstop.
+        if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
+            return;
+        }
+        if stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .is_err()
+        {
+            return;
+        }
+        let mut stream = stream;
+        let mut hello = [0u8; 8];
+        if stream.read_exact(&mut hello).is_err() {
+            return;
+        }
+        let who = u32::from_le_bytes(hello[..4].try_into().expect("4 bytes"));
+        let inc = u32::from_le_bytes(hello[4..].try_into().expect("4 bytes"));
+        if who == RECOVER_HELLO {
+            // Supervisor announcement: one plain (non-enveloped) Recover
+            // frame follows. Tiny decode bound — the payload is 8 bytes.
+            let mut dec = FrameDecoder::with_max_len(1 << 10);
+            let mut buf = [0u8; 64];
+            loop {
+                match dec.next_frame() {
+                    Ok(Some((FrameKind::Recover, p))) if p.len() >= 8 => {
+                        let dead =
+                            u32::from_le_bytes(p[..4].try_into().expect("4 bytes")) as usize;
+                        let new_inc = u32::from_le_bytes(p[4..8].try_into().expect("4 bytes"));
+                        if dead < r.announced.len() {
+                            r.announced[dead] = Some(new_inc);
+                            // The respawn restarts the reconnect clock.
+                            for p in &mut r.pending {
+                                if p.rank == dead {
+                                    p.since = Instant::now();
+                                }
+                            }
+                        }
+                        return;
+                    }
+                    Ok(Some(_)) | Err(_) => return,
+                    Ok(None) => match stream.read(&mut buf) {
+                        Ok(0) => return,
+                        Ok(k) => dec.feed(&buf[..k]),
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => return,
+                    },
+                }
+            }
+        }
+        let who = who as usize;
+        if who >= r.masked.len() || inc <= r.incarnation {
+            // Out-of-range rank, or an incarnation this mesh has already
+            // moved past (a late duplicate dial): drop.
+            return;
+        }
+        let _ = stream.set_read_timeout(None);
+        r.early.push((who, inc, stream));
+    }
+
+    /// Wires a respawned peer back into the mesh and resets the collective
+    /// state for the new epoch: spawns its reader, restores its writer,
+    /// voids the dead incarnation's frame totals from the four-counter
+    /// accounting, drops its undelivered data, bumps the local
+    /// incarnation, and zeroes the round/epoch/detector state on this
+    /// rank (every survivor does the same, so the mesh restarts
+    /// termination from round 0 together).
+    fn complete_reconnect(
+        &mut self,
+        peer: Rank,
+        inc: u32,
+        stream: TcpStream,
+    ) -> NetResult<Recovered> {
+        let me = self.rank;
+        let ctx = |what: &str| format!("rank {me}: reconnect {what} to rank {peer}");
+        stream
+            .set_write_timeout(Some(self.tuning.collective_timeout))
+            .map_err(|e| io_err(ctx("write timeout"), Some(peer), &e))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| io_err(ctx("clone stream"), Some(peer), &e))?;
+        let r = self.recovery.as_mut().expect("recovery mode");
+        let tx = self.tx.clone();
+        let (buf_bytes, max_frame) = (r.buf_bytes, r.max_frame);
+        std::thread::Builder::new()
+            .name(format!("dakc-net-r{me}p{peer}"))
+            .spawn(move || reader_loop(peer, reader, tx, buf_bytes, max_frame, true))
+            .map_err(|e| io_err(ctx("spawn reader"), None, &e))?;
+        self.writers[peer] = Some(BufWriter::with_capacity(buf_bytes, stream));
+        self.gone[peer] = None;
+
+        // Void the dead incarnation's traffic: everything ever exchanged
+        // with this peer beyond what previous recoveries already voided.
+        // Receive counts are pop-time counts, so frames still sitting in
+        // `pending` were never counted — they are dropped below instead.
+        let ps = &self.stats.peers[peer];
+        let (cur_sent, cur_recv) = (ps.frames_sent, ps.frames_recv);
+        let r = self.recovery.as_mut().expect("recovery mode");
+        r.void_sent += cur_sent - r.sent_base[peer];
+        r.void_recv += cur_recv - r.recv_base[peer];
+        r.sent_base[peer] = cur_sent;
+        r.recv_base[peer] = cur_recv;
+        r.masked[peer] = false;
+        r.pending.retain(|p| p.rank != peer);
+        r.announced[peer] = None;
+        r.incarnation = r.incarnation.max(inc);
+        // Undelivered data from the dead incarnation must not reach the
+        // application (its replacement replays the content).
+        self.pending.retain(|(src, _)| *src != peer);
+        // Fresh collective epoch: both sides of the recovery re-enter
+        // termination at round 0 with a cleared detector history.
+        self.epoch = 0;
+        self.round = 0;
+        self.bar_seen.clear();
+        self.term_seen.clear();
+        self.detector = TermDetector::new();
+        self.stats.recoveries += 1;
+        // Control frames from the new incarnation that raced ahead of
+        // this reconnect were stashed; they are valid now.
+        let stash = std::mem::take(&mut self.recovery.as_mut().expect("recovery mode").stash);
+        for ev in stash {
+            self.absorb(ev)?;
+        }
+        Ok(Recovered { rank: peer, incarnation: inc })
     }
 }
 
@@ -572,12 +1088,28 @@ fn parse_u64(payload: &[u8], at: usize, src: Rank, what: &str) -> NetResult<u64>
         })
 }
 
+/// [`encode_frame`] with the recovery-mode epoch envelope: the sender's
+/// incarnation is prefixed to the payload (stripped back off by the
+/// receiving reader thread). Only recovery-mode meshes produce or expect
+/// this layout.
+fn encode_frame_inc(kind: FrameKind, inc: u32, payload: &[u8]) -> Vec<u8> {
+    let len = 1 + 4 + payload.len();
+    assert!(len <= MAX_FRAME_LEN, "frame payload too large: {len}");
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(kind.to_u8());
+    out.extend_from_slice(&inc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
 fn reader_loop(
     src: Rank,
     mut stream: TcpStream,
     tx: mpsc::Sender<Event>,
     buf_bytes: usize,
     max_frame: usize,
+    epoch_env: bool,
 ) {
     let mut dec = FrameDecoder::with_max_len(max_frame);
     let mut buf = vec![0u8; buf_bytes];
@@ -591,8 +1123,33 @@ fn reader_loop(
                 dec.feed(&buf[..k]);
                 loop {
                     match dec.next_frame() {
-                        Ok(Some((kind, payload))) => {
-                            if tx.send(Event::Frame { src, kind, payload }).is_err() {
+                        Ok(Some((kind, mut payload))) => {
+                            let inc = if epoch_env {
+                                // Recovery mode: every frame leads with the
+                                // sender's incarnation; strip it here so
+                                // the payload seen upstream is unchanged.
+                                if payload.len() < 4 {
+                                    let _ = tx.send(Event::Gone {
+                                        src,
+                                        error: Some(NetError::CorruptFrame {
+                                            rank: src,
+                                            detail: format!(
+                                                "frame too short for epoch envelope: {} bytes",
+                                                payload.len()
+                                            ),
+                                        }),
+                                    });
+                                    return;
+                                }
+                                let inc = u32::from_le_bytes(
+                                    payload[..4].try_into().expect("4 bytes"),
+                                );
+                                payload.drain(..4);
+                                inc
+                            } else {
+                                0
+                            };
+                            if tx.send(Event::Frame { src, kind, inc, payload }).is_err() {
                                 // Endpoint dropped: stop reading.
                                 return;
                             }
@@ -634,24 +1191,35 @@ impl Transport for TcpTransport {
     }
 
     fn send(&mut self, dest: Rank, frame: &[u8]) -> NetResult<()> {
-        self.stats.peers[dest].frames_sent += 1;
-        self.stats.peers[dest].bytes_sent += frame.len() as u64;
-        if dest == self.rank {
-            self.pending.push_back((self.rank, frame.to_vec()));
-            Ok(())
-        } else {
-            self.write_frame(dest, FrameKind::Data, frame)
-        }
+        self.send_kind(dest, FrameKind::Data, frame)
     }
 
     fn send_kind(&mut self, dest: Rank, kind: FrameKind, frame: &[u8]) -> NetResult<()> {
+        // Sends to a masked (dead, awaiting respawn) rank are dropped
+        // *uncounted*: the replacement incarnation replays this content,
+        // and the four-counter totals must not include frames nobody will
+        // ever receive.
+        if self.recovery.as_ref().is_some_and(|r| r.masked[dest]) {
+            self.stats.masked_sends += 1;
+            return Ok(());
+        }
         self.stats.peers[dest].frames_sent += 1;
         self.stats.peers[dest].bytes_sent += frame.len() as u64;
         if dest == self.rank {
             self.pending.push_back((self.rank, frame.to_vec()));
-            Ok(())
-        } else {
-            self.write_frame(dest, kind, frame)
+            return Ok(());
+        }
+        match self.write_frame(dest, kind, frame) {
+            Err(e) if self.recoverable_send_err(dest, &e) => {
+                // The peer died under this send: absorb it. The frame was
+                // counted but never left — void it back out so the
+                // accounting matches what the wire carried.
+                self.stats.peers[dest].frames_sent -= 1;
+                self.stats.peers[dest].bytes_sent -= frame.len() as u64;
+                self.mark_recoverable_gone(dest, e.to_string());
+                Ok(())
+            }
+            other => other,
         }
     }
 
@@ -671,7 +1239,12 @@ impl Transport for TcpTransport {
 
     fn flush(&mut self) -> NetResult<()> {
         for dest in 0..self.n {
-            self.flush_peer(dest)?;
+            match self.flush_peer(dest) {
+                Err(e) if self.recoverable_send_err(dest, &e) => {
+                    self.mark_recoverable_gone(dest, e.to_string());
+                }
+                other => other?,
+            }
         }
         Ok(())
     }
@@ -713,19 +1286,51 @@ impl Transport for TcpTransport {
 
     fn termination_round(&mut self) -> NetResult<bool> {
         self.flush()?;
+        // A round cannot complete while a dead-awaiting-respawn peer
+        // still owes it a contribution: bail so the caller drives
+        // `poll_recovery` instead of waiting on a frame that will never
+        // come. (Not a quiescence claim — `false` just keeps the caller
+        // in its progress loop.) A dead peer whose contribution for this
+        // round already arrived does NOT block it: a rank that decides
+        // quiescence drops its connections right after broadcasting its
+        // final round, and treating that endgame disconnect as a
+        // round-blocking death would livelock the last rank to decide.
+        if self.round_blocked_on_recovery(self.round) {
+            return Ok(false);
+        }
         let round = self.round;
         self.round += 1;
-        let mine = (self.stats.frames_sent(), self.stats.frames_recv());
+        // Traffic exchanged with dead incarnations was voided out at
+        // reconnect time; the four counters must only see frames both
+        // ends of which still exist.
+        let (vs, vr) = self
+            .recovery
+            .as_ref()
+            .map(|r| (r.void_sent, r.void_recv))
+            .unwrap_or((0, 0));
+        let mine = (self.stats.frames_sent() - vs, self.stats.frames_recv() - vr);
         let mut payload = [0u8; 24];
         payload[..8].copy_from_slice(&round.to_le_bytes());
         payload[8..16].copy_from_slice(&mine.0.to_le_bytes());
         payload[16..24].copy_from_slice(&mine.1.to_le_bytes());
         for dest in 0..self.n {
-            if dest != self.rank {
-                self.write_frame(dest, FrameKind::Term, &payload)?;
+            // A masked peer's writer is gone; if it already contributed
+            // this round (the endgame case above) it no longer needs our
+            // total either.
+            let masked = self.recovery.as_ref().is_some_and(|r| r.masked[dest]);
+            if dest != self.rank && !masked {
+                match self.write_frame(dest, FrameKind::Term, &payload) {
+                    Err(e) if self.recoverable_send_err(dest, &e) => {
+                        self.mark_recoverable_gone(dest, e.to_string());
+                    }
+                    other => other?,
+                }
             }
         }
         self.flush()?;
+        if self.round_blocked_on_recovery(round) {
+            return Ok(false);
+        }
         let start = Instant::now();
         loop {
             let done = match self.term_seen.get(&round) {
@@ -734,6 +1339,13 @@ impl Transport for TcpTransport {
             };
             if done {
                 break;
+            }
+            if self.round_blocked_on_recovery(round) {
+                // A peer died mid-round without contributing: abandon it.
+                // Every survivor's reader sees the same death, so all
+                // survivors abandon and re-enter at round 0 after the
+                // reconnect.
+                return Ok(false);
             }
             let straggler = self.dead_straggler(|p| {
                 self.term_seen
@@ -766,6 +1378,79 @@ impl Transport for TcpTransport {
         &mut self.stats
     }
 
+    fn arm_recovery(&mut self, armed: bool) {
+        if let Some(r) = self.recovery.as_mut() {
+            r.armed = armed;
+        }
+    }
+
+    fn recovery_pending(&self) -> bool {
+        self.recovery
+            .as_ref()
+            .is_some_and(|r| r.armed && !r.pending.is_empty())
+    }
+
+    fn poll_recovery(&mut self) -> NetResult<Option<Recovered>> {
+        if !self.recovery.as_ref().is_some_and(|r| r.armed) {
+            return Ok(None);
+        }
+        // Drain whatever reader events are queued first: the Gone for a
+        // dying peer may not have been absorbed yet, and a reconnect
+        // cannot complete before its death is registered.
+        while let Ok(ev) = self.rx.try_recv() {
+            self.absorb(ev)?;
+        }
+        // Accept everything waiting on the retained listener.
+        loop {
+            let accepted = {
+                let r = self.recovery.as_ref().expect("recovery mode");
+                r.listener.accept()
+            };
+            match accepted {
+                Ok((stream, _)) => self.recovery_handle_conn(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(io_err(
+                        format!("rank {}: recovery accept", self.rank),
+                        None,
+                        &e,
+                    ))
+                }
+            }
+        }
+        // Complete the first reconnect whose death is registered.
+        let hit = {
+            let r = self.recovery.as_ref().expect("recovery mode");
+            r.early
+                .iter()
+                .position(|(who, _, _)| r.masked.get(*who).copied().unwrap_or(false))
+        };
+        if let Some(i) = hit {
+            let (who, inc, stream) =
+                self.recovery.as_mut().expect("recovery mode").early.remove(i);
+            return self.complete_reconnect(who, inc, stream).map(Some);
+        }
+        // No reconnect ready: enforce the deadline on each pending peer.
+        let r = self.recovery.as_ref().expect("recovery mode");
+        for p in &r.pending {
+            if p.since.elapsed() > self.tuning.collective_timeout {
+                let rank = p.rank;
+                let waited = p.since.elapsed();
+                return Err(NetError::timeout(
+                    "recovery",
+                    waited,
+                    format!(
+                        "rank {}: rank {rank} never reconnected; {}",
+                        self.rank,
+                        self.diagnostics()
+                    ),
+                ));
+            }
+        }
+        Ok(None)
+    }
+
     fn last_global_totals(&self) -> Option<(u64, u64)> {
         self.detector.last()
     }
@@ -795,8 +1480,16 @@ impl Transport for TcpTransport {
             .enumerate()
             .filter_map(|(p, g)| g.as_ref().map(|d| format!("rank {p} gone ({d})")))
             .collect();
+        let recovery = self
+            .recovery
+            .as_ref()
+            .map(|r| {
+                let waiting: Vec<Rank> = r.pending.iter().map(|p| p.rank).collect();
+                format!("; incarnation={} awaiting={waiting:?}", r.incarnation)
+            })
+            .unwrap_or_default();
         format!(
-            "rank {}/{}: epoch={} round={} sent={} recv={} pending={} last_global={:?}{}{}",
+            "rank {}/{}: epoch={} round={} sent={} recv={} pending={} last_global={:?}{}{}{}",
             self.rank,
             self.n,
             self.epoch,
@@ -807,6 +1500,7 @@ impl Transport for TcpTransport {
             self.detector.last(),
             if gone.is_empty() { "" } else { "; " },
             gone.join(", "),
+            recovery,
         )
     }
 }
@@ -960,6 +1654,138 @@ mod tests {
         assert_eq!(err.rank(), Some(1), "{err}");
         // Fast-fail, not the 120 s collective deadline.
         assert!(start.elapsed() < Duration::from_secs(30));
+    }
+
+    /// End-to-end recovery protocol: a 3-rank recovery-mode mesh loses
+    /// rank 2, the survivors absorb the death (sends masked, no error), a
+    /// replacement incarnation dials back in, and the whole mesh — voided
+    /// accounting included — reaches four-counter quiescence again.
+    #[test]
+    fn recovery_reconnect_and_terminate() {
+        let dir = std::env::temp_dir().join(format!(
+            "dakc-net-recover-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let handles: Vec<_> = (0..3)
+            .map(|rank| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    TcpTransport::rendezvous_recover(
+                        rank,
+                        3,
+                        &dir,
+                        8 << 10,
+                        NetTuning::default(),
+                        0,
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        let mut mesh: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for t in &mut mesh {
+            t.arm_recovery(true);
+        }
+        // Full exchange: every rank one frame to every rank, all popped.
+        for t in &mut mesh {
+            for dest in 0..3 {
+                t.send(dest, b"pre").unwrap();
+            }
+            t.flush().unwrap();
+        }
+        for t in &mut mesh {
+            let mut got = 0;
+            let start = Instant::now();
+            while got < 3 {
+                if t.try_recv().unwrap().is_some() {
+                    got += 1;
+                }
+                assert!(start.elapsed() < Duration::from_secs(10));
+            }
+        }
+        let t2 = mesh.pop().unwrap();
+        drop(t2); // rank 2 dies
+
+        // Survivors absorb the death instead of erroring; sends to the
+        // dead rank are dropped uncounted.
+        let start = Instant::now();
+        for t in &mut mesh {
+            while !t.recovery_pending() {
+                t.poll_recovery().unwrap();
+                assert!(start.elapsed() < Duration::from_secs(10), "death never absorbed");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            t.send(2, b"masked").unwrap();
+            assert_eq!(t.stats().masked_sends, 1);
+        }
+
+        // The replacement incarnation rejoins (dials land in the
+        // survivors' listener backlogs, so this completes inline).
+        let mut t2 = TcpTransport::rendezvous_recover(
+            2,
+            3,
+            &dir,
+            8 << 10,
+            NetTuning::default(),
+            1,
+        )
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let start = Instant::now();
+        for t in &mut mesh {
+            let rec = loop {
+                if let Some(rec) = t.poll_recovery().unwrap() {
+                    break rec;
+                }
+                assert!(start.elapsed() < Duration::from_secs(10), "reconnect never completed");
+                std::thread::sleep(Duration::from_millis(1));
+            };
+            assert_eq!((rec.rank, rec.incarnation), (2, 1));
+            assert!(!t.recovery_pending());
+            assert_eq!(t.stats().recoveries, 1);
+        }
+
+        // Post-recovery traffic flows in both directions.
+        mesh[0].send(2, b"post").unwrap();
+        mesh[0].flush().unwrap();
+        t2.send(0, b"post-back").unwrap();
+        t2.flush().unwrap();
+        let start = Instant::now();
+        loop {
+            if let Some((src, bytes)) = t2.try_recv().unwrap() {
+                assert_eq!((src, bytes.as_slice()), (0, b"post".as_slice()));
+                break;
+            }
+            assert!(start.elapsed() < Duration::from_secs(10));
+        }
+        loop {
+            if let Some((src, bytes)) = mesh[0].try_recv().unwrap() {
+                assert_eq!((src, bytes.as_slice()), (2, b"post-back".as_slice()));
+                break;
+            }
+            assert!(start.elapsed() < Duration::from_secs(10));
+        }
+
+        // The voided accounting still reaches global quiescence.
+        mesh.push(t2);
+        let handles: Vec<_> = mesh
+            .into_iter()
+            .map(|mut t| {
+                std::thread::spawn(move || {
+                    loop {
+                        while t.try_recv().unwrap().is_some() {}
+                        if t.termination_round().unwrap() {
+                            return t.rank();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

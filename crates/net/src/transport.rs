@@ -162,6 +162,15 @@ pub struct NetStats {
     pub notes: Vec<NetNote>,
     /// Notes discarded because the buffer was full.
     pub notes_dropped: u64,
+    /// Peer reconnections completed after a recoverable death
+    /// (`--recover` runs only).
+    pub recoveries: u64,
+    /// Frames discarded because they carried a stale incarnation tag
+    /// (traffic from a rank's previous life, after its respawn).
+    pub stale_frames: u64,
+    /// Sends silently dropped because the destination was dead and
+    /// awaiting respawn (the replay resends their content).
+    pub masked_sends: u64,
 }
 
 impl NetStats {
@@ -218,6 +227,17 @@ impl NetStats {
         m.inc("net.barriers", self.barriers);
         m.inc("net.retries", self.retries);
         m.inc("net.injected_faults", self.injected_faults);
+        // Recovery counters only exist on runs that recovered something,
+        // keeping the default mode's metrics export unchanged.
+        if self.recoveries > 0 {
+            m.inc("net.recoveries", self.recoveries);
+        }
+        if self.stale_frames > 0 {
+            m.inc("net.stale_frames", self.stale_frames);
+        }
+        if self.masked_sends > 0 {
+            m.inc("net.masked_sends", self.masked_sends);
+        }
         m.inc(&format!("net.rank{me}.bytes_sent"), self.bytes_sent());
         m.inc(&format!("net.rank{me}.frames_sent"), self.frames_sent());
         m.inc(
@@ -250,6 +270,17 @@ impl NetStats {
         self.fold_into(me, &mut m);
         m
     }
+}
+
+/// A completed peer recovery: the peer's new incarnation reconnected and
+/// the four-counter accounting was rebased. The caller must now purge the
+/// peer's prior deliveries and replay its owner-filtered input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovered {
+    /// The rank that came back.
+    pub rank: Rank,
+    /// Its new incarnation number.
+    pub incarnation: u32,
 }
 
 /// One rank's endpoint: nonblocking data-frame delivery plus the two
@@ -327,6 +358,28 @@ pub trait Transport: Send {
     /// in-process backends, which have no framing layer to corrupt).
     fn send_corrupt(&mut self, _dest: Rank) -> NetResult<()> {
         Ok(())
+    }
+
+    /// Arms (or disarms) peer-death recovery. While armed, a recoverable
+    /// peer death (clean EOF, reset) is absorbed instead of surfaced:
+    /// sends to the dead peer are masked and [`Transport::poll_recovery`]
+    /// waits for the respawned incarnation to dial back in. Backends
+    /// without a recovery path ignore this and keep failing fast.
+    fn arm_recovery(&mut self, _armed: bool) {}
+
+    /// Whether any peer is currently dead and awaiting respawn.
+    fn recovery_pending(&self) -> bool {
+        false
+    }
+
+    /// Accepts a respawned peer's reconnection, if one is ready: rewires
+    /// the peer's connection, voids its previous incarnation's frame
+    /// totals from the four-counter accounting, and resets the
+    /// termination-round state. Errors when a pending respawn overruns
+    /// the collective deadline. Backends without a recovery path always
+    /// report `None`.
+    fn poll_recovery(&mut self) -> NetResult<Option<crate::transport::Recovered>> {
+        Ok(None)
     }
 
     /// One-line protocol-state dump for timeout diagnostics: the

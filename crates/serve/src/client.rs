@@ -10,11 +10,16 @@
 //! flow-latency bounds, so `--metrics` output reports lookup p50/p95/p99
 //! through the existing plumbing.
 //!
-//! Degradation: a server that is known dead ([`Transport::peer_dead`])
-//! or silent past the collective deadline yields
-//! [`LookupResult::Unavailable`] for exactly its key range — typed
-//! partial results, never a hang. Once a rank is marked dead the client
-//! stops routing to it; later batches fail its keys immediately.
+//! Degradation is staged. When the service replicates (`--replicas R`,
+//! announced in the READY hello), owner `o`'s shard also lives on ranks
+//! `o+1..o+R-1 (mod S)`, and a request whose holder is dead or
+//! deadline-silent *fails over*: the same keys are re-sent to the next
+//! live copy (counted in `serve.failovers`, its extra latency in
+//! `flow.serve.failover_s`) before any key is given up on. Only when
+//! every copy of a shard is gone does the client yield
+//! [`LookupResult::Unavailable`] for exactly that owner's key range —
+//! typed partial results, never a hang. Once a rank is marked dead the
+//! client stops routing to it; later batches go straight to a replica.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -71,6 +76,8 @@ pub struct Aggregate<V> {
 pub struct QueryClient<W, T> {
     transport: T,
     servers: usize,
+    /// Replication factor the service announced (1 = no replication).
+    replicas: usize,
     k: usize,
     word_bytes: usize,
     canonical: bool,
@@ -133,16 +140,26 @@ impl<W: KmerWord, T: Transport> QueryClient<W, T> {
         let hellos: Vec<Ready> = hellos.into_iter().map(|h| h.expect("filled")).collect();
         let first = hellos[0];
         for h in &hellos[1..] {
-            if (h.k, h.word_bytes, h.canonical) != (first.k, first.word_bytes, first.canonical)
+            if (h.k, h.word_bytes, h.canonical, h.replicas)
+                != (first.k, first.word_bytes, first.canonical, first.replicas)
             {
                 return Err(ServeError::Mismatch {
                     detail: format!(
-                        "rank {} serves k={} wb={} canonical={}, rank 0 serves k={} wb={} canonical={}",
-                        h.rank, h.k, h.word_bytes, h.canonical,
-                        first.k, first.word_bytes, first.canonical
+                        "rank {} serves k={} wb={} canonical={} replicas={}, \
+                         rank 0 serves k={} wb={} canonical={} replicas={}",
+                        h.rank, h.k, h.word_bytes, h.canonical, h.replicas,
+                        first.k, first.word_bytes, first.canonical, first.replicas
                     ),
                 });
             }
+        }
+        if first.replicas as usize > servers {
+            return Err(ServeError::Mismatch {
+                detail: format!(
+                    "service announces {} replicas over only {servers} server(s)",
+                    first.replicas
+                ),
+            });
         }
         let expected_wb = if W::BITS <= 64 { 8 } else { 16 };
         if first.word_bytes as usize != expected_wb {
@@ -156,6 +173,7 @@ impl<W: KmerWord, T: Transport> QueryClient<W, T> {
         Ok(Self {
             transport,
             servers,
+            replicas: (first.replicas as usize).max(1),
             k: first.k as usize,
             word_bytes: first.word_bytes as usize,
             canonical: first.canonical,
@@ -181,6 +199,11 @@ impl<W: KmerWord, T: Transport> QueryClient<W, T> {
     /// Server ranks in the mesh.
     pub fn servers(&self) -> usize {
         self.servers
+    }
+
+    /// Replication factor the service announced (1 = no replication).
+    pub fn replicas(&self) -> usize {
+        self.replicas
     }
 
     /// Total records across every announced shard.
@@ -211,11 +234,66 @@ impl<W: KmerWord, T: Transport> QueryClient<W, T> {
         }
     }
 
+    /// The rank holding the `j`-th copy of `owner`'s shard.
+    fn replica_rank(&self, owner: usize, j: usize) -> usize {
+        (owner + j) % self.servers
+    }
+
+    /// The first live copy of `owner`'s shard at or after attempt
+    /// `from`, as `(attempt, holder rank)`; `None` when every copy is
+    /// on a dead rank.
+    fn next_attempt(&self, owner: usize, from: usize) -> Option<(usize, usize)> {
+        (from..self.replicas).find_map(|j| {
+            let t = self.replica_rank(owner, j);
+            (!self.dead[t]).then_some((j, t))
+        })
+    }
+
+    /// Sends one request for `owner`'s shard to its first live copy at
+    /// or after attempt `from`. `mk(id, target)` builds the payload —
+    /// it sees the holder rank so aggregate requests can tag the owner
+    /// only when failing over. A holder that turns out dead at send
+    /// time is marked and skipped, not batch-fatal; returns the
+    /// `(attempt, id)` that went out, or `None` when every copy is
+    /// gone. Any redirected send (attempt > 0) counts as a failover.
+    fn send_with_failover(
+        &mut self,
+        owner: usize,
+        from: usize,
+        mut mk: impl FnMut(u64, usize) -> Vec<u8>,
+    ) -> ServeResult<Option<(usize, u64)>> {
+        let mut from = from;
+        loop {
+            let Some((j, target)) = self.next_attempt(owner, from) else {
+                return Ok(None);
+            };
+            let id = self.fresh_id();
+            let wire = mk(id, target);
+            match self.transport.send_kind(target, FrameKind::Query, &wire) {
+                Ok(()) => {
+                    if j > 0 {
+                        self.metrics.inc("serve.failovers", 1);
+                    }
+                    return Ok(Some((j, id)));
+                }
+                Err(e) if e.rank() == Some(target) => {
+                    // The holder died between batches; the next copy
+                    // answers for it.
+                    self.mark_dead(target, "send failed");
+                    from = j + 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
     /// Looks up a batch of keys. Keys are grouped by owner rank and
     /// shipped as one frame per owner; results come back in key order.
-    /// Dead or deadline-silent owners yield
-    /// [`LookupResult::Unavailable`] for their keys (and are remembered,
-    /// so later batches fail them without waiting again).
+    /// A dead or deadline-silent holder fails over to the next live
+    /// replica of the owner's shard; only when every copy is gone do
+    /// the owner's keys yield [`LookupResult::Unavailable`] (and the
+    /// dead ranks are remembered, so later batches route around them
+    /// without waiting again).
     pub fn lookup_batch(&mut self, keys: &[W]) -> ServeResult<BatchOutcome> {
         let mut results = vec![LookupResult::Count(0); keys.len()];
         if keys.is_empty() {
@@ -228,29 +306,38 @@ impl<W: KmerWord, T: Transport> QueryClient<W, T> {
         for (i, &w) in keys.iter().enumerate() {
             positions[owner_pe(w, self.servers)].push(i as u32);
         }
-        let mut pending: HashMap<u64, usize> = HashMap::new();
+        // In-flight request id → (owner whose keys it carries, replica
+        // attempt that sent it).
+        let mut pending: HashMap<u64, (usize, usize)> = HashMap::new();
         let mut unavailable: Vec<usize> = Vec::new();
+        let wb = self.word_bytes;
         for (owner, pos) in positions.iter().enumerate() {
             if pos.is_empty() {
                 continue;
             }
-            if self.dead[owner] {
-                for &i in pos {
-                    results[i as usize] = LookupResult::Unavailable { rank: owner };
-                }
-                unavailable.push(owner);
-                continue;
-            }
-            let id = self.fresh_id();
             let group: Vec<W> = pos.iter().map(|&i| keys[i as usize]).collect();
-            let wire =
-                encode_request(&Request::Lookup { id, keys: group }, self.word_bytes);
-            self.transport.send_kind(owner, FrameKind::Query, &wire)?;
-            pending.insert(id, owner);
+            match self.send_with_failover(owner, 0, |id, _| {
+                encode_request(&Request::Lookup { id, keys: group.clone() }, wb)
+            })? {
+                Some((j, id)) => {
+                    pending.insert(id, (owner, j));
+                }
+                None => {
+                    for &i in pos {
+                        results[i as usize] = LookupResult::Unavailable { rank: owner };
+                    }
+                    unavailable.push(owner);
+                }
+            }
         }
         self.transport.flush()?;
 
+        // The deadline is per wave of progress, not per batch: every
+        // failover resend restarts the clock, and each silent wave
+        // marks at least one holder dead, so the loop is bounded by the
+        // replica count even under cascading failures.
         let deadline = self.tuning.collective_timeout;
+        let mut last_progress = Instant::now();
         while !pending.is_empty() {
             match self.transport.try_recv().map_err(ServeError::from)? {
                 Some((src, bytes)) => {
@@ -261,7 +348,7 @@ impl<W: KmerWord, T: Transport> QueryClient<W, T> {
                     let Response::Lookup { id, counts } = resp else {
                         continue; // stale aggregate from an abandoned call
                     };
-                    let Some(owner) = pending.remove(&id) else {
+                    let Some((owner, attempt)) = pending.remove(&id) else {
                         continue; // stale reply from a timed-out batch
                     };
                     if counts.len() != positions[owner].len() {
@@ -275,31 +362,49 @@ impl<W: KmerWord, T: Transport> QueryClient<W, T> {
                         });
                     }
                     let elapsed = t0.elapsed().as_secs_f64();
+                    if attempt > 0 {
+                        // The answer came from a replica: record what
+                        // the detour cost end to end.
+                        self.metrics.observe("flow.serve.failover_s", LATENCY_BOUNDS, elapsed);
+                    }
                     for (&i, c) in positions[owner].iter().zip(counts) {
                         results[i as usize] = LookupResult::Count(c);
                         self.metrics.observe("flow.serve.lookup_s", LATENCY_BOUNDS, elapsed);
                     }
+                    last_progress = Instant::now();
                 }
                 None => {
-                    let lost: Vec<(u64, usize)> = pending
+                    let timed_out = last_progress.elapsed() >= deadline;
+                    let lost: Vec<(u64, usize, usize)> = pending
                         .iter()
-                        .filter(|&(_, &o)| self.transport.peer_dead(o))
-                        .map(|(&id, &o)| (id, o))
+                        .filter(|&(_, &(o, j))| {
+                            timed_out || self.transport.peer_dead(self.replica_rank(o, j))
+                        })
+                        .map(|(&id, &(o, j))| (id, o, j))
                         .collect();
-                    let timed_out = t0.elapsed() >= deadline;
-                    let lost = if timed_out && lost.is_empty() {
-                        pending.iter().map(|(&id, &o)| (id, o)).collect()
-                    } else {
-                        lost
-                    };
-                    for (id, owner) in lost {
+                    for (id, owner, attempt) in lost {
                         pending.remove(&id);
+                        let holder = self.replica_rank(owner, attempt);
                         let why = if timed_out { "deadline-silent" } else { "disconnected" };
-                        self.mark_dead(owner, why);
-                        for &i in &positions[owner] {
-                            results[i as usize] = LookupResult::Unavailable { rank: owner };
+                        self.mark_dead(holder, why);
+                        let group: Vec<W> =
+                            positions[owner].iter().map(|&i| keys[i as usize]).collect();
+                        match self.send_with_failover(owner, attempt + 1, |id, _| {
+                            encode_request(&Request::Lookup { id, keys: group.clone() }, wb)
+                        })? {
+                            Some((j, id)) => {
+                                self.transport.flush()?;
+                                pending.insert(id, (owner, j));
+                                last_progress = Instant::now();
+                            }
+                            None => {
+                                for &i in &positions[owner] {
+                                    results[i as usize] =
+                                        LookupResult::Unavailable { rank: owner };
+                                }
+                                unavailable.push(owner);
+                            }
                         }
-                        unavailable.push(owner);
                     }
                     if !pending.is_empty() {
                         std::thread::sleep(std::time::Duration::from_micros(50));
@@ -316,29 +421,36 @@ impl<W: KmerWord, T: Transport> QueryClient<W, T> {
         Ok(BatchOutcome { results, unavailable })
     }
 
-    /// Runs one aggregate request against every live server and merges
-    /// the answers with `merge`; dead or silent servers are reported in
-    /// the outcome's `unavailable` list.
+    /// Runs one aggregate request per owner shard (normally against the
+    /// owner itself, via the `_OWNER` failover form against a replica
+    /// holder when the owner is dead) and merges the answers with
+    /// `fold`. `req(id, owner_tag)` builds the request; `owner_tag` is
+    /// `Some(owner)` exactly when the request is redirected. Owners
+    /// whose every copy is gone are reported in `unavailable`.
     fn aggregate<V>(
         &mut self,
-        req: impl Fn(u64) -> Request<W>,
+        req: impl Fn(u64, Option<u32>) -> Request<W>,
         mut fold: impl FnMut(&mut V, Response<W>) -> ServeResult<()>,
         mut value: V,
     ) -> ServeResult<Aggregate<V>> {
         let t0 = Instant::now();
-        let mut pending: HashMap<u64, usize> = HashMap::new();
+        let mut pending: HashMap<u64, (usize, usize)> = HashMap::new();
         let mut unavailable: Vec<usize> = Vec::new();
+        let wb = self.word_bytes;
         for owner in 0..self.servers {
-            if self.dead[owner] {
-                unavailable.push(owner);
-                continue;
+            match self.send_with_failover(owner, 0, |id, target| {
+                let tag = (target != owner).then_some(owner as u32);
+                encode_request(&req(id, tag), wb)
+            })? {
+                Some((j, id)) => {
+                    pending.insert(id, (owner, j));
+                }
+                None => unavailable.push(owner),
             }
-            let id = self.fresh_id();
-            let wire = encode_request(&req(id), self.word_bytes);
-            self.transport.send_kind(owner, FrameKind::Query, &wire)?;
-            pending.insert(id, owner);
         }
         self.transport.flush()?;
+        let deadline = self.tuning.collective_timeout;
+        let mut last_progress = Instant::now();
         while !pending.is_empty() {
             match self.transport.try_recv().map_err(ServeError::from)? {
                 Some((src, bytes)) => {
@@ -353,22 +465,42 @@ impl<W: KmerWord, T: Transport> QueryClient<W, T> {
                         Response::Histogram { id, .. } | Response::TopN { id, .. } => *id,
                         Response::Lookup { .. } => unreachable!(),
                     };
-                    if pending.remove(&id).is_none() {
+                    let Some((_, attempt)) = pending.remove(&id) else {
                         continue;
+                    };
+                    if attempt > 0 {
+                        self.metrics.observe(
+                            "flow.serve.failover_s",
+                            LATENCY_BOUNDS,
+                            t0.elapsed().as_secs_f64(),
+                        );
                     }
                     fold(&mut value, resp)?;
+                    last_progress = Instant::now();
                 }
                 None => {
-                    let timed_out = t0.elapsed() >= self.tuning.collective_timeout;
-                    let lost: Vec<(u64, usize)> = pending
+                    let timed_out = last_progress.elapsed() >= deadline;
+                    let lost: Vec<(u64, usize, usize)> = pending
                         .iter()
-                        .filter(|&(_, &o)| timed_out || self.transport.peer_dead(o))
-                        .map(|(&id, &o)| (id, o))
+                        .filter(|&(_, &(o, j))| {
+                            timed_out || self.transport.peer_dead(self.replica_rank(o, j))
+                        })
+                        .map(|(&id, &(o, j))| (id, o, j))
                         .collect();
-                    for (id, owner) in lost {
+                    for (id, owner, attempt) in lost {
                         pending.remove(&id);
-                        self.mark_dead(owner, "aggregate");
-                        unavailable.push(owner);
+                        self.mark_dead(self.replica_rank(owner, attempt), "aggregate");
+                        match self.send_with_failover(owner, attempt + 1, |id, target| {
+                            let tag = (target != owner).then_some(owner as u32);
+                            encode_request(&req(id, tag), wb)
+                        })? {
+                            Some((j, id)) => {
+                                self.transport.flush()?;
+                                pending.insert(id, (owner, j));
+                                last_progress = Instant::now();
+                            }
+                            None => unavailable.push(owner),
+                        }
                     }
                     if !pending.is_empty() {
                         std::thread::sleep(std::time::Duration::from_micros(50));
@@ -386,7 +518,7 @@ impl<W: KmerWord, T: Transport> QueryClient<W, T> {
     /// is overflow), summed across every live server's shard.
     pub fn histogram(&mut self, max: u32) -> ServeResult<Aggregate<Vec<u64>>> {
         self.aggregate(
-            |id| Request::Histogram { id, max },
+            |id, owner| Request::Histogram { id, max, owner },
             |acc: &mut Vec<u64>, resp| {
                 if let Response::Histogram { buckets, .. } = resp {
                     for (a, b) in acc.iter_mut().zip(buckets) {
@@ -403,7 +535,7 @@ impl<W: KmerWord, T: Transport> QueryClient<W, T> {
     /// shard (count descending, k-mer ascending among ties).
     pub fn top_n(&mut self, n: usize) -> ServeResult<Aggregate<Vec<KmerCount<W>>>> {
         let mut out = self.aggregate(
-            |id| Request::TopN { id, n: n as u32 },
+            |id, owner| Request::TopN { id, n: n as u32, owner },
             |acc: &mut Vec<KmerCount<W>>, resp| {
                 if let Response::TopN { records, .. } = resp {
                     acc.extend(records);

@@ -21,7 +21,7 @@ use dakc_sort::RadixKey;
 
 use crate::client::QueryClient;
 use crate::error::{ServeError, ServeResult};
-use crate::server::{serve_shard, ServeOpts, ServeStats};
+use crate::server::{serve_shards, ServeOpts, ServeStats};
 use crate::shard::{encode_shard, Shard};
 
 /// Counts `reads` across `servers` loopback ranks and returns each
@@ -114,15 +114,38 @@ pub fn start_cluster<W>(
 where
     W: KmerWord + Send + 'static,
 {
+    start_cluster_replicated(shards, tuning, chaos, 1)
+}
+
+/// [`start_cluster`] with shard replication: server rank `r` holds the
+/// shards of owners `r, r-1, …, r-(replicas-1) (mod servers)`, so owner
+/// `o`'s shard is answerable on ranks `o..o+replicas-1 (mod servers)`
+/// and the [`QueryClient`] fails a dead holder's keys over to the next
+/// copy instead of reporting them unavailable.
+pub fn start_cluster_replicated<W>(
+    shards: Vec<Shard<W>>,
+    tuning: NetTuning,
+    chaos: Option<ClusterChaos>,
+    replicas: usize,
+) -> ServeResult<ServeCluster<W>>
+where
+    W: KmerWord + Send + 'static,
+{
     let servers = shards.len();
     assert!(servers > 0, "a serve cluster needs at least one shard");
+    assert!(
+        (1..=servers).contains(&replicas),
+        "replicas must be in 1..={servers}, got {replicas}"
+    );
     let mut mesh = Loopback::mesh_tuned(servers + 1, tuning.clone());
     let client_ep = mesh.pop().expect("mesh has servers + 1 endpoints");
     let handles: Vec<JoinHandle<ServeResult<ServeStats>>> = mesh
         .into_iter()
-        .zip(shards)
         .enumerate()
-        .map(|(rank, (transport, shard))| {
+        .map(|(rank, transport)| {
+            let held: Vec<Shard<W>> = (0..replicas)
+                .map(|j| shards[(rank + servers - j) % servers].clone())
+                .collect();
             let plan = match &chaos {
                 Some(c) if c.rank == rank => Some(
                     ChaosConfig::parse(&c.profile, c.seed, rank)
@@ -134,9 +157,9 @@ where
                 let opts = ServeOpts::default();
                 match plan {
                     Some(cfg) => {
-                        serve_shard(&shard, ChaosTransport::new(transport, cfg), &opts)
+                        serve_shards(&held, ChaosTransport::new(transport, cfg), &opts)
                     }
-                    None => serve_shard(&shard, transport, &opts),
+                    None => serve_shards(&held, transport, &opts),
                 }
             }))
         })

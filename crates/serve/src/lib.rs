@@ -39,9 +39,11 @@ pub mod shard;
 pub mod wire;
 
 pub use client::{Aggregate, BatchOutcome, LookupResult, QueryClient};
-pub use cluster::{build_shards, start_cluster, ClusterChaos, ServeCluster};
+pub use cluster::{
+    build_shards, start_cluster, start_cluster_replicated, ClusterChaos, ServeCluster,
+};
 pub use error::{ServeError, ServeResult};
-pub use server::{serve_shard, ServeOpts, ServeStats};
+pub use server::{serve_shard, serve_shards, ServeOpts, ServeStats};
 pub use shard::{
     encode_shard, shard_path, write_shard, Shard, ShardMeta, DEFAULT_BLOCK_RECORDS,
     SHARD_MAGIC, SHARD_VERSION,

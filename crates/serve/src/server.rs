@@ -19,7 +19,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dakc_kmer::KmerWord;
+use dakc_kmer::{owner_pe, KmerWord};
 use dakc_net::{FrameKind, HeartbeatState, Phase, Transport};
 
 use crate::error::{ServeError, ServeResult};
@@ -60,6 +60,26 @@ pub struct ServeStats {
 /// SHUTDOWN or disconnects.
 pub fn serve_shard<W, T>(
     shard: &Shard<W>,
+    transport: T,
+    opts: &ServeOpts,
+) -> ServeResult<ServeStats>
+where
+    W: KmerWord,
+    T: Transport,
+{
+    serve_shards(std::slice::from_ref(shard), transport, opts)
+}
+
+/// [`serve_shard`] over a replicated shard set: this rank's own shard
+/// plus the replica copies it holds for its predecessor owners (owner
+/// `o`'s shard lives on ranks `o..o+R-1 (mod S)`). Each shard's
+/// `meta.rank` names the owner it answers for. Lookups hash every key
+/// to its owner and consult that owner's copy; aggregate requests name
+/// a shard explicitly via the `_OWNER` opcodes when failing over. The
+/// READY hello announces the rank's *own* shard (so the client's record
+/// total counts each owner partition once) plus the replication factor.
+pub fn serve_shards<W, T>(
+    shards: &[Shard<W>],
     mut transport: T,
     opts: &ServeOpts,
 ) -> ServeResult<ServeStats>
@@ -70,17 +90,44 @@ where
     let me = transport.rank();
     let n = transport.num_ranks();
     let client = n - 1;
-    assert!(me < client, "serve_shard must run on a server rank, not the client");
+    assert!(me < client, "serve_shards must run on a server rank, not the client");
+    let servers = client;
+    let own = shards
+        .iter()
+        .find(|s| s.meta().rank as usize == me)
+        .expect("serve_shards: the rank's own shard must be in the set");
+    for s in shards {
+        assert_eq!(
+            (s.meta().k, s.meta().word_bytes, s.meta().canonical),
+            (own.meta().k, own.meta().word_bytes, own.meta().canonical),
+            "serve_shards: replica shards must share the job parameters"
+        );
+    }
+    // owner rank → shard held here (the owner-routing table for lookups
+    // and `_OWNER` aggregates).
+    let mut by_owner: Vec<Option<&Shard<W>>> = vec![None; servers];
+    for s in shards {
+        let o = s.meta().rank as usize;
+        assert!(o < servers, "serve_shards: shard owner {o} out of range 0..{servers}");
+        by_owner[o] = Some(s);
+    }
     if let Some(m) = &opts.monitor {
         m.set_phase(Phase::Serve);
     }
-    let word_bytes = shard.meta().word_bytes as usize;
+    let shard_for = |owner: usize, src: usize| -> ServeResult<&Shard<W>> {
+        by_owner.get(owner).copied().flatten().ok_or_else(|| ServeError::Wire {
+            from: src,
+            detail: format!("rank {me} holds no replica of owner {owner}'s shard"),
+        })
+    };
+    let word_bytes = own.meta().word_bytes as usize;
     let hello = Ready {
         rank: me as u32,
-        k: shard.meta().k,
-        word_bytes: shard.meta().word_bytes,
-        canonical: shard.meta().canonical,
-        n_records: shard.meta().n_records,
+        k: own.meta().k,
+        word_bytes: own.meta().word_bytes,
+        canonical: own.meta().canonical,
+        n_records: own.meta().n_records,
+        replicas: shards.len() as u32,
     };
     transport.send_kind(client, FrameKind::Reply, &encode_ready(&hello))?;
     transport.flush()?;
@@ -118,25 +165,31 @@ where
             Request::Shutdown => break,
             Request::Lookup { id, keys } => {
                 stats.lookups += keys.len() as u64;
+                // Each key is answered from its owner's shard — the
+                // same hash that routed it at count time — so a batch
+                // failed over to this replica holder needs no special
+                // request form.
                 let counts: Vec<u32> = keys
                     .iter()
                     .map(|&k| {
-                        let c = shard.get(k).unwrap_or(0);
+                        let c = shard_for(owner_pe(k, servers), src)?.get(k).unwrap_or(0);
                         if c > 0 {
                             stats.hits += 1;
                         }
-                        c
+                        Ok(c)
                     })
-                    .collect();
+                    .collect::<ServeResult<_>>()?;
                 Response::Lookup { id, counts }
             }
-            Request::Histogram { id, max } => {
+            Request::Histogram { id, max, owner } => {
+                let shard = shard_for(owner.map_or(me, |o| o as usize), src)?;
                 // Bound the reply size: a hostile max must not allocate
                 // gigabytes of buckets.
                 let max = max.min(1 << 20);
                 Response::Histogram { id, buckets: shard.spectrum(max) }
             }
-            Request::TopN { id, n } => {
+            Request::TopN { id, n, owner } => {
+                let shard = shard_for(owner.map_or(me, |o| o as usize), src)?;
                 Response::TopN { id, records: shard.top_n(n as usize) }
             }
         };

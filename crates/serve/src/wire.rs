@@ -9,6 +9,7 @@
 //!
 //! ```text
 //! READY      1: [rank u32][k u32][word_bytes u32][canonical u8][n_records u64]
+//!               (+ [replicas u32] only when the service replicates)
 //! LOOKUP     2: [id u64][n u32][n × kmer]
 //! LOOKUP_RE  3: [id u64][n u32][n × count u32]      (0 = not present)
 //! HIST       4: [id u64][max u32]
@@ -16,11 +17,19 @@
 //! TOPN       6: [id u64][n u32]
 //! TOPN_RE    7: [id u64][n u32][n × (kmer, count u32)]
 //! SHUTDOWN   8: []
+//! HIST_OWNER 9: [id u64][max u32][owner u32]        (failover: replica shard)
+//! TOPN_OWNER 10:[id u64][n u32][owner u32]          (failover: replica shard)
 //! ```
 //!
 //! Point lookups are 1-key LOOKUPs; the batched multi-lookup is the same
-//! opcode. Malformed payloads decode to [`ServeError::Wire`] naming the
-//! sender — a hostile or corrupt peer cannot panic a server.
+//! opcode. A failed-over LOOKUP needs no new opcode — the server hashes
+//! each key to its owner and consults that owner's replica shard — but
+//! aggregates are per-shard, so the `_OWNER` variants name the shard
+//! explicitly. A non-replicated service (`replicas = 1`) emits exactly
+//! the pre-replication wire bytes: the READY suffix and the `_OWNER`
+//! opcodes only ever appear when failover is possible. Malformed
+//! payloads decode to [`ServeError::Wire`] naming the sender — a hostile
+//! or corrupt peer cannot panic a server.
 //!
 //! [`FrameKind::Query`]: dakc_net::FrameKind::Query
 //! [`FrameKind::Reply`]: dakc_net::FrameKind::Reply
@@ -39,6 +48,8 @@ mod op {
     pub const TOPN: u8 = 6;
     pub const TOPN_RE: u8 = 7;
     pub const SHUTDOWN: u8 = 8;
+    pub const HIST_OWNER: u8 = 9;
+    pub const TOPN_OWNER: u8 = 10;
 }
 
 /// A server's hello: what it serves. Sent once per client session.
@@ -54,6 +65,10 @@ pub struct Ready {
     pub canonical: bool,
     /// Records in the rank's shard.
     pub n_records: u64,
+    /// Replication factor: owner `o`'s shard is held by ranks
+    /// `o..o+replicas-1 (mod servers)`. `1` means no replication and is
+    /// omitted from the wire (the pre-replication READY layout).
+    pub replicas: u32,
 }
 
 /// A client request.
@@ -72,6 +87,10 @@ pub enum Request<W> {
         id: u64,
         /// Highest explicit multiplicity bucket.
         max: u32,
+        /// Which owner's shard to read; `None` (the common case) means
+        /// the server's own. `Some` is the failover form: a client
+        /// asking a replica holder for a dead owner's shard.
+        owner: Option<u32>,
     },
     /// The shard's `n` highest-count records.
     TopN {
@@ -79,6 +98,8 @@ pub enum Request<W> {
         id: u64,
         /// Records wanted.
         n: u32,
+        /// Which owner's shard to read (see [`Request::Histogram`]).
+        owner: Option<u32>,
     },
     /// End the serve session; the server exits its request loop.
     Shutdown,
@@ -194,6 +215,12 @@ pub fn encode_ready(r: &Ready) -> Vec<u8> {
     out.extend_from_slice(&r.word_bytes.to_le_bytes());
     out.push(u8::from(r.canonical));
     out.extend_from_slice(&r.n_records.to_le_bytes());
+    // Wire compatibility: a non-replicated hello is byte-identical to
+    // the pre-replication format; the suffix appears only when it
+    // carries information.
+    if r.replicas > 1 {
+        out.extend_from_slice(&r.replicas.to_le_bytes());
+    }
     out
 }
 
@@ -204,13 +231,27 @@ pub fn decode_ready(from: usize, bytes: &[u8]) -> ServeResult<Option<Ready>> {
     if r.u8("opcode")? != op::READY {
         return Ok(None);
     }
-    let ready = Ready {
+    let mut ready = Ready {
         rank: r.u32("ready rank")?,
         k: r.u32("ready k")?,
         word_bytes: r.u32("ready word_bytes")?,
         canonical: r.u8("ready canonical")? != 0,
         n_records: r.u64("ready n_records")?,
+        replicas: 1,
     };
+    // Optional replication suffix (absent on non-replicated services).
+    if r.at < r.bytes.len() {
+        ready.replicas = r.u32("ready replicas")?;
+        if ready.replicas < 2 {
+            return Err(ServeError::Wire {
+                from,
+                detail: format!(
+                    "ready carries a replication suffix of {} (must be ≥ 2 when present)",
+                    ready.replicas
+                ),
+            });
+        }
+    }
     r.done("ready")?;
     Ok(Some(ready))
 }
@@ -228,18 +269,24 @@ pub fn encode_request<W: KmerWord>(req: &Request<W>, word_bytes: usize) -> Vec<u
             }
             out
         }
-        Request::Histogram { id, max } => {
-            let mut out = Vec::with_capacity(13);
-            out.push(op::HIST);
+        Request::Histogram { id, max, owner } => {
+            let mut out = Vec::with_capacity(17);
+            out.push(if owner.is_some() { op::HIST_OWNER } else { op::HIST });
             out.extend_from_slice(&id.to_le_bytes());
             out.extend_from_slice(&max.to_le_bytes());
+            if let Some(o) = owner {
+                out.extend_from_slice(&o.to_le_bytes());
+            }
             out
         }
-        Request::TopN { id, n } => {
-            let mut out = Vec::with_capacity(13);
-            out.push(op::TOPN);
+        Request::TopN { id, n, owner } => {
+            let mut out = Vec::with_capacity(17);
+            out.push(if owner.is_some() { op::TOPN_OWNER } else { op::TOPN });
             out.extend_from_slice(&id.to_le_bytes());
             out.extend_from_slice(&n.to_le_bytes());
+            if let Some(o) = owner {
+                out.extend_from_slice(&o.to_le_bytes());
+            }
             out
         }
         Request::Shutdown => vec![op::SHUTDOWN],
@@ -264,8 +311,20 @@ pub fn decode_request<W: KmerWord>(
             }
             Request::Lookup { id, keys }
         }
-        op::HIST => Request::Histogram { id: r.u64("hist id")?, max: r.u32("hist max")? },
-        op::TOPN => Request::TopN { id: r.u64("topn id")?, n: r.u32("topn n")? },
+        op::HIST => {
+            Request::Histogram { id: r.u64("hist id")?, max: r.u32("hist max")?, owner: None }
+        }
+        op::TOPN => Request::TopN { id: r.u64("topn id")?, n: r.u32("topn n")?, owner: None },
+        op::HIST_OWNER => Request::Histogram {
+            id: r.u64("hist id")?,
+            max: r.u32("hist max")?,
+            owner: Some(r.u32("hist owner")?),
+        },
+        op::TOPN_OWNER => Request::TopN {
+            id: r.u64("topn id")?,
+            n: r.u32("topn n")?,
+            owner: Some(r.u32("topn owner")?),
+        },
         op::SHUTDOWN => Request::Shutdown,
         other => {
             return Err(ServeError::Wire {
@@ -376,7 +435,14 @@ mod tests {
 
     #[test]
     fn ready_roundtrip() {
-        let r = Ready { rank: 3, k: 31, word_bytes: 8, canonical: true, n_records: 12345 };
+        let r = Ready {
+            rank: 3,
+            k: 31,
+            word_bytes: 8,
+            canonical: true,
+            n_records: 12345,
+            replicas: 1,
+        };
         assert_eq!(decode_ready(3, &encode_ready(&r)).unwrap(), Some(r));
         // Non-ready payloads skip as None.
         let req = encode_request::<u64>(&Request::Shutdown, 8);
@@ -384,12 +450,37 @@ mod tests {
     }
 
     #[test]
+    fn ready_replication_suffix_roundtrips_and_stays_off_the_wire() {
+        let plain = Ready {
+            rank: 0,
+            k: 21,
+            word_bytes: 8,
+            canonical: false,
+            n_records: 7,
+            replicas: 1,
+        };
+        // replicas = 1 must be byte-identical to the pre-replication
+        // format: 22 bytes, no suffix.
+        assert_eq!(encode_ready(&plain).len(), 22);
+        let replicated = Ready { replicas: 3, ..plain };
+        let wire = encode_ready(&replicated);
+        assert_eq!(wire.len(), 26);
+        assert_eq!(decode_ready(0, &wire).unwrap(), Some(replicated));
+        // A suffix of 0 or 1 is protocol confusion, not silently 1.
+        let mut bad = encode_ready(&plain);
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(decode_ready(0, &bad), Err(ServeError::Wire { .. })));
+    }
+
+    #[test]
     fn request_roundtrips() {
         for req in [
             Request::Lookup { id: 7, keys: vec![1u64, 99, u64::MAX] },
             Request::Lookup { id: 8, keys: vec![] },
-            Request::Histogram { id: 9, max: 64 },
-            Request::TopN { id: 10, n: 25 },
+            Request::Histogram { id: 9, max: 64, owner: None },
+            Request::Histogram { id: 9, max: 64, owner: Some(2) },
+            Request::TopN { id: 10, n: 25, owner: None },
+            Request::TopN { id: 10, n: 25, owner: Some(0) },
             Request::Shutdown,
         ] {
             let wire = encode_request(&req, 8);
@@ -420,6 +511,7 @@ mod tests {
             word_bytes: 8,
             canonical: false,
             n_records: 0,
+            replicas: 1,
         });
         assert_eq!(decode_response::<u64>(0, &hello, 8).unwrap(), None);
     }
@@ -455,6 +547,35 @@ mod tests {
             let _ = decode_ready(0, &bytes);
             let _ = decode_request::<u128>(0, &bytes, 16);
             let _ = decode_response::<u128>(0, &bytes, 16);
+        }
+
+        // The serve mesh's Query/Reply frames pass through the
+        // transport's length-capped [`FrameDecoder`] before any payload
+        // is buffered. An adversarial length prefix must surface as a
+        // typed `Oversized` (or a typed bad-kind error), never as an
+        // attacker-sized allocation: the decoder's buffered bytes stay
+        // bounded by what was actually fed.
+        #[test]
+        fn adversarial_length_prefix_is_typed_never_allocated(
+            len in any::<u32>(),
+            kind in any::<u8>(),
+        ) {
+            use dakc_net::{FrameDecoder, FrameError};
+            const CAP: usize = 1 << 20;
+            let mut dec = FrameDecoder::with_max_len(CAP);
+            let mut bytes = len.to_le_bytes().to_vec();
+            bytes.push(kind);
+            dec.feed(&bytes);
+            match dec.next_frame() {
+                Err(FrameError::Oversized { len: l, max }) => {
+                    prop_assert!(l as usize > CAP);
+                    prop_assert_eq!(max as usize, CAP);
+                }
+                // Complete, incomplete, or a typed bad-kind error — all
+                // fine as long as an oversized prefix didn't slip by.
+                _ => prop_assert!(len as usize <= CAP),
+            }
+            prop_assert!(dec.pending_bytes() <= bytes.len());
         }
 
         #[test]

@@ -13,8 +13,8 @@ use dakc_io::{generate_genome, simulate_reads, GenomeSpec, ReadSet, ReadSimConfi
 use dakc_kmer::{owner_pe, CanonicalMode, KmerCount, KmerWord};
 use dakc_net::{NetError, NetTuning};
 use dakc_serve::{
-    build_shards, start_cluster, shard_path, write_shard, ClusterChaos, LookupResult,
-    ServeError, Shard,
+    build_shards, start_cluster, start_cluster_replicated, shard_path, write_shard,
+    ClusterChaos, LookupResult, ServeError, Shard,
 };
 use dakc_sort::RadixKey;
 
@@ -220,6 +220,71 @@ fn chaos_killed_server_yields_typed_partial_results() {
                 matches!(o, Err(ServeError::Net(NetError::Injected { .. }))),
                 "killed server must report its injected death, got {o:?}"
             );
+        } else {
+            assert!(o.is_ok(), "live server {rank} must exit cleanly: {o:?}");
+        }
+    }
+}
+
+/// With `--replicas 2`-style replication, a chaos-killed server does
+/// NOT cost any answers: the dead owner's keys fail over to the
+/// successor holding the replica shard, the batch comes back complete
+/// and correct, the failover is counted and latency-traced, and the
+/// aggregates (histogram, top-N) also merge over all owners via the
+/// `_OWNER` redirect — zero `Unavailable` anywhere.
+#[test]
+fn replicated_cluster_fails_over_a_killed_server_with_complete_results() {
+    const RANKS: usize = 4;
+    const DEAD: usize = 2;
+    let reads = workload(0xFA11);
+    let cfg = DakcConfig::paper_defaults(31);
+    let truth = reference::<u64>(&reads, 31, CanonicalMode::Forward);
+    let shards = build_shards::<u64>(&reads, &cfg, RANKS).expect("build");
+    let tuning = NetTuning::default().with_timeout(Duration::from_secs(2));
+    let chaos = ClusterChaos { rank: DEAD, profile: format!("die:{DEAD}@25"), seed: 7 };
+    let mut cluster =
+        start_cluster_replicated(shards, tuning, Some(chaos), 2).expect("start");
+    assert_eq!(cluster.client.replicas(), 2);
+
+    // Give the doomed server time to burn through its op budget.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let keys: Vec<u64> = truth.iter().map(|c| c.kmer).collect();
+    let out = cluster.client.lookup_batch(&keys).expect("lookup");
+    assert!(out.complete(), "replication must absorb the death: {:?}", out.unavailable);
+    for (key, res) in keys.iter().zip(&out.results) {
+        let want = truth[truth.binary_search_by_key(key, |c| c.kmer).unwrap()].count;
+        assert_eq!(*res, LookupResult::Count(want), "failover answer for {key:#x}");
+    }
+    assert_eq!(cluster.client.dead_ranks(), vec![DEAD], "the holder is still marked dead");
+
+    // Later batches route straight to the replica — fast and complete.
+    let t1 = Instant::now();
+    let again = cluster.client.lookup_batch(&keys[..500.min(keys.len())]).expect("relookup");
+    assert!(again.complete());
+    assert!(t1.elapsed() < Duration::from_secs(1), "no second deadline wait");
+
+    // Aggregates merge every owner partition exactly once, with the
+    // dead owner's shard read from its replica holder.
+    let hist = cluster.client.histogram(16).expect("histogram");
+    assert!(hist.unavailable.is_empty(), "histogram must cover all owners");
+    let mut want = vec![0u64; 17];
+    for c in &truth {
+        want[(c.count as usize - 1).min(16)] += 1;
+    }
+    assert_eq!(hist.value, want);
+    let top = cluster.client.top_n(8).expect("top_n");
+    assert!(top.unavailable.is_empty());
+
+    let (metrics, outcomes) = cluster.shutdown().expect("shutdown");
+    assert!(metrics.counter("serve.failovers") > 0, "failovers must be counted");
+    assert!(
+        metrics.histogram("flow.serve.failover_s").is_some(),
+        "failover latency must be flow-traced"
+    );
+    for (rank, o) in outcomes.iter().enumerate() {
+        if rank == DEAD {
+            assert!(matches!(o, Err(ServeError::Net(NetError::Injected { .. }))));
         } else {
             assert!(o.is_ok(), "live server {rank} must exit cleanly: {o:?}");
         }
